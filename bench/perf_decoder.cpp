@@ -1,0 +1,81 @@
+// Performance: decoding throughput vs defect density.
+#include <benchmark/benchmark.h>
+
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "decoder/greedy.hpp"
+#include "decoder/mwpm.hpp"
+#include "decoder/union_find.hpp"
+#include "detector/error_model.hpp"
+#include "noise/depolarizing.hpp"
+
+namespace {
+
+using namespace radsurf;
+
+MatchingGraph xxzz_graph() {
+  const Circuit noisy = DepolarizingModel{1e-2}.apply(XXZZCode(3, 3).build());
+  return MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+}
+
+MatchingGraph rep_graph(int d) {
+  const Circuit noisy = DepolarizingModel{1e-2}.apply(
+      RepetitionCode(d, RepetitionFlavor::BIT_FLIP).build());
+  return MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+}
+
+std::vector<std::uint32_t> random_defects(std::size_t num_detectors,
+                                          std::size_t k, Rng& rng) {
+  std::vector<std::uint32_t> out;
+  while (out.size() < k && out.size() < num_detectors) {
+    const auto d = static_cast<std::uint32_t>(rng.below(num_detectors));
+    if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
+  }
+  return out;
+}
+
+void BM_MwpmConstruction(benchmark::State& state) {
+  const auto g = rep_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    MwpmDecoder dec(g);
+    benchmark::DoNotOptimize(dec);
+  }
+}
+BENCHMARK(BM_MwpmConstruction)->Arg(5)->Arg(15);
+
+void BM_MwpmDecode_DefectSweep(benchmark::State& state) {
+  const auto g = rep_graph(15);
+  MwpmDecoder dec(g);
+  Rng rng(1);
+  const auto defects =
+      random_defects(g.num_detectors(),
+                     static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(defects));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MwpmDecode_DefectSweep)->Arg(2)->Arg(6)->Arg(12)->Arg(20);
+
+void BM_DecoderKinds_Xxzz(benchmark::State& state) {
+  const auto g = xxzz_graph();
+  const auto kind = static_cast<DecoderKind>(state.range(0));
+  const auto dec = make_decoder(kind, g);
+  Rng rng(2);
+  const auto defects = random_defects(g.num_detectors(), 6, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(dec->decode(defects));
+  state.SetLabel(decoder_kind_name(kind));
+}
+BENCHMARK(BM_DecoderKinds_Xxzz)
+    ->Arg(static_cast<int>(DecoderKind::MWPM))
+    ->Arg(static_cast<int>(DecoderKind::UNION_FIND))
+    ->Arg(static_cast<int>(DecoderKind::GREEDY));
+
+void BM_DemExtraction(benchmark::State& state) {
+  const Circuit noisy = DepolarizingModel{1e-2}.apply(XXZZCode(3, 3).build());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(DetectorErrorModel::from_circuit(noisy));
+}
+BENCHMARK(BM_DemExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

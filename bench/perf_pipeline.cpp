@@ -1,0 +1,61 @@
+// Performance: end-to-end injection campaign throughput (shots/second of
+// the full sample -> detectors -> decode -> compare pipeline).
+#include <benchmark/benchmark.h>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "inject/campaign.hpp"
+
+namespace {
+
+using namespace radsurf;
+
+void BM_CampaignIntrinsic_Rep5(benchmark::State& state) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), EngineOptions{});
+  std::uint64_t seed = 1;
+  const std::size_t shots = 256;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.run_intrinsic(shots, seed++));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * shots));
+}
+BENCHMARK(BM_CampaignIntrinsic_Rep5);
+
+void BM_CampaignStrike_Xxzz33(benchmark::State& state) {
+  const XXZZCode code(3, 3);
+  InjectionEngine engine(code, make_mesh(5, 4), EngineOptions{});
+  std::uint64_t seed = 1;
+  const std::size_t shots = 256;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        engine.run_radiation_at(2, 1.0, true, shots, seed++));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * shots));
+}
+BENCHMARK(BM_CampaignStrike_Xxzz33);
+
+void BM_EngineConstruction(benchmark::State& state) {
+  const XXZZCode code(3, 3);
+  const Graph arch = make_mesh(5, 4);
+  for (auto _ : state) {
+    InjectionEngine engine(code, arch, EngineOptions{});
+    benchmark::DoNotOptimize(engine);
+  }
+}
+BENCHMARK(BM_EngineConstruction);
+
+void BM_EngineConstruction_Brooklyn(benchmark::State& state) {
+  const RepetitionCode code(11, RepetitionFlavor::BIT_FLIP);
+  const Graph arch = make_brooklyn();
+  for (auto _ : state) {
+    InjectionEngine engine(code, arch, EngineOptions{});
+    benchmark::DoNotOptimize(engine);
+  }
+}
+BENCHMARK(BM_EngineConstruction_Brooklyn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Performance: stabilizer simulation throughput (the enabler of the
+// paper's 400M-injection scale).
+#include <benchmark/benchmark.h>
+
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "noise/depolarizing.hpp"
+#include "stab/frame_sim.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace {
+
+using namespace radsurf;
+
+Circuit noisy_xxzz_circuit() {
+  static const Circuit c =
+      DepolarizingModel{1e-2}.apply(XXZZCode(3, 3).build());
+  return c;
+}
+
+Circuit noisy_rep_circuit(int d) {
+  return DepolarizingModel{1e-2}.apply(
+      RepetitionCode(d, RepetitionFlavor::BIT_FLIP).build());
+}
+
+void BM_TableauShot_Xxzz33(benchmark::State& state) {
+  const Circuit c = noisy_xxzz_circuit();
+  TableauSimulator sim(c);
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.sample(rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableauShot_Xxzz33);
+
+void BM_TableauShot_Repetition(benchmark::State& state) {
+  const Circuit c = noisy_rep_circuit(static_cast<int>(state.range(0)));
+  TableauSimulator sim(c);
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.sample(rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableauShot_Repetition)->Arg(5)->Arg(11)->Arg(15);
+
+void BM_FrameBatch_Xxzz33(benchmark::State& state) {
+  const Circuit c = noisy_xxzz_circuit();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  FrameSimulator sim(c, batch);
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.run(rng));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_FrameBatch_Xxzz33)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ReferenceSample(benchmark::State& state) {
+  const Circuit c = noisy_xxzz_circuit();
+  TableauSimulator sim(c);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.reference_sample());
+}
+BENCHMARK(BM_ReferenceSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Scenario: is exact MWPM worth it under radiation?
+//
+// The paper fixes MWPM as the decoder.  This example compares the exact
+// blossom-based MWPM against the union-find and greedy decoders across the
+// whole temporal evolution of a strike, showing where cheap decoders give
+// up accuracy (dense defect sets near t = 0) and where they don't (the
+// decayed tail).
+//
+//   $ ./decoder_comparison [shots-per-sample]
+//
+#include <cstdlib>
+#include <iostream>
+
+#include "core/radsurf.hpp"
+
+using namespace radsurf;
+
+int main(int argc, char** argv) {
+  const std::size_t shots =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 800;
+
+  XXZZCode code(3, 3);
+  std::cout << "decoder comparison on " << code.name()
+            << " under a spreading strike at qubit 2 (" << shots
+            << " shots per temporal sample)\n\n";
+
+  Table table({"t", "T(t)", "mwpm", "union-find", "greedy"});
+  std::vector<std::vector<double>> series;
+  for (auto kind :
+       {DecoderKind::MWPM, DecoderKind::UNION_FIND, DecoderKind::GREEDY}) {
+    EngineOptions opts;
+    opts.decoder = kind;
+    InjectionEngine engine(code, make_mesh(5, 4), opts);
+    std::vector<double> rates;
+    for (const auto& p : engine.run_radiation_event(2, shots, /*seed=*/5))
+      rates.push_back(p.rate());
+    series.push_back(std::move(rates));
+  }
+
+  const RadiationModel model;
+  const auto times = model.sample_times();
+  const auto values = model.sample_values();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    table.add_row({Table::fmt(times[i], 2), Table::fmt(values[i], 4),
+                   Table::pct(series[0][i]), Table::pct(series[1][i]),
+                   Table::pct(series[2][i])});
+  }
+  std::cout << table.to_string();
+  std::cout << "\npaper Sec. II-D: MWPM is the accuracy/latency sweet spot; "
+               "alternatives are out of the paper's scope but provided "
+               "here as ablations.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Scenario: choosing a hardware topology for radiation resilience (RQ2).
+//
+// The paper shows that picking the right architecture buys 7-10% logical
+// error without any QEC overhead.  This example ranks the built-in
+// architectures for a given code by (a) SWAP overhead after transpilation
+// and (b) median logical error under a spreading strike, and prints a
+// recommendation.
+//
+//   $ ./topology_tuning [shots]
+//
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/radsurf.hpp"
+
+using namespace radsurf;
+
+int main(int argc, char** argv) {
+  const std::size_t shots =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 600;
+
+  XXZZCode code(3, 3);
+  const std::vector<std::string> archs = {
+      "mesh:5x4", "complete:18", "linear:18",
+      "almaden",  "johannesburg", "cambridge"};
+
+  std::cout << "topology tuning for " << code.name() << " ("
+            << code.num_qubits() << " qubits), " << shots
+            << " shots per config\n\n";
+
+  struct Row {
+    std::string arch;
+    double avg_degree;
+    std::size_t swaps;
+    double strike_ler;
+  };
+  std::vector<Row> rows;
+  for (const auto& name : archs) {
+    const Graph arch = make_topology(name);
+    InjectionEngine engine(code, arch, EngineOptions{});
+    // Median over a few representative impact points.
+    std::vector<Proportion> strikes;
+    std::uint64_t seed = 7;
+    const auto& active = engine.active_qubits();
+    for (std::size_t i = 0; i < active.size(); i += 4) {
+      strikes.push_back(
+          engine.run_radiation_at(active[i], 1.0, true, shots, seed += 3));
+    }
+    rows.push_back({name, arch.average_degree(),
+                    engine.transpiled().swap_count, median_rate(strikes)});
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) {
+              return a.strike_ler < b.strike_ler;
+            });
+
+  Table table({"rank", "architecture", "avg degree", "SWAPs",
+               "median strike LER"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({std::to_string(i + 1), rows[i].arch,
+                   Table::fmt(rows[i].avg_degree, 2),
+                   std::to_string(rows[i].swaps),
+                   Table::pct(rows[i].strike_ler)});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "recommendation: " << rows.front().arch
+            << " — lowest strike-time logical error for this code.\n";
+  std::cout << "paper Obs. VIII: well-connected architectures reduce SWAP "
+               "overhead and with it the fault's spread surface.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "arch/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+void Graph::add_edge(std::uint32_t a, std::uint32_t b) {
+  RADSURF_CHECK_ARG(a != b, "self-loop on node " << a);
+  RADSURF_CHECK_ARG(a < adj_.size() && b < adj_.size(),
+                    "edge (" << a << "," << b << ") out of range for "
+                             << adj_.size() << " nodes");
+  if (has_edge(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  edges_.emplace_back(std::min(a, b), std::max(a, b));
+}
+
+bool Graph::has_edge(std::uint32_t a, std::uint32_t b) const {
+  if (a >= adj_.size() || b >= adj_.size()) return false;
+  const auto& na = adj_[a];
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+const std::vector<std::uint32_t>& Graph::neighbors(std::uint32_t v) const {
+  RADSURF_ASSERT(v < adj_.size());
+  return adj_[v];
+}
+
+double Graph::average_degree() const {
+  if (adj_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) /
+         static_cast<double>(adj_.size());
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& nb : adj_) d = std::max(d, nb.size());
+  return d;
+}
+
+bool Graph::is_connected() const {
+  if (adj_.empty()) return true;
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(), [](std::size_t d) {
+    return d == std::numeric_limits<std::size_t>::max();
+  });
+}
+
+std::vector<std::size_t> Graph::bfs_distances(std::uint32_t src) const {
+  RADSURF_CHECK_ARG(src < adj_.size(), "bfs source out of range");
+  std::vector<std::size_t> dist(adj_.size(),
+                                std::numeric_limits<std::size_t>::max());
+  std::queue<std::uint32_t> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const std::uint32_t v = q.front();
+    q.pop();
+    for (std::uint32_t w : adj_[v]) {
+      if (dist[w] == std::numeric_limits<std::size_t>::max()) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<std::size_t>> Graph::all_pairs_distances() const {
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(adj_.size());
+  for (std::uint32_t v = 0; v < adj_.size(); ++v)
+    out.push_back(bfs_distances(v));
+  return out;
+}
+
+std::vector<std::uint32_t> Graph::shortest_path(std::uint32_t from,
+                                                std::uint32_t to) const {
+  RADSURF_CHECK_ARG(from < adj_.size() && to < adj_.size(),
+                    "path endpoints out of range");
+  std::vector<std::int64_t> parent(adj_.size(), -1);
+  std::queue<std::uint32_t> q;
+  parent[from] = from;
+  q.push(from);
+  while (!q.empty() && parent[to] < 0) {
+    const std::uint32_t v = q.front();
+    q.pop();
+    for (std::uint32_t w : adj_[v]) {
+      if (parent[w] < 0) {
+        parent[w] = v;
+        q.push(w);
+      }
+    }
+  }
+  if (parent[to] < 0) return {};
+  std::vector<std::uint32_t> path{to};
+  while (path.back() != from)
+    path.push_back(static_cast<std::uint32_t>(parent[path.back()]));
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Graph Graph::induced(const std::vector<std::uint32_t>& nodes) const {
+  Graph g(nodes.size());
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < nodes.size(); ++j) {
+      if (has_edge(nodes[i], nodes[j])) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+}  // namespace radsurf

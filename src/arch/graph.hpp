@@ -1,0 +1,57 @@
+// Undirected architecture graph.
+//
+// Nodes are physical qubits; edges are the couplings a two-qubit gate may
+// use.  The radiation model's spatial damping S(d) is parameterised by BFS
+// distance on this graph (Sec. III-B: fixed edge weight 1), and the router
+// moves logical qubits along its shortest paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace radsurf {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_nodes) : adj_(num_nodes) {}
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Add an undirected edge (idempotent; self-loops rejected).
+  void add_edge(std::uint32_t a, std::uint32_t b);
+
+  bool has_edge(std::uint32_t a, std::uint32_t b) const;
+  const std::vector<std::uint32_t>& neighbors(std::uint32_t v) const;
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges() const {
+    return edges_;
+  }
+
+  std::size_t degree(std::uint32_t v) const { return neighbors(v).size(); }
+  double average_degree() const;
+  std::size_t max_degree() const;
+
+  bool is_connected() const;
+
+  /// BFS hop distances from `src`; unreachable nodes get SIZE_MAX.
+  std::vector<std::size_t> bfs_distances(std::uint32_t src) const;
+
+  /// All-pairs BFS distance matrix.
+  std::vector<std::vector<std::size_t>> all_pairs_distances() const;
+
+  /// Shortest path (inclusive of endpoints); empty if unreachable.
+  std::vector<std::uint32_t> shortest_path(std::uint32_t from,
+                                           std::uint32_t to) const;
+
+  /// Induced subgraph on `nodes` (relabelled 0..k-1 in the given order).
+  Graph induced(const std::vector<std::uint32_t>& nodes) const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,108 @@
+#include "arch/subgraphs.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+
+// Duplicate-free recursive extension: grow S only with neighbours not in
+// the exclusion set X; after trying an extension vertex it joins X, so each
+// connected set is produced exactly once (standard RSSP enumeration).
+struct Enumerator {
+  const Graph& g;
+  std::size_t k;
+  std::size_t max_count;
+  std::vector<std::vector<std::uint32_t>>& out;
+  std::vector<char> in_s;
+
+  bool extend(std::vector<std::uint32_t>& s, std::vector<char>& excluded) {
+    if (s.size() == k) {
+      out.push_back(s);
+      std::sort(out.back().begin(), out.back().end());
+      return out.size() < max_count;
+    }
+    // Frontier: neighbours of S not in S and not excluded.
+    std::vector<std::uint32_t> frontier;
+    for (std::uint32_t v : s) {
+      for (std::uint32_t w : g.neighbors(v)) {
+        if (!in_s[w] && !excluded[w] &&
+            std::find(frontier.begin(), frontier.end(), w) == frontier.end())
+          frontier.push_back(w);
+      }
+    }
+    std::vector<char> local_excluded = excluded;
+    for (std::uint32_t w : frontier) {
+      s.push_back(w);
+      in_s[w] = 1;
+      const bool keep_going = extend(s, local_excluded);
+      in_s[w] = 0;
+      s.pop_back();
+      if (!keep_going) return false;
+      local_excluded[w] = 1;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> enumerate_connected_subgraphs(
+    const Graph& g, std::size_t k, std::size_t max_count) {
+  RADSURF_CHECK_ARG(k >= 1, "subgraph size must be >= 1");
+  std::vector<std::vector<std::uint32_t>> out;
+  if (k > g.num_nodes()) return out;
+  Enumerator e{g, k, max_count, out, std::vector<char>(g.num_nodes(), 0)};
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    std::vector<std::uint32_t> s{v};
+    e.in_s[v] = 1;
+    // Exclude all vertices <= v so v is the minimum of every set found.
+    std::vector<char> excluded(g.num_nodes(), 0);
+    for (std::uint32_t u = 0; u <= v; ++u) excluded[u] = 1;
+    const bool keep_going = e.extend(s, excluded);
+    e.in_s[v] = 0;
+    if (!keep_going) break;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> sample_connected_subgraphs(
+    const Graph& g, std::size_t k, std::size_t count, Rng& rng) {
+  RADSURF_CHECK_ARG(k >= 1, "subgraph size must be >= 1");
+  std::vector<std::vector<std::uint32_t>> out;
+  if (k > g.num_nodes() || count == 0) return out;
+
+  std::set<std::vector<std::uint32_t>> seen;
+  const std::size_t max_attempts = count * 64 + 256;
+  std::vector<char> in_s(g.num_nodes(), 0);
+  for (std::size_t attempt = 0;
+       attempt < max_attempts && out.size() < count; ++attempt) {
+    std::vector<std::uint32_t> s;
+    std::vector<std::uint32_t> frontier;
+    const auto start =
+        static_cast<std::uint32_t>(rng.below(g.num_nodes()));
+    s.push_back(start);
+    in_s[start] = 1;
+    for (std::uint32_t w : g.neighbors(start)) frontier.push_back(w);
+    while (s.size() < k && !frontier.empty()) {
+      const std::size_t pick = rng.below(frontier.size());
+      const std::uint32_t v = frontier[pick];
+      frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (in_s[v]) continue;
+      s.push_back(v);
+      in_s[v] = 1;
+      for (std::uint32_t w : g.neighbors(v))
+        if (!in_s[w]) frontier.push_back(w);
+    }
+    for (std::uint32_t v : s) in_s[v] = 0;
+    if (s.size() != k) continue;
+    std::sort(s.begin(), s.end());
+    if (seen.insert(s).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace radsurf

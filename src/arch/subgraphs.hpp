@@ -1,0 +1,29 @@
+// Connected-subgraph enumeration and sampling.
+//
+// The paper's Figs 6–7 inject the same reset event into every qubit of a
+// connected subgraph ("hypernode") of the architecture lattice and report
+// medians grouped by subgraph size.  Exact enumeration is exponential in
+// k, so both a capped exact enumerator and a deduplicated random-growth
+// sampler are provided.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/graph.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+
+/// All connected induced vertex sets of size k, each exactly once
+/// (sorted ascending), stopping after `max_count` results.
+std::vector<std::vector<std::uint32_t>> enumerate_connected_subgraphs(
+    const Graph& g, std::size_t k, std::size_t max_count = 1'000'000);
+
+/// Up to `count` distinct connected vertex sets of size k obtained by
+/// random growth (uniform frontier extension).  Returns fewer when the
+/// graph has fewer such sets or the attempt budget is exhausted.
+std::vector<std::vector<std::uint32_t>> sample_connected_subgraphs(
+    const Graph& g, std::size_t k, std::size_t count, Rng& rng);
+
+}  // namespace radsurf

@@ -1,0 +1,170 @@
+#include "arch/topologies.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+Graph make_linear(std::size_t n) {
+  RADSURF_CHECK_ARG(n >= 1, "linear topology needs >= 1 node");
+  Graph g(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph make_mesh(std::size_t rows, std::size_t cols) {
+  RADSURF_CHECK_ARG(rows >= 1 && cols >= 1, "mesh needs positive dimensions");
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<std::uint32_t>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  RADSURF_CHECK_ARG(n >= 1, "complete topology needs >= 1 node");
+  Graph g(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+  return g;
+}
+
+Graph make_heavy_hex(const std::vector<std::size_t>& row_lengths) {
+  RADSURF_CHECK_ARG(!row_lengths.empty(), "heavy-hex needs at least one row");
+  // Count nodes: qubit rows plus bridge rows between them.  Bridge columns
+  // sit at every 4th column with the offset alternating 0/2 per gap (IBM
+  // cell pattern); a bridge column beyond a shorter row clamps to that
+  // row's last qubit.
+  // First pass: row offsets and per-gap bridge offsets.  A gap's bridges
+  // are numbered directly after the row above them.
+  std::vector<std::uint32_t> row_start;
+  std::vector<std::uint32_t> gap_start;
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < row_lengths.size(); ++r) {
+    RADSURF_CHECK_ARG(row_lengths[r] >= 1, "empty heavy-hex row");
+    row_start.push_back(static_cast<std::uint32_t>(total));
+    total += row_lengths[r];
+    if (r + 1 < row_lengths.size()) {
+      gap_start.push_back(static_cast<std::uint32_t>(total));
+      const std::size_t offset = (r % 2 == 0) ? 0 : 2;
+      const std::size_t span = std::max(row_lengths[r], row_lengths[r + 1]);
+      for (std::size_t c = offset; c < span; c += 4) total += 1;
+    }
+  }
+  Graph g(total);
+  // Horizontal chains.
+  for (std::size_t r = 0; r < row_lengths.size(); ++r) {
+    for (std::size_t c = 0; c + 1 < row_lengths[r]; ++c)
+      g.add_edge(row_start[r] + static_cast<std::uint32_t>(c),
+                 row_start[r] + static_cast<std::uint32_t>(c + 1));
+  }
+  // Bridges.
+  for (std::size_t r = 0; r + 1 < row_lengths.size(); ++r) {
+    const std::size_t offset = (r % 2 == 0) ? 0 : 2;
+    const std::size_t span = std::max(row_lengths[r], row_lengths[r + 1]);
+    std::uint32_t bridge = gap_start[r];
+    for (std::size_t c = offset; c < span; c += 4, ++bridge) {
+      const auto top = static_cast<std::uint32_t>(
+          std::min(c, row_lengths[r] - 1));
+      const auto bot = static_cast<std::uint32_t>(
+          std::min(c, row_lengths[r + 1] - 1));
+      g.add_edge(row_start[r] + top, bridge);
+      g.add_edge(bridge, row_start[r + 1] + bot);
+    }
+  }
+  return g;
+}
+
+Graph make_almaden() {
+  // 20-qubit grid: four rows of five, bridged at alternating columns.
+  Graph g(20);
+  const std::uint32_t rows[4] = {0, 5, 10, 15};
+  for (std::uint32_t r : rows)
+    for (std::uint32_t c = 0; c < 4; ++c) g.add_edge(r + c, r + c + 1);
+  // Verticals (Boeblingen/Almaden pattern).
+  const std::pair<std::uint32_t, std::uint32_t> verts[] = {
+      {1, 6}, {3, 8}, {5, 10}, {7, 12}, {9, 14}, {11, 16}, {13, 18}};
+  for (auto [a, b] : verts) g.add_edge(a, b);
+  return g;
+}
+
+Graph make_johannesburg() {
+  // 20-qubit grid: four rows of five, bridged at the outer columns plus
+  // the row-dependent inner columns (Johannesburg pattern).
+  Graph g(20);
+  const std::uint32_t rows[4] = {0, 5, 10, 15};
+  for (std::uint32_t r : rows)
+    for (std::uint32_t c = 0; c < 4; ++c) g.add_edge(r + c, r + c + 1);
+  const std::pair<std::uint32_t, std::uint32_t> verts[] = {
+      {0, 5}, {4, 9}, {5, 10}, {7, 12}, {9, 14}, {10, 15}, {14, 19}};
+  for (auto [a, b] : verts) g.add_edge(a, b);
+  return g;
+}
+
+Graph make_cairo() {
+  // Standard IBM 27-qubit Falcon heavy-hex coupling map.
+  Graph g(27);
+  const std::pair<std::uint32_t, std::uint32_t> edges[] = {
+      {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},   {5, 8},
+      {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12}, {11, 14}, {12, 13},
+      {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+      {19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26}};
+  for (auto [a, b] : edges) g.add_edge(a, b);
+  return g;
+}
+
+Graph make_cambridge() {
+  // 28-qubit instance of the heavy-hex cell family (shape-faithful
+  // reconstruction of the IBM Cambridge device: hexagonal cell rows).
+  // Rows {8,8,8}: 24 row qubits + 2 bridges per gap -> 28 nodes.
+  Graph g = make_heavy_hex({8, 8, 8});
+  RADSURF_ASSERT_MSG(g.num_nodes() == 28, "cambridge generator produced "
+                                              << g.num_nodes() << " nodes");
+  return g;
+}
+
+Graph make_brooklyn() {
+  // 65-qubit Hummingbird heavy-hex: qubit rows of 10/11/11/11/10 with
+  // 3-bridge rows between them (IBM cell pattern).
+  Graph g = make_heavy_hex({10, 11, 11, 11, 10});
+  RADSURF_ASSERT_MSG(g.num_nodes() == 65, "brooklyn generator produced "
+                                              << g.num_nodes() << " nodes");
+  return g;
+}
+
+Graph make_topology(const std::string& name) {
+  auto starts_with = [&](const char* p) {
+    return name.rfind(p, 0) == 0;
+  };
+  if (name == "almaden") return make_almaden();
+  if (name == "johannesburg") return make_johannesburg();
+  if (name == "cairo") return make_cairo();
+  if (name == "cambridge") return make_cambridge();
+  if (name == "brooklyn") return make_brooklyn();
+  if (starts_with("linear:"))
+    return make_linear(std::stoul(name.substr(7)));
+  if (starts_with("complete:"))
+    return make_complete(std::stoul(name.substr(9)));
+  if (starts_with("mesh:")) {
+    const std::string dims = name.substr(5);
+    const auto x = dims.find('x');
+    RADSURF_CHECK_ARG(x != std::string::npos,
+                      "mesh spec must be mesh:<rows>x<cols>, got " << name);
+    return make_mesh(std::stoul(dims.substr(0, x)),
+                     std::stoul(dims.substr(x + 1)));
+  }
+  throw InvalidArgument("unknown topology: " + name);
+}
+
+std::vector<std::string> named_topologies() {
+  return {"almaden", "johannesburg", "cairo", "cambridge", "brooklyn"};
+}
+
+}  // namespace radsurf

@@ -1,0 +1,49 @@
+// Architecture graph builders (paper Sec. V-D).
+//
+// The generic families (linear, mesh, complete, heavy-hex) are exact.  The
+// named IBM devices follow the published coupling patterns: Cairo uses the
+// standard 27-qubit Falcon heavy-hex map; Almaden and Johannesburg use the
+// 20-qubit grid-with-bridges patterns of those devices; Brooklyn (65q) and
+// Cambridge (28q) are instantiated from IBM's heavy-hex cell family at the
+// device sizes.  As documented in DESIGN.md these are shape-faithful
+// reconstructions: the degree profile and cell structure — the properties
+// the paper's architecture analysis depends on — match the real devices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/graph.hpp"
+
+namespace radsurf {
+
+/// Path graph 0-1-...-(n-1).
+Graph make_linear(std::size_t n);
+
+/// rows x cols grid with 4-neighbour connectivity.
+Graph make_mesh(std::size_t rows, std::size_t cols);
+
+/// Complete graph K_n.
+Graph make_complete(std::size_t n);
+
+/// IBM-style heavy-hex lattice.
+/// `row_lengths` are the qubit-row lengths; between consecutive qubit rows
+/// a sparse row of bridge qubits connects them at every 4th column, with
+/// the bridge column offset alternating by 2 per gap (IBM cell pattern).
+Graph make_heavy_hex(const std::vector<std::size_t>& row_lengths);
+
+// Named devices.
+Graph make_almaden();       // 20 qubits
+Graph make_johannesburg();  // 20 qubits
+Graph make_cairo();         // 27 qubits (Falcon heavy-hex)
+Graph make_cambridge();     // 28 qubits (heavy-hex family)
+Graph make_brooklyn();      // 65 qubits (Hummingbird heavy-hex)
+
+/// Lookup by name: "linear:<n>", "mesh:<r>x<c>", "complete:<n>", "almaden",
+/// "johannesburg", "cairo", "cambridge", "brooklyn".
+Graph make_topology(const std::string& name);
+
+/// Names of all built-in named devices.
+std::vector<std::string> named_topologies();
+
+}  // namespace radsurf

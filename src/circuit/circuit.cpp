@@ -1,0 +1,200 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace radsurf {
+
+void Circuit::append(Gate g, std::vector<std::uint32_t> targets,
+                     std::vector<double> args) {
+  const GateInfo& info = gate_info(g);
+  RADSURF_CHECK_ARG(!info.is_annotation,
+                    "use append_annotation for " << info.name);
+  RADSURF_CHECK_ARG(info.targets_per_op > 0 && !targets.empty(),
+                    info.name << " needs at least one target");
+  RADSURF_CHECK_ARG(
+      targets.size() % static_cast<std::size_t>(info.targets_per_op) == 0,
+      info.name << " target count " << targets.size() << " not a multiple of "
+                << info.targets_per_op);
+  if (info.num_args >= 0) {
+    RADSURF_CHECK_ARG(args.size() == static_cast<std::size_t>(info.num_args),
+                      info.name << " expects " << info.num_args
+                                << " argument(s), got " << args.size());
+  }
+  if (info.is_noise) {
+    RADSURF_CHECK_ARG(args[0] >= 0.0 && args[0] <= 1.0,
+                      info.name << " probability out of [0,1]: " << args[0]);
+  }
+  if (info.is_two_qubit) {
+    for (std::size_t i = 0; i + 1 < targets.size(); i += 2) {
+      RADSURF_CHECK_ARG(targets[i] != targets[i + 1],
+                        info.name << " with identical targets " << targets[i]);
+    }
+  }
+  for (std::uint32_t q : targets)
+    num_qubits_ = std::max<std::size_t>(num_qubits_, q + 1);
+
+  if (info.is_measurement) {
+    record_offsets_.resize(instrs_.size() + 1, 0);
+    record_offsets_[instrs_.size()] = num_measurements_;
+    num_measurements_ += targets.size();
+  }
+  instrs_.push_back(Instruction{g, std::move(targets), {}, std::move(args)});
+}
+
+void Circuit::append_annotation(Gate g, std::vector<std::uint32_t> lookbacks,
+                                std::vector<double> args) {
+  const GateInfo& info = gate_info(g);
+  RADSURF_CHECK_ARG(info.is_annotation, info.name << " is not an annotation");
+  if (info.num_args >= 0) {
+    RADSURF_CHECK_ARG(args.size() == static_cast<std::size_t>(info.num_args),
+                      info.name << " expects " << info.num_args
+                                << " argument(s), got " << args.size());
+  }
+  for (std::uint32_t lb : lookbacks) {
+    RADSURF_CHECK_ARG(lb >= 1 && lb <= num_measurements_,
+                      info.name << " lookback " << lb
+                                << " exceeds record count "
+                                << num_measurements_);
+  }
+  if (g == Gate::DETECTOR) ++num_detectors_;
+  if (g == Gate::OBSERVABLE_INCLUDE) {
+    const auto obs = static_cast<std::size_t>(args[0]);
+    num_observables_ = std::max(num_observables_, obs + 1);
+  }
+  instrs_.push_back(Instruction{g, {}, std::move(lookbacks), std::move(args)});
+}
+
+Circuit& Circuit::operator+=(const Circuit& o) {
+  for (const Instruction& ins : o.instrs_) {
+    if (gate_info(ins.gate).is_annotation)
+      append_annotation(ins.gate, ins.lookbacks, ins.args);
+    else
+      append(ins.gate, ins.targets, ins.args);
+  }
+  return *this;
+}
+
+std::size_t Circuit::record_offset(std::size_t instruction_index) const {
+  RADSURF_ASSERT(instruction_index < instrs_.size());
+  RADSURF_ASSERT(gate_info(instrs_[instruction_index].gate).is_measurement);
+  return record_offsets_[instruction_index];
+}
+
+std::vector<std::size_t> Circuit::annotation_records(std::size_t index) const {
+  RADSURF_ASSERT(index < instrs_.size());
+  const Instruction& ins = instrs_[index];
+  RADSURF_ASSERT(gate_info(ins.gate).is_annotation);
+  // Count records produced by instructions before `index`.
+  std::size_t produced = 0;
+  for (std::size_t i = 0; i < index; ++i) {
+    if (gate_info(instrs_[i].gate).is_measurement)
+      produced += instrs_[i].targets.size();
+  }
+  std::vector<std::size_t> out;
+  out.reserve(ins.lookbacks.size());
+  for (std::uint32_t lb : ins.lookbacks) {
+    RADSURF_ASSERT(lb <= produced);
+    out.push_back(produced - lb);
+  }
+  return out;
+}
+
+std::size_t Circuit::num_operations() const {
+  std::size_t n = 0;
+  for (const Instruction& ins : instrs_) {
+    if (!gate_info(ins.gate).is_annotation) n += ins.num_ops();
+  }
+  return n;
+}
+
+std::string Circuit::str() const {
+  std::ostringstream ss;
+  for (const Instruction& ins : instrs_) {
+    const GateInfo& info = gate_info(ins.gate);
+    ss << info.name;
+    if (!ins.args.empty()) {
+      ss << '(';
+      for (std::size_t a = 0; a < ins.args.size(); ++a) {
+        if (a) ss << ", ";
+        // Print integers exactly, probabilities with full precision.
+        if (ins.args[a] == std::floor(ins.args[a]) &&
+            std::abs(ins.args[a]) < 1e15)
+          ss << static_cast<long long>(ins.args[a]);
+        else
+          ss << ins.args[a];
+      }
+      ss << ')';
+    }
+    for (std::uint32_t q : ins.targets) ss << ' ' << q;
+    for (std::uint32_t lb : ins.lookbacks) ss << " rec[-" << lb << ']';
+    ss << '\n';
+  }
+  return ss.str();
+}
+
+namespace {
+void strip(std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  const auto e = s.find_last_not_of(" \t\r");
+  s = (b == std::string::npos) ? std::string{} : s.substr(b, e - b + 1);
+}
+}  // namespace
+
+Circuit Circuit::parse(const std::string& text) {
+  Circuit c;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    strip(line);
+    if (line.empty()) continue;
+
+    // Gate name, optional "(args)", then whitespace-separated targets.
+    std::string name;
+    std::vector<double> args;
+    std::size_t pos = line.find_first_of(" \t(");
+    name = line.substr(0, pos);
+    std::string rest = (pos == std::string::npos) ? "" : line.substr(pos);
+    strip(rest);
+    if (!rest.empty() && rest.front() == '(') {
+      const auto close = rest.find(')');
+      RADSURF_CHECK_ARG(close != std::string::npos,
+                        "line " << line_no << ": unterminated argument list");
+      std::string arg_text = rest.substr(1, close - 1);
+      rest = rest.substr(close + 1);
+      strip(rest);
+      std::replace(arg_text.begin(), arg_text.end(), ',', ' ');
+      std::istringstream as(arg_text);
+      double v = 0;
+      while (as >> v) args.push_back(v);
+    }
+
+    Gate g = gate_from_name(name);
+    std::vector<std::uint32_t> targets;
+    std::vector<std::uint32_t> lookbacks;
+    std::istringstream ts(rest);
+    std::string tok;
+    while (ts >> tok) {
+      if (tok.rfind("rec[-", 0) == 0) {
+        RADSURF_CHECK_ARG(tok.back() == ']',
+                          "line " << line_no << ": bad record target " << tok);
+        lookbacks.push_back(static_cast<std::uint32_t>(
+            std::stoul(tok.substr(5, tok.size() - 6))));
+      } else {
+        targets.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+      }
+    }
+    if (gate_info(g).is_annotation)
+      c.append_annotation(g, std::move(lookbacks), std::move(args));
+    else
+      c.append(g, std::move(targets), std::move(args));
+  }
+  return c;
+}
+
+}  // namespace radsurf

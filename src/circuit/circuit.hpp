@@ -1,0 +1,121 @@
+// Quantum circuit intermediate representation.
+//
+// A Circuit is an ordered list of Instructions over qubit indices, plus
+// Stim-style annotations:
+//   * DETECTOR — a parity of measurement records that is deterministically 0
+//     in the absence of noise; decoders work on detector flips.
+//   * OBSERVABLE_INCLUDE — accumulates records into a logical observable.
+// Measurement records are indexed globally in program order; annotations
+// reference them with positive lookbacks (1 = most recent).
+//
+// The text form round-trips (see parse/str) and is used in tests and for
+// dumping reproduction artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "util/error.hpp"
+
+namespace radsurf {
+
+struct Instruction {
+  Gate gate = Gate::I;
+  std::vector<std::uint32_t> targets;   // qubit indices
+  std::vector<std::uint32_t> lookbacks; // record lookbacks (annotations only)
+  std::vector<double> args;             // probabilities / observable index
+
+  bool operator==(const Instruction& o) const = default;
+
+  /// Number of individual gate applications (e.g. "CX 0 1 2 3" is 2).
+  std::size_t num_ops() const {
+    const int tpo = gate_info(gate).targets_per_op;
+    return tpo == 0 ? 1 : targets.size() / static_cast<std::size_t>(tpo);
+  }
+};
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  // --- construction -------------------------------------------------------
+
+  /// Append an instruction; validates arity, argument count and probability
+  /// ranges, and grows the qubit count as needed.
+  void append(Gate g, std::vector<std::uint32_t> targets,
+              std::vector<double> args = {});
+  /// Append an annotation referencing measurement records.
+  void append_annotation(Gate g, std::vector<std::uint32_t> lookbacks,
+                         std::vector<double> args = {});
+
+  // Convenience spellings used by the code builders.
+  void i(std::uint32_t q) { append(Gate::I, {q}); }
+  void x(std::uint32_t q) { append(Gate::X, {q}); }
+  void y(std::uint32_t q) { append(Gate::Y, {q}); }
+  void z(std::uint32_t q) { append(Gate::Z, {q}); }
+  void h(std::uint32_t q) { append(Gate::H, {q}); }
+  void s(std::uint32_t q) { append(Gate::S, {q}); }
+  void s_dag(std::uint32_t q) { append(Gate::S_DAG, {q}); }
+  void cx(std::uint32_t c, std::uint32_t t) { append(Gate::CX, {c, t}); }
+  void cz(std::uint32_t a, std::uint32_t b) { append(Gate::CZ, {a, b}); }
+  void swap_gate(std::uint32_t a, std::uint32_t b) {
+    append(Gate::SWAP, {a, b});
+  }
+  void m(std::uint32_t q) { append(Gate::M, {q}); }
+  void r(std::uint32_t q) { append(Gate::R, {q}); }
+  void mr(std::uint32_t q) { append(Gate::MR, {q}); }
+  /// DETECTOR over the k-th..most recent measurements; lookback 1 = last.
+  void detector(std::vector<std::uint32_t> lookbacks) {
+    append_annotation(Gate::DETECTOR, std::move(lookbacks));
+  }
+  void observable_include(std::uint32_t observable,
+                          std::vector<std::uint32_t> lookbacks) {
+    append_annotation(Gate::OBSERVABLE_INCLUDE, std::move(lookbacks),
+                      {static_cast<double>(observable)});
+  }
+  void tick() { append_annotation(Gate::TICK, {}); }
+
+  /// Append all instructions of another circuit (qubit indices unchanged).
+  Circuit& operator+=(const Circuit& o);
+
+  // --- inspection ---------------------------------------------------------
+
+  const std::vector<Instruction>& instructions() const { return instrs_; }
+  std::size_t size() const { return instrs_.size(); }
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t num_measurements() const { return num_measurements_; }
+  std::size_t num_detectors() const { return num_detectors_; }
+  std::size_t num_observables() const { return num_observables_; }
+
+  /// Global index of the first record produced by instruction i (valid only
+  /// for measurement instructions).
+  std::size_t record_offset(std::size_t instruction_index) const;
+
+  /// Absolute record indices referenced by the annotation at `index`.
+  std::vector<std::size_t> annotation_records(std::size_t index) const;
+
+  /// Count of gate applications, excluding annotations (paper's
+  /// "number of gate operations" metric).
+  std::size_t num_operations() const;
+
+  bool operator==(const Circuit& o) const = default;
+
+  // --- text round-trip ----------------------------------------------------
+
+  std::string str() const;
+  static Circuit parse(const std::string& text);
+
+ private:
+  std::vector<Instruction> instrs_;
+  std::size_t num_qubits_ = 0;
+  std::size_t num_measurements_ = 0;
+  std::size_t num_detectors_ = 0;
+  std::size_t num_observables_ = 0;
+  // Records produced before instruction i, for measurement instructions.
+  std::vector<std::size_t> record_offsets_;
+};
+
+}  // namespace radsurf

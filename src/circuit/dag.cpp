@@ -1,0 +1,79 @@
+#include "circuit/dag.hpp"
+
+#include <algorithm>
+
+namespace radsurf {
+
+CircuitDag::CircuitDag(const Circuit& circuit) : circuit_(&circuit) {
+  const auto& instrs = circuit.instructions();
+  nodes_.reserve(instrs.size());
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (!gate_info(instrs[i].gate).is_annotation) nodes_.push_back(i);
+  }
+  succ_.assign(nodes_.size(), {});
+  pred_.assign(nodes_.size(), {});
+  layer_.assign(nodes_.size(), 0);
+  qubit_nodes_.assign(circuit.num_qubits(), {});
+
+  // last_node[q] = most recent DAG node acting on qubit q.
+  std::vector<long long> last_node(circuit.num_qubits(), -1);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const Instruction& ins = instrs[nodes_[n]];
+    std::size_t this_layer = 0;
+    for (std::uint32_t q : ins.targets) {
+      qubit_nodes_[q].push_back(n);
+      if (last_node[q] >= 0) {
+        const auto p = static_cast<std::size_t>(last_node[q]);
+        // Avoid duplicate edges when both targets share the predecessor.
+        if (succ_[p].empty() || succ_[p].back() != n) {
+          succ_[p].push_back(n);
+          pred_[n].push_back(p);
+        }
+        this_layer = std::max(this_layer, layer_[p] + 1);
+      }
+      last_node[q] = static_cast<long long>(n);
+    }
+    layer_[n] = this_layer;
+    depth_ = std::max(depth_, this_layer + 1);
+  }
+}
+
+std::vector<std::size_t> CircuitDag::nodes_on_qubit(std::uint32_t qubit) const {
+  if (qubit >= qubit_nodes_.size()) return {};
+  return qubit_nodes_[qubit];
+}
+
+std::size_t CircuitDag::descendant_count(std::uint32_t qubit) const {
+  if (qubit >= qubit_nodes_.size() || qubit_nodes_[qubit].empty()) return 0;
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<std::size_t> stack;
+  for (std::size_t n : qubit_nodes_[qubit]) {
+    if (!seen[n]) {
+      seen[n] = 1;
+      stack.push_back(n);
+    }
+  }
+  std::size_t count = stack.size();
+  while (!stack.empty()) {
+    const std::size_t n = stack.back();
+    stack.pop_back();
+    for (std::size_t s : succ_[n]) {
+      if (!seen[s]) {
+        seen[s] = 1;
+        ++count;
+        stack.push_back(s);
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t CircuitDag::first_use_layer(std::uint32_t qubit) const {
+  if (qubit >= qubit_nodes_.size() || qubit_nodes_[qubit].empty())
+    return depth_;
+  std::size_t best = depth_;
+  for (std::size_t n : qubit_nodes_[qubit]) best = std::min(best, layer_[n]);
+  return best;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,63 @@
+// Directed acyclic dependency graph over circuit instructions.
+//
+// The DAG captures the per-qubit sequential dependence the paper's
+// Observation VII reasons about: a fault on a qubit used early in the gate
+// sequence reaches every DAG descendant.  It also provides ASAP scheduling
+// (moments / depth) used by the transpiler statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace radsurf {
+
+class CircuitDag {
+ public:
+  explicit CircuitDag(const Circuit& circuit);
+
+  /// Number of DAG nodes (non-annotation instructions).
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Instruction index (into circuit.instructions()) of DAG node n.
+  std::size_t instruction_index(std::size_t node) const {
+    return nodes_[node];
+  }
+
+  const std::vector<std::size_t>& successors(std::size_t node) const {
+    return succ_[node];
+  }
+  const std::vector<std::size_t>& predecessors(std::size_t node) const {
+    return pred_[node];
+  }
+
+  /// Circuit depth = longest dependency chain (in gate layers).
+  std::size_t depth() const { return depth_; }
+
+  /// ASAP layer of each node.
+  const std::vector<std::size_t>& layers() const { return layer_; }
+
+  /// Nodes whose instruction acts on `qubit`.
+  std::vector<std::size_t> nodes_on_qubit(std::uint32_t qubit) const;
+
+  /// Number of distinct nodes reachable from any gate acting on `qubit`
+  /// (the qubit's "blast radius" in the paper's Obs. VII analysis),
+  /// including the initial nodes themselves.
+  std::size_t descendant_count(std::uint32_t qubit) const;
+
+  /// ASAP layer of the first gate touching `qubit` (circuit depth if the
+  /// qubit is never used).
+  std::size_t first_use_layer(std::uint32_t qubit) const;
+
+ private:
+  const Circuit* circuit_;
+  std::vector<std::size_t> nodes_;               // node -> instruction index
+  std::vector<std::vector<std::size_t>> succ_;
+  std::vector<std::vector<std::size_t>> pred_;
+  std::vector<std::size_t> layer_;
+  std::vector<std::vector<std::size_t>> qubit_nodes_;  // qubit -> nodes
+  std::size_t depth_ = 0;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,55 @@
+#include "circuit/gate.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+// Index must match the Gate enum order.
+constexpr std::array<GateInfo, kNumGates> kGateTable = {{
+    //        name                 tpo uni   2q     meas   reset  noise  anno  args
+    GateInfo{"I", 1, true, false, false, false, false, false, 0},
+    GateInfo{"X", 1, true, false, false, false, false, false, 0},
+    GateInfo{"Y", 1, true, false, false, false, false, false, 0},
+    GateInfo{"Z", 1, true, false, false, false, false, false, 0},
+    GateInfo{"H", 1, true, false, false, false, false, false, 0},
+    GateInfo{"S", 1, true, false, false, false, false, false, 0},
+    GateInfo{"S_DAG", 1, true, false, false, false, false, false, 0},
+    GateInfo{"CX", 2, true, true, false, false, false, false, 0},
+    GateInfo{"CZ", 2, true, true, false, false, false, false, 0},
+    GateInfo{"SWAP", 2, true, true, false, false, false, false, 0},
+    GateInfo{"M", 1, false, false, true, false, false, false, 0},
+    GateInfo{"R", 1, false, false, false, true, false, false, 0},
+    GateInfo{"MR", 1, false, false, true, true, false, false, 0},
+    GateInfo{"X_ERROR", 1, false, false, false, false, true, false, 1},
+    GateInfo{"Y_ERROR", 1, false, false, false, false, true, false, 1},
+    GateInfo{"Z_ERROR", 1, false, false, false, false, true, false, 1},
+    GateInfo{"DEPOLARIZE1", 1, false, false, false, false, true, false, 1},
+    GateInfo{"DEPOLARIZE2", 2, false, true, false, false, true, false, 1},
+    GateInfo{"DEPOLARIZE2_UNIFORM", 2, false, true, false, false, true, false,
+             1},
+    GateInfo{"RESET_ERROR", 1, false, false, false, false, true, false, 1},
+    GateInfo{"DETECTOR", 0, false, false, false, false, false, true, 0},
+    GateInfo{"OBSERVABLE_INCLUDE", 0, false, false, false, false, false, true,
+             1},
+    GateInfo{"TICK", 0, false, false, false, false, false, true, 0},
+}};
+}  // namespace
+
+const GateInfo& gate_info(Gate g) {
+  const auto idx = static_cast<std::size_t>(g);
+  RADSURF_ASSERT(idx < kGateTable.size());
+  return kGateTable[idx];
+}
+
+Gate gate_from_name(std::string_view name) {
+  for (int i = 0; i < kNumGates; ++i) {
+    if (kGateTable[static_cast<std::size_t>(i)].name == name)
+      return static_cast<Gate>(i);
+  }
+  throw InvalidArgument("unknown gate name: " + std::string(name));
+}
+
+}  // namespace radsurf

@@ -1,0 +1,68 @@
+// Gate set and static gate metadata.
+//
+// The instruction set is the Clifford + measurement + reset set needed by
+// the paper's circuits (Figs 1–2), the Pauli noise channels of the
+// intrinsic-noise model (Eq. 4), the probabilistic-reset channel of the
+// radiation model (Sec. III-B), and Stim-style DETECTOR / OBSERVABLE
+// annotations that make circuits self-describing for the decoder.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace radsurf {
+
+enum class Gate : std::uint8_t {
+  // Single-qubit Cliffords.
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  S_DAG,
+  // Two-qubit Cliffords (targets consumed pairwise).
+  CX,
+  CZ,
+  SWAP,
+  // Non-unitary operations.
+  M,   // Z-basis measurement, appends one record bit per target
+  R,   // reset to |0>
+  MR,  // measure then reset
+  // Noise channels (probability argument).
+  X_ERROR,
+  Y_ERROR,
+  Z_ERROR,
+  DEPOLARIZE1,          // X/Y/Z each with prob p/3 (paper Eq. 4)
+  DEPOLARIZE2,          // E (x) E: two independent single-qubit channels
+  DEPOLARIZE2_UNIFORM,  // uniform 15-Pauli channel (ablation)
+  RESET_ERROR,          // radiation model: reset with prob p
+  // Annotations (no quantum effect).
+  DETECTOR,            // parity of measurement records, deterministic at p=0
+  OBSERVABLE_INCLUDE,  // logical observable accumulator (arg = obs index)
+  TICK,                // layer separator, cosmetic
+};
+
+struct GateInfo {
+  std::string_view name;
+  // Number of qubit targets consumed per application (1 or 2); 0 for
+  // record-target annotations.
+  int targets_per_op;
+  bool is_unitary;
+  bool is_two_qubit;
+  bool is_measurement;  // produces record bits
+  bool is_reset;        // forces |0> (R, MR after measuring)
+  bool is_noise;
+  bool is_annotation;
+  int num_args;  // required argument count (-1 = any number >= 0)
+};
+
+/// Static metadata for a gate kind.
+const GateInfo& gate_info(Gate g);
+
+/// Parse a gate name ("CX", "DEPOLARIZE1", ...); throws InvalidArgument.
+Gate gate_from_name(std::string_view name);
+
+constexpr int kNumGates = static_cast<int>(Gate::TICK) + 1;
+
+}  // namespace radsurf

@@ -1,0 +1,45 @@
+#include "codes/code.hpp"
+
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "util/error.hpp"
+
+namespace radsurf {
+
+std::string role_name(QubitRole role) {
+  switch (role) {
+    case QubitRole::DATA: return "data";
+    case QubitRole::STABILIZER: return "stabilizer";
+    case QubitRole::ANCILLA: return "ancilla";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> SurfaceCode::qubits_with_role(
+    QubitRole role) const {
+  std::vector<std::uint32_t> out;
+  const auto& rs = roles();
+  for (std::uint32_t q = 0; q < rs.size(); ++q)
+    if (rs[q] == role) out.push_back(q);
+  return out;
+}
+
+std::unique_ptr<SurfaceCode> make_code(CodeFamily family, int dz, int dx) {
+  switch (family) {
+    case CodeFamily::REPETITION: {
+      RADSURF_CHECK_ARG((dz == 1) != (dx == 1),
+                        "repetition code needs distance (d,1) or (1,d), got ("
+                            << dz << "," << dx << ")");
+      if (dx == 1)
+        return std::make_unique<RepetitionCode>(dz,
+                                                RepetitionFlavor::BIT_FLIP);
+      return std::make_unique<RepetitionCode>(dx,
+                                              RepetitionFlavor::PHASE_FLIP);
+    }
+    case CodeFamily::XXZZ:
+      return std::make_unique<XXZZCode>(dz, dx);
+  }
+  throw InvalidArgument("unknown code family");
+}
+
+}  // namespace radsurf

@@ -1,0 +1,56 @@
+// Surface-code interface (paper Sec. IV).
+//
+// A SurfaceCode knows its qubit roles and emits the full annotated circuit
+// of the paper's experiment: initialise data to |0>, one stabilisation
+// round, a transversal logical X, a second stabilisation round, and an
+// ancilla parity readout of a logical-Z representative (Figs 1–2).  The
+// expected decoded output is logical |1>; DETECTOR annotations mark the
+// measurement parities that are deterministic at zero noise, and the
+// readout bit is OBSERVABLE 0.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace radsurf {
+
+enum class QubitRole : std::uint8_t {
+  DATA,
+  STABILIZER,
+  ANCILLA,
+};
+
+std::string role_name(QubitRole role);
+
+class SurfaceCode {
+ public:
+  virtual ~SurfaceCode() = default;
+
+  virtual std::string name() const = 0;
+  /// Code distance as the paper's (dZ, dX) tuple.
+  virtual std::pair<int, int> distance() const = 0;
+  /// Total physical qubits (data + stabilizer + readout ancilla).
+  virtual std::size_t num_qubits() const = 0;
+  virtual const std::vector<QubitRole>& roles() const = 0;
+
+  /// Annotated logical circuit with `rounds` stabilisation rounds (>= 2;
+  /// the logical X is applied after the first round, as in the paper).
+  virtual Circuit build(std::size_t rounds = 2) const = 0;
+
+  /// Support of the applied logical operator (for tests).
+  virtual std::vector<std::uint32_t> logical_op_support() const = 0;
+
+  std::vector<std::uint32_t> qubits_with_role(QubitRole role) const;
+};
+
+enum class CodeFamily { REPETITION, XXZZ };
+
+/// Factory: REPETITION requires one of (d,1)/(1,d); XXZZ accepts odd
+/// (dZ, dX) with dZ*dX > 1.
+std::unique_ptr<SurfaceCode> make_code(CodeFamily family, int dz, int dx);
+
+}  // namespace radsurf

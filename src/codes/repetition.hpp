@@ -1,0 +1,50 @@
+// Quantum repetition code (paper Sec. IV-A, Fig. 2).
+//
+// d data qubits, d-1 stabilizer qubits and one readout ancilla (2d qubits
+// total, matching the paper's q_rep = 2n).  The BIT_FLIP flavor measures
+// ZZ stabilizers on a |0...0> GHZ-basis state; PHASE_FLIP measures XX
+// stabilizers on |+...+>.  The logical X between the two stabilisation
+// rounds is X^(x)d for BIT_FLIP and Z^(x)d for PHASE_FLIP (the operator
+// that flips the encoded bit in each basis); the readout ancilla collects
+// the logical-Z parity of all data qubits.
+#pragma once
+
+#include "codes/code.hpp"
+
+namespace radsurf {
+
+enum class RepetitionFlavor { BIT_FLIP, PHASE_FLIP };
+
+class RepetitionCode final : public SurfaceCode {
+ public:
+  RepetitionCode(int d, RepetitionFlavor flavor);
+
+  std::string name() const override;
+  std::pair<int, int> distance() const override;
+  std::size_t num_qubits() const override {
+    return 2 * static_cast<std::size_t>(d_);
+  }
+  const std::vector<QubitRole>& roles() const override { return roles_; }
+  Circuit build(std::size_t rounds = 2) const override;
+  std::vector<std::uint32_t> logical_op_support() const override;
+
+  int d() const { return d_; }
+  RepetitionFlavor flavor() const { return flavor_; }
+
+  std::uint32_t data_qubit(int i) const { return static_cast<std::uint32_t>(i); }
+  std::uint32_t stabilizer_qubit(int i) const {
+    return static_cast<std::uint32_t>(d_ + i);
+  }
+  std::uint32_t ancilla_qubit() const {
+    return static_cast<std::uint32_t>(2 * d_ - 1);
+  }
+
+ private:
+  void stabilisation_round(Circuit& c) const;
+
+  int d_;
+  RepetitionFlavor flavor_;
+  std::vector<QubitRole> roles_;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,147 @@
+#include "codes/xxzz.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+XXZZCode::XXZZCode(int dz, int dx) : dz_(dz), dx_(dx) {
+  RADSURF_CHECK_ARG(dz >= 1 && dx >= 1 && dz % 2 == 1 && dx % 2 == 1,
+                    "XXZZ distances must be odd and >= 1, got (" << dz << ","
+                                                                 << dx << ")");
+  RADSURF_CHECK_ARG(dz * dx > 1, "XXZZ-(1,1) encodes nothing");
+
+  // Enumerate faces (r, c) with top-left data corner (r, c), including the
+  // boundary rows/columns r = -1 and c = -1.  A face is X-type iff (r + c)
+  // is even.  Interior faces have 4 corners; boundary faces keep only the
+  // in-grid corners and are included only when they have weight 2 and
+  // their type matches the boundary rule (X on top/bottom, Z on left/right)
+  // — which the checkerboard delivers automatically at alternating
+  // positions.
+  std::vector<Plaquette> z_faces;
+  std::vector<Plaquette> x_faces;
+  for (int r = -1; r < dz_; ++r) {
+    for (int c = -1; c < dx_; ++c) {
+      Plaquette p;
+      p.x_type = ((r + c) % 2 + 2) % 2 == 0;
+      for (const auto& [rr, cc] : {std::pair{r, c}, {r, c + 1}, {r + 1, c},
+                                   {r + 1, c + 1}}) {
+        if (rr >= 0 && rr < dz_ && cc >= 0 && cc < dx_)
+          p.data.push_back(data_qubit(rr, cc));
+      }
+      const bool interior = r >= 0 && r + 1 < dz_ && c >= 0 && c + 1 < dx_;
+      if (interior) {
+        RADSURF_ASSERT(p.data.size() == 4);
+      } else {
+        if (p.data.size() != 2) continue;
+        const bool top_bottom = (r == -1 || r == dz_ - 1);
+        // Boundary rule: weight-2 X faces only on top/bottom, Z faces only
+        // on left/right.
+        if (p.x_type != top_bottom) continue;
+      }
+      (p.x_type ? x_faces : z_faces).push_back(std::move(p));
+    }
+  }
+
+  nz_ = z_faces.size();
+  nx_ = x_faces.size();
+  const std::size_t n = static_cast<std::size_t>(dz_) *
+                        static_cast<std::size_t>(dx_);
+  RADSURF_ASSERT_MSG(nz_ + nx_ == n - 1,
+                     "XXZZ-(" << dz << "," << dx << ") produced " << nz_
+                              << "+" << nx_ << " plaquettes, expected "
+                              << n - 1);
+
+  // Qubit numbering: data 0..n-1, Z syndromes, X syndromes, ancilla.
+  plaquettes_ = std::move(z_faces);
+  for (auto& p : x_faces) plaquettes_.push_back(std::move(p));
+  std::uint32_t next = static_cast<std::uint32_t>(n);
+  for (auto& p : plaquettes_) p.syndrome = next++;
+
+  roles_.assign(num_qubits(), QubitRole::DATA);
+  for (const auto& p : plaquettes_) roles_[p.syndrome] = QubitRole::STABILIZER;
+  roles_[ancilla_qubit()] = QubitRole::ANCILLA;
+}
+
+std::string XXZZCode::name() const {
+  return "xxzz-(" + std::to_string(dz_) + "," + std::to_string(dx_) + ")";
+}
+
+std::vector<std::uint32_t> XXZZCode::logical_op_support() const {
+  // Logical X: column 0 (weight dZ).
+  std::vector<std::uint32_t> out;
+  for (int r = 0; r < dz_; ++r) out.push_back(data_qubit(r, 0));
+  return out;
+}
+
+std::vector<std::uint32_t> XXZZCode::logical_z_support() const {
+  std::vector<std::uint32_t> out;
+  for (int c = 0; c < dx_; ++c) out.push_back(data_qubit(0, c));
+  return out;
+}
+
+void XXZZCode::stabilisation_round(Circuit& c) const {
+  for (const auto& p : plaquettes_) {
+    if (p.x_type) {
+      c.h(p.syndrome);
+      for (std::uint32_t dq : p.data) c.cx(p.syndrome, dq);
+      c.h(p.syndrome);
+    } else {
+      for (std::uint32_t dq : p.data) c.cx(dq, p.syndrome);
+    }
+  }
+  for (const auto& p : plaquettes_) c.mr(p.syndrome);
+}
+
+Circuit XXZZCode::build(std::size_t rounds) const {
+  RADSURF_CHECK_ARG(rounds >= 2, "need at least two stabilisation rounds");
+  Circuit c(num_qubits());
+  const auto ns = static_cast<std::uint32_t>(plaquettes_.size());
+
+  for (std::uint32_t q = 0; q < num_qubits(); ++q) c.r(q);
+
+  // Round 1.  Z-plaquette outcomes are deterministic on |0...0> (their
+  // generators stabilise it); X-plaquette outcomes are random projections,
+  // so they only participate in paired (round-over-round) detectors.
+  stabilisation_round(c);
+  for (std::uint32_t i = 0; i < nz_; ++i)
+    c.detector({ns - i});
+
+  // Transversal logical X: a column of X's.
+  for (std::uint32_t q : logical_op_support()) c.x(q);
+
+  // Rounds 2..R: paired detectors for every plaquette.
+  for (std::size_t round = 1; round < rounds; ++round) {
+    stabilisation_round(c);
+    for (std::uint32_t i = 0; i < ns; ++i)
+      c.detector({ns - i, 2 * ns - i});
+  }
+
+  // Logical-Z readout: parity of row 0 into the ancilla (paper Fig. 1).
+  for (std::uint32_t q : logical_z_support()) c.cx(q, ancilla_qubit());
+  c.m(ancilla_qubit());
+  c.observable_include(0, {1});
+
+  // Transversal Z-basis data measurement with Z-plaquette reconstruction
+  // (X-plaquettes are unreconstructable in this basis, as in any logical-Z
+  // memory experiment).  Without this final round the intrinsic model
+  // alone would flip the readout silently, contradicting Sec. IV-C.
+  const auto n = static_cast<std::uint32_t>(
+      static_cast<std::size_t>(dz_) * static_cast<std::size_t>(dx_));
+  for (std::uint32_t q = 0; q < n; ++q) c.m(q);
+  for (std::uint32_t pi = 0; pi < nz_; ++pi) {
+    std::vector<std::uint32_t> lookbacks;
+    for (std::uint32_t dq : plaquettes_[pi].data)
+      lookbacks.push_back(n - dq);
+    lookbacks.push_back(n + 1 + (ns - pi));
+    c.detector(std::move(lookbacks));
+  }
+  // Ancilla-vs-data consistency of the logical-Z parity.
+  std::vector<std::uint32_t> consistency{n + 1};
+  for (std::uint32_t q : logical_z_support()) consistency.push_back(n - q);
+  c.detector(std::move(consistency));
+  return c;
+}
+
+}  // namespace radsurf

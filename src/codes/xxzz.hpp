@@ -1,0 +1,65 @@
+// XXZZ rotated surface code (paper Sec. IV-B, Fig. 1).
+//
+// Data qubits form a dZ x dX grid (dZ rows, dX columns).  Stabilizer
+// plaquettes checkerboard the faces: X-type faces adjoin the top/bottom
+// boundaries, Z-type faces the left/right boundaries, each boundary face
+// having weight 2 (the standard rotated-code layout the qtcodes XXZZ class
+// implements).  With n = dZ*dX data qubits there are (n-1)/2 Z-plaquettes
+// and (n-1)/2 X-plaquettes plus a readout ancilla — 2*dZ*dX qubits total,
+// matching the paper.  The logical X is a column of X's (weight dZ, so dZ
+// is the bit-flip distance); the logical Z is a row of Z's (weight dX),
+// and the readout ancilla collects the logical-Z parity of row 0.
+//
+// Degenerate distances (dZ = 1 or dX = 1) collapse to the repetition-code
+// structure, exactly as the paper's Fig. 6b sizes indicate.
+#pragma once
+
+#include "codes/code.hpp"
+
+namespace radsurf {
+
+class XXZZCode final : public SurfaceCode {
+ public:
+  /// One face of the rotated lattice.
+  struct Plaquette {
+    bool x_type = false;
+    std::vector<std::uint32_t> data;  // supporting data qubits (2 or 4)
+    std::uint32_t syndrome = 0;       // measuring qubit
+  };
+
+  XXZZCode(int dz, int dx);
+
+  std::string name() const override;
+  std::pair<int, int> distance() const override { return {dz_, dx_}; }
+  std::size_t num_qubits() const override {
+    return 2 * static_cast<std::size_t>(dz_) * static_cast<std::size_t>(dx_);
+  }
+  const std::vector<QubitRole>& roles() const override { return roles_; }
+  Circuit build(std::size_t rounds = 2) const override;
+  std::vector<std::uint32_t> logical_op_support() const override;
+
+  std::uint32_t data_qubit(int r, int c) const {
+    return static_cast<std::uint32_t>(r * dx_ + c);
+  }
+  std::uint32_t ancilla_qubit() const {
+    return static_cast<std::uint32_t>(num_qubits() - 1);
+  }
+  const std::vector<Plaquette>& plaquettes() const { return plaquettes_; }
+  std::size_t num_z_plaquettes() const { return nz_; }
+  std::size_t num_x_plaquettes() const { return nx_; }
+
+  /// Support of the logical-Z representative read out at the end (row 0).
+  std::vector<std::uint32_t> logical_z_support() const;
+
+ private:
+  void stabilisation_round(Circuit& c) const;
+
+  int dz_;  // rows    (bit-flip distance)
+  int dx_;  // columns (phase-flip distance)
+  std::size_t nz_ = 0;
+  std::size_t nx_ = 0;
+  std::vector<Plaquette> plaquettes_;  // Z-type first, then X-type
+  std::vector<QubitRole> roles_;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,66 @@
+// Figure-level experiment drivers (paper Sec. V).
+//
+// One driver per paper figure; every bench binary is a thin wrapper that
+// parses options, calls its driver, and prints the report.  Shot counts
+// default to values that resolve the paper's reported effects on a laptop
+// and can be scaled with --shots / RADSURF_SHOTS / RADSURF_FAST.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noise/radiation.hpp"
+#include "util/table.hpp"
+
+namespace radsurf {
+
+struct ExperimentOptions {
+  std::size_t shots = 0;  // 0 = per-figure default
+  std::uint64_t seed = 20240715;
+  bool csv = false;
+
+  /// Parse --shots N, --seed N, --csv plus RADSURF_SHOTS / RADSURF_FAST
+  /// environment overrides.  Unknown arguments throw InvalidArgument.
+  static ExperimentOptions from_args(int argc, char** argv);
+
+  /// Effective per-cell shot count for a figure whose default is
+  /// `figure_default`.
+  std::size_t resolve_shots(std::size_t figure_default) const;
+};
+
+struct ExperimentReport {
+  std::string title;
+  Table table;
+  std::vector<std::string> notes;
+
+  /// Render title, table (or CSV) and notes.
+  std::string to_string(bool csv = false) const;
+};
+
+/// Fig. 3: temporal decay T(t) and its ns-sample step approximation.
+ExperimentReport fig3_temporal_decay(const RadiationModel& model = {});
+
+/// Fig. 4: spatial decay S(d) over a 2D lattice around the impact point.
+ExperimentReport fig4_spatial_decay(const RadiationModel& model = {},
+                                    int extent = 10);
+
+/// Fig. 5: logical-error landscape over (physical error rate, fault time)
+/// for repetition-(5,1) on a 5x2 mesh and XXZZ-(3,3) on a 5x4 mesh.
+ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options);
+
+/// Fig. 6: single non-spreading erasure at t=0 vs code distance.
+ExperimentReport fig6_code_distance(const ExperimentOptions& options);
+
+/// Fig. 7: k simultaneous erasures (connected subgraphs) vs one spreading
+/// radiation fault, for repetition-(15,1) and XXZZ-(3,3).
+ExperimentReport fig7_fault_spread(const ExperimentOptions& options);
+
+/// Fig. 8: per-root-qubit median logical error over the full fault
+/// evolution, across architectures; includes the Obs. VII DAG analysis.
+ExperimentReport fig8_architecture(const ExperimentOptions& options);
+
+/// Mesh 5xN sized to `num_qubits` (the paper's "scaled down" 5x6 lattice).
+Graph scaled_mesh_for(std::size_t num_qubits);
+
+}  // namespace radsurf

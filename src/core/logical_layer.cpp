@@ -1,0 +1,77 @@
+#include "core/logical_layer.hpp"
+
+#include "detector/detectors.hpp"
+#include "stab/frame_sim.hpp"
+#include "util/error.hpp"
+
+namespace radsurf {
+
+Circuit instrument_logical_faults(const Circuit& logical,
+                                  const LogicalFaultModel& model) {
+  auto rate_of = [](const std::vector<double>& rates, std::uint32_t q) {
+    return q < rates.size() ? rates[q] : 0.0;
+  };
+  Circuit out(logical.num_qubits());
+  for (const Instruction& ins : logical.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) {
+      out.append_annotation(ins.gate, ins.lookbacks, ins.args);
+      continue;
+    }
+    out.append(ins.gate, ins.targets, ins.args);
+    if (!info.is_unitary || ins.gate == Gate::I) continue;
+    for (std::uint32_t q : ins.targets) {
+      const double px = rate_of(model.x_rate, q);
+      const double pz = rate_of(model.z_rate, q);
+      RADSURF_CHECK_ARG(px >= 0.0 && px <= 1.0 && pz >= 0.0 && pz <= 1.0,
+                        "logical fault rate out of [0,1]");
+      if (px > 0.0) out.append(Gate::X_ERROR, {q}, {px});
+      if (pz > 0.0) out.append(Gate::Z_ERROR, {q}, {pz});
+    }
+  }
+  return out;
+}
+
+double logical_corruption_rate(const Circuit& instrumented,
+                               std::size_t shots, Rng& rng) {
+  RADSURF_CHECK_ARG(shots > 0, "need at least one shot");
+  RADSURF_CHECK_ARG(instrumented.num_observables() > 0,
+                    "logical circuit declares no observables");
+  const DetectorSet ds = DetectorSet::compile(instrumented);
+  std::size_t corrupted = 0;
+  std::size_t done = 0;
+  while (done < shots) {
+    const std::size_t batch = std::min<std::size_t>(shots - done, 256);
+    FrameSimulator sim(instrumented, batch);
+    const MeasurementFlips flips = sim.run(rng);
+    const auto obs_rows = ds.observable_flips(flips);
+    for (std::size_t s = 0; s < batch; ++s) {
+      bool any = false;
+      for (const BitVec& row : obs_rows) any = any || row.get(s);
+      corrupted += any;
+    }
+    done += batch;
+  }
+  return static_cast<double>(corrupted) / static_cast<double>(shots);
+}
+
+Circuit logical_ghz_circuit(std::size_t patches) {
+  RADSURF_CHECK_ARG(patches >= 2, "GHZ needs at least two logical qubits");
+  Circuit c(patches);
+  for (std::uint32_t q = 0; q < patches; ++q) c.r(q);
+  c.h(0);
+  for (std::uint32_t q = 0; q + 1 < patches; ++q) c.cx(q, q + 1);
+  for (std::uint32_t q = 0; q < patches; ++q) c.m(q);
+  // Pairwise parities (deterministically 0 for a GHZ state) as
+  // observables, plus the all-qubit parity.
+  const auto n = static_cast<std::uint32_t>(patches);
+  std::uint32_t obs = 0;
+  for (std::uint32_t q = 0; q + 1 < patches; ++q)
+    c.observable_include(obs++, {n - q, n - q - 1});
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t q = 0; q < patches; ++q) all.push_back(n - q);
+  c.observable_include(obs, std::move(all));
+  return c;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,46 @@
+// Post-QEC logical-layer fault injection (the paper's Sec. VI future
+// work: "propagate the logical fault induced by radiation in the coded
+// qubit status in quantum circuits").
+//
+// Each logical qubit is an error-corrected patch whose decoded output is
+// wrong with some probability per code cycle — exactly the post-QEC
+// logical error rates the physical campaigns measure.  A logical circuit
+// is then a Clifford circuit over patches, and the radiation-induced
+// logical faults are X flips injected after each logical gate with the
+// patch's current rate.  During a radiation event the struck patch's rate
+// follows the measured per-sample series, letting the physical results
+// drive a logical-layer corruption analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+
+struct LogicalFaultModel {
+  /// Per-logical-qubit probability of a logical X flip after each logical
+  /// gate (missing entries are 0).
+  std::vector<double> x_rate;
+  /// Optional per-logical-qubit logical phase-flip rate.
+  std::vector<double> z_rate;
+};
+
+/// Instrument a logical circuit: after every unitary logical gate, each
+/// target patch suffers X_ERROR(x_rate[q]) and Z_ERROR(z_rate[q]).
+Circuit instrument_logical_faults(const Circuit& logical,
+                                  const LogicalFaultModel& model);
+
+/// Fraction of shots in which at least one OBSERVABLE of the instrumented
+/// logical circuit flips (frame sampling; the fault model is pure Pauli).
+double logical_corruption_rate(const Circuit& instrumented,
+                               std::size_t shots, Rng& rng);
+
+/// A logical GHZ preparation over `patches` logical qubits with one parity
+/// observable per qubit pair and a global parity observable — the
+/// benchmark workload of the logical-layer analysis.
+Circuit logical_ghz_circuit(std::size_t patches);
+
+}  // namespace radsurf

@@ -1,0 +1,30 @@
+// Umbrella header: the full public API of radsurf.
+//
+//   #include "core/radsurf.hpp"
+//
+// pulls in the circuit IR, simulators, codes, noise models, architecture
+// graphs, transpiler, decoders, the injection engine and the figure-level
+// experiment drivers.
+#pragma once
+
+#include "arch/graph.hpp"           // IWYU pragma: export
+#include "arch/subgraphs.hpp"       // IWYU pragma: export
+#include "arch/topologies.hpp"      // IWYU pragma: export
+#include "circuit/circuit.hpp"      // IWYU pragma: export
+#include "circuit/dag.hpp"          // IWYU pragma: export
+#include "codes/code.hpp"           // IWYU pragma: export
+#include "codes/repetition.hpp"     // IWYU pragma: export
+#include "codes/xxzz.hpp"           // IWYU pragma: export
+#include "core/experiments.hpp"     // IWYU pragma: export
+#include "decoder/decoder.hpp"      // IWYU pragma: export
+#include "decoder/mwpm.hpp"         // IWYU pragma: export
+#include "detector/detectors.hpp"   // IWYU pragma: export
+#include "detector/error_model.hpp" // IWYU pragma: export
+#include "inject/campaign.hpp"      // IWYU pragma: export
+#include "inject/results.hpp"       // IWYU pragma: export
+#include "noise/depolarizing.hpp"   // IWYU pragma: export
+#include "noise/radiation.hpp"      // IWYU pragma: export
+#include "stab/frame_sim.hpp"       // IWYU pragma: export
+#include "stab/tableau_sim.hpp"     // IWYU pragma: export
+#include "transpile/transpiler.hpp" // IWYU pragma: export
+#include "util/stats.hpp"           // IWYU pragma: export

@@ -1,0 +1,334 @@
+#include "decoder/blossom.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+
+// Maximum-weight matching, primal-dual blossom algorithm, O(n^3).
+// 1-indexed internally; index 0 is the null sentinel.  Weights must be
+// non-negative; absent edges have weight 0 and are never used.
+struct MaxWeightMatching {
+  struct E {
+    int u = 0, v = 0;
+    long long w = 0;
+  };
+
+  int n = 0, n_x = 0;
+  std::vector<std::vector<E>> g;
+  std::vector<long long> lab;
+  std::vector<int> match, slack, st, pa, S, vis;
+  std::vector<std::vector<int>> flower;
+  std::vector<std::vector<int>> flower_from;
+  std::deque<int> q;
+
+  explicit MaxWeightMatching(int n_in) : n(n_in) {
+    const int N = 2 * n + 1;
+    g.assign(N, std::vector<E>(N));
+    lab.assign(N, 0);
+    match.assign(N, 0);
+    slack.assign(N, 0);
+    st.assign(N, 0);
+    pa.assign(N, 0);
+    S.assign(N, -1);
+    vis.assign(N, 0);
+    flower.assign(N, {});
+    flower_from.assign(N, std::vector<int>(n + 1, 0));
+    for (int u = 1; u <= n; ++u)
+      for (int v = 1; v <= n; ++v) g[u][v] = E{u, v, 0};
+  }
+
+  long long e_delta(const E& e) const {
+    return lab[e.u] + lab[e.v] - g[e.u][e.v].w * 2;
+  }
+  void update_slack(int u, int x) {
+    if (!slack[x] || e_delta(g[u][x]) < e_delta(g[slack[x]][x])) slack[x] = u;
+  }
+  void set_slack(int x) {
+    slack[x] = 0;
+    for (int u = 1; u <= n; ++u)
+      if (g[u][x].w > 0 && st[u] != x && S[st[u]] == 0) update_slack(u, x);
+  }
+  void q_push(int x) {
+    if (x <= n) {
+      q.push_back(x);
+    } else {
+      for (int i : flower[x]) q_push(i);
+    }
+  }
+  void set_st(int x, int b) {
+    st[x] = b;
+    if (x > n)
+      for (int i : flower[x]) set_st(i, b);
+  }
+  int get_pr(int b, int xr) {
+    const int pr = static_cast<int>(
+        std::find(flower[b].begin(), flower[b].end(), xr) -
+        flower[b].begin());
+    if (pr % 2 == 1) {
+      std::reverse(flower[b].begin() + 1, flower[b].end());
+      return static_cast<int>(flower[b].size()) - pr;
+    }
+    return pr;
+  }
+  void set_match(int u, int v) {
+    match[u] = g[u][v].v;
+    if (u > n) {
+      const E e = g[u][v];
+      const int xr = flower_from[u][e.u];
+      const int pr = get_pr(u, xr);
+      for (int i = 0; i < pr; ++i) set_match(flower[u][i], flower[u][i ^ 1]);
+      set_match(xr, v);
+      std::rotate(flower[u].begin(), flower[u].begin() + pr, flower[u].end());
+    }
+  }
+  void augment(int u, int v) {
+    for (;;) {
+      const int xnv = st[match[u]];
+      set_match(u, v);
+      if (!xnv) return;
+      set_match(xnv, st[pa[xnv]]);
+      u = st[pa[xnv]];
+      v = xnv;
+    }
+  }
+  int get_lca(int u, int v) {
+    static thread_local int t = 0;
+    for (++t; u || v; std::swap(u, v)) {
+      if (u == 0) continue;
+      if (vis[u] == t) return u;
+      vis[u] = t;
+      u = st[match[u]];
+      if (u) u = st[pa[u]];
+    }
+    return 0;
+  }
+  void add_blossom(int u, int lca, int v) {
+    int b = n + 1;
+    while (b <= n_x && st[b]) ++b;
+    if (b > n_x) ++n_x;
+    lab[b] = 0;
+    S[b] = 0;
+    match[b] = match[lca];
+    flower[b].clear();
+    flower[b].push_back(lca);
+    for (int x = u, y; x != lca; x = st[pa[y]]) {
+      flower[b].push_back(x);
+      flower[b].push_back(y = st[match[x]]);
+      q_push(y);
+    }
+    std::reverse(flower[b].begin() + 1, flower[b].end());
+    for (int x = v, y; x != lca; x = st[pa[y]]) {
+      flower[b].push_back(x);
+      flower[b].push_back(y = st[match[x]]);
+      q_push(y);
+    }
+    set_st(b, b);
+    for (int x = 1; x <= n_x; ++x) g[b][x].w = g[x][b].w = 0;
+    for (int x = 1; x <= n; ++x) flower_from[b][x] = 0;
+    for (const int xs : flower[b]) {
+      for (int x = 1; x <= n_x; ++x) {
+        if (g[b][x].w == 0 || e_delta(g[xs][x]) < e_delta(g[b][x])) {
+          g[b][x] = g[xs][x];
+          g[x][b] = g[x][xs];
+        }
+      }
+      for (int x = 1; x <= n; ++x)
+        if (flower_from[xs][x]) flower_from[b][x] = xs;
+    }
+    set_slack(b);
+  }
+  void expand_blossom(int b) {
+    for (const int member : flower[b]) set_st(member, member);
+    const int xr = flower_from[b][g[b][pa[b]].u];
+    const int pr = get_pr(b, xr);
+    for (int i = 0; i < pr; i += 2) {
+      const int xs = flower[b][i];
+      const int xns = flower[b][i + 1];
+      pa[xs] = g[xns][xs].u;
+      S[xs] = 1;
+      S[xns] = 0;
+      slack[xs] = 0;
+      set_slack(xns);
+      q_push(xns);
+    }
+    S[xr] = 1;
+    pa[xr] = pa[b];
+    for (std::size_t i = static_cast<std::size_t>(pr) + 1;
+         i < flower[b].size(); ++i) {
+      const int xs = flower[b][i];
+      S[xs] = -1;
+      set_slack(xs);
+    }
+    st[b] = 0;
+  }
+  bool on_found_edge(const E& e) {
+    const int u = st[e.u];
+    const int v = st[e.v];
+    if (S[v] == -1) {
+      pa[v] = e.u;
+      S[v] = 1;
+      const int nu = st[match[v]];
+      slack[v] = slack[nu] = 0;
+      S[nu] = 0;
+      q_push(nu);
+    } else if (S[v] == 0) {
+      const int lca = get_lca(u, v);
+      if (!lca) {
+        augment(u, v);
+        augment(v, u);
+        return true;
+      }
+      add_blossom(u, lca, v);
+    }
+    return false;
+  }
+  bool matching() {
+    std::fill(S.begin(), S.begin() + n_x + 1, -1);
+    std::fill(slack.begin(), slack.begin() + n_x + 1, 0);
+    q.clear();
+    for (int x = 1; x <= n_x; ++x)
+      if (st[x] == x && !match[x]) {
+        pa[x] = 0;
+        S[x] = 0;
+        q_push(x);
+      }
+    if (q.empty()) return false;
+    for (;;) {
+      while (!q.empty()) {
+        const int u = q.front();
+        q.pop_front();
+        if (S[st[u]] == 1) continue;
+        for (int v = 1; v <= n; ++v) {
+          if (g[u][v].w > 0 && st[u] != st[v]) {
+            if (e_delta(g[u][v]) == 0) {
+              if (on_found_edge(g[u][v])) return true;
+            } else {
+              update_slack(u, st[v]);
+            }
+          }
+        }
+      }
+      long long d = std::numeric_limits<long long>::max();
+      for (int b = n + 1; b <= n_x; ++b)
+        if (st[b] == b && S[b] == 1) d = std::min(d, lab[b] / 2);
+      for (int x = 1; x <= n_x; ++x) {
+        if (st[x] == x && slack[x]) {
+          if (S[x] == -1)
+            d = std::min(d, e_delta(g[slack[x]][x]));
+          else if (S[x] == 0)
+            d = std::min(d, e_delta(g[slack[x]][x]) / 2);
+        }
+      }
+      for (int u = 1; u <= n; ++u) {
+        if (S[st[u]] == 0) {
+          if (lab[u] <= d) return false;
+          lab[u] -= d;
+        } else if (S[st[u]] == 1) {
+          lab[u] += d;
+        }
+      }
+      for (int b = n + 1; b <= n_x; ++b) {
+        if (st[b] == b) {
+          if (S[b] == 0)
+            lab[b] += d * 2;
+          else if (S[b] == 1)
+            lab[b] -= d * 2;
+        }
+      }
+      q.clear();
+      for (int x = 1; x <= n_x; ++x) {
+        if (st[x] == x && slack[x] && st[slack[x]] != x &&
+            e_delta(g[slack[x]][x]) == 0) {
+          if (on_found_edge(g[slack[x]][x])) return true;
+        }
+      }
+      for (int b = n + 1; b <= n_x; ++b)
+        if (st[b] == b && S[b] == 1 && lab[b] == 0) expand_blossom(b);
+    }
+  }
+
+  /// Returns mate array (1-indexed, 0 = unmatched).
+  std::vector<int> solve() {
+    n_x = n;
+    long long w_max = 0;
+    for (int u = 1; u <= n; ++u) {
+      st[u] = u;
+      flower[u].clear();
+      for (int v = 1; v <= n; ++v)
+        flower_from[u][v] = (u == v ? u : 0);
+      for (int v = 1; v <= n; ++v) w_max = std::max(w_max, g[u][v].w);
+    }
+    for (int u = 1; u <= n; ++u) lab[u] = w_max;
+    while (matching()) {
+    }
+    return {match.begin(), match.begin() + n + 1};
+  }
+};
+
+}  // namespace
+
+DenseMatcher::DenseMatcher(std::size_t num_nodes)
+    : n_(num_nodes),
+      w_(num_nodes, std::vector<std::int64_t>(num_nodes, 0)),
+      has_(num_nodes, std::vector<bool>(num_nodes, false)) {
+  RADSURF_CHECK_ARG(num_nodes % 2 == 0,
+                    "perfect matching needs an even node count, got "
+                        << num_nodes);
+}
+
+void DenseMatcher::add_edge(std::size_t u, std::size_t v,
+                            std::int64_t weight) {
+  RADSURF_CHECK_ARG(u < n_ && v < n_ && u != v,
+                    "bad matching edge (" << u << "," << v << ")");
+  RADSURF_CHECK_ARG(weight >= 0, "matching edge weight must be >= 0");
+  if (!has_[u][v] || weight < w_[u][v]) {
+    w_[u][v] = w_[v][u] = weight;
+    has_[u][v] = has_[v][u] = true;
+  }
+}
+
+std::vector<std::size_t> DenseMatcher::solve() {
+  if (n_ == 0) {
+    last_weight_ = 0;
+    return {};
+  }
+  // Reduce min-weight to max-weight: w' = OFFSET - w, with OFFSET large
+  // enough that every extra matched edge dominates any weight difference.
+  std::int64_t max_w = 0;
+  for (std::size_t u = 0; u < n_; ++u)
+    for (std::size_t v = 0; v < n_; ++v)
+      if (has_[u][v]) max_w = std::max(max_w, w_[u][v]);
+  const std::int64_t offset =
+      max_w * static_cast<std::int64_t>(n_) + 1;
+
+  MaxWeightMatching mwm(static_cast<int>(n_));
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t v = u + 1; v < n_; ++v) {
+      if (!has_[u][v]) continue;
+      const long long wt = offset - w_[u][v];
+      mwm.g[u + 1][v + 1].w = wt;
+      mwm.g[v + 1][u + 1].w = wt;
+    }
+  }
+  const std::vector<int> mate = mwm.solve();
+
+  std::vector<std::size_t> out(n_);
+  last_weight_ = 0;
+  for (std::size_t u = 0; u < n_; ++u) {
+    const int m = mate[u + 1];
+    if (m == 0) throw DecodeError("no perfect matching exists");
+    out[u] = static_cast<std::size_t>(m - 1);
+    if (out[u] > u) last_weight_ += w_[u][out[u]];
+  }
+  for (std::size_t u = 0; u < n_; ++u)
+    RADSURF_ASSERT(out[out[u]] == u);
+  return out;
+}
+
+}  // namespace radsurf

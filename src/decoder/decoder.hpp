@@ -1,0 +1,34 @@
+// Decoder interface.
+//
+// A decoder receives the defect list (indices of fired detectors) of one
+// shot and predicts which logical observables the underlying physical
+// error flipped.  The campaign engine XORs the prediction with the actual
+// observable flip; disagreement on observable 0 is a logical error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detector/matching_graph.hpp"
+
+namespace radsurf {
+
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+  virtual std::string name() const = 0;
+  /// Predicted observable-flip mask for the given defects.
+  virtual std::uint64_t decode(
+      const std::vector<std::uint32_t>& defects) = 0;
+};
+
+enum class DecoderKind { MWPM, UNION_FIND, GREEDY };
+
+std::string decoder_kind_name(DecoderKind kind);
+
+std::unique_ptr<Decoder> make_decoder(DecoderKind kind,
+                                      const MatchingGraph& graph);
+
+}  // namespace radsurf

@@ -1,0 +1,60 @@
+#include "decoder/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+GreedyDecoder::GreedyDecoder(const MatchingGraph& graph)
+    : metric_(graph), boundary_(graph.boundary_node()) {}
+
+std::uint64_t GreedyDecoder::decode(
+    const std::vector<std::uint32_t>& defects) {
+  const std::size_t k = defects.size();
+  if (k == 0) return 0;
+
+  struct Cand {
+    double weight;
+    std::size_t i;
+    std::size_t j;  // SIZE_MAX = boundary
+  };
+  std::vector<Cand> cands;
+  cands.reserve(k * (k + 1) / 2);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double d = metric_.distance(defects[i], defects[j]);
+      if (std::isfinite(d)) cands.push_back({d, i, j});
+    }
+    const double db = metric_.distance(defects[i], boundary_);
+    if (std::isfinite(db))
+      cands.push_back({db, i, std::numeric_limits<std::size_t>::max()});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.weight < b.weight; });
+
+  std::vector<char> used(k, 0);
+  std::size_t remaining = k;
+  std::uint64_t prediction = 0;
+  for (const Cand& c : cands) {
+    if (remaining == 0) break;
+    if (used[c.i]) continue;
+    if (c.j == std::numeric_limits<std::size_t>::max()) {
+      used[c.i] = 1;
+      --remaining;
+      prediction ^= metric_.path_observables(defects[c.i], boundary_);
+    } else {
+      if (used[c.j]) continue;
+      used[c.i] = used[c.j] = 1;
+      remaining -= 2;
+      prediction ^= metric_.path_observables(defects[c.i], defects[c.j]);
+    }
+  }
+  if (remaining != 0)
+    throw DecodeError("greedy decoder: defects unreachable from boundary");
+  return prediction;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,29 @@
+// Greedy nearest-pair matcher — the fast, inexact baseline.
+//
+// Repeatedly matches the globally closest available pair (defect-defect or
+// defect-boundary) using the same precomputed path metric as MWPM.  Used in
+// the decoder ablation bench to quantify how much exact matching buys under
+// radiation-scale defect densities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decoder/decoder.hpp"
+#include "decoder/mwpm.hpp"
+
+namespace radsurf {
+
+class GreedyDecoder final : public Decoder {
+ public:
+  explicit GreedyDecoder(const MatchingGraph& graph);
+
+  std::string name() const override { return "greedy"; }
+  std::uint64_t decode(const std::vector<std::uint32_t>& defects) override;
+
+ private:
+  MwpmDecoder metric_;  // reuse its all-pairs distances/parities
+  std::uint32_t boundary_;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,112 @@
+#include "decoder/mwpm.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "decoder/blossom.hpp"
+#include "decoder/greedy.hpp"
+#include "decoder/union_find.hpp"
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Fixed-point scale when converting path weights for the integer matcher.
+constexpr double kScale = 1e6;
+}  // namespace
+
+MwpmDecoder::MwpmDecoder(const MatchingGraph& graph) : graph_(graph) {
+  const std::size_t n = graph.num_nodes();
+  dist_.assign(n, std::vector<double>(n, kInf));
+  obs_.assign(n, std::vector<std::uint64_t>(n, 0));
+
+  // Dijkstra from every node, tracking observable parity along the chosen
+  // shortest path (any minimal path is a valid correction representative).
+  for (std::uint32_t src = 0; src < n; ++src) {
+    auto& dist = dist_[src];
+    auto& obs = obs_[src];
+    dist[src] = 0.0;
+    using Item = std::pair<double, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.emplace(0.0, src);
+    std::vector<char> done(n, 0);
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (done[v]) continue;
+      done[v] = 1;
+      for (std::uint32_t eid : graph.adjacent_edges(v)) {
+        const MatchingEdge& e = graph.edges()[eid];
+        const std::uint32_t w = (e.a == v) ? e.b : e.a;
+        const double nd = d + e.weight;
+        if (nd < dist[w]) {
+          dist[w] = nd;
+          obs[w] = obs[v] ^ e.observables;
+          pq.emplace(nd, w);
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t MwpmDecoder::decode(const std::vector<std::uint32_t>& defects) {
+  const std::size_t k = defects.size();
+  if (k == 0) return 0;
+  const std::uint32_t B = graph_.boundary_node();
+
+  // Nodes 0..k-1: defects; k..2k-1: per-defect virtual boundary copies.
+  DenseMatcher matcher(2 * k);
+  auto to_fixed = [](double w) {
+    return static_cast<std::int64_t>(std::llround(w * kScale));
+  };
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double d = dist_[defects[i]][defects[j]];
+      if (std::isfinite(d)) matcher.add_edge(i, j, to_fixed(d));
+    }
+    const double db = dist_[defects[i]][B];
+    if (std::isfinite(db)) matcher.add_edge(i, k + i, to_fixed(db));
+  }
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i + 1; j < k; ++j)
+      matcher.add_edge(k + i, k + j, 0);
+
+  const std::vector<std::size_t> mate = matcher.solve();
+
+  std::uint64_t prediction = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t m = mate[i];
+    if (m < k) {
+      if (m > i) prediction ^= obs_[defects[i]][defects[m]];
+    } else {
+      prediction ^= obs_[defects[i]][B];
+    }
+  }
+  return prediction;
+}
+
+std::string decoder_kind_name(DecoderKind kind) {
+  switch (kind) {
+    case DecoderKind::MWPM: return "mwpm";
+    case DecoderKind::UNION_FIND: return "union-find";
+    case DecoderKind::GREEDY: return "greedy";
+  }
+  return "?";
+}
+
+std::unique_ptr<Decoder> make_decoder(DecoderKind kind,
+                                      const MatchingGraph& graph) {
+  switch (kind) {
+    case DecoderKind::MWPM:
+      return std::make_unique<MwpmDecoder>(graph);
+    case DecoderKind::UNION_FIND:
+      return std::make_unique<UnionFindDecoder>(graph);
+    case DecoderKind::GREEDY:
+      return std::make_unique<GreedyDecoder>(graph);
+  }
+  throw InvalidArgument("unknown decoder kind");
+}
+
+}  // namespace radsurf

@@ -1,0 +1,41 @@
+// Minimum-weight perfect-matching decoder (paper Sec. II-D).
+//
+// Construction precomputes, once per matching graph, Dijkstra shortest
+// paths between every pair of nodes (boundary included) together with the
+// parity of observable crossings along those paths.  Per shot, only the
+// defects are matched: a complete graph over the k defects plus k virtual
+// boundary copies (w(d_i, b_i) = dist to boundary, w(b_i, b_j) = 0) is
+// handed to the exact blossom matcher, and the predicted observable flip
+// is the XOR of path parities over matched pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decoder/decoder.hpp"
+
+namespace radsurf {
+
+class MwpmDecoder final : public Decoder {
+ public:
+  explicit MwpmDecoder(const MatchingGraph& graph);
+
+  std::string name() const override { return "mwpm"; }
+  std::uint64_t decode(const std::vector<std::uint32_t>& defects) override;
+
+  /// Precomputed node-to-node shortest-path weight (infinity when
+  /// unreachable).
+  double distance(std::uint32_t a, std::uint32_t b) const {
+    return dist_[a][b];
+  }
+  std::uint64_t path_observables(std::uint32_t a, std::uint32_t b) const {
+    return obs_[a][b];
+  }
+
+ private:
+  MatchingGraph graph_;  // owned copy: decoders must outlive any temporary
+  std::vector<std::vector<double>> dist_;
+  std::vector<std::vector<std::uint64_t>> obs_;
+};
+
+}  // namespace radsurf

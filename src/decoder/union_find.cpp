@@ -1,0 +1,165 @@
+#include "decoder/union_find.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+
+struct Dsu {
+  std::vector<std::uint32_t> parent;
+  explicit Dsu(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i)
+      parent[i] = static_cast<std::uint32_t>(i);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+UnionFindDecoder::UnionFindDecoder(const MatchingGraph& graph)
+    : graph_(graph) {}
+
+std::uint64_t UnionFindDecoder::decode(
+    const std::vector<std::uint32_t>& defects) {
+  if (defects.empty()) return 0;
+  const std::size_t n = graph_.num_nodes();
+  const std::uint32_t B = graph_.boundary_node();
+
+  std::vector<char> is_defect(n, 0);
+  for (std::uint32_t d : defects) is_defect[d] = 1;
+
+  // Synchronous unweighted growth: active clusters (odd defect parity, no
+  // boundary contact) absorb all edges incident to their support.
+  Dsu dsu(n);
+  std::vector<char> in_support(n, 0);
+  for (std::uint32_t d : defects) in_support[d] = 1;
+  std::vector<char> edge_grown(graph_.edges().size(), 0);
+
+  auto cluster_stats = [&](std::vector<int>& parity,
+                           std::vector<char>& touches_boundary) {
+    parity.assign(n, 0);
+    touches_boundary.assign(n, 0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!in_support[v]) continue;
+      const std::uint32_t root = dsu.find(v);
+      if (is_defect[v]) parity[root] ^= 1;
+      if (v == B) touches_boundary[root] = 1;
+    }
+  };
+
+  std::vector<int> parity;
+  std::vector<char> touches_boundary;
+  for (std::size_t round = 0; round <= graph_.edges().size(); ++round) {
+    cluster_stats(parity, touches_boundary);
+    bool any_active = false;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!in_support[v]) continue;
+      const std::uint32_t root = dsu.find(v);
+      if (parity[root] == 1 && !touches_boundary[root]) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) break;
+    // Grow every active cluster by one edge layer.
+    bool grew = false;
+    for (std::uint32_t eid = 0; eid < graph_.edges().size(); ++eid) {
+      if (edge_grown[eid]) continue;
+      const MatchingEdge& e = graph_.edges()[eid];
+      auto active_end = [&](std::uint32_t v) {
+        if (!in_support[v]) return false;
+        const std::uint32_t root = dsu.find(v);
+        return parity[root] == 1 && !touches_boundary[root];
+      };
+      if (active_end(e.a) || active_end(e.b)) {
+        edge_grown[eid] = 1;
+        in_support[e.a] = in_support[e.b] = 1;
+        dsu.unite(e.a, e.b);
+        grew = true;
+      }
+    }
+    if (!grew) {
+      throw DecodeError(
+          "union-find decoder: active cluster cannot grow (graph "
+          "disconnected from boundary)");
+    }
+  }
+
+  // Peeling: inside each cluster, build a spanning forest over grown edges
+  // and peel leaves, toggling edges into the correction as needed.
+  std::vector<std::vector<std::uint32_t>> tree_edges(n);
+  {
+    Dsu forest(n);
+    for (std::uint32_t eid = 0; eid < graph_.edges().size(); ++eid) {
+      if (!edge_grown[eid]) continue;
+      const MatchingEdge& e = graph_.edges()[eid];
+      if (forest.find(e.a) != forest.find(e.b)) {
+        forest.unite(e.a, e.b);
+        tree_edges[e.a].push_back(eid);
+        tree_edges[e.b].push_back(eid);
+      }
+    }
+  }
+
+  std::vector<int> degree(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v)
+    degree[v] = static_cast<int>(tree_edges[v].size());
+  std::vector<char> edge_alive(graph_.edges().size(), 0);
+  for (std::uint32_t v = 0; v < n; ++v)
+    for (std::uint32_t eid : tree_edges[v]) edge_alive[eid] = 1;
+
+  std::vector<char> pending(n, 0);
+  for (std::uint32_t d : defects) pending[d] = 1;
+
+  std::queue<std::uint32_t> leaves;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (degree[v] == 1 && v != B) leaves.push(v);
+
+  std::uint64_t prediction = 0;
+  while (!leaves.empty()) {
+    const std::uint32_t v = leaves.front();
+    leaves.pop();
+    if (degree[v] != 1) continue;
+    // The single alive tree edge at v.
+    std::uint32_t the_edge = 0;
+    bool found = false;
+    for (std::uint32_t eid : tree_edges[v]) {
+      if (edge_alive[eid]) {
+        the_edge = eid;
+        found = true;
+        break;
+      }
+    }
+    RADSURF_ASSERT(found);
+    const MatchingEdge& e = graph_.edges()[the_edge];
+    const std::uint32_t parent = (e.a == v) ? e.b : e.a;
+    if (pending[v]) {
+      prediction ^= e.observables;
+      pending[v] = 0;
+      pending[parent] ^= 1;
+    }
+    edge_alive[the_edge] = 0;
+    --degree[v];
+    --degree[parent];
+    if (degree[parent] == 1 && parent != B) leaves.push(parent);
+  }
+  // Whatever parity remains must sit on the boundary (absorbed) or be zero.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (pending[v] && v != B)
+      throw DecodeError("union-find peeling left an unpaired defect");
+  }
+  return prediction;
+}
+
+}  // namespace radsurf

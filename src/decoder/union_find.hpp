@@ -1,0 +1,29 @@
+// Union-find decoder (Delfosse–Nickerson style), unweighted growth.
+//
+// Ablation decoder (the paper notes MWPM is the accuracy/speed sweet spot
+// and leaves alternatives out of scope; we keep one for the decoder
+// ablation bench).  Clusters grow synchronously from defects until every
+// cluster has even defect parity or touches the boundary; a spanning-tree
+// peeling pass then pairs defects inside each cluster and accumulates the
+// observable crossings of the implied correction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decoder/decoder.hpp"
+
+namespace radsurf {
+
+class UnionFindDecoder final : public Decoder {
+ public:
+  explicit UnionFindDecoder(const MatchingGraph& graph);
+
+  std::string name() const override { return "union-find"; }
+  std::uint64_t decode(const std::vector<std::uint32_t>& defects) override;
+
+ private:
+  MatchingGraph graph_;  // owned copy: decoders must outlive any temporary
+};
+
+}  // namespace radsurf

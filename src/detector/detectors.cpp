@@ -1,0 +1,98 @@
+#include "detector/detectors.hpp"
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+DetectorSet DetectorSet::compile(const Circuit& circuit) {
+  DetectorSet ds;
+  ds.num_records_ = circuit.num_measurements();
+  ds.record_to_detectors_.assign(ds.num_records_, {});
+  ds.record_to_observables_.assign(ds.num_records_, 0);
+  ds.observable_masks_.assign(circuit.num_observables(),
+                              BitVec(ds.num_records_));
+
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const Instruction& ins = instrs[i];
+    if (ins.gate == Gate::DETECTOR) {
+      const auto d = static_cast<std::uint32_t>(ds.detector_masks_.size());
+      BitVec mask(ds.num_records_);
+      for (std::size_t r : circuit.annotation_records(i)) {
+        mask.flip(r);
+        ds.record_to_detectors_[r].push_back(d);
+      }
+      ds.detector_masks_.push_back(std::move(mask));
+    } else if (ins.gate == Gate::OBSERVABLE_INCLUDE) {
+      const auto o = static_cast<std::size_t>(ins.args[0]);
+      for (std::size_t r : circuit.annotation_records(i)) {
+        ds.observable_masks_[o].flip(r);
+        ds.record_to_observables_[r] ^= std::uint64_t{1} << o;
+      }
+    }
+  }
+  RADSURF_CHECK_ARG(ds.num_observables() <= 64,
+                    "at most 64 observables supported");
+  return ds;
+}
+
+BitVec DetectorSet::detector_values(const BitVec& record,
+                                    const BitVec& reference) const {
+  RADSURF_ASSERT(record.size() == num_records_);
+  RADSURF_ASSERT(reference.size() == num_records_);
+  BitVec out(num_detectors());
+  for (std::size_t d = 0; d < detector_masks_.size(); ++d) {
+    const bool v = detector_masks_[d].and_parity(record) ^
+                   detector_masks_[d].and_parity(reference);
+    out.set(d, v);
+  }
+  return out;
+}
+
+std::uint64_t DetectorSet::observable_values(const BitVec& record,
+                                             const BitVec& reference) const {
+  std::uint64_t out = 0;
+  for (std::size_t o = 0; o < observable_masks_.size(); ++o) {
+    const bool v = observable_masks_[o].and_parity(record) ^
+                   observable_masks_[o].and_parity(reference);
+    if (v) out |= std::uint64_t{1} << o;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> DetectorSet::defects(const BitVec& record,
+                                                const BitVec& reference) const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t d = 0; d < detector_masks_.size(); ++d) {
+    const bool v = detector_masks_[d].and_parity(record) ^
+                   detector_masks_[d].and_parity(reference);
+    if (v) out.push_back(static_cast<std::uint32_t>(d));
+  }
+  return out;
+}
+
+std::vector<BitVec> DetectorSet::detector_flips(
+    const MeasurementFlips& flips) const {
+  RADSURF_ASSERT(flips.size() == num_records_);
+  const std::size_t batch = flips.empty() ? 0 : flips[0].size();
+  std::vector<BitVec> out(num_detectors(), BitVec(batch));
+  for (std::size_t r = 0; r < num_records_; ++r) {
+    for (std::uint32_t d : record_to_detectors_[r]) out[d] ^= flips[r];
+  }
+  return out;
+}
+
+std::vector<BitVec> DetectorSet::observable_flips(
+    const MeasurementFlips& flips) const {
+  RADSURF_ASSERT(flips.size() == num_records_);
+  const std::size_t batch = flips.empty() ? 0 : flips[0].size();
+  std::vector<BitVec> out(num_observables(), BitVec(batch));
+  for (std::size_t r = 0; r < num_records_; ++r) {
+    const std::uint64_t obs = record_to_observables_[r];
+    for (std::size_t o = 0; o < num_observables(); ++o)
+      if (obs & (std::uint64_t{1} << o)) out[o] ^= flips[r];
+  }
+  return out;
+}
+
+}  // namespace radsurf

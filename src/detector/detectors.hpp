@@ -1,0 +1,68 @@
+// Compiled detector/observable structure of an annotated circuit.
+//
+// Detectors are parities of measurement records that are deterministic at
+// zero noise; the decoder consumes detector *flips*.  DetectorSet compiles
+// the annotations into bit masks over the record (records are few, so a
+// mask is one or two words) and evaluates them against absolute records or
+// frame-simulator flip tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "stab/frame_sim.hpp"
+#include "util/bitvec.hpp"
+
+namespace radsurf {
+
+class DetectorSet {
+ public:
+  static DetectorSet compile(const Circuit& circuit);
+
+  std::size_t num_detectors() const { return detector_masks_.size(); }
+  std::size_t num_observables() const { return observable_masks_.size(); }
+  std::size_t num_records() const { return num_records_; }
+
+  /// Record-index mask of detector d.
+  const BitVec& detector_mask(std::size_t d) const {
+    return detector_masks_[d];
+  }
+  const BitVec& observable_mask(std::size_t o) const {
+    return observable_masks_[o];
+  }
+
+  /// Detector values of an absolute record relative to a reference record
+  /// (bit d set = detector fired).
+  BitVec detector_values(const BitVec& record, const BitVec& reference) const;
+
+  /// Observable values (bit o) of an absolute record relative to reference.
+  std::uint64_t observable_values(const BitVec& record,
+                                  const BitVec& reference) const;
+
+  /// Indices of fired detectors — the decoder's defect list.
+  std::vector<std::uint32_t> defects(const BitVec& record,
+                                     const BitVec& reference) const;
+
+  /// Batch conversion of frame-simulator record flips into detector flip
+  /// rows (detector-major, one bit per shot).
+  std::vector<BitVec> detector_flips(const MeasurementFlips& flips) const;
+  std::vector<BitVec> observable_flips(const MeasurementFlips& flips) const;
+
+  /// Detectors containing record r (inverse index).
+  const std::vector<std::uint32_t>& detectors_of_record(std::size_t r) const {
+    return record_to_detectors_[r];
+  }
+  std::uint64_t observables_of_record(std::size_t r) const {
+    return record_to_observables_[r];
+  }
+
+ private:
+  std::size_t num_records_ = 0;
+  std::vector<BitVec> detector_masks_;
+  std::vector<BitVec> observable_masks_;
+  std::vector<std::vector<std::uint32_t>> record_to_detectors_;
+  std::vector<std::uint64_t> record_to_observables_;
+};
+
+}  // namespace radsurf

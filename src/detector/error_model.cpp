@@ -1,0 +1,274 @@
+#include "detector/error_model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+std::vector<std::size_t> propagate_error(const Circuit& circuit,
+                                         std::size_t position,
+                                         const PauliString& error) {
+  RADSURF_ASSERT(position < circuit.size());
+  PauliString p = error;
+  std::vector<std::size_t> flipped;
+
+  const auto& instrs = circuit.instructions();
+  // Record index produced so far, counting instructions up to `position`.
+  std::size_t rec = 0;
+  for (std::size_t i = 0; i <= position; ++i) {
+    if (gate_info(instrs[i].gate).is_measurement)
+      rec += instrs[i].targets.size();
+  }
+
+  for (std::size_t i = position + 1; i < instrs.size(); ++i) {
+    const Instruction& ins = instrs[i];
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation || info.is_noise) continue;
+
+    if (info.is_unitary) {
+      p.apply_gate(ins.gate, ins.targets);
+      continue;
+    }
+    switch (ins.gate) {
+      case Gate::M:
+        for (auto q : ins.targets) {
+          if (p.x(q)) flipped.push_back(rec);
+          ++rec;
+        }
+        break;
+      case Gate::R:
+        for (auto q : ins.targets) p.set_pauli(q, 0);
+        break;
+      case Gate::MR:
+        for (auto q : ins.targets) {
+          if (p.x(q)) flipped.push_back(rec);
+          ++rec;
+          p.set_pauli(q, 0);
+        }
+        break;
+      default:
+        RADSURF_ASSERT_MSG(false, "unhandled non-unitary in propagation");
+    }
+  }
+  return flipped;
+}
+
+namespace {
+
+struct Signature {
+  std::vector<std::uint32_t> detectors;
+  std::uint64_t observables = 0;
+  bool empty() const { return detectors.empty() && observables == 0; }
+};
+
+Signature signature_of(const Circuit& circuit, const DetectorSet& ds,
+                       std::size_t position, const PauliString& error) {
+  Signature sig;
+  for (std::size_t r : propagate_error(circuit, position, error)) {
+    for (std::uint32_t d : ds.detectors_of_record(r)) {
+      // XOR semantics: toggle membership.
+      auto it = std::find(sig.detectors.begin(), sig.detectors.end(), d);
+      if (it == sig.detectors.end())
+        sig.detectors.push_back(d);
+      else
+        sig.detectors.erase(it);
+    }
+    sig.observables ^= ds.observables_of_record(r);
+  }
+  std::sort(sig.detectors.begin(), sig.detectors.end());
+  return sig;
+}
+
+PauliString make_single(std::size_t n, std::uint32_t q, int pauli) {
+  PauliString p(n);
+  p.set_pauli(q, pauli);
+  return p;
+}
+
+}  // namespace
+
+DetectorErrorModel DetectorErrorModel::from_circuit(const Circuit& circuit,
+                                                    const DemOptions& options) {
+  const DetectorSet ds = DetectorSet::compile(circuit);
+  DetectorErrorModel dem;
+  dem.num_detectors = ds.num_detectors();
+  dem.num_observables = ds.num_observables();
+
+  const std::size_t n = circuit.num_qubits();
+  // Accumulate mechanisms keyed by (detectors, observables); independent
+  // occurrences combine as p = p1(1-p2) + p2(1-p1).
+  std::map<std::pair<std::vector<std::uint32_t>, std::uint64_t>, double> acc;
+  // Signatures with > 2 detectors even after the X/Z split; they are
+  // greedily decomposed into already-known edges in a second pass.
+  std::vector<Signature> deferred;
+  std::vector<double> deferred_prob;
+
+  auto combine = [](double a, double b) { return a * (1 - b) + b * (1 - a); };
+
+  auto add_mechanism = [&](const Signature& sig, double prob) {
+    if (prob <= 0.0) return;
+    if (sig.empty()) return;  // invisible and harmless
+    if (sig.detectors.empty() && sig.observables != 0) {
+      ++dem.num_undetectable;
+      return;
+    }
+    auto key = std::make_pair(sig.detectors, sig.observables);
+    auto [it, inserted] = acc.emplace(std::move(key), prob);
+    if (!inserted) it->second = combine(it->second, prob);
+  };
+
+  // Add a propagated component, CSS-splitting when over-weight.
+  auto add_component = [&](std::size_t pos, const PauliString& err,
+                           double prob) {
+    const Signature full = signature_of(circuit, ds, pos, err);
+    if (full.detectors.size() <= 2) {
+      add_mechanism(full, prob);
+      return;
+    }
+    // Split into X part and Z part (linearity of conjugation).
+    PauliString xpart(err.num_qubits());
+    PauliString zpart(err.num_qubits());
+    xpart.xs() = err.xs();
+    zpart.zs() = err.zs();
+    const Signature sx = signature_of(circuit, ds, pos, xpart);
+    const Signature sz = signature_of(circuit, ds, pos, zpart);
+    for (const Signature* part : {&sx, &sz}) {
+      if (part->detectors.size() <= 2) {
+        add_mechanism(*part, prob);
+      } else {
+        deferred.push_back(*part);
+        deferred_prob.push_back(prob);
+      }
+    }
+  };
+
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const Instruction& ins = instrs[i];
+    if (!gate_info(ins.gate).is_noise) continue;
+    const double p = ins.args[0];
+    switch (ins.gate) {
+      case Gate::X_ERROR:
+        for (auto q : ins.targets) add_component(i, make_single(n, q, 1), p);
+        break;
+      case Gate::Z_ERROR:
+        for (auto q : ins.targets) add_component(i, make_single(n, q, 2), p);
+        break;
+      case Gate::Y_ERROR:
+        for (auto q : ins.targets) add_component(i, make_single(n, q, 3), p);
+        break;
+      case Gate::DEPOLARIZE1:
+        for (auto q : ins.targets)
+          for (int pl = 1; pl <= 3; ++pl)
+            add_component(i, make_single(n, q, pl), p / 3.0);
+        break;
+      case Gate::DEPOLARIZE2: {
+        // E (x) E: marginals pI = 1-p, pX = pY = pZ = p/3.
+        const double p3 = p / 3.0;
+        const double pi = 1.0 - p;
+        for (std::size_t t = 0; t + 1 < ins.targets.size(); t += 2) {
+          for (int pa = 0; pa <= 3; ++pa) {
+            for (int pb = 0; pb <= 3; ++pb) {
+              if (pa == 0 && pb == 0) continue;
+              PauliString e(n);
+              e.set_pauli(ins.targets[t], pa);
+              e.set_pauli(ins.targets[t + 1], pb);
+              const double prob = (pa == 0 ? pi : p3) * (pb == 0 ? pi : p3);
+              add_component(i, e, prob);
+            }
+          }
+        }
+        break;
+      }
+      case Gate::DEPOLARIZE2_UNIFORM: {
+        for (std::size_t t = 0; t + 1 < ins.targets.size(); t += 2) {
+          for (int k = 1; k <= 15; ++k) {
+            PauliString e(n);
+            e.set_pauli(ins.targets[t], k % 4);
+            e.set_pauli(ins.targets[t + 1], k / 4);
+            add_component(i, e, p / 15.0);
+          }
+        }
+        break;
+      }
+      case Gate::RESET_ERROR:
+        // Out-of-model for the paper's decoder; optionally approximated
+        // for the radiation-aware ablation (see DemOptions).
+        if (options.include_reset_approximation) {
+          for (auto q : ins.targets) {
+            add_component(i, make_single(n, q, 1), p * 0.5);  // X part
+            add_component(i, make_single(n, q, 2), p * 0.5);  // Z part
+          }
+        }
+        break;
+      default:
+        RADSURF_ASSERT_MSG(false, "unhandled noise instruction in DEM");
+    }
+  }
+
+  // Second pass: decompose over-weight signatures into edges that exist in
+  // the accumulated set (hook/routing errors on transpiled circuits that
+  // touch 3+ stabilizer reads).  The whole mechanism's observable flip is
+  // attributed to its first component — a standard small-probability
+  // approximation (these mechanisms are rare relative to the primitive
+  // edges they decompose into).
+  if (!deferred.empty()) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    std::set<std::uint32_t> singles;
+    for (const auto& [key, prob] : acc) {
+      if (key.first.size() == 2)
+        pairs.insert({key.first[0], key.first[1]});
+      else if (key.first.size() == 1)
+        singles.insert(key.first[0]);
+    }
+    for (std::size_t d = 0; d < deferred.size(); ++d) {
+      std::vector<std::uint32_t> remaining = deferred[d].detectors;
+      std::vector<Signature> parts;
+      bool ok = true;
+      while (!remaining.empty()) {
+        const std::uint32_t d0 = remaining.front();
+        remaining.erase(remaining.begin());
+        bool paired = false;
+        for (std::size_t j = 0; j < remaining.size(); ++j) {
+          const auto key = std::minmax(d0, remaining[j]);
+          if (pairs.count({key.first, key.second})) {
+            parts.push_back(Signature{{key.first, key.second}, 0});
+            remaining.erase(remaining.begin() +
+                            static_cast<std::ptrdiff_t>(j));
+            paired = true;
+            break;
+          }
+        }
+        if (paired) continue;
+        if (singles.count(d0)) {
+          parts.push_back(Signature{{d0}, 0});
+          continue;
+        }
+        ok = false;
+        break;
+      }
+      if (!ok || parts.empty()) {
+        ++dem.num_unmatched;
+        continue;
+      }
+      parts.front().observables = deferred[d].observables;
+      for (const Signature& part : parts)
+        add_mechanism(part, deferred_prob[d]);
+    }
+  }
+
+  dem.mechanisms.reserve(acc.size());
+  for (auto& [key, prob] : acc) {
+    ErrorMechanism m;
+    m.detectors = key.first;
+    m.observables = key.second;
+    m.probability = prob;
+    dem.mechanisms.push_back(std::move(m));
+  }
+  return dem;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,75 @@
+#include "detector/matching_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+double edge_weight(double p) {
+  // Clamp into (0, 0.5) to keep weights finite and non-negative.
+  const double pc = std::clamp(p, 1e-15, 0.5 - 1e-12);
+  return std::log((1.0 - pc) / pc);
+}
+}  // namespace
+
+MatchingGraph MatchingGraph::from_dem(const DetectorErrorModel& dem) {
+  MatchingGraph g;
+  g.num_detectors_ = dem.num_detectors;
+
+  // Merge mechanisms by endpoint pair.
+  struct Acc {
+    double probability = 0.0;
+    std::uint64_t observables = 0;
+    bool initialised = false;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Acc> acc;
+
+  for (const ErrorMechanism& m : dem.mechanisms) {
+    if (m.detectors.empty()) continue;  // undetectable: not matchable
+    RADSURF_ASSERT_MSG(m.detectors.size() <= 2,
+                       "DEM mechanism with " << m.detectors.size()
+                                             << " detectors reached the "
+                                                "matching graph");
+    const std::uint32_t a = m.detectors[0];
+    const std::uint32_t b = m.detectors.size() == 2 ? m.detectors[1]
+                                                    : g.boundary_node();
+    auto& slot = acc[{std::min(a, b), std::max(a, b)}];
+    if (!slot.initialised) {
+      slot.probability = m.probability;
+      slot.observables = m.observables;
+      slot.initialised = true;
+    } else if (slot.observables == m.observables) {
+      slot.probability = slot.probability * (1 - m.probability) +
+                         m.probability * (1 - slot.probability);
+    } else {
+      // Conflicting observable signature between the same detectors: keep
+      // the likelier hypothesis.
+      ++g.conflicts_;
+      if (m.probability > slot.probability) {
+        slot.probability = m.probability;
+        slot.observables = m.observables;
+      }
+    }
+  }
+
+  g.adjacency_.assign(g.num_nodes(), {});
+  for (const auto& [key, slot] : acc) {
+    MatchingEdge e;
+    e.a = key.first;
+    e.b = key.second;
+    e.probability = slot.probability;
+    e.observables = slot.observables;
+    e.weight = edge_weight(slot.probability);
+    const auto id = static_cast<std::uint32_t>(g.edges_.size());
+    g.edges_.push_back(e);
+    g.adjacency_[e.a].push_back(id);
+    if (e.b != e.a) g.adjacency_[e.b].push_back(id);
+  }
+  return g;
+}
+
+}  // namespace radsurf

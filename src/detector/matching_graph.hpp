@@ -1,0 +1,51 @@
+// Matching graph construction from a detector error model.
+//
+// Mechanisms flipping one detector become edges to a virtual boundary
+// node; mechanisms flipping two become internal edges.  Parallel edges with
+// identical endpoints and observable signature merge probabilistically;
+// conflicting signatures keep the likelier edge (counted).  Weights are the
+// standard -log-likelihood ratios log((1-p)/p).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detector/error_model.hpp"
+
+namespace radsurf {
+
+struct MatchingEdge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;  // may equal boundary_node()
+  double probability = 0.0;
+  double weight = 0.0;
+  std::uint64_t observables = 0;
+};
+
+class MatchingGraph {
+ public:
+  static MatchingGraph from_dem(const DetectorErrorModel& dem);
+
+  std::size_t num_detectors() const { return num_detectors_; }
+  /// Virtual boundary node index (== num_detectors()).
+  std::uint32_t boundary_node() const {
+    return static_cast<std::uint32_t>(num_detectors_);
+  }
+  std::size_t num_nodes() const { return num_detectors_ + 1; }
+
+  const std::vector<MatchingEdge>& edges() const { return edges_; }
+  /// Out-edges of a node (boundary included as a regular node).
+  const std::vector<std::uint32_t>& adjacent_edges(std::uint32_t node) const {
+    return adjacency_[node];
+  }
+
+  std::size_t num_conflicting_edges() const { return conflicts_; }
+
+ private:
+  std::size_t num_detectors_ = 0;
+  std::vector<MatchingEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;  // node -> edge ids
+  std::size_t conflicts_ = 0;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,36 @@
+#include "inject/results.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace radsurf {
+
+double median_rate(const std::vector<Proportion>& props) {
+  std::vector<double> rates;
+  rates.reserve(props.size());
+  for (const auto& p : props) rates.push_back(p.rate());
+  return median(std::move(rates));
+}
+
+double mean_rate(const std::vector<Proportion>& props) {
+  std::vector<double> rates;
+  rates.reserve(props.size());
+  for (const auto& p : props) rates.push_back(p.rate());
+  return mean(rates);
+}
+
+Proportion pool(const std::vector<Proportion>& props) {
+  Proportion out;
+  for (const auto& p : props) out += p;
+  return out;
+}
+
+std::string format_rate_ci(const Proportion& p) {
+  std::ostringstream ss;
+  ss << Table::pct(p.rate()) << " [" << Table::pct(p.wilson_low()) << ", "
+     << Table::pct(p.wilson_high()) << "]";
+  return ss.str();
+}
+
+}  // namespace radsurf

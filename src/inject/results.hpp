@@ -1,0 +1,27 @@
+// Aggregation helpers for campaign results.
+//
+// The paper aggregates per-injection-point results as medians (Figs 6–8)
+// and reports logical error rates as percentages; these helpers keep that
+// logic out of the figure drivers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace radsurf {
+
+/// Median of the rates of a set of proportions.
+double median_rate(const std::vector<Proportion>& props);
+
+/// Mean of the rates.
+double mean_rate(const std::vector<Proportion>& props);
+
+/// Pooled proportion (sums successes and trials).
+Proportion pool(const std::vector<Proportion>& props);
+
+/// "12.3% [11.9%, 12.8%]" rendering of a proportion with Wilson CI.
+std::string format_rate_ci(const Proportion& p);
+
+}  // namespace radsurf

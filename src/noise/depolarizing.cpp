@@ -1,0 +1,36 @@
+#include "noise/depolarizing.hpp"
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+Circuit DepolarizingModel::apply(const Circuit& circuit) const {
+  RADSURF_CHECK_ARG(p >= 0.0 && p <= 1.0, "error rate out of [0,1]: " << p);
+  RADSURF_CHECK_ARG(measurement_error >= 0.0 && measurement_error <= 1.0,
+                    "measurement error rate out of [0,1]: "
+                        << measurement_error);
+  if (p == 0.0 && measurement_error == 0.0) return circuit;
+
+  Circuit out(circuit.num_qubits());
+  for (const Instruction& ins : circuit.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) {
+      out.append_annotation(ins.gate, ins.lookbacks, ins.args);
+      continue;
+    }
+    if (info.is_measurement && measurement_error > 0.0)
+      out.append(Gate::X_ERROR, ins.targets, {measurement_error});
+    out.append(ins.gate, ins.targets, ins.args);
+    if (!info.is_unitary || ins.gate == Gate::I || p == 0.0) continue;
+    if (info.is_two_qubit) {
+      out.append(uniform_two_qubit ? Gate::DEPOLARIZE2_UNIFORM
+                                   : Gate::DEPOLARIZE2,
+                 ins.targets, {p});
+    } else {
+      out.append(Gate::DEPOLARIZE1, ins.targets, {p});
+    }
+  }
+  return out;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,29 @@
+// Intrinsic-noise instrumentation (paper Eq. 4).
+//
+// The depolarisation channel E = sqrt(1-p) I + sqrt(p/3)(X+Y+Z) is appended
+// after every unitary gate; two-qubit gates receive E (x) E — two
+// *independent* single-qubit channels (the paper's model, which differs
+// from the uniform 15-Pauli channel kept here as an ablation).
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace radsurf {
+
+struct DepolarizingModel {
+  /// Physical error rate p of Eq. 4 (paper default: 1e-2).
+  double p = 1e-2;
+  /// Use the uniform two-qubit depolarizing channel instead of E (x) E.
+  bool uniform_two_qubit = false;
+  /// Readout (SPAM) error rate: an X_ERROR immediately before every
+  /// measurement.  The paper folds readout accuracy into its intrinsic
+  /// noise discussion (Sec. II-B); 0 disables, matching Eq. 4 exactly.
+  double measurement_error = 0.0;
+
+  /// Instrument `circuit`: a noise channel after every unitary gate and
+  /// (optionally) before every measurement.  All-zero rates return the
+  /// circuit unchanged.
+  Circuit apply(const Circuit& circuit) const;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,91 @@
+#include "noise/radiation.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+double RadiationModel::temporal(double t) const {
+  RADSURF_CHECK_ARG(t >= 0.0 && t <= 1.0, "t out of [0,1]: " << t);
+  return std::exp(-gamma * t);
+}
+
+double RadiationModel::spatial(std::size_t d) const {
+  const double dd = static_cast<double>(d);
+  return (n * n) / ((dd + n) * (dd + n));
+}
+
+std::vector<double> RadiationModel::sample_times() const {
+  RADSURF_CHECK_ARG(ns >= 1, "need at least one temporal sample");
+  std::vector<double> ts(ns);
+  for (std::size_t i = 0; i < ns; ++i)
+    ts[i] = static_cast<double>(i) / static_cast<double>(ns);
+  return ts;
+}
+
+std::vector<double> RadiationModel::sample_values() const {
+  std::vector<double> vs;
+  vs.reserve(ns);
+  for (double t : sample_times()) vs.push_back(temporal(t));
+  return vs;
+}
+
+std::vector<double> RadiationModel::qubit_probabilities(
+    const Graph& arch, std::uint32_t root, double root_prob,
+    bool spread) const {
+  RADSURF_CHECK_ARG(root < arch.num_nodes(),
+                    "root qubit " << root << " not in architecture of "
+                                  << arch.num_nodes() << " nodes");
+  RADSURF_CHECK_ARG(root_prob >= 0.0 && root_prob <= 1.0,
+                    "root probability out of [0,1]: " << root_prob);
+  std::vector<double> probs(arch.num_nodes(), 0.0);
+  if (!spread) {
+    probs[root] = root_prob;
+    return probs;
+  }
+  const auto dist = arch.bfs_distances(root);
+  for (std::size_t q = 0; q < probs.size(); ++q) {
+    if (dist[q] == std::numeric_limits<std::size_t>::max()) continue;
+    probs[q] = root_prob * spatial(dist[q]);
+  }
+  return probs;
+}
+
+Circuit instrument_reset_noise(const Circuit& circuit,
+                               const std::vector<double>& per_qubit_prob) {
+  auto prob_of = [&](std::uint32_t q) {
+    return q < per_qubit_prob.size() ? per_qubit_prob[q] : 0.0;
+  };
+  Circuit out(circuit.num_qubits());
+  for (const Instruction& ins : circuit.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) {
+      out.append_annotation(ins.gate, ins.lookbacks, ins.args);
+      continue;
+    }
+    out.append(ins.gate, ins.targets, ins.args);
+    if (!info.is_unitary || ins.gate == Gate::I) continue;
+    for (std::uint32_t q : ins.targets) {
+      const double p = prob_of(q);
+      RADSURF_CHECK_ARG(p >= 0.0 && p <= 1.0,
+                        "reset probability out of [0,1]: " << p);
+      if (p > 0.0) out.append(Gate::RESET_ERROR, {q}, {p});
+    }
+  }
+  return out;
+}
+
+std::vector<double> erasure_probabilities(
+    std::size_t num_qubits, const std::vector<std::uint32_t>& corrupted) {
+  std::vector<double> probs(num_qubits, 0.0);
+  for (std::uint32_t q : corrupted) {
+    RADSURF_CHECK_ARG(q < num_qubits,
+                      "corrupted qubit " << q << " out of range");
+    probs[q] = 1.0;
+  }
+  return probs;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,59 @@
+// Radiation-induced transient fault model (paper Sec. III-B).
+//
+// A particle strike at a root qubit produces, for every qubit q of the
+// device, a probability p_q = T(t) * S(d_q) of a non-unitary reset after
+// each gate acting on q, where T(t) = exp(-gamma t) is the temporal decay
+// (gamma = 10, step-approximated over ns equidistant samples) and
+// S(d) = n^2/(d+n)^2 the spatial damping over BFS distance d on the
+// architecture graph (n = 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/graph.hpp"
+#include "circuit/circuit.hpp"
+
+namespace radsurf {
+
+struct RadiationModel {
+  double gamma = 10.0;     // temporal decay constant (Eq. 5)
+  double n = 1.0;          // spatial scale (Eq. 6)
+  std::size_t ns = 10;     // temporal step-function samples
+
+  /// T(t) of Eq. 5, t in [0, 1].
+  double temporal(double t) const;
+  /// S(d) of Eq. 6 for integer graph distance d.
+  double spatial(std::size_t d) const;
+  /// F(t, d) of Eq. 7.
+  double decay(double t, std::size_t d) const {
+    return temporal(t) * spatial(d);
+  }
+
+  /// The ns equidistant sample times t_i = i/ns (T̂ of Fig. 3).
+  std::vector<double> sample_times() const;
+  /// T(t_i) at each sample time; index 0 is the strike (T = 1).
+  std::vector<double> sample_values() const;
+
+  /// Per-qubit reset probabilities for a strike of instantaneous root
+  /// intensity `root_prob` at `root`, spreading over `arch` (S(d) scaling).
+  /// With spread disabled only the root is affected.
+  std::vector<double> qubit_probabilities(const Graph& arch,
+                                          std::uint32_t root,
+                                          double root_prob,
+                                          bool spread = true) const;
+};
+
+/// Append RESET_ERROR(p_q) after every unitary gate for each target qubit
+/// q with p_q > 0.  `per_qubit_prob` may be shorter than the circuit's
+/// qubit count (missing entries are 0).
+Circuit instrument_reset_noise(const Circuit& circuit,
+                               const std::vector<double>& per_qubit_prob);
+
+/// Erasure experiment helper (Figs 6–7): probability-1 resets on a fixed
+/// qubit set, no spatial spread.
+std::vector<double> erasure_probabilities(std::size_t num_qubits,
+                                          const std::vector<std::uint32_t>&
+                                              corrupted);
+
+}  // namespace radsurf

@@ -1,0 +1,177 @@
+#include "stab/frame_sim.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+FrameSimulator::FrameSimulator(const Circuit& circuit, std::size_t batch_size)
+    : circuit_(circuit), batch_(batch_size) {
+  RADSURF_CHECK_ARG(batch_size > 0, "batch size must be positive");
+}
+
+void FrameSimulator::fill_uniform(BitVec& bits, Rng& rng) {
+  const std::size_t n = bits.size();
+  auto* w = bits.words();
+  for (std::size_t i = 0; i < bits.num_words(); ++i) w[i] = rng.next();
+  // Keep padding bits zero (BitVec invariant).
+  const std::size_t tail = n % BitVec::kWordBits;
+  if (tail != 0 && bits.num_words() > 0)
+    w[bits.num_words() - 1] &= (BitVec::Word{1} << tail) - 1;
+}
+
+void FrameSimulator::fill_biased(BitVec& bits, double p, Rng& rng) {
+  bits.clear();
+  if (p <= 0.0) return;
+  const std::size_t n = bits.size();
+  if (p >= 1.0) {
+    for (std::size_t i = 0; i < n; ++i) bits.set(i, true);
+    return;
+  }
+  if (p < 0.3) {
+    // Geometric skipping: expected work O(n*p).
+    const double log1mp = std::log1p(-p);
+    double cursor = -1.0;
+    while (true) {
+      const double u = rng.uniform();
+      const double skip = std::floor(std::log1p(-u) / log1mp);
+      cursor += 1.0 + skip;
+      if (cursor >= static_cast<double>(n)) break;
+      bits.set(static_cast<std::size_t>(cursor), true);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.bernoulli(p)) bits.set(i, true);
+  }
+}
+
+MeasurementFlips FrameSimulator::run(Rng& rng) {
+  const std::size_t nq = circuit_.num_qubits();
+  std::vector<BitVec> xf(nq, BitVec(batch_));
+  std::vector<BitVec> zf(nq, BitVec(batch_));
+  MeasurementFlips flips(circuit_.num_measurements(), BitVec(batch_));
+  std::size_t rec = 0;
+
+  BitVec mask(batch_);
+
+  auto depolarize1 = [&](std::uint32_t q, double p) {
+    fill_biased(mask, p, rng);
+    for (std::size_t s : mask.set_bits()) {
+      switch (rng.below(3)) {
+        case 0: xf[q].flip(s); break;                     // X
+        case 1: xf[q].flip(s); zf[q].flip(s); break;      // Y
+        default: zf[q].flip(s); break;                    // Z
+      }
+    }
+  };
+
+  for (const Instruction& ins : circuit_.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) continue;
+    const auto& tg = ins.targets;
+
+    switch (ins.gate) {
+      case Gate::I:
+      case Gate::X:
+      case Gate::Y:
+      case Gate::Z:
+        break;  // deterministic Paulis commute through the frame
+      case Gate::H:
+        for (auto q : tg) xf[q].swap(zf[q]);
+        break;
+      case Gate::S:
+      case Gate::S_DAG:
+        for (auto q : tg) zf[q] ^= xf[q];
+        break;
+      case Gate::CX:
+        for (std::size_t i = 0; i + 1 < tg.size(); i += 2) {
+          xf[tg[i + 1]] ^= xf[tg[i]];
+          zf[tg[i]] ^= zf[tg[i + 1]];
+        }
+        break;
+      case Gate::CZ:
+        for (std::size_t i = 0; i + 1 < tg.size(); i += 2) {
+          zf[tg[i + 1]] ^= xf[tg[i]];
+          zf[tg[i]] ^= xf[tg[i + 1]];
+        }
+        break;
+      case Gate::SWAP:
+        for (std::size_t i = 0; i + 1 < tg.size(); i += 2) {
+          xf[tg[i]].swap(xf[tg[i + 1]]);
+          zf[tg[i]].swap(zf[tg[i + 1]]);
+        }
+        break;
+      case Gate::M:
+        for (auto q : tg) {
+          flips[rec++] = xf[q];
+          fill_uniform(mask, rng);  // measurement collapse randomization
+          zf[q] ^= mask;
+        }
+        break;
+      case Gate::R:
+        for (auto q : tg) {
+          xf[q].clear();
+          fill_uniform(zf[q], rng);
+        }
+        break;
+      case Gate::MR:
+        for (auto q : tg) {
+          flips[rec++] = xf[q];
+          xf[q].clear();
+          fill_uniform(zf[q], rng);
+        }
+        break;
+      case Gate::X_ERROR:
+        for (auto q : tg) {
+          fill_biased(mask, ins.args[0], rng);
+          xf[q] ^= mask;
+        }
+        break;
+      case Gate::Y_ERROR:
+        for (auto q : tg) {
+          fill_biased(mask, ins.args[0], rng);
+          xf[q] ^= mask;
+          zf[q] ^= mask;
+        }
+        break;
+      case Gate::Z_ERROR:
+        for (auto q : tg) {
+          fill_biased(mask, ins.args[0], rng);
+          zf[q] ^= mask;
+        }
+        break;
+      case Gate::DEPOLARIZE1:
+        for (auto q : tg) depolarize1(q, ins.args[0]);
+        break;
+      case Gate::DEPOLARIZE2:
+        // E (x) E: independent channels on the two targets.
+        for (auto q : tg) depolarize1(q, ins.args[0]);
+        break;
+      case Gate::DEPOLARIZE2_UNIFORM:
+        for (std::size_t i = 0; i + 1 < tg.size(); i += 2) {
+          fill_biased(mask, ins.args[0], rng);
+          for (std::size_t s : mask.set_bits()) {
+            const auto k = rng.below(15) + 1;
+            const auto pa = static_cast<int>(k % 4);
+            const auto pb = static_cast<int>(k / 4);
+            if (pa & 1) xf[tg[i]].flip(s);
+            if (pa & 2) zf[tg[i]].flip(s);
+            if (pb & 1) xf[tg[i + 1]].flip(s);
+            if (pb & 2) zf[tg[i + 1]].flip(s);
+          }
+        }
+        break;
+      case Gate::RESET_ERROR:
+        throw CircuitError(
+            "FrameSimulator cannot express RESET_ERROR (probabilistic reset "
+            "is not a Pauli channel); use TableauSimulator");
+      default:
+        RADSURF_ASSERT_MSG(false, "unhandled instruction in frame sim");
+    }
+  }
+  RADSURF_ASSERT(rec == flips.size());
+  return flips;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,46 @@
+// Bit-parallel Pauli-frame simulator.
+//
+// Tracks, for a batch of shots simultaneously (one bit per shot), the Pauli
+// difference ("frame") between each noisy shot and a noiseless reference
+// execution.  Pauli noise XORs into the frame; measurements emit the X
+// component as a record *flip* and randomize the Z component (the standard
+// trick that makes frame sampling exact for stabilizer circuits).
+//
+// The frame formalism cannot express the radiation model's probabilistic
+// reset (a non-Pauli channel relative to the reference), so RESET_ERROR
+// instructions are rejected — campaigns with radiation use the exact
+// TableauSimulator and the two engines are cross-validated in tests.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+
+/// Per-record flip rows: flips[r].get(s) == record r differs from the
+/// reference in shot s.
+using MeasurementFlips = std::vector<BitVec>;
+
+class FrameSimulator {
+ public:
+  FrameSimulator(const Circuit& circuit, std::size_t batch_size);
+
+  std::size_t batch_size() const { return batch_; }
+
+  /// Simulate one batch; returns per-record flip rows.
+  MeasurementFlips run(Rng& rng);
+
+  /// Fill `bits` with independent Bernoulli(p) draws (exposed for tests).
+  static void fill_biased(BitVec& bits, double p, Rng& rng);
+  /// Fill `bits` with uniform random draws.
+  static void fill_uniform(BitVec& bits, Rng& rng);
+
+ private:
+  Circuit circuit_;  // owned copy
+  std::size_t batch_;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,172 @@
+#include "stab/pauli.hpp"
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+int pauli_mul_phase(bool x1, bool z1, bool x2, bool z2) {
+  // g(P1, P2) per Aaronson–Gottesman: exponent of i in P1 * P2.
+  if (!x1 && !z1) return 0;  // I * P
+  if (!x2 && !z2) return 0;  // P * I
+  if (x1 == x2 && z1 == z2) return 0;  // P * P = I
+  // Cyclic order X->Y->Z->X gives +1, reverse gives -1.
+  const int p1 = x1 ? (z1 ? 2 : 1) : 3;  // X=1, Y=2, Z=3
+  const int p2 = x2 ? (z2 ? 2 : 1) : 3;
+  return ((p2 - p1 + 3) % 3 == 1) ? 1 : -1;
+}
+
+PauliString PauliString::from_string(const std::string& s) {
+  std::size_t start = 0;
+  bool sign = false;
+  if (!s.empty() && (s[0] == '+' || s[0] == '-')) {
+    sign = s[0] == '-';
+    start = 1;
+  }
+  PauliString p(s.size() - start);
+  p.sign_ = sign;
+  for (std::size_t i = start; i < s.size(); ++i) {
+    const std::size_t q = i - start;
+    switch (s[i]) {
+      case 'I':
+      case '_':
+        break;
+      case 'X':
+        p.x_.set(q, true);
+        break;
+      case 'Z':
+        p.z_.set(q, true);
+        break;
+      case 'Y':
+        p.x_.set(q, true);
+        p.z_.set(q, true);
+        break;
+      default:
+        throw InvalidArgument(std::string("bad Pauli character: ") + s[i]);
+    }
+  }
+  return p;
+}
+
+void PauliString::set_pauli(std::size_t q, int xz) {
+  x_.set(q, xz & 1);
+  z_.set(q, (xz >> 1) & 1);
+}
+
+std::size_t PauliString::weight() const {
+  BitVec support = x_;
+  support |= z_;
+  return support.popcount();
+}
+
+bool PauliString::commutes_with(const PauliString& o) const {
+  return !(x_.and_parity(o.z_) ^ z_.and_parity(o.x_));
+}
+
+PauliString& PauliString::operator*=(const PauliString& o) {
+  RADSURF_CHECK_ARG(num_qubits() == o.num_qubits(),
+                    "PauliString size mismatch");
+  int phase = (sign_ ? 2 : 0) + (o.sign_ ? 2 : 0);
+  for (std::size_t q = 0; q < num_qubits(); ++q)
+    phase += pauli_mul_phase(x_.get(q), z_.get(q), o.x_.get(q), o.z_.get(q));
+  phase = ((phase % 4) + 4) % 4;
+  RADSURF_ASSERT_MSG(phase % 2 == 0,
+                     "Pauli product has imaginary phase (anticommuting "
+                     "operands)");
+  x_ ^= o.x_;
+  z_ ^= o.z_;
+  sign_ = phase == 2;
+  return *this;
+}
+
+void PauliString::conj_h(std::uint32_t q) {
+  const bool xb = x_.get(q);
+  const bool zb = z_.get(q);
+  sign_ ^= xb && zb;  // H Y H = -Y
+  x_.set(q, zb);
+  z_.set(q, xb);
+}
+
+void PauliString::conj_s(std::uint32_t q) {
+  const bool xb = x_.get(q);
+  const bool zb = z_.get(q);
+  sign_ ^= xb && zb;  // S Y S^dag = -X
+  z_.set(q, zb ^ xb); // S X S^dag = Y
+}
+
+void PauliString::conj_cx(std::uint32_t c, std::uint32_t t) {
+  const bool xc = x_.get(c);
+  const bool zc = z_.get(c);
+  const bool xt = x_.get(t);
+  const bool zt = z_.get(t);
+  sign_ ^= xc && zt && !(xt ^ zc);
+  x_.set(t, xt ^ xc);
+  z_.set(c, zc ^ zt);
+}
+
+void PauliString::apply_gate(Gate g, std::span<const std::uint32_t> targets) {
+  switch (g) {
+    case Gate::I:
+      break;
+    case Gate::X:
+      for (auto q : targets) sign_ ^= z_.get(q);
+      break;
+    case Gate::Y:
+      for (auto q : targets) sign_ ^= x_.get(q) ^ z_.get(q);
+      break;
+    case Gate::Z:
+      for (auto q : targets) sign_ ^= x_.get(q);
+      break;
+    case Gate::H:
+      for (auto q : targets) conj_h(q);
+      break;
+    case Gate::S:
+      for (auto q : targets) conj_s(q);
+      break;
+    case Gate::S_DAG:
+      // S^dag = Z * S up to phase: conjugate by S, then by Z.
+      for (auto q : targets) {
+        conj_s(q);
+        sign_ ^= x_.get(q);
+      }
+      break;
+    case Gate::CX:
+      for (std::size_t i = 0; i + 1 < targets.size(); i += 2)
+        conj_cx(targets[i], targets[i + 1]);
+      break;
+    case Gate::CZ:
+      // CZ = (I (x) H) CX (I (x) H).
+      for (std::size_t i = 0; i + 1 < targets.size(); i += 2) {
+        conj_h(targets[i + 1]);
+        conj_cx(targets[i], targets[i + 1]);
+        conj_h(targets[i + 1]);
+      }
+      break;
+    case Gate::SWAP:
+      for (std::size_t i = 0; i + 1 < targets.size(); i += 2) {
+        const auto a = targets[i];
+        const auto b = targets[i + 1];
+        const bool xa = x_.get(a), za = z_.get(a);
+        x_.set(a, x_.get(b));
+        z_.set(a, z_.get(b));
+        x_.set(b, xa);
+        z_.set(b, za);
+      }
+      break;
+    default:
+      throw InvalidArgument(
+          std::string("PauliString::apply_gate: not a unitary gate: ") +
+          std::string(gate_info(g).name));
+  }
+}
+
+std::string PauliString::to_string() const {
+  std::string s;
+  s.reserve(num_qubits() + 1);
+  s.push_back(sign_ ? '-' : '+');
+  static constexpr char kNames[] = {'I', 'X', 'Z', 'Y'};
+  for (std::size_t q = 0; q < num_qubits(); ++q)
+    s.push_back(kNames[pauli_at(q)]);
+  return s;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,78 @@
+// Pauli string over n qubits with sign tracking.
+//
+// Used by the detector-error-model extractor (propagating a candidate error
+// through the rest of the circuit by Clifford conjugation) and by tests that
+// pin down the simulators' conjugation rules.  The encoding is the standard
+// symplectic one: qubit q holds X iff x[q] and only x[q] is set, Z iff only
+// z[q], Y iff both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "circuit/gate.hpp"
+#include "util/bitvec.hpp"
+
+namespace radsurf {
+
+class PauliString {
+ public:
+  PauliString() = default;
+  explicit PauliString(std::size_t num_qubits)
+      : x_(num_qubits), z_(num_qubits) {}
+
+  /// Parse "+XIZY" / "-XZ" (sign optional, defaults to +).
+  static PauliString from_string(const std::string& s);
+
+  std::size_t num_qubits() const { return x_.size(); }
+
+  bool x(std::size_t q) const { return x_.get(q); }
+  bool z(std::size_t q) const { return z_.get(q); }
+  bool sign() const { return sign_; }
+  void set_sign(bool s) { sign_ = s; }
+
+  /// 0=I, 1=X, 2=Z, 3=Y at qubit q.
+  int pauli_at(std::size_t q) const {
+    return (x_.get(q) ? 1 : 0) | (z_.get(q) ? 2 : 0);
+  }
+  void set_pauli(std::size_t q, int xz);  // same encoding as pauli_at
+
+  const BitVec& xs() const { return x_; }
+  const BitVec& zs() const { return z_; }
+  BitVec& xs() { return x_; }
+  BitVec& zs() { return z_; }
+
+  bool is_identity() const { return x_.none() && z_.none(); }
+  std::size_t weight() const;  // number of non-identity sites
+
+  /// True iff this commutes with o (symplectic inner product is 0).
+  bool commutes_with(const PauliString& o) const;
+
+  /// In-place product (*this) = (*this) * o.  Throws if the result carries
+  /// an imaginary phase (callers multiply commuting strings).
+  PauliString& operator*=(const PauliString& o);
+
+  /// Conjugate by a unitary gate: P -> U P U^dag.  `targets` uses the same
+  /// pairwise convention as Instruction targets.
+  void apply_gate(Gate g, std::span<const std::uint32_t> targets);
+
+  bool operator==(const PauliString& o) const = default;
+
+  std::string to_string() const;
+
+ private:
+  void conj_h(std::uint32_t q);
+  void conj_s(std::uint32_t q);
+  void conj_cx(std::uint32_t c, std::uint32_t t);
+
+  BitVec x_;
+  BitVec z_;
+  bool sign_ = false;  // (-1)^sign_
+};
+
+/// Exponent of i (mod 4) arising when multiplying single-qubit Paulis
+/// (x1,z1)·(x2,z2); the Aaronson–Gottesman g function.
+int pauli_mul_phase(bool x1, bool z1, bool x2, bool z2);
+
+}  // namespace radsurf

@@ -1,0 +1,36 @@
+#include "stab/reference.hpp"
+
+#include <algorithm>
+
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+
+MeasurementSampler::MeasurementSampler(const Circuit& circuit)
+    : circuit_(circuit) {
+  TableauSimulator sim(circuit);
+  reference_ = sim.reference_sample();
+}
+
+std::vector<BitVec> MeasurementSampler::sample(std::size_t shots, Rng& rng) {
+  std::vector<BitVec> out;
+  out.reserve(shots);
+  const std::size_t nrec = circuit_.num_measurements();
+  std::size_t done = 0;
+  while (done < shots) {
+    const std::size_t batch = std::min<std::size_t>(shots - done, 256);
+    FrameSimulator fsim(circuit_, batch);
+    const MeasurementFlips flips = fsim.run(rng);
+    for (std::size_t s = 0; s < batch; ++s) {
+      BitVec record = reference_;
+      for (std::size_t r = 0; r < nrec; ++r) {
+        if (flips[r].get(s)) record.flip(r);
+      }
+      out.push_back(std::move(record));
+    }
+    done += batch;
+  }
+  return out;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,40 @@
+// Reference-relative measurement sampling.
+//
+// The frame simulator produces record *flips* relative to a fixed noiseless
+// reference execution.  MeasurementSampler glues the two together to
+// provide absolute measurement records.
+//
+// Caveat (inherent to Pauli-frame simulation): every statistic that is
+// deterministic at zero noise — detectors, observables, within-shot
+// correlations — is sampled exactly; the marginal of an intrinsically
+// *random* measurement is pinned to the reference's choice.  Decoding only
+// consumes the former, and campaigns that need true raw marginals use the
+// TableauSimulator.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "stab/frame_sim.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+
+class MeasurementSampler {
+ public:
+  explicit MeasurementSampler(const Circuit& circuit);
+
+  /// The pinned noiseless reference record (random outcomes forced to 0).
+  const BitVec& reference() const { return reference_; }
+
+  /// Sample `shots` absolute measurement records via frame simulation.
+  /// Records are returned shot-major (one BitVec over records per shot).
+  std::vector<BitVec> sample(std::size_t shots, Rng& rng);
+
+ private:
+  Circuit circuit_;  // owned copy
+  BitVec reference_;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,87 @@
+// Stabilizer tableau (Aaronson–Gottesman with destabilizers).
+//
+// Layout is column-major: for each qubit there is one X-bit column and one
+// Z-bit column indexed by row (rows 0..n-1 are destabilizers, n..2n-1
+// stabilizers), plus a sign column.  Unitary gates then update whole
+// columns with a handful of word operations, independent of the number of
+// rows they conceptually touch — the property that makes per-shot exact
+// simulation affordable for the campaign engine (radiation faults are
+// probabilistic resets, which a Pauli-frame simulator cannot express).
+//
+// Measurement follows the textbook algorithm: a random outcome replaces the
+// pivot stabilizer with ±Z_q after multiplying it into every other row that
+// anticommutes with Z_q; a deterministic outcome is read off the product of
+// the stabilizer rows selected by the destabilizer X-column.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stab/pauli.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+
+class Tableau {
+ public:
+  explicit Tableau(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return n_; }
+
+  /// Reset to |0...0> (destabilizers X_i, stabilizers Z_i).
+  void reset_all();
+
+  // --- unitary gates ------------------------------------------------------
+  void apply_h(std::uint32_t q);
+  void apply_s(std::uint32_t q);
+  void apply_s_dag(std::uint32_t q);
+  void apply_x(std::uint32_t q);
+  void apply_y(std::uint32_t q);
+  void apply_z(std::uint32_t q);
+  void apply_cx(std::uint32_t c, std::uint32_t t);
+  void apply_cz(std::uint32_t a, std::uint32_t b);
+  void apply_swap(std::uint32_t a, std::uint32_t b);
+
+  // --- non-unitary --------------------------------------------------------
+
+  /// Z-basis measurement.  If the outcome is random, `rng` decides it
+  /// unless `force_zero_if_random` is set (used by the reference sampler).
+  /// `was_random`, if non-null, reports which case occurred.
+  bool measure(std::uint32_t q, Rng& rng, bool force_zero_if_random = false,
+               bool* was_random = nullptr);
+
+  /// Reset to |0>: measure, then flip if the outcome was 1.
+  void reset(std::uint32_t q, Rng& rng);
+
+  /// Expectation structure of measuring Z_q without collapsing:
+  /// returns +1/-1 for deterministic outcomes, 0 for random.
+  int peek_z(std::uint32_t q) const;
+
+  // --- inspection (tests) -------------------------------------------------
+
+  /// Row as a PauliString (row < n: destabilizer, else stabilizer).
+  PauliString row(std::size_t r) const;
+
+  /// Symplectic sanity: destab_i anticommutes with stab_i and commutes with
+  /// every other row; rows are independent.  O(n^3) — tests only.
+  bool is_valid() const;
+
+ private:
+  // row h := row i * row h (phase-correct in-place product).
+  void rowsum(std::size_t h, std::size_t i);
+  // Accumulate stabilizer row i into the scratch row.
+  void scratch_accumulate(std::size_t i);
+
+  std::size_t n_;
+  std::vector<BitVec> xs_;  // per qubit, bit r = X component of row r
+  std::vector<BitVec> zs_;  // per qubit, bit r = Z component of row r
+  BitVec signs_;            // bit r = sign of row r
+
+  // Scratch row for deterministic measurement (row-major over qubits).
+  BitVec scratch_x_;
+  BitVec scratch_z_;
+  int scratch_phase_ = 0;  // mod 4
+};
+
+}  // namespace radsurf

@@ -1,0 +1,191 @@
+#include "stab/tableau_sim.hpp"
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+TableauSimulator::TableauSimulator(const Circuit& circuit)
+    : circuit_(circuit), num_qubits_(circuit.num_qubits()) {
+  RADSURF_CHECK_ARG(num_qubits_ > 0, "cannot simulate an empty circuit");
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const GateInfo& info = gate_info(instrs[i].gate);
+    if (!info.is_annotation && !info.is_noise) physical_ops_.push_back(i);
+  }
+}
+
+void TableauSimulator::apply_unitary(Tableau& t, const Instruction& ins) {
+  const auto& tg = ins.targets;
+  switch (ins.gate) {
+    case Gate::I:
+      break;
+    case Gate::X:
+      for (auto q : tg) t.apply_x(q);
+      break;
+    case Gate::Y:
+      for (auto q : tg) t.apply_y(q);
+      break;
+    case Gate::Z:
+      for (auto q : tg) t.apply_z(q);
+      break;
+    case Gate::H:
+      for (auto q : tg) t.apply_h(q);
+      break;
+    case Gate::S:
+      for (auto q : tg) t.apply_s(q);
+      break;
+    case Gate::S_DAG:
+      for (auto q : tg) t.apply_s_dag(q);
+      break;
+    case Gate::CX:
+      for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+        t.apply_cx(tg[i], tg[i + 1]);
+      break;
+    case Gate::CZ:
+      for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+        t.apply_cz(tg[i], tg[i + 1]);
+      break;
+    case Gate::SWAP:
+      for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+        t.apply_swap(tg[i], tg[i + 1]);
+      break;
+    default:
+      RADSURF_ASSERT_MSG(false, "apply_unitary on non-unitary gate");
+  }
+}
+
+BitVec TableauSimulator::run(Rng& rng, bool noiseless_reference,
+                             const std::vector<std::uint32_t>* corrupted) {
+  Tableau t(num_qubits_);
+  BitVec record(circuit_.num_measurements());
+  std::size_t rec = 0;
+
+  // Strike instant for the single shared erasure, if any.
+  std::size_t strike_at = std::size_t(-1);
+  if (corrupted && !corrupted->empty() && !physical_ops_.empty())
+    strike_at = physical_ops_[rng.below(physical_ops_.size())];
+  std::size_t instruction_index = std::size_t(-1);
+
+  auto apply_one_qubit_pauli_noise = [&](std::uint32_t q, double p) {
+    // E of Eq. 4: with probability p apply X, Y or Z uniformly.
+    if (!rng.bernoulli(p)) return;
+    switch (rng.below(3)) {
+      case 0: t.apply_x(q); break;
+      case 1: t.apply_y(q); break;
+      default: t.apply_z(q); break;
+    }
+  };
+
+  for (const Instruction& ins : circuit_.instructions()) {
+    ++instruction_index;
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) continue;
+
+    if (instruction_index == strike_at) {
+      for (std::uint32_t q : *corrupted) {
+        RADSURF_CHECK_ARG(q < num_qubits_,
+                          "corrupted qubit " << q << " out of range");
+        t.reset(q, rng);
+      }
+    }
+
+    if (info.is_unitary) {
+      apply_unitary(t, ins);
+      continue;
+    }
+
+    switch (ins.gate) {
+      case Gate::M:
+        for (auto q : ins.targets)
+          record.set(rec++, t.measure(q, rng, noiseless_reference));
+        break;
+      case Gate::R:
+        for (auto q : ins.targets) {
+          if (noiseless_reference) {
+            if (t.measure(q, rng, /*force_zero_if_random=*/true))
+              t.apply_x(q);
+          } else {
+            t.reset(q, rng);
+          }
+        }
+        break;
+      case Gate::MR:
+        for (auto q : ins.targets) {
+          const bool m = t.measure(q, rng, noiseless_reference);
+          record.set(rec++, m);
+          if (m) t.apply_x(q);
+        }
+        break;
+      case Gate::X_ERROR:
+        if (!noiseless_reference)
+          for (auto q : ins.targets)
+            if (rng.bernoulli(ins.args[0])) t.apply_x(q);
+        break;
+      case Gate::Y_ERROR:
+        if (!noiseless_reference)
+          for (auto q : ins.targets)
+            if (rng.bernoulli(ins.args[0])) t.apply_y(q);
+        break;
+      case Gate::Z_ERROR:
+        if (!noiseless_reference)
+          for (auto q : ins.targets)
+            if (rng.bernoulli(ins.args[0])) t.apply_z(q);
+        break;
+      case Gate::DEPOLARIZE1:
+        if (!noiseless_reference)
+          for (auto q : ins.targets)
+            apply_one_qubit_pauli_noise(q, ins.args[0]);
+        break;
+      case Gate::DEPOLARIZE2:
+        // Paper Eq. 4: E (x) E — two independent single-qubit channels.
+        if (!noiseless_reference)
+          for (auto q : ins.targets)
+            apply_one_qubit_pauli_noise(q, ins.args[0]);
+        break;
+      case Gate::DEPOLARIZE2_UNIFORM:
+        if (!noiseless_reference) {
+          for (std::size_t i = 0; i + 1 < ins.targets.size(); i += 2) {
+            if (!rng.bernoulli(ins.args[0])) continue;
+            // Uniform over the 15 non-identity two-qubit Paulis.
+            const auto k = rng.below(15) + 1;
+            const auto pa = static_cast<int>(k % 4);
+            const auto pb = static_cast<int>(k / 4);
+            auto apply = [&](std::uint32_t q, int pauli) {
+              if (pauli == 1) t.apply_x(q);
+              else if (pauli == 2) t.apply_z(q);
+              else if (pauli == 3) t.apply_y(q);
+            };
+            apply(ins.targets[i], pa);
+            apply(ins.targets[i + 1], pb);
+          }
+        }
+        break;
+      case Gate::RESET_ERROR:
+        // Radiation model (Sec. III-B): non-unitary reset with prob p.
+        if (!noiseless_reference)
+          for (auto q : ins.targets)
+            if (rng.bernoulli(ins.args[0])) t.reset(q, rng);
+        break;
+      default:
+        RADSURF_ASSERT_MSG(false, "unhandled instruction in tableau sim");
+    }
+  }
+  RADSURF_ASSERT(rec == record.size());
+  return record;
+}
+
+BitVec TableauSimulator::sample(Rng& rng) {
+  return run(rng, /*noiseless_reference=*/false);
+}
+
+BitVec TableauSimulator::sample_with_erasure(
+    Rng& rng, const std::vector<std::uint32_t>& corrupted) {
+  return run(rng, /*noiseless_reference=*/false, &corrupted);
+}
+
+BitVec TableauSimulator::reference_sample() {
+  Rng dummy(0);
+  return run(dummy, /*noiseless_reference=*/true);
+}
+
+}  // namespace radsurf

@@ -1,0 +1,52 @@
+// Exact per-shot stabilizer circuit simulator.
+//
+// Walks a Circuit instruction by instruction, sampling every noise channel
+// (including the radiation model's probabilistic reset, which is outside
+// the Pauli-frame formalism) and collecting the measurement record.  One
+// instance is reusable across shots; campaign loops call sample() per shot
+// with a per-chunk RNG stream.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "stab/tableau.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+
+class TableauSimulator {
+ public:
+  explicit TableauSimulator(const Circuit& circuit);
+
+  /// Run one shot; returns the measurement record (one bit per record).
+  /// All randomness comes from `rng`.
+  BitVec sample(Rng& rng);
+
+  /// One shot with a single shared-instant erasure: every qubit in
+  /// `corrupted` is reset once, immediately before a uniformly random
+  /// physical operation of the circuit (the strike instant, drawn per
+  /// shot).  This is the paper's Figs 6-7 "single erasure error (reset) at
+  /// t = 0": the particle hits once, at an unknown moment of the shot, and
+  /// every qubit of the hypernode undergoes the same fault event.
+  BitVec sample_with_erasure(Rng& rng,
+                             const std::vector<std::uint32_t>& corrupted);
+
+  /// Noiseless reference sample: noise channels are skipped and random
+  /// measurement outcomes are pinned to 0.  Deterministic.
+  BitVec reference_sample();
+
+  const Circuit& circuit() const { return circuit_; }
+
+ private:
+  BitVec run(Rng& rng, bool noiseless_reference,
+             const std::vector<std::uint32_t>* corrupted = nullptr);
+  void apply_unitary(Tableau& t, const Instruction& ins);
+
+  Circuit circuit_;  // owned copy: simulators must outlive any temporary
+  std::size_t num_qubits_;
+  std::vector<std::size_t> physical_ops_;  // instruction indices
+};
+
+}  // namespace radsurf

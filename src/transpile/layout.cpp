@@ -1,0 +1,216 @@
+#include "transpile/layout.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+std::vector<std::vector<std::size_t>> interaction_weights(
+    const Circuit& circuit) {
+  const std::size_t n = circuit.num_qubits();
+  std::vector<std::vector<std::size_t>> w(n, std::vector<std::size_t>(n, 0));
+  for (const Instruction& ins : circuit.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (!info.is_unitary || !info.is_two_qubit) continue;
+    for (std::size_t i = 0; i + 1 < ins.targets.size(); i += 2) {
+      const auto a = ins.targets[i];
+      const auto b = ins.targets[i + 1];
+      ++w[a][b];
+      ++w[b][a];
+    }
+  }
+  return w;
+}
+
+namespace {
+
+// DFS order of the maximum spanning tree of the interaction graph, started
+// from a leaf, mapped onto a BFS order of the architecture from a
+// minimum-degree node.
+std::vector<std::uint32_t> interaction_chain_layout(const Circuit& circuit,
+                                                    const Graph& arch) {
+  const std::size_t nl = circuit.num_qubits();
+  const auto weights = interaction_weights(circuit);
+
+  // Maximum spanning forest via Prim with heaviest-edge preference.
+  std::vector<std::vector<std::uint32_t>> tree(nl);
+  std::vector<char> in_tree(nl, 0);
+  for (std::uint32_t seed = 0; seed < nl; ++seed) {
+    if (in_tree[seed]) continue;
+    in_tree[seed] = 1;
+    std::vector<std::uint32_t> members{seed};
+    for (;;) {
+      std::size_t best_w = 0;
+      std::uint32_t best_u = 0, best_v = 0;
+      for (std::uint32_t u : members) {
+        for (std::uint32_t v = 0; v < nl; ++v) {
+          if (!in_tree[v] && weights[u][v] > best_w) {
+            best_w = weights[u][v];
+            best_u = u;
+            best_v = v;
+          }
+        }
+      }
+      if (best_w == 0) break;
+      in_tree[best_v] = 1;
+      members.push_back(best_v);
+      tree[best_u].push_back(best_v);
+      tree[best_v].push_back(best_u);
+    }
+  }
+
+  // DFS from a tree leaf (prefer degree-1 vertices) gives a chain-like
+  // logical order.
+  std::vector<std::uint32_t> logical_order;
+  std::vector<char> visited(nl, 0);
+  auto dfs = [&](std::uint32_t start) {
+    std::vector<std::uint32_t> stack{start};
+    while (!stack.empty()) {
+      const std::uint32_t v = stack.back();
+      stack.pop_back();
+      if (visited[v]) continue;
+      visited[v] = 1;
+      logical_order.push_back(v);
+      // Visit lighter branches last so the heaviest path stays contiguous.
+      std::vector<std::uint32_t> nbrs = tree[v];
+      std::sort(nbrs.begin(), nbrs.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return weights[v][a] < weights[v][b];
+                });
+      for (std::uint32_t w : nbrs)
+        if (!visited[w]) stack.push_back(w);
+    }
+  };
+  for (std::uint32_t v = 0; v < nl; ++v)
+    if (!visited[v] && tree[v].size() <= 1) dfs(v);
+  for (std::uint32_t v = 0; v < nl; ++v)
+    if (!visited[v]) dfs(v);
+
+  // BFS order of the architecture from a minimum-degree node.
+  std::uint32_t start = 0;
+  for (std::uint32_t v = 1; v < arch.num_nodes(); ++v)
+    if (arch.degree(v) < arch.degree(start)) start = v;
+  std::vector<std::uint32_t> phys_order;
+  std::vector<char> seen(arch.num_nodes(), 0);
+  std::vector<std::uint32_t> queue{start};
+  seen[start] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t v = queue[head];
+    phys_order.push_back(v);
+    for (std::uint32_t w : arch.neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < arch.num_nodes(); ++v)
+    if (!seen[v]) phys_order.push_back(v);
+
+  std::vector<std::uint32_t> layout(nl);
+  for (std::size_t i = 0; i < nl; ++i)
+    layout[logical_order[i]] = phys_order[i];
+  return layout;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> choose_layout(const Circuit& circuit,
+                                         const Graph& arch,
+                                         LayoutStrategy strategy) {
+  const std::size_t nl = circuit.num_qubits();
+  const std::size_t np = arch.num_nodes();
+  if (nl > np) {
+    throw TranspileError("circuit needs " + std::to_string(nl) +
+                         " qubits but architecture has " + std::to_string(np));
+  }
+  RADSURF_CHECK_ARG(strategy != LayoutStrategy::AUTO,
+                    "AUTO is resolved by transpile(), not choose_layout()");
+
+  if (strategy == LayoutStrategy::TRIVIAL) {
+    std::vector<std::uint32_t> layout(nl);
+    std::iota(layout.begin(), layout.end(), 0);
+    return layout;
+  }
+  if (strategy == LayoutStrategy::INTERACTION_CHAIN)
+    return interaction_chain_layout(circuit, arch);
+
+  // DEGREE_GREEDY.
+  const auto weights = interaction_weights(circuit);
+  const auto dist = arch.all_pairs_distances();
+
+  std::vector<std::uint32_t> layout(nl,
+                                    std::numeric_limits<std::uint32_t>::max());
+  std::vector<char> phys_used(np, 0);
+  std::vector<char> placed(nl, 0);
+
+  // Total interaction per logical qubit.
+  std::vector<std::size_t> total(nl, 0);
+  for (std::size_t a = 0; a < nl; ++a)
+    total[a] = std::accumulate(weights[a].begin(), weights[a].end(),
+                               std::size_t{0});
+
+  // Seed: busiest logical qubit on the highest-degree physical qubit.
+  const auto seed_logical = static_cast<std::uint32_t>(std::distance(
+      total.begin(), std::max_element(total.begin(), total.end())));
+  std::uint32_t seed_phys = 0;
+  for (std::uint32_t v = 1; v < np; ++v)
+    if (arch.degree(v) > arch.degree(seed_phys)) seed_phys = v;
+  layout[seed_logical] = seed_phys;
+  placed[seed_logical] = 1;
+  phys_used[seed_phys] = 1;
+
+  for (std::size_t step = 1; step < nl; ++step) {
+    // Next logical qubit: strongest connection to the placed set (ties by
+    // total interaction, then index, for determinism).
+    std::uint32_t best_l = std::numeric_limits<std::uint32_t>::max();
+    std::size_t best_conn = 0;
+    for (std::uint32_t a = 0; a < nl; ++a) {
+      if (placed[a]) continue;
+      std::size_t conn = 0;
+      for (std::uint32_t b = 0; b < nl; ++b)
+        if (placed[b]) conn += weights[a][b];
+      if (best_l == std::numeric_limits<std::uint32_t>::max() ||
+          conn > best_conn ||
+          (conn == best_conn && total[a] > total[best_l])) {
+        best_l = a;
+        best_conn = conn;
+      }
+    }
+    // Place on the free physical qubit minimising the weighted distance to
+    // placed partners (falls back to any free qubit when unconnected).
+    std::uint32_t best_p = std::numeric_limits<std::uint32_t>::max();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::uint32_t p = 0; p < np; ++p) {
+      if (phys_used[p]) continue;
+      double cost = 0;
+      for (std::uint32_t b = 0; b < nl; ++b) {
+        if (!placed[b] || weights[best_l][b] == 0) continue;
+        const std::size_t d = dist[p][layout[b]];
+        if (d == std::numeric_limits<std::size_t>::max()) {
+          cost = std::numeric_limits<double>::infinity();
+          break;
+        }
+        cost += static_cast<double>(weights[best_l][b]) *
+                static_cast<double>(d);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_p = p;
+      }
+    }
+    if (best_p == std::numeric_limits<std::uint32_t>::max()) {
+      throw TranspileError(
+          "no reachable free physical qubit (disconnected architecture?)");
+    }
+    layout[best_l] = best_p;
+    placed[best_l] = 1;
+    phys_used[best_p] = 1;
+  }
+  return layout;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,42 @@
+// Initial layout selection (logical -> physical qubit placement).
+//
+// TRIVIAL maps logical i to physical i.  DEGREE_GREEDY approximates
+// Qiskit's dense-layout default: the most-interacting logical qubit is
+// seeded on the highest-degree physical qubit, then each next logical qubit
+// (most 2q-gate interactions with already-placed ones first) is placed on
+// the free physical qubit closest to its placed partners.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/graph.hpp"
+#include "circuit/circuit.hpp"
+
+namespace radsurf {
+
+enum class LayoutStrategy {
+  TRIVIAL,
+  DEGREE_GREEDY,
+  /// Order logical qubits along a DFS of the maximum spanning tree of the
+  /// interaction graph (heavy, repeated interactions first) and map them
+  /// onto a BFS ordering of the architecture.  Near-optimal for chain-like
+  /// codes such as the repetition code on a line (paper Sec. V-D).
+  INTERACTION_CHAIN,
+  /// Try all strategies, route each, keep the one with fewest SWAPs
+  /// (mirrors a transpiler's "default optimisation" search).
+  AUTO,
+};
+
+/// Logical interaction graph: weight[a][b] = number of two-qubit gates
+/// between logical qubits a and b.
+std::vector<std::vector<std::size_t>> interaction_weights(
+    const Circuit& circuit);
+
+/// Compute an initial layout; result[logical] = physical.
+/// Throws TranspileError when the architecture is too small.
+std::vector<std::uint32_t> choose_layout(const Circuit& circuit,
+                                         const Graph& arch,
+                                         LayoutStrategy strategy);
+
+}  // namespace radsurf

@@ -1,0 +1,127 @@
+#include "transpile/router.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+
+// Mutable mapping state shared by the router and its lookahead copies.
+struct Mapping {
+  std::vector<std::uint32_t> l2p;
+  std::vector<std::uint32_t> p2l;
+
+  void swap_physical(std::uint32_t pa, std::uint32_t pb) {
+    const std::uint32_t la = p2l[pa];
+    const std::uint32_t lb = p2l[pb];
+    p2l[pa] = lb;
+    p2l[pb] = la;
+    if (la != std::numeric_limits<std::uint32_t>::max()) l2p[la] = pb;
+    if (lb != std::numeric_limits<std::uint32_t>::max()) l2p[lb] = pa;
+  }
+};
+
+}  // namespace
+
+RoutingResult route(const Circuit& circuit, const Graph& arch,
+                    const std::vector<std::uint32_t>& initial_layout) {
+  const std::size_t nl = circuit.num_qubits();
+  RADSURF_CHECK_ARG(initial_layout.size() >= nl,
+                    "layout covers " << initial_layout.size()
+                                     << " qubits, circuit needs " << nl);
+
+  Mapping map;
+  map.l2p.assign(initial_layout.begin(),
+                 initial_layout.begin() + static_cast<std::ptrdiff_t>(nl));
+  map.p2l.assign(arch.num_nodes(),
+                 std::numeric_limits<std::uint32_t>::max());
+  for (std::uint32_t l = 0; l < nl; ++l) {
+    RADSURF_CHECK_ARG(map.l2p[l] < arch.num_nodes(),
+                      "layout places qubit " << l << " outside architecture");
+    RADSURF_CHECK_ARG(
+        map.p2l[map.l2p[l]] == std::numeric_limits<std::uint32_t>::max(),
+        "layout maps two logical qubits to physical " << map.l2p[l]);
+    map.p2l[map.l2p[l]] = l;
+  }
+
+  // Flatten the sequence of two-qubit operations for the 1-gate lookahead.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> two_qubit_ops;
+  for (const Instruction& ins : circuit.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (!info.is_annotation && info.is_two_qubit && info.is_unitary) {
+      for (std::size_t i = 0; i + 1 < ins.targets.size(); i += 2)
+        two_qubit_ops.emplace_back(ins.targets[i], ins.targets[i + 1]);
+    }
+  }
+  const auto all_dist = arch.all_pairs_distances();
+
+  RoutingResult out;
+  out.circuit = Circuit(arch.num_nodes());
+
+  auto emit_swap = [&](std::uint32_t pa, std::uint32_t pb) {
+    out.circuit.append(Gate::SWAP, {pa, pb});
+    ++out.swap_count;
+    map.swap_physical(pa, pb);
+  };
+
+  std::size_t op_cursor = 0;  // index into two_qubit_ops
+  for (const Instruction& ins : circuit.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) {
+      out.circuit.append_annotation(ins.gate, ins.lookbacks, ins.args);
+      continue;
+    }
+    if (!(info.is_two_qubit && info.is_unitary)) {
+      std::vector<std::uint32_t> phys;
+      phys.reserve(ins.targets.size());
+      for (std::uint32_t q : ins.targets) phys.push_back(map.l2p[q]);
+      out.circuit.append(ins.gate, std::move(phys), ins.args);
+      continue;
+    }
+    for (std::size_t i = 0; i + 1 < ins.targets.size(); i += 2) {
+      const std::uint32_t la = ins.targets[i];
+      const std::uint32_t lb = ins.targets[i + 1];
+      ++op_cursor;
+      if (!arch.has_edge(map.l2p[la], map.l2p[lb])) {
+        const auto path = arch.shortest_path(map.l2p[la], map.l2p[lb]);
+        if (path.empty()) {
+          throw TranspileError("qubits " + std::to_string(la) + " and " +
+                               std::to_string(lb) +
+                               " are not connected on the architecture");
+        }
+        // Two plans of equal cost: walk operand a forward along the path,
+        // or operand b backward.  Pick by 1-gate lookahead: whichever
+        // leaves the next two-qubit pair closer.
+        bool move_a = true;
+        if (op_cursor < two_qubit_ops.size() && path.size() > 2) {
+          const auto [na, nb] = two_qubit_ops[op_cursor];
+          Mapping trial_a = map;
+          for (std::size_t s = 0; s + 2 < path.size(); ++s)
+            trial_a.swap_physical(path[s], path[s + 1]);
+          Mapping trial_b = map;
+          for (std::size_t s = path.size() - 1; s >= 2; --s)
+            trial_b.swap_physical(path[s], path[s - 1]);
+          const std::size_t da = all_dist[trial_a.l2p[na]][trial_a.l2p[nb]];
+          const std::size_t db = all_dist[trial_b.l2p[na]][trial_b.l2p[nb]];
+          move_a = da <= db;
+        }
+        if (move_a) {
+          for (std::size_t s = 0; s + 2 < path.size(); ++s)
+            emit_swap(path[s], path[s + 1]);
+        } else {
+          for (std::size_t s = path.size() - 1; s >= 2; --s)
+            emit_swap(path[s], path[s - 1]);
+        }
+      }
+      RADSURF_ASSERT(arch.has_edge(map.l2p[la], map.l2p[lb]));
+      out.circuit.append(ins.gate, {map.l2p[la], map.l2p[lb]}, ins.args);
+    }
+  }
+
+  out.final_layout = std::move(map.l2p);
+  return out;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,27 @@
+// SWAP-insertion routing.
+//
+// Instructions are processed in program order; whenever a two-qubit gate's
+// operands are not adjacent on the architecture, SWAPs move the first
+// operand along a shortest path until they are.  The logical->physical
+// mapping evolves accordingly; annotations pass through untouched (they
+// reference measurement records, which routing preserves in order).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/graph.hpp"
+#include "circuit/circuit.hpp"
+
+namespace radsurf {
+
+struct RoutingResult {
+  Circuit circuit;                         // over physical qubit indices
+  std::vector<std::uint32_t> final_layout; // logical -> physical at the end
+  std::size_t swap_count = 0;
+};
+
+RoutingResult route(const Circuit& circuit, const Graph& arch,
+                    const std::vector<std::uint32_t>& initial_layout);
+
+}  // namespace radsurf

@@ -1,0 +1,51 @@
+#include "transpile/transpiler.hpp"
+
+#include <algorithm>
+
+#include "circuit/dag.hpp"
+#include "transpile/router.hpp"
+
+namespace radsurf {
+
+std::vector<std::uint32_t> TranspileResult::touched_physical_qubits() const {
+  std::vector<char> seen(circuit.num_qubits(), 0);
+  for (const Instruction& ins : circuit.instructions())
+    for (std::uint32_t q : ins.targets) seen[q] = 1;
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t q = 0; q < seen.size(); ++q)
+    if (seen[q]) out.push_back(q);
+  return out;
+}
+
+TranspileResult transpile(const Circuit& circuit, const Graph& arch,
+                          const TranspileOptions& options) {
+  // AUTO mirrors a production transpiler's search: route under each layout
+  // strategy and keep the cheapest result.
+  std::vector<LayoutStrategy> strategies;
+  if (options.layout == LayoutStrategy::AUTO) {
+    strategies = {LayoutStrategy::DEGREE_GREEDY,
+                  LayoutStrategy::INTERACTION_CHAIN};
+  } else {
+    strategies = {options.layout};
+  }
+
+  TranspileResult result;
+  bool have_result = false;
+  for (LayoutStrategy strategy : strategies) {
+    std::vector<std::uint32_t> layout = choose_layout(circuit, arch, strategy);
+    RoutingResult routed = route(circuit, arch, layout);
+    if (have_result && routed.swap_count >= result.swap_count) continue;
+    result.initial_layout = std::move(layout);
+    result.swap_count = routed.swap_count;
+    result.final_layout = std::move(routed.final_layout);
+    result.circuit = std::move(routed.circuit);
+    have_result = true;
+  }
+  result.ops_before = circuit.num_operations();
+  result.depth_before = CircuitDag(circuit).depth();
+  result.ops_after = result.circuit.num_operations();
+  result.depth_after = CircuitDag(result.circuit).depth();
+  return result;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,40 @@
+// Transpilation pipeline: layout -> routing -> statistics.
+//
+// Matches the paper's workflow (Sec. V-D): surface-code circuits are mapped
+// onto each architecture graph; poorly-connected architectures pay a SWAP
+// overhead that both lengthens the circuit and widens the radiation blast
+// radius (Obs. VIII).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/graph.hpp"
+#include "circuit/circuit.hpp"
+#include "transpile/layout.hpp"
+
+namespace radsurf {
+
+struct TranspileOptions {
+  LayoutStrategy layout = LayoutStrategy::AUTO;
+};
+
+struct TranspileResult {
+  Circuit circuit;  // over physical qubit indices
+  std::vector<std::uint32_t> initial_layout;  // logical -> physical
+  std::vector<std::uint32_t> final_layout;
+  std::size_t swap_count = 0;
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+  std::size_t depth_before = 0;
+  std::size_t depth_after = 0;
+
+  /// Physical qubits that host a logical qubit at any point (initial
+  /// placement; SWAP targets are added by used_physical_qubits()).
+  std::vector<std::uint32_t> touched_physical_qubits() const;
+};
+
+TranspileResult transpile(const Circuit& circuit, const Graph& arch,
+                          const TranspileOptions& options = {});
+
+}  // namespace radsurf

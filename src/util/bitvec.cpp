@@ -1,0 +1,74 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+namespace radsurf {
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= o.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+  return *this;
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (Word w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::none() const {
+  for (Word w : words_)
+    if (w) return false;
+  return true;
+}
+
+bool BitVec::and_parity(const BitVec& o) const {
+  check_same_size(o);
+  Word acc = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    acc ^= words_[w] & o.words_[w];
+  return std::popcount(acc) & 1u;
+}
+
+std::size_t BitVec::first_set() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w])
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+  }
+  return num_bits_;
+}
+
+std::vector<std::size_t> BitVec::set_bits() const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    Word x = words_[w];
+    while (x) {
+      out.push_back(w * kWordBits +
+                    static_cast<std::size_t>(std::countr_zero(x)));
+      x &= x - 1;
+    }
+  }
+  return out;
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(num_bits_);
+  for (std::size_t i = 0; i < num_bits_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,102 @@
+// Word-packed dynamic bit vector.
+//
+// BitVec is the workhorse of the stabilizer kernels: tableau rows, Pauli
+// strings and per-shot frame rows are all BitVecs, and the hot operations
+// (XOR, AND, popcount) work 64 bits at a time.  The length is fixed at
+// construction; the trailing partial word is kept zero-padded so whole-word
+// loops never need edge masking.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+class BitVec {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  BitVec() = default;
+  explicit BitVec(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const { return num_bits_; }
+  std::size_t num_words() const { return words_.size(); }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool get(std::size_t i) const {
+    RADSURF_ASSERT(i < num_bits_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+  bool operator[](std::size_t i) const { return get(i); }
+
+  void set(std::size_t i, bool v) {
+    RADSURF_ASSERT(i < num_bits_);
+    const Word mask = Word{1} << (i % kWordBits);
+    if (v)
+      words_[i / kWordBits] |= mask;
+    else
+      words_[i / kWordBits] &= ~mask;
+  }
+  void flip(std::size_t i) {
+    RADSURF_ASSERT(i < num_bits_);
+    words_[i / kWordBits] ^= Word{1} << (i % kWordBits);
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// XOR-accumulate another vector of identical length.
+  BitVec& operator^=(const BitVec& o);
+  BitVec& operator&=(const BitVec& o);
+  BitVec& operator|=(const BitVec& o);
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+  /// True iff no bit is set.
+  bool none() const;
+  /// True iff at least one bit is set.
+  bool any() const { return !none(); }
+  /// Parity (popcount mod 2) of the whole vector.
+  bool parity() const { return popcount() & 1u; }
+  /// Parity of (*this AND other) — the symplectic building block.
+  bool and_parity(const BitVec& o) const;
+
+  /// Index of the first set bit, or size() if none.
+  std::size_t first_set() const;
+  /// Indices of all set bits.
+  std::vector<std::size_t> set_bits() const;
+
+  void swap(BitVec& o) noexcept {
+    std::swap(num_bits_, o.num_bits_);
+    words_.swap(o.words_);
+  }
+
+  bool operator==(const BitVec& o) const = default;
+
+  /// Raw word access for bit-parallel kernels.
+  Word* words() { return words_.data(); }
+  const Word* words() const { return words_.data(); }
+  Word word(std::size_t w) const { return words_[w]; }
+
+  /// "0101..." MSB-last (index 0 first) rendering, for tests and debugging.
+  std::string to_string() const;
+
+ private:
+  void check_same_size(const BitVec& o) const {
+    RADSURF_ASSERT_MSG(num_bits_ == o.num_bits_,
+                       "BitVec size mismatch: " << num_bits_
+                                                << " vs " << o.num_bits_);
+  }
+
+  std::size_t num_bits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,82 @@
+// Typed error hierarchy and contract-check macros used across radsurf.
+//
+// Library errors are reported with exceptions derived from radsurf::Error so
+// callers can catch the whole family or a specific kind.  Internal invariant
+// violations use RADSURF_ASSERT, which is active in all build types: the
+// simulator is used for scientific claims, so silently continuing past a
+// broken invariant is never acceptable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace radsurf {
+
+/// Base class of all radsurf exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller supplied an argument that violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A circuit is structurally malformed (bad target, bad record lookback, ...).
+class CircuitError : public Error {
+ public:
+  explicit CircuitError(const std::string& what) : Error(what) {}
+};
+
+/// Transpilation cannot satisfy the architecture constraints.
+class TranspileError : public Error {
+ public:
+  explicit TranspileError(const std::string& what) : Error(what) {}
+};
+
+/// Decoding failed (non-matchable syndrome, malformed matching graph, ...).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream ss;
+  ss << "radsurf internal invariant violated: (" << expr << ") at " << file
+     << ":" << line;
+  if (!msg.empty()) ss << " — " << msg;
+  throw Error(ss.str());
+}
+}  // namespace detail
+
+}  // namespace radsurf
+
+#define RADSURF_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::radsurf::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define RADSURF_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream radsurf_assert_ss;                               \
+      radsurf_assert_ss << msg;                                           \
+      ::radsurf::detail::assert_fail(#expr, __FILE__, __LINE__,           \
+                                     radsurf_assert_ss.str());            \
+    }                                                                     \
+  } while (0)
+
+#define RADSURF_CHECK_ARG(expr, msg)                                      \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream radsurf_check_ss;                                \
+      radsurf_check_ss << msg;                                            \
+      throw ::radsurf::InvalidArgument(radsurf_check_ss.str());           \
+    }                                                                     \
+  } while (0)

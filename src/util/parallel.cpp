@@ -1,0 +1,64 @@
+#include "util/parallel.hpp"
+
+#include <exception>
+#include <mutex>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+int hardware_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void parallel_chunks(std::size_t n, std::size_t chunk_size, const Rng& base,
+                     const std::function<void(const ChunkRange&, Rng&)>& body) {
+  RADSURF_CHECK_ARG(chunk_size > 0, "chunk_size must be positive");
+  if (n == 0) return;
+
+  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  std::vector<ChunkRange> chunks(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    chunks[c].begin = c * chunk_size;
+    chunks[c].end = std::min(n, (c + 1) * chunk_size);
+    chunks[c].index = c;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  // Streams are derived sequentially (stream c+1 = stream c jumped once)
+  // to avoid O(chunks^2) jump work, then chunks execute in any order.
+  std::vector<Rng> streams;
+  streams.reserve(num_chunks);
+  Rng cursor = base;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    streams.push_back(cursor);
+    cursor.jump();
+  }
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (long long c = 0; c < static_cast<long long>(num_chunks); ++c) {
+    try {
+      body(chunks[static_cast<std::size_t>(c)],
+           streams[static_cast<std::size_t>(c)]);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace radsurf

@@ -1,0 +1,33 @@
+// OpenMP-backed shot parallelism with deterministic RNG streams.
+//
+// parallel_chunks splits [0, n) into fixed chunks; chunk c always uses RNG
+// stream c (base seed jumped c times), so the aggregate result is a pure
+// function of the seed, independent of thread count and schedule — the
+// property the campaign determinism tests pin down.  Falls back to serial
+// execution when OpenMP is unavailable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace radsurf {
+
+/// Number of worker threads OpenMP would use (1 when compiled without).
+int hardware_threads();
+
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t index = 0;  // chunk index == RNG stream index
+};
+
+/// Split [0, n) into chunks of at most `chunk_size`, run `body(range, rng)`
+/// for each (possibly in parallel), where rng is the chunk's private stream.
+/// Exceptions thrown by chunks are rethrown on the calling thread.
+void parallel_chunks(std::size_t n, std::size_t chunk_size, const Rng& base,
+                     const std::function<void(const ChunkRange&, Rng&)>& body);
+
+}  // namespace radsurf

@@ -1,0 +1,50 @@
+// xoshiro256++ pseudo-random generator with jumpable parallel streams.
+//
+// Campaign reproducibility requires that every shot's randomness be a pure
+// function of (seed, stream, draw index).  Rng is seeded via SplitMix64 and
+// supports jump(), which advances the state by 2^128 draws; worker thread k
+// uses a stream obtained by k jumps, so results are independent of the
+// OpenMP thread count and schedule (see util/parallel.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace radsurf {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with <random> distributions).
+  result_type operator()() { return next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+  /// Bernoulli(p) draw.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Advance the state by 2^128 steps (disjoint parallel substream).
+  void jump();
+
+  /// Copy of this generator advanced by `k` jumps (stream for worker k).
+  Rng stream(unsigned k) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace radsurf

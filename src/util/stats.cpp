@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) {
+  RADSURF_CHECK_ARG(!xs.empty(), "median of empty sample");
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double quantile(std::vector<double> xs, double q) {
+  RADSURF_CHECK_ARG(!xs.empty(), "quantile of empty sample");
+  RADSURF_CHECK_ARG(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: " << q);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+namespace {
+double wilson_centre(double p, double n, double z) {
+  return (p + z * z / (2 * n)) / (1 + z * z / n);
+}
+double wilson_margin(double p, double n, double z) {
+  return (z / (1 + z * z / n)) *
+         std::sqrt(p * (1 - p) / n + z * z / (4 * n * n));
+}
+}  // namespace
+
+double Proportion::wilson_low(double z) const {
+  if (trials == 0) return 0.0;
+  const double n = static_cast<double>(trials);
+  const double p = rate();
+  return std::max(0.0, wilson_centre(p, n, z) - wilson_margin(p, n, z));
+}
+
+double Proportion::wilson_high(double z) const {
+  if (trials == 0) return 1.0;
+  const double n = static_cast<double>(trials);
+  const double p = rate();
+  return std::min(1.0, wilson_centre(p, n, z) + wilson_margin(p, n, z));
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace radsurf

@@ -1,0 +1,57 @@
+// Statistics helpers for fault-injection results.
+//
+// Logical error rates are binomial proportions, so confidence intervals use
+// the Wilson score (well-behaved near 0 and 1, where the paper's data
+// lives).  Medians across injection points / subgraph samples follow the
+// paper's aggregation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace radsurf {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // sample variance (n-1)
+double stddev(const std::vector<double>& xs);
+/// Median (average of middle two for even length).  Input is copied.
+double median(std::vector<double> xs);
+/// q-quantile in [0,1] by linear interpolation.  Input is copied.
+double quantile(std::vector<double> xs, double q);
+
+/// Binomial proportion with a Wilson score confidence interval.
+struct Proportion {
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+
+  double rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(successes) / trials;
+  }
+  /// Wilson score interval half-limits at z standard deviations (z=1.96
+  /// for 95%).
+  double wilson_low(double z = 1.96) const;
+  double wilson_high(double z = 1.96) const;
+
+  Proportion& operator+=(const Proportion& o) {
+    successes += o.successes;
+    trials += o.trials;
+    return *this;
+  }
+};
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / (n_ - 1) : 0.0; }
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace radsurf

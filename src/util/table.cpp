@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RADSURF_CHECK_ARG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RADSURF_CHECK_ARG(!headers_.empty(), "cannot add rows to an empty table");
+  RADSURF_CHECK_ARG(cells.size() == headers_.size(),
+                    "row arity " << cells.size() << " != header arity "
+                                 << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::setprecision(precision) << std::fixed << v;
+  return ss.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::setprecision(precision) << std::fixed << (v * 100.0) << "%";
+  return ss.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream ss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      ss << "| " << std::setw(static_cast<int>(widths[c])) << std::left
+         << row[c] << ' ';
+    }
+    ss << "|\n";
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c)
+      ss << '+' << std::string(widths[c] + 2, '-');
+    ss << "+\n";
+  };
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return ss.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream ss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) ss << ',';
+      ss << csv_escape(row[c]);
+    }
+    ss << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return ss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+}  // namespace radsurf

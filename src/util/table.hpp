@@ -1,0 +1,42 @@
+// Plain-text and CSV table rendering for benchmark reports.
+//
+// Every figure-reproduction binary prints its series through Table so the
+// rows the paper reports can be eyeballed (and diffed) directly from
+// bench_output.txt.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radsurf {
+
+class Table {
+ public:
+  /// An empty table (no columns); add_row rejects rows until headers are
+  /// assigned by copy/move from a real table.
+  Table() = default;
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double v, int precision = 1);  // 0.123 -> "12.3%"
+
+  /// Render as an aligned ASCII table.
+  std::string to_string() const;
+  /// Render as CSV (RFC-4180-style quoting for cells with commas/quotes).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace radsurf

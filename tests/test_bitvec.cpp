@@ -1,0 +1,177 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.num_words(), 3u);
+  EXPECT_TRUE(v.none());
+  EXPECT_FALSE(v.any());
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(70);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(69, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(69));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.flip(63);
+  EXPECT_FALSE(v.get(63));
+  v.flip(63);
+  EXPECT_TRUE(v.get(63));
+  v.set(0, false);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, OutOfRangeAccessThrows) {
+  BitVec v(10);
+  EXPECT_THROW(v.get(10), Error);
+  EXPECT_THROW(v.set(10, true), Error);
+  EXPECT_THROW(v.flip(10), Error);
+}
+
+TEST(BitVec, XorAndOr) {
+  BitVec a(100), b(100);
+  a.set(3, true);
+  a.set(77, true);
+  b.set(77, true);
+  b.set(99, true);
+
+  BitVec x = a;
+  x ^= b;
+  EXPECT_TRUE(x.get(3));
+  EXPECT_FALSE(x.get(77));
+  EXPECT_TRUE(x.get(99));
+
+  BitVec n = a;
+  n &= b;
+  EXPECT_FALSE(n.get(3));
+  EXPECT_TRUE(n.get(77));
+  EXPECT_FALSE(n.get(99));
+
+  BitVec o = a;
+  o |= b;
+  EXPECT_EQ(o.popcount(), 3u);
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(10), b(11);
+  EXPECT_THROW(a ^= b, Error);
+  EXPECT_THROW(a &= b, Error);
+  EXPECT_THROW((void)a.and_parity(b), Error);
+}
+
+TEST(BitVec, Parity) {
+  BitVec v(65);
+  EXPECT_FALSE(v.parity());
+  v.set(64, true);
+  EXPECT_TRUE(v.parity());
+  v.set(0, true);
+  EXPECT_FALSE(v.parity());
+}
+
+TEST(BitVec, AndParityMatchesManual) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.below(200);
+    BitVec a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.5)) a.set(i, true);
+      if (rng.bernoulli(0.5)) b.set(i, true);
+    }
+    bool expect = false;
+    for (std::size_t i = 0; i < n; ++i) expect ^= a.get(i) && b.get(i);
+    EXPECT_EQ(a.and_parity(b), expect) << "n=" << n;
+  }
+}
+
+TEST(BitVec, FirstSetAndSetBits) {
+  BitVec v(150);
+  EXPECT_EQ(v.first_set(), 150u);
+  v.set(149, true);
+  EXPECT_EQ(v.first_set(), 149u);
+  v.set(64, true);
+  EXPECT_EQ(v.first_set(), 64u);
+  v.set(5, true);
+  EXPECT_EQ(v.first_set(), 5u);
+  const auto bits = v.set_bits();
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_EQ(bits[0], 5u);
+  EXPECT_EQ(bits[1], 64u);
+  EXPECT_EQ(bits[2], 149u);
+}
+
+TEST(BitVec, ClearResets) {
+  BitVec v(80);
+  v.set(1, true);
+  v.set(79, true);
+  v.clear();
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, SwapExchangesContent) {
+  BitVec a(40), b(40);
+  a.set(7, true);
+  b.set(30, true);
+  a.swap(b);
+  EXPECT_TRUE(a.get(30));
+  EXPECT_FALSE(a.get(7));
+  EXPECT_TRUE(b.get(7));
+}
+
+TEST(BitVec, EqualityAndToString) {
+  BitVec a(5), b(5);
+  a.set(2, true);
+  EXPECT_NE(a, b);
+  b.set(2, true);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_string(), "00100");
+}
+
+TEST(BitVec, EmptyVector) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.popcount(), 0u);
+  EXPECT_EQ(v.first_set(), 0u);
+}
+
+class BitVecSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecSizes, PopcountMatchesSetBits) {
+  const std::size_t n = GetParam();
+  Rng rng(7 + n);
+  BitVec v(n);
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) {
+      v.set(i, true);
+      ++manual;
+    }
+  }
+  EXPECT_EQ(v.popcount(), manual);
+  EXPECT_EQ(v.set_bits().size(), manual);
+  EXPECT_EQ(v.parity(), manual % 2 == 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVecSizes,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128, 129,
+                                           1000));
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,206 @@
+#include "decoder/blossom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+namespace {
+
+// Exhaustive minimum-weight perfect matching over subsets (O(n 2^n)),
+// ground truth for the blossom implementation.
+std::int64_t brute_force_min(const std::vector<std::vector<std::int64_t>>& w,
+                             const std::vector<std::vector<bool>>& has) {
+  const std::size_t n = w.size();
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  std::vector<std::int64_t> dp(full + 1, kInf);
+  dp[0] = 0;
+  for (std::size_t mask = 0; mask <= full; ++mask) {
+    if (dp[mask] >= kInf) continue;
+    std::size_t i = 0;
+    while (i < n && (mask >> i) & 1) ++i;
+    if (i == n) continue;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if ((mask >> j) & 1) continue;
+      if (!has[i][j]) continue;
+      const std::size_t next = mask | (1u << i) | (1u << j);
+      dp[next] = std::min(dp[next], dp[mask] + w[i][j]);
+    }
+  }
+  return dp[full];
+}
+
+TEST(Blossom, TrivialPair) {
+  DenseMatcher m(2);
+  m.add_edge(0, 1, 7);
+  const auto mate = m.solve();
+  EXPECT_EQ(mate[0], 1u);
+  EXPECT_EQ(mate[1], 0u);
+  EXPECT_EQ(m.matching_weight(), 7);
+}
+
+TEST(Blossom, PrefersCheaperPairing) {
+  // Square: (0-1) + (2-3) costs 2; (0-3) + (1-2) costs 20.
+  DenseMatcher m(4);
+  m.add_edge(0, 1, 1);
+  m.add_edge(2, 3, 1);
+  m.add_edge(0, 3, 10);
+  m.add_edge(1, 2, 10);
+  const auto mate = m.solve();
+  EXPECT_EQ(mate[0], 1u);
+  EXPECT_EQ(mate[2], 3u);
+  EXPECT_EQ(m.matching_weight(), 2);
+}
+
+TEST(Blossom, ForcedExpensiveMatching) {
+  // Cheap edges share vertex 0, so the perfect matching must take one
+  // cheap and one expensive edge.
+  DenseMatcher m(4);
+  m.add_edge(0, 1, 1);
+  m.add_edge(0, 2, 1);
+  m.add_edge(0, 3, 1);
+  m.add_edge(1, 2, 50);
+  m.add_edge(1, 3, 60);
+  m.add_edge(2, 3, 70);
+  m.solve();
+  EXPECT_EQ(m.matching_weight(), 1 + 50);  // (0,3)+(1,2)? -> 1+50 = 51
+}
+
+TEST(Blossom, OddCycleNeedsBlossomShrinking) {
+  // Triangle plus pendant vertices: classic blossom case.
+  // Nodes 0,1,2 form a cheap triangle; 3,4,5 are pendants.
+  DenseMatcher m(6);
+  m.add_edge(0, 1, 1);
+  m.add_edge(1, 2, 1);
+  m.add_edge(0, 2, 1);
+  m.add_edge(0, 3, 4);
+  m.add_edge(1, 4, 5);
+  m.add_edge(2, 5, 6);
+  m.add_edge(3, 4, 20);
+  m.add_edge(4, 5, 20);
+  m.add_edge(3, 5, 20);
+  m.solve();
+  // Best: one triangle edge + opposite pendant edge + ... enumerate:
+  // (0,1)+(2,5)+(3,4)=1+6+20=27; (1,2)+(0,3)+(4,5)=1+4+20=25;
+  // (0,2)+(1,4)+(3,5)=1+5+20=26; (0,3)+(1,4)+(2,5)=4+5+6=15. -> 15
+  EXPECT_EQ(m.matching_weight(), 15);
+}
+
+TEST(Blossom, NoPerfectMatchingThrows) {
+  DenseMatcher m(4);
+  m.add_edge(0, 1, 1);
+  // 2 and 3 share no usable edge.
+  m.add_edge(0, 2, 1);
+  m.add_edge(0, 3, 1);
+  EXPECT_THROW(m.solve(), DecodeError);
+}
+
+TEST(Blossom, OddNodeCountRejected) {
+  EXPECT_THROW(DenseMatcher m(3), InvalidArgument);
+}
+
+TEST(Blossom, BadEdgesRejected) {
+  DenseMatcher m(4);
+  EXPECT_THROW(m.add_edge(0, 0, 1), InvalidArgument);
+  EXPECT_THROW(m.add_edge(0, 4, 1), InvalidArgument);
+  EXPECT_THROW(m.add_edge(0, 1, -2), InvalidArgument);
+}
+
+TEST(Blossom, KeepsSmallerDuplicateEdge) {
+  DenseMatcher m(2);
+  m.add_edge(0, 1, 9);
+  m.add_edge(0, 1, 4);
+  m.add_edge(0, 1, 6);
+  m.solve();
+  EXPECT_EQ(m.matching_weight(), 4);
+}
+
+TEST(Blossom, ZeroWeightEdgesWork) {
+  DenseMatcher m(4);
+  m.add_edge(0, 1, 0);
+  m.add_edge(2, 3, 0);
+  m.add_edge(0, 2, 5);
+  m.add_edge(1, 3, 5);
+  m.solve();
+  EXPECT_EQ(m.matching_weight(), 0);
+}
+
+class BlossomRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlossomRandom, MatchesBruteForceOnCompleteGraphs) {
+  const int n = GetParam();
+  Rng rng(1000 + static_cast<unsigned>(n));
+  for (int trial = 0; trial < 40; ++trial) {
+    DenseMatcher m(static_cast<std::size_t>(n));
+    std::vector<std::vector<std::int64_t>> w(
+        n, std::vector<std::int64_t>(n, 0));
+    std::vector<std::vector<bool>> has(n, std::vector<bool>(n, false));
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const auto weight = static_cast<std::int64_t>(rng.below(100));
+        m.add_edge(i, j, weight);
+        w[i][j] = w[j][i] = weight;
+        has[i][j] = has[j][i] = true;
+      }
+    }
+    const auto mate = m.solve();
+    // Valid perfect matching.
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NE(mate[i], static_cast<std::size_t>(i));
+      EXPECT_EQ(mate[mate[i]], static_cast<std::size_t>(i));
+    }
+    EXPECT_EQ(m.matching_weight(), brute_force_min(w, has))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlossomRandom,
+                         ::testing::Values(2, 4, 6, 8, 10, 12));
+
+TEST(Blossom, MatchesBruteForceOnSparseGraphs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 6 + 2 * static_cast<int>(rng.below(3));  // 6, 8, 10
+    std::vector<std::vector<std::int64_t>> w(
+        n, std::vector<std::int64_t>(n, 0));
+    std::vector<std::vector<bool>> has(n, std::vector<bool>(n, false));
+    DenseMatcher m(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (!rng.bernoulli(0.55)) continue;
+        const auto weight = static_cast<std::int64_t>(rng.below(50));
+        m.add_edge(i, j, weight);
+        w[i][j] = w[j][i] = weight;
+        has[i][j] = has[j][i] = true;
+      }
+    }
+    const auto expected = brute_force_min(w, has);
+    if (expected >= std::numeric_limits<std::int64_t>::max() / 4) {
+      EXPECT_THROW(m.solve(), DecodeError) << "trial " << trial;
+    } else {
+      m.solve();
+      EXPECT_EQ(m.matching_weight(), expected) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Blossom, LargeInstanceRuns) {
+  // Smoke: 60 nodes complete graph solves quickly and validly.
+  const int n = 60;
+  Rng rng(5);
+  DenseMatcher m(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      m.add_edge(i, j, static_cast<std::int64_t>(rng.below(1000)));
+  const auto mate = m.solve();
+  for (int i = 0; i < n; ++i) EXPECT_EQ(mate[mate[i]],
+                                        static_cast<std::size_t>(i));
+}
+
+}  // namespace
+}  // namespace radsurf

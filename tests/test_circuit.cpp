@@ -1,0 +1,148 @@
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radsurf {
+namespace {
+
+TEST(Gate, MetadataConsistency) {
+  EXPECT_TRUE(gate_info(Gate::H).is_unitary);
+  EXPECT_FALSE(gate_info(Gate::H).is_two_qubit);
+  EXPECT_TRUE(gate_info(Gate::CX).is_two_qubit);
+  EXPECT_TRUE(gate_info(Gate::M).is_measurement);
+  EXPECT_FALSE(gate_info(Gate::M).is_unitary);
+  EXPECT_TRUE(gate_info(Gate::R).is_reset);
+  EXPECT_TRUE(gate_info(Gate::MR).is_measurement);
+  EXPECT_TRUE(gate_info(Gate::MR).is_reset);
+  EXPECT_TRUE(gate_info(Gate::DEPOLARIZE1).is_noise);
+  EXPECT_TRUE(gate_info(Gate::DETECTOR).is_annotation);
+  EXPECT_EQ(gate_info(Gate::DEPOLARIZE2).targets_per_op, 2);
+}
+
+TEST(Gate, NameRoundTrip) {
+  for (int i = 0; i < kNumGates; ++i) {
+    const auto g = static_cast<Gate>(i);
+    EXPECT_EQ(gate_from_name(std::string(gate_info(g).name)), g);
+  }
+  EXPECT_THROW(gate_from_name("NOPE"), InvalidArgument);
+}
+
+TEST(Circuit, AppendTracksQubitsAndRecords) {
+  Circuit c;
+  c.h(0);
+  c.cx(0, 5);
+  c.m(5);
+  c.m(0);
+  EXPECT_EQ(c.num_qubits(), 6u);
+  EXPECT_EQ(c.num_measurements(), 2u);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.num_operations(), 4u);
+}
+
+TEST(Circuit, MultiTargetInstructionCountsOps) {
+  Circuit c;
+  c.append(Gate::CX, {0, 1, 2, 3});
+  EXPECT_EQ(c.instructions()[0].num_ops(), 2u);
+  EXPECT_EQ(c.num_operations(), 2u);
+  c.append(Gate::M, {0, 1, 2});
+  EXPECT_EQ(c.num_measurements(), 3u);
+}
+
+TEST(Circuit, ValidationErrors) {
+  Circuit c;
+  EXPECT_THROW(c.append(Gate::CX, {0}), InvalidArgument);       // odd targets
+  EXPECT_THROW(c.append(Gate::CX, {1, 1}), InvalidArgument);    // same qubit
+  EXPECT_THROW(c.append(Gate::H, {}), InvalidArgument);         // no targets
+  EXPECT_THROW(c.append(Gate::X_ERROR, {0}), InvalidArgument);  // missing arg
+  EXPECT_THROW(c.append(Gate::X_ERROR, {0}, {1.5}), InvalidArgument);
+  EXPECT_THROW(c.append(Gate::DETECTOR, {}), InvalidArgument);
+}
+
+TEST(Circuit, LookbackValidation) {
+  Circuit c;
+  c.m(0);
+  EXPECT_THROW(c.detector({2}), InvalidArgument);  // only 1 record so far
+  c.detector({1});
+  EXPECT_EQ(c.num_detectors(), 1u);
+  EXPECT_THROW(c.detector({0}), InvalidArgument);  // lookback >= 1
+}
+
+TEST(Circuit, AnnotationRecordsResolveAbsoluteIndices) {
+  Circuit c;
+  c.m(0);        // record 0
+  c.m(1);        // record 1
+  c.detector({1});          // -> record 1
+  c.m(2);        // record 2
+  c.detector({1, 3});       // -> records 2 and 0
+  c.observable_include(0, {2});  // -> record 1
+
+  const auto& instrs = c.instructions();
+  ASSERT_EQ(instrs.size(), 6u);
+  EXPECT_EQ(c.annotation_records(2), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(c.annotation_records(4), (std::vector<std::size_t>{2, 0}));
+  EXPECT_EQ(c.annotation_records(5), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(c.num_observables(), 1u);
+}
+
+TEST(Circuit, TextRoundTrip) {
+  Circuit c;
+  c.r(0);
+  c.r(1);
+  c.h(0);
+  c.cx(0, 1);
+  c.append(Gate::DEPOLARIZE1, {0, 1}, {0.01});
+  c.m(0);
+  c.m(1);
+  c.detector({1, 2});
+  c.observable_include(0, {1});
+
+  const std::string text = c.str();
+  const Circuit parsed = Circuit::parse(text);
+  EXPECT_EQ(parsed, c);
+  EXPECT_EQ(parsed.str(), text);
+}
+
+TEST(Circuit, ParseHandlesCommentsAndBlanks) {
+  const Circuit c = Circuit::parse(R"(
+# a comment
+H 0
+
+CX 0 1   # trailing comment
+DEPOLARIZE2(0.25) 0 1
+M 1
+DETECTOR rec[-1]
+)");
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.instructions()[2].args[0], 0.25);
+  EXPECT_EQ(c.num_detectors(), 1u);
+}
+
+TEST(Circuit, ParseRejectsGarbage) {
+  EXPECT_THROW(Circuit::parse("FLY 0"), InvalidArgument);
+  EXPECT_THROW(Circuit::parse("X_ERROR(0.1 0"), InvalidArgument);
+}
+
+TEST(Circuit, ConcatenationPreservesRecords) {
+  Circuit a;
+  a.m(0);
+  Circuit b;
+  b.m(1);
+  b.detector({1});
+  a += b;
+  EXPECT_EQ(a.num_measurements(), 2u);
+  EXPECT_EQ(a.num_detectors(), 1u);
+  // b's detector must refer to b's measurement (record 1 in a).
+  EXPECT_EQ(a.annotation_records(2), (std::vector<std::size_t>{1}));
+}
+
+TEST(Circuit, RecordOffsetPerInstruction) {
+  Circuit c;
+  c.m(0);
+  c.h(1);
+  c.append(Gate::M, {1, 2});
+  EXPECT_EQ(c.record_offset(0), 0u);
+  EXPECT_EQ(c.record_offset(2), 1u);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,256 @@
+#include "codes/code.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detector/detectors.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+namespace {
+
+// Every code circuit must be "clean" at zero noise: all detectors zero and
+// the observable reading logical |1> (the encoded logical X).
+void expect_noiseless_clean(const SurfaceCode& code, std::size_t rounds = 2) {
+  const Circuit c = code.build(rounds);
+  const DetectorSet ds = DetectorSet::compile(c);
+  TableauSimulator sim(c);
+  const BitVec ref = sim.reference_sample();
+
+  // Reference observable must be 1 (logical X was applied).
+  bool obs = false;
+  for (std::size_t r : ds.observable_mask(0).set_bits()) obs ^= ref.get(r);
+  EXPECT_TRUE(obs) << code.name() << ": noiseless readout must be |1>";
+
+  // Detectors must be deterministic: any noiseless sample has the same
+  // detector parities as the reference (random X-stabilizer projections
+  // included).
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BitVec sample = sim.sample(rng);  // no noise instructions
+    EXPECT_TRUE(ds.detector_values(sample, ref).none())
+        << code.name() << " trial " << trial;
+    EXPECT_EQ(ds.observable_values(sample, ref), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repetition code
+// ---------------------------------------------------------------------------
+
+TEST(RepetitionCode, QubitBudgetMatchesPaper) {
+  for (int d : {3, 5, 7, 9, 11, 13, 15}) {
+    const RepetitionCode code(d, RepetitionFlavor::BIT_FLIP);
+    EXPECT_EQ(code.num_qubits(), static_cast<std::size_t>(2 * d));
+    EXPECT_EQ(code.qubits_with_role(QubitRole::DATA).size(),
+              static_cast<std::size_t>(d));
+    EXPECT_EQ(code.qubits_with_role(QubitRole::STABILIZER).size(),
+              static_cast<std::size_t>(d - 1));
+    EXPECT_EQ(code.qubits_with_role(QubitRole::ANCILLA).size(), 1u);
+  }
+}
+
+TEST(RepetitionCode, DistanceTuples) {
+  EXPECT_EQ(RepetitionCode(5, RepetitionFlavor::BIT_FLIP).distance(),
+            (std::pair{5, 1}));
+  EXPECT_EQ(RepetitionCode(5, RepetitionFlavor::PHASE_FLIP).distance(),
+            (std::pair{1, 5}));
+}
+
+TEST(RepetitionCode, RejectsBadDistance) {
+  EXPECT_THROW(RepetitionCode(4, RepetitionFlavor::BIT_FLIP),
+               InvalidArgument);
+  EXPECT_THROW(RepetitionCode(1, RepetitionFlavor::BIT_FLIP),
+               InvalidArgument);
+}
+
+TEST(RepetitionCode, NoiselessCleanBitFlip) {
+  for (int d : {3, 5, 9}) {
+    expect_noiseless_clean(RepetitionCode(d, RepetitionFlavor::BIT_FLIP));
+  }
+}
+
+TEST(RepetitionCode, NoiselessCleanPhaseFlip) {
+  for (int d : {3, 5, 9}) {
+    expect_noiseless_clean(RepetitionCode(d, RepetitionFlavor::PHASE_FLIP));
+  }
+}
+
+TEST(RepetitionCode, MoreRoundsStillClean) {
+  expect_noiseless_clean(RepetitionCode(3, RepetitionFlavor::BIT_FLIP), 4);
+  EXPECT_THROW(RepetitionCode(3, RepetitionFlavor::BIT_FLIP).build(1),
+               InvalidArgument);
+}
+
+TEST(RepetitionCode, DetectorCountMatchesRounds) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  // Per round: d-1 stabilizer detectors; plus d-1 final-reconstruction
+  // detectors and 1 ancilla-consistency detector.
+  EXPECT_EQ(code.build(2).num_detectors(), 2u * 4u + 4u + 1u);
+  EXPECT_EQ(code.build(3).num_detectors(), 3u * 4u + 4u + 1u);
+  EXPECT_EQ(code.build(2).num_observables(), 1u);
+}
+
+TEST(RepetitionCode, SingleDataXFlipTripsAdjacentStabilizers) {
+  // Inject X on middle data qubit between the rounds: exactly the two
+  // adjacent round-2 detectors fire, and the readout parity flips.
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  Circuit base = code.build();
+  // Build an identical circuit with a deterministic X error after the
+  // logical X block (we re-create and insert X_ERROR(1.0) on data qubit 2).
+  Circuit modified(base.num_qubits());
+  bool injected = false;
+  std::size_t x_streak = 0;
+  for (const Instruction& ins : base.instructions()) {
+    if (gate_info(ins.gate).is_annotation) {
+      modified.append_annotation(ins.gate, ins.lookbacks, ins.args);
+      continue;
+    }
+    modified.append(ins.gate, ins.targets, ins.args);
+    if (ins.gate == Gate::X && !injected) {
+      // The logical X block is d consecutive X gates on data qubits.
+      if (++x_streak == 5) {
+        modified.append(Gate::X_ERROR, {2}, {1.0});
+        injected = true;
+      }
+    }
+  }
+  ASSERT_TRUE(injected);
+
+  const DetectorSet ds = DetectorSet::compile(modified);
+  TableauSimulator ref_sim(base);
+  const BitVec ref = ref_sim.reference_sample();
+  TableauSimulator sim(modified);
+  Rng rng(3);
+  const BitVec rec = sim.sample(rng);
+  const auto defects = ds.defects(rec, ref);
+  // Stabilizers 1 and 2 (neighbouring data qubit 2) in round 2.
+  EXPECT_EQ(defects.size(), 2u);
+  EXPECT_EQ(ds.observable_values(rec, ref), 1u);  // readout flipped
+}
+
+TEST(RepetitionCode, LogicalSupportIsAllData) {
+  const RepetitionCode code(7, RepetitionFlavor::BIT_FLIP);
+  EXPECT_EQ(code.logical_op_support().size(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// XXZZ code
+// ---------------------------------------------------------------------------
+
+TEST(XxzzCode, QubitBudgetMatchesPaper) {
+  const XXZZCode code(3, 3);
+  EXPECT_EQ(code.num_qubits(), 18u);  // 2 * dZ * dX
+  EXPECT_EQ(code.num_z_plaquettes(), 4u);
+  EXPECT_EQ(code.num_x_plaquettes(), 4u);
+  EXPECT_EQ(code.qubits_with_role(QubitRole::DATA).size(), 9u);
+  EXPECT_EQ(code.qubits_with_role(QubitRole::STABILIZER).size(), 8u);
+  EXPECT_EQ(code.qubits_with_role(QubitRole::ANCILLA).size(), 1u);
+}
+
+TEST(XxzzCode, PlaquetteStructure) {
+  const XXZZCode code(3, 3);
+  std::size_t weight2 = 0, weight4 = 0;
+  for (const auto& p : code.plaquettes()) {
+    if (p.data.size() == 2) ++weight2;
+    else if (p.data.size() == 4) ++weight4;
+    else FAIL() << "plaquette weight " << p.data.size();
+  }
+  EXPECT_EQ(weight2, 4u);  // boundary faces
+  EXPECT_EQ(weight4, 4u);  // interior faces
+}
+
+TEST(XxzzCode, DegenerateDistancesCollapseToRepetition) {
+  // Paper Fig. 6b: (3,1) and (1,3) have circuit size 6.
+  const XXZZCode bitflip(3, 1);
+  EXPECT_EQ(bitflip.num_qubits(), 6u);
+  EXPECT_EQ(bitflip.num_z_plaquettes(), 2u);
+  EXPECT_EQ(bitflip.num_x_plaquettes(), 0u);
+
+  const XXZZCode phaseflip(1, 3);
+  EXPECT_EQ(phaseflip.num_qubits(), 6u);
+  EXPECT_EQ(phaseflip.num_z_plaquettes(), 0u);
+  EXPECT_EQ(phaseflip.num_x_plaquettes(), 2u);
+}
+
+TEST(XxzzCode, RejectsBadDistances) {
+  EXPECT_THROW(XXZZCode(2, 3), InvalidArgument);
+  EXPECT_THROW(XXZZCode(3, 4), InvalidArgument);
+  EXPECT_THROW(XXZZCode(1, 1), InvalidArgument);
+}
+
+class XxzzNoiselessClean
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(XxzzNoiselessClean, AllDetectorsZeroObservableOne) {
+  const auto [dz, dx] = GetParam();
+  expect_noiseless_clean(XXZZCode(dz, dx));
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, XxzzNoiselessClean,
+                         ::testing::Values(std::pair{3, 3}, std::pair{3, 1},
+                                           std::pair{1, 3}, std::pair{3, 5},
+                                           std::pair{5, 3}, std::pair{5, 5}));
+
+TEST(XxzzCode, StabilizersCommuteWithLogicals) {
+  const XXZZCode code(3, 3);
+  // Build Pauli strings over the data grid and verify commutation.
+  const std::size_t n = 9;
+  auto plaquette_pauli = [&](const XXZZCode::Plaquette& p) {
+    PauliString s(n);
+    for (std::uint32_t q : p.data) s.set_pauli(q, p.x_type ? 1 : 2);
+    return s;
+  };
+  PauliString logical_x(n);
+  for (std::uint32_t q : code.logical_op_support()) logical_x.set_pauli(q, 1);
+  PauliString logical_z(n);
+  for (std::uint32_t q : code.logical_z_support()) logical_z.set_pauli(q, 2);
+
+  EXPECT_FALSE(logical_x.commutes_with(logical_z));
+  for (const auto& p : code.plaquettes()) {
+    const PauliString sp = plaquette_pauli(p);
+    EXPECT_TRUE(sp.commutes_with(logical_x)) << "plaquette vs X_L";
+    EXPECT_TRUE(sp.commutes_with(logical_z)) << "plaquette vs Z_L";
+    for (const auto& q : code.plaquettes()) {
+      EXPECT_TRUE(sp.commutes_with(plaquette_pauli(q)));
+    }
+  }
+}
+
+TEST(XxzzCode, LogicalWeightsMatchDistances) {
+  const XXZZCode code(5, 3);
+  EXPECT_EQ(code.logical_op_support().size(), 5u);  // X_L column, weight dZ
+  EXPECT_EQ(code.logical_z_support().size(), 3u);   // Z_L row, weight dX
+}
+
+TEST(XxzzCode, DetectorCount) {
+  const XXZZCode code(3, 3);
+  // Round 1: only the 4 Z-plaquettes are deterministic; round 2: all 8;
+  // final: 4 Z-plaquette reconstructions + 1 ancilla consistency.
+  EXPECT_EQ(code.build(2).num_detectors(), 4u + 8u + 4u + 1u);
+  EXPECT_EQ(code.build(3).num_detectors(), 4u + 8u + 8u + 4u + 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+TEST(CodeFactory, MakesExpectedTypes) {
+  const auto rep = make_code(CodeFamily::REPETITION, 5, 1);
+  EXPECT_EQ(rep->distance(), (std::pair{5, 1}));
+  const auto repf = make_code(CodeFamily::REPETITION, 1, 5);
+  EXPECT_EQ(repf->distance(), (std::pair{1, 5}));
+  const auto xxzz = make_code(CodeFamily::XXZZ, 3, 3);
+  EXPECT_EQ(xxzz->num_qubits(), 18u);
+  EXPECT_THROW(make_code(CodeFamily::REPETITION, 3, 3), InvalidArgument);
+}
+
+TEST(CodeFactory, RoleNames) {
+  EXPECT_EQ(role_name(QubitRole::DATA), "data");
+  EXPECT_EQ(role_name(QubitRole::STABILIZER), "stabilizer");
+  EXPECT_EQ(role_name(QubitRole::ANCILLA), "ancilla");
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,100 @@
+#include "circuit/dag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radsurf {
+namespace {
+
+TEST(Dag, LinearChainDepth) {
+  Circuit c;
+  c.h(0);
+  c.h(0);
+  c.h(0);
+  const CircuitDag dag(c);
+  EXPECT_EQ(dag.num_nodes(), 3u);
+  EXPECT_EQ(dag.depth(), 3u);
+  EXPECT_EQ(dag.layers(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Dag, ParallelGatesShareLayer) {
+  Circuit c;
+  c.h(0);
+  c.h(1);
+  c.cx(0, 1);
+  const CircuitDag dag(c);
+  EXPECT_EQ(dag.depth(), 2u);
+  EXPECT_EQ(dag.layers()[0], 0u);
+  EXPECT_EQ(dag.layers()[1], 0u);
+  EXPECT_EQ(dag.layers()[2], 1u);
+}
+
+TEST(Dag, AnnotationsAreNotNodes) {
+  Circuit c;
+  c.m(0);
+  c.detector({1});
+  c.h(0);
+  const CircuitDag dag(c);
+  EXPECT_EQ(dag.num_nodes(), 2u);
+  EXPECT_EQ(dag.instruction_index(0), 0u);
+  EXPECT_EQ(dag.instruction_index(1), 2u);
+}
+
+TEST(Dag, EdgesFollowQubitOrder) {
+  Circuit c;
+  c.h(0);       // node 0
+  c.cx(0, 1);   // node 1 (dep on 0)
+  c.h(1);       // node 2 (dep on 1)
+  c.h(2);       // node 3 (independent)
+  const CircuitDag dag(c);
+  EXPECT_EQ(dag.successors(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(dag.successors(1), (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(dag.successors(3).empty());
+  EXPECT_EQ(dag.predecessors(2), (std::vector<std::size_t>{1}));
+}
+
+TEST(Dag, DescendantCountCapturesBlastRadius) {
+  // Qubit 0 feeds everything; qubit 3 is used only at the end.
+  Circuit c;
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.cx(2, 3);
+  const CircuitDag dag(c);
+  EXPECT_EQ(dag.descendant_count(0), 3u);  // all three CNOTs
+  EXPECT_EQ(dag.descendant_count(3), 1u);  // only the last
+  EXPECT_GT(dag.descendant_count(0), dag.descendant_count(3));
+}
+
+TEST(Dag, FirstUseLayer) {
+  Circuit c;
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  const CircuitDag dag(c);
+  EXPECT_EQ(dag.first_use_layer(0), 0u);
+  EXPECT_EQ(dag.first_use_layer(1), 1u);
+  EXPECT_EQ(dag.first_use_layer(2), 2u);
+  // Unused qubit reports the full depth.
+  EXPECT_EQ(dag.first_use_layer(99), dag.depth());
+}
+
+TEST(Dag, NodesOnQubit) {
+  Circuit c;
+  c.h(0);
+  c.cx(0, 1);
+  c.h(1);
+  const CircuitDag dag(c);
+  EXPECT_EQ(dag.nodes_on_qubit(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(dag.nodes_on_qubit(1), (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(dag.nodes_on_qubit(9).empty());
+}
+
+TEST(Dag, EmptyCircuit) {
+  Circuit c(2);
+  const CircuitDag dag(c);
+  EXPECT_EQ(dag.num_nodes(), 0u);
+  EXPECT_EQ(dag.depth(), 0u);
+  EXPECT_EQ(dag.descendant_count(0), 0u);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,298 @@
+#include "decoder/decoder.hpp"
+#include "decoder/greedy.hpp"
+#include "decoder/mwpm.hpp"
+#include "decoder/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "detector/error_model.hpp"
+#include "noise/depolarizing.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+namespace {
+
+// A hand-built line of detectors 0-1-2 with boundary edges at both ends;
+// the observable is crossed only by the left boundary edge.
+MatchingGraph line_graph() {
+  DetectorErrorModel dem;
+  dem.num_detectors = 3;
+  dem.num_observables = 1;
+  dem.mechanisms = {
+      {0.01, {0}, 1},     // left boundary, crosses observable
+      {0.01, {0, 1}, 0},
+      {0.01, {1, 2}, 0},
+      {0.01, {2}, 0},     // right boundary
+  };
+  return MatchingGraph::from_dem(dem);
+}
+
+TEST(Mwpm, EmptyDefectsNoFlip) {
+  const auto g = line_graph();
+  MwpmDecoder dec(g);
+  EXPECT_EQ(dec.decode({}), 0u);
+}
+
+TEST(Mwpm, PairedDefectsMatchInternally) {
+  const auto g = line_graph();
+  MwpmDecoder dec(g);
+  // Defects 0,1: matching them internally (one edge) is cheaper than two
+  // boundary paths; no observable crossing.
+  EXPECT_EQ(dec.decode({0, 1}), 0u);
+}
+
+TEST(Mwpm, SingleDefectTakesNearestBoundary) {
+  const auto g = line_graph();
+  MwpmDecoder dec(g);
+  // Defect 0: left boundary is 1 edge (crosses the observable); right is 3.
+  EXPECT_EQ(dec.decode({0}), 1u);
+  // Defect 2: right boundary is cheapest, no observable.
+  EXPECT_EQ(dec.decode({2}), 0u);
+}
+
+TEST(Mwpm, DistanceTablesSymmetric) {
+  const auto g = line_graph();
+  MwpmDecoder dec(g);
+  for (std::uint32_t a = 0; a < 4; ++a)
+    for (std::uint32_t b = 0; b < 4; ++b)
+      EXPECT_DOUBLE_EQ(dec.distance(a, b), dec.distance(b, a));
+  EXPECT_DOUBLE_EQ(dec.distance(1, 1), 0.0);
+  // Triangle inequality on a path graph.
+  EXPECT_LE(dec.distance(0, 2),
+            dec.distance(0, 1) + dec.distance(1, 2) + 1e-12);
+}
+
+TEST(Mwpm, PathObservablesComposeAlongPath) {
+  const auto g = line_graph();
+  MwpmDecoder dec(g);
+  const std::uint32_t B = g.boundary_node();
+  // Path 0 -> B via left edge crosses the observable once.
+  EXPECT_EQ(dec.path_observables(0, B), 1u);
+  // 0 -> 1 internal path: no crossing.
+  EXPECT_EQ(dec.path_observables(0, 1), 0u);
+}
+
+// Exact half-distance guarantee on the phenomenological 1D chain with
+// uniform weights: detectors 0..d-2 in a line, boundary at both ends, each
+// data edge crossing the observable.  MWPM must correct every error set of
+// weight <= floor((d-1)/2).
+class ChainGuarantee : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainGuarantee, CorrectsEveryHalfDistanceErrorSet) {
+  const int d = GetParam();
+  const int num_dets = d - 1;
+  DetectorErrorModel dem;
+  dem.num_detectors = static_cast<std::size_t>(num_dets);
+  dem.num_observables = 1;
+  // Data qubit q (0..d-1) flips detectors {q-1, q} (clipped) and the
+  // observable.
+  std::vector<std::vector<std::uint32_t>> qubit_dets(d);
+  for (int q = 0; q < d; ++q) {
+    std::vector<std::uint32_t> dets;
+    if (q - 1 >= 0) dets.push_back(static_cast<std::uint32_t>(q - 1));
+    if (q < num_dets) dets.push_back(static_cast<std::uint32_t>(q));
+    qubit_dets[q] = dets;
+    dem.mechanisms.push_back({0.01, dets, 1});
+  }
+  MwpmDecoder decoder(MatchingGraph::from_dem(dem));
+
+  // Exhaustively test every error set of weight <= (d-1)/2.
+  const int max_k = (d - 1) / 2;
+  for (int mask = 1; mask < (1 << d); ++mask) {
+    if (__builtin_popcount(static_cast<unsigned>(mask)) > max_k) continue;
+    std::vector<int> det_parity(num_dets, 0);
+    int obs = 0;
+    for (int q = 0; q < d; ++q) {
+      if (!(mask >> q & 1)) continue;
+      obs ^= 1;
+      for (std::uint32_t dt : qubit_dets[q]) det_parity[dt] ^= 1;
+    }
+    std::vector<std::uint32_t> defects;
+    for (int dt = 0; dt < num_dets; ++dt)
+      if (det_parity[dt]) defects.push_back(static_cast<std::uint32_t>(dt));
+    EXPECT_EQ(decoder.decode(defects), static_cast<std::uint64_t>(obs))
+        << "d=" << d << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ChainGuarantee,
+                         ::testing::Values(3, 5, 7, 9, 11));
+
+// Circuit-level repetition-code end-to-end: MWPM corrects half-distance
+// error sets injected between the rounds.  Circuit-level matching graphs
+// have heterogeneous weights and lossy parallel-edge observable
+// attribution (as in PyMatching), so correction is near-certain rather
+// than guaranteed: k = 1 must always succeed, larger sets statistically.
+class RepetitionCorrection : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepetitionCorrection, CorrectsUpToHalfDistance) {
+  const int d = GetParam();
+  const RepetitionCode code(d, RepetitionFlavor::BIT_FLIP);
+  const Circuit base = code.build();
+  const DetectorSet ds = DetectorSet::compile(base);
+  TableauSimulator ref_sim(base);
+  const BitVec ref = ref_sim.reference_sample();
+
+  // Decoder graph from the standard intrinsic instrumentation.
+  const auto dem = DetectorErrorModel::from_circuit(
+      DepolarizingModel{1e-3}.apply(base));
+  const MatchingGraph mg = MatchingGraph::from_dem(dem);
+  MwpmDecoder decoder(mg);
+
+  const int max_errors = (d - 1) / 2;
+  Rng pick(42u + static_cast<unsigned>(d));
+  int failures = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    // Choose up to max_errors distinct data qubits; inject X between the
+    // stabilisation rounds (right after the logical X block — a location
+    // the decoder's error model covers).
+    std::vector<std::uint32_t> qubits;
+    const int k = 1 + static_cast<int>(pick.below(
+                          static_cast<std::uint64_t>(max_errors)));
+    while (qubits.size() < static_cast<std::size_t>(k)) {
+      const auto q = static_cast<std::uint32_t>(pick.below(d));
+      if (std::find(qubits.begin(), qubits.end(), q) == qubits.end())
+        qubits.push_back(q);
+    }
+    Circuit injected(base.num_qubits());
+    std::size_t x_streak = 0;
+    bool placed = false;
+    for (const Instruction& ins : base.instructions()) {
+      if (gate_info(ins.gate).is_annotation) {
+        injected.append_annotation(ins.gate, ins.lookbacks, ins.args);
+        continue;
+      }
+      injected.append(ins.gate, ins.targets, ins.args);
+      if (!placed && ins.gate == Gate::X &&
+          ++x_streak == static_cast<std::size_t>(d)) {
+        for (auto q : qubits) injected.append(Gate::X_ERROR, {q}, {1.0});
+        placed = true;
+      }
+    }
+    ASSERT_TRUE(placed);
+    TableauSimulator sim(injected);
+    Rng rng(7u * trial + 1);
+    const BitVec rec = sim.sample(rng);
+    const auto defects = ds.defects(rec, ref);
+    const std::uint64_t predicted = decoder.decode(defects);
+    const std::uint64_t actual = ds.observable_values(rec, ref);
+    if (k == 1) {
+      EXPECT_EQ(predicted, actual) << "d=" << d << " trial=" << trial;
+    }
+    failures += (predicted != actual);
+  }
+  // Heterogeneous circuit-level weights make some multi-error sets
+  // genuinely likelier to have come from a different (wrong-parity)
+  // explanation; MWPM then "fails" by being a correct min-weight matcher.
+  // Bound the rate rather than demand perfection.
+  EXPECT_LE(failures, 10) << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, RepetitionCorrection,
+                         ::testing::Values(3, 5, 7, 9, 11));
+
+// A logical-X-weight chain of errors must NOT be correctable (it commutes
+// with every stabilizer): decoder prediction misses exactly then.
+TEST(Mwpm, FullLogicalChainDefeatsDecoder) {
+  const int d = 5;
+  const RepetitionCode code(d, RepetitionFlavor::BIT_FLIP);
+  const Circuit base = code.build();
+  const DetectorSet ds = DetectorSet::compile(base);
+  TableauSimulator ref_sim(base);
+  const BitVec ref = ref_sim.reference_sample();
+  const auto dem = DetectorErrorModel::from_circuit(
+      DepolarizingModel{1e-3}.apply(base));
+  MwpmDecoder decoder(MatchingGraph::from_dem(dem));
+
+  Circuit injected(base.num_qubits());
+  std::size_t resets_seen = 0;
+  bool placed = false;
+  for (const Instruction& ins : base.instructions()) {
+    if (gate_info(ins.gate).is_annotation) {
+      injected.append_annotation(ins.gate, ins.lookbacks, ins.args);
+      continue;
+    }
+    injected.append(ins.gate, ins.targets, ins.args);
+    if (!placed && ins.gate == Gate::R &&
+        ++resets_seen == code.num_qubits()) {
+      for (std::uint32_t q = 0; q < static_cast<std::uint32_t>(d); ++q)
+        injected.append(Gate::X_ERROR, {q}, {1.0});
+      placed = true;
+    }
+  }
+  TableauSimulator sim(injected);
+  Rng rng(3);
+  const BitVec rec = sim.sample(rng);
+  // No defects (X^(x)d commutes with all ZZ stabilizers)...
+  EXPECT_TRUE(ds.defects(rec, ref).empty());
+  // ...but the observable flipped: an undetectable logical error.
+  EXPECT_EQ(ds.observable_values(rec, ref), 1u);
+  EXPECT_EQ(decoder.decode({}), 0u);
+}
+
+// Decoder ablations run on the same graphs and defects.
+TEST(Decoders, FactoryProducesAllKinds) {
+  const auto g = line_graph();
+  for (auto kind :
+       {DecoderKind::MWPM, DecoderKind::UNION_FIND, DecoderKind::GREEDY}) {
+    const auto dec = make_decoder(kind, g);
+    ASSERT_NE(dec, nullptr);
+    EXPECT_EQ(dec->name(), decoder_kind_name(kind));
+    EXPECT_EQ(dec->decode({}), 0u);
+    // Any prediction is a valid mask; just exercise the paths.
+    (void)dec->decode({0});
+    (void)dec->decode({0, 1});
+    (void)dec->decode({0, 1, 2});
+  }
+}
+
+TEST(UnionFind, MatchesMwpmOnIsolatedPairs) {
+  const auto g = line_graph();
+  MwpmDecoder mwpm(g);
+  UnionFindDecoder uf(g);
+  EXPECT_EQ(uf.decode({0, 1}), mwpm.decode({0, 1}));
+  EXPECT_EQ(uf.decode({1, 2}), mwpm.decode({1, 2}));
+  EXPECT_EQ(uf.decode({}), 0u);
+}
+
+TEST(Greedy, AgreesWithMwpmOnTrivialCases) {
+  const auto g = line_graph();
+  MwpmDecoder mwpm(g);
+  GreedyDecoder greedy(g);
+  EXPECT_EQ(greedy.decode({0}), mwpm.decode({0}));
+  EXPECT_EQ(greedy.decode({2}), mwpm.decode({2}));
+  EXPECT_EQ(greedy.decode({0, 1}), mwpm.decode({0, 1}));
+}
+
+// Accuracy ordering on a real code under moderate noise: MWPM should be at
+// least as accurate as greedy (statistically).
+TEST(Decoders, MwpmAtLeastAsAccurateAsGreedy) {
+  const RepetitionCode code(7, RepetitionFlavor::BIT_FLIP);
+  const Circuit base = code.build();
+  const Circuit noisy = DepolarizingModel{0.03}.apply(base);
+  const DetectorSet ds = DetectorSet::compile(base);
+  TableauSimulator ref_sim(base);
+  const BitVec ref = ref_sim.reference_sample();
+  const auto dem = DetectorErrorModel::from_circuit(noisy);
+  const MatchingGraph mg = MatchingGraph::from_dem(dem);
+  MwpmDecoder mwpm(mg);
+  GreedyDecoder greedy(mg);
+
+  TableauSimulator sim(noisy);
+  Rng rng(11);
+  int mwpm_errors = 0, greedy_errors = 0;
+  const int shots = 1200;
+  for (int s = 0; s < shots; ++s) {
+    const BitVec rec = sim.sample(rng);
+    const auto defects = ds.defects(rec, ref);
+    const auto actual = ds.observable_values(rec, ref);
+    mwpm_errors += (mwpm.decode(defects) ^ actual) & 1;
+    greedy_errors += (greedy.decode(defects) ^ actual) & 1;
+  }
+  EXPECT_LE(mwpm_errors, greedy_errors + 25);  // statistical slack
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,116 @@
+#include "detector/detectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stab/frame_sim.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+namespace {
+
+Circuit small_annotated() {
+  Circuit c;
+  c.r(0);
+  c.r(1);
+  c.m(0);             // record 0
+  c.m(1);             // record 1
+  c.detector({2});    // det 0 = record 0
+  c.detector({1, 2}); // det 1 = records 0,1
+  c.x(0);
+  c.m(0);             // record 2
+  c.observable_include(0, {1});
+  return c;
+}
+
+TEST(DetectorSet, CompileShapes) {
+  const auto ds = DetectorSet::compile(small_annotated());
+  EXPECT_EQ(ds.num_detectors(), 2u);
+  EXPECT_EQ(ds.num_observables(), 1u);
+  EXPECT_EQ(ds.num_records(), 3u);
+  EXPECT_TRUE(ds.detector_mask(0).get(0));
+  EXPECT_FALSE(ds.detector_mask(0).get(1));
+  EXPECT_TRUE(ds.detector_mask(1).get(0));
+  EXPECT_TRUE(ds.detector_mask(1).get(1));
+  EXPECT_TRUE(ds.observable_mask(0).get(2));
+}
+
+TEST(DetectorSet, InverseIndex) {
+  const auto ds = DetectorSet::compile(small_annotated());
+  EXPECT_EQ(ds.detectors_of_record(0),
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(ds.detectors_of_record(1), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(ds.detectors_of_record(2).empty());
+  EXPECT_EQ(ds.observables_of_record(2), 1u);
+  EXPECT_EQ(ds.observables_of_record(0), 0u);
+}
+
+TEST(DetectorSet, ValuesRelativeToReference) {
+  const auto ds = DetectorSet::compile(small_annotated());
+  BitVec ref(3);
+  ref.set(2, true);  // X|0> measured -> 1
+
+  BitVec clean = ref;
+  EXPECT_TRUE(ds.detector_values(clean, ref).none());
+  EXPECT_EQ(ds.observable_values(clean, ref), 0u);
+  EXPECT_TRUE(ds.defects(clean, ref).empty());
+
+  BitVec flipped = ref;
+  flipped.flip(0);  // record 0 flips both detectors
+  const BitVec dets = ds.detector_values(flipped, ref);
+  EXPECT_TRUE(dets.get(0));
+  EXPECT_TRUE(dets.get(1));
+  EXPECT_EQ(ds.defects(flipped, ref),
+            (std::vector<std::uint32_t>{0, 1}));
+
+  BitVec obs_flip = ref;
+  obs_flip.flip(2);
+  EXPECT_EQ(ds.observable_values(obs_flip, ref), 1u);
+  EXPECT_TRUE(ds.detector_values(obs_flip, ref).none());
+}
+
+TEST(DetectorSet, BatchFlipConversionMatchesScalar) {
+  const Circuit c = small_annotated();
+  const auto ds = DetectorSet::compile(c);
+
+  // Craft a flip table for 4 shots.
+  MeasurementFlips flips(3, BitVec(4));
+  flips[0].set(1, true);  // shot 1: record 0 flipped
+  flips[1].set(2, true);  // shot 2: record 1 flipped
+  flips[2].set(3, true);  // shot 3: record 2 flipped (observable)
+
+  const auto det_rows = ds.detector_flips(flips);
+  ASSERT_EQ(det_rows.size(), 2u);
+  // Shot 0: nothing.
+  EXPECT_FALSE(det_rows[0].get(0));
+  EXPECT_FALSE(det_rows[1].get(0));
+  // Shot 1: both detectors.
+  EXPECT_TRUE(det_rows[0].get(1));
+  EXPECT_TRUE(det_rows[1].get(1));
+  // Shot 2: only detector 1.
+  EXPECT_FALSE(det_rows[0].get(2));
+  EXPECT_TRUE(det_rows[1].get(2));
+
+  const auto obs_rows = ds.observable_flips(flips);
+  ASSERT_EQ(obs_rows.size(), 1u);
+  EXPECT_TRUE(obs_rows[0].get(3));
+  EXPECT_FALSE(obs_rows[0].get(1));
+}
+
+TEST(DetectorSet, EndToEndWithSimulatedNoise) {
+  // X error before the measurements must show up as detector flips
+  // relative to the noiseless reference.
+  Circuit c;
+  c.r(0);
+  c.append(Gate::X_ERROR, {0}, {1.0});
+  c.m(0);
+  c.detector({1});
+  TableauSimulator sim(c);
+  const BitVec ref = sim.reference_sample();
+  Rng rng(5);
+  const BitVec rec = sim.sample(rng);
+  const auto ds = DetectorSet::compile(c);
+  EXPECT_EQ(ds.defects(rec, ref), (std::vector<std::uint32_t>{0}));
+}
+
+}  // namespace
+}  // namespace radsurf

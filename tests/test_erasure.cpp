@@ -1,0 +1,130 @@
+// Tests of the single shared-instant erasure sampler (paper Figs 6-7) and
+// the radiation-aware decoder extension.
+#include <gtest/gtest.h>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "inject/campaign.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(ErasureSampler, NoCorruptedQubitsMatchesPlainSample) {
+  Circuit c;
+  c.h(0);
+  c.cx(0, 1);
+  c.m(0);
+  c.m(1);
+  TableauSimulator sim(c);
+  Rng r1(7), r2(7);
+  // Empty corrupted set must not consume extra randomness.
+  EXPECT_EQ(sim.sample_with_erasure(r1, {}), sim.sample(r2));
+}
+
+TEST(ErasureSampler, ResetBeforeAnyGateIsHarmlessOnZeros) {
+  // Circuit where the only qubit starts |0>: an erasure landing anywhere
+  // before the X gate resets |0> -> |0>; after the X it wipes the flip.
+  Circuit c;
+  c.r(0);
+  c.x(0);
+  c.m(0);
+  TableauSimulator sim(c);
+  Rng rng(11);
+  int wiped = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i)
+    wiped += !sim.sample_with_erasure(rng, {0}).get(0);
+  // 3 physical ops (R, X, M); strike before R or X is harmless, before M
+  // wipes: expect ~1/3 wiped.
+  EXPECT_NEAR(wiped / static_cast<double>(n), 1.0 / 3.0, 0.04);
+}
+
+TEST(ErasureSampler, SharedInstantHitsAllQubitsTogether) {
+  // Two qubits both |1> via one transversal X; erasure of both at a shared
+  // instant gives correlated wipes: records are (1,1) or (0,0), never
+  // mixed (a strike between separate X gates could split them).
+  Circuit c;
+  c.r(0);
+  c.r(1);
+  c.append(Gate::X, {0, 1});
+  c.append(Gate::M, {0, 1});
+  TableauSimulator sim(c);
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const BitVec rec = sim.sample_with_erasure(rng, {0, 1});
+    EXPECT_EQ(rec.get(0), rec.get(1)) << "strike must be shared";
+  }
+}
+
+TEST(ErasureSampler, OutOfRangeQubitRejected) {
+  Circuit c;
+  c.m(0);
+  TableauSimulator sim(c);
+  Rng rng(1);
+  // Qubit 5 is outside the 1-qubit circuit; the strike instant always
+  // lands on the single instruction, so the check always fires.
+  EXPECT_THROW(sim.sample_with_erasure(rng, {5}), InvalidArgument);
+}
+
+TEST(ErasureCampaign, SingleInstantMilderThanSustained) {
+  // A single reset is strictly less damaging than resetting after every
+  // gate (the sustained t=0 radiation limit).
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), EngineOptions{});
+  const std::uint32_t root = engine.active_qubits()[1];
+  const auto single = engine.run_erasure({root}, 1500, 3);
+  const auto sustained = engine.run_sustained_erasure({root}, 1500, 3);
+  EXPECT_LT(single.rate(), sustained.rate() + 0.03);
+}
+
+TEST(ErasureCampaign, MoreCorruptedQubitsMoreDamage) {
+  const XXZZCode code(3, 3);
+  InjectionEngine engine(code, make_mesh(5, 4), EngineOptions{});
+  const auto& active = engine.active_qubits();
+  const auto one = engine.run_erasure({active[0]}, 1200, 5);
+  std::vector<std::uint32_t> many(active.begin(),
+                                  active.begin() + active.size() / 2);
+  const auto half = engine.run_erasure(many, 1200, 5);
+  EXPECT_GT(half.rate() + 0.05, one.rate());
+}
+
+TEST(AwareDecoder, NoWorseThanStandardAtStrike) {
+  const XXZZCode code(3, 3);
+  InjectionEngine engine(code, make_mesh(5, 4), EngineOptions{});
+  const auto standard = engine.run_radiation_at(2, 1.0, true, 1200, 9);
+  const auto aware = engine.run_radiation_at_aware(2, 1.0, true, 1200, 9);
+  // The aware decoder has strictly more information; allow statistical
+  // slack but no systematic regression.
+  EXPECT_LE(aware.rate(), standard.rate() + 0.05);
+}
+
+TEST(AwareDecoder, MatchesStandardWithoutRadiation) {
+  // With a zero-intensity strike the aware graph collapses to the
+  // standard one (reset probabilities all 0).
+  const RepetitionCode code(3, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), EngineOptions{});
+  const auto standard = engine.run_radiation_at(0, 0.0, true, 800, 11);
+  const auto aware = engine.run_radiation_at_aware(0, 0.0, true, 800, 11);
+  EXPECT_EQ(aware.successes, standard.successes);
+}
+
+TEST(AwareDecoder, DemIncludesResetMechanisms) {
+  Circuit c;
+  c.r(0);
+  c.i(0);
+  c.append(Gate::RESET_ERROR, {0}, {0.5});
+  c.m(0);
+  c.detector({1});
+  DemOptions opts;
+  opts.include_reset_approximation = true;
+  const auto dem = DetectorErrorModel::from_circuit(c, opts);
+  ASSERT_EQ(dem.mechanisms.size(), 1u);  // X part visible, Z invisible
+  EXPECT_DOUBLE_EQ(dem.mechanisms[0].probability, 0.25);
+  const auto plain = DetectorErrorModel::from_circuit(c);
+  EXPECT_TRUE(plain.mechanisms.empty());
+}
+
+}  // namespace
+}  // namespace radsurf

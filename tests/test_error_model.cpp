@@ -1,0 +1,255 @@
+#include "detector/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "detector/matching_graph.hpp"
+#include "noise/depolarizing.hpp"
+
+namespace radsurf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// propagate_error
+// ---------------------------------------------------------------------------
+
+TEST(Propagation, XBeforeMeasureFlipsRecord) {
+  Circuit c;
+  c.i(0);
+  c.m(0);
+  PauliString x = PauliString::from_string("X");
+  EXPECT_EQ(propagate_error(c, 0, x), (std::vector<std::size_t>{0}));
+  PauliString z = PauliString::from_string("Z");
+  EXPECT_TRUE(propagate_error(c, 0, z).empty());
+}
+
+TEST(Propagation, SpreadsThroughCnot) {
+  Circuit c;
+  c.i(0);
+  c.cx(0, 1);
+  c.m(0);
+  c.m(1);
+  PauliString x = PauliString::from_string("XI");
+  EXPECT_EQ(propagate_error(c, 0, x), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Propagation, ResetAbsorbsError) {
+  Circuit c;
+  c.i(0);
+  c.r(0);
+  c.m(0);
+  PauliString x = PauliString::from_string("X");
+  EXPECT_TRUE(propagate_error(c, 0, x).empty());
+}
+
+TEST(Propagation, HadamardRotatesBasis) {
+  Circuit c;
+  c.i(0);
+  c.h(0);
+  c.m(0);
+  PauliString z = PauliString::from_string("Z");
+  EXPECT_EQ(propagate_error(c, 0, z), (std::vector<std::size_t>{0}));
+  PauliString x = PauliString::from_string("X");
+  EXPECT_TRUE(propagate_error(c, 0, x).empty());
+}
+
+TEST(Propagation, MrRecordsThenClears) {
+  Circuit c;
+  c.i(0);
+  c.mr(0);
+  c.m(0);
+  PauliString x = PauliString::from_string("X");
+  EXPECT_EQ(propagate_error(c, 0, x), (std::vector<std::size_t>{0}));
+}
+
+// ---------------------------------------------------------------------------
+// DEM extraction on a tiny detector circuit
+// ---------------------------------------------------------------------------
+
+Circuit two_bit_parity_circuit(double p) {
+  // Two data "measurements" guarded by one detector each, plus an
+  // observable; X noise between.
+  Circuit c;
+  c.r(0);
+  c.i(0);
+  c.append(Gate::X_ERROR, {0}, {p});
+  c.m(0);
+  c.detector({1});
+  c.observable_include(0, {1});
+  return c;
+}
+
+TEST(ErrorModel, SingleMechanismExtracted) {
+  const auto dem = DetectorErrorModel::from_circuit(
+      two_bit_parity_circuit(0.125));
+  ASSERT_EQ(dem.mechanisms.size(), 1u);
+  EXPECT_DOUBLE_EQ(dem.mechanisms[0].probability, 0.125);
+  EXPECT_EQ(dem.mechanisms[0].detectors, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(dem.mechanisms[0].observables, 1u);
+  EXPECT_EQ(dem.num_detectors, 1u);
+  EXPECT_EQ(dem.num_observables, 1u);
+}
+
+TEST(ErrorModel, ParallelMechanismsMerge) {
+  // Two X_ERRORs with the same signature combine with XOR-probability.
+  Circuit c;
+  c.r(0);
+  c.i(0);
+  c.append(Gate::X_ERROR, {0}, {0.1});
+  c.append(Gate::X_ERROR, {0}, {0.2});
+  c.m(0);
+  c.detector({1});
+  const auto dem = DetectorErrorModel::from_circuit(c);
+  ASSERT_EQ(dem.mechanisms.size(), 1u);
+  EXPECT_NEAR(dem.mechanisms[0].probability, 0.1 * 0.8 + 0.2 * 0.9, 1e-12);
+}
+
+TEST(ErrorModel, InvisibleZNoiseIgnored) {
+  Circuit c;
+  c.r(0);
+  c.i(0);
+  c.append(Gate::Z_ERROR, {0}, {0.3});
+  c.m(0);
+  c.detector({1});
+  const auto dem = DetectorErrorModel::from_circuit(c);
+  EXPECT_TRUE(dem.mechanisms.empty());
+  EXPECT_EQ(dem.num_undetectable, 0u);
+}
+
+TEST(ErrorModel, UndetectableObservableFlipCounted) {
+  // X error directly before an observable-only measurement: flips the
+  // observable with no detector coverage.
+  Circuit c;
+  c.r(0);
+  c.i(0);
+  c.append(Gate::X_ERROR, {0}, {0.01});
+  c.m(0);
+  c.observable_include(0, {1});
+  const auto dem = DetectorErrorModel::from_circuit(c);
+  EXPECT_TRUE(dem.mechanisms.empty());
+  EXPECT_EQ(dem.num_undetectable, 1u);
+}
+
+TEST(ErrorModel, ResetErrorExcludedByDesign) {
+  Circuit c;
+  c.r(0);
+  c.i(0);
+  c.append(Gate::RESET_ERROR, {0}, {0.5});
+  c.m(0);
+  c.detector({1});
+  const auto dem = DetectorErrorModel::from_circuit(c);
+  EXPECT_TRUE(dem.mechanisms.empty());
+}
+
+TEST(ErrorModel, Depolarize1SplitsIntoComponents) {
+  // On a |0>-M circuit only X and Y components flip the record; each has
+  // probability p/3 and identical signature -> merged.
+  Circuit c;
+  c.r(0);
+  c.i(0);
+  c.append(Gate::DEPOLARIZE1, {0}, {0.3});
+  c.m(0);
+  c.detector({1});
+  const auto dem = DetectorErrorModel::from_circuit(c);
+  ASSERT_EQ(dem.mechanisms.size(), 1u);
+  // X (p/3) combined with Y (p/3): 0.1*0.9 + 0.1*0.9.
+  EXPECT_NEAR(dem.mechanisms[0].probability, 0.18, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// DEM on real codes
+// ---------------------------------------------------------------------------
+
+TEST(ErrorModel, RepetitionDemIsMatchable) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  const Circuit noisy = DepolarizingModel{0.01}.apply(code.build());
+  const auto dem = DetectorErrorModel::from_circuit(noisy);
+  EXPECT_EQ(dem.num_detectors, 13u);
+  EXPECT_GT(dem.mechanisms.size(), 4u);
+  EXPECT_EQ(dem.num_unmatched, 0u);
+  for (const auto& m : dem.mechanisms) {
+    EXPECT_GE(m.detectors.size(), 1u);
+    EXPECT_LE(m.detectors.size(), 2u);
+    EXPECT_GT(m.probability, 0.0);
+    EXPECT_LT(m.probability, 0.5);
+  }
+}
+
+TEST(ErrorModel, XxzzDemIsMatchable) {
+  const XXZZCode code(3, 3);
+  const Circuit noisy = DepolarizingModel{0.01}.apply(code.build());
+  const auto dem = DetectorErrorModel::from_circuit(noisy);
+  EXPECT_EQ(dem.num_detectors, 17u);
+  EXPECT_EQ(dem.num_unmatched, 0u);
+  for (const auto& m : dem.mechanisms) {
+    EXPECT_GE(m.detectors.size(), 1u);
+    EXPECT_LE(m.detectors.size(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matching graph construction
+// ---------------------------------------------------------------------------
+
+TEST(MatchingGraph, BoundaryAndInternalEdges) {
+  DetectorErrorModel dem;
+  dem.num_detectors = 3;
+  dem.num_observables = 1;
+  dem.mechanisms = {
+      {0.01, {0}, 1},     // boundary edge with observable crossing
+      {0.02, {0, 1}, 0},  // internal edge
+      {0.03, {1, 2}, 0},
+  };
+  const auto g = MatchingGraph::from_dem(dem);
+  EXPECT_EQ(g.num_detectors(), 3u);
+  EXPECT_EQ(g.boundary_node(), 3u);
+  EXPECT_EQ(g.edges().size(), 3u);
+  // Boundary edge endpoints.
+  bool found_boundary = false;
+  for (const auto& e : g.edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    if (e.b == g.boundary_node()) {
+      found_boundary = true;
+      EXPECT_EQ(e.a, 0u);
+      EXPECT_EQ(e.observables, 1u);
+    }
+  }
+  EXPECT_TRUE(found_boundary);
+  EXPECT_EQ(g.adjacent_edges(1).size(), 2u);
+}
+
+TEST(MatchingGraph, ParallelEdgesMergeOrConflict) {
+  DetectorErrorModel dem;
+  dem.num_detectors = 2;
+  dem.num_observables = 1;
+  dem.mechanisms = {
+      {0.1, {0, 1}, 0},
+      {0.2, {0, 1}, 0},  // same signature: merge
+      {0.05, {0, 1}, 1}, // conflicting observable: keep likelier
+  };
+  const auto g = MatchingGraph::from_dem(dem);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_NEAR(g.edges()[0].probability, 0.1 * 0.8 + 0.2 * 0.9, 1e-12);
+  EXPECT_EQ(g.edges()[0].observables, 0u);
+  EXPECT_EQ(g.num_conflicting_edges(), 1u);
+}
+
+TEST(MatchingGraph, WeightsDecreaseWithProbability) {
+  DetectorErrorModel dem;
+  dem.num_detectors = 2;
+  dem.num_observables = 0;
+  dem.mechanisms = {{0.001, {0}, 0}, {0.1, {1}, 0}};
+  const auto g = MatchingGraph::from_dem(dem);
+  ASSERT_EQ(g.edges().size(), 2u);
+  const double w_rare =
+      g.edges()[0].probability < 0.01 ? g.edges()[0].weight
+                                      : g.edges()[1].weight;
+  const double w_common =
+      g.edges()[0].probability < 0.01 ? g.edges()[1].weight
+                                      : g.edges()[0].weight;
+  EXPECT_GT(w_rare, w_common);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,114 @@
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace {
+
+ExperimentOptions tiny() {
+  ExperimentOptions opts;
+  opts.shots = 40;  // smoke-level statistics
+  opts.seed = 7;
+  return opts;
+}
+
+TEST(Options, ArgParsing) {
+  const char* argv[] = {"bin", "--shots", "123", "--seed", "9", "--csv"};
+  const auto opts =
+      ExperimentOptions::from_args(6, const_cast<char**>(argv));
+  EXPECT_EQ(opts.shots, 123u);
+  EXPECT_EQ(opts.seed, 9u);
+  EXPECT_TRUE(opts.csv);
+
+  const char* bad[] = {"bin", "--frobnicate"};
+  EXPECT_THROW(ExperimentOptions::from_args(2, const_cast<char**>(bad)),
+               InvalidArgument);
+}
+
+TEST(Options, ShotResolutionPrecedence) {
+  unsetenv("RADSURF_SHOTS");
+  unsetenv("RADSURF_FAST");
+  ExperimentOptions opts;
+  EXPECT_EQ(opts.resolve_shots(500), 500u);
+  opts.shots = 90;
+  EXPECT_EQ(opts.resolve_shots(500), 90u);
+  opts.shots = 0;
+  setenv("RADSURF_SHOTS", "333", 1);
+  EXPECT_EQ(opts.resolve_shots(500), 333u);
+  setenv("RADSURF_FAST", "1", 1);
+  EXPECT_EQ(opts.resolve_shots(500), 33u);
+  unsetenv("RADSURF_SHOTS");
+  unsetenv("RADSURF_FAST");
+}
+
+TEST(Options, MinimumShotsFloor) {
+  unsetenv("RADSURF_SHOTS");
+  ExperimentOptions opts;
+  opts.shots = 1;
+  EXPECT_EQ(opts.resolve_shots(500), 20u);
+}
+
+TEST(Fig3, SeriesMatchesClosedForm) {
+  const auto report = fig3_temporal_decay();
+  EXPECT_GT(report.table.num_rows(), 10u);
+  EXPECT_FALSE(report.notes.empty());
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("Fig. 3"), std::string::npos);
+}
+
+TEST(Fig4, HeatmapHasPeakAtOrigin) {
+  const auto report = fig4_spatial_decay();
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("Fig. 4"), std::string::npos);
+  // S(0) = 1 must appear for the origin row.
+  EXPECT_NE(s.find("1.000000"), std::string::npos);
+}
+
+TEST(Fig5, SmokeRunProducesLandscape) {
+  const auto report = fig5_noise_vs_radiation(tiny());
+  // 2 codes x 8 p-values x 10 samples.
+  EXPECT_EQ(report.table.num_rows(), 2u * 8u * 10u);
+  EXPECT_GE(report.notes.size(), 3u);
+}
+
+TEST(Fig6, SmokeRunCoversAllDistances) {
+  const auto report = fig6_code_distance(tiny());
+  EXPECT_EQ(report.table.num_rows(), 12u);  // 7 repetition + 5 xxzz
+}
+
+TEST(Fig7, SmokeRunHasSubgraphSweep) {
+  const auto report = fig7_fault_spread(tiny());
+  EXPECT_GT(report.table.num_rows(), 20u);
+  EXPECT_GE(report.notes.size(), 2u);
+}
+
+TEST(Fig8, SmokeRunCoversArchitectures) {
+  ExperimentOptions opts = tiny();
+  opts.shots = 25;
+  const auto report = fig8_architecture(opts);
+  // One row per active qubit per (code, arch) pair; at least 22 + 18 rows.
+  EXPECT_GT(report.table.num_rows(), 40u);
+  // Summaries for all 12 configurations plus the paper note.
+  EXPECT_GE(report.notes.size(), 12u);
+}
+
+TEST(ScaledMesh, FollowsPaperRule) {
+  EXPECT_EQ(scaled_mesh_for(6).num_nodes(), 10u);    // 5x2
+  EXPECT_EQ(scaled_mesh_for(10).num_nodes(), 10u);   // 5x2
+  EXPECT_EQ(scaled_mesh_for(18).num_nodes(), 20u);   // 5x4
+  EXPECT_EQ(scaled_mesh_for(30).num_nodes(), 30u);   // 5x6
+  EXPECT_EQ(scaled_mesh_for(22).num_nodes(), 25u);   // 5x5
+}
+
+TEST(Report, CsvRendering) {
+  const auto report = fig3_temporal_decay();
+  const std::string csv = report.to_string(/*csv=*/true);
+  EXPECT_NE(csv.find("t,T(t)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,183 @@
+#include "stab/frame_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stab/reference.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(FrameSim, NoNoiseMeansNoFlips) {
+  Circuit c;
+  c.h(0);
+  c.cx(0, 1);
+  c.m(0);
+  c.m(1);
+  c.mr(0);
+  FrameSimulator sim(c, 128);
+  Rng rng(1);
+  const MeasurementFlips flips = sim.run(rng);
+  ASSERT_EQ(flips.size(), 3u);
+  for (const auto& row : flips) EXPECT_TRUE(row.none());
+}
+
+TEST(FrameSim, DeterministicXBeforeMeasureDoesNotFlip) {
+  // Deterministic gates are part of the reference; frames ignore them.
+  Circuit c;
+  c.x(0);
+  c.m(0);
+  FrameSimulator sim(c, 64);
+  Rng rng(2);
+  EXPECT_TRUE(sim.run(rng)[0].none());
+}
+
+TEST(FrameSim, XErrorAlwaysFlips) {
+  Circuit c;
+  c.append(Gate::X_ERROR, {0}, {1.0});
+  c.m(0);
+  FrameSimulator sim(c, 100);
+  Rng rng(3);
+  const auto flips = sim.run(rng);
+  EXPECT_EQ(flips[0].popcount(), 100u);
+}
+
+TEST(FrameSim, XErrorRateAcrossShots) {
+  Circuit c;
+  c.append(Gate::X_ERROR, {0}, {0.25});
+  c.m(0);
+  FrameSimulator sim(c, 4096);
+  Rng rng(4);
+  const auto flips = sim.run(rng);
+  EXPECT_NEAR(flips[0].popcount() / 4096.0, 0.25, 0.03);
+}
+
+TEST(FrameSim, ErrorPropagatesThroughCnot) {
+  // X on control before CX flips both measurements.
+  Circuit c;
+  c.append(Gate::X_ERROR, {0}, {1.0});
+  c.cx(0, 1);
+  c.m(0);
+  c.m(1);
+  FrameSimulator sim(c, 64);
+  Rng rng(5);
+  const auto flips = sim.run(rng);
+  EXPECT_EQ(flips[0].popcount(), 64u);
+  EXPECT_EQ(flips[1].popcount(), 64u);
+}
+
+TEST(FrameSim, ZErrorThroughHadamardFlips) {
+  Circuit c;
+  c.append(Gate::Z_ERROR, {0}, {1.0});
+  c.h(0);
+  c.m(0);
+  FrameSimulator sim(c, 64);
+  Rng rng(6);
+  EXPECT_EQ(sim.run(rng)[0].popcount(), 64u);
+}
+
+TEST(FrameSim, ResetClearsFrame) {
+  Circuit c;
+  c.append(Gate::X_ERROR, {0}, {1.0});
+  c.r(0);
+  c.m(0);
+  FrameSimulator sim(c, 64);
+  Rng rng(7);
+  EXPECT_TRUE(sim.run(rng)[0].none());
+}
+
+TEST(FrameSim, ResetErrorRejected) {
+  Circuit c;
+  c.append(Gate::RESET_ERROR, {0}, {0.5});
+  c.m(0);
+  FrameSimulator sim(c, 64);
+  Rng rng(8);
+  EXPECT_THROW(sim.run(rng), CircuitError);
+}
+
+TEST(FrameSim, BiasedFillStatistics) {
+  Rng rng(9);
+  BitVec bits(20000);
+  FrameSimulator::fill_biased(bits, 0.1, rng);
+  EXPECT_NEAR(bits.popcount() / 20000.0, 0.1, 0.01);
+  FrameSimulator::fill_biased(bits, 0.7, rng);
+  EXPECT_NEAR(bits.popcount() / 20000.0, 0.7, 0.02);
+  FrameSimulator::fill_biased(bits, 0.0, rng);
+  EXPECT_TRUE(bits.none());
+  FrameSimulator::fill_biased(bits, 1.0, rng);
+  EXPECT_EQ(bits.popcount(), 20000u);
+}
+
+TEST(FrameSim, UniformFillKeepsPadding) {
+  Rng rng(10);
+  BitVec bits(70);  // 6 bits of padding in the last word
+  FrameSimulator::fill_uniform(bits, rng);
+  // Padding must stay zero: popcount over logical bits only.
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < 70; ++i) manual += bits.get(i);
+  EXPECT_EQ(bits.popcount(), manual);
+}
+
+// Cross-validation: frame sampling and exact tableau sampling must agree on
+// every noiseless-deterministic statistic (detector semantics).  Frame
+// simulation pins intrinsically-random measurement marginals to the
+// reference, so only parities that are deterministic at zero noise are
+// compared — which is exactly what the decoder consumes.
+TEST(FrameSim, MatchesTableauOnDeterministicParities) {
+  Circuit c;
+  c.r(0);
+  c.r(1);
+  c.r(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.append(Gate::DEPOLARIZE1, {0, 1, 2}, {0.15});
+  c.m(0);
+  c.m(1);
+  c.m(2);
+
+  // GHZ parities m0^m1 and m1^m2 are 0 in the absence of noise.
+  const std::size_t shots = 8000;
+  TableauSimulator tsim(c);
+  Rng trng(11);
+  double t_par01 = 0, t_par12 = 0, t_both = 0;
+  for (std::size_t s = 0; s < shots; ++s) {
+    const BitVec rec = tsim.sample(trng);
+    const bool p01 = rec.get(0) ^ rec.get(1);
+    const bool p12 = rec.get(1) ^ rec.get(2);
+    t_par01 += p01;
+    t_par12 += p12;
+    t_both += p01 && p12;
+  }
+  MeasurementSampler msampler(c);
+  Rng frng(12);
+  const auto records = msampler.sample(shots, frng);
+  double f_par01 = 0, f_par12 = 0, f_both = 0;
+  for (const BitVec& rec : records) {
+    const bool p01 = rec.get(0) ^ rec.get(1);
+    const bool p12 = rec.get(1) ^ rec.get(2);
+    f_par01 += p01;
+    f_par12 += p12;
+    f_both += p01 && p12;
+  }
+  EXPECT_NEAR(t_par01 / shots, f_par01 / shots, 0.025);
+  EXPECT_NEAR(t_par12 / shots, f_par12 / shots, 0.025);
+  EXPECT_NEAR(t_both / shots, f_both / shots, 0.02);
+}
+
+TEST(FrameSim, RepeatedRandomMeasurementsAgreeWithinShot) {
+  // H then M twice: the raw marginal is pinned to the reference (a frame-
+  // simulation property), but the within-shot correlation — the
+  // deterministic parity m1^m2 = 0 — must hold exactly.
+  Circuit c;
+  c.h(0);
+  c.m(0);
+  c.m(0);
+  MeasurementSampler sampler(c);
+  Rng rng(13);
+  for (const BitVec& rec : sampler.sample(512, rng))
+    EXPECT_EQ(rec.get(0), rec.get(1));
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,104 @@
+#include "arch/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace {
+
+Graph path4() {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Graph, EdgesAndDegrees) {
+  Graph g = path4();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+}
+
+TEST(Graph, DuplicateEdgeIgnoredSelfLoopRejected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_THROW(g.add_edge(1, 1), InvalidArgument);
+  EXPECT_THROW(g.add_edge(0, 3), InvalidArgument);
+}
+
+TEST(Graph, BfsDistances) {
+  Graph g = path4();
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d, (std::vector<std::size_t>{0, 1, 2, 3}));
+  const auto d2 = g.bfs_distances(2);
+  EXPECT_EQ(d2, (std::vector<std::size_t>{2, 1, 0, 1}));
+}
+
+TEST(Graph, DisconnectedDistanceIsMax) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d[2], std::numeric_limits<std::size_t>::max());
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Graph, ConnectedCheck) {
+  EXPECT_TRUE(path4().is_connected());
+  Graph empty;
+  EXPECT_TRUE(empty.is_connected());
+}
+
+TEST(Graph, ShortestPathEndpointsInclusive) {
+  Graph g = path4();
+  const auto p = g.shortest_path(0, 3);
+  EXPECT_EQ(p, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(g.shortest_path(2, 2), (std::vector<std::uint32_t>{2}));
+}
+
+TEST(Graph, ShortestPathUnreachableEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.shortest_path(0, 2).empty());
+}
+
+TEST(Graph, AllPairsMatchesSingleSource) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(0, 4);  // cycle
+  const auto ap = g.all_pairs_distances();
+  for (std::uint32_t v = 0; v < 5; ++v)
+    EXPECT_EQ(ap[v], g.bfs_distances(v));
+  EXPECT_EQ(ap[0][2], 2u);  // via either side of the cycle
+  EXPECT_EQ(ap[0][3], 2u);  // via 4
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const Graph sub = g.induced({1, 2, 4});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 1u);  // only 1-2 survives
+  EXPECT_TRUE(sub.has_edge(0, 1));
+}
+
+}  // namespace
+}  // namespace radsurf

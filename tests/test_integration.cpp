@@ -1,0 +1,215 @@
+// Cross-module integration tests: the paper's qualitative observations as
+// executable invariants, plus simulator cross-validation on real code
+// circuits.
+#include <gtest/gtest.h>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "detector/detectors.hpp"
+#include "detector/error_model.hpp"
+#include "inject/campaign.hpp"
+#include "inject/results.hpp"
+#include "noise/depolarizing.hpp"
+#include "stab/reference.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+namespace {
+
+// --- simulator cross-validation on a real code ----------------------------
+
+TEST(CrossValidation, DetectorRatesAgreeOnXxzzCircuit) {
+  // Tableau (exact) vs frame (bit-parallel) sampling of the same noisy
+  // XXZZ-(3,3) circuit must produce the same per-detector flip rates.
+  const XXZZCode code(3, 3);
+  const Circuit noisy = DepolarizingModel{0.02}.apply(code.build());
+  const DetectorSet ds = DetectorSet::compile(noisy);
+  TableauSimulator tsim(noisy);
+  const BitVec ref = tsim.reference_sample();
+
+  const std::size_t shots = 4000;
+  std::vector<double> t_rate(ds.num_detectors(), 0);
+  Rng trng(21);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const BitVec rec = tsim.sample(trng);
+    const BitVec dets = ds.detector_values(rec, ref);
+    for (std::size_t d = 0; d < t_rate.size(); ++d) t_rate[d] += dets.get(d);
+  }
+
+  Rng frng(22);
+  FrameSimulator fsim(noisy, shots);
+  const auto flips = fsim.run(frng);
+  const auto det_rows = ds.detector_flips(flips);
+  for (std::size_t d = 0; d < ds.num_detectors(); ++d) {
+    const double tr = t_rate[d] / static_cast<double>(shots);
+    const double fr = static_cast<double>(det_rows[d].popcount()) /
+                      static_cast<double>(shots);
+    EXPECT_NEAR(tr, fr, 0.025) << "detector " << d;
+  }
+}
+
+TEST(CrossValidation, ObservableFlipRatesAgreeOnRepetition) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  const Circuit noisy = DepolarizingModel{0.03}.apply(code.build());
+  const DetectorSet ds = DetectorSet::compile(noisy);
+  TableauSimulator tsim(noisy);
+  const BitVec ref = tsim.reference_sample();
+
+  const std::size_t shots = 6000;
+  double t_obs = 0;
+  Rng trng(31);
+  for (std::size_t s = 0; s < shots; ++s)
+    t_obs += ds.observable_values(tsim.sample(trng), ref) & 1;
+
+  Rng frng(32);
+  FrameSimulator fsim(noisy, shots);
+  const auto obs_rows = ds.observable_flips(fsim.run(frng));
+  const double f_obs = static_cast<double>(obs_rows[0].popcount());
+  EXPECT_NEAR(t_obs / shots, f_obs / shots, 0.02);
+}
+
+// --- paper observations as invariants --------------------------------------
+
+TEST(PaperInvariants, ObsI_RadiationDominatesAtAnyPhysicalErrorRate) {
+  // Even at p = 1e-8 the strike-time LER stays catastrophic.
+  const XXZZCode code(3, 3);
+  EngineOptions opts;
+  opts.physical_error_rate = 1e-8;
+  InjectionEngine engine(code, make_mesh(5, 4), opts);
+  const auto strike = engine.run_radiation_at(2, 1.0, true, 1200, 41);
+  EXPECT_GT(strike.rate(), 0.2);
+  // And the intrinsic-only baseline at that p is essentially zero.
+  const auto base = engine.run_intrinsic(1200, 42);
+  EXPECT_LT(base.rate(), 0.01);
+}
+
+TEST(PaperInvariants, ObsII_NoDestructiveInterference) {
+  // Radiation on top of intrinsic noise never *reduces* the LER: compare
+  // strike LER across intrinsic noise levels.
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  double last = 0.0;
+  for (double p : {1e-6, 1e-3, 1e-2}) {
+    EngineOptions opts;
+    opts.physical_error_rate = p;
+    InjectionEngine engine(code, make_mesh(5, 2), opts);
+    const auto strike = engine.run_radiation_at(2, 1.0, true, 1500, 43);
+    EXPECT_GE(strike.rate(), last - 0.05) << "p=" << p;
+    last = strike.rate();
+  }
+}
+
+TEST(PaperInvariants, ObsIV_BitFlipProtectionBeatsPhaseFlip) {
+  // Equal qubit budget, single-erasure medians (Fig 6's comparison).
+  const XXZZCode bitflip(3, 1);
+  const XXZZCode phaseflip(1, 3);
+  InjectionEngine eb(bitflip, make_mesh(5, 2), EngineOptions{});
+  InjectionEngine ep(phaseflip, make_mesh(5, 2), EngineOptions{});
+  auto median_ler = [](InjectionEngine& e) {
+    std::vector<Proportion> per_root;
+    std::uint64_t salt = 0;
+    for (std::uint32_t root : e.active_qubits())
+      per_root.push_back(e.run_erasure({root}, 800, 4000 + 31 * ++salt));
+    return median_rate(per_root);
+  };
+  EXPECT_LT(median_ler(eb), median_ler(ep));
+}
+
+TEST(PaperInvariants, ObsV_SpreadingFaultBeatsSingleErasure) {
+  const XXZZCode code(3, 3);
+  InjectionEngine engine(code, make_mesh(5, 4), EngineOptions{});
+  std::vector<Proportion> spread, single;
+  std::uint64_t salt = 0;
+  for (std::uint32_t root : engine.active_qubits()) {
+    spread.push_back(
+        engine.run_radiation_at(root, 1.0, true, 500, 5000 + 7 * ++salt));
+    single.push_back(engine.run_erasure({root}, 500, 6000 + 7 * salt));
+  }
+  EXPECT_GT(median_rate(spread), median_rate(single));
+}
+
+TEST(PaperInvariants, ObsVIII_SwapOverheadTracksConnectivity) {
+  // avg degree up => swaps down, for the XXZZ code.
+  const XXZZCode code(3, 3);
+  const Circuit logical = code.build();
+  std::vector<std::pair<double, std::size_t>> rows;
+  for (const char* arch : {"linear:18", "mesh:5x4", "complete:18"}) {
+    const Graph g = make_topology(arch);
+    rows.emplace_back(g.average_degree(),
+                      transpile(logical, g, {}).swap_count);
+  }
+  EXPECT_GT(rows[0].second, rows[1].second);  // linear > mesh
+  EXPECT_GT(rows[1].second, rows[2].second);  // mesh > complete
+  EXPECT_EQ(rows[2].second, 0u);              // complete: no swaps
+}
+
+TEST(PaperInvariants, TemporalDecayReducesDamageMonotonically) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), EngineOptions{});
+  const auto series = engine.run_radiation_event(2, 1200, 47);
+  // Pool the first three and last three samples.
+  Proportion early, late;
+  for (int i = 0; i < 3; ++i) early += series[static_cast<std::size_t>(i)];
+  for (std::size_t i = series.size() - 3; i < series.size(); ++i)
+    late += series[i];
+  EXPECT_GT(early.rate(), late.rate() + 0.05);
+}
+
+// --- engine plumbing across architectures ----------------------------------
+
+class EngineOnArch : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineOnArch, FullPipelineRunsAndDecodes) {
+  const XXZZCode code(3, 3);
+  InjectionEngine engine(code, make_topology(GetParam()), EngineOptions{});
+  EXPECT_GE(engine.active_qubits().size(), code.num_qubits());
+  EXPECT_GT(engine.matching_graph().edges().size(), 10u);
+  const auto res = engine.run_radiation_at(
+      engine.active_qubits()[0], 0.8, true, 200, 51);
+  EXPECT_EQ(res.trials, 200u);
+  EXPECT_GE(res.rate(), 0.0);
+  EXPECT_LE(res.rate(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, EngineOnArch,
+                         ::testing::Values("mesh:5x4", "linear:18",
+                                           "complete:18", "almaden",
+                                           "johannesburg", "cambridge",
+                                           "cairo", "brooklyn"));
+
+class RepEngineOnArch : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RepEngineOnArch, FullPipelineRunsAndDecodes) {
+  const RepetitionCode code(11, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_topology(GetParam()), EngineOptions{});
+  const auto res = engine.run_erasure({engine.active_qubits()[2]}, 200, 53);
+  EXPECT_EQ(res.trials, 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, RepEngineOnArch,
+                         ::testing::Values("linear:22", "mesh:5x6", "cairo",
+                                           "cambridge", "brooklyn"));
+
+// --- determinism of the full stack -----------------------------------------
+
+TEST(Determinism, ErasureCampaignReproducible) {
+  const XXZZCode code(3, 3);
+  InjectionEngine engine(code, make_mesh(5, 4), EngineOptions{});
+  const auto& active = engine.active_qubits();
+  const std::vector<std::uint32_t> set(active.begin(), active.begin() + 4);
+  const auto a = engine.run_erasure(set, 500, 61);
+  const auto b = engine.run_erasure(set, 500, 61);
+  EXPECT_EQ(a.successes, b.successes);
+}
+
+TEST(Determinism, EngineConstructionIsDeterministic) {
+  const XXZZCode code(3, 3);
+  InjectionEngine e1(code, make_mesh(5, 4), EngineOptions{});
+  InjectionEngine e2(code, make_mesh(5, 4), EngineOptions{});
+  EXPECT_EQ(e1.transpiled().circuit, e2.transpiled().circuit);
+  EXPECT_EQ(e1.matching_graph().edges().size(),
+            e2.matching_graph().edges().size());
+}
+
+}  // namespace
+}  // namespace radsurf

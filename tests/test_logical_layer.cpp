@@ -1,0 +1,106 @@
+#include "core/logical_layer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radsurf {
+namespace {
+
+TEST(LogicalGhz, CircuitShape) {
+  const Circuit c = logical_ghz_circuit(5);
+  EXPECT_EQ(c.num_qubits(), 5u);
+  EXPECT_EQ(c.num_measurements(), 5u);
+  EXPECT_EQ(c.num_observables(), 5u);  // 4 pairwise + global
+  EXPECT_THROW(logical_ghz_circuit(1), InvalidArgument);
+}
+
+TEST(LogicalFaults, InstrumentationPlacesErrors) {
+  Circuit c;
+  c.h(0);
+  c.cx(0, 1);
+  LogicalFaultModel model;
+  model.x_rate = {0.1, 0.0};
+  model.z_rate = {0.0, 0.2};
+  const Circuit noisy = instrument_logical_faults(c, model);
+  // H, X_ERROR(q0), CX, X_ERROR(q0), Z_ERROR(q1).
+  ASSERT_EQ(noisy.size(), 5u);
+  EXPECT_EQ(noisy.instructions()[1].gate, Gate::X_ERROR);
+  EXPECT_EQ(noisy.instructions()[3].gate, Gate::X_ERROR);
+  EXPECT_EQ(noisy.instructions()[4].gate, Gate::Z_ERROR);
+  EXPECT_DOUBLE_EQ(noisy.instructions()[4].args[0], 0.2);
+}
+
+TEST(LogicalFaults, ZeroRatesIdentity) {
+  const Circuit ghz = logical_ghz_circuit(3);
+  const Circuit noisy = instrument_logical_faults(ghz, {});
+  EXPECT_EQ(noisy, ghz);
+}
+
+TEST(LogicalFaults, BadRateRejected) {
+  Circuit c;
+  c.h(0);
+  LogicalFaultModel model;
+  model.x_rate = {1.5};
+  EXPECT_THROW(instrument_logical_faults(c, model), InvalidArgument);
+}
+
+TEST(LogicalCorruption, CleanCircuitNeverCorrupted) {
+  const Circuit ghz = logical_ghz_circuit(4);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(logical_corruption_rate(ghz, 500, rng), 0.0);
+}
+
+TEST(LogicalCorruption, CertainFaultAlwaysCorrupts) {
+  const Circuit ghz = logical_ghz_circuit(3);
+  LogicalFaultModel model;
+  model.x_rate = {0.0, 1.0, 0.0};  // struck patch flips at every gate
+  Rng rng(2);
+  const double rate = logical_corruption_rate(
+      instrument_logical_faults(ghz, model), 400, rng);
+  // Patch 1 receives two CX touches -> flips cancel or not depending on
+  // position, but a pairwise parity is essentially always broken.
+  EXPECT_GT(rate, 0.9);
+}
+
+TEST(LogicalCorruption, MonotoneInFaultRate) {
+  const Circuit ghz = logical_ghz_circuit(5);
+  Rng rng(3);
+  double last = -1.0;
+  for (double p : {0.0, 0.05, 0.2, 0.5}) {
+    LogicalFaultModel model;
+    model.x_rate.assign(5, p);
+    const double rate = logical_corruption_rate(
+        instrument_logical_faults(ghz, model), 3000, rng);
+    EXPECT_GT(rate, last - 0.05) << "p=" << p;  // statistical slack
+    last = rate;
+  }
+  EXPECT_GT(last, 0.5);
+}
+
+TEST(LogicalCorruption, SingleStruckPatchBreaksSharedParities) {
+  // Faults on one patch corrupt only the parities that involve it when
+  // the fault lands after the entangling gates -- the corruption must be
+  // strictly between 0 and the all-patches case.
+  const Circuit ghz = logical_ghz_circuit(4);
+  Rng rng(4);
+  LogicalFaultModel one;
+  one.x_rate = {0.0, 0.0, 0.3, 0.0};
+  LogicalFaultModel all;
+  all.x_rate.assign(4, 0.3);
+  const double one_rate = logical_corruption_rate(
+      instrument_logical_faults(ghz, one), 4000, rng);
+  const double all_rate = logical_corruption_rate(
+      instrument_logical_faults(ghz, all), 4000, rng);
+  EXPECT_GT(one_rate, 0.05);
+  EXPECT_LT(one_rate, all_rate);
+}
+
+TEST(LogicalCorruption, RequiresObservables) {
+  Circuit c;
+  c.h(0);
+  c.m(0);
+  Rng rng(5);
+  EXPECT_THROW(logical_corruption_rate(c, 10, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace radsurf

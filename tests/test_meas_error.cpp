@@ -1,0 +1,111 @@
+// Tests of the readout (SPAM) error extension and the campaign engine's
+// frame fast path.
+#include <gtest/gtest.h>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "inject/campaign.hpp"
+#include "noise/depolarizing.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(MeasError, InsertedBeforeMeasurements) {
+  Circuit c;
+  c.h(0);
+  c.m(0);
+  c.mr(1);
+  DepolarizingModel model;
+  model.p = 0.0;
+  model.measurement_error = 0.05;
+  const Circuit noisy = model.apply(c);
+  // H, X_ERROR, M, X_ERROR, MR.
+  ASSERT_EQ(noisy.size(), 5u);
+  EXPECT_EQ(noisy.instructions()[1].gate, Gate::X_ERROR);
+  EXPECT_EQ(noisy.instructions()[2].gate, Gate::M);
+  EXPECT_EQ(noisy.instructions()[3].gate, Gate::X_ERROR);
+  EXPECT_EQ(noisy.instructions()[4].gate, Gate::MR);
+}
+
+TEST(MeasError, ZeroRatesIdentity) {
+  Circuit c;
+  c.h(0);
+  c.m(0);
+  DepolarizingModel model;
+  model.p = 0.0;
+  model.measurement_error = 0.0;
+  EXPECT_EQ(model.apply(c), c);
+}
+
+TEST(MeasError, InvalidRateRejected) {
+  Circuit c;
+  c.m(0);
+  DepolarizingModel model;
+  model.measurement_error = 1.2;
+  EXPECT_THROW(model.apply(c), InvalidArgument);
+}
+
+TEST(MeasError, FlipsRecordedOutcomeAtStatedRate) {
+  Circuit c;
+  c.r(0);
+  c.m(0);
+  DepolarizingModel model;
+  model.p = 0.0;
+  model.measurement_error = 0.25;
+  TableauSimulator sim(model.apply(c));
+  Rng rng(5);
+  int flips = 0;
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) flips += sim.sample(rng).get(0);
+  EXPECT_NEAR(flips / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(MeasError, SyndromeFlipMakesVerticalDefectPair) {
+  // A readout error on a syndrome qubit in round 1 fires that round's
+  // detector and the paired round-2 detector -- the classic vertical
+  // (time-like) edge.  The engine must stay decodable with pm > 0.
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  EngineOptions opts;
+  opts.measurement_error_rate = 2e-2;
+  InjectionEngine engine(code, make_mesh(5, 2), opts);
+  const auto base = engine.run_intrinsic(1500, 7);
+  EXPECT_LT(base.rate(), 0.25);
+  // Higher readout error must not *reduce* the logical error rate.
+  EngineOptions clean;
+  clean.measurement_error_rate = 0.0;
+  InjectionEngine engine_clean(code, make_mesh(5, 2), clean);
+  const auto base_clean = engine_clean.run_intrinsic(1500, 7);
+  EXPECT_GE(base.rate() + 0.03, base_clean.rate());
+}
+
+TEST(FrameFastPath, MatchesTableauPathStatistically) {
+  // Intrinsic-only campaigns take the frame path; erasure campaigns take
+  // the tableau path.  Force the tableau path for an intrinsic campaign
+  // by adding a zero-qubit... instead: compare the frame-path LER against
+  // an independently seeded tableau-path LER via a probability-0 reset
+  // instrumentation (which forces the tableau engine without changing the
+  // distribution).
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), EngineOptions{});
+  const std::size_t shots = 4000;
+  const auto frame = engine.run_intrinsic(shots, 11);
+  // A reset field of probability epsilon ~ 0 on one qubit keeps the
+  // distribution while forcing the exact tableau engine.
+  std::vector<double> probs(engine.architecture().num_nodes(), 0.0);
+  probs[0] = 1e-12;
+  const auto tableau = engine.run_reset_probs(probs, shots, 12);
+  EXPECT_NEAR(frame.rate(), tableau.rate(), 0.03);
+}
+
+TEST(FrameFastPath, ZeroNoiseStillExactlyZero) {
+  const RepetitionCode code(3, RepetitionFlavor::BIT_FLIP);
+  EngineOptions opts;
+  opts.physical_error_rate = 0.0;
+  InjectionEngine engine(code, make_mesh(5, 2), opts);
+  const auto res = engine.run_intrinsic(500, 13);
+  EXPECT_EQ(res.successes, 0u);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,208 @@
+#include "noise/depolarizing.hpp"
+#include "noise/radiation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/topologies.hpp"
+
+namespace radsurf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Depolarizing instrumentation (Eq. 4)
+// ---------------------------------------------------------------------------
+
+TEST(Depolarizing, InsertsChannelAfterEveryUnitary) {
+  Circuit c;
+  c.r(0);
+  c.h(0);
+  c.cx(0, 1);
+  c.m(1);
+  c.detector({1});
+
+  const Circuit noisy = DepolarizingModel{0.01}.apply(c);
+  // R, H, DEPOLARIZE1, CX, DEPOLARIZE2, M, DETECTOR.
+  ASSERT_EQ(noisy.size(), 7u);
+  EXPECT_EQ(noisy.instructions()[2].gate, Gate::DEPOLARIZE1);
+  EXPECT_EQ(noisy.instructions()[2].args[0], 0.01);
+  EXPECT_EQ(noisy.instructions()[4].gate, Gate::DEPOLARIZE2);
+  EXPECT_EQ(noisy.instructions()[5].gate, Gate::M);
+  EXPECT_EQ(noisy.instructions()[6].gate, Gate::DETECTOR);
+}
+
+TEST(Depolarizing, ZeroRateIsIdentityTransform) {
+  Circuit c;
+  c.h(0);
+  c.m(0);
+  EXPECT_EQ(DepolarizingModel{0.0}.apply(c), c);
+}
+
+TEST(Depolarizing, NoNoiseAfterNonUnitaries) {
+  Circuit c;
+  c.r(0);
+  c.m(0);
+  c.mr(0);
+  const Circuit noisy = DepolarizingModel{0.05}.apply(c);
+  EXPECT_EQ(noisy.size(), 3u);  // untouched
+}
+
+TEST(Depolarizing, IdentityGateGetsNoNoise) {
+  // I is a placeholder, not a physical operation.
+  Circuit c;
+  c.i(0);
+  EXPECT_EQ(DepolarizingModel{0.05}.apply(c).size(), 1u);
+}
+
+TEST(Depolarizing, UniformVariantSelectable) {
+  Circuit c;
+  c.cx(0, 1);
+  const Circuit noisy = DepolarizingModel{0.02, true}.apply(c);
+  EXPECT_EQ(noisy.instructions()[1].gate, Gate::DEPOLARIZE2_UNIFORM);
+}
+
+TEST(Depolarizing, InvalidRateRejected) {
+  Circuit c;
+  c.h(0);
+  EXPECT_THROW(DepolarizingModel{-0.1}.apply(c), InvalidArgument);
+  EXPECT_THROW(DepolarizingModel{1.5}.apply(c), InvalidArgument);
+}
+
+TEST(Depolarizing, MeasurementRecordsUnchanged) {
+  Circuit c;
+  c.h(0);
+  c.m(0);
+  c.detector({1});
+  const Circuit noisy = DepolarizingModel{0.01}.apply(c);
+  EXPECT_EQ(noisy.num_measurements(), c.num_measurements());
+  EXPECT_EQ(noisy.num_detectors(), c.num_detectors());
+}
+
+// ---------------------------------------------------------------------------
+// Radiation model (Eqs. 5-7)
+// ---------------------------------------------------------------------------
+
+TEST(Radiation, TemporalDecayMatchesClosedForm) {
+  const RadiationModel m;
+  EXPECT_DOUBLE_EQ(m.temporal(0.0), 1.0);
+  EXPECT_NEAR(m.temporal(0.1), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(m.temporal(1.0), std::exp(-10.0), 1e-12);
+  EXPECT_THROW(m.temporal(-0.1), InvalidArgument);
+  EXPECT_THROW(m.temporal(1.1), InvalidArgument);
+}
+
+TEST(Radiation, SpatialDampingMatchesClosedForm) {
+  const RadiationModel m;  // n = 1
+  EXPECT_DOUBLE_EQ(m.spatial(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.spatial(1), 0.25);
+  EXPECT_NEAR(m.spatial(2), 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(m.spatial(9), 0.01, 1e-12);
+}
+
+TEST(Radiation, DecayIsProductOfFactors) {
+  const RadiationModel m;
+  EXPECT_NEAR(m.decay(0.2, 3), m.temporal(0.2) * m.spatial(3), 1e-15);
+}
+
+TEST(Radiation, SampleTimesAreEquidistantFromZero) {
+  const RadiationModel m;  // ns = 10
+  const auto times = m.sample_times();
+  ASSERT_EQ(times.size(), 10u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[9], 0.9);
+  const auto values = m.sample_values();
+  EXPECT_DOUBLE_EQ(values[0], 1.0);  // 100% at the strike
+  for (std::size_t i = 1; i < values.size(); ++i)
+    EXPECT_LT(values[i], values[i - 1]);  // strictly decaying
+}
+
+TEST(Radiation, CustomSampleCount) {
+  RadiationModel m;
+  m.ns = 4;
+  EXPECT_EQ(m.sample_times().size(), 4u);
+  m.ns = 0;
+  EXPECT_THROW(m.sample_times(), InvalidArgument);
+}
+
+TEST(Radiation, QubitProbabilitiesFollowBfsDistance) {
+  const RadiationModel m;
+  const Graph g = make_linear(5);
+  const auto probs = m.qubit_probabilities(g, 2, 1.0);
+  ASSERT_EQ(probs.size(), 5u);
+  EXPECT_DOUBLE_EQ(probs[2], 1.0);
+  EXPECT_DOUBLE_EQ(probs[1], 0.25);
+  EXPECT_DOUBLE_EQ(probs[3], 0.25);
+  EXPECT_NEAR(probs[0], 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(probs[4], 1.0 / 9.0, 1e-12);
+}
+
+TEST(Radiation, SpreadDisabledHitsOnlyRoot) {
+  const RadiationModel m;
+  const Graph g = make_mesh(3, 3);
+  const auto probs = m.qubit_probabilities(g, 4, 0.8, /*spread=*/false);
+  for (std::size_t q = 0; q < probs.size(); ++q)
+    EXPECT_DOUBLE_EQ(probs[q], q == 4 ? 0.8 : 0.0);
+}
+
+TEST(Radiation, RootIntensityScalesField) {
+  const RadiationModel m;
+  const Graph g = make_mesh(3, 3);
+  const auto full = m.qubit_probabilities(g, 0, 1.0);
+  const auto half = m.qubit_probabilities(g, 0, 0.5);
+  for (std::size_t q = 0; q < full.size(); ++q)
+    EXPECT_NEAR(half[q], 0.5 * full[q], 1e-12);
+}
+
+TEST(Radiation, BadArgumentsRejected) {
+  const RadiationModel m;
+  const Graph g = make_linear(3);
+  EXPECT_THROW(m.qubit_probabilities(g, 5, 1.0), InvalidArgument);
+  EXPECT_THROW(m.qubit_probabilities(g, 0, 1.5), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Reset-noise instrumentation
+// ---------------------------------------------------------------------------
+
+TEST(ResetNoise, AppendsAfterGatesOnAffectedQubits) {
+  Circuit c;
+  c.h(0);
+  c.cx(0, 1);
+  c.m(0);
+  const Circuit noisy =
+      instrument_reset_noise(c, std::vector<double>{0.5, 0.0});
+  // H, RESET_ERROR(0)  , CX, RESET_ERROR(0), M.
+  ASSERT_EQ(noisy.size(), 5u);
+  EXPECT_EQ(noisy.instructions()[1].gate, Gate::RESET_ERROR);
+  EXPECT_EQ(noisy.instructions()[1].targets,
+            (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(noisy.instructions()[3].gate, Gate::RESET_ERROR);
+  EXPECT_EQ(noisy.instructions()[4].gate, Gate::M);
+}
+
+TEST(ResetNoise, TwoQubitGateHitsBothAffectedTargets) {
+  Circuit c;
+  c.cx(0, 1);
+  const Circuit noisy =
+      instrument_reset_noise(c, std::vector<double>{0.3, 0.7});
+  ASSERT_EQ(noisy.size(), 3u);
+  EXPECT_EQ(noisy.instructions()[1].args[0], 0.3);
+  EXPECT_EQ(noisy.instructions()[2].args[0], 0.7);
+}
+
+TEST(ResetNoise, ShortProbabilityVectorMeansZero) {
+  Circuit c;
+  c.h(5);
+  const Circuit noisy = instrument_reset_noise(c, {});
+  EXPECT_EQ(noisy.size(), 1u);
+}
+
+TEST(ResetNoise, ErasureProbabilitiesHelper) {
+  const auto probs = erasure_probabilities(4, {1, 3});
+  EXPECT_EQ(probs, (std::vector<double>{0.0, 1.0, 0.0, 1.0}));
+  EXPECT_THROW(erasure_probabilities(2, {5}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace radsurf

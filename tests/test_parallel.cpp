@@ -1,0 +1,80 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 1003;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_chunks(n, 64, Rng(1), [&](const ChunkRange& r, Rng&) {
+    for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, ZeroWorkIsFine) {
+  bool called = false;
+  parallel_chunks(0, 16, Rng(1),
+                  [&](const ChunkRange&, Rng&) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, BadChunkSizeThrows) {
+  EXPECT_THROW(parallel_chunks(10, 0, Rng(1), [](const ChunkRange&, Rng&) {}),
+               InvalidArgument);
+}
+
+TEST(Parallel, ChunkIndexMatchesRngStream) {
+  // Chunk c must receive base.stream(c) — determinism independent of
+  // scheduling.
+  const Rng base(2718);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::uint64_t>> seen;
+  parallel_chunks(300, 100, base, [&](const ChunkRange& r, Rng& rng) {
+    const std::lock_guard<std::mutex> lock(m);
+    seen.emplace_back(r.index, rng.next());
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  for (auto& [index, value] : seen) {
+    Rng expect = base.stream(static_cast<unsigned>(index));
+    EXPECT_EQ(value, expect.next()) << "chunk " << index;
+  }
+}
+
+TEST(Parallel, DeterministicAggregateAcrossRuns) {
+  auto run = [] {
+    std::atomic<std::uint64_t> acc{0};
+    parallel_chunks(1000, 37, Rng(99), [&](const ChunkRange& r, Rng& rng) {
+      std::uint64_t local = 0;
+      for (std::size_t i = r.begin; i < r.end; ++i) local += rng.below(1000);
+      acc.fetch_add(local);
+    });
+    return acc.load();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Parallel, ExceptionsPropagate) {
+  EXPECT_THROW(
+      parallel_chunks(100, 10, Rng(1),
+                      [&](const ChunkRange& r, Rng&) {
+                        if (r.index == 5) throw InvalidArgument("boom");
+                      }),
+      InvalidArgument);
+}
+
+TEST(Parallel, HardwareThreadsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,190 @@
+#include "stab/pauli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radsurf {
+namespace {
+
+TEST(Pauli, FromToString) {
+  const auto p = PauliString::from_string("+XIZY");
+  EXPECT_EQ(p.num_qubits(), 4u);
+  EXPECT_EQ(p.pauli_at(0), 1);  // X
+  EXPECT_EQ(p.pauli_at(1), 0);  // I
+  EXPECT_EQ(p.pauli_at(2), 2);  // Z
+  EXPECT_EQ(p.pauli_at(3), 3);  // Y
+  EXPECT_FALSE(p.sign());
+  EXPECT_EQ(p.to_string(), "+XIZY");
+
+  const auto m = PauliString::from_string("-ZZ");
+  EXPECT_TRUE(m.sign());
+  EXPECT_EQ(m.to_string(), "-ZZ");
+  EXPECT_THROW(PauliString::from_string("+AB"), InvalidArgument);
+}
+
+TEST(Pauli, WeightAndIdentity) {
+  EXPECT_TRUE(PauliString::from_string("III").is_identity());
+  EXPECT_EQ(PauliString::from_string("XIZ").weight(), 2u);
+  EXPECT_EQ(PauliString::from_string("YYY").weight(), 3u);
+}
+
+TEST(Pauli, CommutationRules) {
+  const auto X = PauliString::from_string("X");
+  const auto Y = PauliString::from_string("Y");
+  const auto Z = PauliString::from_string("Z");
+  EXPECT_FALSE(X.commutes_with(Z));
+  EXPECT_FALSE(X.commutes_with(Y));
+  EXPECT_FALSE(Y.commutes_with(Z));
+  EXPECT_TRUE(X.commutes_with(X));
+
+  // XX vs ZZ: two anticommuting sites -> commute overall.
+  EXPECT_TRUE(PauliString::from_string("XX").commutes_with(
+      PauliString::from_string("ZZ")));
+  EXPECT_FALSE(PauliString::from_string("XI").commutes_with(
+      PauliString::from_string("ZI")));
+}
+
+TEST(Pauli, MultiplicationPhases) {
+  // X * Y = iZ -> imaginary, must be rejected for anticommuting operands.
+  auto x = PauliString::from_string("X");
+  EXPECT_THROW(x *= PauliString::from_string("Y"), Error);
+
+  // Commuting products are fine: XX * ZZ = -YY.
+  auto xx = PauliString::from_string("XX");
+  xx *= PauliString::from_string("ZZ");
+  EXPECT_EQ(xx.to_string(), "-YY");
+
+  auto zz = PauliString::from_string("ZZ");
+  zz *= PauliString::from_string("ZZ");
+  EXPECT_EQ(zz.to_string(), "+II");
+}
+
+TEST(Pauli, MulPhaseFunction) {
+  // g(P1, P2): exponent of i in P1*P2.
+  // X*Y = iZ.
+  EXPECT_EQ(pauli_mul_phase(true, false, true, true), 1);
+  // Y*X = -iZ.
+  EXPECT_EQ(pauli_mul_phase(true, true, true, false), -1);
+  // Y*Z = iX.
+  EXPECT_EQ(pauli_mul_phase(true, true, false, true), 1);
+  // Z*X = iY.
+  EXPECT_EQ(pauli_mul_phase(false, true, true, false), 1);
+  // X*Z = -iY.
+  EXPECT_EQ(pauli_mul_phase(true, false, false, true), -1);
+  // Identity / equal operands contribute nothing.
+  EXPECT_EQ(pauli_mul_phase(false, false, true, true), 0);
+  EXPECT_EQ(pauli_mul_phase(true, false, true, false), 0);
+}
+
+struct ConjCase {
+  Gate gate;
+  const char* in;
+  const char* out;
+};
+
+class PauliConjugation : public ::testing::TestWithParam<ConjCase> {};
+
+TEST_P(PauliConjugation, SingleQubitRules) {
+  const auto& [gate, in, out] = GetParam();
+  auto p = PauliString::from_string(in);
+  const std::uint32_t targets[] = {0};
+  p.apply_gate(gate, targets);
+  EXPECT_EQ(p.to_string(), out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownTables, PauliConjugation,
+    ::testing::Values(
+        // H: X<->Z, Y -> -Y.
+        ConjCase{Gate::H, "+X", "+Z"}, ConjCase{Gate::H, "+Z", "+X"},
+        ConjCase{Gate::H, "+Y", "-Y"}, ConjCase{Gate::H, "-X", "-Z"},
+        // S: X -> Y, Y -> -X, Z -> Z.
+        ConjCase{Gate::S, "+X", "+Y"}, ConjCase{Gate::S, "+Y", "-X"},
+        ConjCase{Gate::S, "+Z", "+Z"},
+        // S_DAG: X -> -Y, Y -> X.
+        ConjCase{Gate::S_DAG, "+X", "-Y"}, ConjCase{Gate::S_DAG, "+Y", "+X"},
+        ConjCase{Gate::S_DAG, "+Z", "+Z"},
+        // Paulis conjugate each other with signs.
+        ConjCase{Gate::X, "+Z", "-Z"}, ConjCase{Gate::X, "+Y", "-Y"},
+        ConjCase{Gate::X, "+X", "+X"}, ConjCase{Gate::Z, "+X", "-X"},
+        ConjCase{Gate::Z, "+Z", "+Z"}, ConjCase{Gate::Y, "+X", "-X"},
+        ConjCase{Gate::Y, "+Z", "-Z"}, ConjCase{Gate::Y, "+Y", "+Y"},
+        ConjCase{Gate::I, "+Y", "+Y"}));
+
+struct Conj2Case {
+  Gate gate;
+  const char* in;
+  const char* out;
+};
+
+class PauliConjugation2Q : public ::testing::TestWithParam<Conj2Case> {};
+
+TEST_P(PauliConjugation2Q, TwoQubitRules) {
+  const auto& [gate, in, out] = GetParam();
+  auto p = PauliString::from_string(in);
+  const std::uint32_t targets[] = {0, 1};
+  p.apply_gate(gate, targets);
+  EXPECT_EQ(p.to_string(), out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownTables, PauliConjugation2Q,
+    ::testing::Values(
+        // CX (control 0, target 1): XI->XX, IX->IX, ZI->ZI, IZ->ZZ.
+        Conj2Case{Gate::CX, "+XI", "+XX"}, Conj2Case{Gate::CX, "+IX", "+IX"},
+        Conj2Case{Gate::CX, "+ZI", "+ZI"}, Conj2Case{Gate::CX, "+IZ", "+ZZ"},
+        Conj2Case{Gate::CX, "+XX", "+XI"}, Conj2Case{Gate::CX, "+ZZ", "+IZ"},
+        Conj2Case{Gate::CX, "+YI", "+YX"}, Conj2Case{Gate::CX, "+IY", "+ZY"},
+        // CZ: XI->XZ, IX->ZX, ZI->ZI, IZ->IZ.
+        Conj2Case{Gate::CZ, "+XI", "+XZ"}, Conj2Case{Gate::CZ, "+IX", "+ZX"},
+        Conj2Case{Gate::CZ, "+ZI", "+ZI"}, Conj2Case{Gate::CZ, "+IZ", "+IZ"},
+        // SWAP exchanges.
+        Conj2Case{Gate::SWAP, "+XZ", "+ZX"},
+        Conj2Case{Gate::SWAP, "+YI", "+IY"}));
+
+TEST(Pauli, ConjugationPreservesCommutation) {
+  // Clifford conjugation is an automorphism: commutation relations are
+  // invariant under any gate applied to both operands.
+  const char* strings[] = {"+XIZ", "+ZZX", "+YXI", "+IYZ", "+XXX", "+ZIZ"};
+  const Gate gates[] = {Gate::H, Gate::S, Gate::CX, Gate::CZ, Gate::SWAP};
+  for (const char* sa : strings) {
+    for (const char* sb : strings) {
+      for (Gate g : gates) {
+        auto a = PauliString::from_string(sa);
+        auto b = PauliString::from_string(sb);
+        const bool before = a.commutes_with(b);
+        std::vector<std::uint32_t> targets =
+            gate_info(g).is_two_qubit ? std::vector<std::uint32_t>{0, 2}
+                                      : std::vector<std::uint32_t>{1};
+        a.apply_gate(g, targets);
+        b.apply_gate(g, targets);
+        EXPECT_EQ(a.commutes_with(b), before)
+            << sa << " vs " << sb << " under " << gate_info(g).name;
+      }
+    }
+  }
+}
+
+TEST(Pauli, GateInverseRoundTrip) {
+  // Applying a gate then its inverse restores the operator.
+  const char* strings[] = {"+X", "+Y", "+Z", "-X", "-Y", "-Z"};
+  for (const char* s : strings) {
+    auto p = PauliString::from_string(s);
+    const std::uint32_t t[] = {0};
+    p.apply_gate(Gate::S, t);
+    p.apply_gate(Gate::S_DAG, t);
+    EXPECT_EQ(p.to_string(), s);
+    p.apply_gate(Gate::H, t);
+    p.apply_gate(Gate::H, t);
+    EXPECT_EQ(p.to_string(), s);
+  }
+}
+
+TEST(Pauli, NonUnitaryGateRejected) {
+  auto p = PauliString::from_string("+X");
+  const std::uint32_t t[] = {0};
+  EXPECT_THROW(p.apply_gate(Gate::M, t), InvalidArgument);
+  EXPECT_THROW(p.apply_gate(Gate::DEPOLARIZE1, t), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace radsurf

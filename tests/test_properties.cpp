@@ -1,0 +1,217 @@
+// Parameterized property sweeps across the whole stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "arch/subgraphs.hpp"
+#include "arch/topologies.hpp"
+#include "codes/xxzz.hpp"
+#include "decoder/blossom.hpp"
+#include "detector/error_model.hpp"
+#include "noise/depolarizing.hpp"
+#include "noise/radiation.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+namespace {
+
+// --- XXZZ family closed forms ----------------------------------------------
+
+class XxzzFamily : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(XxzzFamily, PlaquetteCountsMatchClosedForm) {
+  const auto [dz, dx] = GetParam();
+  const XXZZCode code(dz, dx);
+  const std::size_t n = static_cast<std::size_t>(dz) *
+                        static_cast<std::size_t>(dx);
+  EXPECT_EQ(code.num_z_plaquettes() + code.num_x_plaquettes(), n - 1);
+  EXPECT_EQ(code.num_qubits(), 2 * n);
+  if (dz > 1 && dx > 1) {
+    // Both types present; exactly balanced only on square grids (on
+    // rectangular grids the longer boundary carries more of its type).
+    EXPECT_GT(code.num_z_plaquettes(), 0u);
+    EXPECT_GT(code.num_x_plaquettes(), 0u);
+    if (dz == dx) {
+      EXPECT_EQ(code.num_z_plaquettes(), (n - 1) / 2);
+      EXPECT_EQ(code.num_x_plaquettes(), (n - 1) / 2);
+    } else {
+      // More rows (dz) => longer left/right boundaries => more Z faces.
+      EXPECT_EQ(code.num_z_plaquettes() > code.num_x_plaquettes(), dz > dx);
+    }
+  }
+  // Logical operator weights match the distance tuple.
+  EXPECT_EQ(code.logical_op_support().size(), static_cast<std::size_t>(dz));
+  EXPECT_EQ(code.logical_z_support().size(), static_cast<std::size_t>(dx));
+}
+
+TEST_P(XxzzFamily, EveryDataQubitCoveredByAPlaquette) {
+  const auto [dz, dx] = GetParam();
+  const XXZZCode code(dz, dx);
+  std::set<std::uint32_t> covered;
+  for (const auto& p : code.plaquettes())
+    covered.insert(p.data.begin(), p.data.end());
+  const std::size_t n = static_cast<std::size_t>(dz) *
+                        static_cast<std::size_t>(dx);
+  EXPECT_EQ(covered.size(), n);
+}
+
+TEST_P(XxzzFamily, PlaquetteSupportsAreValidFaces) {
+  const auto [dz, dx] = GetParam();
+  const XXZZCode code(dz, dx);
+  for (const auto& p : code.plaquettes()) {
+    EXPECT_TRUE(p.data.size() == 2 || p.data.size() == 4);
+    for (std::uint32_t q : p.data)
+      EXPECT_LT(q, static_cast<std::uint32_t>(dz * dx));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, XxzzFamily,
+                         ::testing::Values(std::pair{3, 3}, std::pair{5, 3},
+                                           std::pair{3, 5}, std::pair{5, 5},
+                                           std::pair{7, 3}, std::pair{3, 7},
+                                           std::pair{7, 1}, std::pair{1, 7}));
+
+// --- DEM sanity across codes and noise levels -------------------------------
+
+class DemSanity : public ::testing::TestWithParam<double> {};
+
+TEST_P(DemSanity, MechanismsAreWellFormed) {
+  const double p = GetParam();
+  const XXZZCode code(3, 3);
+  const Circuit noisy = DepolarizingModel{p}.apply(code.build());
+  const auto dem = DetectorErrorModel::from_circuit(noisy);
+  EXPECT_GT(dem.mechanisms.size(), 0u);
+  for (const auto& m : dem.mechanisms) {
+    EXPECT_GT(m.probability, 0.0);
+    EXPECT_LT(m.probability, 1.0);
+    EXPECT_GE(m.detectors.size(), 1u);
+    EXPECT_LE(m.detectors.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(m.detectors.begin(), m.detectors.end()));
+    for (std::uint32_t d : m.detectors)
+      EXPECT_LT(d, dem.num_detectors);
+  }
+  // No duplicate (detectors, observables) keys after merging.
+  std::set<std::pair<std::vector<std::uint32_t>, std::uint64_t>> keys;
+  for (const auto& m : dem.mechanisms)
+    EXPECT_TRUE(keys.insert({m.detectors, m.observables}).second);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, DemSanity,
+                         ::testing::Values(1e-4, 1e-3, 1e-2, 5e-2));
+
+TEST(DemScaling, EdgeProbabilitiesScaleWithNoise) {
+  // Doubling p should increase every merged edge probability.
+  const XXZZCode code(3, 3);
+  const auto dem_lo = DetectorErrorModel::from_circuit(
+      DepolarizingModel{1e-3}.apply(code.build()));
+  const auto dem_hi = DetectorErrorModel::from_circuit(
+      DepolarizingModel{2e-3}.apply(code.build()));
+  double sum_lo = 0, sum_hi = 0;
+  for (const auto& m : dem_lo.mechanisms) sum_lo += m.probability;
+  for (const auto& m : dem_hi.mechanisms) sum_hi += m.probability;
+  EXPECT_GT(sum_hi, sum_lo * 1.5);
+}
+
+// --- blossom on structured graphs -------------------------------------------
+
+TEST(BlossomStructure, PathGraphsMatchGreedyIntuition) {
+  // On an even path with uniform weights, the perfect matching pairs
+  // consecutive nodes: weight = n/2.
+  for (int n : {4, 8, 12, 20}) {
+    DenseMatcher m(static_cast<std::size_t>(n));
+    for (int i = 0; i + 1 < n; ++i)
+      m.add_edge(static_cast<std::size_t>(i),
+                 static_cast<std::size_t>(i + 1), 1);
+    m.solve();
+    EXPECT_EQ(m.matching_weight(), n / 2) << "n=" << n;
+  }
+}
+
+TEST(BlossomStructure, BipartiteAssignment) {
+  // 3x3 assignment problem embedded as perfect matching.
+  const std::int64_t cost[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  DenseMatcher m(6);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      m.add_edge(i, 3 + j, cost[i][j]);
+  m.solve();
+  EXPECT_EQ(m.matching_weight(), 5);  // 1 + 2 + 2
+}
+
+// --- subgraphs: sampler results are a subset of the enumeration -------------
+
+TEST(SubgraphConsistency, SampledSetsAppearInEnumeration) {
+  const Graph g = make_mesh(3, 4);
+  for (std::size_t k : {2, 3, 4}) {
+    const auto all = enumerate_connected_subgraphs(g, k);
+    const std::set<std::vector<std::uint32_t>> universe(all.begin(),
+                                                        all.end());
+    Rng rng(17 + k);
+    for (const auto& s : sample_connected_subgraphs(g, k, 12, rng))
+      EXPECT_TRUE(universe.count(s)) << "k=" << k;
+  }
+}
+
+// --- noiseless reference invariants across the code zoo ---------------------
+
+struct CodeSpec {
+  CodeFamily family;
+  int dz, dx;
+  std::size_t rounds;
+};
+
+class ReferenceInvariants : public ::testing::TestWithParam<CodeSpec> {};
+
+TEST_P(ReferenceInvariants, ReferenceIsIdempotentAndObservableIsOne) {
+  const auto spec = GetParam();
+  const auto code = make_code(spec.family, spec.dz, spec.dx);
+  const Circuit c = code->build(spec.rounds);
+  TableauSimulator sim(c);
+  const BitVec ref1 = sim.reference_sample();
+  const BitVec ref2 = sim.reference_sample();
+  EXPECT_EQ(ref1, ref2);
+  // The last record (readout chain is followed by data measurements, so
+  // the observable is not simply the last bit) — evaluate via DetectorSet.
+  const DetectorSet ds = DetectorSet::compile(c);
+  bool obs = false;
+  for (std::size_t r : ds.observable_mask(0).set_bits()) obs ^= ref1.get(r);
+  EXPECT_TRUE(obs) << "logical |1> expected";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodeZoo, ReferenceInvariants,
+    ::testing::Values(CodeSpec{CodeFamily::REPETITION, 3, 1, 2},
+                      CodeSpec{CodeFamily::REPETITION, 1, 3, 2},
+                      CodeSpec{CodeFamily::REPETITION, 7, 1, 3},
+                      CodeSpec{CodeFamily::REPETITION, 1, 7, 4},
+                      CodeSpec{CodeFamily::XXZZ, 3, 3, 2},
+                      CodeSpec{CodeFamily::XXZZ, 5, 3, 3},
+                      CodeSpec{CodeFamily::XXZZ, 3, 5, 2},
+                      CodeSpec{CodeFamily::XXZZ, 5, 5, 2}));
+
+// --- radiation field properties ---------------------------------------------
+
+class RadiationField : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RadiationField, FieldIsMaximalAtRootAndMonotoneInDistance) {
+  const Graph g = make_topology(GetParam());
+  const RadiationModel model;
+  const auto dist = g.bfs_distances(0);
+  const auto probs = model.qubit_probabilities(g, 0, 1.0);
+  EXPECT_DOUBLE_EQ(probs[0], 1.0);
+  for (std::size_t a = 0; a < g.num_nodes(); ++a) {
+    for (std::size_t b = 0; b < g.num_nodes(); ++b) {
+      if (dist[a] < dist[b]) {
+        EXPECT_GE(probs[a], probs[b]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, RadiationField,
+                         ::testing::Values("linear:12", "mesh:5x6", "cairo",
+                                           "brooklyn", "complete:10"));
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace radsurf {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Roughly uniform: each bucket near 2000.
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BernoulliRates) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.1);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.1, 0.01);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, JumpProducesDisjointStream) {
+  Rng a(42);
+  Rng b = a;
+  b.jump();
+  // Streams should not collide over a modest window.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a.next());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(seen.count(b.next()));
+}
+
+TEST(Rng, StreamKEqualsKJumps) {
+  Rng base(2024);
+  Rng manual = base;
+  manual.jump();
+  manual.jump();
+  manual.jump();
+  Rng stream = base.stream(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(manual.next(), stream.next());
+}
+
+TEST(Rng, StreamZeroIsIdentity) {
+  Rng base(77);
+  Rng s = base.stream(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(base.next(), s.next());
+}
+
+TEST(Rng, ReseedResets) {
+  Rng rng(5);
+  const auto first = rng.next();
+  rng.next();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  Rng rng(11);
+  std::uniform_int_distribution<int> dist(0, 5);
+  for (int i = 0; i < 100; ++i) {
+    const int v = dist(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace radsurf

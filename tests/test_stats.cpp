@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.5811, 1e-3);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({1.0}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7}), 7.0);
+  EXPECT_THROW(median({}), InvalidArgument);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.125), 0.5);
+  EXPECT_THROW(quantile(xs, 1.5), InvalidArgument);
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+}
+
+TEST(Stats, ProportionBasics) {
+  Proportion p{25, 100};
+  EXPECT_DOUBLE_EQ(p.rate(), 0.25);
+  EXPECT_GT(p.wilson_low(), 0.15);
+  EXPECT_LT(p.wilson_low(), 0.25);
+  EXPECT_GT(p.wilson_high(), 0.25);
+  EXPECT_LT(p.wilson_high(), 0.40);
+}
+
+TEST(Stats, ProportionEdgeCases) {
+  Proportion empty{0, 0};
+  EXPECT_DOUBLE_EQ(empty.rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.wilson_low(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.wilson_high(), 1.0);
+
+  Proportion zero{0, 100};
+  EXPECT_DOUBLE_EQ(zero.wilson_low(), 0.0);
+  EXPECT_GT(zero.wilson_high(), 0.0);
+  EXPECT_LT(zero.wilson_high(), 0.06);
+
+  Proportion all{100, 100};
+  EXPECT_DOUBLE_EQ(all.wilson_high(), 1.0);
+  EXPECT_LT(all.wilson_low(), 1.0);
+  EXPECT_GT(all.wilson_low(), 0.94);
+}
+
+TEST(Stats, ProportionIntervalShrinksWithTrials) {
+  Proportion small{10, 40};
+  Proportion big{1000, 4000};
+  const double w_small = small.wilson_high() - small.wilson_low();
+  const double w_big = big.wilson_high() - big.wilson_low();
+  EXPECT_LT(w_big, w_small);
+}
+
+TEST(Stats, ProportionAccumulate) {
+  Proportion a{3, 10};
+  Proportion b{7, 20};
+  a += b;
+  EXPECT_EQ(a.successes, 10u);
+  EXPECT_EQ(a.trials, 30u);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs = {2.5, -1, 0, 7, 3.25, 9, -4};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+}
+
+TEST(Stats, RunningStatsEmpty) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,114 @@
+#include "arch/subgraphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "arch/topologies.hpp"
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace {
+
+bool is_connected_set(const Graph& g, const std::vector<std::uint32_t>& s) {
+  if (s.empty()) return false;
+  std::set<std::uint32_t> in(s.begin(), s.end());
+  std::vector<std::uint32_t> stack{s[0]};
+  std::set<std::uint32_t> seen{s[0]};
+  while (!stack.empty()) {
+    const auto v = stack.back();
+    stack.pop_back();
+    for (auto w : g.neighbors(v)) {
+      if (in.count(w) && !seen.count(w)) {
+        seen.insert(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen.size() == s.size();
+}
+
+TEST(Subgraphs, PathGraphClosedForm) {
+  // A path of n nodes has exactly n-k+1 connected subsets of size k.
+  const Graph g = make_linear(8);
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const auto sets = enumerate_connected_subgraphs(g, k);
+    EXPECT_EQ(sets.size(), 8 - k + 1) << "k=" << k;
+  }
+}
+
+TEST(Subgraphs, CompleteGraphClosedForm) {
+  // K_5: every subset is connected -> C(5, k).
+  const Graph g = make_complete(5);
+  const std::size_t binom[] = {0, 5, 10, 10, 5, 1};
+  for (std::size_t k = 1; k <= 5; ++k)
+    EXPECT_EQ(enumerate_connected_subgraphs(g, k).size(), binom[k]);
+}
+
+TEST(Subgraphs, EnumerationIsDuplicateFreeAndConnected) {
+  const Graph g = make_mesh(3, 4);
+  for (std::size_t k : {2, 3, 4}) {
+    const auto sets = enumerate_connected_subgraphs(g, k);
+    std::set<std::vector<std::uint32_t>> unique(sets.begin(), sets.end());
+    EXPECT_EQ(unique.size(), sets.size()) << "k=" << k;
+    for (const auto& s : sets) {
+      EXPECT_EQ(s.size(), k);
+      EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+      EXPECT_TRUE(is_connected_set(g, s));
+    }
+  }
+}
+
+TEST(Subgraphs, MeshSize2MatchesEdgeCount) {
+  // Size-2 connected subsets are exactly the edges.
+  const Graph g = make_mesh(4, 4);
+  EXPECT_EQ(enumerate_connected_subgraphs(g, 2).size(), g.num_edges());
+}
+
+TEST(Subgraphs, MaxCountCapsOutput) {
+  const Graph g = make_mesh(4, 4);
+  const auto sets = enumerate_connected_subgraphs(g, 3, 7);
+  EXPECT_EQ(sets.size(), 7u);
+}
+
+TEST(Subgraphs, TooLargeKGivesNothing) {
+  const Graph g = make_linear(4);
+  EXPECT_TRUE(enumerate_connected_subgraphs(g, 5).empty());
+  EXPECT_THROW(enumerate_connected_subgraphs(g, 0), InvalidArgument);
+}
+
+TEST(Subgraphs, SamplerProducesValidDistinctSets) {
+  const Graph g = make_mesh(5, 6);
+  Rng rng(42);
+  for (std::size_t k : {1, 4, 9, 15}) {
+    const auto sets = sample_connected_subgraphs(g, k, 10, rng);
+    EXPECT_GT(sets.size(), 0u) << "k=" << k;
+    EXPECT_LE(sets.size(), 10u);
+    std::set<std::vector<std::uint32_t>> unique(sets.begin(), sets.end());
+    EXPECT_EQ(unique.size(), sets.size());
+    for (const auto& s : sets) {
+      EXPECT_EQ(s.size(), k);
+      EXPECT_TRUE(is_connected_set(g, s));
+    }
+  }
+}
+
+TEST(Subgraphs, SamplerFindsAllWhenFew) {
+  // Path of 5, k=4: only 2 such sets; sampler should find both.
+  const Graph g = make_linear(5);
+  Rng rng(7);
+  const auto sets = sample_connected_subgraphs(g, 4, 10, rng);
+  EXPECT_EQ(sets.size(), 2u);
+}
+
+TEST(Subgraphs, SamplerFullGraph) {
+  const Graph g = make_mesh(3, 3);
+  Rng rng(9);
+  const auto sets = sample_connected_subgraphs(g, 9, 5, rng);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].size(), 9u);
+}
+
+}  // namespace
+}  // namespace radsurf

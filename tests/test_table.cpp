@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha "), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvalidArgument);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), InvalidArgument);
+  Table def;
+  EXPECT_THROW(def.add_row({"x"}), InvalidArgument);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("k,v\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+  EXPECT_EQ(Table::pct(0.5, 0), "50%");
+  EXPECT_EQ(Table::pct(1.0, 1), "100.0%");
+}
+
+TEST(Table, StreamOperator) {
+  Table t({"x"});
+  t.add_row({"y"});
+  std::ostringstream ss;
+  ss << t;
+  EXPECT_FALSE(ss.str().empty());
+}
+
+}  // namespace
+}  // namespace radsurf

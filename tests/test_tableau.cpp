@@ -1,0 +1,220 @@
+#include "stab/tableau.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radsurf {
+namespace {
+
+TEST(Tableau, InitialStateIsAllZeros) {
+  Tableau t(4);
+  Rng rng(1);
+  EXPECT_TRUE(t.is_valid());
+  for (std::uint32_t q = 0; q < 4; ++q) {
+    EXPECT_EQ(t.peek_z(q), +1);
+    EXPECT_FALSE(t.measure(q, rng));
+  }
+}
+
+TEST(Tableau, XFlipsMeasurement) {
+  Tableau t(3);
+  Rng rng(2);
+  t.apply_x(1);
+  EXPECT_EQ(t.peek_z(0), +1);
+  EXPECT_EQ(t.peek_z(1), -1);
+  EXPECT_TRUE(t.measure(1, rng));
+  EXPECT_FALSE(t.measure(0, rng));
+  EXPECT_TRUE(t.is_valid());
+}
+
+TEST(Tableau, ZAndYPhases) {
+  Tableau t(1);
+  Rng rng(3);
+  t.apply_z(0);  // Z|0> = |0>
+  EXPECT_EQ(t.peek_z(0), +1);
+  t.apply_y(0);  // Y|0> = i|1>
+  EXPECT_EQ(t.peek_z(0), -1);
+  EXPECT_TRUE(t.measure(0, rng));
+}
+
+TEST(Tableau, HadamardMakesRandomOutcome) {
+  Tableau t(1);
+  t.apply_h(0);
+  EXPECT_EQ(t.peek_z(0), 0);  // superposition: random
+  // Statistics: ~50/50 over fresh tableaus.
+  Rng rng(4);
+  int ones = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    Tableau s(1);
+    s.apply_h(0);
+    ones += s.measure(0, rng);
+  }
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(Tableau, MeasurementCollapses) {
+  Tableau t(1);
+  Rng rng(5);
+  t.apply_h(0);
+  bool was_random = false;
+  const bool m1 = t.measure(0, rng, false, &was_random);
+  EXPECT_TRUE(was_random);
+  const bool m2 = t.measure(0, rng, false, &was_random);
+  EXPECT_FALSE(was_random);  // collapsed now
+  EXPECT_EQ(m1, m2);
+  EXPECT_TRUE(t.is_valid());
+}
+
+TEST(Tableau, BellPairCorrelations) {
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    Tableau t(2);
+    t.apply_h(0);
+    t.apply_cx(0, 1);
+    // Perfectly correlated Z outcomes.
+    const bool a = t.measure(0, rng);
+    const bool b = t.measure(1, rng);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(t.is_valid());
+  }
+}
+
+TEST(Tableau, GhzCorrelations) {
+  Rng rng(7);
+  int ones = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    Tableau t(5);
+    t.apply_h(0);
+    for (std::uint32_t q = 0; q + 1 < 5; ++q) t.apply_cx(q, q + 1);
+    const bool first = t.measure(0, rng);
+    for (std::uint32_t q = 1; q < 5; ++q) EXPECT_EQ(t.measure(q, rng), first);
+    ones += first;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.5, 0.1);
+}
+
+TEST(Tableau, PlusStateStabilizedByX) {
+  // |+> measured after H-Z-H = X basis flip logic: H Z H = X.
+  Tableau t(1);
+  Rng rng(8);
+  t.apply_h(0);
+  t.apply_z(0);
+  t.apply_h(0);  // net effect: X|0> = |1>
+  EXPECT_EQ(t.peek_z(0), -1);
+}
+
+TEST(Tableau, SGateSquaredIsZ) {
+  Tableau t(1);
+  Rng rng(9);
+  t.apply_h(0);  // |+>
+  t.apply_s(0);
+  t.apply_s(0);  // S^2 = Z: |+> -> |->
+  t.apply_h(0);  // |-> -> |1>
+  EXPECT_EQ(t.peek_z(0), -1);
+}
+
+TEST(Tableau, SdagUndoesS) {
+  Tableau t(1);
+  t.apply_h(0);
+  t.apply_s(0);
+  t.apply_s_dag(0);
+  t.apply_h(0);  // back to |0>
+  EXPECT_EQ(t.peek_z(0), +1);
+}
+
+TEST(Tableau, CzEquivalentToHCxH) {
+  // CZ |+1> = -|+1> observable via H on control: check phase kickback.
+  Tableau a(2);
+  a.apply_h(0);
+  a.apply_x(1);
+  a.apply_cz(0, 1);
+  a.apply_h(0);  // phase kickback flips qubit 0
+  EXPECT_EQ(a.peek_z(0), -1);
+}
+
+TEST(Tableau, SwapMovesState) {
+  Tableau t(2);
+  Rng rng(10);
+  t.apply_x(0);
+  t.apply_swap(0, 1);
+  EXPECT_EQ(t.peek_z(0), +1);
+  EXPECT_EQ(t.peek_z(1), -1);
+}
+
+TEST(Tableau, ResetForcesZero) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tableau t(2);
+    t.apply_h(0);
+    t.apply_cx(0, 1);
+    t.apply_x(1);
+    t.reset(0, rng);
+    EXPECT_EQ(t.peek_z(0), +1) << "reset must force |0>";
+    EXPECT_TRUE(t.is_valid());
+  }
+}
+
+TEST(Tableau, ResetDestroysEntanglement) {
+  Rng rng(12);
+  int agree = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    Tableau t(2);
+    t.apply_h(0);
+    t.apply_cx(0, 1);  // Bell pair
+    t.reset(0, rng);   // qubit 1 left maximally mixed
+    const bool a = t.measure(0, rng);
+    const bool b = t.measure(1, rng);
+    EXPECT_FALSE(a);
+    agree += (a == b);
+  }
+  // Qubit 1 is 50/50 after the reset of its partner.
+  EXPECT_NEAR(agree / static_cast<double>(n), 0.5, 0.06);
+}
+
+TEST(Tableau, ForceZeroReferenceMeasurements) {
+  Rng rng(13);
+  Tableau t(1);
+  t.apply_h(0);
+  bool was_random = false;
+  EXPECT_FALSE(t.measure(0, rng, /*force_zero_if_random=*/true, &was_random));
+  EXPECT_TRUE(was_random);
+  // State must now be consistently |0>.
+  EXPECT_EQ(t.peek_z(0), +1);
+}
+
+TEST(Tableau, ValidityUnderRandomCircuits) {
+  Rng rng(14);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.below(6);
+    Tableau t(n);
+    for (int step = 0; step < 60; ++step) {
+      const auto q = static_cast<std::uint32_t>(rng.below(n));
+      switch (rng.below(7)) {
+        case 0: t.apply_h(q); break;
+        case 1: t.apply_s(q); break;
+        case 2: t.apply_x(q); break;
+        case 3: t.apply_z(q); break;
+        case 4: {
+          auto r = static_cast<std::uint32_t>(rng.below(n));
+          if (r != q) t.apply_cx(q, r);
+          break;
+        }
+        case 5: t.measure(q, rng); break;
+        default: t.reset(q, rng); break;
+      }
+    }
+    EXPECT_TRUE(t.is_valid()) << "trial " << trial;
+  }
+}
+
+TEST(Tableau, RowAccessors) {
+  Tableau t(2);
+  EXPECT_EQ(t.row(0).to_string(), "+XI");  // destabilizer 0
+  EXPECT_EQ(t.row(2).to_string(), "+ZI");  // stabilizer 0
+  EXPECT_EQ(t.row(3).to_string(), "+IZ");
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,211 @@
+#include "stab/tableau_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radsurf {
+namespace {
+
+TEST(TableauSim, DeterministicCircuit) {
+  Circuit c;
+  c.r(0);
+  c.x(0);
+  c.m(0);
+  c.m(1);
+  TableauSimulator sim(c);
+  Rng rng(1);
+  const BitVec rec = sim.sample(rng);
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_TRUE(rec.get(0));
+  EXPECT_FALSE(rec.get(1));
+}
+
+TEST(TableauSim, BellCircuitCorrelated) {
+  Circuit c;
+  c.h(0);
+  c.cx(0, 1);
+  c.m(0);
+  c.m(1);
+  TableauSimulator sim(c);
+  Rng rng(2);
+  int ones = 0;
+  for (int i = 0; i < 500; ++i) {
+    const BitVec rec = sim.sample(rng);
+    EXPECT_EQ(rec.get(0), rec.get(1));
+    ones += rec.get(0);
+  }
+  EXPECT_NEAR(ones / 500.0, 0.5, 0.07);
+}
+
+TEST(TableauSim, ReferenceSampleIsDeterministicAndPinned) {
+  Circuit c;
+  c.h(0);
+  c.m(0);  // random outcome -> pinned to 0 in the reference
+  c.x(1);
+  c.m(1);  // deterministic 1
+  TableauSimulator sim(c);
+  const BitVec ref1 = sim.reference_sample();
+  const BitVec ref2 = sim.reference_sample();
+  EXPECT_EQ(ref1, ref2);
+  EXPECT_FALSE(ref1.get(0));
+  EXPECT_TRUE(ref1.get(1));
+}
+
+TEST(TableauSim, ReferenceSkipsNoise) {
+  Circuit c;
+  c.x(0);
+  c.append(Gate::X_ERROR, {0}, {1.0});  // would always flip if sampled
+  c.m(0);
+  TableauSimulator sim(c);
+  EXPECT_TRUE(sim.reference_sample().get(0));
+  // But a real sample applies it.
+  Rng rng(3);
+  EXPECT_FALSE(sim.sample(rng).get(0));
+}
+
+TEST(TableauSim, XErrorRate) {
+  Circuit c;
+  c.i(0);
+  c.append(Gate::X_ERROR, {0}, {0.3});
+  c.m(0);
+  TableauSimulator sim(c);
+  Rng rng(4);
+  int flips = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) flips += sim.sample(rng).get(0);
+  EXPECT_NEAR(flips / static_cast<double>(n), 0.3, 0.03);
+}
+
+TEST(TableauSim, ZErrorInvisibleInZBasis) {
+  Circuit c;
+  c.i(0);
+  c.append(Gate::Z_ERROR, {0}, {1.0});
+  c.m(0);
+  TableauSimulator sim(c);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(sim.sample(rng).get(0));
+}
+
+TEST(TableauSim, ZErrorVisibleAfterHadamard) {
+  // |+> with a Z error becomes |->; H maps it to |1>.
+  Circuit c;
+  c.h(0);
+  c.append(Gate::Z_ERROR, {0}, {1.0});
+  c.h(0);
+  c.m(0);
+  TableauSimulator sim(c);
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(sim.sample(rng).get(0));
+}
+
+TEST(TableauSim, Depolarize1Rate) {
+  // DEPOLARIZE1(p) flips a |0> measurement with probability 2p/3 (X or Y).
+  Circuit c;
+  c.i(0);
+  c.append(Gate::DEPOLARIZE1, {0}, {0.3});
+  c.m(0);
+  TableauSimulator sim(c);
+  Rng rng(7);
+  int flips = 0;
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) flips += sim.sample(rng).get(0);
+  EXPECT_NEAR(flips / static_cast<double>(n), 0.2, 0.02);
+}
+
+TEST(TableauSim, Depolarize2IndependentMarginals) {
+  // E (x) E: each qubit independently flips with 2p/3.
+  Circuit c;
+  c.cx(0, 1);
+  c.append(Gate::DEPOLARIZE2, {0, 1}, {0.3});
+  c.m(0);
+  c.m(1);
+  TableauSimulator sim(c);
+  Rng rng(8);
+  int f0 = 0, f1 = 0, both = 0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const BitVec rec = sim.sample(rng);
+    f0 += rec.get(0);
+    f1 += rec.get(1);
+    both += rec.get(0) && rec.get(1);
+  }
+  const double p0 = f0 / static_cast<double>(n);
+  const double p1 = f1 / static_cast<double>(n);
+  const double pb = both / static_cast<double>(n);
+  EXPECT_NEAR(p0, 0.2, 0.02);
+  EXPECT_NEAR(p1, 0.2, 0.02);
+  EXPECT_NEAR(pb, 0.04, 0.01);  // independence
+}
+
+TEST(TableauSim, ResetErrorAlwaysFires) {
+  Circuit c;
+  c.x(0);
+  c.append(Gate::RESET_ERROR, {0}, {1.0});
+  c.m(0);
+  TableauSimulator sim(c);
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(sim.sample(rng).get(0));
+}
+
+TEST(TableauSim, ResetErrorRate) {
+  Circuit c;
+  c.x(0);
+  c.append(Gate::RESET_ERROR, {0}, {0.4});
+  c.m(0);
+  TableauSimulator sim(c);
+  Rng rng(10);
+  int zeros = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) zeros += !sim.sample(rng).get(0);
+  EXPECT_NEAR(zeros / static_cast<double>(n), 0.4, 0.03);
+}
+
+TEST(TableauSim, ResetErrorOnSuperpositionIsZCollapse) {
+  // Reset of one half of a Bell pair leaves the partner 50/50 — the
+  // "decoherence" the radiation model induces.
+  Circuit c;
+  c.h(0);
+  c.cx(0, 1);
+  c.append(Gate::RESET_ERROR, {0}, {1.0});
+  c.m(0);
+  c.m(1);
+  TableauSimulator sim(c);
+  Rng rng(11);
+  int partner_ones = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const BitVec rec = sim.sample(rng);
+    EXPECT_FALSE(rec.get(0));
+    partner_ones += rec.get(1);
+  }
+  EXPECT_NEAR(partner_ones / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(TableauSim, MrMeasuresThenResets) {
+  Circuit c;
+  c.x(0);
+  c.mr(0);
+  c.m(0);
+  TableauSimulator sim(c);
+  Rng rng(12);
+  const BitVec rec = sim.sample(rng);
+  EXPECT_TRUE(rec.get(0));   // measured the |1>
+  EXPECT_FALSE(rec.get(1));  // then reset to |0>
+}
+
+TEST(TableauSim, SeedReproducibility) {
+  Circuit c;
+  for (std::uint32_t q = 0; q < 4; ++q) c.h(q);
+  c.append(Gate::DEPOLARIZE1, {0, 1, 2, 3}, {0.2});
+  for (std::uint32_t q = 0; q < 4; ++q) c.m(q);
+  TableauSimulator sim(c);
+  Rng r1(77), r2(77);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sim.sample(r1), sim.sample(r2));
+}
+
+TEST(TableauSim, EmptyCircuitRejected) {
+  Circuit c;
+  EXPECT_THROW(TableauSimulator sim(c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,115 @@
+#include "arch/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(Topologies, Linear) {
+  const Graph g = make_linear(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.bfs_distances(0)[4], 4u);
+}
+
+TEST(Topologies, Mesh) {
+  const Graph g = make_mesh(5, 6);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  // Grid edges: r*(c-1) + c*(r-1) = 5*5 + 6*4 = 49.
+  EXPECT_EQ(g.num_edges(), 49u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.max_degree(), 4u);
+  // Corner-to-corner manhattan distance.
+  EXPECT_EQ(g.bfs_distances(0)[29], 9u);
+}
+
+TEST(Topologies, Complete) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+  for (std::uint32_t v = 1; v < 6; ++v) EXPECT_EQ(g.bfs_distances(0)[v], 1u);
+}
+
+TEST(Topologies, CairoIsFalconHeavyHex) {
+  const Graph g = make_cairo();
+  EXPECT_EQ(g.num_nodes(), 27u);
+  EXPECT_EQ(g.num_edges(), 28u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.max_degree(), 3u);  // heavy-hex signature
+}
+
+TEST(Topologies, TwentyQubitDevices) {
+  for (const Graph& g : {make_almaden(), make_johannesburg()}) {
+    EXPECT_EQ(g.num_nodes(), 20u);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_LE(g.max_degree(), 4u);
+    EXPECT_GE(g.num_edges(), 20u);
+  }
+}
+
+TEST(Topologies, BrooklynSizeAndShape) {
+  const Graph g = make_brooklyn();
+  EXPECT_EQ(g.num_nodes(), 65u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.max_degree(), 3u);  // heavy-hex signature
+  // Bridge qubits (numbered after each row, IBM convention) have degree 2.
+  for (std::uint32_t v : {10, 11, 12, 24, 25, 26, 38, 39, 40, 52, 53, 54})
+    EXPECT_EQ(g.degree(v), 2u) << "bridge " << v;
+}
+
+TEST(Topologies, CambridgeSize) {
+  const Graph g = make_cambridge();
+  EXPECT_EQ(g.num_nodes(), 28u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_LE(g.max_degree(), 3u);
+}
+
+TEST(Topologies, ConnectivityOrderingMatchesPaperIntuition) {
+  // The paper's Obs. VIII: better-connected architectures route with less
+  // overhead.  Average degree should order complete > mesh > heavy-hex >
+  // linear.
+  const double linear = make_linear(20).average_degree();
+  const double hex = make_cairo().average_degree();
+  const double mesh = make_mesh(5, 6).average_degree();
+  const double complete = make_complete(20).average_degree();
+  EXPECT_LT(linear, hex);
+  EXPECT_LT(hex, mesh);
+  EXPECT_LT(mesh, complete);
+}
+
+TEST(Topologies, LookupByName) {
+  EXPECT_EQ(make_topology("linear:7").num_nodes(), 7u);
+  EXPECT_EQ(make_topology("mesh:5x4").num_nodes(), 20u);
+  EXPECT_EQ(make_topology("complete:9").num_nodes(), 9u);
+  EXPECT_EQ(make_topology("cairo").num_nodes(), 27u);
+  EXPECT_EQ(make_topology("brooklyn").num_nodes(), 65u);
+  EXPECT_EQ(make_topology("cambridge").num_nodes(), 28u);
+  EXPECT_EQ(make_topology("almaden").num_nodes(), 20u);
+  EXPECT_EQ(make_topology("johannesburg").num_nodes(), 20u);
+  EXPECT_THROW(make_topology("torus:3"), InvalidArgument);
+  EXPECT_THROW(make_topology("mesh:bad"), InvalidArgument);
+}
+
+TEST(Topologies, NamedListResolves) {
+  for (const auto& name : named_topologies()) {
+    const Graph g = make_topology(name);
+    EXPECT_GT(g.num_nodes(), 0u) << name;
+    EXPECT_TRUE(g.is_connected()) << name;
+  }
+}
+
+TEST(Topologies, HeavyHexGenerator) {
+  const Graph g = make_heavy_hex({4, 4});
+  // 8 row qubits + 1 bridge (offset 0: column 0; 4 would exceed span).
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_THROW(make_heavy_hex({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,202 @@
+#include "transpile/transpiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "stab/tableau_sim.hpp"
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace {
+
+void expect_respects_coupling(const Circuit& c, const Graph& arch) {
+  for (const Instruction& ins : c.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (!info.is_unitary || !info.is_two_qubit) continue;
+    for (std::size_t i = 0; i + 1 < ins.targets.size(); i += 2) {
+      EXPECT_TRUE(arch.has_edge(ins.targets[i], ins.targets[i + 1]))
+          << "gate on (" << ins.targets[i] << "," << ins.targets[i + 1]
+          << ") violates the coupling map";
+    }
+  }
+}
+
+TEST(Layout, TrivialIdentity) {
+  Circuit c;
+  c.cx(0, 1);
+  c.cx(1, 2);
+  const auto layout = choose_layout(c, make_linear(5), LayoutStrategy::TRIVIAL);
+  EXPECT_EQ(layout, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(Layout, TooSmallArchitectureThrows) {
+  Circuit c;
+  c.cx(0, 5);
+  EXPECT_THROW(choose_layout(c, make_linear(3), LayoutStrategy::TRIVIAL),
+               TranspileError);
+  EXPECT_THROW(choose_layout(c, make_linear(3), LayoutStrategy::DEGREE_GREEDY),
+               TranspileError);
+}
+
+TEST(Layout, GreedyIsInjective) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  const Circuit c = code.build();
+  const auto layout =
+      choose_layout(c, make_mesh(5, 2), LayoutStrategy::DEGREE_GREEDY);
+  std::set<std::uint32_t> phys(layout.begin(), layout.end());
+  EXPECT_EQ(phys.size(), layout.size());
+  for (std::uint32_t p : layout) EXPECT_LT(p, 10u);
+}
+
+TEST(Layout, InteractionWeightsCountTwoQubitGates) {
+  Circuit c;
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.h(0);
+  const auto w = interaction_weights(c);
+  EXPECT_EQ(w[0][1], 2u);
+  EXPECT_EQ(w[1][0], 2u);
+  EXPECT_EQ(w[1][2], 1u);
+  EXPECT_EQ(w[0][2], 0u);
+}
+
+TEST(Router, AdjacentGatesNeedNoSwaps) {
+  Circuit c;
+  c.cx(0, 1);
+  c.cx(1, 2);
+  const auto result = transpile(c, make_linear(3),
+                                TranspileOptions{LayoutStrategy::TRIVIAL});
+  EXPECT_EQ(result.swap_count, 0u);
+  expect_respects_coupling(result.circuit, make_linear(3));
+}
+
+TEST(Router, DistantGateInsertsSwaps) {
+  Circuit c;
+  c.cx(0, 3);  // distance 3 on a line
+  const auto result = transpile(c, make_linear(4),
+                                TranspileOptions{LayoutStrategy::TRIVIAL});
+  EXPECT_EQ(result.swap_count, 2u);
+  expect_respects_coupling(result.circuit, make_linear(4));
+  EXPECT_GT(result.ops_after, result.ops_before);
+}
+
+TEST(Router, MappingFollowsSwaps) {
+  Circuit c;
+  c.cx(0, 2);
+  c.m(0);  // logical 0 moved by routing; M must hit its physical home
+  const auto result = transpile(c, make_linear(3),
+                                TranspileOptions{LayoutStrategy::TRIVIAL});
+  // Logical 0 was swapped to physical 1 to meet qubit 2.
+  EXPECT_EQ(result.final_layout[0], 1u);
+  // The measurement instruction targets physical 1.
+  const auto& instrs = result.circuit.instructions();
+  EXPECT_EQ(instrs.back().gate, Gate::M);
+  EXPECT_EQ(instrs.back().targets[0], 1u);
+}
+
+TEST(Router, DisconnectedArchitectureThrows) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  Circuit c;
+  c.cx(0, 2);
+  EXPECT_THROW(transpile(c, g, TranspileOptions{LayoutStrategy::TRIVIAL}),
+               TranspileError);
+}
+
+TEST(Router, AnnotationsPassThrough) {
+  Circuit c;
+  c.cx(0, 2);
+  c.m(2);
+  c.detector({1});
+  c.observable_include(0, {1});
+  const auto result = transpile(c, make_linear(3),
+                                TranspileOptions{LayoutStrategy::TRIVIAL});
+  EXPECT_EQ(result.circuit.num_detectors(), 1u);
+  EXPECT_EQ(result.circuit.num_observables(), 1u);
+  EXPECT_EQ(result.circuit.num_measurements(), 1u);
+}
+
+// Semantic preservation: the transpiled circuit must produce the same
+// deterministic measurement record as the logical circuit.
+class TranspileSemantics
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TranspileSemantics, DeterministicRecordsPreserved) {
+  // A deterministic circuit: GHZ-like chain collapsed by X gates, measured.
+  Circuit c;
+  c.x(0);
+  c.cx(0, 1);
+  c.cx(0, 2);
+  c.cx(1, 3);
+  c.x(2);
+  for (std::uint32_t q = 0; q < 4; ++q) c.m(q);
+
+  const Graph arch = make_topology(GetParam());
+  const auto result = transpile(c, arch, {});
+  expect_respects_coupling(result.circuit, arch);
+
+  TableauSimulator logical(c);
+  TableauSimulator physical(result.circuit);
+  EXPECT_EQ(logical.reference_sample(), physical.reference_sample());
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, TranspileSemantics,
+                         ::testing::Values("linear:8", "mesh:5x2", "cairo",
+                                           "complete:4", "almaden",
+                                           "johannesburg", "cambridge"));
+
+// The paper's Obs. VIII driver: XXZZ on a linear architecture needs far
+// more SWAPs than on a mesh.
+TEST(Router, XxzzSwapOverheadOrdering) {
+  const XXZZCode code(3, 3);
+  const Circuit c = code.build();
+  const auto on_mesh = transpile(c, make_mesh(5, 4), {});
+  const auto on_line = transpile(c, make_linear(18), {});
+  const auto on_complete = transpile(c, make_complete(18), {});
+  EXPECT_EQ(on_complete.swap_count, 0u);
+  EXPECT_GT(on_line.swap_count, on_mesh.swap_count);
+  expect_respects_coupling(on_mesh.circuit, make_mesh(5, 4));
+  expect_respects_coupling(on_line.circuit, make_linear(18));
+}
+
+// The repetition code is nearest-neighbour (paper Sec. V-D): on a line its
+// relative SWAP overhead must be far below the XXZZ code's.
+TEST(Router, RepetitionOnLinearIsCheaperThanXxzz) {
+  const RepetitionCode rep(5, RepetitionFlavor::BIT_FLIP);
+  const XXZZCode xxzz(3, 3);
+  const auto rep_line = transpile(rep.build(), make_linear(10), {});
+  const auto xxzz_line = transpile(xxzz.build(), make_linear(18), {});
+  const double rep_overhead =
+      static_cast<double>(rep_line.swap_count) / rep_line.ops_before;
+  const double xxzz_overhead =
+      static_cast<double>(xxzz_line.swap_count) / xxzz_line.ops_before;
+  EXPECT_LT(rep_overhead, xxzz_overhead);
+  expect_respects_coupling(rep_line.circuit, make_linear(10));
+}
+
+TEST(Transpile, TouchedQubitsSubsetOfArch) {
+  const XXZZCode code(3, 3);
+  const auto result = transpile(code.build(), make_mesh(5, 4), {});
+  const auto touched = result.touched_physical_qubits();
+  EXPECT_GE(touched.size(), code.num_qubits());
+  for (std::uint32_t q : touched) EXPECT_LT(q, 20u);
+}
+
+TEST(Transpile, StatsPopulated) {
+  const RepetitionCode code(3, RepetitionFlavor::BIT_FLIP);
+  const auto result = transpile(code.build(), make_mesh(5, 2), {});
+  EXPECT_GT(result.ops_before, 0u);
+  EXPECT_GE(result.ops_after, result.ops_before);
+  EXPECT_GT(result.depth_before, 0u);
+  EXPECT_GT(result.depth_after, 0u);
+  EXPECT_EQ(result.initial_layout.size(), code.num_qubits());
+}
+
+}  // namespace
+}  // namespace radsurf
