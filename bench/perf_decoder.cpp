@@ -1,17 +1,23 @@
-// Performance: decoding throughput vs defect density.
-#include <benchmark/benchmark.h>
+// Performance: decoding throughput vs defect density, decoder kinds, and
+// the syndrome-memoization cache on a campaign-realistic repeat-heavy
+// syndrome stream.
+//
+// Emits/merges the measured scenarios into BENCH_perf.json.
+#include <algorithm>
+#include <iostream>
 
 #include "codes/repetition.hpp"
 #include "codes/xxzz.hpp"
-#include "decoder/greedy.hpp"
+#include "decoder/decode_cache.hpp"
 #include "decoder/mwpm.hpp"
-#include "decoder/union_find.hpp"
 #include "detector/error_model.hpp"
 #include "noise/depolarizing.hpp"
+#include "perf_json.hpp"
 
 namespace {
 
 using namespace radsurf;
+using bench::PerfRecord;
 
 MatchingGraph xxzz_graph() {
   const Circuit noisy = DepolarizingModel{1e-2}.apply(XXZZCode(3, 3).build());
@@ -34,48 +40,76 @@ std::vector<std::uint32_t> random_defects(std::size_t num_detectors,
   return out;
 }
 
-void BM_MwpmConstruction(benchmark::State& state) {
-  const auto g = rep_graph(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    MwpmDecoder dec(g);
-    benchmark::DoNotOptimize(dec);
-  }
-}
-BENCHMARK(BM_MwpmConstruction)->Arg(5)->Arg(15);
-
-void BM_MwpmDecode_DefectSweep(benchmark::State& state) {
-  const auto g = rep_graph(15);
-  MwpmDecoder dec(g);
+PerfRecord decode_sweep(const std::string& name, Decoder& dec,
+                        std::size_t num_detectors, std::size_t k) {
   Rng rng(1);
-  const auto defects =
-      random_defects(g.num_detectors(),
-                     static_cast<std::size_t>(state.range(0)), rng);
-  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(defects));
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const auto defects = random_defects(num_detectors, k, rng);
+  const std::size_t reps = 256;
+  const double rate = bench::measure_rate([&] {
+    for (std::size_t i = 0; i < reps; ++i) dec.decode(defects);
+    return reps;
+  });
+  return {name, rate, {}};
 }
-BENCHMARK(BM_MwpmDecode_DefectSweep)->Arg(2)->Arg(6)->Arg(12)->Arg(20);
-
-void BM_DecoderKinds_Xxzz(benchmark::State& state) {
-  const auto g = xxzz_graph();
-  const auto kind = static_cast<DecoderKind>(state.range(0));
-  const auto dec = make_decoder(kind, g);
-  Rng rng(2);
-  const auto defects = random_defects(g.num_detectors(), 6, rng);
-  for (auto _ : state) benchmark::DoNotOptimize(dec->decode(defects));
-  state.SetLabel(decoder_kind_name(kind));
-}
-BENCHMARK(BM_DecoderKinds_Xxzz)
-    ->Arg(static_cast<int>(DecoderKind::MWPM))
-    ->Arg(static_cast<int>(DecoderKind::UNION_FIND))
-    ->Arg(static_cast<int>(DecoderKind::GREEDY));
-
-void BM_DemExtraction(benchmark::State& state) {
-  const Circuit noisy = DepolarizingModel{1e-2}.apply(XXZZCode(3, 3).build());
-  for (auto _ : state)
-    benchmark::DoNotOptimize(DetectorErrorModel::from_circuit(noisy));
-}
-BENCHMARK(BM_DemExtraction);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::vector<PerfRecord> records;
+  std::cout << "perf_decoder (decodes/s)\n";
+
+  {
+    const auto g = rep_graph(15);
+    MwpmDecoder dec(g);
+    for (std::size_t k : {2u, 6u, 12u, 20u})
+      records.push_back(decode_sweep(
+          "decoder/mwpm/rep15/k" + std::to_string(k), dec,
+          g.num_detectors(), k));
+  }
+
+  {
+    const auto g = xxzz_graph();
+    for (auto kind :
+         {DecoderKind::MWPM, DecoderKind::UNION_FIND, DecoderKind::GREEDY}) {
+      const auto dec = make_decoder(kind, g);
+      records.push_back(decode_sweep(
+          "decoder/" + decoder_kind_name(kind) + "/xxzz33/k6", *dec,
+          g.num_detectors(), 6));
+    }
+  }
+
+  {
+    // Campaign-realistic memoization: radiation shots draw from a small
+    // hot set of syndromes.  Stream 4096 decodes over a pool of 32
+    // distinct defect sets and report the steady-state hit rate.
+    const auto g = rep_graph(15);
+    MwpmDecoder inner(g);
+    CachingDecoder cached(inner);
+    Rng rng(7);
+    std::vector<std::vector<std::uint32_t>> pool;
+    for (int i = 0; i < 32; ++i)
+      pool.push_back(random_defects(g.num_detectors(), 8, rng));
+    const std::size_t stream = 4096;
+    const double rate = bench::measure_rate([&] {
+      for (std::size_t i = 0; i < stream; ++i)
+        cached.decode(pool[rng.below(pool.size())]);
+      return stream;
+    });
+    records.push_back({"decoder/mwpm_cached/rep15/pool32",
+                       rate,
+                       {{"cache_hit_rate", cached.stats().hit_rate()}}});
+  }
+
+  {
+    const double rate = bench::measure_rate([&] {
+      const auto g = rep_graph(15);
+      MwpmDecoder dec(g);
+      return std::size_t{1};
+    });
+    records.push_back({"decoder/mwpm_construction/rep15", rate, {}});
+  }
+
+  for (const PerfRecord& r : records) bench::print_record(r);
+  bench::write_perf_json("BENCH_perf.json", records);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Shared machinery of the perf_* benches: wall-clock throughput measurement
+// and the BENCH_perf.json perf-trajectory file.
+//
+// BENCH_perf.json is a JSON object whose "records" array holds one object
+// per scenario, one per line:
+//   {"scenario": "pipeline/radiation/rep5", "shots_per_second": 1.2e6,
+//    "cache_hit_rate": 0.97, "speedup_vs_exact": 9.3}
+// The three perf benches merge into the same file (records are keyed by
+// scenario name: re-running a bench replaces its scenarios and preserves
+// the others), so successive PRs accumulate a comparable perf history.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace radsurf::bench {
+
+struct PerfRecord {
+  std::string scenario;
+  double shots_per_second = 0.0;
+  // Optional scenario-specific metrics (cache_hit_rate, speedup_vs_exact,
+  // residual_fraction, ...).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Best-of-reps throughput: `fn` performs one repetition and returns the
+/// number of work items (shots, decodes, ...) it processed.  One warm-up
+/// repetition, then repetitions until `min_seconds` of measured time or
+/// `max_reps`, keeping the fastest rate.
+inline double measure_rate(const std::function<std::size_t()>& fn,
+                           double min_seconds = 0.25, int max_reps = 12) {
+  using clock = std::chrono::steady_clock;
+  (void)fn();  // warm-up (first-touch allocations, cache population)
+  double best = 0.0;
+  double total = 0.0;
+  for (int rep = 0; rep < max_reps && (rep < 2 || total < min_seconds);
+       ++rep) {
+    const auto t0 = clock::now();
+    const std::size_t items = fn();
+    const double dt =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    total += dt;
+    if (dt > 0.0 && static_cast<double>(items) / dt > best)
+      best = static_cast<double>(items) / dt;
+  }
+  return best;
+}
+
+inline std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+inline std::string record_line(const PerfRecord& r) {
+  std::ostringstream os;
+  os << "    {\"scenario\": \"" << r.scenario << "\", \"shots_per_second\": "
+     << json_number(r.shots_per_second);
+  for (const auto& [key, value] : r.extra)
+    os << ", \"" << key << "\": " << json_number(value);
+  os << "}";
+  return os.str();
+}
+
+/// Merge `records` into the JSON file at `path` (see file comment).
+inline void write_perf_json(const std::string& path,
+                            const std::vector<PerfRecord>& records) {
+  std::set<std::string> replaced;
+  for (const PerfRecord& r : records) replaced.insert(r.scenario);
+
+  // Keep existing record lines for scenarios this run did not measure.
+  std::vector<std::string> kept;
+  std::ifstream in(path);
+  std::string line;
+  const std::string key = "{\"scenario\": \"";
+  while (std::getline(in, line)) {
+    const auto at = line.find(key);
+    if (at == std::string::npos) continue;
+    const auto name_begin = at + key.size();
+    const auto name_end = line.find('"', name_begin);
+    if (name_end == std::string::npos) continue;
+    if (!replaced.count(line.substr(name_begin, name_end - name_begin)))
+      kept.push_back(line.substr(0, line.find_last_not_of(", \t") + 1));
+  }
+  in.close();
+
+  std::vector<std::string> lines = std::move(kept);
+  for (const PerfRecord& r : records) lines.push_back(record_line(r));
+
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"radsurf-perf\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    out << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+  out << "  ]\n}\n";
+  std::cout << "wrote " << lines.size() << " records to " << path << "\n";
+}
+
+inline void print_record(const PerfRecord& r) {
+  std::cout << "  " << r.scenario << ": "
+            << json_number(r.shots_per_second) << " items/s";
+  for (const auto& [key, value] : r.extra)
+    std::cout << "  " << key << "=" << json_number(value);
+  std::cout << "\n";
+}
+
+}  // namespace radsurf::bench

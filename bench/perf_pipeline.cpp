@@ -1,61 +1,141 @@
 // Performance: end-to-end injection campaign throughput (shots/second of
-// the full sample -> detectors -> decode -> compare pipeline).
-#include <benchmark/benchmark.h>
+// the full sample -> detectors -> decode -> compare pipeline), contrasting
+// the batched frame fast path (SamplingPath::AUTO, the default) against
+// the exact per-shot tableau baseline (SamplingPath::EXACT) on identical
+// seeds, and reporting the syndrome-cache hit rate.
+//
+// Emits/merges the measured scenarios into BENCH_perf.json (see
+// perf_json.hpp) so successive PRs accumulate a perf trajectory.
+#include <iostream>
+#include <memory>
 
 #include "arch/topologies.hpp"
 #include "codes/repetition.hpp"
 #include "codes/xxzz.hpp"
 #include "inject/campaign.hpp"
+#include "perf_json.hpp"
 
 namespace {
 
 using namespace radsurf;
+using bench::PerfRecord;
 
-void BM_CampaignIntrinsic_Rep5(benchmark::State& state) {
-  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
-  InjectionEngine engine(code, make_mesh(5, 2), EngineOptions{});
+EngineOptions path_options(SamplingPath path) {
+  EngineOptions opts;
+  opts.sampling_path = path;
+  return opts;
+}
+
+struct CampaignResult {
+  double shots_per_second = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+template <typename RunFn>
+CampaignResult measure_campaign(const SurfaceCode& code, const Graph& arch,
+                                SamplingPath path, std::size_t shots,
+                                const RunFn& run) {
+  InjectionEngine engine(code, arch, path_options(path));
+  CampaignResult out;
   std::uint64_t seed = 1;
-  const std::size_t shots = 256;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.run_intrinsic(shots, seed++));
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * shots));
+  out.shots_per_second = bench::measure_rate([&] {
+    run(engine, shots, seed++);
+    return shots;
+  });
+  out.cache_hit_rate = engine.decode_cache_stats().hit_rate();
+  return out;
 }
-BENCHMARK(BM_CampaignIntrinsic_Rep5);
-
-void BM_CampaignStrike_Xxzz33(benchmark::State& state) {
-  const XXZZCode code(3, 3);
-  InjectionEngine engine(code, make_mesh(5, 4), EngineOptions{});
-  std::uint64_t seed = 1;
-  const std::size_t shots = 256;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        engine.run_radiation_at(2, 1.0, true, shots, seed++));
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * shots));
-}
-BENCHMARK(BM_CampaignStrike_Xxzz33);
-
-void BM_EngineConstruction(benchmark::State& state) {
-  const XXZZCode code(3, 3);
-  const Graph arch = make_mesh(5, 4);
-  for (auto _ : state) {
-    InjectionEngine engine(code, arch, EngineOptions{});
-    benchmark::DoNotOptimize(engine);
-  }
-}
-BENCHMARK(BM_EngineConstruction);
-
-void BM_EngineConstruction_Brooklyn(benchmark::State& state) {
-  const RepetitionCode code(11, RepetitionFlavor::BIT_FLIP);
-  const Graph arch = make_brooklyn();
-  for (auto _ : state) {
-    InjectionEngine engine(code, arch, EngineOptions{});
-    benchmark::DoNotOptimize(engine);
-  }
-}
-BENCHMARK(BM_EngineConstruction_Brooklyn);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::vector<PerfRecord> records;
+  std::cout << "perf_pipeline (campaign shots/s)\n";
+
+  const RepetitionCode rep5(5, RepetitionFlavor::BIT_FLIP);
+  const XXZZCode xxzz33(3, 3);
+  const Graph mesh52 = make_mesh(5, 2);
+  const Graph mesh54 = make_mesh(5, 4);
+
+  // --- intrinsic noise only (pure-Pauli frame path) ------------------------
+  {
+    const auto run = [](const InjectionEngine& e, std::size_t shots,
+                        std::uint64_t seed) {
+      return e.run_intrinsic(shots, seed);
+    };
+    const auto frame =
+        measure_campaign(rep5, mesh52, SamplingPath::AUTO, 4096, run);
+    records.push_back({"pipeline/intrinsic/rep5",
+                       frame.shots_per_second,
+                       {{"cache_hit_rate", frame.cache_hit_rate}}});
+    bench::print_record(records.back());
+  }
+
+  // --- radiation campaigns: frame fast path vs exact baseline --------------
+  const auto radiation_scenario = [&](const std::string& name,
+                                      const SurfaceCode& code,
+                                      const Graph& arch, std::size_t shots) {
+    const auto run = [](const InjectionEngine& e, std::size_t s,
+                        std::uint64_t seed) {
+      return e.run_radiation_at(2, 1.0, true, s, seed);
+    };
+    const auto frame =
+        measure_campaign(code, arch, SamplingPath::AUTO, shots, run);
+    const auto exact =
+        measure_campaign(code, arch, SamplingPath::EXACT, shots, run);
+    const double speedup = exact.shots_per_second > 0
+                               ? frame.shots_per_second /
+                                     exact.shots_per_second
+                               : 0.0;
+    records.push_back({name + "/frame",
+                       frame.shots_per_second,
+                       {{"cache_hit_rate", frame.cache_hit_rate},
+                        {"speedup_vs_exact", speedup}}});
+    records.push_back({name + "/exact",
+                       exact.shots_per_second,
+                       {{"cache_hit_rate", exact.cache_hit_rate}}});
+    bench::print_record(records[records.size() - 2]);
+    bench::print_record(records[records.size() - 1]);
+  };
+  radiation_scenario("pipeline/radiation/rep5", rep5, mesh52, 4096);
+  radiation_scenario("pipeline/radiation/xxzz33", xxzz33, mesh54, 1024);
+
+  // --- shared-instant erasure (Figs 6-7 workload) --------------------------
+  {
+    const auto run = [](const InjectionEngine& e, std::size_t shots,
+                        std::uint64_t seed) {
+      return e.run_erasure({e.active_qubits()[0], e.active_qubits()[1]},
+                           shots, seed);
+    };
+    const auto frame =
+        measure_campaign(rep5, mesh52, SamplingPath::AUTO, 4096, run);
+    const auto exact =
+        measure_campaign(rep5, mesh52, SamplingPath::EXACT, 4096, run);
+    const double speedup = exact.shots_per_second > 0
+                               ? frame.shots_per_second /
+                                     exact.shots_per_second
+                               : 0.0;
+    records.push_back({"pipeline/erasure/rep5/frame",
+                       frame.shots_per_second,
+                       {{"cache_hit_rate", frame.cache_hit_rate},
+                        {"speedup_vs_exact", speedup}}});
+    records.push_back({"pipeline/erasure/rep5/exact",
+                       exact.shots_per_second,
+                       {{"cache_hit_rate", exact.cache_hit_rate}}});
+    bench::print_record(records[records.size() - 2]);
+    bench::print_record(records[records.size() - 1]);
+  }
+
+  // --- static pipeline construction ---------------------------------------
+  {
+    const double rate = bench::measure_rate([&] {
+      InjectionEngine engine(xxzz33, mesh54, EngineOptions{});
+      return std::size_t{1};
+    });
+    records.push_back({"pipeline/engine_construction/xxzz33", rate, {}});
+    bench::print_record(records.back());
+  }
+
+  bench::write_perf_json("BENCH_perf.json", records);
+  return 0;
+}

@@ -197,4 +197,10 @@ Circuit Circuit::parse(const std::string& text) {
   return c;
 }
 
+bool contains_reset_noise(const Circuit& circuit) {
+  for (const Instruction& ins : circuit.instructions())
+    if (ins.gate == Gate::RESET_ERROR) return true;
+  return false;
+}
+
 }  // namespace radsurf

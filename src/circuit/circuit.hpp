@@ -118,4 +118,9 @@ class Circuit {
   std::vector<std::size_t> record_offsets_;
 };
 
+/// True iff the circuit contains a probabilistic reset (RESET_ERROR) — the
+/// channel that separates the heralded-reset frame fast path from plain
+/// Pauli-frame sampling.
+bool contains_reset_noise(const Circuit& circuit);
+
 }  // namespace radsurf

@@ -1,0 +1,48 @@
+#include "decoder/decode_cache.hpp"
+
+namespace radsurf {
+
+CachingDecoder::CachingDecoder(Decoder& inner, std::size_t max_entries)
+    : inner_(inner),
+      max_entries_per_shard_(max_entries / kNumShards + 1) {}
+
+std::string CachingDecoder::name() const {
+  return inner_.name() + "+cache";
+}
+
+std::uint64_t CachingDecoder::decode(
+    const std::vector<std::uint32_t>& defects) {
+  if (defects.empty()) return inner_.decode(defects);
+
+  const std::size_t h = VecHash{}(defects);
+  // unordered_map consumes the low bits; shard on the high ones.
+  Shard& shard = shards_[(h >> 58) % kNumShards];
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(defects);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const std::uint64_t prediction = inner_.decode(defects);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() < max_entries_per_shard_)
+      shard.map.emplace(defects, prediction);
+  }
+  return prediction;
+}
+
+std::size_t CachingDecoder::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex&>(shard.mu));
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace radsurf

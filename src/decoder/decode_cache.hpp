@@ -1,0 +1,86 @@
+// Syndrome-memoized decoding.
+//
+// Small-distance radiation campaigns repeat syndromes heavily: a handful of
+// defect patterns (the strike's footprint plus sparse intrinsic noise)
+// accounts for most shots.  CachingDecoder wraps any Decoder with an exact
+// defect-set -> predicted-observable hash cache, turning repeat decodes
+// into lookups.  The cache is sharded by hash so concurrent campaign chunks
+// mostly touch distinct mutexes; a miss runs the inner decoder outside any
+// lock (a racing duplicate decode is harmless — decoders are deterministic
+// functions of the defect set).
+//
+// The empty syndrome bypasses the cache and the hit/lookup counters: it is
+// trivially decoded by every decoder, and counting it would inflate hit
+// rates in low-noise campaigns.  Capacity is bounded per shard; once full,
+// new syndromes simply stop being inserted (radiation campaigns hit the
+// hot set long before that).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "decoder/decoder.hpp"
+
+namespace radsurf {
+
+struct DecodeCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t lookups = 0;
+  double hit_rate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+  DecodeCacheStats& operator+=(const DecodeCacheStats& o) {
+    hits += o.hits;
+    lookups += o.lookups;
+    return *this;
+  }
+};
+
+class CachingDecoder final : public Decoder {
+ public:
+  /// Wraps `inner` (not owned; must outlive this decoder).  `max_entries`
+  /// bounds the total number of cached syndromes.
+  explicit CachingDecoder(Decoder& inner,
+                          std::size_t max_entries = std::size_t{1} << 20);
+
+  std::string name() const override;
+  std::uint64_t decode(const std::vector<std::uint32_t>& defects) override;
+
+  DecodeCacheStats stats() const {
+    return {hits_.load(std::memory_order_relaxed),
+            lookups_.load(std::memory_order_relaxed)};
+  }
+  /// Number of cached syndromes (approximate under concurrency).
+  std::size_t size() const;
+
+ private:
+  struct VecHash {
+    std::size_t operator()(const std::vector<std::uint32_t>& v) const {
+      // FNV-1a over the defect indices.
+      std::uint64_t h = 1469598103934665603ULL;
+      for (std::uint32_t d : v) {
+        h ^= d;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::vector<std::uint32_t>, std::uint64_t, VecHash>
+        map;
+  };
+  static constexpr std::size_t kNumShards = 16;
+
+  Decoder& inner_;
+  std::size_t max_entries_per_shard_;
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> lookups_{0};
+};
+
+}  // namespace radsurf

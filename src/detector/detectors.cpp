@@ -63,12 +63,18 @@ std::uint64_t DetectorSet::observable_values(const BitVec& record,
 std::vector<std::uint32_t> DetectorSet::defects(const BitVec& record,
                                                 const BitVec& reference) const {
   std::vector<std::uint32_t> out;
+  defects_into(record, reference, out);
+  return out;
+}
+
+void DetectorSet::defects_into(const BitVec& record, const BitVec& reference,
+                               std::vector<std::uint32_t>& out) const {
+  out.clear();
   for (std::size_t d = 0; d < detector_masks_.size(); ++d) {
     const bool v = detector_masks_[d].and_parity(record) ^
                    detector_masks_[d].and_parity(reference);
     if (v) out.push_back(static_cast<std::uint32_t>(d));
   }
-  return out;
 }
 
 std::vector<BitVec> DetectorSet::detector_flips(

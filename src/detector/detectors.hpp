@@ -43,6 +43,9 @@ class DetectorSet {
   /// Indices of fired detectors — the decoder's defect list.
   std::vector<std::uint32_t> defects(const BitVec& record,
                                      const BitVec& reference) const;
+  /// Allocation-free variant for shot loops: `out` is cleared and refilled.
+  void defects_into(const BitVec& record, const BitVec& reference,
+                    std::vector<std::uint32_t>& out) const;
 
   /// Batch conversion of frame-simulator record flips into detector flip
   /// rows (detector-major, one bit per shot).

@@ -10,10 +10,39 @@
 namespace radsurf {
 
 namespace {
-bool contains_reset_noise(const Circuit& circuit) {
-  for (const Instruction& ins : circuit.instructions())
-    if (ins.gate == Gate::RESET_ERROR) return true;
-  return false;
+// Expected fraction of shots the frame fast path must hand back to the
+// exact engine: a shot is residual iff some herald fires at a reference-
+// random reset site, or (for erasures) its strike instant finds a
+// corrupted qubit with a random reference.  Computable upfront from the
+// reference trace, so SamplingPath::AUTO can skip the frame batch when
+// nearly every shot would fall through anyway.
+double expected_residual_fraction(const Circuit& circuit,
+                                  const ReferenceTrace& trace,
+                                  bool erase) {
+  double survive = 1.0;  // P(no herald at any reference-random site)
+  std::size_t site = 0;
+  for (const Instruction& ins : circuit.instructions()) {
+    if (ins.gate != Gate::RESET_ERROR) continue;
+    for (std::size_t i = 0; i < ins.targets.size(); ++i, ++site) {
+      RADSURF_ASSERT(site < trace.reset_sites.size());
+      if (trace.reset_sites[site] == 0) survive *= 1.0 - ins.args[0];
+    }
+  }
+  const std::size_t num_corrupted = trace.corrupted.size();
+  if (erase && trace.num_physical_ops > 0 && num_corrupted > 0) {
+    std::size_t bad_instants = 0;
+    for (std::size_t k = 0; k < trace.num_physical_ops; ++k) {
+      for (std::size_t j = 0; j < num_corrupted; ++j) {
+        if (trace.erasure_sites[k * num_corrupted + j] == 0) {
+          ++bad_instants;
+          break;
+        }
+      }
+    }
+    survive *= 1.0 - static_cast<double>(bad_instants) /
+                         static_cast<double>(trace.num_physical_ops);
+  }
+  return 1.0 - survive;
 }
 }  // namespace
 
@@ -44,6 +73,9 @@ InjectionEngine::InjectionEngine(const SurfaceCode& code, Graph arch,
   TableauSimulator ref_sim(transpiled_.circuit);
   reference_ = ref_sim.reference_sample();
 
+  if (options_.decode_cache)
+    cached_decoder_ = std::make_unique<CachingDecoder>(*decoder_);
+
   active_qubits_ = transpiled_.touched_physical_qubits();
 
   physical_roles_.assign(arch_.num_nodes(), QubitRole::ANCILLA);
@@ -62,52 +94,127 @@ Proportion InjectionEngine::run_circuit(
     const Circuit& circuit, std::size_t shots, std::uint64_t seed,
     const std::vector<std::uint32_t>* erasure,
     Decoder* decoder_override) const {
+  // Syndrome memoization: the engine's own decoder keeps a persistent
+  // cache (campaign series repeat syndromes across calls); an override
+  // decoder gets a transient cache whose stats fold into the engine's.
+  std::unique_ptr<CachingDecoder> local_cache;
   Decoder* decoder = decoder_override ? decoder_override : decoder_.get();
+  if (options_.decode_cache) {
+    if (decoder_override) {
+      local_cache = std::make_unique<CachingDecoder>(*decoder_override);
+      decoder = local_cache.get();
+    } else {
+      decoder = cached_decoder_.get();
+    }
+  }
+
+  const bool erase = erasure && !erasure->empty();
+  if (erasure) {
+    for (std::uint32_t q : *erasure) {
+      RADSURF_CHECK_ARG(q < circuit.num_qubits(),
+                        "corrupted qubit " << q << " out of range");
+    }
+  }
   std::atomic<std::size_t> errors{0};
 
-  // Pure-Pauli campaigns (no probabilistic reset, no erasure plan) can use
-  // the bit-parallel frame simulator — detector semantics are identical
-  // (cross-validated in tests), throughput is far higher.
-  const bool frame_fast_path = !erasure && !contains_reset_noise(circuit);
+  // The bit-parallel frame simulator now carries every campaign: pure
+  // Pauli noise exactly, and probabilistic resets / erasures through the
+  // heralded fast path.  Only shots whose herald lands on a reference-
+  // random site fall back to the exact per-shot tableau engine (the
+  // residual mask).  The two engines are cross-validated statistically in
+  // tests; SamplingPath::EXACT forces the baseline methodology.
+  bool use_frame = options_.sampling_path != SamplingPath::EXACT;
 
-  parallel_chunks(
-      shots, options_.shots_per_chunk, Rng(seed),
-      [&](const ChunkRange& range, Rng& rng) {
-        std::size_t local_errors = 0;
-        if (frame_fast_path) {
+  // One reference-trace walk shared by every chunk.
+  ReferenceTrace trace;
+  const bool needs_trace =
+      use_frame && (erase || contains_reset_noise(circuit));
+  if (needs_trace) {
+    trace =
+        TableauSimulator(circuit).reference_trace(erase ? erasure : nullptr);
+    // When (almost) every shot would herald at a reference-random site the
+    // frame batch is pure overhead — go straight to the exact engine.
+    if (expected_residual_fraction(circuit, trace, erase) > 0.9)
+      use_frame = false;
+  }
+
+  if (use_frame) {
+    parallel_chunks(
+        shots, options_.shots_per_chunk, Rng(seed),
+        [&](const ChunkRange& range, Rng& rng) {
+          std::size_t local_errors = 0;
           const std::size_t batch = range.end - range.begin;
-          FrameSimulator sim(circuit, batch);
-          const MeasurementFlips flips = sim.run(rng);
+          FrameSimulator sim(circuit, batch,
+                             needs_trace ? &trace : nullptr);
+          BitVec residual(batch);
+          const MeasurementFlips flips =
+              erase ? sim.run_with_erasure(rng, *erasure, &residual)
+                    : sim.run(rng, &residual);
           const auto det_rows = detectors_.detector_flips(flips);
           const auto obs_rows = detectors_.observable_flips(flips);
           std::vector<std::uint32_t> defects;
+          std::unique_ptr<TableauSimulator> exact;  // residual shots only
+          BitVec record(detectors_.num_records());
           for (std::size_t s = 0; s < batch; ++s) {
-            defects.clear();
-            for (std::size_t d = 0; d < det_rows.size(); ++d)
-              if (det_rows[d].get(s))
-                defects.push_back(static_cast<std::uint32_t>(d));
-            const std::uint64_t predicted = decoder->decode(defects);
             std::uint64_t actual = 0;
-            for (std::size_t o = 0; o < obs_rows.size(); ++o)
-              if (obs_rows[o].get(s)) actual |= std::uint64_t{1} << o;
+            if (residual.get(s)) {
+              if (!exact) exact = std::make_unique<TableauSimulator>(circuit);
+              if (erase)
+                exact->sample_with_erasure_into(rng, *erasure, record);
+              else
+                exact->sample_into(rng, record);
+              detectors_.defects_into(record, reference_, defects);
+              actual = detectors_.observable_values(record, reference_);
+            } else {
+              defects.clear();
+              for (std::size_t d = 0; d < det_rows.size(); ++d)
+                if (det_rows[d].get(s))
+                  defects.push_back(static_cast<std::uint32_t>(d));
+              for (std::size_t o = 0; o < obs_rows.size(); ++o)
+                if (obs_rows[o].get(s)) actual |= std::uint64_t{1} << o;
+            }
+            const std::uint64_t predicted = decoder->decode(defects);
             if ((predicted ^ actual) & 1u) ++local_errors;
           }
-        } else {
+          errors.fetch_add(local_errors, std::memory_order_relaxed);
+        });
+  } else {
+    parallel_chunks(
+        shots, options_.shots_per_chunk, Rng(seed),
+        [&](const ChunkRange& range, Rng& rng) {
+          std::size_t local_errors = 0;
           TableauSimulator sim(circuit);
+          BitVec record(detectors_.num_records());
+          std::vector<std::uint32_t> defects;
           for (std::size_t s = range.begin; s < range.end; ++s) {
-            const BitVec record =
-                erasure ? sim.sample_with_erasure(rng, *erasure)
-                        : sim.sample(rng);
-            const auto defects = detectors_.defects(record, reference_);
+            if (erase)
+              sim.sample_with_erasure_into(rng, *erasure, record);
+            else
+              sim.sample_into(rng, record);
+            detectors_.defects_into(record, reference_, defects);
             const std::uint64_t predicted = decoder->decode(defects);
             const std::uint64_t actual =
                 detectors_.observable_values(record, reference_);
             if ((predicted ^ actual) & 1u) ++local_errors;
           }
-        }
-        errors.fetch_add(local_errors, std::memory_order_relaxed);
-      });
+          errors.fetch_add(local_errors, std::memory_order_relaxed);
+        });
+  }
+
+  if (local_cache) {
+    const DecodeCacheStats s = local_cache->stats();
+    override_cache_hits_.fetch_add(s.hits, std::memory_order_relaxed);
+    override_cache_lookups_.fetch_add(s.lookups, std::memory_order_relaxed);
+  }
   return Proportion{errors.load(), shots};
+}
+
+DecodeCacheStats InjectionEngine::decode_cache_stats() const {
+  DecodeCacheStats s;
+  if (cached_decoder_) s += cached_decoder_->stats();
+  s.hits += override_cache_hits_.load(std::memory_order_relaxed);
+  s.lookups += override_cache_lookups_.load(std::memory_order_relaxed);
+  return s;
 }
 
 Proportion InjectionEngine::run_intrinsic(std::size_t shots,

@@ -12,12 +12,14 @@
 // with per-chunk RNG streams, so results are a pure function of the seed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "arch/graph.hpp"
 #include "codes/code.hpp"
+#include "decoder/decode_cache.hpp"
 #include "decoder/decoder.hpp"
 #include "detector/detectors.hpp"
 #include "noise/depolarizing.hpp"
@@ -26,6 +28,18 @@
 #include "util/stats.hpp"
 
 namespace radsurf {
+
+/// Shot-sampling strategy of the campaign engine.
+enum class SamplingPath {
+  /// Bit-parallel frame simulation for every shot it can express (now
+  /// including heralded resets and shared-instant erasures at sites where
+  /// the noiseless reference is deterministic), with an exact per-shot
+  /// tableau re-run of the residual shots.
+  AUTO,
+  /// Force the exact per-shot tableau engine for every shot (the paper's
+  /// original methodology; also the cross-validation baseline).
+  EXACT,
+};
 
 struct EngineOptions {
   /// Intrinsic physical error rate p (paper default 1e-2).
@@ -46,6 +60,10 @@ struct EngineOptions {
   RadiationModel radiation = {};
   /// Shots per parallel chunk (RNG stream granularity).
   std::size_t shots_per_chunk = 256;
+  /// Shot-sampling strategy (AUTO = frame fast path + exact residual).
+  SamplingPath sampling_path = SamplingPath::AUTO;
+  /// Memoize defect-set -> prediction across shots (see decode_cache.hpp).
+  bool decode_cache = true;
 };
 
 class InjectionEngine {
@@ -69,6 +87,10 @@ class InjectionEngine {
   /// ancilla); routing ancillas that never host a code qubit report
   /// STABILIZER-like behaviour is irrelevant, so they return ANCILLA.
   QubitRole role_of_physical(std::uint32_t phys) const;
+
+  /// Cumulative syndrome-cache statistics over every campaign this engine
+  /// has run (own decoder and per-call override decoders combined).
+  DecodeCacheStats decode_cache_stats() const;
 
   // --- campaigns -----------------------------------------------------------
 
@@ -128,6 +150,11 @@ class InjectionEngine {
   DetectorErrorModel dem_;
   MatchingGraph matching_graph_;
   std::unique_ptr<Decoder> decoder_;
+  // Persistent syndrome cache over decoder_ (campaign series re-hit it).
+  std::unique_ptr<CachingDecoder> cached_decoder_;
+  // Stats of the transient caches wrapped around override decoders.
+  mutable std::atomic<std::uint64_t> override_cache_hits_{0};
+  mutable std::atomic<std::uint64_t> override_cache_lookups_{0};
   BitVec reference_;
   std::vector<std::uint32_t> active_qubits_;
   std::vector<QubitRole> physical_roles_;

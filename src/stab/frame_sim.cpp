@@ -6,9 +6,18 @@
 
 namespace radsurf {
 
-FrameSimulator::FrameSimulator(const Circuit& circuit, std::size_t batch_size)
+FrameSimulator::FrameSimulator(const Circuit& circuit, std::size_t batch_size,
+                               const ReferenceTrace* trace)
     : circuit_(circuit), batch_(batch_size) {
   RADSURF_CHECK_ARG(batch_size > 0, "batch size must be positive");
+  has_reset_noise_ = contains_reset_noise(circuit_);
+  if (trace) {
+    trace_ = *trace;
+    has_trace_ = true;
+  } else if (has_reset_noise_) {
+    trace_ = TableauSimulator(circuit_).reference_trace();
+    has_trace_ = true;
+  }
 }
 
 void FrameSimulator::fill_uniform(BitVec& bits, Rng& rng) {
@@ -46,14 +55,87 @@ void FrameSimulator::fill_biased(BitVec& bits, double p, Rng& rng) {
   }
 }
 
-MeasurementFlips FrameSimulator::run(Rng& rng) {
+MeasurementFlips FrameSimulator::run(Rng& rng, BitVec* residual) {
+  return run_impl(rng, nullptr, has_trace_ ? &trace_ : nullptr, residual);
+}
+
+MeasurementFlips FrameSimulator::run_with_erasure(
+    Rng& rng, const std::vector<std::uint32_t>& corrupted, BitVec* residual) {
+  if (corrupted.empty())
+    return run_impl(rng, nullptr, has_trace_ ? &trace_ : nullptr, residual);
+  if (has_trace_ && trace_.corrupted == corrupted)
+    return run_impl(rng, &corrupted, &trace_, residual);
+  // No erasure-aware trace supplied: compute one for this call.
+  const ReferenceTrace local =
+      TableauSimulator(circuit_).reference_trace(&corrupted);
+  return run_impl(rng, &corrupted, &local, residual);
+}
+
+MeasurementFlips FrameSimulator::run_impl(
+    Rng& rng, const std::vector<std::uint32_t>* corrupted,
+    const ReferenceTrace* trace, BitVec* residual) {
   const std::size_t nq = circuit_.num_qubits();
   std::vector<BitVec> xf(nq, BitVec(batch_));
   std::vector<BitVec> zf(nq, BitVec(batch_));
   MeasurementFlips flips(circuit_.num_measurements(), BitVec(batch_));
   std::size_t rec = 0;
 
+  if (residual) {
+    RADSURF_CHECK_ARG(residual->size() == batch_,
+                      "residual mask must be sized to the batch");
+    residual->clear();
+  }
+  auto need_residual = [&]() -> BitVec& {
+    if (!residual)
+      throw CircuitError(
+          "frame simulation heralded a reset at a reference-random site; "
+          "caller must supply a residual mask (or use TableauSimulator)");
+    return *residual;
+  };
+
+  // Shared-instant erasure: draw each shot's strike ordinal (uniform over
+  // the physical operations) and bucket shots by ordinal so the walk below
+  // touches each striking shot exactly once.
+  std::vector<std::uint32_t> strike_shots;   // shot ids grouped by ordinal
+  std::vector<std::uint32_t> strike_begin;   // bucket offsets, size P+1
+  const std::size_t num_corrupted = corrupted ? corrupted->size() : 0;
+  if (corrupted) {
+    RADSURF_ASSERT(trace && trace->corrupted == *corrupted);
+    const std::size_t P = trace->num_physical_ops;
+    if (P > 0) {
+      std::vector<std::uint32_t> strike_of(batch_);
+      std::vector<std::uint32_t> counts(P + 1, 0);
+      for (std::size_t s = 0; s < batch_; ++s) {
+        strike_of[s] = static_cast<std::uint32_t>(rng.below(P));
+        ++counts[strike_of[s] + 1];
+      }
+      strike_begin.assign(P + 1, 0);
+      for (std::size_t k = 1; k <= P; ++k)
+        strike_begin[k] = strike_begin[k - 1] + counts[k];
+      strike_shots.resize(batch_);
+      std::vector<std::uint32_t> cursor(strike_begin.begin(),
+                                        strike_begin.end() - 1);
+      for (std::size_t s = 0; s < batch_; ++s)
+        strike_shots[cursor[strike_of[s]]++] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  // Applies one reset to one shot's frame, given the reference value v at
+  // the site: deterministic |b> reference pins the X frame component to b
+  // (the noisy qubit becomes exactly |0>) and randomizes the Z component;
+  // a reference-random site (v == 0) sends the shot to the residual mask.
+  auto apply_shot_reset = [&](std::uint32_t q, std::size_t s, std::int8_t v) {
+    if (v == 0) {
+      need_residual().set(s, true);
+      return;
+    }
+    xf[q].set(s, v < 0);
+    zf[q].set(s, rng.next() & 1);
+  };
+
   BitVec mask(batch_);
+  std::size_t reset_site = 0;       // cursor into trace->reset_sites
+  std::size_t physical_ordinal = 0; // cursor over physical operations
 
   auto depolarize1 = [&](std::uint32_t q, double p) {
     fill_biased(mask, p, rng);
@@ -70,6 +152,20 @@ MeasurementFlips FrameSimulator::run(Rng& rng) {
     const GateInfo& info = gate_info(ins.gate);
     if (info.is_annotation) continue;
     const auto& tg = ins.targets;
+
+    if (!info.is_noise) {
+      // Physical operation: erasure strikes land immediately before it.
+      if (!strike_begin.empty()) {
+        const std::size_t k = physical_ordinal;
+        for (std::uint32_t i = strike_begin[k]; i < strike_begin[k + 1]; ++i) {
+          const std::uint32_t s = strike_shots[i];
+          for (std::size_t j = 0; j < num_corrupted; ++j)
+            apply_shot_reset((*corrupted)[j], s,
+                             trace->erasure_sites[k * num_corrupted + j]);
+        }
+      }
+      ++physical_ordinal;
+    }
 
     switch (ins.gate) {
       case Gate::I:
@@ -162,10 +258,37 @@ MeasurementFlips FrameSimulator::run(Rng& rng) {
           }
         }
         break;
-      case Gate::RESET_ERROR:
-        throw CircuitError(
-            "FrameSimulator cannot express RESET_ERROR (probabilistic reset "
-            "is not a Pauli channel); use TableauSimulator");
+      case Gate::RESET_ERROR: {
+        // Heralded-reset fast path: sample herald bits per shot, then apply
+        // the reset as a frame update conditioned on the reference value.
+        RADSURF_ASSERT_MSG(trace, "RESET_ERROR without a reference trace");
+        for (auto q : tg) {
+          RADSURF_ASSERT(reset_site < trace->reset_sites.size());
+          const std::int8_t v = trace->reset_sites[reset_site++];
+          fill_biased(mask, ins.args[0], rng);
+          if (mask.none()) continue;
+          if (v == 0) {
+            // Reference is random here: heralded shots leave the frame
+            // formalism and must be re-run exactly.
+            need_residual() |= mask;
+            continue;
+          }
+          BitVec::Word* xw = xf[q].words();
+          BitVec::Word* zw = zf[q].words();
+          const BitVec::Word* mw = mask.words();
+          const std::size_t W = mask.num_words();
+          for (std::size_t w = 0; w < W; ++w) {
+            const BitVec::Word m = mw[w];
+            if (!m) continue;
+            // X frame component := reference bit b (v < 0 means |1>),
+            // Z frame component := fresh randomness (reset output is a
+            // Z eigenstate; its Z frame is unobservable, as after R).
+            xw[w] = v < 0 ? (xw[w] | m) : (xw[w] & ~m);
+            zw[w] = (zw[w] & ~m) | (rng.next() & m);
+          }
+        }
+        break;
+      }
       default:
         RADSURF_ASSERT_MSG(false, "unhandled instruction in frame sim");
     }

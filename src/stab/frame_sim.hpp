@@ -6,15 +6,23 @@
 // component as a record *flip* and randomize the Z component (the standard
 // trick that makes frame sampling exact for stabilizer circuits).
 //
-// The frame formalism cannot express the radiation model's probabilistic
-// reset (a non-Pauli channel relative to the reference), so RESET_ERROR
-// instructions are rejected — campaigns with radiation use the exact
-// TableauSimulator and the two engines are cross-validated in tests.
+// Radiation support (heralded-reset fast path): RESET_ERROR is not a Pauli
+// channel, but at a site where the reference holds a *deterministic*
+// Z-eigenstate |b> the noisy qubit is also a definite |b XOR x-frame>, so a
+// heralded reset is exactly a frame update — set the X component to b and
+// randomize the Z component.  Herald bits are sampled per shot; shots whose
+// herald fires at a reference-*random* site cannot be expressed as a frame
+// and are flagged in a residual mask for an exact TableauSimulator re-run.
+// The same mechanism covers the shared-instant erasure of Figs 6-7 (per-
+// shot uniformly random strike instant over the physical operations).
+// Reference values per site come from a ReferenceTrace (one deterministic
+// tableau walk, shareable across batches).
 #pragma once
 
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "stab/tableau_sim.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 
@@ -26,12 +34,27 @@ using MeasurementFlips = std::vector<BitVec>;
 
 class FrameSimulator {
  public:
-  FrameSimulator(const Circuit& circuit, std::size_t batch_size);
+  /// `trace`, if supplied, must be the ReferenceTrace of `circuit` (and of
+  /// the erasure set later passed to run_with_erasure); it is copied.  When
+  /// omitted and the circuit contains RESET_ERROR, the constructor computes
+  /// one itself — pass a precomputed trace to share the walk across chunks.
+  FrameSimulator(const Circuit& circuit, std::size_t batch_size,
+                 const ReferenceTrace* trace = nullptr);
 
   std::size_t batch_size() const { return batch_; }
 
-  /// Simulate one batch; returns per-record flip rows.
-  MeasurementFlips run(Rng& rng);
+  /// Simulate one batch; returns per-record flip rows.  `residual`, if
+  /// non-null, must be sized batch_size() and receives the mask of shots
+  /// that heralded a reset at a reference-random site: their flip rows are
+  /// meaningless and the caller must re-run them through the exact engine.
+  /// If `residual` is null and such a shot occurs, throws CircuitError.
+  MeasurementFlips run(Rng& rng, BitVec* residual = nullptr);
+
+  /// Batch with the shared-instant erasure (see
+  /// TableauSimulator::sample_with_erasure for the fault model).
+  MeasurementFlips run_with_erasure(Rng& rng,
+                                    const std::vector<std::uint32_t>& corrupted,
+                                    BitVec* residual = nullptr);
 
   /// Fill `bits` with independent Bernoulli(p) draws (exposed for tests).
   static void fill_biased(BitVec& bits, double p, Rng& rng);
@@ -39,8 +62,15 @@ class FrameSimulator {
   static void fill_uniform(BitVec& bits, Rng& rng);
 
  private:
+  MeasurementFlips run_impl(Rng& rng,
+                            const std::vector<std::uint32_t>* corrupted,
+                            const ReferenceTrace* trace, BitVec* residual);
+
   Circuit circuit_;  // owned copy
   std::size_t batch_;
+  ReferenceTrace trace_;  // reset-site reference values (maybe erasure too)
+  bool has_trace_ = false;
+  bool has_reset_noise_ = false;
 };
 
 }  // namespace radsurf

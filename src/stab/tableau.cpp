@@ -1,5 +1,7 @@
 #include "stab/tableau.hpp"
 
+#include <bit>
+
 #include "util/error.hpp"
 
 namespace radsurf {
@@ -10,7 +12,10 @@ Tableau::Tableau(std::size_t num_qubits)
       zs_(num_qubits, BitVec(2 * num_qubits)),
       signs_(2 * num_qubits),
       scratch_x_(num_qubits),
-      scratch_z_(num_qubits) {
+      scratch_z_(num_qubits),
+      update_mask_(2 * num_qubits),
+      cnt_lo_(2 * num_qubits),
+      cnt_hi_(2 * num_qubits) {
   RADSURF_CHECK_ARG(num_qubits > 0, "Tableau needs at least one qubit");
   reset_all();
 }
@@ -90,26 +95,100 @@ void Tableau::apply_swap(std::uint32_t a, std::uint32_t b) {
   zs_[a].swap(zs_[b]);
 }
 
-void Tableau::rowsum(std::size_t h, std::size_t i) {
-  // Phase arithmetic mod 4: 2*r_h + 2*r_i + sum_q g(row_i[q], row_h[q]).
-  int phase = (signs_.get(h) ? 2 : 0) + (signs_.get(i) ? 2 : 0);
-  for (std::size_t q = 0; q < n_; ++q) {
-    phase += pauli_mul_phase(xs_[q].get(i), zs_[q].get(i), xs_[q].get(h),
-                             zs_[q].get(h));
+std::size_t Tableau::find_pivot(std::uint32_t q) const {
+  // First stabilizer row (index >= n_) whose X component on q is set,
+  // scanned a word at a time.
+  const BitVec& col = xs_[q];
+  const std::size_t W = col.num_words();
+  for (std::size_t w = n_ / BitVec::kWordBits; w < W; ++w) {
+    BitVec::Word word = col.word(w);
+    const std::size_t base = w * BitVec::kWordBits;
+    if (base < n_) word &= ~BitVec::Word{0} << (n_ - base);
+    if (word) return base + static_cast<std::size_t>(std::countr_zero(word));
   }
-  phase = ((phase % 4) + 4) % 4;
+  return 2 * n_;
+}
+
+void Tableau::batched_pivot_elimination(std::uint32_t q, std::size_t pivot) {
+  // Every row r != pivot with an X component on q must become row_r *
+  // row_pivot.  The rows-to-update mask is exactly column xs_[q] minus the
+  // pivot bit, so the Pauli-component update is one conditional word-XOR
+  // per qubit column.  Phases accumulate mod 4 in a packed 2-bit counter
+  // (cnt_lo_, cnt_hi_), one lane per row: the Aaronson–Gottesman g
+  // contribution of qubit k is +1 or -1 on row subsets expressible as
+  // bitwise combinations of the k-th columns, because the pivot's component
+  // at k is a scalar.
+  BitVec& m = update_mask_;
+  m = xs_[q];
+  m.set(pivot, false);
+  if (m.none()) return;
+
+  const std::size_t W = m.num_words();
+  const BitVec::Word* mw = m.words();
+  BitVec::Word* lo = cnt_lo_.words();
+  BitVec::Word* hi = cnt_hi_.words();
+  const BitVec::Word* sw = signs_.words();
+  // Initial phase of row r: 2*sign_r + 2*sign_pivot.
+  const BitVec::Word pivot_sign = signs_.get(pivot) ? ~BitVec::Word{0} : 0;
+  for (std::size_t w = 0; w < W; ++w) {
+    lo[w] = 0;
+    hi[w] = (sw[w] ^ pivot_sign) & mw[w];
+  }
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    const bool xp = xs_[k].get(pivot);
+    const bool zp = zs_[k].get(pivot);
+    if (!xp && !zp) continue;  // pivot is I on k: no phase, no update
+    BitVec::Word* xk = xs_[k].words();
+    BitVec::Word* zk = zs_[k].words();
+    for (std::size_t w = 0; w < W; ++w) {
+      const BitVec::Word mask = mw[w];
+      if (!mask) continue;
+      const BitVec::Word x2 = xk[w];
+      const BitVec::Word z2 = zk[w];
+      // g((xp,zp), (x2,z2)) per row: +1 / -1 row subsets (see pauli.cpp).
+      BitVec::Word plus, minus;
+      if (xp && zp) {        // pivot Y: +1 on Z rows, -1 on X rows
+        plus = z2 & ~x2;
+        minus = x2 & ~z2;
+      } else if (xp) {       // pivot X: +1 on Y rows, -1 on Z rows
+        plus = x2 & z2;
+        minus = z2 & ~x2;
+      } else {               // pivot Z: +1 on X rows, -1 on Y rows
+        plus = x2 & ~z2;
+        minus = x2 & z2;
+      }
+      plus &= mask;
+      minus &= mask;
+      // 2-bit add of +1 (carry) and +3 == -1 (borrow) per lane.
+      const BitVec::Word carry = lo[w] & plus;
+      lo[w] ^= plus;
+      hi[w] ^= carry;
+      const BitVec::Word borrow = ~lo[w] & minus;  // note: lo already ^= plus
+      lo[w] ^= minus;
+      hi[w] ^= borrow;
+      // Pauli component update (after the phase read of the old values).
+      if (xp) xk[w] = x2 ^ mask;
+      if (zp) zk[w] = z2 ^ mask;
+    }
+  }
+
   // Stabilizer rows only ever multiply commuting operators, so their phase
-  // must stay real.  Destabilizer rows are defined up to phase (Aaronson-
-  // Gottesman track their sign bits but never read them), and a rowsum
-  // with their anticommuting stabilizer partner legitimately yields an
-  // imaginary phase — it is simply dropped.
-  RADSURF_ASSERT_MSG(h < n_ || phase % 2 == 0,
-                     "stabilizer rowsum produced imaginary phase");
-  for (std::size_t q = 0; q < n_; ++q) {
-    xs_[q].set(h, xs_[q].get(h) ^ xs_[q].get(i));
-    zs_[q].set(h, zs_[q].get(h) ^ zs_[q].get(i));
+  // must stay real.  Destabilizer rows are defined up to phase (their sign
+  // bits are tracked but never read), so an odd phase there is dropped.
+  BitVec::Word* smw = signs_.words();
+  for (std::size_t w = 0; w < W; ++w) {
+    const std::size_t base = w * BitVec::kWordBits;
+    BitVec::Word stab = mw[w];
+    if (base + BitVec::kWordBits <= n_)
+      stab = 0;
+    else if (base < n_)
+      stab &= ~BitVec::Word{0} << (n_ - base);
+    RADSURF_ASSERT_MSG((lo[w] & stab) == 0,
+                       "stabilizer rowsum produced imaginary phase");
+    // New sign of updated rows: phase mod 4 >= 2, i.e. the hi counter bit.
+    smw[w] = (smw[w] & ~mw[w]) | (hi[w] & mw[w]);
   }
-  signs_.set(h, phase >= 2);
 }
 
 void Tableau::scratch_accumulate(std::size_t i) {
@@ -125,14 +204,7 @@ void Tableau::scratch_accumulate(std::size_t i) {
 
 int Tableau::peek_z(std::uint32_t q) const {
   // Random iff some stabilizer row anticommutes with Z_q (has X on q).
-  for (std::size_t w = 0; w < xs_[q].num_words(); ++w) {
-    BitVec::Word word = xs_[q].word(w);
-    // Mask to stabilizer rows [n, 2n).
-    const std::size_t base = w * BitVec::kWordBits;
-    for (int b = 0; word; ++b, word >>= 1) {
-      if ((word & 1) && base + static_cast<std::size_t>(b) >= n_) return 0;
-    }
-  }
+  if (find_pivot(q) < 2 * n_) return 0;
   // Deterministic: product of stabilizer rows selected by destabilizer
   // X-column gives +/- Z_q.
   auto* self = const_cast<Tableau*>(this);
@@ -149,21 +221,12 @@ int Tableau::peek_z(std::uint32_t q) const {
 bool Tableau::measure(std::uint32_t q, Rng& rng, bool force_zero_if_random,
                       bool* was_random) {
   RADSURF_ASSERT(q < n_);
-  // Find a stabilizer row with an X component on q.
-  std::size_t pivot = 2 * n_;
-  for (std::size_t r = n_; r < 2 * n_; ++r) {
-    if (xs_[q].get(r)) {
-      pivot = r;
-      break;
-    }
-  }
+  const std::size_t pivot = find_pivot(q);
 
   if (pivot < 2 * n_) {
     // Random outcome.
     if (was_random) *was_random = true;
-    for (std::size_t r = 0; r < 2 * n_; ++r) {
-      if (r != pivot && xs_[q].get(r)) rowsum(r, pivot);
-    }
+    batched_pivot_elimination(q, pivot);
     // Destabilizer paired with pivot := old pivot row.
     const std::size_t d = pivot - n_;
     for (std::size_t k = 0; k < n_; ++k) {

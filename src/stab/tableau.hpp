@@ -68,10 +68,15 @@ class Tableau {
   bool is_valid() const;
 
  private:
-  // row h := row i * row h (phase-correct in-place product).
-  void rowsum(std::size_t h, std::size_t i);
   // Accumulate stabilizer row i into the scratch row.
   void scratch_accumulate(std::size_t i);
+  // First stabilizer row with an X component on q, or 2n if none.
+  std::size_t find_pivot(std::uint32_t q) const;
+  // Multiply the pivot row into every other row with an X component on q,
+  // all rows at once: Pauli components update with whole-word XORs and the
+  // phase of every row accumulates in a packed 2-bit counter (cnt_lo_/
+  // cnt_hi_ hold phase mod 4 per row, in units of i).
+  void batched_pivot_elimination(std::uint32_t q, std::size_t pivot);
 
   std::size_t n_;
   std::vector<BitVec> xs_;  // per qubit, bit r = X component of row r
@@ -82,6 +87,12 @@ class Tableau {
   BitVec scratch_x_;
   BitVec scratch_z_;
   int scratch_phase_ = 0;  // mod 4
+
+  // Reused buffers of batched_pivot_elimination (rows to update + packed
+  // 2-bit phase counter); allocated once so measurements are allocation-free.
+  BitVec update_mask_;
+  BitVec cnt_lo_;
+  BitVec cnt_hi_;
 };
 
 }  // namespace radsurf

@@ -1,52 +1,86 @@
 #include "stab/tableau_sim.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace radsurf {
 
+namespace {
+
+// Pre-resolved Bernoulli threshold: fires iff rng.next() <= threshold.
+// p >= 1 maps to the all-ones word (always fires, exactly); p in (0, 1)
+// has quantisation error below 2^-63.
+std::uint64_t bernoulli_threshold(double p) {
+  if (p >= 1.0) return ~std::uint64_t{0};
+  const double scaled = std::ldexp(p, 64);
+  if (scaled >= 18446744073709551615.0) return ~std::uint64_t{0} - 1;
+  return static_cast<std::uint64_t>(scaled);
+}
+
+bool fires(const std::uint64_t threshold, Rng& rng) {
+  return rng.next() <= threshold;
+}
+
+}  // namespace
+
 TableauSimulator::TableauSimulator(const Circuit& circuit)
-    : circuit_(circuit), num_qubits_(circuit.num_qubits()) {
+    : circuit_(circuit),
+      num_qubits_(circuit.num_qubits()),
+      tableau_(circuit.num_qubits() > 0 ? circuit.num_qubits() : 1) {
   RADSURF_CHECK_ARG(num_qubits_ > 0, "cannot simulate an empty circuit");
-  const auto& instrs = circuit.instructions();
-  for (std::size_t i = 0; i < instrs.size(); ++i) {
-    const GateInfo& info = gate_info(instrs[i].gate);
-    if (!info.is_annotation && !info.is_noise) physical_ops_.push_back(i);
+  for (const Instruction& ins : circuit_.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) continue;
+    if (info.is_noise && ins.args[0] <= 0.0) continue;  // never fires
+    TapeOp op;
+    op.gate = ins.gate;
+    op.first = static_cast<std::uint32_t>(flat_targets_.size());
+    op.count = static_cast<std::uint32_t>(ins.targets.size());
+    op.is_physical = !info.is_noise;
+    if (info.is_noise) op.threshold = bernoulli_threshold(ins.args[0]);
+    flat_targets_.insert(flat_targets_.end(), ins.targets.begin(),
+                         ins.targets.end());
+    if (op.is_physical) ++num_physical_ops_;
+    tape_.push_back(op);
   }
 }
 
-void TableauSimulator::apply_unitary(Tableau& t, const Instruction& ins) {
-  const auto& tg = ins.targets;
-  switch (ins.gate) {
+void TableauSimulator::apply_unitary(const TapeOp& op) {
+  Tableau& t = tableau_;
+  const std::uint32_t* tg = flat_targets_.data() + op.first;
+  const std::uint32_t n = op.count;
+  switch (op.gate) {
     case Gate::I:
       break;
     case Gate::X:
-      for (auto q : tg) t.apply_x(q);
+      for (std::uint32_t i = 0; i < n; ++i) t.apply_x(tg[i]);
       break;
     case Gate::Y:
-      for (auto q : tg) t.apply_y(q);
+      for (std::uint32_t i = 0; i < n; ++i) t.apply_y(tg[i]);
       break;
     case Gate::Z:
-      for (auto q : tg) t.apply_z(q);
+      for (std::uint32_t i = 0; i < n; ++i) t.apply_z(tg[i]);
       break;
     case Gate::H:
-      for (auto q : tg) t.apply_h(q);
+      for (std::uint32_t i = 0; i < n; ++i) t.apply_h(tg[i]);
       break;
     case Gate::S:
-      for (auto q : tg) t.apply_s(q);
+      for (std::uint32_t i = 0; i < n; ++i) t.apply_s(tg[i]);
       break;
     case Gate::S_DAG:
-      for (auto q : tg) t.apply_s_dag(q);
+      for (std::uint32_t i = 0; i < n; ++i) t.apply_s_dag(tg[i]);
       break;
     case Gate::CX:
-      for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+      for (std::uint32_t i = 0; i + 1 < n; i += 2)
         t.apply_cx(tg[i], tg[i + 1]);
       break;
     case Gate::CZ:
-      for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+      for (std::uint32_t i = 0; i + 1 < n; i += 2)
         t.apply_cz(tg[i], tg[i + 1]);
       break;
     case Gate::SWAP:
-      for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+      for (std::uint32_t i = 0; i + 1 < n; i += 2)
         t.apply_swap(tg[i], tg[i + 1]);
       break;
     default:
@@ -54,21 +88,31 @@ void TableauSimulator::apply_unitary(Tableau& t, const Instruction& ins) {
   }
 }
 
-BitVec TableauSimulator::run(Rng& rng, bool noiseless_reference,
-                             const std::vector<std::uint32_t>* corrupted) {
-  Tableau t(num_qubits_);
-  BitVec record(circuit_.num_measurements());
+void TableauSimulator::reference_reset(std::uint32_t q, Rng& rng) {
+  if (tableau_.measure(q, rng, /*force_zero_if_random=*/true))
+    tableau_.apply_x(q);
+}
+
+void TableauSimulator::run(Rng& rng, bool noiseless_reference,
+                           const std::vector<std::uint32_t>* corrupted,
+                           BitVec& record) {
+  Tableau& t = tableau_;
+  t.reset_all();
+  RADSURF_ASSERT(record.size() == circuit_.num_measurements());
+  record.clear();
   std::size_t rec = 0;
 
-  // Strike instant for the single shared erasure, if any.
+  // Strike instant for the single shared erasure, if any: uniform over the
+  // physical (non-annotation, non-noise) operations, drawn per shot.
   std::size_t strike_at = std::size_t(-1);
-  if (corrupted && !corrupted->empty() && !physical_ops_.empty())
-    strike_at = physical_ops_[rng.below(physical_ops_.size())];
-  std::size_t instruction_index = std::size_t(-1);
+  if (corrupted && !corrupted->empty() && num_physical_ops_ > 0)
+    strike_at = rng.below(num_physical_ops_);
+  std::size_t physical_ordinal = 0;
 
-  auto apply_one_qubit_pauli_noise = [&](std::uint32_t q, double p) {
+  auto apply_one_qubit_pauli_noise = [&](std::uint32_t q,
+                                         std::uint64_t threshold) {
     // E of Eq. 4: with probability p apply X, Y or Z uniformly.
-    if (!rng.bernoulli(p)) return;
+    if (!fires(threshold, rng)) return;
     switch (rng.below(3)) {
       case 0: t.apply_x(q); break;
       case 1: t.apply_y(q); break;
@@ -76,76 +120,68 @@ BitVec TableauSimulator::run(Rng& rng, bool noiseless_reference,
     }
   };
 
-  for (const Instruction& ins : circuit_.instructions()) {
-    ++instruction_index;
-    const GateInfo& info = gate_info(ins.gate);
-    if (info.is_annotation) continue;
+  for (const TapeOp& op : tape_) {
+    const std::uint32_t* tg = flat_targets_.data() + op.first;
+    const std::uint32_t nt = op.count;
 
-    if (instruction_index == strike_at) {
-      for (std::uint32_t q : *corrupted) {
-        RADSURF_CHECK_ARG(q < num_qubits_,
-                          "corrupted qubit " << q << " out of range");
-        t.reset(q, rng);
+    if (op.is_physical) {
+      if (physical_ordinal == strike_at) {
+        for (std::uint32_t q : *corrupted) {
+          RADSURF_CHECK_ARG(q < num_qubits_,
+                            "corrupted qubit " << q << " out of range");
+          t.reset(q, rng);
+        }
       }
+      ++physical_ordinal;
     }
 
-    if (info.is_unitary) {
-      apply_unitary(t, ins);
-      continue;
-    }
-
-    switch (ins.gate) {
+    switch (op.gate) {
       case Gate::M:
-        for (auto q : ins.targets)
-          record.set(rec++, t.measure(q, rng, noiseless_reference));
+        for (std::uint32_t i = 0; i < nt; ++i)
+          record.set(rec++, t.measure(tg[i], rng, noiseless_reference));
         break;
       case Gate::R:
-        for (auto q : ins.targets) {
-          if (noiseless_reference) {
-            if (t.measure(q, rng, /*force_zero_if_random=*/true))
-              t.apply_x(q);
-          } else {
-            t.reset(q, rng);
-          }
+        for (std::uint32_t i = 0; i < nt; ++i) {
+          if (noiseless_reference)
+            reference_reset(tg[i], rng);
+          else
+            t.reset(tg[i], rng);
         }
         break;
       case Gate::MR:
-        for (auto q : ins.targets) {
-          const bool m = t.measure(q, rng, noiseless_reference);
+        for (std::uint32_t i = 0; i < nt; ++i) {
+          const bool m = t.measure(tg[i], rng, noiseless_reference);
           record.set(rec++, m);
-          if (m) t.apply_x(q);
+          if (m) t.apply_x(tg[i]);
         }
         break;
       case Gate::X_ERROR:
         if (!noiseless_reference)
-          for (auto q : ins.targets)
-            if (rng.bernoulli(ins.args[0])) t.apply_x(q);
+          for (std::uint32_t i = 0; i < nt; ++i)
+            if (fires(op.threshold, rng)) t.apply_x(tg[i]);
         break;
       case Gate::Y_ERROR:
         if (!noiseless_reference)
-          for (auto q : ins.targets)
-            if (rng.bernoulli(ins.args[0])) t.apply_y(q);
+          for (std::uint32_t i = 0; i < nt; ++i)
+            if (fires(op.threshold, rng)) t.apply_y(tg[i]);
         break;
       case Gate::Z_ERROR:
         if (!noiseless_reference)
-          for (auto q : ins.targets)
-            if (rng.bernoulli(ins.args[0])) t.apply_z(q);
+          for (std::uint32_t i = 0; i < nt; ++i)
+            if (fires(op.threshold, rng)) t.apply_z(tg[i]);
         break;
       case Gate::DEPOLARIZE1:
-        if (!noiseless_reference)
-          for (auto q : ins.targets)
-            apply_one_qubit_pauli_noise(q, ins.args[0]);
-        break;
       case Gate::DEPOLARIZE2:
-        // Paper Eq. 4: E (x) E — two independent single-qubit channels.
+        // DEPOLARIZE2 is the paper's Eq. 4 E (x) E — two independent
+        // single-qubit channels.
         if (!noiseless_reference)
-          for (auto q : ins.targets)
-            apply_one_qubit_pauli_noise(q, ins.args[0]);
+          for (std::uint32_t i = 0; i < nt; ++i)
+            apply_one_qubit_pauli_noise(tg[i], op.threshold);
         break;
       case Gate::DEPOLARIZE2_UNIFORM:
         if (!noiseless_reference) {
-          for (std::size_t i = 0; i + 1 < ins.targets.size(); i += 2) {
-            if (!rng.bernoulli(ins.args[0])) continue;
+          for (std::uint32_t i = 0; i + 1 < nt; i += 2) {
+            if (!fires(op.threshold, rng)) continue;
             // Uniform over the 15 non-identity two-qubit Paulis.
             const auto k = rng.below(15) + 1;
             const auto pa = static_cast<int>(k % 4);
@@ -155,37 +191,138 @@ BitVec TableauSimulator::run(Rng& rng, bool noiseless_reference,
               else if (pauli == 2) t.apply_z(q);
               else if (pauli == 3) t.apply_y(q);
             };
-            apply(ins.targets[i], pa);
-            apply(ins.targets[i + 1], pb);
+            apply(tg[i], pa);
+            apply(tg[i + 1], pb);
           }
         }
         break;
       case Gate::RESET_ERROR:
         // Radiation model (Sec. III-B): non-unitary reset with prob p.
         if (!noiseless_reference)
-          for (auto q : ins.targets)
-            if (rng.bernoulli(ins.args[0])) t.reset(q, rng);
+          for (std::uint32_t i = 0; i < nt; ++i)
+            if (fires(op.threshold, rng)) t.reset(tg[i], rng);
         break;
       default:
-        RADSURF_ASSERT_MSG(false, "unhandled instruction in tableau sim");
+        apply_unitary(op);
     }
   }
   RADSURF_ASSERT(rec == record.size());
-  return record;
 }
 
 BitVec TableauSimulator::sample(Rng& rng) {
-  return run(rng, /*noiseless_reference=*/false);
+  BitVec record(circuit_.num_measurements());
+  sample_into(rng, record);
+  return record;
+}
+
+void TableauSimulator::sample_into(Rng& rng, BitVec& record) {
+  run(rng, /*noiseless_reference=*/false, nullptr, record);
 }
 
 BitVec TableauSimulator::sample_with_erasure(
     Rng& rng, const std::vector<std::uint32_t>& corrupted) {
-  return run(rng, /*noiseless_reference=*/false, &corrupted);
+  BitVec record(circuit_.num_measurements());
+  sample_with_erasure_into(rng, corrupted, record);
+  return record;
+}
+
+void TableauSimulator::sample_with_erasure_into(
+    Rng& rng, const std::vector<std::uint32_t>& corrupted, BitVec& record) {
+  run(rng, /*noiseless_reference=*/false, &corrupted, record);
 }
 
 BitVec TableauSimulator::reference_sample() {
   Rng dummy(0);
-  return run(dummy, /*noiseless_reference=*/true);
+  BitVec record(circuit_.num_measurements());
+  run(dummy, /*noiseless_reference=*/true, nullptr, record);
+  return record;
+}
+
+ReferenceTrace TableauSimulator::reference_trace(
+    const std::vector<std::uint32_t>* corrupted) {
+  // Deterministic noiseless walk over the *original* instruction list (so
+  // reset-site indices align with any other walk of the circuit, including
+  // elided zero-probability sites), recording peek_z at every RESET_ERROR
+  // site and, when requested, at every (physical instant, corrupted qubit).
+  ReferenceTrace trace;
+  trace.num_physical_ops = num_physical_ops_;
+  if (corrupted) {
+    trace.corrupted = *corrupted;
+    for (std::uint32_t q : *corrupted) {
+      RADSURF_CHECK_ARG(q < num_qubits_,
+                        "corrupted qubit " << q << " out of range");
+    }
+    trace.erasure_sites.reserve(num_physical_ops_ * corrupted->size());
+  }
+
+  Tableau& t = tableau_;
+  t.reset_all();
+  Rng dummy(0);  // never consulted: random outcomes are pinned to zero
+
+  for (const Instruction& ins : circuit_.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) continue;
+
+    if (ins.gate == Gate::RESET_ERROR) {
+      for (std::uint32_t q : ins.targets)
+        trace.reset_sites.push_back(static_cast<std::int8_t>(t.peek_z(q)));
+      continue;
+    }
+    if (info.is_noise) continue;  // noise never perturbs the reference
+
+    // Physical op: erasure strikes land immediately before it.
+    if (corrupted) {
+      for (std::uint32_t q : *corrupted)
+        trace.erasure_sites.push_back(static_cast<std::int8_t>(t.peek_z(q)));
+    }
+
+    if (info.is_unitary) {
+      const auto& tg = ins.targets;
+      switch (ins.gate) {
+        case Gate::I: break;
+        case Gate::X: for (auto q : tg) t.apply_x(q); break;
+        case Gate::Y: for (auto q : tg) t.apply_y(q); break;
+        case Gate::Z: for (auto q : tg) t.apply_z(q); break;
+        case Gate::H: for (auto q : tg) t.apply_h(q); break;
+        case Gate::S: for (auto q : tg) t.apply_s(q); break;
+        case Gate::S_DAG: for (auto q : tg) t.apply_s_dag(q); break;
+        case Gate::CX:
+          for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+            t.apply_cx(tg[i], tg[i + 1]);
+          break;
+        case Gate::CZ:
+          for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+            t.apply_cz(tg[i], tg[i + 1]);
+          break;
+        case Gate::SWAP:
+          for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+            t.apply_swap(tg[i], tg[i + 1]);
+          break;
+        default:
+          RADSURF_ASSERT_MSG(false, "unhandled unitary in reference trace");
+      }
+      continue;
+    }
+
+    switch (ins.gate) {
+      case Gate::M:
+        for (auto q : ins.targets)
+          t.measure(q, dummy, /*force_zero_if_random=*/true);
+        break;
+      case Gate::R:
+        for (auto q : ins.targets) reference_reset(q, dummy);
+        break;
+      case Gate::MR:
+        for (auto q : ins.targets) {
+          if (t.measure(q, dummy, /*force_zero_if_random=*/true))
+            t.apply_x(q);
+        }
+        break;
+      default:
+        RADSURF_ASSERT_MSG(false, "unhandled instruction in reference trace");
+    }
+  }
+  return trace;
 }
 
 }  // namespace radsurf

@@ -1,12 +1,21 @@
 // Exact per-shot stabilizer circuit simulator.
 //
-// Walks a Circuit instruction by instruction, sampling every noise channel
-// (including the radiation model's probabilistic reset, which is outside
-// the Pauli-frame formalism) and collecting the measurement record.  One
-// instance is reusable across shots; campaign loops call sample() per shot
-// with a per-chunk RNG stream.
+// The constructor compiles the circuit once into a flat instruction tape:
+// annotations are dropped, zero-probability noise channels are elided, and
+// every channel probability is pre-resolved into a 64-bit Bernoulli
+// threshold so the shot loop compares raw RNG words instead of converting
+// to floating point.  One instance owns a single Tableau that is re-zeroed
+// per shot, so campaign chunks run thousands of shots with no per-shot
+// allocation; sample_into() additionally reuses a caller-owned record
+// buffer.
+//
+// Beyond sampling, the simulator computes the ReferenceTrace that the
+// heralded-reset frame fast path needs: the reference value (|0>, |1> or
+// random) of every RESET_ERROR site and, optionally, of every corrupted
+// qubit at every physical-op instant (for the shared-instant erasure).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -16,6 +25,24 @@
 
 namespace radsurf {
 
+/// Reference values at probabilistic-reset sites: +1 means the noiseless
+/// reference holds |0> there, -1 means |1>, 0 means the reference outcome
+/// is random (the frame formalism cannot express a reset at such a site).
+struct ReferenceTrace {
+  /// One entry per RESET_ERROR target occurrence, in circuit order
+  /// (including zero-probability sites, so indices align with any walk of
+  /// the instruction list).
+  std::vector<std::int8_t> reset_sites;
+  /// Erasure support: entry [k * corrupted.size() + j] is the reference
+  /// value of corrupted qubit j immediately before the k-th physical
+  /// operation.  `corrupted` records the qubit set the trace was computed
+  /// for (empty when none was supplied), so consumers can verify a
+  /// supplied trace actually matches their erasure set.
+  std::vector<std::int8_t> erasure_sites;
+  std::vector<std::uint32_t> corrupted;
+  std::size_t num_physical_ops = 0;
+};
+
 class TableauSimulator {
  public:
   explicit TableauSimulator(const Circuit& circuit);
@@ -23,6 +50,9 @@ class TableauSimulator {
   /// Run one shot; returns the measurement record (one bit per record).
   /// All randomness comes from `rng`.
   BitVec sample(Rng& rng);
+  /// Allocation-free variant: `record` is resized/reused by the caller
+  /// (must be sized circuit().num_measurements()).
+  void sample_into(Rng& rng, BitVec& record);
 
   /// One shot with a single shared-instant erasure: every qubit in
   /// `corrupted` is reset once, immediately before a uniformly random
@@ -32,21 +62,46 @@ class TableauSimulator {
   /// every qubit of the hypernode undergoes the same fault event.
   BitVec sample_with_erasure(Rng& rng,
                              const std::vector<std::uint32_t>& corrupted);
+  void sample_with_erasure_into(Rng& rng,
+                                const std::vector<std::uint32_t>& corrupted,
+                                BitVec& record);
 
   /// Noiseless reference sample: noise channels are skipped and random
   /// measurement outcomes are pinned to 0.  Deterministic.
   BitVec reference_sample();
 
+  /// Reference values at every RESET_ERROR site and (when `corrupted` is
+  /// non-null) at every (physical-op instant, corrupted qubit) pair, from
+  /// one deterministic noiseless walk.  Consumed by FrameSimulator.
+  ReferenceTrace reference_trace(
+      const std::vector<std::uint32_t>* corrupted = nullptr);
+
   const Circuit& circuit() const { return circuit_; }
+  /// Number of non-annotation, non-noise instructions (erasure instants).
+  std::size_t num_physical_ops() const { return num_physical_ops_; }
 
  private:
-  BitVec run(Rng& rng, bool noiseless_reference,
-             const std::vector<std::uint32_t>* corrupted = nullptr);
-  void apply_unitary(Tableau& t, const Instruction& ins);
+  struct TapeOp {
+    Gate gate;
+    std::uint32_t first = 0;       // offset into flat_targets_
+    std::uint32_t count = 0;       // number of targets
+    bool is_physical = false;      // erasure-instant candidate
+    std::uint64_t threshold = 0;   // noise fires iff rng.next() <= threshold
+  };
+
+  void run(Rng& rng, bool noiseless_reference,
+           const std::vector<std::uint32_t>* corrupted, BitVec& record);
+  void apply_unitary(const TapeOp& op);
+  /// Reference-semantics reset (measure with pinned-zero random outcomes,
+  /// then correct), shared by reference_sample and reference_trace.
+  void reference_reset(std::uint32_t q, Rng& rng);
 
   Circuit circuit_;  // owned copy: simulators must outlive any temporary
   std::size_t num_qubits_;
-  std::vector<std::size_t> physical_ops_;  // instruction indices
+  Tableau tableau_;
+  std::vector<TapeOp> tape_;
+  std::vector<std::uint32_t> flat_targets_;
+  std::size_t num_physical_ops_ = 0;
 };
 
 }  // namespace radsurf

@@ -69,6 +69,18 @@ double Proportion::wilson_high(double z) const {
   return std::min(1.0, wilson_centre(p, n, z) + wilson_margin(p, n, z));
 }
 
+double two_proportion_z(const Proportion& a, const Proportion& b) {
+  if (a.trials == 0 || b.trials == 0) return 0.0;
+  const double na = static_cast<double>(a.trials);
+  const double nb = static_cast<double>(b.trials);
+  const double pooled =
+      static_cast<double>(a.successes + b.successes) / (na + nb);
+  const double se =
+      std::sqrt(pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb));
+  if (se == 0.0) return 0.0;  // both rates identically 0 or 1
+  return (a.rate() - b.rate()) / se;
+}
+
 void RunningStats::add(double x) {
   ++n_;
   const double delta = x - mean_;

@@ -39,6 +39,12 @@ struct Proportion {
   }
 };
 
+/// Pooled two-proportion z statistic; z^2 is the chi-square statistic of
+/// the 2x2 contingency table, so |z| < 4 accepts equality of the two
+/// binomial rates at far beyond the 99.99% level.  Used to cross-validate
+/// the frame and tableau sampling engines on identical campaigns.
+double two_proportion_z(const Proportion& a, const Proportion& b);
+
 /// Streaming mean/variance accumulator (Welford).
 class RunningStats {
  public:

@@ -1,3 +1,4 @@
+#include "decoder/decode_cache.hpp"
 #include "decoder/decoder.hpp"
 #include "decoder/greedy.hpp"
 #include "decoder/mwpm.hpp"
@@ -292,6 +293,43 @@ TEST(Decoders, MwpmAtLeastAsAccurateAsGreedy) {
     greedy_errors += (greedy.decode(defects) ^ actual) & 1;
   }
   EXPECT_LE(mwpm_errors, greedy_errors + 25);  // statistical slack
+}
+
+TEST(DecodeCache, PredictionsMatchInnerDecoderExactly) {
+  const Circuit noisy = DepolarizingModel{2e-2}.apply(
+      RepetitionCode(5, RepetitionFlavor::BIT_FLIP).build());
+  const auto graph =
+      MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+  MwpmDecoder plain(graph);
+  MwpmDecoder inner(graph);
+  CachingDecoder cached(inner);
+  EXPECT_EQ(cached.name(), inner.name() + "+cache");
+  Rng rng(3);
+  const std::size_t nd = graph.num_detectors();
+  for (int i = 0; i < 400; ++i) {
+    std::vector<std::uint32_t> defects;
+    for (std::uint32_t d = 0; d < nd; ++d)
+      if (rng.bernoulli(0.2)) defects.push_back(d);
+    if (defects.size() % 2) defects.pop_back();
+    EXPECT_EQ(cached.decode(defects), plain.decode(defects));
+  }
+  const DecodeCacheStats stats = cached.stats();
+  EXPECT_GT(stats.lookups, 0u);
+  // Repeats of small syndromes are common over 400 draws.
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(cached.size(), 0u);
+  EXPECT_EQ(stats.lookups - stats.hits, cached.size());
+}
+
+TEST(DecodeCache, EmptySyndromeBypassesCounters) {
+  const Circuit noisy = DepolarizingModel{1e-2}.apply(
+      RepetitionCode(3, RepetitionFlavor::BIT_FLIP).build());
+  const auto graph =
+      MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+  MwpmDecoder inner(graph);
+  CachingDecoder cached(inner);
+  EXPECT_EQ(cached.decode({}), 0u);
+  EXPECT_EQ(cached.stats().lookups, 0u);
 }
 
 }  // namespace

@@ -110,6 +110,107 @@ TEST(AwareDecoder, MatchesStandardWithoutRadiation) {
   EXPECT_EQ(aware.successes, standard.successes);
 }
 
+// --- frame-vs-tableau cross-validation of the heralded-reset fast path ----
+//
+// The same radiation/erasure campaign is run through the batched frame
+// engine (SamplingPath::AUTO, the default) and the exact per-shot tableau
+// engine (SamplingPath::EXACT).  The logical-error proportions must agree
+// statistically: the pooled two-proportion z (z^2 = chi-square of the 2x2
+// table) stays below 4 — a fixed-seed deterministic check at far beyond
+// the 99.99% level.
+
+namespace {
+EngineOptions path_options(SamplingPath path) {
+  EngineOptions opts;
+  opts.sampling_path = path;
+  return opts;
+}
+}  // namespace
+
+TEST(FrameCrossValidation, RepetitionRadiationCampaign) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine frame(code, make_mesh(5, 2),
+                        path_options(SamplingPath::AUTO));
+  InjectionEngine exact(code, make_mesh(5, 2),
+                        path_options(SamplingPath::EXACT));
+  const Proportion pf = frame.run_radiation_at(2, 1.0, true, 4000, 1234);
+  const Proportion pe = exact.run_radiation_at(2, 1.0, true, 4000, 1234);
+  EXPECT_GT(pf.rate(), 0.0);  // the campaign must actually stress the code
+  EXPECT_LT(std::abs(two_proportion_z(pf, pe)), 4.0)
+      << "frame " << pf.rate() << " vs exact " << pe.rate();
+}
+
+TEST(FrameCrossValidation, RepetitionRadiationDecaySample) {
+  // Mid-decay intensity exercises partial heralds rather than certain ones.
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine frame(code, make_mesh(5, 2),
+                        path_options(SamplingPath::AUTO));
+  InjectionEngine exact(code, make_mesh(5, 2),
+                        path_options(SamplingPath::EXACT));
+  const Proportion pf = frame.run_radiation_at(2, 0.35, true, 4000, 77);
+  const Proportion pe = exact.run_radiation_at(2, 0.35, true, 4000, 77);
+  EXPECT_LT(std::abs(two_proportion_z(pf, pe)), 4.0)
+      << "frame " << pf.rate() << " vs exact " << pe.rate();
+}
+
+TEST(FrameCrossValidation, XxzzRadiationCampaign) {
+  const XXZZCode code(3, 3);
+  InjectionEngine frame(code, make_mesh(5, 4),
+                        path_options(SamplingPath::AUTO));
+  InjectionEngine exact(code, make_mesh(5, 4),
+                        path_options(SamplingPath::EXACT));
+  const Proportion pf = frame.run_radiation_at(2, 1.0, true, 3000, 4321);
+  const Proportion pe = exact.run_radiation_at(2, 1.0, true, 3000, 4321);
+  EXPECT_GT(pf.rate(), 0.0);
+  EXPECT_LT(std::abs(two_proportion_z(pf, pe)), 4.0)
+      << "frame " << pf.rate() << " vs exact " << pe.rate();
+}
+
+TEST(FrameCrossValidation, SharedInstantErasureCampaign) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine frame(code, make_mesh(5, 2),
+                        path_options(SamplingPath::AUTO));
+  InjectionEngine exact(code, make_mesh(5, 2),
+                        path_options(SamplingPath::EXACT));
+  const std::vector<std::uint32_t> corrupted = {frame.active_qubits()[0],
+                                                frame.active_qubits()[1]};
+  const Proportion pf = frame.run_erasure(corrupted, 4000, 555);
+  const Proportion pe = exact.run_erasure(corrupted, 4000, 555);
+  EXPECT_LT(std::abs(two_proportion_z(pf, pe)), 4.0)
+      << "frame " << pf.rate() << " vs exact " << pe.rate();
+}
+
+TEST(FrameCrossValidation, XxzzErasureCampaign) {
+  const XXZZCode code(3, 3);
+  InjectionEngine frame(code, make_mesh(5, 4),
+                        path_options(SamplingPath::AUTO));
+  InjectionEngine exact(code, make_mesh(5, 4),
+                        path_options(SamplingPath::EXACT));
+  const std::vector<std::uint32_t> corrupted = {frame.active_qubits()[0]};
+  const Proportion pf = frame.run_erasure(corrupted, 3000, 9);
+  const Proportion pe = exact.run_erasure(corrupted, 3000, 9);
+  EXPECT_LT(std::abs(two_proportion_z(pf, pe)), 4.0)
+      << "frame " << pf.rate() << " vs exact " << pe.rate();
+}
+
+TEST(DecodeCache, CachedCampaignIsBitIdenticalToUncached) {
+  // Memoization must never change a prediction, only skip recomputation.
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  EngineOptions cached_opts;
+  cached_opts.decode_cache = true;
+  EngineOptions plain_opts;
+  plain_opts.decode_cache = false;
+  InjectionEngine cached(code, make_mesh(5, 2), cached_opts);
+  InjectionEngine plain(code, make_mesh(5, 2), plain_opts);
+  const Proportion pc = cached.run_radiation_at(2, 1.0, true, 1500, 42);
+  const Proportion pp = plain.run_radiation_at(2, 1.0, true, 1500, 42);
+  EXPECT_EQ(pc.successes, pp.successes);
+  const DecodeCacheStats stats = cached.decode_cache_stats();
+  EXPECT_GT(stats.lookups, 0u);
+  EXPECT_GT(stats.hits, 0u);  // radiation syndromes repeat heavily
+  EXPECT_EQ(plain.decode_cache_stats().lookups, 0u);
+}
+
 TEST(AwareDecoder, DemIncludesResetMechanisms) {
   Circuit c;
   c.r(0);

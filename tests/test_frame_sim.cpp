@@ -86,13 +86,90 @@ TEST(FrameSim, ResetClearsFrame) {
   EXPECT_TRUE(sim.run(rng)[0].none());
 }
 
-TEST(FrameSim, ResetErrorRejected) {
+TEST(FrameSim, HeraldedResetAtDeterministicSiteUndoesFlip) {
+  // Noisy shot: X flips |0> -> |1>, then a certain reset wipes it back to
+  // |0>, which is exactly the reference value — so no record flip, handled
+  // entirely inside the frame formalism (no residual shots).
   Circuit c;
-  c.append(Gate::RESET_ERROR, {0}, {0.5});
+  c.r(0);
+  c.append(Gate::X_ERROR, {0}, {1.0});
+  c.append(Gate::RESET_ERROR, {0}, {1.0});
+  c.m(0);
+  FrameSimulator sim(c, 100);
+  Rng rng(8);
+  BitVec residual(100);
+  const MeasurementFlips flips = sim.run(rng, &residual);
+  EXPECT_TRUE(flips[0].none());
+  EXPECT_TRUE(residual.none());
+}
+
+TEST(FrameSim, HeraldedResetOntoExcitedReference) {
+  // Reference holds |1> at the reset site: a heralded reset produces |0>,
+  // i.e. a guaranteed flip relative to the reference.
+  Circuit c;
+  c.r(0);
+  c.x(0);
+  c.append(Gate::RESET_ERROR, {0}, {1.0});
+  c.m(0);
+  FrameSimulator sim(c, 100);
+  Rng rng(8);
+  BitVec residual(100);
+  const MeasurementFlips flips = sim.run(rng, &residual);
+  EXPECT_EQ(flips[0].popcount(), 100u);
+  EXPECT_TRUE(residual.none());
+}
+
+TEST(FrameSim, ResetAtReferenceRandomSiteFlagsResidual) {
+  // After H the reference outcome of qubit 0 is random: the reset cannot
+  // be expressed as a frame update, so every heralded shot must be flagged
+  // for an exact re-run.
+  Circuit c;
+  c.h(0);
+  c.append(Gate::RESET_ERROR, {0}, {1.0});
+  c.m(0);
+  FrameSimulator sim(c, 64);
+  Rng rng(8);
+  BitVec residual(64);
+  sim.run(rng, &residual);
+  EXPECT_EQ(residual.popcount(), 64u);
+}
+
+TEST(FrameSim, ResetAtReferenceRandomSiteWithoutMaskThrows) {
+  Circuit c;
+  c.h(0);
+  c.append(Gate::RESET_ERROR, {0}, {1.0});
   c.m(0);
   FrameSimulator sim(c, 64);
   Rng rng(8);
   EXPECT_THROW(sim.run(rng), CircuitError);
+}
+
+TEST(FrameSim, UnheraldedResetsLeaveNoTrace) {
+  // p = 0 reset sites must neither flag residual shots nor perturb frames.
+  Circuit c;
+  c.h(0);
+  c.append(Gate::RESET_ERROR, {0}, {0.0});
+  c.m(0);
+  FrameSimulator sim(c, 64);
+  Rng rng(8);
+  BitVec residual(64);
+  const MeasurementFlips flips = sim.run(rng, &residual);
+  EXPECT_TRUE(residual.none());
+  EXPECT_TRUE(flips[0].none());
+}
+
+TEST(FrameSim, PartialHeraldOnlyFlagsHeraldedShots) {
+  Circuit c;
+  c.h(0);
+  c.append(Gate::RESET_ERROR, {0}, {0.25});
+  c.m(0);
+  FrameSimulator sim(c, 4096);
+  Rng rng(8);
+  BitVec residual(4096);
+  sim.run(rng, &residual);
+  const double frac =
+      static_cast<double>(residual.popcount()) / residual.size();
+  EXPECT_NEAR(frac, 0.25, 0.05);
 }
 
 TEST(FrameSim, BiasedFillStatistics) {

@@ -97,5 +97,16 @@ TEST(Stats, RunningStatsEmpty) {
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
 }
 
+TEST(Stats, TwoProportionZ) {
+  // Identical proportions: z = 0.
+  EXPECT_DOUBLE_EQ(two_proportion_z({50, 100}, {50, 100}), 0.0);
+  // Known value: 60/100 vs 40/100, pooled p = 0.5 -> z = 0.2/sqrt(0.005).
+  EXPECT_NEAR(two_proportion_z({60, 100}, {40, 100}), 2.8284271, 1e-6);
+  // Antisymmetry and degenerate cases.
+  EXPECT_NEAR(two_proportion_z({40, 100}, {60, 100}), -2.8284271, 1e-6);
+  EXPECT_DOUBLE_EQ(two_proportion_z({0, 100}, {0, 100}), 0.0);
+  EXPECT_DOUBLE_EQ(two_proportion_z({0, 0}, {5, 10}), 0.0);
+}
+
 }  // namespace
 }  // namespace radsurf

@@ -207,5 +207,52 @@ TEST(TableauSim, EmptyCircuitRejected) {
   EXPECT_THROW(TableauSimulator sim(c), InvalidArgument);
 }
 
+TEST(TableauSim, SampleIntoReusesBufferAndMatchesSample) {
+  Circuit c;
+  for (std::uint32_t q = 0; q < 3; ++q) c.h(q);
+  c.append(Gate::DEPOLARIZE1, {0, 1, 2}, {0.3});
+  for (std::uint32_t q = 0; q < 3; ++q) c.m(q);
+  TableauSimulator a(c), b(c);
+  Rng r1(5), r2(5);
+  BitVec record(c.num_measurements());
+  for (int i = 0; i < 25; ++i) {
+    a.sample_into(r1, record);
+    EXPECT_EQ(record, b.sample(r2));
+  }
+}
+
+TEST(TableauSim, ReferenceTraceDeterministicSites) {
+  // Qubit held in a Z eigenstate: every reset site is deterministic, and
+  // the recorded value follows the reference state (|0> then |1>).
+  Circuit c;
+  c.r(0);
+  c.append(Gate::RESET_ERROR, {0}, {0.5});
+  c.x(0);
+  c.append(Gate::RESET_ERROR, {0}, {0.5});
+  c.m(0);
+  TableauSimulator sim(c);
+  const ReferenceTrace trace = sim.reference_trace();
+  ASSERT_EQ(trace.reset_sites.size(), 2u);
+  EXPECT_EQ(trace.reset_sites[0], +1);  // |0> before the X
+  EXPECT_EQ(trace.reset_sites[1], -1);  // |1> after the X
+}
+
+TEST(TableauSim, ReferenceTraceRandomSiteAndErasureInstants) {
+  Circuit c;
+  c.h(0);
+  c.append(Gate::RESET_ERROR, {0}, {0.5});
+  c.m(0);
+  TableauSimulator sim(c);
+  std::vector<std::uint32_t> corrupted = {0};
+  const ReferenceTrace trace = sim.reference_trace(&corrupted);
+  ASSERT_EQ(trace.reset_sites.size(), 1u);
+  EXPECT_EQ(trace.reset_sites[0], 0);  // superposition: reference random
+  // Physical ops: H, M.  Before H the qubit is |0>; before M it is random.
+  ASSERT_EQ(trace.num_physical_ops, 2u);
+  ASSERT_EQ(trace.erasure_sites.size(), 2u);
+  EXPECT_EQ(trace.erasure_sites[0], +1);
+  EXPECT_EQ(trace.erasure_sites[1], 0);
+}
+
 }  // namespace
 }  // namespace radsurf
