@@ -63,10 +63,13 @@ Circuit RepetitionCode::build(std::size_t rounds) const {
     for (int i = 0; i < d_; ++i) c.h(data_qubit(i));
 
   // Round 1: outcomes are deterministic (the initial state is stabilised),
-  // so each measurement is its own detector.
+  // so each measurement is its own detector.  Every stabilisation round ends
+  // with a TICK — the round marker the timeline noise schedule and the
+  // sliding-window decoder key on (see noise/timeline.hpp).
   stabilisation_round(c);
   for (int i = 0; i < ns; ++i)
     c.detector({static_cast<std::uint32_t>(ns - i)});
+  c.tick();
 
   // Transversal logical X (paper Fig. 2, green block).
   for (int i = 0; i < d_; ++i) {
@@ -83,6 +86,7 @@ Circuit RepetitionCode::build(std::size_t rounds) const {
       c.detector({static_cast<std::uint32_t>(ns - i),
                   static_cast<std::uint32_t>(2 * ns - i)});
     }
+    c.tick();
   }
 
   // Ancilla parity readout of the logical-Z representative (all data),

@@ -104,9 +104,12 @@ Circuit XXZZCode::build(std::size_t rounds) const {
   // Round 1.  Z-plaquette outcomes are deterministic on |0...0> (their
   // generators stabilise it); X-plaquette outcomes are random projections,
   // so they only participate in paired (round-over-round) detectors.
+  // Every stabilisation round ends with a TICK — the round marker the
+  // timeline noise schedule and the sliding-window decoder key on.
   stabilisation_round(c);
   for (std::uint32_t i = 0; i < nz_; ++i)
     c.detector({ns - i});
+  c.tick();
 
   // Transversal logical X: a column of X's.
   for (std::uint32_t q : logical_op_support()) c.x(q);
@@ -116,6 +119,7 @@ Circuit XXZZCode::build(std::size_t rounds) const {
     stabilisation_round(c);
     for (std::uint32_t i = 0; i < ns; ++i)
       c.detector({ns - i, 2 * ns - i});
+    c.tick();
   }
 
   // Logical-Z readout: parity of row 0 into the ancilla (paper Fig. 1).

@@ -400,4 +400,72 @@ ExperimentReport fig8_architecture(const ExperimentOptions& options) {
   return rep;
 }
 
+// ---------------------------------------------------------------------------
+// Timeline extension (multi-event long-memory workload)
+// ---------------------------------------------------------------------------
+
+ExperimentReport ext_timeline(const ExperimentOptions& options) {
+  const std::size_t shots = options.resolve_shots(300);
+  ExperimentReport rep;
+  rep.title =
+      "Timeline — logical error per round vs Poisson event rate "
+      "(multi-round memory, sliding-window decoding)";
+  Table t({"code", "rounds", "window", "events/round", "mean events",
+           "LER", "LER/round", "CI low", "CI high"});
+
+  struct Config {
+    std::string label;
+    std::unique_ptr<SurfaceCode> code;
+    Graph arch;
+    std::size_t rounds;
+    SlidingWindowOptions window;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"repetition-(5,1)",
+                     std::make_unique<RepetitionCode>(
+                         5, RepetitionFlavor::BIT_FLIP),
+                     make_mesh(5, 2), 32, {8, 4}});
+  configs.push_back({"xxzz-(3,3)", std::make_unique<XXZZCode>(3, 3),
+                     make_mesh(5, 4), 12, {6, 3}});
+
+  const std::vector<double> rates = {0.0, 0.01, 0.03, 0.1};
+  for (auto& cfg : configs) {
+    EngineOptions eopts;
+    eopts.rounds = cfg.rounds;
+    eopts.whole_history_decoder = false;  // sliding windows only
+    InjectionEngine engine(*cfg.code, cfg.arch, eopts);
+    for (double rate : rates) {
+      TimelineOptions topts;
+      topts.events_per_round = rate;
+      topts.duration_rounds = 8;
+      const RadiationTimeline timeline(engine.radiation(), topts);
+      const TimelineSummary summary = engine.run_timeline_campaign(
+          timeline, /*num_timelines=*/4, shots,
+          options.seed + static_cast<std::uint64_t>(rate * 1e6),
+          cfg.window);
+      const double ler = summary.errors.rate();
+      const double per_round =
+          1.0 - std::pow(1.0 - std::min(ler, 1.0 - 1e-12),
+                         1.0 / static_cast<double>(cfg.rounds));
+      t.add_row({cfg.label, std::to_string(cfg.rounds),
+                 std::to_string(cfg.window.window) + "/" +
+                     std::to_string(cfg.window.resolved_commit()),
+                 Table::fmt(rate, 3), Table::fmt(summary.mean_events(), 2),
+                 Table::pct(ler), Table::pct(per_round),
+                 Table::pct(summary.errors.wilson_low()),
+                 Table::pct(summary.errors.wilson_high())});
+    }
+    rep.notes.push_back(
+        cfg.label + ": " + std::to_string(cfg.rounds) + " rounds, window " +
+        std::to_string(cfg.window.window) + " commit " +
+        std::to_string(cfg.window.resolved_commit()) +
+        " (decoder memory O(window), not O(rounds))");
+  }
+  rep.notes.push_back(
+      "events arrive Poisson per round and decay over 8 rounds (T(t) "
+      "stretched); rate 0 is the intrinsic-noise floor");
+  rep.table = std::move(t);
+  return rep;
+}
+
 }  // namespace radsurf

@@ -60,6 +60,12 @@ ExperimentReport fig7_fault_spread(const ExperimentOptions& options);
 /// evolution, across architectures; includes the Obs. VII DAG analysis.
 ExperimentReport fig8_architecture(const ExperimentOptions& options);
 
+/// Timeline extension (beyond the paper, toward arXiv:2506.16834's regime):
+/// logical error per round under Poisson-arriving radiation events during
+/// N-round memory experiments, decoded with sliding windows, for
+/// repetition-(5,1) and XXZZ-(3,3).
+ExperimentReport ext_timeline(const ExperimentOptions& options);
+
 /// Mesh 5xN sized to `num_qubits` (the paper's "scaled down" 5x6 lattice).
 Graph scaled_mesh_for(std::size_t num_qubits);
 

@@ -18,12 +18,14 @@
 #include "core/experiments.hpp"     // IWYU pragma: export
 #include "decoder/decoder.hpp"      // IWYU pragma: export
 #include "decoder/mwpm.hpp"         // IWYU pragma: export
+#include "decoder/sliding_window.hpp"  // IWYU pragma: export
 #include "detector/detectors.hpp"   // IWYU pragma: export
 #include "detector/error_model.hpp" // IWYU pragma: export
 #include "inject/campaign.hpp"      // IWYU pragma: export
 #include "inject/results.hpp"       // IWYU pragma: export
 #include "noise/depolarizing.hpp"   // IWYU pragma: export
 #include "noise/radiation.hpp"      // IWYU pragma: export
+#include "noise/timeline.hpp"       // IWYU pragma: export
 #include "stab/frame_sim.hpp"       // IWYU pragma: export
 #include "stab/tableau_sim.hpp"     // IWYU pragma: export
 #include "transpile/transpiler.hpp" // IWYU pragma: export

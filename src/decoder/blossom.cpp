@@ -225,6 +225,10 @@ struct MaxWeightMatching {
             d = std::min(d, e_delta(g[slack[x]][x]) / 2);
         }
       }
+      // No slack edge and no blossom to expand: the duals are unbounded, so
+      // the graph admits no perfect matching (adding the sentinel to a
+      // label would also overflow).
+      if (d == std::numeric_limits<long long>::max()) return false;
       for (int u = 1; u <= n; ++u) {
         if (S[st[u]] == 0) {
           if (lab[u] <= d) return false;

@@ -1,5 +1,6 @@
 #include "decoder/mwpm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -17,16 +18,27 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kScale = 1e6;
 }  // namespace
 
-MwpmDecoder::MwpmDecoder(const MatchingGraph& graph) : graph_(graph) {
+namespace {
+constexpr std::uint32_t kNoPred = 0xffffffffu;
+}
+
+MwpmDecoder::MwpmDecoder(const MatchingGraph& graph, bool track_paths)
+    : graph_(graph) {
   const std::size_t n = graph.num_nodes();
   dist_.assign(n, std::vector<double>(n, kInf));
   obs_.assign(n, std::vector<std::uint64_t>(n, 0));
+  if (track_paths) pred_.assign(n, std::vector<std::uint32_t>(n, kNoPred));
 
   // Dijkstra from every node, tracking observable parity along the chosen
-  // shortest path (any minimal path is a valid correction representative).
+  // shortest path (any minimal path is a valid correction representative)
+  // and, on request, the predecessor chain so the path itself can be
+  // reconstructed for windowed partial commits.  Without tracking, the
+  // writes land in one discarded scratch row.
+  std::vector<std::uint32_t> scratch_pred(track_paths ? 0 : n);
   for (std::uint32_t src = 0; src < n; ++src) {
     auto& dist = dist_[src];
     auto& obs = obs_[src];
+    auto& pred = track_paths ? pred_[src] : scratch_pred;
     dist[src] = 0.0;
     using Item = std::pair<double, std::uint32_t>;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
@@ -44,6 +56,7 @@ MwpmDecoder::MwpmDecoder(const MatchingGraph& graph) : graph_(graph) {
         if (nd < dist[w]) {
           dist[w] = nd;
           obs[w] = obs[v] ^ e.observables;
+          pred[w] = v;
           pq.emplace(nd, w);
         }
       }
@@ -51,9 +64,11 @@ MwpmDecoder::MwpmDecoder(const MatchingGraph& graph) : graph_(graph) {
   }
 }
 
-std::uint64_t MwpmDecoder::decode(const std::vector<std::uint32_t>& defects) {
+std::vector<MwpmMatch> MwpmDecoder::match_defects(
+    const std::vector<std::uint32_t>& defects) const {
   const std::size_t k = defects.size();
-  if (k == 0) return 0;
+  std::vector<MwpmMatch> pairs;
+  if (k == 0) return pairs;
   const std::uint32_t B = graph_.boundary_node();
 
   // Nodes 0..k-1: defects; k..2k-1: per-defect virtual boundary copies.
@@ -75,15 +90,34 @@ std::uint64_t MwpmDecoder::decode(const std::vector<std::uint32_t>& defects) {
 
   const std::vector<std::size_t> mate = matcher.solve();
 
-  std::uint64_t prediction = 0;
+  pairs.reserve((k + 1) / 2);
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t m = mate[i];
     if (m < k) {
-      if (m > i) prediction ^= obs_[defects[i]][defects[m]];
+      if (m > i) pairs.push_back({defects[i], defects[m]});
     } else {
-      prediction ^= obs_[defects[i]][B];
+      pairs.push_back({defects[i], B});
     }
   }
+  return pairs;
+}
+
+std::vector<std::uint32_t> MwpmDecoder::path_nodes(std::uint32_t a,
+                                                   std::uint32_t b) const {
+  RADSURF_CHECK_ARG(!pred_.empty(),
+                    "decoder was built without track_paths");
+  RADSURF_CHECK_ARG(std::isfinite(dist_[a][b]),
+                    "no path between nodes " << a << " and " << b);
+  std::vector<std::uint32_t> nodes{b};
+  while (nodes.back() != a) nodes.push_back(pred_[a][nodes.back()]);
+  std::reverse(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+std::uint64_t MwpmDecoder::decode(const std::vector<std::uint32_t>& defects) {
+  std::uint64_t prediction = 0;
+  for (const MwpmMatch& pair : match_defects(defects))
+    prediction ^= obs_[pair.a][pair.b];
   return prediction;
 }
 

@@ -16,12 +16,35 @@
 
 namespace radsurf {
 
+/// One matched defect pair; `b == graph.boundary_node()` for a boundary
+/// match.  `a` is always a real defect.
+struct MwpmMatch {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
 class MwpmDecoder final : public Decoder {
  public:
-  explicit MwpmDecoder(const MatchingGraph& graph);
+  /// `track_paths` additionally records shortest-path predecessors (an
+  /// extra n^2 table) so path_nodes() can reconstruct correction paths —
+  /// needed only by the sliding-window decoder's partial commits.
+  explicit MwpmDecoder(const MatchingGraph& graph, bool track_paths = false);
 
   std::string name() const override { return "mwpm"; }
   std::uint64_t decode(const std::vector<std::uint32_t>& defects) override;
+
+  /// The minimum-weight matching itself (each defect appears in exactly one
+  /// pair).  decode() is the observable XOR over these pairs; the sliding-
+  /// window decoder consumes the pairs to commit or defer them per window.
+  std::vector<MwpmMatch> match_defects(
+      const std::vector<std::uint32_t>& defects) const;
+
+  /// Node sequence of the shortest path decode() charges for (a, b) —
+  /// inclusive of both endpoints.  The observable crossed by hop i is
+  /// path_observables(a, nodes[i]) ^ path_observables(a, nodes[i + 1]).
+  /// Requires construction with track_paths = true.
+  std::vector<std::uint32_t> path_nodes(std::uint32_t a,
+                                        std::uint32_t b) const;
 
   /// Precomputed node-to-node shortest-path weight (infinity when
   /// unreachable).
@@ -36,6 +59,9 @@ class MwpmDecoder final : public Decoder {
   MatchingGraph graph_;  // owned copy: decoders must outlive any temporary
   std::vector<std::vector<double>> dist_;
   std::vector<std::vector<std::uint64_t>> obs_;
+  // pred_[src][v]: node preceding v on the chosen shortest path from src.
+  // Empty unless constructed with track_paths.
+  std::vector<std::vector<std::uint32_t>> pred_;
 };
 
 }  // namespace radsurf

@@ -1,0 +1,197 @@
+#include "decoder/sliding_window.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+
+// Structural signature of a window subgraph: two windows with identical
+// local edge structure share one MwpmDecoder.  Interior windows of a
+// periodic memory circuit are bit-identical (same intrinsic noise, same
+// local detector layout), so the number of distinct shapes stays O(1) as
+// rounds grow.
+std::string shape_signature(const MatchingGraph& g) {
+  std::string sig;
+  sig.reserve(16 + g.edges().size() * 28);
+  auto put = [&sig](std::uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    sig.append(buf, 8);
+  };
+  put(g.num_detectors());
+  for (const MatchingEdge& e : g.edges()) {
+    put((static_cast<std::uint64_t>(e.a) << 32) | e.b);
+    std::uint64_t p_bits = 0;
+    std::memcpy(&p_bits, &e.probability, 8);
+    put(p_bits);
+    put(e.observables);
+  }
+  return sig;
+}
+
+}  // namespace
+
+SlidingWindowDecoder::SlidingWindowDecoder(
+    const MatchingGraph& full, std::vector<std::uint32_t> detector_rounds,
+    std::size_t num_rounds, SlidingWindowOptions options)
+    : options_(options), detector_rounds_(std::move(detector_rounds)) {
+  RADSURF_CHECK_ARG(num_rounds >= 1, "need at least one round");
+  RADSURF_CHECK_ARG(options_.window >= 1, "window must be >= 1 round");
+  RADSURF_CHECK_ARG(detector_rounds_.size() == full.num_detectors(),
+                    "detector_rounds size " << detector_rounds_.size()
+                                            << " != " << full.num_detectors()
+                                            << " detectors");
+  for (std::uint32_t r : detector_rounds_) {
+    RADSURF_CHECK_ARG(r < num_rounds, "detector round " << r
+                                                        << " >= num_rounds "
+                                                        << num_rounds);
+  }
+  const std::size_t W = options_.window;
+  const std::size_t C = options_.resolved_commit();
+  RADSURF_CHECK_ARG(W >= num_rounds || C < W,
+                    "commit stride " << C << " must be < window " << W
+                                     << " (windows must overlap)");
+
+  std::map<std::string, std::size_t> shape_index;
+  std::size_t begin = 0;
+  while (true) {
+    Window w;
+    w.begin_round = begin;
+    w.end_round = std::min(begin + W, num_rounds);
+    const bool final_window = w.end_round == num_rounds;
+    w.commit_round = final_window ? w.end_round : begin + C;
+
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t d = 0; d < detector_rounds_.size(); ++d) {
+      if (detector_rounds_[d] >= w.begin_round &&
+          detector_rounds_[d] < w.end_round)
+        ids.push_back(d);
+    }
+    w.view = time_window(full, ids);
+    max_window_detectors_ = std::max(max_window_detectors_, ids.size());
+
+    const std::string sig = shape_signature(w.view.graph);
+    const auto [it, inserted] =
+        shape_index.try_emplace(sig, decoders_.size());
+    if (inserted)
+      decoders_.push_back(
+          std::make_unique<MwpmDecoder>(w.view.graph, /*track_paths=*/true));
+    w.decoder_index = it->second;
+
+    const std::size_t next = w.commit_round;
+    windows_.push_back(std::move(w));
+    if (final_window) break;
+    begin = next;
+  }
+}
+
+std::string SlidingWindowDecoder::name() const {
+  std::ostringstream ss;
+  ss << "sliding-window(mwpm, W=" << options_.window
+     << ", C=" << options_.resolved_commit() << ")";
+  return ss.str();
+}
+
+std::uint64_t SlidingWindowDecoder::decode_window(
+    const Window& w, const std::vector<std::uint32_t>& defects,
+    std::vector<std::uint32_t>& carried) const {
+  const MwpmDecoder& decoder = *decoders_[w.decoder_index];
+  const std::uint32_t local_boundary = w.view.graph.boundary_node();
+  const std::size_t commit = w.commit_round;
+
+  auto toggle = [&carried](std::uint32_t global) {
+    const auto it = std::find(carried.begin(), carried.end(), global);
+    if (it == carried.end())
+      carried.push_back(global);
+    else
+      carried.erase(it);
+  };
+  auto uncommitted = [&](std::uint32_t local) {
+    return local != local_boundary &&
+           detector_rounds_[w.view.global_ids[local]] >= commit;
+  };
+
+  std::vector<std::uint32_t> local;
+  local.reserve(defects.size());
+  for (std::uint32_t g : defects) local.push_back(w.view.to_local(g));
+
+  std::uint64_t prediction = 0;
+  for (const MwpmMatch& pair : decoder.match_defects(local)) {
+    const std::vector<std::uint32_t> path =
+        decoder.path_nodes(pair.a, pair.b);
+    // First / last uncommitted node on the correction path (if any).
+    std::size_t first = path.size(), last = path.size();
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (uncommitted(path[i])) {
+        if (first == path.size()) first = i;
+        last = i;
+      }
+    }
+    if (first == path.size()) {
+      // The whole correction lies in committed territory: apply it.
+      prediction ^= decoder.path_observables(pair.a, pair.b);
+      continue;
+    }
+    // a-side: commit the prefix up to the first uncommitted node, which the
+    // partial correction turns into an artificial defect; if a itself is
+    // uncommitted, simply defer it.
+    if (first > 0) {
+      prediction ^= decoder.path_observables(pair.a, path[first]);
+      toggle(w.view.global_ids[path[first]]);
+    } else {
+      toggle(w.view.global_ids[pair.a]);
+    }
+    // b-side: symmetric, except a boundary endpoint commits nothing (its
+    // tail is simply re-decoded later).  When first == last the two sides
+    // meet at one node: the double toggle cancels and the XORs compose to
+    // the full path — equivalent to a full commit.
+    if (pair.b == local_boundary) continue;
+    if (last + 1 < path.size()) {
+      prediction ^= decoder.path_observables(pair.a, path[last]) ^
+                    decoder.path_observables(pair.a, pair.b);
+      toggle(w.view.global_ids[path[last]]);
+    } else {
+      toggle(w.view.global_ids[pair.b]);
+    }
+  }
+  return prediction;
+}
+
+std::uint64_t SlidingWindowDecoder::decode(
+    const std::vector<std::uint32_t>& defects) {
+  if (defects.empty()) return 0;
+
+  // Defect ids are emitted in circuit order, which our builders keep
+  // round-monotone; stable-sort by round to stay correct for any layout.
+  std::vector<std::uint32_t> by_round(defects);
+  std::stable_sort(by_round.begin(), by_round.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return detector_rounds_[a] < detector_rounds_[b];
+                   });
+
+  std::uint64_t prediction = 0;
+  std::vector<std::uint32_t> carried;
+  std::vector<std::uint32_t> active;
+  std::size_t next = 0;  // next unconsumed defect in by_round
+  for (const Window& w : windows_) {
+    active.assign(carried.begin(), carried.end());
+    carried.clear();
+    while (next < by_round.size() &&
+           detector_rounds_[by_round[next]] < w.end_round)
+      active.push_back(by_round[next++]);
+    if (active.empty()) continue;
+    std::sort(active.begin(), active.end());
+    prediction ^= decode_window(w, active, carried);
+  }
+  RADSURF_ASSERT_MSG(carried.empty() && next == by_round.size(),
+                     "sliding-window decode left defects unresolved");
+  return prediction;
+}
+
+}  // namespace radsurf

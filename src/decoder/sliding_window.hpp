@@ -1,0 +1,96 @@
+// Sliding-window MWPM decoding for long syndrome-measurement histories.
+//
+// A whole-history MWPM decoder precomputes an all-pairs distance table over
+// every detector of the experiment — O((rounds * ns)^2) memory — which is
+// untenable for the N-round timelines the radiation workload needs.  The
+// sliding-window decoder instead walks the history in overlapping W-round
+// windows that advance by C < W committed rounds:
+//
+//   1. decode the matching subgraph induced on the window's detectors
+//      (temporal cuts are *closed*: cut-crossing edges are dropped, so a
+//      defect whose partner lies beyond the cut defers instead of faking a
+//      cheap boundary exit — see time_window in detector/matching_graph.hpp);
+//   2. commit the matches of the first C rounds: a pair wholly inside the
+//      committed region XORs its path observables into the prediction; a
+//      pair crossing the commit cut is committed only up to the first path
+//      node beyond the cut, which becomes an *artificial defect* carried
+//      into the next window (the committed partial correction flipped it);
+//   3. defer everything else: uncommitted defects — real or artificial —
+//      re-enter the next window's defect set (toggling, so a defect flipped
+//      twice cancels).
+//
+// The final window commits everything.  With window >= total rounds there
+// is a single window whose subgraph IS the full matching graph, so the
+// decoder reproduces whole-history MWPM bit-for-bit — the property the
+// cross-validation suite pins down.  Windows with identical local subgraph
+// structure (every interior window of a periodic memory experiment) share
+// one per-shape MwpmDecoder, so decoder memory is O(window^2) independent
+// of the number of rounds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "decoder/decoder.hpp"
+#include "decoder/mwpm.hpp"
+
+namespace radsurf {
+
+struct SlidingWindowOptions {
+  /// Rounds per decoding window (W).  Values >= the experiment's round
+  /// count collapse to whole-history decoding.
+  std::size_t window = 8;
+  /// Rounds committed per step (C); 0 means ceil(window / 2).  Must be
+  /// < window unless the window already covers the whole history.
+  std::size_t commit = 0;
+
+  std::size_t resolved_commit() const {
+    return commit == 0 ? (window + 1) / 2 : commit;
+  }
+};
+
+class SlidingWindowDecoder final : public Decoder {
+ public:
+  /// `detector_rounds[d]` is the stabilisation-round index of detector d of
+  /// `full` (see DetectorSet::detector_rounds; callers clamp final-readout
+  /// detectors into the last round).  `num_rounds` is the total number of
+  /// round indices.  The constructor materialises the window layout and one
+  /// MwpmDecoder per *distinct* window subgraph shape.
+  SlidingWindowDecoder(const MatchingGraph& full,
+                       std::vector<std::uint32_t> detector_rounds,
+                       std::size_t num_rounds, SlidingWindowOptions options);
+
+  std::string name() const override;
+  /// Thread-safe: per-call state is local, shared tables are immutable.
+  std::uint64_t decode(const std::vector<std::uint32_t>& defects) override;
+
+  std::size_t num_windows() const { return windows_.size(); }
+  /// Decoders actually built (distinct window shapes) — O(1) for periodic
+  /// memory circuits regardless of rounds.
+  std::size_t num_decoders() const { return decoders_.size(); }
+  /// Largest per-window detector count: the decoder's memory scale.
+  std::size_t max_window_detectors() const { return max_window_detectors_; }
+  const SlidingWindowOptions& options() const { return options_; }
+
+ private:
+  struct Window {
+    std::size_t begin_round = 0;
+    std::size_t end_round = 0;     // exclusive
+    std::size_t commit_round = 0;  // rounds < commit_round are committed
+    MatchingGraphView view;
+    std::size_t decoder_index = 0;  // into decoders_ (shapes deduplicated)
+  };
+
+  std::uint64_t decode_window(const Window& w,
+                              const std::vector<std::uint32_t>& defects,
+                              std::vector<std::uint32_t>& carried) const;
+
+  SlidingWindowOptions options_;
+  std::vector<std::uint32_t> detector_rounds_;
+  std::vector<Window> windows_;
+  std::vector<std::unique_ptr<MwpmDecoder>> decoders_;
+  std::size_t max_window_detectors_ = 0;
+};
+
+}  // namespace radsurf

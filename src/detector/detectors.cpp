@@ -36,6 +36,20 @@ DetectorSet DetectorSet::compile(const Circuit& circuit) {
   return ds;
 }
 
+std::vector<std::uint32_t> DetectorSet::detector_rounds(
+    const Circuit& circuit) {
+  std::vector<std::uint32_t> rounds;
+  rounds.reserve(circuit.num_detectors());
+  std::uint32_t ticks = 0;
+  for (const Instruction& ins : circuit.instructions()) {
+    if (ins.gate == Gate::TICK)
+      ++ticks;
+    else if (ins.gate == Gate::DETECTOR)
+      rounds.push_back(ticks);
+  }
+  return rounds;
+}
+
 BitVec DetectorSet::detector_values(const BitVec& record,
                                     const BitVec& reference) const {
   RADSURF_ASSERT(record.size() == num_records_);

@@ -20,6 +20,14 @@ class DetectorSet {
  public:
   static DetectorSet compile(const Circuit& circuit);
 
+  /// Stabilisation-round index of every DETECTOR annotation: the number of
+  /// TICK round markers preceding it in the circuit (code builders emit one
+  /// TICK per stabilisation round, after that round's detectors).  The
+  /// final-readout detectors therefore report round == rounds; callers that
+  /// want them folded into the last round clamp to rounds - 1.  Consumed by
+  /// the sliding-window decoder (see decoder/sliding_window.hpp).
+  static std::vector<std::uint32_t> detector_rounds(const Circuit& circuit);
+
   std::size_t num_detectors() const { return detector_masks_.size(); }
   std::size_t num_observables() const { return observable_masks_.size(); }
   std::size_t num_records() const { return num_records_; }

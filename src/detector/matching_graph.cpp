@@ -14,6 +14,22 @@ double edge_weight(double p) {
   const double pc = std::clamp(p, 1e-15, 0.5 - 1e-12);
   return std::log((1.0 - pc) / pc);
 }
+
+// Shared parallel-edge merge policy (from_dem and from_edges): identical
+// observable signatures combine as independent sources; conflicting ones
+// keep the likelier hypothesis and count the conflict.
+void merge_parallel(double& probability, std::uint64_t& observables,
+                    double p, std::uint64_t obs, std::size_t& conflicts) {
+  if (observables == obs) {
+    probability = probability * (1 - p) + p * (1 - probability);
+  } else {
+    ++conflicts;
+    if (p > probability) {
+      probability = p;
+      observables = obs;
+    }
+  }
+}
 }  // namespace
 
 MatchingGraph MatchingGraph::from_dem(const DetectorErrorModel& dem) {
@@ -42,17 +58,9 @@ MatchingGraph MatchingGraph::from_dem(const DetectorErrorModel& dem) {
       slot.probability = m.probability;
       slot.observables = m.observables;
       slot.initialised = true;
-    } else if (slot.observables == m.observables) {
-      slot.probability = slot.probability * (1 - m.probability) +
-                         m.probability * (1 - slot.probability);
     } else {
-      // Conflicting observable signature between the same detectors: keep
-      // the likelier hypothesis.
-      ++g.conflicts_;
-      if (m.probability > slot.probability) {
-        slot.probability = m.probability;
-        slot.observables = m.observables;
-      }
+      merge_parallel(slot.probability, slot.observables, m.probability,
+                     m.observables, g.conflicts_);
     }
   }
 
@@ -70,6 +78,90 @@ MatchingGraph MatchingGraph::from_dem(const DetectorErrorModel& dem) {
     if (e.b != e.a) g.adjacency_[e.b].push_back(id);
   }
   return g;
+}
+
+MatchingGraph MatchingGraph::from_edges(
+    std::size_t num_detectors, const std::vector<MatchingEdge>& edges) {
+  MatchingGraph g;
+  g.num_detectors_ = num_detectors;
+
+  // Merge parallel edges in first-occurrence order, so building from a
+  // graph's own edge list reproduces it verbatim (edges are already unique
+  // by endpoint pair then).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> slot_of;
+  for (const MatchingEdge& in : edges) {
+    const std::uint32_t a = std::min(in.a, in.b);
+    const std::uint32_t b = std::max(in.a, in.b);
+    RADSURF_CHECK_ARG(b <= g.boundary_node(),
+                      "edge endpoint " << b << " outside graph of "
+                                       << num_detectors << " detectors");
+    const auto [it, inserted] = slot_of.try_emplace({a, b}, g.edges_.size());
+    if (inserted) {
+      MatchingEdge e = in;
+      e.a = a;
+      e.b = b;
+      e.weight = edge_weight(e.probability);
+      g.edges_.push_back(e);
+      continue;
+    }
+    MatchingEdge& e = g.edges_[it->second];
+    merge_parallel(e.probability, e.observables, in.probability,
+                   in.observables, g.conflicts_);
+    e.weight = edge_weight(e.probability);
+  }
+
+  g.adjacency_.assign(g.num_nodes(), {});
+  for (std::size_t id = 0; id < g.edges_.size(); ++id) {
+    const MatchingEdge& e = g.edges_[id];
+    g.adjacency_[e.a].push_back(static_cast<std::uint32_t>(id));
+    if (e.b != e.a)
+      g.adjacency_[e.b].push_back(static_cast<std::uint32_t>(id));
+  }
+  return g;
+}
+
+std::uint32_t MatchingGraphView::to_local(std::uint32_t global) const {
+  const auto it =
+      std::lower_bound(global_ids.begin(), global_ids.end(), global);
+  RADSURF_CHECK_ARG(it != global_ids.end() && *it == global,
+                    "detector " << global << " not in window");
+  return static_cast<std::uint32_t>(it - global_ids.begin());
+}
+
+MatchingGraphView time_window(const MatchingGraph& full,
+                              const std::vector<std::uint32_t>& detectors) {
+  MatchingGraphView view;
+  view.global_ids = detectors;
+  RADSURF_CHECK_ARG(
+      std::is_sorted(detectors.begin(), detectors.end()) &&
+          std::adjacent_find(detectors.begin(), detectors.end()) ==
+              detectors.end(),
+      "window detector set must be sorted and unique");
+
+  const std::uint32_t global_boundary = full.boundary_node();
+  const auto local_boundary =
+      static_cast<std::uint32_t>(detectors.size());  // view boundary node
+  const auto in_window = [&](std::uint32_t node) {
+    return node != global_boundary &&
+           std::binary_search(detectors.begin(), detectors.end(), node);
+  };
+
+  std::vector<MatchingEdge> local_edges;
+  for (const MatchingEdge& e : full.edges()) {
+    const bool a_in = in_window(e.a);
+    const bool b_in = in_window(e.b);
+    if (!a_in && !b_in) continue;
+    // Drop edges crossing a temporal cut (far endpoint is an out-of-window
+    // detector); keep edges to the real boundary.
+    if (!a_in && e.a != global_boundary) continue;
+    if (!b_in && e.b != global_boundary) continue;
+    MatchingEdge out = e;
+    out.a = a_in ? view.to_local(e.a) : local_boundary;
+    out.b = b_in ? view.to_local(e.b) : local_boundary;
+    local_edges.push_back(out);
+  }
+  view.graph = MatchingGraph::from_edges(detectors.size(), local_edges);
+  return view;
 }
 
 }  // namespace radsurf

@@ -26,6 +26,14 @@ class MatchingGraph {
  public:
   static MatchingGraph from_dem(const DetectorErrorModel& dem);
 
+  /// Build directly from pre-merged edges over `num_detectors` detectors
+  /// (endpoint indices may equal num_detectors == the boundary).  Parallel
+  /// edges with identical endpoints merge exactly as in from_dem; edge
+  /// order is otherwise preserved, so a view of the full detector set
+  /// reproduces the original graph verbatim.
+  static MatchingGraph from_edges(std::size_t num_detectors,
+                                  const std::vector<MatchingEdge>& edges);
+
   std::size_t num_detectors() const { return num_detectors_; }
   /// Virtual boundary node index (== num_detectors()).
   std::uint32_t boundary_node() const {
@@ -47,5 +55,27 @@ class MatchingGraph {
   std::vector<std::vector<std::uint32_t>> adjacency_;  // node -> edge ids
   std::size_t conflicts_ = 0;
 };
+
+/// A windowed view of a matching graph: the subgraph induced on a sorted
+/// subset of its detectors, with local (dense) node indices.  Edges to the
+/// real (spatial) boundary are kept; edges whose far endpoint is a detector
+/// outside the subset are *dropped* — a temporal cut is closed, not an open
+/// boundary, so a defect whose partner lies beyond the cut cannot fake a
+/// cheap boundary exit and is instead deferred until an overlapping window
+/// contains both (which is why sliding windows must overlap by at least the
+/// time-span of the error mechanisms).  The sliding-window decoder builds
+/// one view per W-round window.
+struct MatchingGraphView {
+  MatchingGraph graph;                    // local indices 0..k-1 (+boundary)
+  std::vector<std::uint32_t> global_ids;  // local index -> global detector
+
+  std::uint32_t to_local(std::uint32_t global) const;
+};
+
+/// View of `full` induced on `detectors` (sorted, deduplicated global ids).
+/// With `detectors` == all detectors of `full`, the view's graph is
+/// identical to `full` (same edges in the same order).
+MatchingGraphView time_window(const MatchingGraph& full,
+                              const std::vector<std::uint32_t>& detectors);
 
 }  // namespace radsurf

@@ -1,5 +1,6 @@
 #include "inject/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "detector/error_model.hpp"
@@ -67,13 +68,19 @@ InjectionEngine::InjectionEngine(const SurfaceCode& code, Graph arch,
   dem_ = DetectorErrorModel::from_circuit(
       decoder_noise.apply(transpiled_.circuit));
   matching_graph_ = MatchingGraph::from_dem(dem_);
-  decoder_ = make_decoder(options_.decoder, matching_graph_);
+  if (options_.whole_history_decoder)
+    decoder_ = make_decoder(options_.decoder, matching_graph_);
 
   detectors_ = DetectorSet::compile(transpiled_.circuit);
+  // Fold the final-readout detectors (round == rounds) into the last round.
+  detector_rounds_ = DetectorSet::detector_rounds(transpiled_.circuit);
+  for (auto& r : detector_rounds_)
+    r = std::min<std::uint32_t>(
+        r, static_cast<std::uint32_t>(options_.rounds - 1));
   TableauSimulator ref_sim(transpiled_.circuit);
   reference_ = ref_sim.reference_sample();
 
-  if (options_.decode_cache)
+  if (options_.decode_cache && decoder_)
     cached_decoder_ = std::make_unique<CachingDecoder>(*decoder_);
 
   active_qubits_ = transpiled_.touched_physical_qubits();
@@ -99,6 +106,9 @@ Proportion InjectionEngine::run_circuit(
   // decoder gets a transient cache whose stats fold into the engine's.
   std::unique_ptr<CachingDecoder> local_cache;
   Decoder* decoder = decoder_override ? decoder_override : decoder_.get();
+  RADSURF_CHECK_ARG(decoder != nullptr,
+                    "engine built with whole_history_decoder = false "
+                    "supports only run_timeline");
   if (options_.decode_cache) {
     if (decoder_override) {
       local_cache = std::make_unique<CachingDecoder>(*decoder_override);
@@ -268,6 +278,50 @@ Proportion InjectionEngine::run_radiation_at_aware(
   const MatchingGraph graph = MatchingGraph::from_dem(dem);
   const auto aware = make_decoder(options_.decoder, graph);
   return run_circuit(sampling, shots, seed, nullptr, aware.get());
+}
+
+Proportion InjectionEngine::run_timeline_with(
+    const RadiationTimeline& timeline,
+    const std::vector<RadiationEvent>& events, std::size_t shots,
+    std::uint64_t seed, SlidingWindowDecoder& decoder) const {
+  const auto schedule =
+      timeline.schedule(arch_, events, options_.rounds);
+  const Circuit circuit = instrument_timeline_noise(noisy_base_, schedule);
+  return run_circuit(circuit, shots, seed, nullptr, &decoder);
+}
+
+Proportion InjectionEngine::run_timeline(
+    const RadiationTimeline& timeline,
+    const std::vector<RadiationEvent>& events, std::size_t shots,
+    std::uint64_t seed, const SlidingWindowOptions& window) const {
+  SlidingWindowDecoder decoder(matching_graph_, detector_rounds_,
+                               options_.rounds, window);
+  return run_timeline_with(timeline, events, shots, seed, decoder);
+}
+
+TimelineSummary InjectionEngine::run_timeline_campaign(
+    const RadiationTimeline& timeline, std::size_t num_timelines,
+    std::size_t shots_per_timeline, std::uint64_t seed,
+    const SlidingWindowOptions& window) const {
+  TimelineSummary summary;
+  summary.num_timelines = num_timelines;
+  summary.rounds = options_.rounds;
+  // One decoder serves every realization (decode() is thread-safe and the
+  // window layout depends only on the engine and the window options).
+  SlidingWindowDecoder decoder(matching_graph_, detector_rounds_,
+                               options_.rounds, window);
+  summary.num_windows = decoder.num_windows();
+  summary.window_decoders = decoder.num_decoders();
+  Rng event_rng(seed ^ 0x7261647375726621ULL);
+  for (std::size_t i = 0; i < num_timelines; ++i) {
+    const auto events =
+        timeline.sample(options_.rounds, active_qubits_, event_rng);
+    summary.total_events += events.size();
+    summary.errors +=
+        run_timeline_with(timeline, events, shots_per_timeline,
+                          seed + 0x9e37 * (i + 1), decoder);
+  }
+  return summary;
 }
 
 std::vector<Proportion> InjectionEngine::run_radiation_event(

@@ -21,9 +21,11 @@
 #include "codes/code.hpp"
 #include "decoder/decode_cache.hpp"
 #include "decoder/decoder.hpp"
+#include "decoder/sliding_window.hpp"
 #include "detector/detectors.hpp"
 #include "noise/depolarizing.hpp"
 #include "noise/radiation.hpp"
+#include "noise/timeline.hpp"
 #include "transpile/transpiler.hpp"
 #include "util/stats.hpp"
 
@@ -64,6 +66,26 @@ struct EngineOptions {
   SamplingPath sampling_path = SamplingPath::AUTO;
   /// Memoize defect-set -> prediction across shots (see decode_cache.hpp).
   bool decode_cache = true;
+  /// Build the whole-history decoder at construction.  Its distance tables
+  /// are O((rounds * ns)^2); long-timeline engines that only decode through
+  /// run_timeline's sliding windows turn this off to keep decoder memory
+  /// O(window) — every other run_* campaign requires it.
+  bool whole_history_decoder = true;
+};
+
+/// Aggregate of a multi-realization timeline campaign.
+struct TimelineSummary {
+  Proportion errors;                  // pooled over every realization
+  std::size_t num_timelines = 0;      // event realizations sampled
+  std::size_t total_events = 0;       // strikes across all realizations
+  std::size_t rounds = 0;             // stabilisation rounds per shot
+  std::size_t num_windows = 0;        // sliding windows per decode
+  std::size_t window_decoders = 0;    // distinct window shapes built
+  double mean_events() const {
+    return num_timelines == 0
+               ? 0.0
+               : static_cast<double>(total_events) / num_timelines;
+  }
 };
 
 class InjectionEngine {
@@ -126,6 +148,31 @@ class InjectionEngine {
                                               std::uint64_t seed,
                                               bool spread = true) const;
 
+  /// Long-horizon timeline campaign: instrument the N-round memory circuit
+  /// (N = options.rounds) with the round-indexed reset schedule of a fixed
+  /// event realization and decode every shot with sliding windows (memory
+  /// O(window), not O(rounds); window >= rounds reproduces whole-history
+  /// MWPM bit-for-bit).  Events come from timeline.sample() or are built
+  /// directly for deterministic scenarios.
+  Proportion run_timeline(const RadiationTimeline& timeline,
+                          const std::vector<RadiationEvent>& events,
+                          std::size_t shots, std::uint64_t seed,
+                          const SlidingWindowOptions& window = {}) const;
+
+  /// Monte-Carlo over the event layer too: sample `num_timelines` Poisson
+  /// realizations (roots drawn from active_qubits()) and pool the shots.
+  TimelineSummary run_timeline_campaign(
+      const RadiationTimeline& timeline, std::size_t num_timelines,
+      std::size_t shots_per_timeline, std::uint64_t seed,
+      const SlidingWindowOptions& window = {}) const;
+
+  /// Stabilisation-round index of every detector of the transpiled circuit
+  /// (final-readout detectors folded into the last round) — the sliding-
+  /// window decoder's round map.
+  const std::vector<std::uint32_t>& detector_rounds() const {
+    return detector_rounds_;
+  }
+
   /// Radiation-aware ablation (beyond the paper, answering its RQ3): the
   /// decoder's matching graph is rebuilt with the strike's reset field
   /// included (approximated as X/Z mechanisms of half the reset
@@ -140,6 +187,11 @@ class InjectionEngine {
                          std::uint64_t seed,
                          const std::vector<std::uint32_t>* erasure = nullptr,
                          Decoder* decoder_override = nullptr) const;
+
+  Proportion run_timeline_with(const RadiationTimeline& timeline,
+                               const std::vector<RadiationEvent>& events,
+                               std::size_t shots, std::uint64_t seed,
+                               SlidingWindowDecoder& decoder) const;
 
   EngineOptions options_;
   Graph arch_;
@@ -158,6 +210,7 @@ class InjectionEngine {
   BitVec reference_;
   std::vector<std::uint32_t> active_qubits_;
   std::vector<QubitRole> physical_roles_;
+  std::vector<std::uint32_t> detector_rounds_;
 };
 
 }  // namespace radsurf

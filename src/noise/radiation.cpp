@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "noise/timeline.hpp"
 #include "util/error.hpp"
 
 namespace radsurf {
@@ -55,26 +56,8 @@ std::vector<double> RadiationModel::qubit_probabilities(
 
 Circuit instrument_reset_noise(const Circuit& circuit,
                                const std::vector<double>& per_qubit_prob) {
-  auto prob_of = [&](std::uint32_t q) {
-    return q < per_qubit_prob.size() ? per_qubit_prob[q] : 0.0;
-  };
-  Circuit out(circuit.num_qubits());
-  for (const Instruction& ins : circuit.instructions()) {
-    const GateInfo& info = gate_info(ins.gate);
-    if (info.is_annotation) {
-      out.append_annotation(ins.gate, ins.lookbacks, ins.args);
-      continue;
-    }
-    out.append(ins.gate, ins.targets, ins.args);
-    if (!info.is_unitary || ins.gate == Gate::I) continue;
-    for (std::uint32_t q : ins.targets) {
-      const double p = prob_of(q);
-      RADSURF_CHECK_ARG(p >= 0.0 && p <= 1.0,
-                        "reset probability out of [0,1]: " << p);
-      if (p > 0.0) out.append(Gate::RESET_ERROR, {q}, {p});
-    }
-  }
-  return out;
+  // A time-invariant reset field is a one-round timeline schedule.
+  return instrument_timeline_noise(circuit, {per_qubit_prob});
 }
 
 std::vector<double> erasure_probabilities(

@@ -1,0 +1,121 @@
+#include "noise/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+RadiationTimeline::RadiationTimeline(RadiationModel model,
+                                     TimelineOptions options)
+    : model_(model), options_(options) {
+  RADSURF_CHECK_ARG(options_.events_per_round >= 0.0,
+                    "negative event rate: " << options_.events_per_round);
+  RADSURF_CHECK_ARG(options_.burst_multiplicity >= 1,
+                    "burst multiplicity must be >= 1");
+  RADSURF_CHECK_ARG(options_.duration_rounds >= 1,
+                    "event duration must be >= 1 round");
+  RADSURF_CHECK_ARG(
+      options_.intensity >= 0.0 && options_.intensity <= 1.0,
+      "peak intensity out of [0,1]: " << options_.intensity);
+}
+
+std::size_t poisson_sample(double rate, Rng& rng) {
+  RADSURF_CHECK_ARG(rate >= 0.0, "negative Poisson rate: " << rate);
+  if (rate == 0.0) return 0;
+  // Knuth: multiply uniforms until the product drops below exp(-rate).
+  const double limit = std::exp(-rate);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::vector<RadiationEvent> RadiationTimeline::sample(
+    std::size_t rounds, const std::vector<std::uint32_t>& roots,
+    Rng& rng) const {
+  RADSURF_CHECK_ARG(!roots.empty(), "need at least one candidate root");
+  const std::size_t burst =
+      std::min(options_.burst_multiplicity, roots.size());
+  std::vector<RadiationEvent> events;
+  std::vector<std::uint32_t> pool;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::size_t arrivals =
+        poisson_sample(options_.events_per_round, rng);
+    for (std::size_t e = 0; e < arrivals; ++e) {
+      // Partial Fisher-Yates: draw `burst` distinct roots for this shower.
+      pool = roots;
+      for (std::size_t j = 0; j < burst; ++j) {
+        const std::size_t pick =
+            j + static_cast<std::size_t>(rng.below(pool.size() - j));
+        std::swap(pool[j], pool[pick]);
+        events.push_back({round, pool[j], options_.intensity});
+      }
+    }
+  }
+  return events;
+}
+
+std::vector<std::vector<double>> RadiationTimeline::schedule(
+    const Graph& arch, const std::vector<RadiationEvent>& events,
+    std::size_t rounds) const {
+  std::vector<std::vector<double>> probs(
+      rounds, std::vector<double>(arch.num_nodes(), 0.0));
+  const auto duration = static_cast<double>(options_.duration_rounds);
+  for (const RadiationEvent& event : events) {
+    RADSURF_CHECK_ARG(event.round < rounds,
+                      "event round " << event.round << " outside timeline of "
+                                     << rounds << " rounds");
+    const std::vector<double> peak = model_.qubit_probabilities(
+        arch, event.root, event.intensity, options_.spread);
+    for (std::size_t dr = 0; dr < options_.duration_rounds; ++dr) {
+      const std::size_t r = event.round + dr;
+      if (r >= rounds) break;
+      const double factor =
+          model_.temporal(static_cast<double>(dr) / duration);
+      for (std::size_t q = 0; q < peak.size(); ++q) {
+        if (peak[q] <= 0.0) continue;
+        // Overlapping events are independent fault sources.
+        probs[r][q] = 1.0 - (1.0 - probs[r][q]) * (1.0 - peak[q] * factor);
+      }
+    }
+  }
+  return probs;
+}
+
+Circuit instrument_timeline_noise(
+    const Circuit& circuit,
+    const std::vector<std::vector<double>>& round_probs) {
+  RADSURF_CHECK_ARG(!round_probs.empty(), "empty timeline schedule");
+  const std::size_t rounds = round_probs.size();
+  auto prob_of = [&](std::size_t round, std::uint32_t q) {
+    const auto& row = round_probs[std::min(round, rounds - 1)];
+    return q < row.size() ? row[q] : 0.0;
+  };
+
+  Circuit out(circuit.num_qubits());
+  std::size_t ticks = 0;
+  for (const Instruction& ins : circuit.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) {
+      out.append_annotation(ins.gate, ins.lookbacks, ins.args);
+      if (ins.gate == Gate::TICK) ++ticks;
+      continue;
+    }
+    out.append(ins.gate, ins.targets, ins.args);
+    if (!info.is_unitary || ins.gate == Gate::I) continue;
+    for (std::uint32_t q : ins.targets) {
+      const double p = prob_of(ticks, q);
+      RADSURF_CHECK_ARG(p >= 0.0 && p <= 1.0,
+                        "reset probability out of [0,1]: " << p);
+      if (p > 0.0) out.append(Gate::RESET_ERROR, {q}, {p});
+    }
+  }
+  return out;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,87 @@
+// Long-horizon radiation timelines (beyond the paper's single strike).
+//
+// Real devices accumulate Poisson-arriving particle strikes over arbitrarily
+// long syndrome-measurement histories.  A RadiationTimeline samples event
+// arrivals — rate per stabilisation round, configurable burst multiplicity —
+// and composes every event's temporal decay T(t) (stretched over
+// `duration_rounds` rounds) and spatial decay S(d) into a *round-indexed*
+// noise schedule: per round, per qubit, the probability of a non-unitary
+// reset after each gate.  Overlapping events combine as independent fault
+// sources (1 - prod(1 - p)).  The schedule instruments an N-round memory
+// circuit via instrument_timeline_noise, which scopes each round's reset
+// field to the gates between consecutive TICK round markers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/graph.hpp"
+#include "circuit/circuit.hpp"
+#include "noise/radiation.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+
+/// One particle strike of a timeline.
+struct RadiationEvent {
+  std::size_t round = 0;    // arrival round (peak intensity)
+  std::uint32_t root = 0;   // impact qubit
+  double intensity = 1.0;   // reset probability at the root at arrival
+
+  bool operator==(const RadiationEvent& o) const = default;
+};
+
+struct TimelineOptions {
+  /// Poisson arrival rate: expected strike events per stabilisation round.
+  double events_per_round = 0.01;
+  /// Simultaneous impact points per event (a shower hitting several roots
+  /// in the same round; roots are drawn without replacement).
+  std::size_t burst_multiplicity = 1;
+  /// Rounds an event needs to decay away: round r of an event arriving at
+  /// r0 scales its intensity by T((r - r0) / duration_rounds), reaching the
+  /// paper's extinguished T(1) after duration_rounds rounds.
+  std::size_t duration_rounds = 10;
+  /// Peak reset probability at the root at the strike instant.
+  double intensity = 1.0;
+  /// Spread over the architecture with S(d); false confines to the root.
+  bool spread = true;
+};
+
+class RadiationTimeline {
+ public:
+  RadiationTimeline(RadiationModel model, TimelineOptions options);
+
+  const RadiationModel& model() const { return model_; }
+  const TimelineOptions& options() const { return options_; }
+
+  /// Sample one event realization over `rounds` rounds: per round, a
+  /// Poisson(events_per_round) number of events, each striking
+  /// burst_multiplicity distinct roots drawn uniformly from `roots`.
+  std::vector<RadiationEvent> sample(
+      std::size_t rounds, const std::vector<std::uint32_t>& roots,
+      Rng& rng) const;
+
+  /// Round-indexed per-qubit reset probabilities on `arch` composing
+  /// `events` (independent-source combination).  Result has `rounds` rows
+  /// of arch.num_nodes() entries.
+  std::vector<std::vector<double>> schedule(
+      const Graph& arch, const std::vector<RadiationEvent>& events,
+      std::size_t rounds) const;
+
+ private:
+  RadiationModel model_;
+  TimelineOptions options_;
+};
+
+/// Knuth Poisson sampler (exact for the per-round rates timelines use).
+std::size_t poisson_sample(double rate, Rng& rng);
+
+/// Instrument `circuit` with the round-indexed reset schedule: gates between
+/// TICK markers k-1 and k receive round k's per-qubit reset probabilities
+/// (clamped to the last row for the trailing readout block).  The schedule
+/// rows may be shorter than the circuit's qubit count (missing entries 0).
+Circuit instrument_timeline_noise(
+    const Circuit& circuit,
+    const std::vector<std::vector<double>>& round_probs);
+
+}  // namespace radsurf

@@ -1,0 +1,214 @@
+// Property tests for sliding-window decoding (decoder/sliding_window.hpp).
+//
+// The load-bearing guarantee: with window >= total rounds the sliding-
+// window decoder IS whole-history MWPM — same matching graph, same blossom
+// input, bit-for-bit identical predictions on every defect set.  Shorter
+// windows must agree wherever the window can jointly see the defects
+// involved (singletons, time-adjacent pairs), dedupe periodic window
+// shapes, and keep per-window state independent of the history length.
+#include "decoder/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "decoder/mwpm.hpp"
+#include "inject/campaign.hpp"
+
+namespace radsurf {
+namespace {
+
+EngineOptions rounds_options(std::size_t rounds,
+                             bool whole_history = true) {
+  EngineOptions opts;
+  opts.rounds = rounds;
+  opts.whole_history_decoder = whole_history;
+  return opts;
+}
+
+TEST(TimeWindow, FullDetectorSetReproducesGraphVerbatim) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), rounds_options(4));
+  const MatchingGraph& full = engine.matching_graph();
+
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t d = 0; d < full.num_detectors(); ++d) all.push_back(d);
+  const MatchingGraphView view = time_window(full, all);
+
+  ASSERT_EQ(view.graph.num_detectors(), full.num_detectors());
+  ASSERT_EQ(view.graph.edges().size(), full.edges().size());
+  for (std::size_t i = 0; i < full.edges().size(); ++i) {
+    const MatchingEdge& a = full.edges()[i];
+    const MatchingEdge& b = view.graph.edges()[i];
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_DOUBLE_EQ(a.probability, b.probability);
+    EXPECT_DOUBLE_EQ(a.weight, b.weight);
+    EXPECT_EQ(a.observables, b.observables);
+  }
+}
+
+TEST(TimeWindow, ProperSubsetDropsCutEdgesButKeepsBoundary) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), rounds_options(6));
+  const MatchingGraph& full = engine.matching_graph();
+  const auto& rounds = engine.detector_rounds();
+
+  std::vector<std::uint32_t> subset;
+  for (std::uint32_t d = 0; d < full.num_detectors(); ++d)
+    if (rounds[d] >= 1 && rounds[d] < 3) subset.push_back(d);
+  ASSERT_FALSE(subset.empty());
+  const MatchingGraphView view = time_window(full, subset);
+
+  EXPECT_EQ(view.graph.num_detectors(), subset.size());
+  EXPECT_LT(view.graph.edges().size(), full.edges().size());
+  bool has_boundary_edge = false;
+  for (const MatchingEdge& e : view.graph.edges()) {
+    EXPECT_LE(e.a, view.graph.boundary_node());
+    EXPECT_LE(e.b, view.graph.boundary_node());
+    if (e.b == view.graph.boundary_node()) has_boundary_edge = true;
+  }
+  // Real (spatial) boundary edges survive the cut.
+  EXPECT_TRUE(has_boundary_edge);
+}
+
+// Enumerate every singleton and pair of detectors and require bit-for-bit
+// agreement with whole-history MWPM when one window covers all rounds.
+void expect_whole_history_exact(const InjectionEngine& engine,
+                                std::size_t rounds) {
+  const MatchingGraph& g = engine.matching_graph();
+  MwpmDecoder whole(g);
+  SlidingWindowDecoder windowed(g, engine.detector_rounds(), rounds,
+                                {rounds, 0});
+  ASSERT_EQ(windowed.num_windows(), 1u);
+
+  const auto n = static_cast<std::uint32_t>(g.num_detectors());
+  std::vector<std::uint32_t> defects;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a; b < n; ++b) {
+      defects.assign(1, a);
+      if (b != a) defects.push_back(b);
+      ASSERT_EQ(whole.decode(defects), windowed.decode(defects))
+          << "defects {" << a << ", " << b << "}";
+    }
+  }
+  // A band of larger defect sets (every run of 4 consecutive detectors).
+  for (std::uint32_t a = 0; a + 4 <= n; ++a) {
+    defects = {a, a + 1, a + 2, a + 3};
+    ASSERT_EQ(whole.decode(defects), windowed.decode(defects))
+        << "defect run at " << a;
+  }
+}
+
+TEST(SlidingWindow, WindowCoveringAllRoundsIsWholeHistoryRep51) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), rounds_options(6));
+  expect_whole_history_exact(engine, 6);
+}
+
+TEST(SlidingWindow, WindowCoveringAllRoundsIsWholeHistoryXxzz33) {
+  XXZZCode code(3, 3);
+  InjectionEngine engine(code, make_mesh(5, 4), rounds_options(4));
+  expect_whole_history_exact(engine, 4);
+}
+
+TEST(SlidingWindow, OversizedWindowAlsoExact) {
+  RepetitionCode code(3, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), rounds_options(3));
+  const MatchingGraph& g = engine.matching_graph();
+  MwpmDecoder whole(g);
+  SlidingWindowDecoder windowed(g, engine.detector_rounds(), 3, {64, 0});
+  const auto n = static_cast<std::uint32_t>(g.num_detectors());
+  for (std::uint32_t a = 0; a < n; ++a)
+    for (std::uint32_t b = a; b < n; ++b) {
+      std::vector<std::uint32_t> defects{a};
+      if (b != a) defects.push_back(b);
+      ASSERT_EQ(whole.decode(defects), windowed.decode(defects));
+    }
+}
+
+// Short windows: defects a window can jointly see must decode exactly as
+// whole-history.  Singletons are always committed from a window interior;
+// time-adjacent pairs (the signature of every real error mechanism) fit in
+// one window because windows overlap by window - commit rounds.
+TEST(SlidingWindow, ShortWindowsExactOnSingletonsAndAdjacentPairs) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), rounds_options(6));
+  const MatchingGraph& g = engine.matching_graph();
+  const auto& rounds = engine.detector_rounds();
+  MwpmDecoder whole(g);
+  SlidingWindowDecoder windowed(g, rounds, 6, {3, 1});
+
+  const auto n = static_cast<std::uint32_t>(g.num_detectors());
+  for (std::uint32_t a = 0; a < n; ++a) {
+    std::vector<std::uint32_t> defects{a};
+    ASSERT_EQ(whole.decode(defects), windowed.decode(defects))
+        << "singleton " << a;
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      if (rounds[b] > rounds[a] + 1) continue;  // not jointly visible
+      defects = {a, b};
+      ASSERT_EQ(whole.decode(defects), windowed.decode(defects))
+          << "adjacent pair {" << a << ", " << b << "}";
+    }
+  }
+}
+
+TEST(SlidingWindow, PeriodicWindowShapesAreShared) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2),
+                         rounds_options(60, /*whole_history=*/false));
+  SlidingWindowDecoder decoder(engine.matching_graph(),
+                               engine.detector_rounds(), 60, {6, 3});
+  EXPECT_GT(decoder.num_windows(), 15u);
+  // Interior windows of a periodic memory circuit share one decoder: only
+  // the head (round-0 detectors) and tail (readout detectors) differ.
+  EXPECT_LE(decoder.num_decoders(), 4u);
+}
+
+TEST(SlidingWindow, WindowStateIndependentOfHistoryLength) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  std::size_t detectors_short = 0, detectors_long = 0;
+  std::size_t decoders_short = 0, decoders_long = 0;
+  {
+    InjectionEngine engine(code, make_mesh(5, 2),
+                           rounds_options(40, false));
+    SlidingWindowDecoder d(engine.matching_graph(),
+                           engine.detector_rounds(), 40, {8, 4});
+    detectors_short = d.max_window_detectors();
+    decoders_short = d.num_decoders();
+  }
+  {
+    InjectionEngine engine(code, make_mesh(5, 2),
+                           rounds_options(200, false));
+    SlidingWindowDecoder d(engine.matching_graph(),
+                           engine.detector_rounds(), 200, {8, 4});
+    detectors_long = d.max_window_detectors();
+    decoders_long = d.num_decoders();
+  }
+  // O(window), not O(rounds): 5x the history, identical decoder state.
+  EXPECT_EQ(detectors_short, detectors_long);
+  EXPECT_EQ(decoders_short, decoders_long);
+}
+
+TEST(SlidingWindow, RejectsNonOverlappingWindows) {
+  RepetitionCode code(3, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), rounds_options(6));
+  EXPECT_THROW(SlidingWindowDecoder(engine.matching_graph(),
+                                    engine.detector_rounds(), 6, {3, 3}),
+               InvalidArgument);
+  EXPECT_THROW(SlidingWindowDecoder(engine.matching_graph(),
+                                    engine.detector_rounds(), 6, {3, 4}),
+               InvalidArgument);
+}
+
+TEST(SlidingWindow, EmptyDefectsDecodeToZero) {
+  RepetitionCode code(3, RepetitionFlavor::BIT_FLIP);
+  InjectionEngine engine(code, make_mesh(5, 2), rounds_options(4));
+  SlidingWindowDecoder decoder(engine.matching_graph(),
+                               engine.detector_rounds(), 4, {2, 1});
+  EXPECT_EQ(decoder.decode({}), 0u);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,375 @@
+// Radiation timelines (noise/timeline.hpp) and the run_timeline campaign:
+// Poisson arrival statistics, schedule composition arithmetic, round-scoped
+// instrumentation, and the statistical cross-engine validation suite — the
+// frame fast path (SamplingPath::AUTO) and the exact tableau baseline
+// (SamplingPath::EXACT) must produce statistically indistinguishable
+// logical error rates on identical timeline campaigns (two-proportion
+// z-test, |z| < 4), and syndrome-memoized decoding must be bit-for-bit
+// equivalent to uncached decoding.
+#include "noise/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "decoder/decode_cache.hpp"
+#include "decoder/sliding_window.hpp"
+#include "inject/campaign.hpp"
+#include "util/stats.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(PoissonSample, MeanMatchesRate) {
+  Rng rng(11);
+  for (double rate : {0.05, 0.5, 2.0}) {
+    const std::size_t draws = 20000;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < draws; ++i) total += poisson_sample(rate, rng);
+    const double mean = static_cast<double>(total) / draws;
+    // Poisson mean == rate; 5 sigma of the sample mean.
+    EXPECT_NEAR(mean, rate, 5.0 * std::sqrt(rate / draws)) << "rate " << rate;
+  }
+  EXPECT_EQ(poisson_sample(0.0, rng), 0u);
+}
+
+TEST(RadiationTimeline, SampleRespectsRateAndRoots) {
+  RadiationTimeline timeline({}, {.events_per_round = 0.2,
+                                  .burst_multiplicity = 1,
+                                  .duration_rounds = 5});
+  const std::vector<std::uint32_t> roots = {3, 5, 9};
+  Rng rng(7);
+  const std::size_t rounds = 5000;
+  const auto events = timeline.sample(rounds, roots, rng);
+  const double per_round = static_cast<double>(events.size()) / rounds;
+  EXPECT_NEAR(per_round, 0.2, 0.03);
+  for (const RadiationEvent& e : events) {
+    EXPECT_LT(e.round, rounds);
+    EXPECT_TRUE(std::find(roots.begin(), roots.end(), e.root) != roots.end());
+    EXPECT_DOUBLE_EQ(e.intensity, 1.0);
+  }
+}
+
+TEST(RadiationTimeline, BurstMultiplicityStrikesDistinctRoots) {
+  RadiationTimeline timeline({}, {.events_per_round = 0.1,
+                                  .burst_multiplicity = 3,
+                                  .duration_rounds = 5});
+  const std::vector<std::uint32_t> roots = {0, 1, 2, 3, 4, 5, 6, 7};
+  Rng rng(13);
+  const auto events = timeline.sample(2000, roots, rng);
+  ASSERT_FALSE(events.empty());
+  ASSERT_EQ(events.size() % 3, 0u);
+  for (std::size_t i = 0; i < events.size(); i += 3) {
+    // Each shower: one round, three distinct impact points.
+    EXPECT_EQ(events[i].round, events[i + 1].round);
+    EXPECT_EQ(events[i].round, events[i + 2].round);
+    EXPECT_NE(events[i].root, events[i + 1].root);
+    EXPECT_NE(events[i].root, events[i + 2].root);
+    EXPECT_NE(events[i + 1].root, events[i + 2].root);
+  }
+}
+
+TEST(RadiationTimeline, ScheduleComposesTemporalAndSpatialDecay) {
+  const RadiationModel model{};  // gamma = 10, n = 1
+  TimelineOptions opts;
+  opts.duration_rounds = 4;
+  opts.intensity = 0.8;
+  const RadiationTimeline timeline(model, opts);
+  const Graph line = make_linear(5);
+
+  const std::vector<RadiationEvent> events = {{2, 1, 0.8}};
+  const auto probs = timeline.schedule(line, events, 10);
+  ASSERT_EQ(probs.size(), 10u);
+
+  // Peak at the root on the arrival round; T(dr/4) afterwards.  The
+  // independent-source combination 1 - (1 - 0)(1 - p) reconstructs p only
+  // to rounding, hence the 1-ulp-scale tolerance.
+  EXPECT_DOUBLE_EQ(probs[2][1], 0.8);
+  EXPECT_NEAR(probs[3][1], 0.8 * model.temporal(0.25), 1e-15);
+  EXPECT_NEAR(probs[5][1], 0.8 * model.temporal(0.75), 1e-15);
+  // Extinguished after duration_rounds; silent before arrival.
+  EXPECT_DOUBLE_EQ(probs[6][1], 0.0);
+  EXPECT_DOUBLE_EQ(probs[1][1], 0.0);
+  // Spatial decay S(d) over the line.
+  EXPECT_NEAR(probs[2][2], 0.8 * model.spatial(1), 1e-15);
+  EXPECT_NEAR(probs[2][4], 0.8 * model.spatial(3), 1e-15);
+}
+
+TEST(RadiationTimeline, OverlappingEventsCombineAsIndependentSources) {
+  const RadiationModel model{};
+  TimelineOptions opts;
+  opts.duration_rounds = 3;
+  opts.spread = false;
+  const RadiationTimeline timeline(model, opts);
+  const Graph line = make_linear(3);
+
+  const std::vector<RadiationEvent> events = {{0, 1, 0.5}, {1, 1, 0.5}};
+  const auto probs = timeline.schedule(line, events, 4);
+  // Round 1 sees event 0 decayed one round and event 1 at peak.
+  const double p0 = 0.5 * model.temporal(1.0 / 3.0);
+  const double p1 = 0.5;
+  EXPECT_DOUBLE_EQ(probs[1][1], 1.0 - (1.0 - p0) * (1.0 - p1));
+  // Unstruck qubits stay silent with spread off.
+  EXPECT_DOUBLE_EQ(probs[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(probs[1][2], 0.0);
+}
+
+TEST(RadiationTimeline, EventOutsideTimelineRejected) {
+  const RadiationTimeline timeline({}, {});
+  const Graph line = make_linear(3);
+  EXPECT_THROW(timeline.schedule(line, {{7, 0, 1.0}}, 5), InvalidArgument);
+}
+
+TEST(InstrumentTimeline, ResetsAreRoundScoped) {
+  // Two rounds separated by a TICK; only round 1 has a nonzero field, so
+  // only the gate after the TICK grows a RESET_ERROR.
+  Circuit c(2);
+  c.x(0);
+  c.tick();
+  c.x(0);
+  c.x(1);
+  const std::vector<std::vector<double>> schedule = {{0.0, 0.0},
+                                                     {0.25, 0.0}};
+  const Circuit noisy = instrument_timeline_noise(c, schedule);
+  std::size_t resets = 0;
+  std::size_t ticks_seen = 0;
+  for (const Instruction& ins : noisy.instructions()) {
+    if (ins.gate == Gate::TICK) ++ticks_seen;
+    if (ins.gate == Gate::RESET_ERROR) {
+      ++resets;
+      EXPECT_EQ(ticks_seen, 1u);  // after the round boundary
+      EXPECT_EQ(ins.targets[0], 0u);
+      EXPECT_DOUBLE_EQ(ins.args[0], 0.25);
+    }
+  }
+  EXPECT_EQ(resets, 1u);
+}
+
+TEST(InstrumentTimeline, TrailingReadoutUsesLastRound) {
+  // Gates after the final TICK (the transversal readout block) take the
+  // last round's field.
+  Circuit c(1);
+  c.x(0);
+  c.tick();
+  c.x(0);  // readout-block gate, beyond the schedule's rows
+  const std::vector<std::vector<double>> schedule = {{0.5}};
+  const Circuit noisy = instrument_timeline_noise(c, schedule);
+  std::size_t resets = 0;
+  for (const Instruction& ins : noisy.instructions())
+    if (ins.gate == Gate::RESET_ERROR) ++resets;
+  EXPECT_EQ(resets, 2u);
+}
+
+TEST(DetectorRounds, EngineMapsDetectorsToRounds) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  EngineOptions opts;
+  opts.rounds = 4;
+  InjectionEngine engine(code, make_mesh(5, 2), opts);
+  const auto& rounds = engine.detector_rounds();
+  ASSERT_EQ(rounds.size(), engine.matching_graph().num_detectors());
+  // 4 stabilisation rounds x 4 detectors, then 5 readout detectors folded
+  // into the last round.
+  for (std::size_t d = 0; d < rounds.size(); ++d) {
+    if (d < 16)
+      EXPECT_EQ(rounds[d], d / 4) << "detector " << d;
+    else
+      EXPECT_EQ(rounds[d], 3u) << "detector " << d;
+  }
+}
+
+// --- statistical cross-engine validation ---------------------------------
+
+RadiationTimeline test_timeline(double rate) {
+  TimelineOptions opts;
+  opts.events_per_round = rate;
+  opts.duration_rounds = 6;
+  return RadiationTimeline({}, opts);
+}
+
+/// AUTO (frame fast path + exact residual) and EXACT (per-shot tableau)
+/// must agree on the timeline campaign's logical error rate.
+void expect_paths_agree(const SurfaceCode& code, const Graph& arch,
+                        std::size_t rounds, std::size_t shots,
+                        const SlidingWindowOptions& window) {
+  const RadiationTimeline timeline = test_timeline(0.15);
+
+  EngineOptions auto_opts;
+  auto_opts.rounds = rounds;
+  auto_opts.sampling_path = SamplingPath::AUTO;
+  auto_opts.whole_history_decoder = false;
+  InjectionEngine auto_engine(code, arch, auto_opts);
+
+  EngineOptions exact_opts = auto_opts;
+  exact_opts.sampling_path = SamplingPath::EXACT;
+  InjectionEngine exact_engine(code, arch, exact_opts);
+
+  Rng event_rng(99);
+  std::vector<RadiationEvent> events;
+  while (events.empty())  // deterministic retry until the draw is non-empty
+    events = timeline.sample(rounds, auto_engine.active_qubits(), event_rng);
+
+  const Proportion pa =
+      auto_engine.run_timeline(timeline, events, shots, 1234, window);
+  const Proportion pe =
+      exact_engine.run_timeline(timeline, events, shots, 5678, window);
+  EXPECT_EQ(pa.trials, shots);
+  EXPECT_EQ(pe.trials, shots);
+  EXPECT_LT(std::abs(two_proportion_z(pa, pe)), 4.0)
+      << "AUTO " << pa.rate() << " vs EXACT " << pe.rate();
+}
+
+TEST(TimelineCrossValidation, AutoVsExactRepetition51) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  expect_paths_agree(code, make_mesh(5, 2), /*rounds=*/10, /*shots=*/4000,
+                     {4, 2});
+}
+
+TEST(TimelineCrossValidation, AutoVsExactXxzz33) {
+  XXZZCode code(3, 3);
+  expect_paths_agree(code, make_mesh(5, 4), /*rounds=*/6, /*shots=*/1500,
+                     {3, 1});
+}
+
+TEST(TimelineCrossValidation, WindowedVsWholeHistoryRates) {
+  // Shorter windows are an approximation; on a sparse timeline they must
+  // stay statistically indistinguishable from whole-history decoding.
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  EngineOptions opts;
+  opts.rounds = 12;
+  InjectionEngine engine(code, make_mesh(5, 2), opts);
+  const RadiationTimeline timeline = test_timeline(0.1);
+  Rng event_rng(3);
+  const auto events =
+      timeline.sample(12, engine.active_qubits(), event_rng);
+
+  const Proportion windowed =
+      engine.run_timeline(timeline, events, 4000, 42, {6, 3});
+  const Proportion whole =
+      engine.run_timeline(timeline, events, 4000, 42, {12, 0});
+  EXPECT_LT(std::abs(two_proportion_z(windowed, whole)), 4.0)
+      << "windowed " << windowed.rate() << " vs whole " << whole.rate();
+}
+
+TEST(TimelineCampaign, NoEventsWithFullWindowMatchesIntrinsicExactly) {
+  // An empty event list leaves the instrumented circuit identical to the
+  // intrinsic baseline, and window >= rounds is whole-history MWPM — so
+  // run_timeline must reproduce run_intrinsic bit-for-bit.
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  EngineOptions opts;
+  opts.rounds = 6;
+  InjectionEngine engine(code, make_mesh(5, 2), opts);
+  const RadiationTimeline timeline = test_timeline(0.0);
+
+  const Proportion via_timeline =
+      engine.run_timeline(timeline, {}, 3000, 777, {6, 0});
+  const Proportion via_intrinsic = engine.run_intrinsic(3000, 777);
+  EXPECT_EQ(via_timeline.successes, via_intrinsic.successes);
+  EXPECT_EQ(via_timeline.trials, via_intrinsic.trials);
+}
+
+TEST(TimelineCampaign, CampaignSummaryAggregates) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  EngineOptions opts;
+  opts.rounds = 8;
+  opts.whole_history_decoder = false;
+  InjectionEngine engine(code, make_mesh(5, 2), opts);
+  const RadiationTimeline timeline = test_timeline(0.3);
+
+  const TimelineSummary summary =
+      engine.run_timeline_campaign(timeline, 3, 200, 9, {4, 2});
+  EXPECT_EQ(summary.num_timelines, 3u);
+  EXPECT_EQ(summary.errors.trials, 600u);
+  EXPECT_EQ(summary.rounds, 8u);
+  EXPECT_GT(summary.num_windows, 1u);
+  EXPECT_GE(summary.window_decoders, 1u);
+  EXPECT_GT(summary.total_events, 0u);
+  EXPECT_NEAR(summary.mean_events(),
+              static_cast<double>(summary.total_events) / 3.0, 1e-12);
+}
+
+TEST(TimelineCampaign, EngineWithoutWholeHistoryDecoderRejectsOtherRuns) {
+  RepetitionCode code(3, RepetitionFlavor::BIT_FLIP);
+  EngineOptions opts;
+  opts.rounds = 4;
+  opts.whole_history_decoder = false;
+  InjectionEngine engine(code, make_mesh(5, 2), opts);
+  EXPECT_THROW(engine.run_intrinsic(100, 1), InvalidArgument);
+  // run_timeline still works (it brings its own windowed decoder).
+  const RadiationTimeline timeline = test_timeline(0.0);
+  EXPECT_EQ(engine.run_timeline(timeline, {}, 50, 1, {2, 1}).trials, 50u);
+}
+
+// --- syndrome-memoized decoding under the timeline workload --------------
+
+TEST(TimelineDecodeCache, CachedAndUncachedIdenticalAcross10kShots) {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  EngineOptions cached_opts;
+  cached_opts.rounds = 8;
+  cached_opts.decode_cache = true;
+  InjectionEngine cached(code, make_mesh(5, 2), cached_opts);
+
+  EngineOptions plain_opts = cached_opts;
+  plain_opts.decode_cache = false;
+  InjectionEngine plain(code, make_mesh(5, 2), plain_opts);
+
+  const RadiationTimeline timeline = test_timeline(0.2);
+  Rng event_rng(21);
+  const auto events =
+      timeline.sample(8, cached.active_qubits(), event_rng);
+  ASSERT_FALSE(events.empty());
+
+  const std::size_t shots = 10000;
+  const SlidingWindowOptions window{4, 2};
+  const Proportion with_cache =
+      cached.run_timeline(timeline, events, shots, 31337, window);
+  const Proportion without_cache =
+      plain.run_timeline(timeline, events, shots, 31337, window);
+
+  // Identical predictions shot-for-shot => identical error counts.
+  EXPECT_EQ(with_cache.successes, without_cache.successes);
+  EXPECT_EQ(with_cache.trials, without_cache.trials);
+
+  // The hit-rate counter is exposed and the timeline workload re-hits
+  // syndromes (the strike footprint dominates).
+  const DecodeCacheStats stats = cached.decode_cache_stats();
+  EXPECT_GT(stats.lookups, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+  EXPECT_LE(stats.hit_rate(), 1.0);
+  EXPECT_EQ(plain.decode_cache_stats().lookups, 0u);
+}
+
+TEST(TimelineDecodeCache, CachingWrapperBitIdenticalOnWindowedDecoder) {
+  // Direct decoder-level equivalence: a CachingDecoder wrapped around the
+  // sliding-window decoder returns the same prediction for every defect
+  // set, first sight and cache hit alike.
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  EngineOptions opts;
+  opts.rounds = 6;
+  InjectionEngine engine(code, make_mesh(5, 2), opts);
+  SlidingWindowDecoder inner(engine.matching_graph(),
+                             engine.detector_rounds(), 6, {3, 1});
+  SlidingWindowDecoder reference(engine.matching_graph(),
+                                 engine.detector_rounds(), 6, {3, 1});
+  CachingDecoder caching(inner);
+
+  const auto n =
+      static_cast<std::uint32_t>(engine.matching_graph().num_detectors());
+  for (int pass = 0; pass < 2; ++pass) {  // second pass hits the cache
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = a; b < n; ++b) {
+        std::vector<std::uint32_t> defects{a};
+        if (b != a) defects.push_back(b);
+        ASSERT_EQ(caching.decode(defects), reference.decode(defects));
+      }
+    }
+  }
+  EXPECT_GT(caching.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace radsurf
