@@ -23,6 +23,23 @@
 
 namespace radsurf::bench {
 
+/// True when the bench was launched with --smoke: CI runs a tiny shot
+/// budget to validate that the bench executes and emits well-formed JSON,
+/// with no timing assertions (timings from shared runners are noise).
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") return true;
+  return false;
+}
+
+/// Shot budget helper: full budget normally, a fixed tiny budget in smoke
+/// mode.
+inline std::size_t smoke_shots(bool smoke, std::size_t full,
+                               std::size_t tiny = 64) {
+  return smoke ? tiny : full;
+}
+
+
 struct PerfRecord {
   std::string scenario;
   double shots_per_second = 0.0;
@@ -52,6 +69,14 @@ inline double measure_rate(const std::function<std::size_t()>& fn,
       best = static_cast<double>(items) / dt;
   }
   return best;
+}
+
+/// measure_rate with the shared smoke-mode budget policy: two quick reps
+/// in smoke mode (the CI job only validates that the bench runs), the
+/// full best-of measurement otherwise.
+inline double measure_rate_mode(const std::function<std::size_t()>& fn,
+                                bool smoke) {
+  return measure_rate(fn, smoke ? 0.0 : 0.25, smoke ? 2 : 12);
 }
 
 inline std::string json_number(double v) {

@@ -23,11 +23,12 @@ using namespace radsurf;
 using bench::PerfRecord;
 
 constexpr std::size_t kRounds = 200;
-constexpr std::size_t kShots = 512;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const std::size_t kShots = bench::smoke_shots(smoke, 512, 16);
   std::vector<PerfRecord> records;
   std::cout << "perf_timeline (" << kRounds << "-round rep-(5,1) campaign "
             << "shots/s)\n";
@@ -56,10 +57,12 @@ int main() {
                                    window);
   {
     std::uint64_t seed = 1;
-    const double rate = bench::measure_rate([&] {
-      engine.run_timeline(timeline, events, kShots, seed++, window);
-      return kShots;
-    });
+    const double rate = bench::measure_rate_mode(
+        [&] {
+          engine.run_timeline(timeline, events, kShots, seed++, window);
+          return kShots;
+        },
+        smoke);
     records.push_back(
         {"timeline/rep5_200r/window",
          rate,
@@ -77,10 +80,12 @@ int main() {
   {
     const SlidingWindowOptions whole{kRounds, 0};
     std::uint64_t seed = 1;
-    const double rate = bench::measure_rate([&] {
-      engine.run_timeline(timeline, events, kShots, seed++, whole);
-      return kShots;
-    });
+    const double rate = bench::measure_rate_mode(
+        [&] {
+          engine.run_timeline(timeline, events, kShots, seed++, whole);
+          return kShots;
+        },
+        smoke);
     records.push_back(
         {"timeline/rep5_200r/whole_history",
          rate,

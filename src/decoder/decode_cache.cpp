@@ -1,38 +1,111 @@
 #include "decoder/decode_cache.hpp"
 
+#include <algorithm>
+
 namespace radsurf {
+
+namespace {
+
+// Canonical cache key: sorted defect indices, delta-encoded in place.
+void delta_encode_into(const std::uint32_t* sorted, std::size_t size,
+                       std::vector<std::uint32_t>& key) {
+  key.resize(size);
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    key[i] = sorted[i] - prev;
+    prev = sorted[i];
+  }
+}
+
+}  // namespace
 
 CachingDecoder::CachingDecoder(Decoder& inner, std::size_t max_entries)
     : inner_(inner),
+      clusterable_(dynamic_cast<MwpmDecoder*>(&inner)),
       max_entries_per_shard_(max_entries / kNumShards + 1) {}
 
 std::string CachingDecoder::name() const {
   return inner_.name() + "+cache";
 }
 
-std::uint64_t CachingDecoder::decode(
-    const std::vector<std::uint32_t>& defects) {
-  if (defects.empty()) return inner_.decode(defects);
-
-  const std::size_t h = VecHash{}(defects);
+template <typename ComputeFn>
+std::uint64_t CachingDecoder::lookup(const std::vector<std::uint32_t>& key,
+                                     const ComputeFn& miss) {
+  const std::size_t h = VecHash{}(key);
   // unordered_map consumes the low bits; shard on the high ones.
   Shard& shard = shards_[(h >> 58) % kNumShards];
   lookups_.fetch_add(1, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(defects);
+    const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
-  const std::uint64_t prediction = inner_.decode(defects);
+  const std::uint64_t prediction = miss();
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.map.size() < max_entries_per_shard_)
-      shard.map.emplace(defects, prediction);
+      shard.map.emplace(key, prediction);
   }
   return prediction;
+}
+
+std::uint64_t CachingDecoder::decode(
+    const std::vector<std::uint32_t>& defects) {
+  if (defects.empty()) return inner_.decode(defects);
+
+  // Canonicalize once per shot; scratch buffers are thread-local so the
+  // shared engine cache stays allocation-free on the campaign hot path.
+  // Campaign defect lists arrive sorted (detector-index order), so the
+  // copy+sort is reserved for out-of-order callers.
+  thread_local std::vector<std::uint32_t> scratch;
+  thread_local std::vector<std::uint32_t> key;
+  const std::vector<std::uint32_t>* sorted_ptr = &defects;
+  if (!std::is_sorted(defects.begin(), defects.end())) {
+    scratch.assign(defects.begin(), defects.end());
+    std::sort(scratch.begin(), scratch.end());
+    sorted_ptr = &scratch;
+  }
+  const std::vector<std::uint32_t>& sorted = *sorted_ptr;
+
+  delta_encode_into(sorted.data(), sorted.size(), key);
+  if (!clusterable_)
+    return lookup(key, [&] { return inner_.decode(sorted); });
+
+  // Cluster mode: the whole syndrome is looked up first (repeat decodes
+  // stay a single hash probe), and a miss decomposes into locality
+  // clusters, each memoized independently and XORed.  Keys are collision-
+  // safe across levels: a delta-encoded key identifies an absolute defect
+  // list, and a list decodes to the same prediction whether it arrived as
+  // a whole syndrome or as a cluster of a larger one (clusters stay whole
+  // under re-clustering).  Singleton clusters bypass the cache (and its
+  // counters) outright: their prediction is a forced boundary match the
+  // decoder reads off in O(1), cheaper than hashing — the same philosophy
+  // as the empty-syndrome bypass.
+  return lookup(key, [&] {
+    thread_local std::vector<std::uint32_t> flat;
+    thread_local std::vector<std::uint32_t> begins;
+    thread_local std::vector<std::uint32_t> cluster_key;
+    clusterable_->defect_clusters_into(sorted, flat, begins);
+    if (begins.size() == 2)  // one cluster == the whole syndrome
+      return clusterable_->decode_cluster(flat.data(), flat.size());
+    std::uint64_t prediction = 0;
+    for (std::size_t c = 0; c + 1 < begins.size(); ++c) {
+      const std::uint32_t* cluster = flat.data() + begins[c];
+      const std::size_t size = begins[c + 1] - begins[c];
+      if (size == 1) {
+        prediction ^= clusterable_->decode_cluster(cluster, 1);
+        continue;
+      }
+      delta_encode_into(cluster, size, cluster_key);
+      prediction ^= lookup(cluster_key, [&] {
+        return clusterable_->decode_cluster(cluster, size);
+      });
+    }
+    return prediction;
+  });
 }
 
 std::size_t CachingDecoder::size() const {

@@ -9,6 +9,20 @@
 // lock (a racing duplicate decode is harmless — decoders are deterministic
 // functions of the defect set).
 //
+// Keys are canonicalized before hashing: the defect list is sorted and
+// delta-encoded (first index, then successive gaps), so key bytes are
+// small, hash entropy spreads across shards, and permutations of the same
+// syndrome share one entry.
+//
+// When the inner decoder is an MwpmDecoder, memoization is *per locality
+// cluster* instead of per whole syndrome: the decoder's union-find
+// prefilter (see mwpm.hpp) splits the defects into independently-matched
+// clusters whose predictions XOR, so the cache key becomes the cluster —
+// two syndromes that differ only in a far-away defect still share every
+// other cluster's entry.  Cluster vocabularies are tiny (pairs and
+// singletons dominate), which is what lifts radiation-campaign hit rates
+// well above whole-syndrome caching.
+//
 // The empty syndrome bypasses the cache and the hit/lookup counters: it is
 // trivially decoded by every decoder, and counting it would inflate hit
 // rates in low-noise campaigns.  Capacity is bounded per shard; once full,
@@ -24,6 +38,7 @@
 #include <vector>
 
 #include "decoder/decoder.hpp"
+#include "decoder/mwpm.hpp"
 
 namespace radsurf {
 
@@ -43,7 +58,9 @@ struct DecodeCacheStats {
 class CachingDecoder final : public Decoder {
  public:
   /// Wraps `inner` (not owned; must outlive this decoder).  `max_entries`
-  /// bounds the total number of cached syndromes.
+  /// bounds the total number of cached syndromes (cluster keys in cluster
+  /// mode).  Cluster-level memoization engages automatically when `inner`
+  /// is an MwpmDecoder.
   explicit CachingDecoder(Decoder& inner,
                           std::size_t max_entries = std::size_t{1} << 20);
 
@@ -54,13 +71,15 @@ class CachingDecoder final : public Decoder {
     return {hits_.load(std::memory_order_relaxed),
             lookups_.load(std::memory_order_relaxed)};
   }
-  /// Number of cached syndromes (approximate under concurrency).
+  /// Number of cached syndromes / clusters (approximate under concurrency).
   std::size_t size() const;
+  /// True when memoizing per locality cluster (inner is an MwpmDecoder).
+  bool cluster_mode() const { return clusterable_ != nullptr; }
 
  private:
   struct VecHash {
     std::size_t operator()(const std::vector<std::uint32_t>& v) const {
-      // FNV-1a over the defect indices.
+      // FNV-1a over the delta-encoded defect indices.
       std::uint64_t h = 1469598103934665603ULL;
       for (std::uint32_t d : v) {
         h ^= d;
@@ -76,7 +95,14 @@ class CachingDecoder final : public Decoder {
   };
   static constexpr std::size_t kNumShards = 16;
 
+  /// Cached lookup of one canonical (delta-encoded) key; `miss` computes
+  /// the prediction when absent.
+  template <typename ComputeFn>
+  std::uint64_t lookup(const std::vector<std::uint32_t>& key,
+                       const ComputeFn& miss);
+
   Decoder& inner_;
+  MwpmDecoder* clusterable_;  // non-null => per-cluster memoization
   std::size_t max_entries_per_shard_;
   std::array<Shard, kNumShards> shards_;
   std::atomic<std::uint64_t> hits_{0};

@@ -1,6 +1,7 @@
 #include "decoder/mwpm.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -16,72 +17,266 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 // Fixed-point scale when converting path weights for the integer matcher.
 constexpr double kScale = 1e6;
+constexpr std::uint32_t kNoPred = 0xffffffffu;
+// Fixed-point stand-in for an unreachable pair: large enough to lose every
+// comparison, small enough that sums cannot overflow.
+constexpr std::int64_t kInfWeight =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+std::int64_t to_fixed(double w) {
+  if (!std::isfinite(w)) return kInfWeight;
+  return static_cast<std::int64_t>(std::llround(w * kScale));
+}
 }  // namespace
 
-namespace {
-constexpr std::uint32_t kNoPred = 0xffffffffu;
+MwpmDecoder::MwpmDecoder(const MatchingGraph& graph, MwpmOptions options)
+    : graph_(graph), options_(options), rows_(graph.num_nodes()) {
+  for (auto& slot : rows_) slot.store(nullptr, std::memory_order_relaxed);
+  if (!options_.lazy) {
+    // Dense backend: the original eager all-pairs precompute.
+    for (std::uint32_t src = 0; src < graph_.num_nodes(); ++src) (void)row(src);
+  }
 }
 
-MwpmDecoder::MwpmDecoder(const MatchingGraph& graph, bool track_paths)
-    : graph_(graph) {
-  const std::size_t n = graph.num_nodes();
-  dist_.assign(n, std::vector<double>(n, kInf));
-  obs_.assign(n, std::vector<std::uint64_t>(n, 0));
-  if (track_paths) pred_.assign(n, std::vector<std::uint32_t>(n, kNoPred));
+MwpmDecoder::~MwpmDecoder() {
+  for (auto& slot : rows_) delete slot.load(std::memory_order_relaxed);
+}
 
-  // Dijkstra from every node, tracking observable parity along the chosen
-  // shortest path (any minimal path is a valid correction representative)
-  // and, on request, the predecessor chain so the path itself can be
-  // reconstructed for windowed partial commits.  Without tracking, the
-  // writes land in one discarded scratch row.
-  std::vector<std::uint32_t> scratch_pred(track_paths ? 0 : n);
-  for (std::uint32_t src = 0; src < n; ++src) {
-    auto& dist = dist_[src];
-    auto& obs = obs_[src];
-    auto& pred = track_paths ? pred_[src] : scratch_pred;
-    dist[src] = 0.0;
-    using Item = std::pair<double, std::uint32_t>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-    pq.emplace(0.0, src);
-    std::vector<char> done(n, 0);
-    while (!pq.empty()) {
-      const auto [d, v] = pq.top();
-      pq.pop();
-      if (done[v]) continue;
-      done[v] = 1;
-      for (std::uint32_t eid : graph.adjacent_edges(v)) {
-        const MatchingEdge& e = graph.edges()[eid];
-        const std::uint32_t w = (e.a == v) ? e.b : e.a;
-        const double nd = d + e.weight;
-        if (nd < dist[w]) {
-          dist[w] = nd;
-          obs[w] = obs[v] ^ e.observables;
-          pred[w] = v;
-          pq.emplace(nd, w);
-        }
+void MwpmDecoder::compute_row(std::uint32_t src, Row& out) const {
+  const std::size_t n = graph_.num_nodes();
+  out.dist.assign(n, kInf);
+  out.obs.assign(n, 0);
+  if (options_.track_paths) out.pred.assign(n, kNoPred);
+
+  // Dijkstra from src, tracking observable parity along the chosen shortest
+  // path (any minimal path is a valid correction representative) and, on
+  // request, the predecessor chain so the path itself can be reconstructed
+  // for windowed partial commits.
+  out.dist[src] = 0.0;
+  using Item = std::pair<double, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, src);
+  std::vector<char> done(n, 0);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (done[v]) continue;
+    done[v] = 1;
+    for (std::uint32_t eid : graph_.adjacent_edges(v)) {
+      const MatchingEdge& e = graph_.edges()[eid];
+      const std::uint32_t w = (e.a == v) ? e.b : e.a;
+      const double nd = d + e.weight;
+      if (nd < out.dist[w]) {
+        out.dist[w] = nd;
+        out.obs[w] = out.obs[v] ^ e.observables;
+        if (options_.track_paths) out.pred[w] = v;
+        pq.emplace(nd, w);
       }
     }
   }
 }
 
-std::vector<MwpmMatch> MwpmDecoder::match_defects(
-    const std::vector<std::uint32_t>& defects) const {
+const MwpmDecoder::Row& MwpmDecoder::row(std::uint32_t src) const {
+  std::atomic<Row*>& slot = rows_[src];
+  Row* existing = slot.load(std::memory_order_acquire);
+  if (existing) return *existing;
+  auto fresh = std::make_unique<Row>();
+  compute_row(src, *fresh);
+  Row* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_release,
+                                   std::memory_order_acquire)) {
+    rows_built_.fetch_add(1, std::memory_order_relaxed);
+    return *fresh.release();
+  }
+  // Lost the publish race: the winner's row is identical (Dijkstra is a
+  // deterministic function of the graph); drop ours.
+  return *expected;
+}
+
+void MwpmDecoder::defect_clusters_into(
+    const std::vector<std::uint32_t>& defects,
+    std::vector<std::uint32_t>& flat, std::vector<std::uint32_t>& begins) const {
   const std::size_t k = defects.size();
-  std::vector<MwpmMatch> pairs;
-  if (k == 0) return pairs;
+  flat.clear();
+  begins.clear();
+  begins.push_back(0);
+  if (k == 0) return;
+  if (!options_.cluster || k <= 2) {
+    flat.assign(defects.begin(), defects.end());
+    begins.push_back(static_cast<std::uint32_t>(k));
+    return;
+  }
+
   const std::uint32_t B = graph_.boundary_node();
+  // Small fixed-capacity scratch keeps the campaign hot path allocation-
+  // free; defect counts beyond it fall back to heap scratch.
+  constexpr std::size_t kStack = 32;
+  std::int64_t boundary_stack[kStack];
+  std::uint32_t parent_stack[kStack];
+  std::vector<std::int64_t> boundary_heap;
+  std::vector<std::uint32_t> parent_heap;
+  std::int64_t* to_boundary = boundary_stack;
+  std::uint32_t* parent = parent_stack;
+  if (k > kStack) {
+    boundary_heap.resize(k);
+    parent_heap.resize(k);
+    to_boundary = boundary_heap.data();
+    parent = parent_heap.data();
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    to_boundary[i] = to_fixed(row(defects[i]).dist[B]);
+    parent[i] = static_cast<std::uint32_t>(i);
+  }
+
+  // Union-find over defect indices: i and j may share a cluster only when
+  // matching them directly can beat (or tie) two boundary exits; when
+  // d(i, j) is strictly worse in fixed point, every minimum-weight matching
+  // replaces the pair by boundary matches, so the cut is exact.  Ties stay
+  // united, which is always safe (one merged subproblem).
+  auto find = [&parent](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& di = row(defects[i]).dist;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (to_fixed(di[defects[j]]) <= to_boundary[i] + to_boundary[j])
+        parent[find(static_cast<std::uint32_t>(i))] =
+            find(static_cast<std::uint32_t>(j));
+    }
+  }
+
+  // Emit clusters in order of their first member, preserving input order
+  // within each cluster.  Roots are flattened first so a plain equality
+  // scan finds every member regardless of union direction.
+  char done_stack[kStack];
+  std::vector<char> done_heap;
+  char* done = done_stack;
+  if (k > kStack) {
+    done_heap.assign(k, 0);
+    done = done_heap.data();
+  } else {
+    std::fill(done, done + k, 0);
+  }
+  for (std::size_t i = 0; i < k; ++i)
+    parent[i] = find(static_cast<std::uint32_t>(i));
+  flat.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (done[i]) continue;
+    const std::uint32_t r = parent[i];
+    for (std::size_t j = i; j < k; ++j) {
+      if (parent[j] == r) {
+        flat.push_back(defects[j]);
+        done[j] = 1;
+      }
+    }
+    begins.push_back(static_cast<std::uint32_t>(flat.size()));
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> MwpmDecoder::defect_clusters(
+    const std::vector<std::uint32_t>& defects) const {
+  std::vector<std::uint32_t> flat;
+  std::vector<std::uint32_t> begins;
+  defect_clusters_into(defects, flat, begins);
+  std::vector<std::vector<std::uint32_t>> clusters;
+  for (std::size_t c = 0; c + 1 < begins.size(); ++c)
+    clusters.emplace_back(flat.begin() + begins[c],
+                          flat.begin() + begins[c + 1]);
+  return clusters;
+}
+
+namespace {
+// Largest cluster handled by the exact subset-DP matcher; beyond this the
+// general blossom matcher takes over.  2^k * k work and an 8 KiB table at
+// the cap — far below blossom's constant for the small clusters the
+// locality prefilter produces.
+constexpr std::size_t kDpMaxCluster = 10;
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  return (a >= kInfWeight || b >= kInfWeight) ? kInfWeight : a + b;
+}
+}  // namespace
+
+void MwpmDecoder::match_cluster(const std::uint32_t* cluster,
+                                std::size_t size,
+                                std::vector<MwpmMatch>& pairs) const {
+  const std::size_t k = size;
+  const std::uint32_t B = graph_.boundary_node();
+  if (k == 1) {
+    const double db = row(cluster[0]).dist[B];
+    if (!std::isfinite(db))
+      throw DecodeError("defect cannot reach the boundary or a partner");
+    pairs.push_back({cluster[0], B});
+    return;
+  }
+
+  if (k <= kDpMaxCluster) {
+    // Exact minimum-weight matching by subset DP: M(S) is the cost of
+    // resolving the defect subset S, peeling the lowest member i of S
+    // either to the boundary or against a partner j.  Tie preference —
+    // internal pair over boundary exit, lowest partner index first —
+    // mirrors the blossom matcher's observed choices, which the
+    // sparse-vs-dense property tests pin down.
+    std::int64_t w[kDpMaxCluster][kDpMaxCluster];
+    std::int64_t wb[kDpMaxCluster];
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& di = row(cluster[i]).dist;
+      wb[i] = to_fixed(di[B]);
+      for (std::size_t j = i + 1; j < k; ++j)
+        w[i][j] = to_fixed(di[cluster[j]]);
+    }
+    const std::uint32_t full = (1u << k) - 1;
+    std::int64_t cost[1u << kDpMaxCluster];
+    std::uint8_t partner[1u << kDpMaxCluster];  // k == boundary
+    cost[0] = 0;
+    for (std::uint32_t S = 1; S <= full; ++S) {
+      const auto i = static_cast<std::uint32_t>(std::countr_zero(S));
+      const std::uint32_t rest = S & (S - 1);  // S without i
+      std::int64_t best = sat_add(wb[i], cost[rest]);
+      std::uint8_t best_partner = static_cast<std::uint8_t>(k);
+      for (std::uint32_t j = i + 1; j < k; ++j) {
+        if (!(rest >> j & 1)) continue;
+        const std::int64_t cand =
+            sat_add(w[i][j], cost[rest & ~(1u << j)]);
+        if (cand < best ||
+            (cand == best && best_partner == static_cast<std::uint8_t>(k))) {
+          best = cand;
+          best_partner = static_cast<std::uint8_t>(j);
+        }
+      }
+      cost[S] = best;
+      partner[S] = best_partner;
+    }
+    if (cost[full] >= kInfWeight)
+      throw DecodeError("defect cannot reach the boundary or a partner");
+    for (std::uint32_t S = full; S != 0;) {
+      const auto i = static_cast<std::uint32_t>(std::countr_zero(S));
+      const std::uint8_t j = partner[S];
+      if (j == static_cast<std::uint8_t>(k)) {
+        pairs.push_back({cluster[i], B});
+        S &= S - 1;
+      } else {
+        pairs.push_back({cluster[i], cluster[j]});
+        S = (S & (S - 1)) & ~(1u << j);
+      }
+    }
+    return;
+  }
 
   // Nodes 0..k-1: defects; k..2k-1: per-defect virtual boundary copies.
   DenseMatcher matcher(2 * k);
-  auto to_fixed = [](double w) {
-    return static_cast<std::int64_t>(std::llround(w * kScale));
-  };
   for (std::size_t i = 0; i < k; ++i) {
+    const auto& di = row(cluster[i]).dist;
     for (std::size_t j = i + 1; j < k; ++j) {
-      const double d = dist_[defects[i]][defects[j]];
+      const double d = di[cluster[j]];
       if (std::isfinite(d)) matcher.add_edge(i, j, to_fixed(d));
     }
-    const double db = dist_[defects[i]][B];
+    const double db = di[B];
     if (std::isfinite(db)) matcher.add_edge(i, k + i, to_fixed(db));
   }
   for (std::size_t i = 0; i < k; ++i)
@@ -89,27 +284,57 @@ std::vector<MwpmMatch> MwpmDecoder::match_defects(
       matcher.add_edge(k + i, k + j, 0);
 
   const std::vector<std::size_t> mate = matcher.solve();
-
-  pairs.reserve((k + 1) / 2);
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t m = mate[i];
     if (m < k) {
-      if (m > i) pairs.push_back({defects[i], defects[m]});
+      if (m > i) pairs.push_back({cluster[i], cluster[m]});
     } else {
-      pairs.push_back({defects[i], B});
+      pairs.push_back({cluster[i], B});
     }
   }
+}
+
+std::vector<MwpmMatch> MwpmDecoder::match_defects(
+    const std::vector<std::uint32_t>& defects) const {
+  std::vector<MwpmMatch> pairs;
+  if (defects.empty()) return pairs;
+  pairs.reserve((defects.size() + 1) / 2);
+  std::vector<std::uint32_t> flat;
+  std::vector<std::uint32_t> begins;
+  defect_clusters_into(defects, flat, begins);
+  for (std::size_t c = 0; c + 1 < begins.size(); ++c)
+    match_cluster(flat.data() + begins[c], begins[c + 1] - begins[c], pairs);
   return pairs;
+}
+
+std::uint64_t MwpmDecoder::decode_cluster(const std::uint32_t* cluster,
+                                          std::size_t size) const {
+  if (size == 1) {
+    // Singleton cluster: forced boundary match — two array reads.
+    const Row& r = row(cluster[0]);
+    const std::uint32_t B = graph_.boundary_node();
+    if (!std::isfinite(r.dist[B]))
+      throw DecodeError("defect cannot reach the boundary or a partner");
+    return r.obs[B];
+  }
+  thread_local std::vector<MwpmMatch> pairs;
+  pairs.clear();
+  match_cluster(cluster, size, pairs);
+  std::uint64_t prediction = 0;
+  for (const MwpmMatch& pair : pairs)
+    prediction ^= row(pair.a).obs[pair.b];
+  return prediction;
 }
 
 std::vector<std::uint32_t> MwpmDecoder::path_nodes(std::uint32_t a,
                                                    std::uint32_t b) const {
-  RADSURF_CHECK_ARG(!pred_.empty(),
+  RADSURF_CHECK_ARG(options_.track_paths,
                     "decoder was built without track_paths");
-  RADSURF_CHECK_ARG(std::isfinite(dist_[a][b]),
+  const Row& r = row(a);
+  RADSURF_CHECK_ARG(std::isfinite(r.dist[b]),
                     "no path between nodes " << a << " and " << b);
   std::vector<std::uint32_t> nodes{b};
-  while (nodes.back() != a) nodes.push_back(pred_[a][nodes.back()]);
+  while (nodes.back() != a) nodes.push_back(r.pred[nodes.back()]);
   std::reverse(nodes.begin(), nodes.end());
   return nodes;
 }
@@ -117,7 +342,7 @@ std::vector<std::uint32_t> MwpmDecoder::path_nodes(std::uint32_t a,
 std::uint64_t MwpmDecoder::decode(const std::vector<std::uint32_t>& defects) {
   std::uint64_t prediction = 0;
   for (const MwpmMatch& pair : match_defects(defects))
-    prediction ^= obs_[pair.a][pair.b];
+    prediction ^= row(pair.a).obs[pair.b];
   return prediction;
 }
 

@@ -1,15 +1,30 @@
 // Minimum-weight perfect-matching decoder (paper Sec. II-D).
 //
-// Construction precomputes, once per matching graph, Dijkstra shortest
-// paths between every pair of nodes (boundary included) together with the
-// parity of observable crossings along those paths.  Per shot, only the
-// defects are matched: a complete graph over the k defects plus k virtual
-// boundary copies (w(d_i, b_i) = dist to boundary, w(b_i, b_j) = 0) is
-// handed to the exact blossom matcher, and the predicted observable flip
-// is the XOR of path parities over matched pairs.
+// Two distance backends share one matching pipeline:
+//
+//  * SPARSE (default): construction stores only the adjacency-list graph;
+//    per-node Dijkstra rows (distance, observable parity, predecessor) are
+//    grown on demand the first time a node appears as a defect and then
+//    memoized for every later shot.  Construction is O(E) instead of the
+//    dense all-pairs O(V * E log V), and memory is O(touched_nodes * V)
+//    instead of O(V^2) — radiation campaigns touch a small, hot subset of
+//    detectors, so most rows are never built.
+//  * DENSE: the original eager all-pairs precompute, kept as the
+//    bit-for-bit validation oracle for the sparse backend.
+//
+// Per shot, defects are first split into locality clusters by a union-find
+// prefilter: defects i, j join one cluster only when d(i, j) can beat
+// matching both to the boundary (strictly, in the matcher's fixed-point
+// weights), so no minimum-weight matching pairs defects across clusters.
+// Exact blossom then runs independently per cluster — small subproblems
+// instead of one k-complete graph, which removes the k^2..k^3 cliff on
+// high-defect-count radiation shots and gives the syndrome cache a
+// composable per-cluster key (see decode_cache.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "decoder/decoder.hpp"
@@ -23,14 +38,30 @@ struct MwpmMatch {
   std::uint32_t b = 0;
 };
 
+struct MwpmOptions {
+  /// Additionally record shortest-path predecessors so path_nodes() can
+  /// reconstruct correction paths — needed only by the sliding-window
+  /// decoder's partial commits.
+  bool track_paths = false;
+  /// Grow and memoize Dijkstra rows on demand (default) instead of the
+  /// dense eager all-pairs precompute.
+  bool lazy = true;
+  /// Split defects into locality clusters before blossom.  Off reproduces
+  /// the single whole-defect-set matching problem (validation oracle).
+  bool cluster = true;
+};
+
 class MwpmDecoder final : public Decoder {
  public:
-  /// `track_paths` additionally records shortest-path predecessors (an
-  /// extra n^2 table) so path_nodes() can reconstruct correction paths —
-  /// needed only by the sliding-window decoder's partial commits.
-  explicit MwpmDecoder(const MatchingGraph& graph, bool track_paths = false);
+  explicit MwpmDecoder(const MatchingGraph& graph, MwpmOptions options);
+  /// Compatibility constructor: sparse backend, clustering on.
+  explicit MwpmDecoder(const MatchingGraph& graph, bool track_paths = false)
+      : MwpmDecoder(graph, MwpmOptions{track_paths, true, true}) {}
+  ~MwpmDecoder() override;
 
   std::string name() const override { return "mwpm"; }
+  /// Thread-safe (lazy rows publish atomically; a racing duplicate compute
+  /// is discarded), as required by the campaign engine's parallel chunks.
   std::uint64_t decode(const std::vector<std::uint32_t>& defects) override;
 
   /// The minimum-weight matching itself (each defect appears in exactly one
@@ -39,6 +70,28 @@ class MwpmDecoder final : public Decoder {
   std::vector<MwpmMatch> match_defects(
       const std::vector<std::uint32_t>& defects) const;
 
+  /// Locality clusters of a defect set: within each cluster, defect order
+  /// follows the input; no minimum-weight matching pairs defects from
+  /// different clusters.  With clustering disabled, one cluster holds all
+  /// defects.  Exposed for per-cluster syndrome caching.
+  std::vector<std::vector<std::uint32_t>> defect_clusters(
+      const std::vector<std::uint32_t>& defects) const;
+
+  /// Allocation-free variant: cluster c spans
+  /// flat[begins[c] .. begins[c + 1]); begins.size() == #clusters + 1.
+  void defect_clusters_into(const std::vector<std::uint32_t>& defects,
+                            std::vector<std::uint32_t>& flat,
+                            std::vector<std::uint32_t>& begins) const;
+
+  /// Observable prediction for one cluster returned by defect_clusters().
+  /// decode() == XOR of decode_cluster over the clusters.
+  std::uint64_t decode_cluster(
+      const std::vector<std::uint32_t>& cluster) const {
+    return decode_cluster(cluster.data(), cluster.size());
+  }
+  std::uint64_t decode_cluster(const std::uint32_t* cluster,
+                               std::size_t size) const;
+
   /// Node sequence of the shortest path decode() charges for (a, b) —
   /// inclusive of both endpoints.  The observable crossed by hop i is
   /// path_observables(a, nodes[i]) ^ path_observables(a, nodes[i + 1]).
@@ -46,22 +99,39 @@ class MwpmDecoder final : public Decoder {
   std::vector<std::uint32_t> path_nodes(std::uint32_t a,
                                         std::uint32_t b) const;
 
-  /// Precomputed node-to-node shortest-path weight (infinity when
-  /// unreachable).
+  /// Node-to-node shortest-path weight (infinity when unreachable).
+  /// Lazily materialized under the sparse backend.
   double distance(std::uint32_t a, std::uint32_t b) const {
-    return dist_[a][b];
+    return row(a).dist[b];
   }
   std::uint64_t path_observables(std::uint32_t a, std::uint32_t b) const {
-    return obs_[a][b];
+    return row(a).obs[b];
+  }
+
+  /// Dijkstra rows materialized so far (== num_nodes() for DENSE).
+  std::size_t rows_materialized() const {
+    return rows_built_.load(std::memory_order_relaxed);
   }
 
  private:
+  struct Row {
+    std::vector<double> dist;
+    std::vector<std::uint64_t> obs;
+    std::vector<std::uint32_t> pred;  // empty unless track_paths
+  };
+
+  const Row& row(std::uint32_t src) const;
+  void compute_row(std::uint32_t src, Row& out) const;
+  void match_cluster(const std::uint32_t* cluster, std::size_t size,
+                     std::vector<MwpmMatch>& pairs) const;
+
   MatchingGraph graph_;  // owned copy: decoders must outlive any temporary
-  std::vector<std::vector<double>> dist_;
-  std::vector<std::vector<std::uint64_t>> obs_;
-  // pred_[src][v]: node preceding v on the chosen shortest path from src.
-  // Empty unless constructed with track_paths.
-  std::vector<std::vector<std::uint32_t>> pred_;
+  MwpmOptions options_;
+  // rows_[src]: lazily published Dijkstra row (atomic pointer; losers of a
+  // racing compute delete their copy).  The vector itself is never resized
+  // after construction, so slot addresses stay stable.
+  mutable std::vector<std::atomic<Row*>> rows_;
+  mutable std::atomic<std::size_t> rows_built_{0};
 };
 
 }  // namespace radsurf

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "detector/error_model.hpp"
+#include "stab/compact_tableau.hpp"
 #include "stab/frame_sim.hpp"
 #include "stab/tableau_sim.hpp"
 #include "util/parallel.hpp"
@@ -45,6 +47,71 @@ double expected_residual_fraction(const Circuit& circuit,
   }
   return 1.0 - survive;
 }
+
+// One residual shot of a frame batch, with the conditioning signature the
+// exact replay must pin (see ResidualDetail / ReplayConstraint).
+struct ResidualShot {
+  std::vector<std::uint32_t> fired;  // fired reference-random sites, sorted
+  std::uint32_t strike = 0;
+  bool has_strike = false;
+};
+
+// The shot-independent half of every replay constraint: raw ordinals of
+// the reference-random RESET_ERROR sites with nonzero probability, in
+// circuit order.
+std::vector<std::uint32_t> reference_random_sites(
+    const Circuit& circuit, const ReferenceTrace& trace) {
+  std::vector<std::uint32_t> sites;
+  std::size_t site = 0;
+  for (const Instruction& ins : circuit.instructions()) {
+    if (ins.gate != Gate::RESET_ERROR) continue;
+    for (std::size_t i = 0; i < ins.targets.size(); ++i, ++site) {
+      if (trace.reset_sites[site] == 0 && ins.args[0] > 0.0)
+        sites.push_back(static_cast<std::uint32_t>(site));
+    }
+  }
+  return sites;
+}
+
+// Exact sampler over a shared precompiled tape: the compact single-word
+// engine when the device fits, the generic tableau otherwise.  One
+// instance per replay worker; the tape is compiled once per campaign.
+class ReplayEngine {
+ public:
+  ReplayEngine(const std::shared_ptr<const CircuitTape>& tape,
+               const Circuit& circuit) {
+    if (CompactTableauSimulator::supports(circuit.num_qubits()))
+      compact_ = std::make_unique<CompactTableauSimulator>(tape);
+    else
+      generic_ = std::make_unique<TableauSimulator>(circuit, tape);
+  }
+
+  void sample_into(Rng& rng, BitVec& record) {
+    if (compact_) compact_->sample_into(rng, record);
+    else generic_->sample_into(rng, record);
+  }
+  void sample_with_erasure_into(Rng& rng,
+                                const std::vector<std::uint32_t>& corrupted,
+                                BitVec& record) {
+    if (compact_) compact_->sample_with_erasure_into(rng, corrupted, record);
+    else generic_->sample_with_erasure_into(rng, corrupted, record);
+  }
+  void sample_replay_into(Rng& rng,
+                          const std::vector<std::uint32_t>* corrupted,
+                          const ReplayConstraint& constraint,
+                          BitVec& record) {
+    if (compact_) compact_->sample_replay_into(rng, corrupted, constraint,
+                                               record);
+    else generic_->sample_replay_into(rng, corrupted, constraint, record);
+  }
+
+ private:
+  std::unique_ptr<CompactTableauSimulator> compact_;
+  std::unique_ptr<TableauSimulator> generic_;
+};
+
+// Salt separating the replay phase's RNG streams from the frame phase's.
+constexpr std::uint64_t kReplaySalt = 0x7265706c61797221ULL;
 }  // namespace
 
 InjectionEngine::InjectionEngine(const SurfaceCode& code, Graph arch,
@@ -126,69 +193,45 @@ Proportion InjectionEngine::run_circuit(
     }
   }
   std::atomic<std::size_t> errors{0};
+  sampled_shots_.fetch_add(shots, std::memory_order_relaxed);
 
-  // The bit-parallel frame simulator now carries every campaign: pure
-  // Pauli noise exactly, and probabilistic resets / erasures through the
-  // heralded fast path.  Only shots whose herald lands on a reference-
-  // random site fall back to the exact per-shot tableau engine (the
-  // residual mask).  The two engines are cross-validated statistically in
-  // tests; SamplingPath::EXACT forces the baseline methodology.
-  bool use_frame = options_.sampling_path != SamplingPath::EXACT;
+  // Decode one exact record and count the logical error.
+  const auto decode_record = [&](const BitVec& record,
+                                 std::vector<std::uint32_t>& defects,
+                                 std::size_t& local_errors) {
+    detectors_.defects_into(record, reference_, defects);
+    const std::uint64_t predicted = decoder->decode(defects);
+    const std::uint64_t actual =
+        detectors_.observable_values(record, reference_);
+    if ((predicted ^ actual) & 1u) ++local_errors;
+  };
 
-  // One reference-trace walk shared by every chunk.
+  // SamplingPath::AUTO: the bit-parallel frame simulator carries every
+  // shot it can express — pure Pauli noise exactly, probabilistic resets
+  // and erasures through the heralded fast path.  Shots whose herald lands
+  // on a reference-random site are *replayed* through a batched exact
+  // engine, conditioned on the observed herald signature: the selection
+  // into the residual set is a function of those heralds, so resampling
+  // them from scratch would bias the frame/exact mixture.  The replay
+  // engine shares one precompiled tape across workers and collapses to
+  // single-word tableau arithmetic on devices up to 32 qubits.
+
+  // One reference-trace walk shared by every chunk (AUTO only).
   ReferenceTrace trace;
   const bool needs_trace =
-      use_frame && (erase || contains_reset_noise(circuit));
+      options_.sampling_path != SamplingPath::EXACT &&
+      (erase || contains_reset_noise(circuit));
+  double expected_residual = 0.0;
   if (needs_trace) {
     trace =
         TableauSimulator(circuit).reference_trace(erase ? erasure : nullptr);
-    // When (almost) every shot would herald at a reference-random site the
-    // frame batch is pure overhead — go straight to the exact engine.
-    if (expected_residual_fraction(circuit, trace, erase) > 0.9)
-      use_frame = false;
+    expected_residual = expected_residual_fraction(circuit, trace, erase);
   }
 
-  if (use_frame) {
-    parallel_chunks(
-        shots, options_.shots_per_chunk, Rng(seed),
-        [&](const ChunkRange& range, Rng& rng) {
-          std::size_t local_errors = 0;
-          const std::size_t batch = range.end - range.begin;
-          FrameSimulator sim(circuit, batch,
-                             needs_trace ? &trace : nullptr);
-          BitVec residual(batch);
-          const MeasurementFlips flips =
-              erase ? sim.run_with_erasure(rng, *erasure, &residual)
-                    : sim.run(rng, &residual);
-          const auto det_rows = detectors_.detector_flips(flips);
-          const auto obs_rows = detectors_.observable_flips(flips);
-          std::vector<std::uint32_t> defects;
-          std::unique_ptr<TableauSimulator> exact;  // residual shots only
-          BitVec record(detectors_.num_records());
-          for (std::size_t s = 0; s < batch; ++s) {
-            std::uint64_t actual = 0;
-            if (residual.get(s)) {
-              if (!exact) exact = std::make_unique<TableauSimulator>(circuit);
-              if (erase)
-                exact->sample_with_erasure_into(rng, *erasure, record);
-              else
-                exact->sample_into(rng, record);
-              detectors_.defects_into(record, reference_, defects);
-              actual = detectors_.observable_values(record, reference_);
-            } else {
-              defects.clear();
-              for (std::size_t d = 0; d < det_rows.size(); ++d)
-                if (det_rows[d].get(s))
-                  defects.push_back(static_cast<std::uint32_t>(d));
-              for (std::size_t o = 0; o < obs_rows.size(); ++o)
-                if (obs_rows[o].get(s)) actual |= std::uint64_t{1} << o;
-            }
-            const std::uint64_t predicted = decoder->decode(defects);
-            if ((predicted ^ actual) & 1u) ++local_errors;
-          }
-          errors.fetch_add(local_errors, std::memory_order_relaxed);
-        });
-  } else {
+  if (options_.sampling_path == SamplingPath::EXACT) {
+    // The paper's baseline methodology (and the cross-validation oracle):
+    // one generic tableau walk per shot, nothing shared, nothing batched.
+    residual_shots_.fetch_add(shots, std::memory_order_relaxed);
     parallel_chunks(
         shots, options_.shots_per_chunk, Rng(seed),
         [&](const ChunkRange& range, Rng& rng) {
@@ -201,14 +244,123 @@ Proportion InjectionEngine::run_circuit(
               sim.sample_with_erasure_into(rng, *erasure, record);
             else
               sim.sample_into(rng, record);
-            detectors_.defects_into(record, reference_, defects);
+            decode_record(record, defects, local_errors);
+          }
+          errors.fetch_add(local_errors, std::memory_order_relaxed);
+        });
+  } else if (needs_trace &&
+             expected_residual > options_.residual_fraction_threshold) {
+    // (Almost) every shot would be residual: the frame batch is pure
+    // overhead, so every shot goes straight to the batched replay engine —
+    // still exact, still seed-deterministic, but with the tape compiled
+    // once and the single-word tableau doing the collapses.
+    residual_shots_.fetch_add(shots, std::memory_order_relaxed);
+    const auto tape = CircuitTape::compile(circuit);
+    parallel_chunks(
+        shots, options_.shots_per_chunk, Rng(seed),
+        [&](const ChunkRange& range, Rng& rng) {
+          std::size_t local_errors = 0;
+          ReplayEngine sim(tape, circuit);
+          BitVec record(detectors_.num_records());
+          std::vector<std::uint32_t> defects;
+          for (std::size_t s = range.begin; s < range.end; ++s) {
+            if (erase)
+              sim.sample_with_erasure_into(rng, *erasure, record);
+            else
+              sim.sample_into(rng, record);
+            decode_record(record, defects, local_errors);
+          }
+          errors.fetch_add(local_errors, std::memory_order_relaxed);
+        });
+  } else {
+    // Phase 1 — frame batches: decode every expressible shot, collect the
+    // conditioning signature of every residual one.
+    const std::size_t chunk_size = options_.shots_per_chunk;
+    const std::size_t num_chunks =
+        shots == 0 ? 0 : (shots + chunk_size - 1) / chunk_size;
+    std::vector<std::vector<ResidualShot>> residual_by_chunk(num_chunks);
+    parallel_chunks(
+        shots, chunk_size, Rng(seed),
+        [&](const ChunkRange& range, Rng& rng) {
+          std::size_t local_errors = 0;
+          const std::size_t batch = range.end - range.begin;
+          FrameSimulator sim(circuit, batch,
+                             needs_trace ? &trace : nullptr);
+          BitVec residual(batch);
+          ResidualDetail detail;
+          const MeasurementFlips flips =
+              erase ? sim.run_with_erasure(rng, *erasure, &residual, &detail)
+                    : sim.run(rng, &residual, &detail);
+          const auto det_rows = detectors_.detector_flips(flips);
+          const auto obs_rows = detectors_.observable_flips(flips);
+          std::vector<std::uint32_t> defects;
+          auto& chunk_residuals = residual_by_chunk[range.index];
+          for (std::size_t s = 0; s < batch; ++s) {
+            if (residual.get(s)) {
+              ResidualShot shot;
+              for (std::size_t i = 0; i < detail.random_sites.size(); ++i)
+                if (detail.heralds[i].get(s))
+                  shot.fired.push_back(detail.random_sites[i]);
+              if (erase && !detail.strike_ordinals.empty()) {
+                shot.strike = detail.strike_ordinals[s];
+                shot.has_strike = true;
+              }
+              chunk_residuals.push_back(std::move(shot));
+              continue;
+            }
+            defects.clear();
+            for (std::size_t d = 0; d < det_rows.size(); ++d)
+              if (det_rows[d].get(s))
+                defects.push_back(static_cast<std::uint32_t>(d));
+            std::uint64_t actual = 0;
+            for (std::size_t o = 0; o < obs_rows.size(); ++o)
+              if (obs_rows[o].get(s)) actual |= std::uint64_t{1} << o;
             const std::uint64_t predicted = decoder->decode(defects);
-            const std::uint64_t actual =
-                detectors_.observable_values(record, reference_);
             if ((predicted ^ actual) & 1u) ++local_errors;
           }
           errors.fetch_add(local_errors, std::memory_order_relaxed);
         });
+
+    // Phase 2 — flatten (chunk order is deterministic) and group shots
+    // with identical corruption signatures so replay workers share
+    // constraints and the bucketing is schedule-independent.
+    std::vector<ResidualShot> residuals;
+    for (auto& chunk : residual_by_chunk)
+      for (auto& shot : chunk) residuals.push_back(std::move(shot));
+    std::stable_sort(residuals.begin(), residuals.end(),
+                     [](const ResidualShot& a, const ResidualShot& b) {
+                       if (a.fired != b.fired) return a.fired < b.fired;
+                       return a.strike < b.strike;
+                     });
+    residual_shots_.fetch_add(residuals.size(), std::memory_order_relaxed);
+
+    // Phase 3 — conditioned exact replay of the residual shots, batched
+    // through parallel chunks with their own deterministic RNG streams.
+    if (!residuals.empty()) {
+      const auto forced_sites = reference_random_sites(circuit, trace);
+      const auto tape = CircuitTape::compile(circuit);
+      parallel_chunks(
+          residuals.size(), chunk_size, Rng(seed ^ kReplaySalt),
+          [&](const ChunkRange& range, Rng& rng) {
+            std::size_t local_errors = 0;
+            ReplayEngine sim(tape, circuit);
+            BitVec record(detectors_.num_records());
+            std::vector<std::uint32_t> defects;
+            for (std::size_t s = range.begin; s < range.end; ++s) {
+              const ResidualShot& shot = residuals[s];
+              ReplayConstraint constraint;
+              constraint.forced_sites = &forced_sites;
+              constraint.fired = shot.fired.data();
+              constraint.num_fired = shot.fired.size();
+              constraint.strike_ordinal = shot.strike;
+              constraint.has_strike = shot.has_strike;
+              sim.sample_replay_into(rng, erase ? erasure : nullptr,
+                                     constraint, record);
+              decode_record(record, defects, local_errors);
+            }
+            errors.fetch_add(local_errors, std::memory_order_relaxed);
+          });
+    }
   }
 
   if (local_cache) {

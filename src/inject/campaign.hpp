@@ -64,6 +64,14 @@ struct EngineOptions {
   std::size_t shots_per_chunk = 256;
   /// Shot-sampling strategy (AUTO = frame fast path + exact residual).
   SamplingPath sampling_path = SamplingPath::AUTO;
+  /// When the expected residual fraction of an AUTO campaign exceeds this
+  /// threshold, the frame batch is pure overhead and every shot goes
+  /// straight to the batched exact replay engine (the per-shot frame
+  /// bookkeeping would be discarded for almost all shots anyway).  The
+  /// default is the measured break-even on xxzz-(3,3) reset-noise sweeps
+  /// (frame wins up to ~0.55 observed residual, the replay engine from
+  /// ~0.8; see ISSUE 3); 1.0 never skips, 0.0 always skips.
+  double residual_fraction_threshold = 0.7;
   /// Memoize defect-set -> prediction across shots (see decode_cache.hpp).
   bool decode_cache = true;
   /// Build the whole-history decoder at construction.  Its distance tables
@@ -113,6 +121,20 @@ class InjectionEngine {
   /// Cumulative syndrome-cache statistics over every campaign this engine
   /// has run (own decoder and per-call override decoders combined).
   DecodeCacheStats decode_cache_stats() const;
+
+  /// Fraction of sampled shots that took an exact engine rather than the
+  /// bit-parallel frame path, cumulative over every campaign this engine
+  /// has run: AUTO counts its residual (or frame-skipped) shots, EXACT
+  /// counts everything.  The observable cost driver behind
+  /// `speedup_vs_exact` — recorded per scenario in BENCH_perf.json.
+  double residual_fraction() const {
+    const std::uint64_t total =
+        sampled_shots_.load(std::memory_order_relaxed);
+    return total == 0 ? 0.0
+                      : static_cast<double>(residual_shots_.load(
+                            std::memory_order_relaxed)) /
+                            static_cast<double>(total);
+  }
 
   // --- campaigns -----------------------------------------------------------
 
@@ -207,6 +229,9 @@ class InjectionEngine {
   // Stats of the transient caches wrapped around override decoders.
   mutable std::atomic<std::uint64_t> override_cache_hits_{0};
   mutable std::atomic<std::uint64_t> override_cache_lookups_{0};
+  // Residual accounting across campaigns (see residual_fraction()).
+  mutable std::atomic<std::uint64_t> sampled_shots_{0};
+  mutable std::atomic<std::uint64_t> residual_shots_{0};
   BitVec reference_;
   std::vector<std::uint32_t> active_qubits_;
   std::vector<QubitRole> physical_roles_;

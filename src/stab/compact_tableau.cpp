@@ -1,0 +1,372 @@
+#include "stab/compact_tableau.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+
+// Exclusive prefix parity: bit i of the result is the XOR of bits < i of v.
+inline std::uint64_t prefix_xor_exclusive(std::uint64_t v) {
+  std::uint64_t x = v << 1;
+  x ^= x << 1;
+  x ^= x << 2;
+  x ^= x << 4;
+  x ^= x << 8;
+  x ^= x << 16;
+  x ^= x << 32;
+  return x;
+}
+
+inline bool fires(const std::uint64_t threshold, Rng& rng) {
+  return rng.next() <= threshold;
+}
+
+}  // namespace
+
+CompactTableau::CompactTableau(std::size_t num_qubits)
+    : n_(static_cast<std::uint32_t>(num_qubits)) {
+  RADSURF_CHECK_ARG(num_qubits > 0 && num_qubits <= kMaxQubits,
+                    "CompactTableau supports 1.." << kMaxQubits
+                                                  << " qubits, got "
+                                                  << num_qubits);
+  stab_mask_ = ((n_ == kMaxQubits ? 0 : (std::uint64_t{1} << (2 * n_))) -
+                (std::uint64_t{1} << n_));
+  reset_all();
+}
+
+void CompactTableau::reset_all() {
+  for (std::uint32_t q = 0; q < n_; ++q) {
+    xcol_[q] = std::uint64_t{1} << q;         // destabilizer q = X_q
+    zcol_[q] = std::uint64_t{1} << (n_ + q);  // stabilizer q = Z_q
+  }
+  signs_ = 0;
+  known_ = n_ == 32 ? 0xffffffffu : ((1u << n_) - 1);
+  value_ = 0;
+}
+
+void CompactTableau::apply_h(std::uint32_t q) {
+  signs_ ^= xcol_[q] & zcol_[q];
+  std::swap(xcol_[q], zcol_[q]);
+  known_ &= ~(1u << q);
+}
+
+void CompactTableau::apply_s(std::uint32_t q) {
+  signs_ ^= xcol_[q] & zcol_[q];
+  zcol_[q] ^= xcol_[q];
+}
+
+void CompactTableau::apply_s_dag(std::uint32_t q) {
+  apply_s(q);
+  apply_z(q);
+}
+
+void CompactTableau::apply_x(std::uint32_t q) {
+  signs_ ^= zcol_[q];
+  value_ ^= 1u << q;
+}
+
+void CompactTableau::apply_z(std::uint32_t q) { signs_ ^= xcol_[q]; }
+
+void CompactTableau::apply_y(std::uint32_t q) {
+  signs_ ^= xcol_[q] ^ zcol_[q];
+  value_ ^= 1u << q;
+}
+
+void CompactTableau::apply_cx(std::uint32_t c, std::uint32_t t) {
+  signs_ ^= xcol_[c] & zcol_[t] & ~(xcol_[t] ^ zcol_[c]);
+  xcol_[t] ^= xcol_[c];
+  zcol_[c] ^= zcol_[t];
+  // Z_t value: t' = t XOR c when the control's Z is classical, otherwise
+  // unknown.  Z_c is untouched (Z on the control commutes with CX).
+  if (known_ & (1u << c)) {
+    value_ ^= ((value_ >> c) & 1u) << t;
+  } else {
+    known_ &= ~(1u << t);
+  }
+}
+
+void CompactTableau::apply_cz(std::uint32_t a, std::uint32_t b) {
+  // Bit-identical to the generic H(b); CX(a,b); H(b) composition (the sign
+  // term algebraically reduces to xa & xb & (za ^ zb)); Z values commute
+  // through, so known bits survive.
+  signs_ ^= xcol_[a] & xcol_[b] & (zcol_[a] ^ zcol_[b]);
+  zcol_[a] ^= xcol_[b];
+  zcol_[b] ^= xcol_[a];
+}
+
+void CompactTableau::apply_swap(std::uint32_t a, std::uint32_t b) {
+  std::swap(xcol_[a], xcol_[b]);
+  std::swap(zcol_[a], zcol_[b]);
+  const std::uint32_t ka = (known_ >> a) & 1u, kb = (known_ >> b) & 1u;
+  const std::uint32_t va = (value_ >> a) & 1u, vb = (value_ >> b) & 1u;
+  known_ = (known_ & ~((1u << a) | (1u << b))) | (kb << a) | (ka << b);
+  value_ = (value_ & ~((1u << a) | (1u << b))) | (vb << a) | (va << b);
+}
+
+bool CompactTableau::deterministic_outcome(std::uint32_t q) {
+  // Sign of the product of the stabilizer rows selected by the
+  // destabilizer X column, accumulated in Aaronson–Gottesman row order.
+  const std::uint64_t low_mask = (std::uint64_t{1} << n_) - 1;
+  const std::uint64_t sel = (xcol_[q] & low_mask) << n_;
+  // Products of zero or one stabilizer rows carry no g-phase: the outcome
+  // is the selected row's sign bit (or +1) — the common case for syndrome
+  // ancillas.
+  if ((sel & (sel - 1)) == 0) return (signs_ & sel) != 0;
+  int phase = 2 * std::popcount(signs_ & sel);
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    const std::uint64_t x1 = xcol_[k] & sel;
+    const std::uint64_t z1 = zcol_[k] & sel;
+    if (!(x1 | z1)) continue;
+    // Exclusive prefix parities stand in for the accumulated scratch Pauli
+    // at each row; the g-phase masks mirror pauli_mul_phase(row, scratch).
+    const std::uint64_t x2 = prefix_xor_exclusive(x1);
+    const std::uint64_t z2 = prefix_xor_exclusive(z1);
+    const std::uint64_t plus = (x1 & ~z1 & x2 & z2) |
+                               (x1 & z1 & ~x2 & z2) |
+                               (~x1 & z1 & x2 & ~z2);
+    const std::uint64_t minus = (x1 & ~z1 & ~x2 & z2) |
+                                (x1 & z1 & x2 & ~z2) |
+                                (~x1 & z1 & x2 & z2);
+    phase += std::popcount(plus) - std::popcount(minus);
+  }
+  phase &= 3;
+  RADSURF_ASSERT_MSG((phase & 1) == 0,
+                     "deterministic measurement with imaginary phase");
+  return phase == 2;
+}
+
+bool CompactTableau::measure(std::uint32_t q, Rng& rng) {
+  if (known_ & (1u << q)) return (value_ >> q) & 1u;
+
+  const std::uint64_t stab_x = xcol_[q] & stab_mask_;
+  if (stab_x == 0) {
+    const bool outcome = deterministic_outcome(q);
+    known_ |= 1u << q;
+    value_ = (value_ & ~(1u << q)) | (std::uint32_t{outcome} << q);
+    return outcome;
+  }
+
+  // Random outcome: batched pivot elimination on single words.
+  const auto pivot =
+      static_cast<std::uint32_t>(std::countr_zero(stab_x));
+  const std::uint64_t pivot_bit = std::uint64_t{1} << pivot;
+  const std::uint64_t m = xcol_[q] & ~pivot_bit;
+  if (m != 0) {
+    const std::uint64_t pivot_sign =
+        (signs_ & pivot_bit) ? ~std::uint64_t{0} : 0;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = (signs_ ^ pivot_sign) & m;
+    for (std::uint32_t k = 0; k < n_; ++k) {
+      const bool xp = (xcol_[k] & pivot_bit) != 0;
+      const bool zp = (zcol_[k] & pivot_bit) != 0;
+      if (!xp && !zp) continue;
+      const std::uint64_t x2 = xcol_[k];
+      const std::uint64_t z2 = zcol_[k];
+      std::uint64_t plus, minus;
+      if (xp && zp) {        // pivot Y: +1 on Z rows, -1 on X rows
+        plus = z2 & ~x2;
+        minus = x2 & ~z2;
+      } else if (xp) {       // pivot X: +1 on Y rows, -1 on Z rows
+        plus = x2 & z2;
+        minus = z2 & ~x2;
+      } else {               // pivot Z: +1 on X rows, -1 on Y rows
+        plus = x2 & ~z2;
+        minus = x2 & z2;
+      }
+      plus &= m;
+      minus &= m;
+      const std::uint64_t carry = lo & plus;
+      lo ^= plus;
+      hi ^= carry;
+      const std::uint64_t borrow = ~lo & minus;
+      lo ^= minus;
+      hi ^= borrow;
+      if (xp) xcol_[k] ^= m;
+      if (zp) zcol_[k] ^= m;
+    }
+    RADSURF_ASSERT_MSG((lo & stab_mask_ & m) == 0,
+                       "stabilizer rowsum produced imaginary phase");
+    signs_ = (signs_ & ~m) | (hi & m);
+  }
+
+  // Destabilizer paired with pivot := old pivot row, and pivot row := +/-
+  // Z_q with the measured sign — fused into one pass over the columns.
+  const std::uint32_t d = pivot - n_;
+  const std::uint64_t d_bit = std::uint64_t{1} << d;
+  const std::uint64_t clear_both = ~(d_bit | pivot_bit);
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    const std::uint64_t x = xcol_[k];
+    const std::uint64_t z = zcol_[k];
+    xcol_[k] = (x & clear_both) | (((x >> pivot) & 1u) << d);
+    zcol_[k] = (z & clear_both) | (((z >> pivot) & 1u) << d);
+  }
+  const bool outcome = rng.next() & 1;
+  zcol_[q] |= pivot_bit;
+  signs_ = (signs_ & clear_both) | (((signs_ >> pivot) & 1u) << d) |
+           (outcome ? pivot_bit : std::uint64_t{0});
+
+  known_ |= 1u << q;
+  value_ = (value_ & ~(1u << q)) | (std::uint32_t{outcome} << q);
+  return outcome;
+}
+
+void CompactTableau::reset(std::uint32_t q, Rng& rng) {
+  if (measure(q, rng)) apply_x(q);
+}
+
+CompactTableauSimulator::CompactTableauSimulator(
+    std::shared_ptr<const CircuitTape> tape)
+    : tape_(std::move(tape)), tableau_(tape_->num_qubits) {}
+
+void CompactTableauSimulator::sample_into(Rng& rng, BitVec& record) {
+  run(rng, nullptr, record, nullptr);
+}
+
+void CompactTableauSimulator::sample_with_erasure_into(
+    Rng& rng, const std::vector<std::uint32_t>& corrupted, BitVec& record) {
+  run(rng, &corrupted, record, nullptr);
+}
+
+void CompactTableauSimulator::sample_replay_into(
+    Rng& rng, const std::vector<std::uint32_t>* corrupted,
+    const ReplayConstraint& constraint, BitVec& record) {
+  run(rng, corrupted, record, &constraint);
+}
+
+void CompactTableauSimulator::run(Rng& rng,
+                                  const std::vector<std::uint32_t>* corrupted,
+                                  BitVec& record,
+                                  const ReplayConstraint* constraint) {
+  CompactTableau& t = tableau_;
+  t.reset_all();
+  RADSURF_ASSERT(record.size() == tape_->num_measurements);
+  record.clear();
+  std::size_t rec = 0;
+  ReplayConstraintCursor cursor{constraint, 0, 0};
+
+  std::size_t strike_at = std::size_t(-1);
+  if (corrupted && !corrupted->empty() && tape_->num_physical_ops > 0) {
+    strike_at = (constraint && constraint->has_strike)
+                    ? constraint->strike_ordinal
+                    : rng.below(tape_->num_physical_ops);
+  }
+  std::size_t physical_ordinal = 0;
+
+  auto apply_one_qubit_pauli_noise = [&](std::uint32_t q,
+                                         std::uint64_t threshold) {
+    if (!fires(threshold, rng)) return;
+    switch (rng.below(3)) {
+      case 0: t.apply_x(q); break;
+      case 1: t.apply_y(q); break;
+      default: t.apply_z(q); break;
+    }
+  };
+
+  for (const CircuitTape::Op& op : tape_->ops) {
+    const std::uint32_t* tg = tape_->targets.data() + op.first;
+    const std::uint32_t nt = op.count;
+
+    if (op.is_physical) {
+      if (physical_ordinal == strike_at)
+        for (std::uint32_t q : *corrupted) t.reset(q, rng);
+      ++physical_ordinal;
+    }
+
+    switch (op.gate) {
+      case Gate::I:
+        break;
+      case Gate::X:
+        for (std::uint32_t i = 0; i < nt; ++i) t.apply_x(tg[i]);
+        break;
+      case Gate::Y:
+        for (std::uint32_t i = 0; i < nt; ++i) t.apply_y(tg[i]);
+        break;
+      case Gate::Z:
+        for (std::uint32_t i = 0; i < nt; ++i) t.apply_z(tg[i]);
+        break;
+      case Gate::H:
+        for (std::uint32_t i = 0; i < nt; ++i) t.apply_h(tg[i]);
+        break;
+      case Gate::S:
+        for (std::uint32_t i = 0; i < nt; ++i) t.apply_s(tg[i]);
+        break;
+      case Gate::S_DAG:
+        for (std::uint32_t i = 0; i < nt; ++i) t.apply_s_dag(tg[i]);
+        break;
+      case Gate::CX:
+        for (std::uint32_t i = 0; i + 1 < nt; i += 2)
+          t.apply_cx(tg[i], tg[i + 1]);
+        break;
+      case Gate::CZ:
+        for (std::uint32_t i = 0; i + 1 < nt; i += 2)
+          t.apply_cz(tg[i], tg[i + 1]);
+        break;
+      case Gate::SWAP:
+        for (std::uint32_t i = 0; i + 1 < nt; i += 2)
+          t.apply_swap(tg[i], tg[i + 1]);
+        break;
+      case Gate::M:
+        for (std::uint32_t i = 0; i < nt; ++i)
+          record.set(rec++, t.measure(tg[i], rng));
+        break;
+      case Gate::R:
+        for (std::uint32_t i = 0; i < nt; ++i) t.reset(tg[i], rng);
+        break;
+      case Gate::MR:
+        for (std::uint32_t i = 0; i < nt; ++i) {
+          const bool m = t.measure(tg[i], rng);
+          record.set(rec++, m);
+          if (m) t.apply_x(tg[i]);
+        }
+        break;
+      case Gate::X_ERROR:
+        for (std::uint32_t i = 0; i < nt; ++i)
+          if (fires(op.threshold, rng)) t.apply_x(tg[i]);
+        break;
+      case Gate::Y_ERROR:
+        for (std::uint32_t i = 0; i < nt; ++i)
+          if (fires(op.threshold, rng)) t.apply_y(tg[i]);
+        break;
+      case Gate::Z_ERROR:
+        for (std::uint32_t i = 0; i < nt; ++i)
+          if (fires(op.threshold, rng)) t.apply_z(tg[i]);
+        break;
+      case Gate::DEPOLARIZE1:
+      case Gate::DEPOLARIZE2:
+        for (std::uint32_t i = 0; i < nt; ++i)
+          apply_one_qubit_pauli_noise(tg[i], op.threshold);
+        break;
+      case Gate::DEPOLARIZE2_UNIFORM:
+        for (std::uint32_t i = 0; i + 1 < nt; i += 2) {
+          if (!fires(op.threshold, rng)) continue;
+          const auto k = rng.below(15) + 1;
+          const auto pa = static_cast<int>(k % 4);
+          const auto pb = static_cast<int>(k / 4);
+          auto apply = [&](std::uint32_t q, int pauli) {
+            if (pauli == 1) t.apply_x(q);
+            else if (pauli == 2) t.apply_z(q);
+            else if (pauli == 3) t.apply_y(q);
+          };
+          apply(tg[i], pa);
+          apply(tg[i + 1], pb);
+        }
+        break;
+      case Gate::RESET_ERROR:
+        for (std::uint32_t i = 0; i < nt; ++i) {
+          bool fired;
+          if (!cursor.pinned(op.site_base + i, fired))
+            fired = fires(op.threshold, rng);
+          if (fired) t.reset(tg[i], rng);
+        }
+        break;
+      default:
+        RADSURF_ASSERT_MSG(false, "unhandled instruction in compact sim");
+    }
+  }
+  RADSURF_ASSERT(rec == record.size());
+}
+
+}  // namespace radsurf

@@ -1,0 +1,110 @@
+// Single-word stabilizer engine for small devices (n <= 32 qubits).
+//
+// The campaign engine's residual shots — heralded resets at reference-
+// random sites, which no Pauli-frame update can express — need an exact
+// per-shot tableau walk.  For the paper's device sizes the whole
+// Aaronson–Gottesman tableau fits in one 64-bit word per qubit column
+// (2n + 1 rows <= 64 with n <= 32), which turns every gate into a couple
+// of register operations and every measurement into a short word-parallel
+// loop:
+//
+//  * random outcomes run the batched pivot elimination of stab/tableau.cpp
+//    collapsed to single words (2-bit packed phase counters in two
+//    registers);
+//  * deterministic outcomes evaluate the sign of the selected stabilizer
+//    product with a prefix-XOR scan per qubit column instead of the
+//    bit-serial scratch accumulation — the per-row Aaronson–Gottesman g
+//    phase needs the parity of the already-accumulated rows, which is
+//    exactly an exclusive prefix-xor over the selected row bits;
+//  * a known-Z fast path skips collapse work entirely: once Z_q is
+//    measured or reset its value stays deterministic under Z-diagonal
+//    gates, CX controls, and collapses of *other* qubits (projectors
+//    commute with a stabilizer ±Z_q), so the dense reset trains of the
+//    radiation model cost O(1) after the first collapse.
+//
+// The engine consumes randomness in exactly the same order as the generic
+// TableauSimulator on the same tape, so the two produce bit-identical
+// records from equal RNG streams — the property the cross-engine test
+// suite pins down.  SamplingPath::EXACT deliberately keeps the generic
+// engine: it is the paper's baseline methodology and the oracle this
+// engine is validated against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stab/tableau_sim.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+
+class CompactTableau {
+ public:
+  static constexpr std::size_t kMaxQubits = 32;
+
+  explicit CompactTableau(std::size_t num_qubits);
+
+  /// Reset to |0...0> (destabilizers X_i, stabilizers Z_i, all Z known).
+  void reset_all();
+
+  void apply_h(std::uint32_t q);
+  void apply_s(std::uint32_t q);
+  void apply_s_dag(std::uint32_t q);
+  void apply_x(std::uint32_t q);
+  void apply_y(std::uint32_t q);
+  void apply_z(std::uint32_t q);
+  void apply_cx(std::uint32_t c, std::uint32_t t);
+  void apply_cz(std::uint32_t a, std::uint32_t b);
+  void apply_swap(std::uint32_t a, std::uint32_t b);
+
+  /// Z-basis measurement; random outcomes consume exactly one rng word
+  /// (identical to Tableau::measure).
+  bool measure(std::uint32_t q, Rng& rng);
+  /// Reset to |0>: measure, then flip if the outcome was 1.
+  void reset(std::uint32_t q, Rng& rng);
+
+ private:
+  bool deterministic_outcome(std::uint32_t q);
+
+  std::uint32_t n_;
+  std::uint64_t stab_mask_;   // bits n..2n-1
+  std::uint64_t xcol_[kMaxQubits];  // bit r = X component of row r
+  std::uint64_t zcol_[kMaxQubits];
+  std::uint64_t signs_;
+  // Known-Z fast path: bit q of known_ set => Z_q is deterministic with
+  // value bit q of value_ (and the tableau state is untouched by measuring
+  // it).
+  std::uint32_t known_ = 0;
+  std::uint32_t value_ = 0;
+};
+
+/// Drop-in exact sampler over a shared precompiled CircuitTape; see the
+/// file comment for the contract with TableauSimulator.
+class CompactTableauSimulator {
+ public:
+  static bool supports(std::size_t num_qubits) {
+    return num_qubits > 0 && num_qubits <= CompactTableau::kMaxQubits;
+  }
+
+  explicit CompactTableauSimulator(std::shared_ptr<const CircuitTape> tape);
+
+  void sample_into(Rng& rng, BitVec& record);
+  void sample_with_erasure_into(Rng& rng,
+                                const std::vector<std::uint32_t>& corrupted,
+                                BitVec& record);
+  /// Conditioned residual re-run; see TableauSimulator::sample_replay_into.
+  void sample_replay_into(Rng& rng,
+                          const std::vector<std::uint32_t>* corrupted,
+                          const ReplayConstraint& constraint, BitVec& record);
+
+ private:
+  void run(Rng& rng, const std::vector<std::uint32_t>* corrupted,
+           BitVec& record, const ReplayConstraint* constraint);
+
+  std::shared_ptr<const CircuitTape> tape_;
+  CompactTableau tableau_;
+};
+
+}  // namespace radsurf

@@ -55,25 +55,29 @@ void FrameSimulator::fill_biased(BitVec& bits, double p, Rng& rng) {
   }
 }
 
-MeasurementFlips FrameSimulator::run(Rng& rng, BitVec* residual) {
-  return run_impl(rng, nullptr, has_trace_ ? &trace_ : nullptr, residual);
+MeasurementFlips FrameSimulator::run(Rng& rng, BitVec* residual,
+                                     ResidualDetail* detail) {
+  return run_impl(rng, nullptr, has_trace_ ? &trace_ : nullptr, residual,
+                  detail);
 }
 
 MeasurementFlips FrameSimulator::run_with_erasure(
-    Rng& rng, const std::vector<std::uint32_t>& corrupted, BitVec* residual) {
+    Rng& rng, const std::vector<std::uint32_t>& corrupted, BitVec* residual,
+    ResidualDetail* detail) {
   if (corrupted.empty())
-    return run_impl(rng, nullptr, has_trace_ ? &trace_ : nullptr, residual);
+    return run_impl(rng, nullptr, has_trace_ ? &trace_ : nullptr, residual,
+                    detail);
   if (has_trace_ && trace_.corrupted == corrupted)
-    return run_impl(rng, &corrupted, &trace_, residual);
+    return run_impl(rng, &corrupted, &trace_, residual, detail);
   // No erasure-aware trace supplied: compute one for this call.
   const ReferenceTrace local =
       TableauSimulator(circuit_).reference_trace(&corrupted);
-  return run_impl(rng, &corrupted, &local, residual);
+  return run_impl(rng, &corrupted, &local, residual, detail);
 }
 
 MeasurementFlips FrameSimulator::run_impl(
     Rng& rng, const std::vector<std::uint32_t>* corrupted,
-    const ReferenceTrace* trace, BitVec* residual) {
+    const ReferenceTrace* trace, BitVec* residual, ResidualDetail* detail) {
   const std::size_t nq = circuit_.num_qubits();
   std::vector<BitVec> xf(nq, BitVec(batch_));
   std::vector<BitVec> zf(nq, BitVec(batch_));
@@ -84,6 +88,13 @@ MeasurementFlips FrameSimulator::run_impl(
     RADSURF_CHECK_ARG(residual->size() == batch_,
                       "residual mask must be sized to the batch");
     residual->clear();
+  }
+  if (detail) {
+    // Reset all conditioning fields: a reused ResidualDetail must never
+    // leak a previous batch's signature into this one.
+    detail->random_sites.clear();
+    detail->heralds.clear();
+    detail->strike_ordinals.clear();
   }
   auto need_residual = [&]() -> BitVec& {
     if (!residual)
@@ -109,6 +120,7 @@ MeasurementFlips FrameSimulator::run_impl(
         strike_of[s] = static_cast<std::uint32_t>(rng.below(P));
         ++counts[strike_of[s] + 1];
       }
+      if (detail) detail->strike_ordinals = strike_of;
       strike_begin.assign(P + 1, 0);
       for (std::size_t k = 1; k <= P; ++k)
         strike_begin[k] = strike_begin[k - 1] + counts[k];
@@ -266,6 +278,14 @@ MeasurementFlips FrameSimulator::run_impl(
           RADSURF_ASSERT(reset_site < trace->reset_sites.size());
           const std::int8_t v = trace->reset_sites[reset_site++];
           fill_biased(mask, ins.args[0], rng);
+          if (v == 0 && detail && ins.args[0] > 0.0) {
+            // Conditioning data: every reference-random site belongs to
+            // the batch signature, fired anywhere in the batch or not
+            // (the replay must pin no-fire outcomes too).
+            detail->random_sites.push_back(
+                static_cast<std::uint32_t>(reset_site - 1));
+            detail->heralds.push_back(mask);
+          }
           if (mask.none()) continue;
           if (v == 0) {
             // Reference is random here: heralded shots leave the frame

@@ -32,6 +32,22 @@ namespace radsurf {
 /// reference in shot s.
 using MeasurementFlips = std::vector<BitVec>;
 
+/// What made each residual shot residual: the herald outcomes at every
+/// reference-random reset site, and (for erasure runs) the per-shot strike
+/// ordinal.  The exact engine replays a residual shot *conditioned* on this
+/// signature (see ReplayConstraint) — resampling the heralds from scratch
+/// would bias the frame/exact mixture, because residual selection is itself
+/// a function of these outcomes.
+struct ResidualDetail {
+  /// Raw reset-site ordinals of the reference-random sites with nonzero
+  /// probability, sorted (one entry per site, fired anywhere or not).
+  std::vector<std::uint32_t> random_sites;
+  /// heralds[i].get(s): the herald of random_sites[i] fired in shot s.
+  std::vector<BitVec> heralds;
+  /// Strike ordinal of every shot (size batch; erasure runs only).
+  std::vector<std::uint32_t> strike_ordinals;
+};
+
 class FrameSimulator {
  public:
   /// `trace`, if supplied, must be the ReferenceTrace of `circuit` (and of
@@ -48,13 +64,17 @@ class FrameSimulator {
   /// that heralded a reset at a reference-random site: their flip rows are
   /// meaningless and the caller must re-run them through the exact engine.
   /// If `residual` is null and such a shot occurs, throws CircuitError.
-  MeasurementFlips run(Rng& rng, BitVec* residual = nullptr);
+  /// `detail`, if non-null, receives the conditioning signature of the
+  /// batch (consumed by the campaign engine's conditioned replay).
+  MeasurementFlips run(Rng& rng, BitVec* residual = nullptr,
+                       ResidualDetail* detail = nullptr);
 
   /// Batch with the shared-instant erasure (see
   /// TableauSimulator::sample_with_erasure for the fault model).
   MeasurementFlips run_with_erasure(Rng& rng,
                                     const std::vector<std::uint32_t>& corrupted,
-                                    BitVec* residual = nullptr);
+                                    BitVec* residual = nullptr,
+                                    ResidualDetail* detail = nullptr);
 
   /// Fill `bits` with independent Bernoulli(p) draws (exposed for tests).
   static void fill_biased(BitVec& bits, double p, Rng& rng);
@@ -64,7 +84,8 @@ class FrameSimulator {
  private:
   MeasurementFlips run_impl(Rng& rng,
                             const std::vector<std::uint32_t>* corrupted,
-                            const ReferenceTrace* trace, BitVec* residual);
+                            const ReferenceTrace* trace, BitVec* residual,
+                            ResidualDetail* detail);
 
   Circuit circuit_;  // owned copy
   std::size_t batch_;

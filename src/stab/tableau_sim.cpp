@@ -24,31 +24,62 @@ bool fires(const std::uint64_t threshold, Rng& rng) {
 
 }  // namespace
 
-TableauSimulator::TableauSimulator(const Circuit& circuit)
-    : circuit_(circuit),
-      num_qubits_(circuit.num_qubits()),
-      tableau_(circuit.num_qubits() > 0 ? circuit.num_qubits() : 1) {
-  RADSURF_CHECK_ARG(num_qubits_ > 0, "cannot simulate an empty circuit");
-  for (const Instruction& ins : circuit_.instructions()) {
+std::shared_ptr<const CircuitTape> CircuitTape::compile(
+    const Circuit& circuit) {
+  auto tape = std::make_shared<CircuitTape>();
+  tape->num_qubits = circuit.num_qubits();
+  tape->num_measurements = circuit.num_measurements();
+  std::uint32_t raw_site = 0;
+  for (const Instruction& ins : circuit.instructions()) {
     const GateInfo& info = gate_info(ins.gate);
     if (info.is_annotation) continue;
-    if (info.is_noise && ins.args[0] <= 0.0) continue;  // never fires
-    TapeOp op;
+    const bool zero_noise = info.is_noise && ins.args[0] <= 0.0;
+    if (ins.gate == Gate::RESET_ERROR) {
+      // Raw ordinals count every site, elided or not, so they align with
+      // ReferenceTrace::reset_sites and the frame simulator.
+      if (zero_noise) {
+        raw_site += static_cast<std::uint32_t>(ins.targets.size());
+        continue;
+      }
+    } else if (zero_noise) {
+      continue;  // never fires
+    }
+    Op op;
     op.gate = ins.gate;
-    op.first = static_cast<std::uint32_t>(flat_targets_.size());
+    op.first = static_cast<std::uint32_t>(tape->targets.size());
     op.count = static_cast<std::uint32_t>(ins.targets.size());
     op.is_physical = !info.is_noise;
     if (info.is_noise) op.threshold = bernoulli_threshold(ins.args[0]);
-    flat_targets_.insert(flat_targets_.end(), ins.targets.begin(),
+    if (ins.gate == Gate::RESET_ERROR) {
+      op.site_base = raw_site;
+      raw_site += op.count;
+    }
+    tape->targets.insert(tape->targets.end(), ins.targets.begin(),
                          ins.targets.end());
-    if (op.is_physical) ++num_physical_ops_;
-    tape_.push_back(op);
+    if (op.is_physical) ++tape->num_physical_ops;
+    tape->ops.push_back(op);
   }
+  return tape;
 }
 
-void TableauSimulator::apply_unitary(const TapeOp& op) {
+TableauSimulator::TableauSimulator(const Circuit& circuit)
+    : TableauSimulator(circuit, CircuitTape::compile(circuit)) {}
+
+TableauSimulator::TableauSimulator(const Circuit& circuit,
+                                   std::shared_ptr<const CircuitTape> tape)
+    : circuit_(circuit),
+      num_qubits_(circuit.num_qubits()),
+      tableau_(circuit.num_qubits() > 0 ? circuit.num_qubits() : 1),
+      tape_(std::move(tape)) {
+  RADSURF_CHECK_ARG(num_qubits_ > 0, "cannot simulate an empty circuit");
+  RADSURF_CHECK_ARG(tape_->num_qubits == num_qubits_ &&
+                        tape_->num_measurements == circuit_.num_measurements(),
+                    "tape was compiled from a different circuit");
+}
+
+void TableauSimulator::apply_unitary(const CircuitTape::Op& op) {
   Tableau& t = tableau_;
-  const std::uint32_t* tg = flat_targets_.data() + op.first;
+  const std::uint32_t* tg = tape_->targets.data() + op.first;
   const std::uint32_t n = op.count;
   switch (op.gate) {
     case Gate::I:
@@ -95,18 +126,24 @@ void TableauSimulator::reference_reset(std::uint32_t q, Rng& rng) {
 
 void TableauSimulator::run(Rng& rng, bool noiseless_reference,
                            const std::vector<std::uint32_t>* corrupted,
-                           BitVec& record) {
+                           BitVec& record,
+                           const ReplayConstraint* constraint) {
   Tableau& t = tableau_;
   t.reset_all();
   RADSURF_ASSERT(record.size() == circuit_.num_measurements());
   record.clear();
   std::size_t rec = 0;
+  ReplayConstraintCursor cursor{constraint, 0, 0};
 
   // Strike instant for the single shared erasure, if any: uniform over the
-  // physical (non-annotation, non-noise) operations, drawn per shot.
+  // physical (non-annotation, non-noise) operations, drawn per shot unless
+  // the replay constraint pins it.
   std::size_t strike_at = std::size_t(-1);
-  if (corrupted && !corrupted->empty() && num_physical_ops_ > 0)
-    strike_at = rng.below(num_physical_ops_);
+  if (corrupted && !corrupted->empty() && tape_->num_physical_ops > 0) {
+    strike_at = (constraint && constraint->has_strike)
+                    ? constraint->strike_ordinal
+                    : rng.below(tape_->num_physical_ops);
+  }
   std::size_t physical_ordinal = 0;
 
   auto apply_one_qubit_pauli_noise = [&](std::uint32_t q,
@@ -120,8 +157,8 @@ void TableauSimulator::run(Rng& rng, bool noiseless_reference,
     }
   };
 
-  for (const TapeOp& op : tape_) {
-    const std::uint32_t* tg = flat_targets_.data() + op.first;
+  for (const CircuitTape::Op& op : tape_->ops) {
+    const std::uint32_t* tg = tape_->targets.data() + op.first;
     const std::uint32_t nt = op.count;
 
     if (op.is_physical) {
@@ -198,9 +235,15 @@ void TableauSimulator::run(Rng& rng, bool noiseless_reference,
         break;
       case Gate::RESET_ERROR:
         // Radiation model (Sec. III-B): non-unitary reset with prob p.
-        if (!noiseless_reference)
-          for (std::uint32_t i = 0; i < nt; ++i)
-            if (fires(op.threshold, rng)) t.reset(tg[i], rng);
+        // Replay-pinned sites reuse the frame phase's herald outcome.
+        if (!noiseless_reference) {
+          for (std::uint32_t i = 0; i < nt; ++i) {
+            bool fired;
+            if (!cursor.pinned(op.site_base + i, fired))
+              fired = fires(op.threshold, rng);
+            if (fired) t.reset(tg[i], rng);
+          }
+        }
         break;
       default:
         apply_unitary(op);
@@ -231,6 +274,12 @@ void TableauSimulator::sample_with_erasure_into(
   run(rng, /*noiseless_reference=*/false, &corrupted, record);
 }
 
+void TableauSimulator::sample_replay_into(
+    Rng& rng, const std::vector<std::uint32_t>* corrupted,
+    const ReplayConstraint& constraint, BitVec& record) {
+  run(rng, /*noiseless_reference=*/false, corrupted, record, &constraint);
+}
+
 BitVec TableauSimulator::reference_sample() {
   Rng dummy(0);
   BitVec record(circuit_.num_measurements());
@@ -245,14 +294,14 @@ ReferenceTrace TableauSimulator::reference_trace(
   // elided zero-probability sites), recording peek_z at every RESET_ERROR
   // site and, when requested, at every (physical instant, corrupted qubit).
   ReferenceTrace trace;
-  trace.num_physical_ops = num_physical_ops_;
+  trace.num_physical_ops = tape_->num_physical_ops;
   if (corrupted) {
     trace.corrupted = *corrupted;
     for (std::uint32_t q : *corrupted) {
       RADSURF_CHECK_ARG(q < num_qubits_,
                         "corrupted qubit " << q << " out of range");
     }
-    trace.erasure_sites.reserve(num_physical_ops_ * corrupted->size());
+    trace.erasure_sites.reserve(tape_->num_physical_ops * corrupted->size());
   }
 
   Tableau& t = tableau_;

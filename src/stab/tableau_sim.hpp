@@ -1,13 +1,23 @@
 // Exact per-shot stabilizer circuit simulator.
 //
-// The constructor compiles the circuit once into a flat instruction tape:
-// annotations are dropped, zero-probability noise channels are elided, and
-// every channel probability is pre-resolved into a 64-bit Bernoulli
-// threshold so the shot loop compares raw RNG words instead of converting
-// to floating point.  One instance owns a single Tableau that is re-zeroed
-// per shot, so campaign chunks run thousands of shots with no per-shot
-// allocation; sample_into() additionally reuses a caller-owned record
-// buffer.
+// The circuit is compiled once into a flat CircuitTape: annotations are
+// dropped, zero-probability noise channels are elided, and every channel
+// probability is pre-resolved into a 64-bit Bernoulli threshold so the shot
+// loop compares raw RNG words instead of converting to floating point.
+// The tape is immutable and shareable (shared_ptr), so a campaign's
+// residual-replay workers all reuse one compile instead of re-walking the
+// circuit per batch.  One simulator instance owns a single Tableau that is
+// re-zeroed per shot, so campaign chunks run thousands of shots with no
+// per-shot allocation; sample_into() additionally reuses a caller-owned
+// record buffer.
+//
+// Replay constraints: the campaign engine's frame fast path hands shots
+// that heralded a reset at a reference-random site back to an exact
+// engine.  Statistical exactness requires those re-runs to be *conditioned*
+// on the observed herald signature (the selection event), not resampled
+// from scratch — sample_replay_into pins the heralds of the reference-
+// random reset sites (and the erasure strike instant) to the first run's
+// values and resamples everything else.
 //
 // Beyond sampling, the simulator computes the ReferenceTrace that the
 // heralded-reset frame fast path needs: the reference value (|0>, |1> or
@@ -16,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -43,9 +54,78 @@ struct ReferenceTrace {
   std::size_t num_physical_ops = 0;
 };
 
+/// Immutable flat compilation of a circuit, shared by the exact engines.
+/// `site_base` of a RESET_ERROR op is the raw reset-site ordinal of its
+/// first target (raw = counting every RESET_ERROR target occurrence in
+/// circuit order, zero-probability sites included), aligning tape walks
+/// with ReferenceTrace::reset_sites and the frame simulator's site indices.
+struct CircuitTape {
+  struct Op {
+    Gate gate;
+    std::uint32_t first = 0;       // offset into targets
+    std::uint32_t count = 0;       // number of targets
+    std::uint32_t site_base = 0;   // raw reset-site ordinal (RESET_ERROR)
+    bool is_physical = false;      // erasure-instant candidate
+    std::uint64_t threshold = 0;   // noise fires iff rng.next() <= threshold
+  };
+
+  std::size_t num_qubits = 0;
+  std::size_t num_measurements = 0;
+  std::size_t num_physical_ops = 0;
+  std::vector<Op> ops;
+  std::vector<std::uint32_t> targets;
+
+  static std::shared_ptr<const CircuitTape> compile(const Circuit& circuit);
+};
+
+/// Conditioning data for one replayed shot (see file comment).  The shared
+/// parts (`forced_sites`) are per-circuit; `fired`/`strike_ordinal` vary
+/// per shot.
+struct ReplayConstraint {
+  /// Sorted raw reset-site ordinals whose herald outcome is pinned (the
+  /// reference-random sites).  Sites not listed resample as usual.
+  const std::vector<std::uint32_t>* forced_sites = nullptr;
+  /// Sorted subset of forced_sites that fired for this shot.
+  const std::uint32_t* fired = nullptr;
+  std::size_t num_fired = 0;
+  /// Pinned erasure strike ordinal (only read when an erasure set is
+  /// supplied); has_strike == false draws it per shot as usual.
+  std::uint32_t strike_ordinal = 0;
+  bool has_strike = false;
+};
+
+/// Two-pointer walk over a ReplayConstraint's forced-site list, shared by
+/// both exact engines so their site handling stays in lockstep (their
+/// bit-for-bit contract depends on it): pinned sites report the recorded
+/// herald without consuming randomness.  Sites must be queried in
+/// ascending order within a shot.
+struct ReplayConstraintCursor {
+  const ReplayConstraint* c = nullptr;
+  std::size_t next_forced = 0;
+  std::size_t next_fired = 0;
+
+  /// True when `site` is pinned; `fired_out` receives the pinned outcome.
+  bool pinned(std::uint32_t site, bool& fired_out) {
+    if (!c || !c->forced_sites) return false;
+    const auto& forced = *c->forced_sites;
+    while (next_forced < forced.size() && forced[next_forced] < site)
+      ++next_forced;
+    if (next_forced == forced.size() || forced[next_forced] != site)
+      return false;
+    while (next_fired < c->num_fired && c->fired[next_fired] < site)
+      ++next_fired;
+    fired_out = next_fired < c->num_fired && c->fired[next_fired] == site;
+    return true;
+  }
+};
+
 class TableauSimulator {
  public:
   explicit TableauSimulator(const Circuit& circuit);
+  /// Reuse a tape compiled from `circuit` (replay workers share one
+  /// compile instead of re-walking the circuit per instance).
+  TableauSimulator(const Circuit& circuit,
+                   std::shared_ptr<const CircuitTape> tape);
 
   /// Run one shot; returns the measurement record (one bit per record).
   /// All randomness comes from `rng`.
@@ -66,6 +146,14 @@ class TableauSimulator {
                                 const std::vector<std::uint32_t>& corrupted,
                                 BitVec& record);
 
+  /// Conditioned re-run of a frame-phase residual shot: heralds at the
+  /// constraint's forced sites (and the strike instant, if pinned) replay
+  /// the first run's outcomes without consuming randomness; everything
+  /// else resamples from `rng`.  `corrupted` may be null.
+  void sample_replay_into(Rng& rng,
+                          const std::vector<std::uint32_t>* corrupted,
+                          const ReplayConstraint& constraint, BitVec& record);
+
   /// Noiseless reference sample: noise channels are skipped and random
   /// measurement outcomes are pinned to 0.  Deterministic.
   BitVec reference_sample();
@@ -78,20 +166,13 @@ class TableauSimulator {
 
   const Circuit& circuit() const { return circuit_; }
   /// Number of non-annotation, non-noise instructions (erasure instants).
-  std::size_t num_physical_ops() const { return num_physical_ops_; }
+  std::size_t num_physical_ops() const { return tape_->num_physical_ops; }
 
  private:
-  struct TapeOp {
-    Gate gate;
-    std::uint32_t first = 0;       // offset into flat_targets_
-    std::uint32_t count = 0;       // number of targets
-    bool is_physical = false;      // erasure-instant candidate
-    std::uint64_t threshold = 0;   // noise fires iff rng.next() <= threshold
-  };
-
   void run(Rng& rng, bool noiseless_reference,
-           const std::vector<std::uint32_t>* corrupted, BitVec& record);
-  void apply_unitary(const TapeOp& op);
+           const std::vector<std::uint32_t>* corrupted, BitVec& record,
+           const ReplayConstraint* constraint = nullptr);
+  void apply_unitary(const CircuitTape::Op& op);
   /// Reference-semantics reset (measure with pinned-zero random outcomes,
   /// then correct), shared by reference_sample and reference_trace.
   void reference_reset(std::uint32_t q, Rng& rng);
@@ -99,9 +180,7 @@ class TableauSimulator {
   Circuit circuit_;  // owned copy: simulators must outlive any temporary
   std::size_t num_qubits_;
   Tableau tableau_;
-  std::vector<TapeOp> tape_;
-  std::vector<std::uint32_t> flat_targets_;
-  std::size_t num_physical_ops_ = 0;
+  std::shared_ptr<const CircuitTape> tape_;
 };
 
 }  // namespace radsurf

@@ -1,0 +1,151 @@
+// The compact single-word tableau engine must consume randomness in the
+// same order and produce bit-identical measurement records as the generic
+// TableauSimulator on the same tape and RNG stream — including under
+// radiation reset noise, shared-instant erasures, and replay constraints.
+// This is the contract that lets the campaign engine swap it into the
+// residual fast path without any statistical revalidation.
+#include "stab/compact_tableau.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "noise/depolarizing.hpp"
+#include "noise/radiation.hpp"
+#include "stab/tableau_sim.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace radsurf {
+namespace {
+
+Circuit transpiled_noisy(const SurfaceCode& code, const Graph& arch,
+                         double p) {
+  const Circuit logical = code.build();
+  const TranspileResult tr = transpile(logical, arch, {});
+  return DepolarizingModel{p}.apply(tr.circuit);
+}
+
+// Bit-identical records over many shots from equal seeds.
+void expect_equivalent(const Circuit& circuit,
+                       const std::vector<std::uint32_t>* corrupted,
+                       int shots, std::uint64_t seed) {
+  ASSERT_TRUE(CompactTableauSimulator::supports(circuit.num_qubits()));
+  TableauSimulator generic(circuit);
+  CompactTableauSimulator compact(CircuitTape::compile(circuit));
+  Rng rng_a(seed);
+  Rng rng_b(seed);
+  BitVec rec_a(circuit.num_measurements());
+  BitVec rec_b(circuit.num_measurements());
+  for (int s = 0; s < shots; ++s) {
+    if (corrupted) {
+      generic.sample_with_erasure_into(rng_a, *corrupted, rec_a);
+      compact.sample_with_erasure_into(rng_b, *corrupted, rec_b);
+    } else {
+      generic.sample_into(rng_a, rec_a);
+      compact.sample_into(rng_b, rec_b);
+    }
+    for (std::size_t r = 0; r < rec_a.size(); ++r)
+      ASSERT_EQ(rec_a.get(r), rec_b.get(r))
+          << "record " << r << " diverged at shot " << s;
+  }
+}
+
+TEST(CompactTableau, MatchesGenericOnRepetitionIntrinsic) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  expect_equivalent(transpiled_noisy(code, make_mesh(5, 2), 2e-2), nullptr,
+                    400, 11);
+}
+
+TEST(CompactTableau, MatchesGenericOnXxzzIntrinsic) {
+  const XXZZCode code(3, 3);
+  expect_equivalent(transpiled_noisy(code, make_mesh(5, 4), 1e-2), nullptr,
+                    300, 13);
+}
+
+TEST(CompactTableau, MatchesGenericUnderRadiationResets) {
+  const XXZZCode code(3, 3);
+  const Graph arch = make_mesh(5, 4);
+  const Circuit noisy = transpiled_noisy(code, arch, 1e-2);
+  const RadiationModel model;
+  const auto probs = model.qubit_probabilities(arch, 2, 1.0, true);
+  expect_equivalent(instrument_reset_noise(noisy, probs), nullptr, 300, 17);
+}
+
+TEST(CompactTableau, MatchesGenericUnderPartialRadiation) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  const Graph arch = make_mesh(5, 2);
+  const Circuit noisy = transpiled_noisy(code, arch, 1e-2);
+  const RadiationModel model;
+  const auto probs = model.qubit_probabilities(arch, 1, 0.35, true);
+  expect_equivalent(instrument_reset_noise(noisy, probs), nullptr, 400, 19);
+}
+
+TEST(CompactTableau, MatchesGenericUnderSharedInstantErasure) {
+  const XXZZCode code(3, 3);
+  const Circuit noisy = transpiled_noisy(code, make_mesh(5, 4), 1e-2);
+  const std::vector<std::uint32_t> corrupted{2, 3, 7};
+  expect_equivalent(noisy, &corrupted, 300, 23);
+}
+
+// Replay constraints must pin heralds identically in both engines.
+TEST(CompactTableau, MatchesGenericUnderReplayConstraints) {
+  const XXZZCode code(3, 3);
+  const Graph arch = make_mesh(5, 4);
+  const Circuit noisy = transpiled_noisy(code, arch, 1e-2);
+  const RadiationModel model;
+  const auto probs = model.qubit_probabilities(arch, 2, 0.6, true);
+  const Circuit circuit = instrument_reset_noise(noisy, probs);
+
+  // Pin a subset of sites: even raw ordinals up to 40, firing every third.
+  std::vector<std::uint32_t> forced;
+  std::vector<std::uint32_t> fired;
+  for (std::uint32_t s = 0; s < 40; s += 2) {
+    forced.push_back(s);
+    if (s % 6 == 0) fired.push_back(s);
+  }
+  ReplayConstraint constraint;
+  constraint.forced_sites = &forced;
+  constraint.fired = fired.data();
+  constraint.num_fired = fired.size();
+
+  TableauSimulator generic(circuit);
+  CompactTableauSimulator compact(CircuitTape::compile(circuit));
+  Rng rng_a(31);
+  Rng rng_b(31);
+  BitVec rec_a(circuit.num_measurements());
+  BitVec rec_b(circuit.num_measurements());
+  for (int s = 0; s < 200; ++s) {
+    generic.sample_replay_into(rng_a, nullptr, constraint, rec_a);
+    compact.sample_replay_into(rng_b, nullptr, constraint, rec_b);
+    for (std::size_t r = 0; r < rec_a.size(); ++r)
+      ASSERT_EQ(rec_a.get(r), rec_b.get(r)) << "record " << r;
+  }
+}
+
+// A pinned strike ordinal must reproduce the erasure of a free-running
+// shot that drew the same ordinal.
+TEST(CompactTableau, PinnedStrikeOrdinalReplaysErasure) {
+  const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  const Circuit noisy = transpiled_noisy(code, make_mesh(5, 2), 0.0);
+  const std::vector<std::uint32_t> corrupted{0, 2};
+  TableauSimulator sim(noisy);
+  CompactTableauSimulator compact(CircuitTape::compile(noisy));
+  for (std::uint32_t ordinal : {0u, 5u, 17u}) {
+    ReplayConstraint constraint;
+    constraint.has_strike = true;
+    constraint.strike_ordinal = ordinal;
+    Rng rng_a(7);
+    Rng rng_b(7);
+    BitVec rec_a(noisy.num_measurements());
+    BitVec rec_b(noisy.num_measurements());
+    sim.sample_replay_into(rng_a, &corrupted, constraint, rec_a);
+    compact.sample_replay_into(rng_b, &corrupted, constraint, rec_b);
+    for (std::size_t r = 0; r < rec_a.size(); ++r)
+      EXPECT_EQ(rec_a.get(r), rec_b.get(r))
+          << "ordinal " << ordinal << " record " << r;
+  }
+}
+
+}  // namespace radsurf
+}  // namespace

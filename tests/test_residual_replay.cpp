@@ -1,0 +1,130 @@
+// Conditioned residual replay: statistical and accounting contracts.
+//
+// The AUTO sampling path hands frame-inexpressible shots to a batched
+// exact replay that is *conditioned* on the observed herald signature.
+// An unconditioned re-run would mix P(record | no random-site herald)
+// with unconditional samples — a bias maximized at intermediate residual
+// fractions, which is exactly where these z-tests sit (f ~ 0.26..0.54 on
+// the single-qubit reset sweeps below).
+#include <gtest/gtest.h>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "inject/campaign.hpp"
+#include "util/stats.hpp"
+
+namespace radsurf {
+namespace {
+
+EngineOptions path_options(SamplingPath path) {
+  EngineOptions opts;
+  opts.sampling_path = path;
+  return opts;
+}
+
+std::vector<double> single_qubit_probs(const Graph& arch, std::uint32_t q,
+                                       double p) {
+  std::vector<double> probs(arch.num_nodes(), 0.0);
+  probs[q] = p;
+  return probs;
+}
+
+/// AUTO (frame + conditioned replay) vs EXACT (per-shot tableau) on a
+/// mid-residual-fraction reset workload.
+void expect_paths_agree_on_reset_probs(double p, std::size_t shots,
+                                       double min_f, double max_f) {
+  const XXZZCode code(3, 3);
+  const Graph arch = make_mesh(5, 4);
+  InjectionEngine auto_engine(code, arch, path_options(SamplingPath::AUTO));
+  InjectionEngine exact_engine(code, arch,
+                               path_options(SamplingPath::EXACT));
+  const auto probs = single_qubit_probs(arch, 2, p);
+  const Proportion pa = auto_engine.run_reset_probs(probs, shots, 77);
+  const Proportion pe = exact_engine.run_reset_probs(probs, shots, 78);
+  EXPECT_LT(std::abs(two_proportion_z(pa, pe)), 4.0)
+      << "AUTO " << pa.rate() << " vs EXACT " << pe.rate() << " at p=" << p;
+  // The scenario must actually exercise the mixed frame/replay regime.
+  EXPECT_GE(auto_engine.residual_fraction(), min_f);
+  EXPECT_LE(auto_engine.residual_fraction(), max_f);
+  EXPECT_DOUBLE_EQ(exact_engine.residual_fraction(), 1.0);
+}
+
+TEST(ResidualReplay, AutoMatchesExactAtModerateResidualFraction) {
+  expect_paths_agree_on_reset_probs(0.02, 6000, 0.1, 0.5);
+}
+
+TEST(ResidualReplay, AutoMatchesExactNearBreakEvenResidualFraction) {
+  expect_paths_agree_on_reset_probs(0.05, 6000, 0.35, 0.75);
+}
+
+TEST(ResidualReplay, FrameSkippedPathMatchesExactAtFullResidual) {
+  // Full-blast strike: expected residual ~1, AUTO takes the frame-skipped
+  // batched replay branch outright.
+  const XXZZCode code(3, 3);
+  const Graph arch = make_mesh(5, 4);
+  InjectionEngine auto_engine(code, arch, path_options(SamplingPath::AUTO));
+  InjectionEngine exact_engine(code, arch,
+                               path_options(SamplingPath::EXACT));
+  const Proportion pa = auto_engine.run_radiation_at(2, 1.0, true, 4000, 5);
+  const Proportion pe = exact_engine.run_radiation_at(2, 1.0, true, 4000, 6);
+  EXPECT_LT(std::abs(two_proportion_z(pa, pe)), 4.0)
+      << "AUTO " << pa.rate() << " vs EXACT " << pe.rate();
+  EXPECT_DOUBLE_EQ(auto_engine.residual_fraction(), 1.0);
+}
+
+TEST(ResidualReplay, ThresholdKnobSelectsEquivalentPipelines) {
+  // Never-skip (frame + conditioned replay) and always-skip (batched
+  // replay for every shot) are different code paths over the same
+  // distribution.
+  const XXZZCode code(3, 3);
+  const Graph arch = make_mesh(5, 4);
+  EngineOptions never = path_options(SamplingPath::AUTO);
+  never.residual_fraction_threshold = 2.0;
+  EngineOptions always = path_options(SamplingPath::AUTO);
+  always.residual_fraction_threshold = 0.0;
+  InjectionEngine frame_engine(code, arch, never);
+  InjectionEngine replay_engine(code, arch, always);
+  const auto probs = single_qubit_probs(arch, 2, 0.05);
+  const Proportion pf = frame_engine.run_reset_probs(probs, 6000, 91);
+  const Proportion pr = replay_engine.run_reset_probs(probs, 6000, 92);
+  EXPECT_LT(std::abs(two_proportion_z(pf, pr)), 4.0)
+      << "frame " << pf.rate() << " vs replay " << pr.rate();
+  EXPECT_DOUBLE_EQ(replay_engine.residual_fraction(), 1.0);
+  EXPECT_LT(frame_engine.residual_fraction(), 1.0);
+}
+
+TEST(ResidualReplay, DeterministicAcrossRepeatedRuns) {
+  // The three-phase pipeline (frame chunks, signature grouping, replay
+  // chunks) must stay a pure function of the seed.
+  const XXZZCode code(3, 3);
+  const Graph arch = make_mesh(5, 4);
+  InjectionEngine engine(code, arch, path_options(SamplingPath::AUTO));
+  const auto probs = single_qubit_probs(arch, 2, 0.05);
+  const Proportion a = engine.run_reset_probs(probs, 2000, 31);
+  const Proportion b = engine.run_reset_probs(probs, 2000, 31);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.trials, b.trials);
+}
+
+TEST(ResidualReplay, ErasureReplayPinsStrikeInstant) {
+  // Erasure residual shots must replay their strike ordinal; the AUTO and
+  // EXACT erasure rates stay statistically identical (xxzz data qubits
+  // give reference-random erasure instants, so this exercises the pinned
+  // path, unlike the rep-5 erasure suite).
+  const XXZZCode code(3, 3);
+  const Graph arch = make_mesh(5, 4);
+  InjectionEngine auto_engine(code, arch, path_options(SamplingPath::AUTO));
+  InjectionEngine exact_engine(code, arch,
+                               path_options(SamplingPath::EXACT));
+  const std::vector<std::uint32_t> corrupted{
+      auto_engine.active_qubits()[0], auto_engine.active_qubits()[2]};
+  const Proportion pa = auto_engine.run_erasure(corrupted, 5000, 101);
+  const Proportion pe = exact_engine.run_erasure(corrupted, 5000, 102);
+  EXPECT_LT(std::abs(two_proportion_z(pa, pe)), 4.0)
+      << "AUTO " << pa.rate() << " vs EXACT " << pe.rate();
+  EXPECT_GT(auto_engine.residual_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace radsurf

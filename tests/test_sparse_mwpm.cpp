@@ -1,0 +1,177 @@
+// Sparse-vs-dense MWPM equivalence.
+//
+// The sparse backend (lazy on-demand Dijkstra rows + union-find defect
+// clustering + subset-DP small-cluster matching) must reproduce the dense
+// eager all-pairs oracle bit for bit: same distances, same observable
+// parities, same predictions on enumerated defect sets, and the same
+// reconstructed correction paths that SlidingWindowDecoder's partial
+// commits consume.
+#include "decoder/mwpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "detector/error_model.hpp"
+#include "noise/depolarizing.hpp"
+
+namespace radsurf {
+namespace {
+
+MatchingGraph circuit_graph(const SurfaceCode& code, double p) {
+  const Circuit noisy = DepolarizingModel{p}.apply(code.build());
+  return MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+}
+
+std::vector<std::uint32_t> random_defects(std::size_t num_detectors,
+                                          std::size_t k, Rng& rng) {
+  std::vector<std::uint32_t> out;
+  while (out.size() < k && out.size() < num_detectors) {
+    const auto d = static_cast<std::uint32_t>(rng.below(num_detectors));
+    if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double matching_weight(const MwpmDecoder& dec,
+                       const std::vector<MwpmMatch>& pairs) {
+  double w = 0.0;
+  for (const MwpmMatch& p : pairs) w += dec.distance(p.a, p.b);
+  return w;
+}
+
+// Enumerated singles and pairs plus deterministic random k-subsets.
+void expect_backends_agree(const MatchingGraph& g, std::uint64_t seed) {
+  MwpmDecoder sparse(g);  // default: lazy + clustered
+  MwpmDecoder dense(g, MwpmOptions{false, /*lazy=*/false, /*cluster=*/false});
+  const auto nd = static_cast<std::uint32_t>(g.num_detectors());
+
+  // Lazy tables must equal the eager ones wherever they are consulted.
+  for (std::uint32_t a = 0; a < nd; a += 3)
+    for (std::uint32_t b = 0; b < g.num_nodes(); b += 2) {
+      EXPECT_DOUBLE_EQ(sparse.distance(a, b), dense.distance(a, b));
+      EXPECT_EQ(sparse.path_observables(a, b), dense.path_observables(a, b));
+    }
+
+  for (std::uint32_t d = 0; d < nd; ++d)
+    EXPECT_EQ(sparse.decode({d}), dense.decode({d})) << "defect " << d;
+
+  for (std::uint32_t a = 0; a < nd; ++a)
+    for (std::uint32_t b = a + 1; b < nd; ++b) {
+      const std::vector<std::uint32_t> defects{a, b};
+      ASSERT_EQ(sparse.decode(defects), dense.decode(defects))
+          << "pair {" << a << ", " << b << "}";
+    }
+
+  Rng rng(seed);
+  for (std::size_t k : {3u, 4u, 6u, 8u, 12u}) {
+    if (k > nd) continue;
+    for (int rep = 0; rep < 60; ++rep) {
+      const auto defects = random_defects(nd, k, rng);
+      ASSERT_EQ(sparse.decode(defects), dense.decode(defects))
+          << "k=" << k << " rep=" << rep;
+      // Equal minimum weight too (the prediction could in principle agree
+      // by luck; the weight pins the matchings to the same optimum).
+      EXPECT_NEAR(matching_weight(sparse, sparse.match_defects(defects)),
+                  matching_weight(dense, dense.match_defects(defects)),
+                  1e-6)
+          << "k=" << k << " rep=" << rep;
+    }
+  }
+}
+
+TEST(SparseMwpm, MatchesDenseOnRepetition5) {
+  expect_backends_agree(
+      circuit_graph(RepetitionCode(5, RepetitionFlavor::BIT_FLIP), 1e-2), 5);
+}
+
+TEST(SparseMwpm, MatchesDenseOnRepetition9) {
+  expect_backends_agree(
+      circuit_graph(RepetitionCode(9, RepetitionFlavor::BIT_FLIP), 1e-2), 9);
+}
+
+TEST(SparseMwpm, MatchesDenseOnRepetition15) {
+  expect_backends_agree(
+      circuit_graph(RepetitionCode(15, RepetitionFlavor::BIT_FLIP), 2e-2),
+      15);
+}
+
+TEST(SparseMwpm, MatchesDenseOnXxzz33) {
+  expect_backends_agree(circuit_graph(XXZZCode(3, 3), 1e-2), 33);
+}
+
+TEST(SparseMwpm, PathReconstructionMatchesDense) {
+  // track_paths predecessors feed SlidingWindowDecoder's partial commits;
+  // lazy rows must reproduce the dense chains node for node.
+  const auto g = circuit_graph(RepetitionCode(9, RepetitionFlavor::BIT_FLIP),
+                               1e-2);
+  MwpmDecoder sparse(g, MwpmOptions{true, true, true});
+  MwpmDecoder dense(g, MwpmOptions{true, false, false});
+  const auto nd = static_cast<std::uint32_t>(g.num_detectors());
+  const std::uint32_t B = g.boundary_node();
+  for (std::uint32_t a = 0; a < nd; a += 2) {
+    for (std::uint32_t b = 0; b < nd; b += 3) {
+      if (a == b || !std::isfinite(dense.distance(a, b))) continue;
+      EXPECT_EQ(sparse.path_nodes(a, b), dense.path_nodes(a, b))
+          << "path " << a << " -> " << b;
+    }
+    if (std::isfinite(dense.distance(a, B)))
+      EXPECT_EQ(sparse.path_nodes(a, B), dense.path_nodes(a, B));
+  }
+}
+
+TEST(SparseMwpm, ClustersPartitionDefectsAndComposePredictions) {
+  const auto g = circuit_graph(RepetitionCode(15, RepetitionFlavor::BIT_FLIP),
+                               1e-2);
+  MwpmDecoder dec(g);
+  Rng rng(7);
+  for (int rep = 0; rep < 40; ++rep) {
+    const auto defects =
+        random_defects(g.num_detectors(), 8, rng);
+    const auto clusters = dec.defect_clusters(defects);
+    std::vector<std::uint32_t> flattened;
+    std::uint64_t composed = 0;
+    for (const auto& cluster : clusters) {
+      flattened.insert(flattened.end(), cluster.begin(), cluster.end());
+      composed ^= dec.decode_cluster(cluster);
+    }
+    std::sort(flattened.begin(), flattened.end());
+    EXPECT_EQ(flattened, defects);
+    EXPECT_EQ(composed, dec.decode(defects));
+  }
+}
+
+TEST(SparseMwpm, LazyRowsGrowOnlyAroundTouchedDefects) {
+  const auto g = circuit_graph(RepetitionCode(15, RepetitionFlavor::BIT_FLIP),
+                               1e-2);
+  MwpmDecoder dec(g);
+  EXPECT_EQ(dec.rows_materialized(), 0u);
+  (void)dec.decode({3, 4});
+  const std::size_t after_first = dec.rows_materialized();
+  EXPECT_GE(after_first, 2u);
+  EXPECT_LE(after_first, 2u);  // only the two defect rows
+  (void)dec.decode({3, 4});    // repeat decode touches nothing new
+  EXPECT_EQ(dec.rows_materialized(), after_first);
+  EXPECT_LT(after_first, g.num_nodes());
+}
+
+TEST(SparseMwpm, DpMatcherAgreesWithBlossomOnLargeClusters) {
+  // Force defect sets past the subset-DP cap so the blossom path engages
+  // on the same graphs, and pin it against the dense oracle.
+  const auto g = circuit_graph(RepetitionCode(15, RepetitionFlavor::BIT_FLIP),
+                               3e-2);
+  MwpmDecoder sparse(g);
+  MwpmDecoder dense(g, MwpmOptions{false, false, false});
+  Rng rng(21);
+  for (int rep = 0; rep < 15; ++rep) {
+    const auto defects = random_defects(g.num_detectors(), 14, rng);
+    ASSERT_EQ(sparse.decode(defects), dense.decode(defects)) << rep;
+  }
+}
+
+}  // namespace
+}  // namespace radsurf
