@@ -1,66 +1,8 @@
-// Extension ablation (paper RQ3): how much does a radiation-aware decoder
-// recover?
-//
-// The paper's decoder is tuned for intrinsic noise only; its RQ3 asks for
-// design guidance for future radiation-capable QEC.  Here the matching
-// graph is rebuilt per strike with the reset field included (X/Z
-// approximation of the reset channel), modelling a decoder co-designed
-// with an on-chip cosmic-ray detector that reports the impact point and
-// intensity.  The gap between the standard and aware rows is the headroom
-// software-only mitigation has.
-#include <exception>
-#include <iostream>
-
-#include "arch/topologies.hpp"
-#include "codes/repetition.hpp"
-#include "codes/xxzz.hpp"
-#include "core/experiments.hpp"
-#include "inject/campaign.hpp"
-#include "util/table.hpp"
-
-using namespace radsurf;
+// Extension ablation (paper RQ3): headroom of a radiation-aware decoder.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "abl_aware_decoder"; see specs/abl_aware_decoder.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = ExperimentOptions::from_args(argc, argv);
-    const std::size_t shots = opts.resolve_shots(1500);
-
-    Table table({"code", "root prob T(t)", "standard LER", "aware LER",
-                 "absolute gain"});
-    struct Config {
-      const char* label;
-      std::unique_ptr<SurfaceCode> code;
-      Graph arch;
-    };
-    std::vector<Config> configs;
-    configs.push_back({"repetition-(5,1)",
-                       std::make_unique<RepetitionCode>(
-                           5, RepetitionFlavor::BIT_FLIP),
-                       make_mesh(5, 2)});
-    configs.push_back({"xxzz-(3,3)", std::make_unique<XXZZCode>(3, 3),
-                       make_mesh(5, 4)});
-
-    for (auto& cfg : configs) {
-      InjectionEngine engine(*cfg.code, cfg.arch, EngineOptions{});
-      for (double t : {0.0, 0.1, 0.2, 0.4}) {
-        const double prob = engine.radiation().temporal(t);
-        const auto standard =
-            engine.run_radiation_at(2, prob, true, shots, opts.seed);
-        const auto aware =
-            engine.run_radiation_at_aware(2, prob, true, shots, opts.seed);
-        table.add_row({cfg.label, Table::fmt(prob, 4),
-                       Table::pct(standard.rate()), Table::pct(aware.rate()),
-                       Table::pct(standard.rate() - aware.rate())});
-      }
-    }
-    std::cout << "== Extension — radiation-aware MWPM (RQ3 headroom) ==\n";
-    std::cout << (opts.csv ? table.to_csv() : table.to_string());
-    std::cout << "note: the aware decoder knows the strike's reset field; "
-                 "the paper's decoder (standard) knows only intrinsic "
-                 "noise\n";
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("abl_aware_decoder", argc, argv);
 }

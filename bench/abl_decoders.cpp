@@ -1,65 +1,8 @@
-// Ablation: decoder choice under radiation (DESIGN.md Sec. 8).
-//
-// The paper fixes MWPM as the decoder (best accuracy/latency trade-off,
-// Sec. II-D).  This bench quantifies what that choice buys under
-// radiation-scale defect densities by re-running a Fig. 5-style strike
-// campaign with the union-find and greedy decoders.
-#include <exception>
-#include <iostream>
-
-#include "arch/topologies.hpp"
-#include "codes/repetition.hpp"
-#include "codes/xxzz.hpp"
-#include "core/experiments.hpp"
-#include "inject/campaign.hpp"
-#include "util/table.hpp"
-
-using namespace radsurf;
+// Ablation: decoder choice under radiation (the paper fixes MWPM).
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "abl_decoders"; see specs/abl_decoders.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = ExperimentOptions::from_args(argc, argv);
-    const std::size_t shots = opts.resolve_shots(1500);
-
-    Table table({"code", "decoder", "intrinsic LER", "strike LER",
-                 "late-event LER"});
-    struct Config {
-      const char* label;
-      std::unique_ptr<SurfaceCode> code;
-      Graph arch;
-    };
-    std::vector<Config> configs;
-    configs.push_back({"repetition-(5,1)",
-                       std::make_unique<RepetitionCode>(
-                           5, RepetitionFlavor::BIT_FLIP),
-                       make_mesh(5, 2)});
-    configs.push_back({"xxzz-(3,3)", std::make_unique<XXZZCode>(3, 3),
-                       make_mesh(5, 4)});
-
-    for (auto& cfg : configs) {
-      for (auto kind : {DecoderKind::MWPM, DecoderKind::UNION_FIND,
-                        DecoderKind::GREEDY}) {
-        EngineOptions eopts;
-        eopts.decoder = kind;
-        InjectionEngine engine(*cfg.code, cfg.arch, eopts);
-        const auto intrinsic = engine.run_intrinsic(shots, opts.seed);
-        const auto strike =
-            engine.run_radiation_at(2, 1.0, true, shots, opts.seed + 1);
-        const auto late =
-            engine.run_radiation_at(2, engine.radiation().temporal(0.5),
-                                    true, shots, opts.seed + 2);
-        table.add_row({cfg.label, decoder_kind_name(kind),
-                       Table::pct(intrinsic.rate()),
-                       Table::pct(strike.rate()), Table::pct(late.rate())});
-      }
-    }
-    std::cout << "== Ablation — decoder choice under radiation ==\n";
-    std::cout << (opts.csv ? table.to_csv() : table.to_string());
-    std::cout << "note: paper uses MWPM throughout (Sec. II-D); union-find "
-                 "and greedy trade accuracy for speed\n";
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("abl_decoders", argc, argv);
 }

@@ -1,61 +1,8 @@
 // Ablation: readout (SPAM) error sensitivity.
-//
-// The paper's intrinsic model (Eq. 4) attaches noise to gates only; real
-// devices also misread measurements (Sec. II-B).  This bench sweeps a
-// readout X-error rate and reports how the intrinsic baseline and the
-// strike-time LER respond — checking that the paper's conclusions are not
-// an artefact of noiseless readout.
-#include <exception>
-#include <iostream>
-
-#include "arch/topologies.hpp"
-#include "codes/repetition.hpp"
-#include "codes/xxzz.hpp"
-#include "core/experiments.hpp"
-#include "inject/campaign.hpp"
-#include "util/table.hpp"
-
-using namespace radsurf;
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "abl_meas_error"; see specs/abl_meas_error.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = ExperimentOptions::from_args(argc, argv);
-    const std::size_t shots = opts.resolve_shots(1500);
-
-    Table table({"code", "meas error", "intrinsic LER", "strike LER"});
-    struct Config {
-      const char* label;
-      std::unique_ptr<SurfaceCode> code;
-      Graph arch;
-    };
-    std::vector<Config> configs;
-    configs.push_back({"repetition-(5,1)",
-                       std::make_unique<RepetitionCode>(
-                           5, RepetitionFlavor::BIT_FLIP),
-                       make_mesh(5, 2)});
-    configs.push_back({"xxzz-(3,3)", std::make_unique<XXZZCode>(3, 3),
-                       make_mesh(5, 4)});
-
-    for (auto& cfg : configs) {
-      for (double pm : {0.0, 1e-3, 1e-2, 5e-2}) {
-        EngineOptions eopts;
-        eopts.measurement_error_rate = pm;
-        InjectionEngine engine(*cfg.code, cfg.arch, eopts);
-        const auto intrinsic = engine.run_intrinsic(shots, opts.seed);
-        const auto strike =
-            engine.run_radiation_at(2, 1.0, true, shots, opts.seed + 1);
-        table.add_row({cfg.label, Table::fmt(pm, 4),
-                       Table::pct(intrinsic.rate()),
-                       Table::pct(strike.rate())});
-      }
-    }
-    std::cout << "== Ablation — readout (SPAM) error sensitivity ==\n";
-    std::cout << (opts.csv ? table.to_csv() : table.to_string());
-    std::cout << "note: paper Eq. 4 attaches noise to gates only (pm = 0 "
-                 "row)\n";
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("abl_meas_error", argc, argv);
 }

@@ -1,63 +1,9 @@
-// Ablation: the paper's E (x) E two-qubit noise (Eq. 4) vs the uniform
-// 15-Pauli depolarizing channel (DESIGN.md Sec. 8).
-//
-// The two channels have different marginals (E (x) E can hit both qubits
-// with probability p^2-ish terms rather than a flat p/15); this bench
-// shows whether the paper's conclusions are sensitive to that choice.
-#include <exception>
-#include <iostream>
-
-#include "arch/topologies.hpp"
-#include "codes/repetition.hpp"
-#include "codes/xxzz.hpp"
-#include "core/experiments.hpp"
-#include "inject/campaign.hpp"
-#include "util/table.hpp"
-
-using namespace radsurf;
+// Ablation: the paper's E (x) E two-qubit noise vs the uniform
+// 15-Pauli depolarizing channel.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "abl_noise_channel"; see specs/abl_noise_channel.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = ExperimentOptions::from_args(argc, argv);
-    const std::size_t shots = opts.resolve_shots(2000);
-
-    Table table({"code", "two-qubit channel", "p", "intrinsic LER",
-                 "strike LER"});
-    struct Config {
-      const char* label;
-      std::unique_ptr<SurfaceCode> code;
-      Graph arch;
-    };
-    std::vector<Config> configs;
-    configs.push_back({"repetition-(5,1)",
-                       std::make_unique<RepetitionCode>(
-                           5, RepetitionFlavor::BIT_FLIP),
-                       make_mesh(5, 2)});
-    configs.push_back({"xxzz-(3,3)", std::make_unique<XXZZCode>(3, 3),
-                       make_mesh(5, 4)});
-
-    for (auto& cfg : configs) {
-      for (double p : {1e-3, 1e-2, 5e-2}) {
-        for (bool uniform : {false, true}) {
-          EngineOptions eopts;
-          eopts.physical_error_rate = p;
-          eopts.uniform_two_qubit = uniform;
-          InjectionEngine engine(*cfg.code, cfg.arch, eopts);
-          const auto intrinsic = engine.run_intrinsic(shots, opts.seed);
-          const auto strike =
-              engine.run_radiation_at(2, 1.0, true, shots, opts.seed + 1);
-          table.add_row({cfg.label,
-                         uniform ? "uniform-15" : "E(x)E (paper)",
-                         Table::fmt(p, 4), Table::pct(intrinsic.rate()),
-                         Table::pct(strike.rate())});
-        }
-      }
-    }
-    std::cout << "== Ablation — two-qubit depolarizing channel ==\n";
-    std::cout << (opts.csv ? table.to_csv() : table.to_string());
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("abl_noise_channel", argc, argv);
 }

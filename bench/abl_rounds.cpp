@@ -1,60 +1,8 @@
-// Ablation: number of stabilisation rounds (extension beyond the paper).
-//
-// The paper's circuits use two stabilisation rounds around the logical
-// operation (Figs 1-2).  More rounds give the decoder more syndrome
-// history but also more gates for the radiation fault to corrupt; this
-// bench measures which effect wins under a strike.
-#include <exception>
-#include <iostream>
-
-#include "arch/topologies.hpp"
-#include "codes/repetition.hpp"
-#include "codes/xxzz.hpp"
-#include "core/experiments.hpp"
-#include "inject/campaign.hpp"
-#include "util/table.hpp"
-
-using namespace radsurf;
+// Ablation: number of stabilisation rounds (the paper uses 2).
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "abl_rounds"; see specs/abl_rounds.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = ExperimentOptions::from_args(argc, argv);
-    const std::size_t shots = opts.resolve_shots(1200);
-
-    Table table({"code", "rounds", "ops", "intrinsic LER", "strike LER"});
-    struct Config {
-      const char* label;
-      std::unique_ptr<SurfaceCode> code;
-      Graph arch;
-    };
-    std::vector<Config> configs;
-    configs.push_back({"repetition-(5,1)",
-                       std::make_unique<RepetitionCode>(
-                           5, RepetitionFlavor::BIT_FLIP),
-                       make_mesh(5, 2)});
-    configs.push_back({"xxzz-(3,3)", std::make_unique<XXZZCode>(3, 3),
-                       make_mesh(5, 4)});
-
-    for (auto& cfg : configs) {
-      for (std::size_t rounds : {2, 3, 4, 6}) {
-        EngineOptions eopts;
-        eopts.rounds = rounds;
-        InjectionEngine engine(*cfg.code, cfg.arch, eopts);
-        const auto intrinsic = engine.run_intrinsic(shots, opts.seed);
-        const auto strike =
-            engine.run_radiation_at(2, 1.0, true, shots, opts.seed + 1);
-        table.add_row({cfg.label, std::to_string(rounds),
-                       std::to_string(engine.transpiled().ops_after),
-                       Table::pct(intrinsic.rate()),
-                       Table::pct(strike.rate())});
-      }
-    }
-    std::cout << "== Ablation — stabilisation round count ==\n";
-    std::cout << (opts.csv ? table.to_csv() : table.to_string());
-    std::cout << "note: paper uses 2 rounds (Figs 1-2)\n";
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("abl_rounds", argc, argv);
 }

@@ -1,45 +1,8 @@
-// Ablation: temporal sample count ns (DESIGN.md Sec. 8).
-//
-// The paper picks ns = 10 equidistant samples of T(t) as the
-// accuracy/cost sweet spot (Sec. III-B).  This bench sweeps ns and reports
-// the event-averaged logical error rate: if coarser step functions move
-// the estimate materially, the choice matters; if not, ns = 10 is safely
-// conservative.
-#include <exception>
-#include <iostream>
-
-#include "arch/topologies.hpp"
-#include "codes/xxzz.hpp"
-#include "core/experiments.hpp"
-#include "inject/campaign.hpp"
-#include "inject/results.hpp"
-#include "util/table.hpp"
-
-using namespace radsurf;
+// Ablation: temporal sample count ns (the paper picks ns = 10).
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "abl_time_sampling"; see specs/abl_time_sampling.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = ExperimentOptions::from_args(argc, argv);
-    const std::size_t shots = opts.resolve_shots(1200);
-
-    Table table({"ns", "event-mean LER", "strike LER", "samples"});
-    const XXZZCode code(3, 3);
-    for (std::size_t ns : {2, 5, 10, 20, 40}) {
-      EngineOptions eopts;
-      eopts.radiation.ns = ns;
-      InjectionEngine engine(code, make_mesh(5, 4), eopts);
-      const auto series = engine.run_radiation_event(
-          2, std::max<std::size_t>(shots / ns, 50), opts.seed);
-      table.add_row({std::to_string(ns), Table::pct(mean_rate(series)),
-                     Table::pct(series.front().rate()),
-                     std::to_string(series.size())});
-    }
-    std::cout << "== Ablation — temporal step-function resolution ns ==\n";
-    std::cout << (opts.csv ? table.to_csv() : table.to_string());
-    std::cout << "note: paper selects ns = 10 (Sec. III-B, Fig. 3)\n";
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("abl_time_sampling", argc, argv);
 }

@@ -1,62 +1,9 @@
 // Extension (paper Sec. VI future work): post-QEC logical-layer fault
-// injection.
-//
-// The physical campaign measures the XXZZ-(3,3) patch's post-QEC logical
-// error rate over a radiation event; those rates then drive logical X
-// faults on one patch of a 5-patch logical GHZ circuit.  The output is the
-// logical-layer corruption probability over the event's time evolution —
-// the analysis pipeline the paper proposes as its next step.
-#include <exception>
-#include <iostream>
-
-#include "arch/topologies.hpp"
-#include "codes/xxzz.hpp"
-#include "core/experiments.hpp"
-#include "core/logical_layer.hpp"
-#include "inject/campaign.hpp"
-#include "util/table.hpp"
-
-using namespace radsurf;
+// injection driven by the physical campaign rates.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "ext_logical_layer"; see specs/ext_logical_layer.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = ExperimentOptions::from_args(argc, argv);
-    const std::size_t shots = opts.resolve_shots(2000);
-
-    // Physical layer: measure the struck patch's LER over the event.
-    const XXZZCode code(3, 3);
-    InjectionEngine engine(code, make_mesh(5, 4), EngineOptions{});
-    const auto series = engine.run_radiation_event(2, shots, opts.seed);
-    const auto base = engine.run_intrinsic(shots, opts.seed + 1);
-    const auto times = engine.radiation().sample_times();
-
-    // Logical layer: 5-patch GHZ, the struck patch's fault rate follows
-    // the event; the others stay at the intrinsic-only rate.
-    const std::size_t patches = 5;
-    const Circuit ghz = logical_ghz_circuit(patches);
-    Table table({"t", "struck patch LER", "GHZ corruption", "baseline"});
-    Rng rng(opts.seed + 99);
-
-    LogicalFaultModel nominal;
-    nominal.x_rate.assign(patches, base.rate());
-    const double baseline = logical_corruption_rate(
-        instrument_logical_faults(ghz, nominal), shots, rng);
-
-    for (std::size_t i = 0; i < series.size(); ++i) {
-      LogicalFaultModel model = nominal;
-      model.x_rate[2] = series[i].rate();  // the struck patch
-      const double corruption = logical_corruption_rate(
-          instrument_logical_faults(ghz, model), shots, rng);
-      table.add_row({Table::fmt(times[i], 2), Table::pct(series[i].rate()),
-                     Table::pct(corruption), Table::pct(baseline)});
-    }
-    std::cout << "== Extension — post-QEC logical-layer fault injection ==\n";
-    std::cout << (opts.csv ? table.to_csv() : table.to_string());
-    std::cout << "note: struck patch = logical qubit 2 of a 5-patch GHZ; "
-                 "rates from the physical XXZZ-(3,3) campaign\n";
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("ext_logical_layer", argc, argv);
 }

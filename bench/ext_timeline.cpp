@@ -1,20 +1,9 @@
 // Timeline extension (beyond the paper): logical error per round under
-// Poisson-arriving radiation events during N-round memory experiments,
-// decoded with sliding windows — repetition-(5,1) on a 5x2 mesh and
-// XXZZ-(3,3) on a 5x4 mesh.
-#include <exception>
-#include <iostream>
-
-#include "core/experiments.hpp"
+// Poisson-arriving radiation events, decoded with sliding windows.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "ext_timeline"; see specs/ext_timeline.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = radsurf::ExperimentOptions::from_args(argc, argv);
-    const auto report = radsurf::ext_timeline(opts);
-    std::cout << report.to_string(opts.csv);
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("ext_timeline", argc, argv);
 }

@@ -1,19 +1,9 @@
 // Reproduces paper Fig. 3: the temporal decay function T(t) = exp(-10 t)
-// and its ns = 10 step approximation T^(t).
-#include <cstdio>
-#include <exception>
-#include <iostream>
-
-#include "core/experiments.hpp"
+// and its ns = 10 step approximation.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "fig3"; see specs/fig3.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = radsurf::ExperimentOptions::from_args(argc, argv);
-    const auto report = radsurf::fig3_temporal_decay();
-    std::cout << report.to_string(opts.csv);
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("fig3", argc, argv);
 }

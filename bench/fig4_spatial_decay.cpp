@@ -1,18 +1,9 @@
 // Reproduces paper Fig. 4: the spatial decay S(d) = n^2/(d+n)^2 heatmap
 // around the particle impact point.
-#include <exception>
-#include <iostream>
-
-#include "core/experiments.hpp"
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "fig4"; see specs/fig4.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = radsurf::ExperimentOptions::from_args(argc, argv);
-    const auto report = radsurf::fig4_spatial_decay();
-    std::cout << report.to_string(opts.csv);
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("fig4", argc, argv);
 }

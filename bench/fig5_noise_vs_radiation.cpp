@@ -1,20 +1,9 @@
 // Reproduces paper Fig. 5: the logical-error landscape over intrinsic
-// physical error rate x radiation-fault time evolution, for the
-// repetition-(5,1) code on a 5x2 mesh and the XXZZ-(3,3) code on a 5x4
-// mesh (root impact on qubit 2, full spatio-temporal fault).
-#include <exception>
-#include <iostream>
-
-#include "core/experiments.hpp"
+// physical error rate x radiation-fault time evolution.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "fig5"; see specs/fig5.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = radsurf::ExperimentOptions::from_args(argc, argv);
-    const auto report = radsurf::fig5_noise_vs_radiation(opts);
-    std::cout << report.to_string(opts.csv);
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("fig5", argc, argv);
 }

@@ -1,19 +1,9 @@
 // Reproduces paper Fig. 6: logical error criticality by code distance
-// under a single non-spreading erasure at t = 0, for the bit-flip
-// repetition family and the XXZZ family.
-#include <exception>
-#include <iostream>
-
-#include "core/experiments.hpp"
+// under a single non-spreading erasure at t = 0.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "fig6"; see specs/fig6.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = radsurf::ExperimentOptions::from_args(argc, argv);
-    const auto report = radsurf::fig6_code_distance(opts);
-    std::cout << report.to_string(opts.csv);
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("fig6", argc, argv);
 }

@@ -1,20 +1,9 @@
-// Reproduces paper Fig. 7: logical error from k simultaneous uncorrelated
-// erasures (connected subgraphs, median) compared against one spatially
-// spreading radiation fault (the red line), for repetition-(15,1) and
-// XXZZ-(3,3).
-#include <exception>
-#include <iostream>
-
-#include "core/experiments.hpp"
+// Reproduces paper Fig. 7: k simultaneous erasures (connected subgraphs)
+// vs one spreading radiation fault.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "fig7"; see specs/fig7.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = radsurf::ExperimentOptions::from_args(argc, argv);
-    const auto report = radsurf::fig7_fault_spread(opts);
-    std::cout << report.to_string(opts.csv);
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("fig7", argc, argv);
 }

@@ -1,19 +1,9 @@
-// Reproduces paper Fig. 8: per-root-qubit median logical error over the
-// full spatio-temporal fault evolution, across hardware architectures
-// (repetition-(11,1) and XXZZ-(3,3)), with the Obs. VII DAG analysis.
-#include <exception>
-#include <iostream>
-
-#include "core/experiments.hpp"
+// Reproduces paper Fig. 8: per-root-qubit median logical error across
+// architectures; includes the Obs. VII DAG analysis.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "fig8"; see specs/fig8.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const auto opts = radsurf::ExperimentOptions::from_args(argc, argv);
-    const auto report = radsurf::fig8_architecture(opts);
-    std::cout << report.to_string(opts.csv);
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
+  return radsurf::legacy_scenario_main("fig8", argc, argv);
 }

@@ -1,234 +1,9 @@
-// Performance: decoding throughput vs defect density, decoder kinds, the
-// sparse on-demand MWPM backend (lazy construction, cold-start decode),
-// and the syndrome-memoization cache on campaign-realistic repeat-heavy
-// syndrome streams — including the per-cluster memoization gain over
-// whole-syndrome caching, which is asserted, not just reported.
-//
-// Emits/merges the measured scenarios into BENCH_perf.json.
-#include <algorithm>
-#include <cstdlib>
-#include <iostream>
-
-#include "codes/repetition.hpp"
-#include "codes/xxzz.hpp"
-#include "decoder/decode_cache.hpp"
-#include "decoder/mwpm.hpp"
-#include "detector/error_model.hpp"
-#include "noise/depolarizing.hpp"
-#include "perf_json.hpp"
-
-namespace {
-
-using namespace radsurf;
-using bench::PerfRecord;
-
-MatchingGraph xxzz_graph() {
-  const Circuit noisy = DepolarizingModel{1e-2}.apply(XXZZCode(3, 3).build());
-  return MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
-}
-
-MatchingGraph rep_graph(int d) {
-  const Circuit noisy = DepolarizingModel{1e-2}.apply(
-      RepetitionCode(d, RepetitionFlavor::BIT_FLIP).build());
-  return MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
-}
-
-std::vector<std::uint32_t> random_defects(std::size_t num_detectors,
-                                          std::size_t k, Rng& rng) {
-  std::vector<std::uint32_t> out;
-  while (out.size() < k && out.size() < num_detectors) {
-    const auto d = static_cast<std::uint32_t>(rng.below(num_detectors));
-    if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-// Type-erasing wrapper: hides the MwpmDecoder from CachingDecoder's
-// dynamic_cast, forcing whole-syndrome memoization (the baseline the
-// cluster cache is measured against).
-struct OpaqueDecoder final : Decoder {
-  explicit OpaqueDecoder(Decoder& inner) : inner_(inner) {}
-  std::string name() const override { return inner_.name(); }
-  std::uint64_t decode(const std::vector<std::uint32_t>& defects) override {
-    return inner_.decode(defects);
-  }
-  Decoder& inner_;
-};
-
-PerfRecord decode_sweep(const std::string& name, Decoder& dec,
-                        std::size_t num_detectors, std::size_t k,
-                        bool smoke) {
-  Rng rng(1);
-  const auto defects = random_defects(num_detectors, k, rng);
-  const std::size_t reps = smoke ? 16 : 256;
-  const double rate = bench::measure_rate_mode(
-      [&] {
-        for (std::size_t i = 0; i < reps; ++i) dec.decode(defects);
-        return reps;
-      },
-      smoke);
-  return {name, rate, {}};
-}
-
-}  // namespace
+// Performance: decoding throughput and syndrome-cache behaviour (the
+// cluster-cache gain is asserted).  Merges records into BENCH_perf.json.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "perf_decoder"; see specs/perf_decoder.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  const bool smoke = bench::smoke_mode(argc, argv);
-  std::vector<PerfRecord> records;
-  std::cout << "perf_decoder (decodes/s)\n";
-
-  {
-    const auto g = rep_graph(15);
-    MwpmDecoder dec(g);
-    for (std::size_t k : {2u, 6u, 12u, 20u})
-      records.push_back(decode_sweep(
-          "decoder/mwpm/rep15/k" + std::to_string(k), dec,
-          g.num_detectors(), k, smoke));
-  }
-
-  {
-    const auto g = xxzz_graph();
-    for (auto kind :
-         {DecoderKind::MWPM, DecoderKind::UNION_FIND, DecoderKind::GREEDY}) {
-      const auto dec = make_decoder(kind, g);
-      records.push_back(decode_sweep(
-          "decoder/" + decoder_kind_name(kind) + "/xxzz33/k6", *dec,
-          g.num_detectors(), 6, smoke));
-    }
-  }
-
-  {
-    // Campaign-realistic memoization: radiation shots draw from a small
-    // hot set of syndromes.  Stream 4096 decodes over a pool of 32
-    // distinct defect sets and report the steady-state hit rate.
-    const auto g = rep_graph(15);
-    MwpmDecoder inner(g);
-    CachingDecoder cached(inner);
-    Rng rng(7);
-    std::vector<std::vector<std::uint32_t>> pool;
-    for (int i = 0; i < 32; ++i)
-      pool.push_back(random_defects(g.num_detectors(), 8, rng));
-    const std::size_t stream = smoke ? 256 : 4096;
-    const double rate = bench::measure_rate_mode(
-        [&] {
-          for (std::size_t i = 0; i < stream; ++i)
-            cached.decode(pool[rng.below(pool.size())]);
-          return stream;
-        },
-        smoke);
-    records.push_back({"decoder/mwpm_cached/rep15/pool32",
-                       rate,
-                       {{"cache_hit_rate", cached.stats().hit_rate()}}});
-  }
-
-  {
-    // Per-cluster vs whole-syndrome memoization on a locality-structured
-    // stream: each syndrome is the union of two far-apart defect pairs
-    // (disjoint internal edges the union-find prefilter actually splits),
-    // so the *whole-syndrome* vocabulary is the large pair-product space
-    // while the *cluster* vocabulary is just the small set of edges.
-    // Every syndrome is distinct by construction; the cold-pass hit-rate
-    // gain of cluster keys is part of the bench contract.
-    const auto g = rep_graph(15);
-    const auto nd = static_cast<std::uint32_t>(g.num_detectors());
-    MwpmDecoder prefilter(g);
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> internal;
-    for (const MatchingEdge& e : g.edges())
-      if (e.a < nd && e.b < nd && e.a != e.b) internal.push_back({e.a, e.b});
-    std::vector<std::vector<std::uint32_t>> stream;
-    for (std::size_t x = 0; x < internal.size() && stream.size() < 2048;
-         ++x) {
-      for (std::size_t y = x + 1;
-           y < internal.size() && stream.size() < 2048; ++y) {
-        const auto [a1, b1] = internal[x];
-        const auto [a2, b2] = internal[y];
-        if (a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2) continue;
-        std::vector<std::uint32_t> defects{a1, b1, a2, b2};
-        std::sort(defects.begin(), defects.end());
-        if (prefilter.defect_clusters(defects).size() < 2) continue;
-        stream.push_back(defects);
-      }
-    }
-    MwpmDecoder inner_cluster(g);
-    CachingDecoder clustered(inner_cluster);
-    MwpmDecoder inner_whole(g);
-    OpaqueDecoder opaque(inner_whole);
-    CachingDecoder whole(opaque);
-    const double cluster_rate = bench::measure_rate_mode(
-        [&] {
-          for (const auto& defects : stream) clustered.decode(defects);
-          return stream.size();
-        },
-        smoke);
-    const double whole_rate = bench::measure_rate_mode(
-        [&] {
-          for (const auto& defects : stream) whole.decode(defects);
-          return stream.size();
-        },
-        smoke);
-    // Hit rates come from one *cold* pass each: measure_rate repeats the
-    // stream, and by the second pass every whole-syndrome key is cached
-    // too, hiding the structural difference the assertion pins down.
-    MwpmDecoder cold_cluster_inner(g);
-    CachingDecoder cold_cluster(cold_cluster_inner);
-    MwpmDecoder cold_whole_inner(g);
-    OpaqueDecoder cold_opaque(cold_whole_inner);
-    CachingDecoder cold_whole(cold_opaque);
-    for (const auto& defects : stream) {
-      cold_cluster.decode(defects);
-      cold_whole.decode(defects);
-    }
-    const double cluster_hits = cold_cluster.stats().hit_rate();
-    const double whole_hits = cold_whole.stats().hit_rate();
-    records.push_back({"decoder/mwpm_cached_cluster/rep15/distinct",
-                       cluster_rate,
-                       {{"cache_hit_rate", cluster_hits}}});
-    records.push_back({"decoder/mwpm_cached_whole/rep15/distinct",
-                       whole_rate,
-                       {{"cache_hit_rate", whole_hits}}});
-    if (cluster_hits <= whole_hits) {
-      std::cerr << "FAIL: cluster-cache hit rate " << cluster_hits
-                << " did not beat whole-syndrome hit rate " << whole_hits
-                << "\n";
-      return EXIT_FAILURE;
-    }
-  }
-
-  {
-    // Decoder construction proper (graph prebuilt): sparse is O(E), dense
-    // pays the eager all-pairs Dijkstra precompute.
-    const auto g = rep_graph(15);
-    const double sparse_rate = bench::measure_rate_mode(
-        [&] {
-          MwpmDecoder dec(g);
-          return std::size_t{1};
-        },
-        smoke);
-    records.push_back({"decoder/mwpm_construction/rep15", sparse_rate, {}});
-    const double dense_rate = bench::measure_rate_mode(
-        [&] {
-          MwpmDecoder dec(g, MwpmOptions{false, /*lazy=*/false, true});
-          return std::size_t{1};
-        },
-        smoke);
-    records.push_back(
-        {"decoder/mwpm_construction/rep15/dense", dense_rate, {}});
-    // Cold-start decode: construction plus one decode, the sliding-window
-    // and campaign-setup pattern (lazy rows only grow around the defects).
-    Rng rng(3);
-    const auto defects = random_defects(g.num_detectors(), 6, rng);
-    const double cold_rate = bench::measure_rate_mode(
-        [&] {
-          MwpmDecoder dec(g);
-          (void)dec.decode(defects);
-          return std::size_t{1};
-        },
-        smoke);
-    records.push_back({"decoder/mwpm_cold_decode/rep15/k6", cold_rate, {}});
-  }
-
-  for (const PerfRecord& r : records) bench::print_record(r);
-  bench::write_perf_json("BENCH_perf.json", records);
-  return 0;
+  return radsurf::legacy_perf_main("perf_decoder", argc, argv);
 }

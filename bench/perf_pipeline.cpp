@@ -1,160 +1,9 @@
-// Performance: end-to-end injection campaign throughput (shots/second of
-// the full sample -> detectors -> decode -> compare pipeline), contrasting
-// the batched frame fast path (SamplingPath::AUTO, the default) against
-// the exact per-shot tableau baseline (SamplingPath::EXACT) on identical
-// seeds, and reporting the syndrome-cache hit rate plus the residual
-// fraction (the share of shots the AUTO path had to hand to an exact
-// engine — the cost driver behind speedup_vs_exact).
-//
-// Emits/merges the measured scenarios into BENCH_perf.json (see
-// perf_json.hpp) so successive PRs accumulate a perf trajectory.
-#include <iostream>
-#include <memory>
-
-#include "arch/topologies.hpp"
-#include "codes/repetition.hpp"
-#include "codes/xxzz.hpp"
-#include "inject/campaign.hpp"
-#include "perf_json.hpp"
-
-namespace {
-
-using namespace radsurf;
-using bench::PerfRecord;
-
-EngineOptions path_options(SamplingPath path) {
-  EngineOptions opts;
-  opts.sampling_path = path;
-  return opts;
-}
-
-struct CampaignResult {
-  double shots_per_second = 0.0;
-  double cache_hit_rate = 0.0;
-  double residual_fraction = 0.0;
-};
-
-template <typename RunFn>
-CampaignResult measure_campaign(const SurfaceCode& code, const Graph& arch,
-                                SamplingPath path, std::size_t shots,
-                                const RunFn& run, bool smoke) {
-  InjectionEngine engine(code, arch, path_options(path));
-  CampaignResult out;
-  std::uint64_t seed = 1;
-  out.shots_per_second = bench::measure_rate_mode(
-      [&] {
-        run(engine, shots, seed++);
-        return shots;
-      },
-      smoke);
-  out.cache_hit_rate = engine.decode_cache_stats().hit_rate();
-  out.residual_fraction = engine.residual_fraction();
-  return out;
-}
-
-}  // namespace
+// Performance: end-to-end injection-campaign throughput, frame fast path
+// vs exact baseline.  Merges records into BENCH_perf.json.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "perf_pipeline"; see specs/perf_pipeline.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  const bool smoke = bench::smoke_mode(argc, argv);
-  std::vector<PerfRecord> records;
-  std::cout << "perf_pipeline (campaign shots/s)\n";
-
-  const RepetitionCode rep5(5, RepetitionFlavor::BIT_FLIP);
-  const XXZZCode xxzz33(3, 3);
-  const Graph mesh52 = make_mesh(5, 2);
-  const Graph mesh54 = make_mesh(5, 4);
-
-  // --- intrinsic noise only (pure-Pauli frame path) ------------------------
-  {
-    const auto run = [](const InjectionEngine& e, std::size_t shots,
-                        std::uint64_t seed) {
-      return e.run_intrinsic(shots, seed);
-    };
-    const auto frame =
-        measure_campaign(rep5, mesh52, SamplingPath::AUTO,
-                         bench::smoke_shots(smoke, 4096), run, smoke);
-    records.push_back({"pipeline/intrinsic/rep5",
-                       frame.shots_per_second,
-                       {{"cache_hit_rate", frame.cache_hit_rate},
-                        {"residual_fraction", frame.residual_fraction}}});
-    bench::print_record(records.back());
-  }
-
-  // --- radiation campaigns: frame fast path vs exact baseline --------------
-  const auto radiation_scenario = [&](const std::string& name,
-                                      const SurfaceCode& code,
-                                      const Graph& arch, std::size_t shots) {
-    const auto run = [](const InjectionEngine& e, std::size_t s,
-                        std::uint64_t seed) {
-      return e.run_radiation_at(2, 1.0, true, s, seed);
-    };
-    const auto frame =
-        measure_campaign(code, arch, SamplingPath::AUTO, shots, run, smoke);
-    const auto exact =
-        measure_campaign(code, arch, SamplingPath::EXACT, shots, run, smoke);
-    const double speedup = exact.shots_per_second > 0
-                               ? frame.shots_per_second /
-                                     exact.shots_per_second
-                               : 0.0;
-    records.push_back({name + "/frame",
-                       frame.shots_per_second,
-                       {{"cache_hit_rate", frame.cache_hit_rate},
-                        {"residual_fraction", frame.residual_fraction},
-                        {"speedup_vs_exact", speedup}}});
-    records.push_back({name + "/exact",
-                       exact.shots_per_second,
-                       {{"cache_hit_rate", exact.cache_hit_rate},
-                        {"residual_fraction", exact.residual_fraction}}});
-    bench::print_record(records[records.size() - 2]);
-    bench::print_record(records[records.size() - 1]);
-  };
-  radiation_scenario("pipeline/radiation/rep5", rep5, mesh52,
-                     bench::smoke_shots(smoke, 4096));
-  radiation_scenario("pipeline/radiation/xxzz33", xxzz33, mesh54,
-                     bench::smoke_shots(smoke, 4096));
-
-  // --- shared-instant erasure (Figs 6-7 workload) --------------------------
-  {
-    const auto run = [](const InjectionEngine& e, std::size_t shots,
-                        std::uint64_t seed) {
-      return e.run_erasure({e.active_qubits()[0], e.active_qubits()[1]},
-                           shots, seed);
-    };
-    const std::size_t shots = bench::smoke_shots(smoke, 4096);
-    const auto frame =
-        measure_campaign(rep5, mesh52, SamplingPath::AUTO, shots, run, smoke);
-    const auto exact =
-        measure_campaign(rep5, mesh52, SamplingPath::EXACT, shots, run,
-                         smoke);
-    const double speedup = exact.shots_per_second > 0
-                               ? frame.shots_per_second /
-                                     exact.shots_per_second
-                               : 0.0;
-    records.push_back({"pipeline/erasure/rep5/frame",
-                       frame.shots_per_second,
-                       {{"cache_hit_rate", frame.cache_hit_rate},
-                        {"residual_fraction", frame.residual_fraction},
-                        {"speedup_vs_exact", speedup}}});
-    records.push_back({"pipeline/erasure/rep5/exact",
-                       exact.shots_per_second,
-                       {{"cache_hit_rate", exact.cache_hit_rate},
-                        {"residual_fraction", exact.residual_fraction}}});
-    bench::print_record(records[records.size() - 2]);
-    bench::print_record(records[records.size() - 1]);
-  }
-
-  // --- static pipeline construction ---------------------------------------
-  {
-    const double rate = bench::measure_rate_mode(
-        [&] {
-          InjectionEngine engine(xxzz33, mesh54, EngineOptions{});
-          return std::size_t{1};
-        },
-        smoke);
-    records.push_back({"pipeline/engine_construction/xxzz33", rate, {}});
-    bench::print_record(records.back());
-  }
-
-  bench::write_perf_json("BENCH_perf.json", records);
-  return 0;
+  return radsurf::legacy_perf_main("perf_pipeline", argc, argv);
 }

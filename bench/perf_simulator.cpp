@@ -1,117 +1,9 @@
-// Performance: stabilizer simulation throughput (the enabler of the
-// paper's 400M-injection scale) — exact per-shot tableau sampling, batched
-// frame sampling, and the heralded-reset radiation frame path.
-//
-// Emits/merges the measured scenarios into BENCH_perf.json.
-#include <iostream>
+// Performance: stabilizer simulation throughput.  Merges records into
+// BENCH_perf.json.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "perf_simulator"; see specs/perf_simulator.json).
+#include "cli/runner.hpp"
 
-#include "arch/topologies.hpp"
-#include "codes/repetition.hpp"
-#include "codes/xxzz.hpp"
-#include "noise/depolarizing.hpp"
-#include "noise/radiation.hpp"
-#include "perf_json.hpp"
-#include "stab/frame_sim.hpp"
-#include "stab/tableau_sim.hpp"
-
-namespace {
-
-using namespace radsurf;
-using bench::PerfRecord;
-
-Circuit noisy_xxzz_circuit() {
-  return DepolarizingModel{1e-2}.apply(XXZZCode(3, 3).build());
-}
-
-Circuit noisy_rep_circuit(int d) {
-  return DepolarizingModel{1e-2}.apply(
-      RepetitionCode(d, RepetitionFlavor::BIT_FLIP).build());
-}
-
-PerfRecord tableau_shot(const std::string& name, const Circuit& c) {
-  TableauSimulator sim(c);
-  Rng rng(1);
-  BitVec record(c.num_measurements());
-  const std::size_t shots = 2048;
-  const double rate = bench::measure_rate([&] {
-    for (std::size_t s = 0; s < shots; ++s) sim.sample_into(rng, record);
-    return shots;
-  });
-  return {name, rate, {}};
-}
-
-PerfRecord frame_batch(const std::string& name, const Circuit& c,
-                       std::size_t batch) {
-  FrameSimulator sim(c, batch);
-  Rng rng(1);
-  const double rate = bench::measure_rate([&] {
-    BitVec residual(batch);
-    sim.run(rng, &residual);
-    return batch;
-  });
-  return {name, rate, {}};
-}
-
-PerfRecord frame_radiation_batch(const std::string& name, const Circuit& c,
-                                 std::size_t batch) {
-  // Radiation-instrumented circuit through the heralded-reset fast path;
-  // also reports the residual fraction (shots needing an exact re-run).
-  FrameSimulator sim(c, batch);
-  Rng rng(1);
-  std::size_t residual_shots = 0;
-  const double rate = bench::measure_rate([&] {
-    BitVec residual(batch);
-    sim.run(rng, &residual);
-    residual_shots = residual.popcount();
-    return batch;
-  });
-  const double residual_fraction =
-      static_cast<double>(residual_shots) / static_cast<double>(batch);
-  return {name, rate, {{"residual_fraction", residual_fraction}}};
-}
-
-}  // namespace
-
-int main() {
-  std::vector<PerfRecord> records;
-  std::cout << "perf_simulator (shots/s)\n";
-
-  records.push_back(
-      tableau_shot("simulator/tableau/xxzz33", noisy_xxzz_circuit()));
-  records.push_back(
-      tableau_shot("simulator/tableau/rep5", noisy_rep_circuit(5)));
-  records.push_back(
-      tableau_shot("simulator/tableau/rep15", noisy_rep_circuit(15)));
-
-  records.push_back(
-      frame_batch("simulator/frame/xxzz33/b256", noisy_xxzz_circuit(), 256));
-  records.push_back(
-      frame_batch("simulator/frame/xxzz33/b1024", noisy_xxzz_circuit(), 1024));
-  records.push_back(
-      frame_batch("simulator/frame/rep5/b1024", noisy_rep_circuit(5), 1024));
-
-  {
-    // Strike of intensity 1.0 at qubit 2 with spatial spread on the rep-5
-    // mesh, the paper's Fig. 5 hot path.
-    const RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
-    const Graph arch = make_mesh(5, 2);
-    const Circuit base = noisy_rep_circuit(5);
-    const RadiationModel radiation;
-    const Circuit rad = instrument_reset_noise(
-        base, radiation.qubit_probabilities(arch, 2, 1.0, true));
-    records.push_back(
-        frame_radiation_batch("simulator/frame_radiation/rep5/b1024", rad,
-                              1024));
-  }
-
-  {
-    TableauSimulator sim(noisy_xxzz_circuit());
-    const double rate =
-        bench::measure_rate([&] { return (void)sim.reference_sample(), 1; });
-    records.push_back({"simulator/reference_sample/xxzz33", rate, {}});
-  }
-
-  for (const PerfRecord& r : records) bench::print_record(r);
-  bench::write_perf_json("BENCH_perf.json", records);
-  return 0;
+int main(int argc, char** argv) {
+  return radsurf::legacy_perf_main("perf_simulator", argc, argv);
 }

@@ -1,100 +1,10 @@
-// Performance: long-horizon timeline campaigns (the multi-event N-round
-// memory workload) under sliding-window decoding, against the whole-history
-// decoder on the same event realization.
-//
-// The headline scenario is the acceptance workload: a 200-round
-// repetition-(5,1) timeline whose decoder state stays O(window) — the
-// window subgraphs are deduplicated by shape, so a 200-round history builds
-// the same handful of MWPM tables as a 20-round one — versus the
-// whole-history decoder whose distance tables grow with rounds^2.
-// Emits/merges into BENCH_perf.json (see perf_json.hpp).
-#include <iostream>
-#include <vector>
-
-#include "arch/topologies.hpp"
-#include "codes/repetition.hpp"
-#include "decoder/sliding_window.hpp"
-#include "inject/campaign.hpp"
-#include "perf_json.hpp"
-
-namespace {
-
-using namespace radsurf;
-using bench::PerfRecord;
-
-constexpr std::size_t kRounds = 200;
-
-}  // namespace
+// Performance: long-horizon timeline campaigns under sliding-window
+// decoding vs the whole-history decoder.  Merges records into
+// BENCH_perf.json.
+// Compatibility shim: parses the historical flags and routes through the
+// scenario registry (scenario "perf_timeline"; see specs/perf_timeline.json).
+#include "cli/runner.hpp"
 
 int main(int argc, char** argv) {
-  const bool smoke = bench::smoke_mode(argc, argv);
-  const std::size_t kShots = bench::smoke_shots(smoke, 512, 16);
-  std::vector<PerfRecord> records;
-  std::cout << "perf_timeline (" << kRounds << "-round rep-(5,1) campaign "
-            << "shots/s)\n";
-
-  const RepetitionCode rep5(5, RepetitionFlavor::BIT_FLIP);
-  const Graph mesh52 = make_mesh(5, 2);
-
-  EngineOptions opts;
-  opts.rounds = kRounds;
-  opts.whole_history_decoder = false;  // decoder memory stays O(window)
-  const InjectionEngine engine(rep5, mesh52, opts);
-
-  TimelineOptions topts;
-  topts.events_per_round = 0.02;
-  topts.duration_rounds = 10;
-  const RadiationTimeline timeline(engine.radiation(), topts);
-  Rng event_rng(20260729);
-  const auto events =
-      timeline.sample(kRounds, engine.active_qubits(), event_rng);
-  std::cout << "  events in realization: " << events.size() << "\n";
-
-  // --- sliding windows (W = 10, C = 5) -------------------------------------
-  const SlidingWindowOptions window{10, 5};
-  const SlidingWindowDecoder probe(engine.matching_graph(),
-                                   engine.detector_rounds(), kRounds,
-                                   window);
-  {
-    std::uint64_t seed = 1;
-    const double rate = bench::measure_rate_mode(
-        [&] {
-          engine.run_timeline(timeline, events, kShots, seed++, window);
-          return kShots;
-        },
-        smoke);
-    records.push_back(
-        {"timeline/rep5_200r/window",
-         rate,
-         {{"rounds", static_cast<double>(kRounds)},
-          {"window", static_cast<double>(window.window)},
-          {"num_windows", static_cast<double>(probe.num_windows())},
-          {"window_decoders", static_cast<double>(probe.num_decoders())},
-          {"max_window_detectors",
-           static_cast<double>(probe.max_window_detectors())},
-          {"cache_hit_rate", engine.decode_cache_stats().hit_rate()}}});
-    bench::print_record(records.back());
-  }
-
-  // --- whole-history baseline (window >= rounds: one full-size MWPM) -------
-  {
-    const SlidingWindowOptions whole{kRounds, 0};
-    std::uint64_t seed = 1;
-    const double rate = bench::measure_rate_mode(
-        [&] {
-          engine.run_timeline(timeline, events, kShots, seed++, whole);
-          return kShots;
-        },
-        smoke);
-    records.push_back(
-        {"timeline/rep5_200r/whole_history",
-         rate,
-         {{"rounds", static_cast<double>(kRounds)},
-          {"history_detectors",
-           static_cast<double>(engine.matching_graph().num_detectors())}}});
-    bench::print_record(records.back());
-  }
-
-  bench::write_perf_json("BENCH_perf.json", records);
-  return 0;
+  return radsurf::legacy_perf_main("perf_timeline", argc, argv);
 }

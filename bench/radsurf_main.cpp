@@ -1,0 +1,8 @@
+// The `radsurf` CLI: spec-driven experiment runner over the scenario
+// registry.  `radsurf help` prints usage; docs/SCENARIOS.md documents the
+// spec schema and the specs/ cookbook.
+#include "cli/runner.hpp"
+
+int main(int argc, char** argv) {
+  return radsurf::radsurf_cli_main(argc, argv);
+}

@@ -1,0 +1,119 @@
+#include "cli/checkpoint.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "cli/spec.hpp"
+#include "util/json.hpp"
+
+namespace radsurf {
+
+namespace {
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace
+
+JsonlCheckpointSink::JsonlCheckpointSink(std::string path,
+                                         std::uint64_t fingerprint,
+                                         bool fresh)
+    : path_(std::move(path)) {
+  const std::string fp_hex = fingerprint_hex(fingerprint);
+  // Loaded cells in file order, for the canonicalizing rewrite below.
+  std::vector<const std::pair<const std::string, std::vector<std::string>>*>
+      order;
+  if (!fresh) {
+    std::ifstream in(path_);
+    std::string line;
+    bool header_seen = false;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      JsonValue entry;
+      try {
+        entry = JsonValue::parse(line, path_);
+      } catch (const JsonError&) {
+        break;  // torn tail write from a killed run: drop it and the rest
+      }
+      if (!entry.is_object()) break;
+      if (!header_seen) {
+        header_seen = true;
+        const JsonValue* fp = entry.find("fingerprint");
+        if (fp == nullptr || !fp->is_string())
+          throw SpecError(path_ + ": not a radsurf checkpoint file (missing "
+                                  "fingerprint header); pass --fresh to "
+                                  "overwrite it");
+        if (fp->as_string() != fp_hex)
+          throw SpecError(
+              path_ + ": checkpoint was written by a different spec "
+                      "(fingerprint " + fp->as_string() + ", this spec is " +
+              fp_hex + "); pass --fresh to discard it, or point "
+                       "output.checkpoint elsewhere");
+        continue;
+      }
+      const JsonValue* cell = entry.find("cell");
+      const JsonValue* row = entry.find("row");
+      if (cell == nullptr || !cell->is_string() || row == nullptr ||
+          !row->is_array())
+        break;
+      std::vector<std::string> cells;
+      bool ok = true;
+      for (std::size_t i = 0; i < row->size(); ++i) {
+        if (!(*row)[i].is_string()) {
+          ok = false;
+          break;
+        }
+        cells.push_back((*row)[i].as_string());
+      }
+      if (!ok) break;
+      const auto [it, inserted] =
+          cells_.emplace(cell->as_string(), std::move(cells));
+      if (inserted) order.push_back(&*it);
+    }
+    loaded_ = cells_.size();
+  }
+
+  // Rewrite header + loaded cells from parsed state: a torn trailing line
+  // (crash mid-write) must not be glued onto the next emit, and every
+  // open leaves the file in canonical one-cell-per-line form.
+  out_.open(path_, std::ios::trunc);
+  if (!out_)
+    throw SpecError(path_ + ": cannot open checkpoint file for writing");
+  JsonValue header = JsonValue::object();
+  header.set("radsurf_checkpoint", 1);
+  header.set("fingerprint", fp_hex);
+  out_ << header.dump() << "\n";
+  for (const auto* cell : order) write_cell(cell->first, cell->second);
+  out_ << std::flush;
+}
+
+void JsonlCheckpointSink::write_cell(const std::string& key,
+                                     const std::vector<std::string>& row) {
+  JsonValue line = JsonValue::object();
+  line.set("cell", key);
+  JsonValue cells = JsonValue::array();
+  for (const std::string& c : row) cells.push_back(c);
+  line.set("row", std::move(cells));
+  out_ << line.dump() << "\n";
+}
+
+bool JsonlCheckpointSink::lookup(const std::string& key,
+                                 std::vector<std::string>* row) {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return false;
+  if (row != nullptr) *row = it->second;
+  return true;
+}
+
+void JsonlCheckpointSink::emit(const std::string& key,
+                               const std::vector<std::string>& row) {
+  write_cell(key, row);
+  out_ << std::flush;
+  cells_.emplace(key, row);
+}
+
+}  // namespace radsurf

@@ -1,0 +1,65 @@
+// Per-cell result streaming and resumable checkpoints for campaign
+// scenarios.
+//
+// A campaign executor (cli/grid.hpp) asks its CampaignSink before running
+// each grid cell; a checkpointed cell's row is replayed instead of being
+// recomputed, and every freshly computed cell is appended (and flushed) as
+// one JSONL line the moment it finishes.  Killing a sharded campaign at
+// cell 700/1000 therefore loses at most the cell in flight; re-running the
+// same spec resumes from cell 701.  Determinism makes this sound: a cell's
+// RNG stream is a pure function of (spec seed, cell key), so a resumed
+// campaign produces bit-identical rows to an uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace radsurf {
+
+/// Receiver of per-cell campaign results.
+class CampaignSink {
+ public:
+  virtual ~CampaignSink() = default;
+  /// True (filling `row`) when `key`'s result is already known.
+  virtual bool lookup(const std::string& key,
+                      std::vector<std::string>* row) = 0;
+  /// Record a freshly computed cell (durably, for checkpoint sinks).
+  virtual void emit(const std::string& key,
+                    const std::vector<std::string>& row) = 0;
+};
+
+/// JSONL checkpoint file.  Line 1 is a header holding the spec
+/// fingerprint (see ScenarioSpec::fingerprint); every other line is
+/// {"cell": "<key>", "row": [...]}.  Opening against a file written by a
+/// *different* spec throws SpecError with a hint to pass --fresh; opening
+/// with fresh=true discards instead of resuming.  Unparseable trailing
+/// lines (a crash mid-write) are dropped with the cells they held, and
+/// every open rewrites the file in canonical one-cell-per-line form from
+/// the parsed state, so a torn tail can never corrupt later appends.
+class JsonlCheckpointSink final : public CampaignSink {
+ public:
+  JsonlCheckpointSink(std::string path, std::uint64_t fingerprint,
+                      bool fresh = false);
+
+  bool lookup(const std::string& key, std::vector<std::string>* row) override;
+  void emit(const std::string& key,
+            const std::vector<std::string>& row) override;
+
+  /// Cells loaded from a pre-existing checkpoint file.
+  std::size_t loaded() const { return loaded_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_cell(const std::string& key,
+                  const std::vector<std::string>& row);
+
+  std::string path_;
+  std::unordered_map<std::string, std::vector<std::string>> cells_;
+  std::ofstream out_;
+  std::size_t loaded_ = 0;
+};
+
+}  // namespace radsurf

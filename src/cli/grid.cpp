@@ -1,0 +1,469 @@
+#include "cli/grid.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/topologies.hpp"
+#include "cli/checkpoint.hpp"
+#include "codes/code.hpp"
+#include "inject/campaign.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace radsurf {
+
+namespace {
+
+// --- axis value types -------------------------------------------------------
+
+struct CodeAxis {
+  std::string label;  // canonical "family:dzxdx"
+  CodeFamily family;
+  int dz = 0, dx = 0;
+
+  std::unique_ptr<SurfaceCode> make() const {
+    return make_code(family, dz, dx);
+  }
+};
+
+struct ConfigAxis {
+  CodeAxis code;
+  std::string arch;  // make_topology name
+};
+
+enum class InjectionKind { INTRINSIC, RADIATION, ERASURE, TIMELINE };
+
+struct InjectionAxis {
+  InjectionKind kind = InjectionKind::INTRINSIC;
+  std::string label;
+  // radiation
+  std::uint32_t root = 2;
+  double intensity = 1.0;
+  bool spread = true;
+  bool aware = false;
+  // erasure
+  std::vector<std::uint32_t> qubits;
+  bool sustained = false;
+  // timeline
+  TimelineOptions timeline;
+  std::size_t num_timelines = 4;
+  SlidingWindowOptions window;
+};
+
+struct GridPlan {
+  std::vector<ConfigAxis> configs;
+  std::vector<DecoderKind> decoders;
+  std::vector<double> error_rates;
+  std::vector<double> meas_error_rates;
+  std::vector<std::size_t> rounds;
+  std::vector<SamplingPath> paths;
+  std::vector<InjectionAxis> injections;
+  std::size_t shots = 0;
+  std::uint64_t seed = 0;
+  bool smoke = false;
+};
+
+// --- axis parsing -----------------------------------------------------------
+
+/// Strict base-10 int parse: the whole of `text` must be digits (no sign,
+/// no trailing garbage) — "5,1" or "3x3x7" must fail, not half-parse.
+bool parse_full_int(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+CodeAxis parse_code(const std::string& text, const SpecReader& where,
+                    const std::string& key) {
+  const auto colon = text.find(':');
+  std::string family = text.substr(0, colon);
+  CodeAxis axis;
+  if (family == "repetition" || family == "rep") {
+    axis.family = CodeFamily::REPETITION;
+  } else if (family == "xxzz") {
+    axis.family = CodeFamily::XXZZ;
+  } else {
+    throw SpecError(where.path() + "." + key + ": unknown code family \"" +
+                    family + "\" in \"" + text +
+                    "\" (expected repetition:<d> or xxzz:<dz>x<dx>)");
+  }
+  int dz = 0, dx = 1;
+  if (colon == std::string::npos) {
+    throw SpecError(where.path() + "." + key + ": code \"" + text +
+                    "\" is missing its distance (e.g. repetition:5, "
+                    "xxzz:3x3)");
+  }
+  const std::string dims = text.substr(colon + 1);
+  const auto x = dims.find('x');
+  bool ok;
+  if (x == std::string::npos) {
+    ok = parse_full_int(dims, &dz);
+    dx = axis.family == CodeFamily::XXZZ ? dz : 1;
+  } else {
+    ok = parse_full_int(dims.substr(0, x), &dz) &&
+         parse_full_int(dims.substr(x + 1), &dx);
+  }
+  if (!ok)
+    throw SpecError(where.path() + "." + key + ": malformed code distance "
+                    "in \"" + text + "\" (e.g. repetition:5, xxzz:3x3)");
+  axis.dz = dz;
+  axis.dx = dx;
+  axis.label = (axis.family == CodeFamily::REPETITION ? "repetition:" : "xxzz:") +
+               std::to_string(dz) + "x" + std::to_string(dx);
+  // Validate dimensions now (make_code throws InvalidArgument with the
+  // family's rules).
+  try {
+    (void)make_code(axis.family, dz, dx);
+  } catch (const Error& e) {
+    throw SpecError(where.path() + "." + key + ": " + e.what());
+  }
+  return axis;
+}
+
+std::string validate_arch(const std::string& name, const SpecReader& where,
+                          const std::string& key) {
+  try {
+    (void)make_topology(name);
+  } catch (const Error& e) {
+    throw SpecError(where.path() + "." + key + ": " + e.what());
+  }
+  return name;
+}
+
+DecoderKind parse_decoder(const std::string& name, const SpecReader& where,
+                          const std::string& key) {
+  if (name == "mwpm") return DecoderKind::MWPM;
+  if (name == "union-find" || name == "union_find")
+    return DecoderKind::UNION_FIND;
+  if (name == "greedy") return DecoderKind::GREEDY;
+  throw SpecError(where.path() + "." + key + ": unknown decoder \"" + name +
+                  "\" (expected one of mwpm, union-find, greedy)");
+}
+
+SamplingPath parse_path(const std::string& name, const SpecReader& where,
+                        const std::string& key) {
+  if (name == "auto") return SamplingPath::AUTO;
+  if (name == "exact") return SamplingPath::EXACT;
+  throw SpecError(where.path() + "." + key + ": unknown sampling path \"" +
+                  name + "\" (expected auto or exact)");
+}
+
+std::string format_double(double v) { return JsonValue::number_to_string(v); }
+
+InjectionAxis parse_injection(const JsonValue& json, const std::string& path,
+                              bool smoke) {
+  SpecReader r(json, path);
+  InjectionAxis inj;
+  const std::string kind = r.get_string("kind", "");
+  std::ostringstream label;
+  if (kind == "intrinsic") {
+    inj.kind = InjectionKind::INTRINSIC;
+    label << "intrinsic";
+  } else if (kind == "radiation") {
+    inj.kind = InjectionKind::RADIATION;
+    inj.root = static_cast<std::uint32_t>(r.get_uint("root", 2));
+    inj.intensity = r.get_number("intensity", 1.0);
+    inj.spread = r.get_bool("spread", true);
+    inj.aware = r.get_bool("aware", false);
+    label << "radiation(root=" << inj.root
+          << ",intensity=" << format_double(inj.intensity)
+          << ",spread=" << (inj.spread ? "true" : "false")
+          << (inj.aware ? ",aware=true" : "") << ")";
+  } else if (kind == "erasure") {
+    inj.kind = InjectionKind::ERASURE;
+    const auto qubits = r.get_uint_list("qubits", {});
+    if (qubits.empty())
+      r.fail("qubits", "required: the physical qubits of the erasure set");
+    for (const std::uint64_t q : qubits)
+      inj.qubits.push_back(static_cast<std::uint32_t>(q));
+    inj.sustained = r.get_bool("sustained", false);
+    label << (inj.sustained ? "sustained_erasure(qubits=" : "erasure(qubits=");
+    for (std::size_t i = 0; i < inj.qubits.size(); ++i)
+      label << (i ? "+" : "") << inj.qubits[i];
+    label << ")";
+  } else if (kind == "timeline") {
+    inj.kind = InjectionKind::TIMELINE;
+    inj.timeline.events_per_round = r.get_number("events_per_round", 0.01);
+    inj.timeline.burst_multiplicity =
+        static_cast<std::size_t>(r.get_uint("burst_multiplicity", 1));
+    inj.timeline.duration_rounds =
+        static_cast<std::size_t>(r.get_uint("duration_rounds", 10));
+    inj.timeline.intensity = r.get_number("intensity", 1.0);
+    inj.timeline.spread = r.get_bool("spread", true);
+    inj.num_timelines =
+        static_cast<std::size_t>(r.get_uint("num_timelines", 4));
+    if (smoke) inj.num_timelines = std::min<std::size_t>(inj.num_timelines, 1);
+    inj.window.window = static_cast<std::size_t>(r.get_uint("window", 8));
+    inj.window.commit = static_cast<std::size_t>(r.get_uint("commit", 0));
+    label << "timeline(rate=" << format_double(inj.timeline.events_per_round)
+          << ",duration=" << inj.timeline.duration_rounds
+          << ",burst=" << inj.timeline.burst_multiplicity
+          << ",timelines=" << inj.num_timelines << ",window="
+          << inj.window.window << "/" << inj.window.resolved_commit() << ")";
+  } else {
+    r.fail("kind", "unknown injection kind \"" + kind +
+                       "\" (expected one of intrinsic, radiation, erasure, "
+                       "timeline)");
+  }
+  inj.label = label.str();
+  r.finish();
+  return inj;
+}
+
+GridPlan parse_plan(const ScenarioSpec& spec) {
+  GridPlan plan;
+  // An explicit budget always wins; smoke only shrinks the default.
+  plan.shots = spec.shots != 0 ? spec.shots : (spec.smoke ? 8 : 256);
+  plan.seed = spec.seed;
+  plan.smoke = spec.smoke;
+
+  SpecReader r(spec.params, "$.params");
+
+  // (code, arch) pairs: either explicit "configs" or the codes x archs
+  // product.
+  const JsonValue* configs = r.get_raw("configs");
+  const bool has_codes = r.has("codes") || r.has("archs");
+  if (configs != nullptr && has_codes)
+    r.fail("configs", "give either configs (paired) or codes+archs "
+                      "(full product), not both");
+  if (configs != nullptr) {
+    if (!configs->is_array())
+      r.fail("configs", std::string("expected array of {code, arch} "
+                                    "objects, got ") + configs->kind_name());
+    for (std::size_t i = 0; i < configs->size(); ++i) {
+      SpecReader rc((*configs)[i],
+                    "$.params.configs[" + std::to_string(i) + "]");
+      ConfigAxis cfg;
+      const std::string code = rc.get_string("code", "");
+      if (code.empty()) rc.fail("code", "required (e.g. repetition:5)");
+      cfg.code = parse_code(code, rc, "code");
+      const std::string arch = rc.get_string("arch", "");
+      if (arch.empty()) rc.fail("arch", "required (e.g. mesh:5x2)");
+      cfg.arch = validate_arch(arch, rc, "arch");
+      rc.finish();
+      plan.configs.push_back(std::move(cfg));
+    }
+    if (plan.configs.empty()) r.fail("configs", "list must not be empty");
+  } else {
+    const auto codes = r.get_string_list("codes", {"repetition:5"});
+    const auto archs = r.get_string_list("archs", {"mesh:5x2"});
+    for (const std::string& code : codes) {
+      const CodeAxis axis = parse_code(code, r, "codes");
+      for (const std::string& arch : archs)
+        plan.configs.push_back(
+            {axis, validate_arch(arch, r, "archs")});
+    }
+  }
+
+  for (const std::string& d : r.get_string_list("decoders", {"mwpm"}))
+    plan.decoders.push_back(parse_decoder(d, r, "decoders"));
+  plan.error_rates = r.get_number_list("error_rates", {1e-2});
+  plan.meas_error_rates =
+      r.get_number_list("measurement_error_rates", {0.0});
+  for (const std::uint64_t n : r.get_uint_list("rounds", {2}))
+    plan.rounds.push_back(static_cast<std::size_t>(n));
+  for (const std::string& p : r.get_string_list("sampling_paths", {"auto"}))
+    plan.paths.push_back(parse_path(p, r, "sampling_paths"));
+
+  if (const JsonValue* injs = r.get_raw("injections")) {
+    if (!injs->is_array())
+      r.fail("injections", std::string("expected array of injection "
+                                       "objects, got ") + injs->kind_name());
+    for (std::size_t i = 0; i < injs->size(); ++i)
+      plan.injections.push_back(
+          parse_injection((*injs)[i],
+                          "$.params.injections[" + std::to_string(i) + "]",
+                          plan.smoke));
+    if (plan.injections.empty())
+      r.fail("injections", "list must not be empty");
+  } else {
+    InjectionAxis intrinsic;
+    intrinsic.label = "intrinsic";
+    plan.injections.push_back(std::move(intrinsic));
+  }
+
+  r.finish();
+  return plan;
+}
+
+// --- execution --------------------------------------------------------------
+
+struct CellResult {
+  Proportion errors;
+  std::string detail;
+};
+
+CellResult run_cell(const InjectionEngine& engine, const InjectionAxis& inj,
+                    std::size_t shots, std::uint64_t seed) {
+  CellResult out;
+  switch (inj.kind) {
+    case InjectionKind::INTRINSIC:
+      out.errors = engine.run_intrinsic(shots, seed);
+      break;
+    case InjectionKind::RADIATION:
+      out.errors = inj.aware
+                       ? engine.run_radiation_at_aware(
+                             inj.root, inj.intensity, inj.spread, shots, seed)
+                       : engine.run_radiation_at(inj.root, inj.intensity,
+                                                 inj.spread, shots, seed);
+      break;
+    case InjectionKind::ERASURE:
+      out.errors = inj.sustained
+                       ? engine.run_sustained_erasure(inj.qubits, shots, seed)
+                       : engine.run_erasure(inj.qubits, shots, seed);
+      break;
+    case InjectionKind::TIMELINE: {
+      const RadiationTimeline timeline(engine.radiation(), inj.timeline);
+      const TimelineSummary summary = engine.run_timeline_campaign(
+          timeline, inj.num_timelines, shots, seed, inj.window);
+      out.errors = summary.errors;
+      std::ostringstream detail;
+      detail << "mean_events=" << Table::fmt(summary.mean_events(), 2)
+             << " window_decoders=" << summary.window_decoders;
+      out.detail = detail.str();
+      break;
+    }
+  }
+  return out;
+}
+
+class GridScenario final : public Scenario {
+ public:
+  GridScenario(GridPlan plan) : plan_(std::move(plan)) {}
+
+  ExperimentReport run(CampaignSink* sink) override {
+    ExperimentReport rep;
+    rep.title = "Grid campaign — " + std::to_string(num_cells()) +
+                " cells x " + std::to_string(plan_.shots) + " shots";
+    Table t({"code", "arch", "decoder", "p", "meas p", "rounds", "path",
+             "injection", "shots", "errors", "LER", "CI low", "CI high",
+             "detail"});
+
+    const bool needs_whole_history = std::any_of(
+        plan_.injections.begin(), plan_.injections.end(),
+        [](const InjectionAxis& inj) {
+          return inj.kind != InjectionKind::TIMELINE;
+        });
+
+    std::size_t resumed = 0;
+    std::size_t engines_built = 0;
+    for (const ConfigAxis& cfg : plan_.configs) {
+      for (const DecoderKind decoder : plan_.decoders) {
+        for (const double p : plan_.error_rates) {
+          for (const double pm : plan_.meas_error_rates) {
+            for (const std::size_t rounds : plan_.rounds) {
+              for (const SamplingPath path : plan_.paths) {
+                // One engine (the expensive static pipeline) per engine
+                // combo, built lazily: an all-resumed combo costs nothing.
+                std::unique_ptr<InjectionEngine> engine;
+                for (const InjectionAxis& inj : plan_.injections) {
+                  const std::string key = cell_key(cfg, decoder, p, pm,
+                                                   rounds, path, inj);
+                  std::vector<std::string> row;
+                  if (sink != nullptr && sink->lookup(key, &row)) {
+                    ++resumed;
+                    t.add_row(std::move(row));
+                    continue;
+                  }
+                  if (!engine) {
+                    EngineOptions eopts;
+                    eopts.physical_error_rate = p;
+                    eopts.measurement_error_rate = pm;
+                    eopts.rounds = rounds;
+                    eopts.decoder = decoder;
+                    eopts.sampling_path = path;
+                    eopts.whole_history_decoder = needs_whole_history;
+                    try {
+                      engine = std::make_unique<InjectionEngine>(
+                          *cfg.code.make(), make_topology(cfg.arch), eopts);
+                    } catch (const Error& e) {
+                      throw SpecError("grid cell " + key +
+                                      ": engine construction failed: " +
+                                      e.what());
+                    }
+                    ++engines_built;
+                  }
+                  const std::uint64_t seed = grid_cell_seed(plan_.seed, key);
+                  CellResult cell;
+                  try {
+                    cell = run_cell(*engine, inj, plan_.shots, seed);
+                  } catch (const Error& e) {
+                    throw SpecError("grid cell " + key + ": " + e.what());
+                  }
+                  row = {cfg.code.label,
+                         cfg.arch,
+                         decoder_kind_name(decoder),
+                         format_double(p),
+                         format_double(pm),
+                         std::to_string(rounds),
+                         path == SamplingPath::AUTO ? "auto" : "exact",
+                         inj.label,
+                         std::to_string(cell.errors.trials),
+                         std::to_string(cell.errors.successes),
+                         Table::pct(cell.errors.rate()),
+                         Table::pct(cell.errors.wilson_low()),
+                         Table::pct(cell.errors.wilson_high()),
+                         cell.detail};
+                  if (sink != nullptr) sink->emit(key, row);
+                  t.add_row(std::move(row));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    rep.table = std::move(t);
+    std::ostringstream note;
+    note << num_cells() << " cells, " << engines_built
+         << " engines built, " << resumed
+         << " resumed from checkpoint; per-cell RNG stream = "
+            "splitmix64(fnv1a(cell key) xor seed "
+         << plan_.seed << ")";
+    rep.notes.push_back(note.str());
+    return rep;
+  }
+
+ private:
+  std::size_t num_cells() const {
+    return plan_.configs.size() * plan_.decoders.size() *
+           plan_.error_rates.size() * plan_.meas_error_rates.size() *
+           plan_.rounds.size() * plan_.paths.size() *
+           plan_.injections.size();
+  }
+
+  std::string cell_key(const ConfigAxis& cfg, DecoderKind decoder, double p,
+                       double pm, std::size_t rounds, SamplingPath path,
+                       const InjectionAxis& inj) const {
+    std::ostringstream key;
+    key << "code=" << cfg.code.label << "|arch=" << cfg.arch
+        << "|decoder=" << decoder_kind_name(decoder)
+        << "|p=" << format_double(p) << "|pm=" << format_double(pm)
+        << "|rounds=" << rounds
+        << "|path=" << (path == SamplingPath::AUTO ? "auto" : "exact")
+        << "|inject=" << inj.label << "|shots=" << plan_.shots;
+    return key.str();
+  }
+
+  GridPlan plan_;
+};
+
+}  // namespace
+
+std::uint64_t grid_cell_seed(std::uint64_t base_seed,
+                             const std::string& cell_key) {
+  return splitmix64_mix(fnv1a64(cell_key) ^ base_seed);
+}
+
+std::unique_ptr<Scenario> make_grid_scenario(const ScenarioSpec& spec) {
+  return std::make_unique<GridScenario>(parse_plan(spec));
+}
+
+}  // namespace radsurf

@@ -1,0 +1,39 @@
+// The generic cross-product campaign executor behind the "grid" scenario.
+//
+// A grid spec enumerates axes — (code, arch) configs, decoders, intrinsic
+// error rates, measurement error rates, round counts, sampling paths and
+// injection workloads — and the executor runs one campaign cell per point
+// of their Cartesian product.  This is the piece the 18 hand-rolled bench
+// binaries could never express: any workload the InjectionEngine supports
+// crossed with any engine axis, in one declarative file.
+//
+// Execution contract:
+//  * cells are enumerated in deterministic row-major axis order, with the
+//    injection axis innermost so one InjectionEngine (the expensive static
+//    pipeline) serves every injection cell of its engine combo;
+//  * each cell's shot loop is sharded through parallel_chunks (inside the
+//    engine's run_* campaigns) from a seed that is a pure function of
+//    (spec seed, cell key) — results are independent of thread count,
+//    schedule, cell execution order and of which cells were resumed;
+//  * every finished cell is streamed to the CampaignSink (see
+//    cli/checkpoint.hpp), making long sharded campaigns resumable per
+//    cell.
+#pragma once
+
+#include <memory>
+
+#include "cli/registry.hpp"
+
+namespace radsurf {
+
+/// Factory for the "grid" scenario: validates spec.params (axes, injection
+/// objects, code/arch/decoder names) and returns the executor.  See
+/// docs/SCENARIOS.md for the full params schema.
+std::unique_ptr<Scenario> make_grid_scenario(const ScenarioSpec& spec);
+
+/// Deterministic per-cell seed: splitmix64-finalized FNV-1a(cell key)
+/// XOR base seed.  Exposed for the determinism tests.
+std::uint64_t grid_cell_seed(std::uint64_t base_seed,
+                             const std::string& cell_key);
+
+}  // namespace radsurf

@@ -1,0 +1,673 @@
+#include "cli/perf_scenarios.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "decoder/decode_cache.hpp"
+#include "decoder/mwpm.hpp"
+#include "decoder/sliding_window.hpp"
+#include "detector/error_model.hpp"
+#include "inject/campaign.hpp"
+#include "noise/depolarizing.hpp"
+#include "noise/radiation.hpp"
+#include "stab/frame_sim.hpp"
+#include "stab/tableau_sim.hpp"
+#include "util/json.hpp"
+
+namespace radsurf {
+
+namespace {
+
+/// %.6g rendering of perf metrics — the BENCH_perf.json number format.
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Round through the %.6g representation so the merged JSON stays compact.
+double round6(double v) { return std::strtod(json_number(v).c_str(), nullptr); }
+
+JsonValue record_to_json(const PerfRecord& r) {
+  JsonValue obj = JsonValue::object();
+  obj.set("scenario", r.scenario);
+  obj.set("shots_per_second", round6(r.shots_per_second));
+  for (const auto& [key, value] : r.extra) obj.set(key, round6(value));
+  return obj;
+}
+
+ExperimentReport records_report(const std::string& title,
+                                const std::vector<PerfRecord>& records,
+                                const PerfRunOptions& options) {
+  ExperimentReport rep;
+  rep.title = title;
+  Table t({"scenario", "items/s", "metrics"});
+  for (const PerfRecord& r : records) {
+    std::ostringstream metrics;
+    for (std::size_t i = 0; i < r.extra.size(); ++i)
+      metrics << (i ? " " : "") << r.extra[i].first << "="
+              << json_number(r.extra[i].second);
+    t.add_row({r.scenario, json_number(r.shots_per_second), metrics.str()});
+  }
+  rep.table = std::move(t);
+  if (!options.bench_json.empty()) {
+    write_perf_json(options.bench_json, records);
+    rep.notes.push_back("merged " + std::to_string(records.size()) +
+                        " records into " + options.bench_json);
+  }
+  if (options.smoke)
+    rep.notes.push_back(
+        "smoke mode: tiny budgets, rates are not meaningful");
+  return rep;
+}
+
+}  // namespace
+
+double measure_rate(const std::function<std::size_t()>& fn,
+                    double min_seconds, int max_reps) {
+  using clock = std::chrono::steady_clock;
+  (void)fn();  // warm-up (first-touch allocations, cache population)
+  double best = 0.0;
+  double total = 0.0;
+  for (int rep = 0; rep < max_reps && (rep < 2 || total < min_seconds);
+       ++rep) {
+    const auto t0 = clock::now();
+    const std::size_t items = fn();
+    const double dt =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    total += dt;
+    if (dt > 0.0 && static_cast<double>(items) / dt > best)
+      best = static_cast<double>(items) / dt;
+  }
+  return best;
+}
+
+double measure_rate_mode(const std::function<std::size_t()>& fn, bool smoke) {
+  return measure_rate(fn, smoke ? 0.0 : 0.25, smoke ? 2 : 12);
+}
+
+std::size_t smoke_shots(bool smoke, std::size_t full, std::size_t tiny) {
+  return smoke ? tiny : full;
+}
+
+void write_perf_json(const std::string& path,
+                     const std::vector<PerfRecord>& records) {
+  // Keep existing records for scenarios this run did not measure.
+  std::vector<JsonValue> lines;
+  {
+    std::vector<std::string> replaced;
+    for (const PerfRecord& r : records) replaced.push_back(r.scenario);
+    std::ifstream probe(path);
+    if (probe.good()) {
+      probe.close();
+      try {
+        const JsonValue existing = JsonValue::parse_file(path);
+        if (const JsonValue* recs = existing.is_object()
+                                        ? existing.find("records")
+                                        : nullptr;
+            recs != nullptr && recs->is_array()) {
+          for (std::size_t i = 0; i < recs->size(); ++i) {
+            const JsonValue& rec = (*recs)[i];
+            if (!rec.is_object()) continue;
+            const JsonValue* name = rec.find("scenario");
+            if (name == nullptr || !name->is_string()) continue;
+            if (std::find(replaced.begin(), replaced.end(),
+                          name->as_string()) == replaced.end())
+              lines.push_back(rec);
+          }
+        }
+      } catch (const JsonError&) {
+        // Corrupt trajectory file: start fresh rather than failing a bench.
+      }
+    }
+  }
+  for (const PerfRecord& r : records) lines.push_back(record_to_json(r));
+
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"radsurf-perf\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    out << "    " << lines[i].dump()
+        << (i + 1 < lines.size() ? "," : "") << "\n";
+  out << "  ]\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// perf_simulator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Circuit noisy_xxzz_circuit() {
+  return DepolarizingModel{1e-2}.apply(XXZZCode(3, 3).build());
+}
+
+Circuit noisy_rep_circuit(int d) {
+  return DepolarizingModel{1e-2}.apply(
+      RepetitionCode(d, RepetitionFlavor::BIT_FLIP).build());
+}
+
+PerfRecord tableau_shot(const std::string& name, const Circuit& c,
+                        bool smoke) {
+  TableauSimulator sim(c);
+  Rng rng(1);
+  BitVec record(c.num_measurements());
+  const std::size_t shots = smoke_shots(smoke, 2048, 64);
+  const double rate = measure_rate_mode(
+      [&] {
+        for (std::size_t s = 0; s < shots; ++s) sim.sample_into(rng, record);
+        return shots;
+      },
+      smoke);
+  return {name, rate, {}};
+}
+
+PerfRecord frame_batch(const std::string& name, const Circuit& c,
+                       std::size_t batch, bool smoke) {
+  FrameSimulator sim(c, batch);
+  Rng rng(1);
+  const double rate = measure_rate_mode(
+      [&] {
+        BitVec residual(batch);
+        sim.run(rng, &residual);
+        return batch;
+      },
+      smoke);
+  return {name, rate, {}};
+}
+
+PerfRecord frame_radiation_batch(const std::string& name, const Circuit& c,
+                                 std::size_t batch, bool smoke) {
+  // Radiation-instrumented circuit through the heralded-reset fast path;
+  // also reports the residual fraction (shots needing an exact re-run).
+  FrameSimulator sim(c, batch);
+  Rng rng(1);
+  std::size_t residual_shots = 0;
+  const double rate = measure_rate_mode(
+      [&] {
+        BitVec residual(batch);
+        sim.run(rng, &residual);
+        residual_shots = residual.popcount();
+        return batch;
+      },
+      smoke);
+  const double residual_fraction =
+      static_cast<double>(residual_shots) / static_cast<double>(batch);
+  return {name, rate, {{"residual_fraction", residual_fraction}}};
+}
+
+}  // namespace
+
+ExperimentReport run_perf_simulator(const PerfRunOptions& options) {
+  const bool smoke = options.smoke;
+  std::vector<PerfRecord> records;
+
+  records.push_back(
+      tableau_shot("simulator/tableau/xxzz33", noisy_xxzz_circuit(), smoke));
+  records.push_back(
+      tableau_shot("simulator/tableau/rep5", noisy_rep_circuit(5), smoke));
+  records.push_back(
+      tableau_shot("simulator/tableau/rep15", noisy_rep_circuit(15), smoke));
+
+  records.push_back(frame_batch("simulator/frame/xxzz33/b256",
+                                noisy_xxzz_circuit(), 256, smoke));
+  records.push_back(frame_batch("simulator/frame/xxzz33/b1024",
+                                noisy_xxzz_circuit(), 1024, smoke));
+  records.push_back(frame_batch("simulator/frame/rep5/b1024",
+                                noisy_rep_circuit(5), 1024, smoke));
+
+  {
+    // Strike of intensity 1.0 at qubit 2 with spatial spread on the rep-5
+    // mesh, the paper's Fig. 5 hot path.
+    const Graph arch = make_mesh(5, 2);
+    const Circuit base = noisy_rep_circuit(5);
+    const RadiationModel radiation;
+    const Circuit rad = instrument_reset_noise(
+        base, radiation.qubit_probabilities(arch, 2, 1.0, true));
+    records.push_back(frame_radiation_batch(
+        "simulator/frame_radiation/rep5/b1024", rad, 1024, smoke));
+  }
+
+  {
+    TableauSimulator sim(noisy_xxzz_circuit());
+    const double rate = measure_rate_mode(
+        [&] { return (void)sim.reference_sample(), std::size_t{1}; }, smoke);
+    records.push_back({"simulator/reference_sample/xxzz33", rate, {}});
+  }
+
+  return records_report("perf_simulator (shots/s)", records, options);
+}
+
+// ---------------------------------------------------------------------------
+// perf_decoder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+MatchingGraph xxzz_graph() {
+  const Circuit noisy = DepolarizingModel{1e-2}.apply(XXZZCode(3, 3).build());
+  return MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+}
+
+MatchingGraph rep_graph(int d) {
+  const Circuit noisy = DepolarizingModel{1e-2}.apply(
+      RepetitionCode(d, RepetitionFlavor::BIT_FLIP).build());
+  return MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+}
+
+std::vector<std::uint32_t> random_defects(std::size_t num_detectors,
+                                          std::size_t k, Rng& rng) {
+  std::vector<std::uint32_t> out;
+  while (out.size() < k && out.size() < num_detectors) {
+    const auto d = static_cast<std::uint32_t>(rng.below(num_detectors));
+    if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Type-erasing wrapper: hides the MwpmDecoder from CachingDecoder's
+// dynamic_cast, forcing whole-syndrome memoization (the baseline the
+// cluster cache is measured against).
+struct OpaqueDecoder final : Decoder {
+  explicit OpaqueDecoder(Decoder& inner) : inner_(inner) {}
+  std::string name() const override { return inner_.name(); }
+  std::uint64_t decode(const std::vector<std::uint32_t>& defects) override {
+    return inner_.decode(defects);
+  }
+  Decoder& inner_;
+};
+
+PerfRecord decode_sweep(const std::string& name, Decoder& dec,
+                        std::size_t num_detectors, std::size_t k,
+                        bool smoke) {
+  Rng rng(1);
+  const auto defects = random_defects(num_detectors, k, rng);
+  const std::size_t reps = smoke ? 16 : 256;
+  const double rate = measure_rate_mode(
+      [&] {
+        for (std::size_t i = 0; i < reps; ++i) dec.decode(defects);
+        return reps;
+      },
+      smoke);
+  return {name, rate, {}};
+}
+
+}  // namespace
+
+ExperimentReport run_perf_decoder(const PerfRunOptions& options) {
+  const bool smoke = options.smoke;
+  std::vector<PerfRecord> records;
+
+  {
+    const auto g = rep_graph(15);
+    MwpmDecoder dec(g);
+    for (std::size_t k : {2u, 6u, 12u, 20u})
+      records.push_back(decode_sweep("decoder/mwpm/rep15/k" +
+                                         std::to_string(k),
+                                     dec, g.num_detectors(), k, smoke));
+  }
+
+  {
+    const auto g = xxzz_graph();
+    for (auto kind :
+         {DecoderKind::MWPM, DecoderKind::UNION_FIND, DecoderKind::GREEDY}) {
+      const auto dec = make_decoder(kind, g);
+      records.push_back(decode_sweep(
+          "decoder/" + decoder_kind_name(kind) + "/xxzz33/k6", *dec,
+          g.num_detectors(), 6, smoke));
+    }
+  }
+
+  {
+    // Campaign-realistic memoization: radiation shots draw from a small
+    // hot set of syndromes.  Stream decodes over a pool of 32 distinct
+    // defect sets and report the steady-state hit rate.
+    const auto g = rep_graph(15);
+    MwpmDecoder inner(g);
+    CachingDecoder cached(inner);
+    Rng rng(7);
+    std::vector<std::vector<std::uint32_t>> pool;
+    for (int i = 0; i < 32; ++i)
+      pool.push_back(random_defects(g.num_detectors(), 8, rng));
+    const std::size_t stream = smoke ? 256 : 4096;
+    const double rate = measure_rate_mode(
+        [&] {
+          for (std::size_t i = 0; i < stream; ++i)
+            cached.decode(pool[rng.below(pool.size())]);
+          return stream;
+        },
+        smoke);
+    records.push_back({"decoder/mwpm_cached/rep15/pool32",
+                       rate,
+                       {{"cache_hit_rate", cached.stats().hit_rate()}}});
+  }
+
+  {
+    // Per-cluster vs whole-syndrome memoization on a locality-structured
+    // stream: each syndrome is the union of two far-apart defect pairs
+    // (disjoint internal edges the union-find prefilter actually splits),
+    // so the *whole-syndrome* vocabulary is the large pair-product space
+    // while the *cluster* vocabulary is just the small set of edges.
+    // Every syndrome is distinct by construction; the cold-pass hit-rate
+    // gain of cluster keys is part of the bench contract.
+    const auto g = rep_graph(15);
+    const auto nd = static_cast<std::uint32_t>(g.num_detectors());
+    MwpmDecoder prefilter(g);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> internal;
+    for (const MatchingEdge& e : g.edges())
+      if (e.a < nd && e.b < nd && e.a != e.b) internal.push_back({e.a, e.b});
+    std::vector<std::vector<std::uint32_t>> stream;
+    for (std::size_t x = 0; x < internal.size() && stream.size() < 2048;
+         ++x) {
+      for (std::size_t y = x + 1;
+           y < internal.size() && stream.size() < 2048; ++y) {
+        const auto [a1, b1] = internal[x];
+        const auto [a2, b2] = internal[y];
+        if (a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2) continue;
+        std::vector<std::uint32_t> defects{a1, b1, a2, b2};
+        std::sort(defects.begin(), defects.end());
+        if (prefilter.defect_clusters(defects).size() < 2) continue;
+        stream.push_back(defects);
+      }
+    }
+    MwpmDecoder inner_cluster(g);
+    CachingDecoder clustered(inner_cluster);
+    MwpmDecoder inner_whole(g);
+    OpaqueDecoder opaque(inner_whole);
+    CachingDecoder whole(opaque);
+    const double cluster_rate = measure_rate_mode(
+        [&] {
+          for (const auto& defects : stream) clustered.decode(defects);
+          return stream.size();
+        },
+        smoke);
+    const double whole_rate = measure_rate_mode(
+        [&] {
+          for (const auto& defects : stream) whole.decode(defects);
+          return stream.size();
+        },
+        smoke);
+    // Hit rates come from one *cold* pass each: measure_rate repeats the
+    // stream, and by the second pass every whole-syndrome key is cached
+    // too, hiding the structural difference the assertion pins down.
+    MwpmDecoder cold_cluster_inner(g);
+    CachingDecoder cold_cluster(cold_cluster_inner);
+    MwpmDecoder cold_whole_inner(g);
+    OpaqueDecoder cold_opaque(cold_whole_inner);
+    CachingDecoder cold_whole(cold_opaque);
+    for (const auto& defects : stream) {
+      cold_cluster.decode(defects);
+      cold_whole.decode(defects);
+    }
+    const double cluster_hits = cold_cluster.stats().hit_rate();
+    const double whole_hits = cold_whole.stats().hit_rate();
+    records.push_back({"decoder/mwpm_cached_cluster/rep15/distinct",
+                       cluster_rate,
+                       {{"cache_hit_rate", cluster_hits}}});
+    records.push_back({"decoder/mwpm_cached_whole/rep15/distinct",
+                       whole_rate,
+                       {{"cache_hit_rate", whole_hits}}});
+    RADSURF_ASSERT_MSG(cluster_hits > whole_hits,
+                       "perf contract violated: cluster-cache hit rate "
+                           << cluster_hits
+                           << " did not beat whole-syndrome hit rate "
+                           << whole_hits);
+  }
+
+  {
+    // Decoder construction proper (graph prebuilt): sparse is O(E), dense
+    // pays the eager all-pairs Dijkstra precompute.
+    const auto g = rep_graph(15);
+    const double sparse_rate = measure_rate_mode(
+        [&] {
+          MwpmDecoder dec(g);
+          return std::size_t{1};
+        },
+        smoke);
+    records.push_back({"decoder/mwpm_construction/rep15", sparse_rate, {}});
+    const double dense_rate = measure_rate_mode(
+        [&] {
+          MwpmDecoder dec(g, MwpmOptions{false, /*lazy=*/false, true});
+          return std::size_t{1};
+        },
+        smoke);
+    records.push_back(
+        {"decoder/mwpm_construction/rep15/dense", dense_rate, {}});
+    // Cold-start decode: construction plus one decode, the sliding-window
+    // and campaign-setup pattern (lazy rows only grow around the defects).
+    Rng rng(3);
+    const auto defects = random_defects(g.num_detectors(), 6, rng);
+    const double cold_rate = measure_rate_mode(
+        [&] {
+          MwpmDecoder dec(g);
+          (void)dec.decode(defects);
+          return std::size_t{1};
+        },
+        smoke);
+    records.push_back({"decoder/mwpm_cold_decode/rep15/k6", cold_rate, {}});
+  }
+
+  return records_report("perf_decoder (decodes/s)", records, options);
+}
+
+// ---------------------------------------------------------------------------
+// perf_pipeline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+EngineOptions path_options(SamplingPath path) {
+  EngineOptions opts;
+  opts.sampling_path = path;
+  return opts;
+}
+
+struct CampaignMeasurement {
+  double shots_per_second = 0.0;
+  double cache_hit_rate = 0.0;
+  double residual_fraction = 0.0;
+};
+
+template <typename RunFn>
+CampaignMeasurement measure_campaign(const SurfaceCode& code,
+                                     const Graph& arch, SamplingPath path,
+                                     std::size_t shots, const RunFn& run,
+                                     bool smoke) {
+  InjectionEngine engine(code, arch, path_options(path));
+  CampaignMeasurement out;
+  std::uint64_t seed = 1;
+  out.shots_per_second = measure_rate_mode(
+      [&] {
+        run(engine, shots, seed++);
+        return shots;
+      },
+      smoke);
+  out.cache_hit_rate = engine.decode_cache_stats().hit_rate();
+  out.residual_fraction = engine.residual_fraction();
+  return out;
+}
+
+}  // namespace
+
+ExperimentReport run_perf_pipeline(const PerfRunOptions& options) {
+  const bool smoke = options.smoke;
+  std::vector<PerfRecord> records;
+
+  const RepetitionCode rep5(5, RepetitionFlavor::BIT_FLIP);
+  const XXZZCode xxzz33(3, 3);
+  const Graph mesh52 = make_mesh(5, 2);
+  const Graph mesh54 = make_mesh(5, 4);
+
+  // --- intrinsic noise only (pure-Pauli frame path) ------------------------
+  {
+    const auto run = [](const InjectionEngine& e, std::size_t shots,
+                        std::uint64_t seed) {
+      return e.run_intrinsic(shots, seed);
+    };
+    const auto frame = measure_campaign(rep5, mesh52, SamplingPath::AUTO,
+                                        smoke_shots(smoke, 4096), run, smoke);
+    records.push_back({"pipeline/intrinsic/rep5",
+                       frame.shots_per_second,
+                       {{"cache_hit_rate", frame.cache_hit_rate},
+                        {"residual_fraction", frame.residual_fraction}}});
+  }
+
+  // --- radiation campaigns: frame fast path vs exact baseline --------------
+  const auto radiation_scenario = [&](const std::string& name,
+                                      const SurfaceCode& code,
+                                      const Graph& arch, std::size_t shots) {
+    const auto run = [](const InjectionEngine& e, std::size_t s,
+                        std::uint64_t seed) {
+      return e.run_radiation_at(2, 1.0, true, s, seed);
+    };
+    const auto frame =
+        measure_campaign(code, arch, SamplingPath::AUTO, shots, run, smoke);
+    const auto exact =
+        measure_campaign(code, arch, SamplingPath::EXACT, shots, run, smoke);
+    const double speedup =
+        exact.shots_per_second > 0
+            ? frame.shots_per_second / exact.shots_per_second
+            : 0.0;
+    records.push_back({name + "/frame",
+                       frame.shots_per_second,
+                       {{"cache_hit_rate", frame.cache_hit_rate},
+                        {"residual_fraction", frame.residual_fraction},
+                        {"speedup_vs_exact", speedup}}});
+    records.push_back({name + "/exact",
+                       exact.shots_per_second,
+                       {{"cache_hit_rate", exact.cache_hit_rate},
+                        {"residual_fraction", exact.residual_fraction}}});
+  };
+  radiation_scenario("pipeline/radiation/rep5", rep5, mesh52,
+                     smoke_shots(smoke, 4096));
+  radiation_scenario("pipeline/radiation/xxzz33", xxzz33, mesh54,
+                     smoke_shots(smoke, 4096));
+
+  // --- shared-instant erasure (Figs 6-7 workload) --------------------------
+  {
+    const auto run = [](const InjectionEngine& e, std::size_t shots,
+                        std::uint64_t seed) {
+      return e.run_erasure({e.active_qubits()[0], e.active_qubits()[1]},
+                           shots, seed);
+    };
+    const std::size_t shots = smoke_shots(smoke, 4096);
+    const auto frame =
+        measure_campaign(rep5, mesh52, SamplingPath::AUTO, shots, run, smoke);
+    const auto exact = measure_campaign(rep5, mesh52, SamplingPath::EXACT,
+                                        shots, run, smoke);
+    const double speedup =
+        exact.shots_per_second > 0
+            ? frame.shots_per_second / exact.shots_per_second
+            : 0.0;
+    records.push_back({"pipeline/erasure/rep5/frame",
+                       frame.shots_per_second,
+                       {{"cache_hit_rate", frame.cache_hit_rate},
+                        {"residual_fraction", frame.residual_fraction},
+                        {"speedup_vs_exact", speedup}}});
+    records.push_back({"pipeline/erasure/rep5/exact",
+                       exact.shots_per_second,
+                       {{"cache_hit_rate", exact.cache_hit_rate},
+                        {"residual_fraction", exact.residual_fraction}}});
+  }
+
+  // --- static pipeline construction ---------------------------------------
+  {
+    const double rate = measure_rate_mode(
+        [&] {
+          InjectionEngine engine(xxzz33, mesh54, EngineOptions{});
+          return std::size_t{1};
+        },
+        smoke);
+    records.push_back({"pipeline/engine_construction/xxzz33", rate, {}});
+  }
+
+  return records_report("perf_pipeline (campaign shots/s)", records,
+                        options);
+}
+
+// ---------------------------------------------------------------------------
+// perf_timeline
+// ---------------------------------------------------------------------------
+
+ExperimentReport run_perf_timeline(const PerfRunOptions& options) {
+  const bool smoke = options.smoke;
+  constexpr std::size_t kRounds = 200;
+  const std::size_t kShots = smoke_shots(smoke, 512, 16);
+  std::vector<PerfRecord> records;
+
+  const RepetitionCode rep5(5, RepetitionFlavor::BIT_FLIP);
+  const Graph mesh52 = make_mesh(5, 2);
+
+  EngineOptions opts;
+  opts.rounds = kRounds;
+  opts.whole_history_decoder = false;  // decoder memory stays O(window)
+  const InjectionEngine engine(rep5, mesh52, opts);
+
+  TimelineOptions topts;
+  topts.events_per_round = 0.02;
+  topts.duration_rounds = 10;
+  const RadiationTimeline timeline(engine.radiation(), topts);
+  Rng event_rng(20260729);
+  const auto events =
+      timeline.sample(kRounds, engine.active_qubits(), event_rng);
+
+  // --- sliding windows (W = 10, C = 5) -------------------------------------
+  const SlidingWindowOptions window{10, 5};
+  const SlidingWindowDecoder probe(engine.matching_graph(),
+                                   engine.detector_rounds(), kRounds,
+                                   window);
+  {
+    std::uint64_t seed = 1;
+    const double rate = measure_rate_mode(
+        [&] {
+          engine.run_timeline(timeline, events, kShots, seed++, window);
+          return kShots;
+        },
+        smoke);
+    records.push_back(
+        {"timeline/rep5_200r/window",
+         rate,
+         {{"rounds", static_cast<double>(kRounds)},
+          {"window", static_cast<double>(window.window)},
+          {"num_windows", static_cast<double>(probe.num_windows())},
+          {"window_decoders", static_cast<double>(probe.num_decoders())},
+          {"max_window_detectors",
+           static_cast<double>(probe.max_window_detectors())},
+          {"cache_hit_rate", engine.decode_cache_stats().hit_rate()}}});
+  }
+
+  // --- whole-history baseline (window >= rounds: one full-size MWPM) -------
+  {
+    const SlidingWindowOptions whole{kRounds, 0};
+    std::uint64_t seed = 1;
+    const double rate = measure_rate_mode(
+        [&] {
+          engine.run_timeline(timeline, events, kShots, seed++, whole);
+          return kShots;
+        },
+        smoke);
+    records.push_back(
+        {"timeline/rep5_200r/whole_history",
+         rate,
+         {{"rounds", static_cast<double>(kRounds)},
+          {"history_detectors",
+           static_cast<double>(engine.matching_graph().num_detectors())}}});
+  }
+
+  ExperimentReport rep = records_report(
+      "perf_timeline (200-round rep-(5,1) campaign shots/s)", records,
+      options);
+  rep.notes.insert(rep.notes.begin(),
+                   "events in realization: " + std::to_string(events.size()));
+  return rep;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,73 @@
+// Performance benches as registry scenarios (moved here from the four
+// standalone bench/perf_*.cpp binaries, which are now compatibility shims).
+//
+// Each run_perf_* function measures wall-clock throughput of one subsystem
+// and merges its scenario records into the BENCH_perf.json perf-trajectory
+// file: a JSON object whose "records" array holds one object per scenario,
+// one per line:
+//   {"scenario": "pipeline/radiation/rep5", "shots_per_second": 1.2e6,
+//    "cache_hit_rate": 0.97, "speedup_vs_exact": 9.3}
+// Re-running a bench replaces its own scenarios and preserves the others,
+// so successive PRs accumulate a comparable perf history.
+//
+// Smoke mode runs a tiny shot budget with two quick repetitions — CI uses
+// it to validate that the benches execute and emit well-formed JSON; no
+// timing assertions (timings from shared runners are noise).  Structural
+// contracts (e.g. the cluster-cache hit-rate gain in run_perf_decoder) are
+// still asserted in smoke mode and throw radsurf::Error on violation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiments.hpp"
+
+namespace radsurf {
+
+struct PerfRecord {
+  std::string scenario;
+  double shots_per_second = 0.0;
+  // Optional scenario-specific metrics (cache_hit_rate, speedup_vs_exact,
+  // residual_fraction, ...).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Best-of-reps throughput: `fn` performs one repetition and returns the
+/// number of work items (shots, decodes, ...) it processed.  One warm-up
+/// repetition, then repetitions until `min_seconds` of measured time or
+/// `max_reps`, keeping the fastest rate.
+double measure_rate(const std::function<std::size_t()>& fn,
+                    double min_seconds = 0.25, int max_reps = 12);
+
+/// measure_rate with the shared smoke-mode budget policy: two quick reps
+/// in smoke mode, the full best-of measurement otherwise.
+double measure_rate_mode(const std::function<std::size_t()>& fn, bool smoke);
+
+/// Shot budget helper: full budget normally, a fixed tiny budget in smoke
+/// mode.
+std::size_t smoke_shots(bool smoke, std::size_t full, std::size_t tiny = 64);
+
+/// Merge `records` into the BENCH JSON file at `path` (see file comment),
+/// preserving records of scenarios this run did not measure.
+void write_perf_json(const std::string& path,
+                     const std::vector<PerfRecord>& records);
+
+struct PerfRunOptions {
+  bool smoke = false;
+  /// Merge destination; "" skips writing (the registry smoke sweep).
+  std::string bench_json = "BENCH_perf.json";
+};
+
+/// Stabilizer-simulation throughput (tableau vs frame vs radiation frame).
+ExperimentReport run_perf_simulator(const PerfRunOptions& options);
+/// Decoding throughput: defect-density sweep, decoder kinds, sparse MWPM
+/// construction, syndrome caches (asserts the cluster-cache gain).
+ExperimentReport run_perf_decoder(const PerfRunOptions& options);
+/// End-to-end campaign throughput, frame fast path vs exact baseline.
+ExperimentReport run_perf_pipeline(const PerfRunOptions& options);
+/// Long-horizon timeline campaign: sliding windows vs whole history.
+ExperimentReport run_perf_timeline(const PerfRunOptions& options);
+
+}  // namespace radsurf

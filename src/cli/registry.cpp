@@ -1,0 +1,191 @@
+#include "cli/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cli/grid.hpp"
+#include "cli/perf_scenarios.hpp"
+#include "core/ablations.hpp"
+
+namespace radsurf {
+
+namespace {
+
+/// Common shots/seed mapping: an explicit shot budget always wins; with
+/// no budget, smoke mode takes the tiny floor (the resolve_shots minimum
+/// of 20) instead of the per-figure default.
+ExperimentOptions experiment_options(const ScenarioSpec& spec) {
+  ExperimentOptions opts;
+  opts.shots = spec.shots != 0 ? spec.shots
+                               : (spec.smoke ? 1 : 0);  // 1 floors to 20
+  opts.seed = spec.seed;
+  return opts;
+}
+
+/// Factory for scenarios parameterized by ExperimentOptions only: rejects
+/// any spec.params field.
+ScenarioFactory options_only(
+    ExperimentReport (*fn)(const ExperimentOptions&)) {
+  return [fn](const ScenarioSpec& spec) -> std::unique_ptr<Scenario> {
+    SpecReader params(spec.params, "$.params");
+    params.finish();  // no params accepted
+    const ExperimentOptions opts = experiment_options(spec);
+    return std::make_unique<FunctionScenario>(
+        [fn, opts](CampaignSink*) { return fn(opts); });
+  };
+}
+
+RadiationModel radiation_params(SpecReader& params) {
+  RadiationModel model;
+  model.gamma = params.get_number("gamma", model.gamma);
+  model.n = params.get_number("n", model.n);
+  model.ns = static_cast<std::size_t>(params.get_uint("ns", model.ns));
+  return model;
+}
+
+std::unique_ptr<Scenario> make_fig3(const ScenarioSpec& spec) {
+  SpecReader params(spec.params, "$.params");
+  const RadiationModel model = radiation_params(params);
+  params.finish();
+  return std::make_unique<FunctionScenario>(
+      [model](CampaignSink*) { return fig3_temporal_decay(model); });
+}
+
+std::unique_ptr<Scenario> make_fig4(const ScenarioSpec& spec) {
+  SpecReader params(spec.params, "$.params");
+  const RadiationModel model = radiation_params(params);
+  const int extent =
+      static_cast<int>(params.get_uint("extent", 10));
+  params.finish();
+  return std::make_unique<FunctionScenario>([model, extent](CampaignSink*) {
+    return fig4_spatial_decay(model, extent);
+  });
+}
+
+std::unique_ptr<Scenario> make_fig5(const ScenarioSpec& spec) {
+  SpecReader params(spec.params, "$.params");
+  Fig5Options fig5;
+  fig5.error_rates =
+      params.get_number_list("error_rates", fig5.error_rates);
+  fig5.root = static_cast<std::uint32_t>(params.get_uint("root", fig5.root));
+  params.finish();
+  const ExperimentOptions opts = experiment_options(spec);
+  return std::make_unique<FunctionScenario>([opts, fig5](CampaignSink*) {
+    return fig5_noise_vs_radiation(opts, fig5);
+  });
+}
+
+std::unique_ptr<Scenario> make_perf(
+    const ScenarioSpec& spec,
+    ExperimentReport (*fn)(const PerfRunOptions&)) {
+  SpecReader params(spec.params, "$.params");
+  PerfRunOptions opts;
+  opts.smoke = spec.smoke;
+  // The smoke sweep must not clobber the repo's perf trajectory, so smoke
+  // defaults to not writing; explicit bench_json always wins.
+  opts.bench_json =
+      params.get_string("bench_json", spec.smoke ? "" : "BENCH_perf.json");
+  params.finish();
+  return std::make_unique<FunctionScenario>(
+      [fn, opts](CampaignSink*) { return fn(opts); });
+}
+
+std::vector<ScenarioInfo> build_registry() {
+  std::vector<ScenarioInfo> r;
+  r.push_back({"fig3", "temporal decay T(t) and its step approximation",
+               make_fig3});
+  r.push_back({"fig4", "spatial decay S(d) heatmap around the impact point",
+               make_fig4});
+  r.push_back({"fig5",
+               "LER landscape: intrinsic noise x radiation time evolution",
+               make_fig5});
+  r.push_back({"fig6", "single non-spreading erasure at t=0 vs code distance",
+               options_only(fig6_code_distance)});
+  r.push_back({"fig7",
+               "k simultaneous erasures vs one spreading radiation fault",
+               options_only(fig7_fault_spread)});
+  r.push_back({"fig8",
+               "median LER by root qubit across architectures",
+               options_only(fig8_architecture)});
+  r.push_back({"abl_decoders",
+               "decoder-kind ablation (mwpm / union-find / greedy)",
+               options_only(abl_decoders)});
+  r.push_back({"abl_rounds", "stabilisation-round-count ablation",
+               options_only(abl_rounds)});
+  r.push_back({"abl_meas_error", "readout (SPAM) error sensitivity sweep",
+               options_only(abl_meas_error)});
+  r.push_back({"abl_noise_channel",
+               "two-qubit channel ablation: E(x)E vs uniform 15-Pauli",
+               options_only(abl_noise_channel)});
+  r.push_back({"abl_time_sampling",
+               "temporal step-function resolution ns sweep",
+               options_only(abl_time_sampling)});
+  r.push_back({"abl_aware_decoder",
+               "radiation-aware MWPM headroom (paper RQ3)",
+               options_only(abl_aware_decoder)});
+  r.push_back({"ext_timeline",
+               "LER per round vs Poisson event rate, sliding windows",
+               options_only(ext_timeline)});
+  r.push_back({"ext_logical_layer",
+               "post-QEC logical-layer fault injection (5-patch GHZ)",
+               options_only(ext_logical_layer)});
+  r.push_back({"perf_simulator",
+               "simulator throughput benches (BENCH_perf.json)",
+               [](const ScenarioSpec& s) {
+                 return make_perf(s, run_perf_simulator);
+               }});
+  r.push_back({"perf_decoder",
+               "decoder throughput benches (BENCH_perf.json)",
+               [](const ScenarioSpec& s) {
+                 return make_perf(s, run_perf_decoder);
+               }});
+  r.push_back({"perf_pipeline",
+               "end-to-end campaign throughput benches (BENCH_perf.json)",
+               [](const ScenarioSpec& s) {
+                 return make_perf(s, run_perf_pipeline);
+               }});
+  r.push_back({"perf_timeline",
+               "long-horizon timeline throughput benches (BENCH_perf.json)",
+               [](const ScenarioSpec& s) {
+                 return make_perf(s, run_perf_timeline);
+               }});
+  r.push_back({"grid",
+               "generic cross-product campaign over engine and injection "
+               "axes",
+               make_grid_scenario});
+  return r;
+}
+
+}  // namespace
+
+const std::vector<ScenarioInfo>& scenario_registry() {
+  static const std::vector<ScenarioInfo> registry = build_registry();
+  return registry;
+}
+
+const ScenarioInfo* find_scenario(const std::string& name) {
+  for (const ScenarioInfo& info : scenario_registry())
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+std::unique_ptr<Scenario> make_scenario(const ScenarioSpec& spec) {
+  const ScenarioInfo* info = find_scenario(spec.scenario);
+  if (info == nullptr) {
+    std::ostringstream ss;
+    ss << "unknown scenario \"" << spec.scenario << "\" (registered:";
+    for (const ScenarioInfo& i : scenario_registry()) ss << " " << i.name;
+    ss << ")";
+    throw SpecError(ss.str());
+  }
+  return info->factory(spec);
+}
+
+ScenarioSpec smoke_spec(const std::string& name) {
+  ScenarioSpec spec;
+  spec.scenario = name;
+  spec.smoke = true;
+  return spec;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,80 @@
+// The scenario registry: every experiment this repository can run, as a
+// named factory over declarative specs.
+//
+// A ScenarioFactory validates spec.params (strictly — unknown fields and
+// bad types throw SpecError before any sampling starts) and returns a
+// Scenario whose run() produces the familiar ExperimentReport.  The
+// registry is the single seam between workloads and entrypoints: the
+// `radsurf` CLI, the legacy bench binaries (now compatibility shims), the
+// test suite's smoke sweep and the CI docs-and-specs job all resolve
+// scenarios here, so a new workload registered once is immediately
+// spec-drivable, listable, smoke-tested and documented by name.
+//
+// Registered names (see docs/SCENARIOS.md for the params of each):
+//   fig3 fig4 fig5 fig6 fig7 fig8            paper figure reproductions
+//   abl_decoders abl_rounds abl_meas_error   ablations beyond the paper
+//   abl_noise_channel abl_time_sampling abl_aware_decoder
+//   ext_timeline ext_logical_layer           extensions (timelines, logical)
+//   perf_simulator perf_decoder              perf benches (BENCH_perf.json)
+//   perf_pipeline perf_timeline
+//   grid                                     generic cross-product campaign
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli/spec.hpp"
+#include "core/experiments.hpp"
+
+namespace radsurf {
+
+class CampaignSink;  // cli/checkpoint.hpp
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+  /// Execute the scenario.  `sink` (may be null) provides per-cell
+  /// checkpoint lookup and streaming emission; only campaign scenarios
+  /// (grid) consult it — monolithic report scenarios ignore it.
+  virtual ExperimentReport run(CampaignSink* sink) = 0;
+};
+
+using ScenarioFactory =
+    std::function<std::unique_ptr<Scenario>(const ScenarioSpec&)>;
+
+struct ScenarioInfo {
+  std::string name;
+  std::string summary;  // one-liner for `radsurf list` and the docs
+  ScenarioFactory factory;
+};
+
+/// All registered scenarios, in listing order.
+const std::vector<ScenarioInfo>& scenario_registry();
+
+/// Lookup by name; nullptr when unknown.
+const ScenarioInfo* find_scenario(const std::string& name);
+
+/// Validate spec.params and build the scenario.  Throws SpecError for an
+/// unknown scenario name (listing the known ones) or malformed params.
+std::unique_ptr<Scenario> make_scenario(const ScenarioSpec& spec);
+
+/// The tiny-budget spec the smoke sweep (`radsurf run --smoke`, the
+/// registry test, CI) uses for `name`.
+ScenarioSpec smoke_spec(const std::string& name);
+
+/// Adapter used by registry factories: wraps a callable producing the
+/// report (validated and bound at factory time).
+class FunctionScenario final : public Scenario {
+ public:
+  explicit FunctionScenario(
+      std::function<ExperimentReport(CampaignSink*)> fn)
+      : fn_(std::move(fn)) {}
+  ExperimentReport run(CampaignSink* sink) override { return fn_(sink); }
+
+ private:
+  std::function<ExperimentReport(CampaignSink*)> fn_;
+};
+
+}  // namespace radsurf

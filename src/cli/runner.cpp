@@ -1,0 +1,281 @@
+#include "cli/runner.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cli/checkpoint.hpp"
+#include "cli/registry.hpp"
+#include "util/json.hpp"
+
+namespace radsurf {
+
+namespace {
+
+constexpr const char* kUsage = R"(radsurf — spec-driven experiment runner
+
+usage:
+  radsurf run <spec.json | scenario> [options]   run one scenario
+  radsurf run --smoke                            smoke-run every registered scenario
+  radsurf list                                   list registered scenarios
+  radsurf validate <spec.json ...>               parse + validate specs without running
+  radsurf help                                   this text
+
+run options:
+  --shots N         override the spec's shot budget
+  --seed N          override the spec's base seed
+  --smoke           tiny budgets (CI validation; perf JSON writing disabled)
+  --csv             print the result table as CSV instead of aligned text
+  --out FILE        write the result table as CSV
+  --json-out FILE   write the full report as JSON
+  --checkpoint FILE per-cell JSONL checkpoint (campaign scenarios resume from it)
+  --fresh           discard an existing checkpoint instead of resuming
+
+Scenario specs live in specs/ (one per paper figure, plus cross-product
+campaigns); docs/SCENARIOS.md documents the schema.
+)";
+
+void write_file(const std::string& path, const std::string& content,
+                const char* what) {
+  std::ofstream out(path);
+  if (!out) throw SpecError(std::string(what) + ": cannot open " + path);
+  out << content;
+  if (!out) throw SpecError(std::string(what) + ": write failed for " + path);
+}
+
+/// Strict decimal parse for CLI counts: rejects signs, garbage and
+/// overflow with an error naming the flag (std::stoull would wrap "-2" to
+/// 1.8e19 shots and report bare "stoull" on junk).
+std::uint64_t parse_uint_flag(const char* flag, const std::string& text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (text.empty() || ec != std::errc() ||
+      ptr != text.data() + text.size())
+    throw SpecError(std::string(flag) + ": expected a non-negative "
+                    "integer, got \"" + text + "\"");
+  return value;
+}
+
+struct RunArgs {
+  std::string target;  // spec file or scenario name ("" = all, smoke only)
+  std::optional<std::size_t> shots;
+  std::optional<std::uint64_t> seed;
+  bool smoke = false;
+  bool csv = false;
+  bool fresh = false;
+  std::string out_csv;
+  std::string out_json;
+  std::string checkpoint;
+};
+
+RunArgs parse_run_args(int argc, char** argv, int begin) {
+  RunArgs args;
+  for (int i = begin; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* what) -> std::string {
+      if (i + 1 >= argc)
+        throw SpecError(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--shots") {
+      args.shots = parse_uint_flag("--shots", next_value("--shots"));
+    } else if (arg == "--seed") {
+      args.seed = parse_uint_flag("--seed", next_value("--seed"));
+    } else if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--fresh") {
+      args.fresh = true;
+    } else if (arg == "--out") {
+      args.out_csv = next_value("--out");
+    } else if (arg == "--json-out") {
+      args.out_json = next_value("--json-out");
+    } else if (arg == "--checkpoint") {
+      args.checkpoint = next_value("--checkpoint");
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw SpecError("unknown option " + arg + " (see radsurf help)");
+    } else if (args.target.empty()) {
+      args.target = arg;
+    } else {
+      throw SpecError("unexpected argument " + arg +
+                      " (one spec per run; see radsurf help)");
+    }
+  }
+  return args;
+}
+
+bool looks_like_file(const std::string& target) {
+  if (target.size() > 5 && target.substr(target.size() - 5) == ".json")
+    return true;
+  return static_cast<bool>(std::ifstream(target));
+}
+
+ScenarioSpec load_target(const RunArgs& args) {
+  ScenarioSpec spec;
+  if (looks_like_file(args.target)) {
+    spec = ScenarioSpec::from_file(args.target);
+  } else {
+    spec.scenario = args.target;  // bare registry name, default spec
+  }
+  if (args.smoke) {
+    spec.smoke = true;
+    spec.shots = 0;  // drop the spec file's budget; the floor takes over
+  }
+  // Explicit CLI overrides beat both the spec file and the smoke floor.
+  if (args.shots) spec.shots = *args.shots;
+  if (args.seed) spec.seed = *args.seed;
+  if (!args.out_csv.empty()) spec.output.csv_path = args.out_csv;
+  if (!args.out_json.empty()) spec.output.json_path = args.out_json;
+  if (!args.checkpoint.empty()) spec.output.checkpoint_path = args.checkpoint;
+  return spec;
+}
+
+int run_all_smoke(const RunArgs& args) {
+  for (const ScenarioInfo& info : scenario_registry()) {
+    ScenarioSpec spec = smoke_spec(info.name);
+    if (args.shots) spec.shots = *args.shots;
+    if (args.seed) spec.seed = *args.seed;
+    const ExperimentReport report = run_spec(spec);
+    std::cout << "smoke " << info.name << ": ok (" << report.table.num_rows()
+              << " rows — " << report.title << ")\n";
+  }
+  std::cout << "smoke-ran " << scenario_registry().size() << " scenarios\n";
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  const RunArgs args = parse_run_args(argc, argv, 2);
+  if (args.target.empty()) {
+    if (!args.smoke)
+      throw SpecError("radsurf run needs a spec file or scenario name "
+                      "(or --smoke to sweep all scenarios)");
+    return run_all_smoke(args);
+  }
+  const ScenarioSpec spec = load_target(args);
+  const ExperimentReport report = run_spec(spec, args.fresh);
+  std::cout << report.to_string(args.csv);
+  return 0;
+}
+
+int cmd_list() {
+  for (const ScenarioInfo& info : scenario_registry())
+    std::cout << info.name << "\t" << info.summary << "\n";
+  return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc <= 2)
+    throw SpecError("radsurf validate needs at least one spec file");
+  bool ok = true;
+  for (int i = 2; i < argc; ++i) {
+    try {
+      const ScenarioSpec spec = ScenarioSpec::from_file(argv[i]);
+      (void)make_scenario(spec);  // full params validation
+      std::cout << "OK " << argv[i] << " (scenario " << spec.scenario
+                << ")\n";
+    } catch (const Error& e) {
+      std::cerr << "FAIL " << argv[i] << ": " << e.what() << "\n";
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+std::string report_to_json(const ExperimentReport& report) {
+  JsonValue json = JsonValue::object();
+  json.set("title", report.title);
+  JsonValue headers = JsonValue::array();
+  for (const std::string& h : report.table.headers()) headers.push_back(h);
+  json.set("headers", std::move(headers));
+  JsonValue rows = JsonValue::array();
+  for (const auto& row : report.table.rows()) {
+    JsonValue cells = JsonValue::array();
+    for (const std::string& c : row) cells.push_back(c);
+    rows.push_back(std::move(cells));
+  }
+  json.set("rows", std::move(rows));
+  JsonValue notes = JsonValue::array();
+  for (const std::string& n : report.notes) notes.push_back(n);
+  json.set("notes", std::move(notes));
+  return json.dump(2) + "\n";
+}
+
+ExperimentReport run_spec(const ScenarioSpec& spec, bool fresh) {
+  std::unique_ptr<Scenario> scenario = make_scenario(spec);
+  std::unique_ptr<JsonlCheckpointSink> sink;
+  if (!spec.output.checkpoint_path.empty())
+    sink = std::make_unique<JsonlCheckpointSink>(
+        spec.output.checkpoint_path, spec.fingerprint(), fresh);
+  const ExperimentReport report = scenario->run(sink.get());
+  if (!spec.output.csv_path.empty())
+    write_file(spec.output.csv_path, report.table.to_csv(), "--out");
+  if (!spec.output.json_path.empty())
+    write_file(spec.output.json_path, report_to_json(report), "--json-out");
+  return report;
+}
+
+int radsurf_cli_main(int argc, char** argv) {
+  try {
+    const std::string command = argc > 1 ? argv[1] : "help";
+    if (command == "run") return cmd_run(argc, argv);
+    if (command == "list") return cmd_list();
+    if (command == "validate") return cmd_validate(argc, argv);
+    if (command == "help" || command == "--help" || command == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    std::cerr << "error: unknown command \"" << command
+              << "\" (run | list | validate | help)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int legacy_scenario_main(const std::string& scenario, int argc,
+                         char** argv) {
+  try {
+    const auto opts = ExperimentOptions::from_args(argc, argv);
+    ScenarioSpec spec;
+    spec.scenario = scenario;
+    spec.shots = opts.shots;
+    spec.seed = opts.seed;
+    const ExperimentReport report = make_scenario(spec)->run(nullptr);
+    std::cout << report.to_string(opts.csv);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int legacy_perf_main(const std::string& scenario, int argc, char** argv) {
+  try {
+    ScenarioSpec spec;
+    spec.scenario = scenario;
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--smoke") == 0) spec.smoke = true;
+    // The binaries always merge the trajectory file, smoke included (the
+    // CI perf-smoke job validates the file), unlike the smoke sweep.
+    spec.params = JsonValue::object();
+    spec.params.set("bench_json", "BENCH_perf.json");
+    const ExperimentReport report = make_scenario(spec)->run(nullptr);
+    std::cout << report.to_string(false);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace radsurf

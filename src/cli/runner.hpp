@@ -1,0 +1,38 @@
+// Entry points of the `radsurf` CLI and of the legacy bench shims.
+//
+// The CLI (bench/radsurf_main.cpp) is a thin argv front-end over the spec
+// layer: load or synthesize a ScenarioSpec, resolve it through the
+// scenario registry, attach the checkpoint sink, run, render.  The legacy
+// bench binaries call the legacy_*_main helpers so their historical flags
+// keep working while every execution path goes through the registry.
+#pragma once
+
+#include <string>
+
+#include "cli/spec.hpp"
+#include "core/experiments.hpp"
+
+namespace radsurf {
+
+/// JSON rendering of a report: {"title", "headers", "rows", "notes"}.
+std::string report_to_json(const ExperimentReport& report);
+
+/// Run one spec end to end: build the scenario (validating params), attach
+/// a JsonlCheckpointSink when spec.output.checkpoint is set (`fresh`
+/// discards an existing checkpoint), write the CSV/JSON outputs.  Returns
+/// the report; throws SpecError/Error on failure.
+ExperimentReport run_spec(const ScenarioSpec& spec, bool fresh = false);
+
+/// The `radsurf` CLI: run | list | validate | help.  Returns the process
+/// exit code.
+int radsurf_cli_main(int argc, char** argv);
+
+/// Shim for the fig/abl/ext binaries: parse the historical --shots/--seed/
+/// --csv flags, run `scenario` through the registry, print the report.
+int legacy_scenario_main(const std::string& scenario, int argc, char** argv);
+
+/// Shim for the perf binaries: honour --smoke, always merge into
+/// BENCH_perf.json, print the record table.
+int legacy_perf_main(const std::string& scenario, int argc, char** argv);
+
+}  // namespace radsurf

@@ -1,0 +1,216 @@
+#include "cli/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace radsurf {
+
+namespace {
+
+std::string describe(const JsonValue& v) {
+  if (v.is_string()) return "string \"" + v.as_string() + "\"";
+  return v.kind_name();
+}
+
+}  // namespace
+
+SpecReader::SpecReader(const JsonValue& object, std::string path)
+    : object_(object), path_(std::move(path)) {
+  if (!object_.is_object())
+    throw SpecError(path_ + ": expected an object, got " +
+                    object_.kind_name());
+}
+
+bool SpecReader::has(const std::string& key) const {
+  return object_.find(key) != nullptr;
+}
+
+void SpecReader::fail(const std::string& key,
+                      const std::string& message) const {
+  throw SpecError(path_ + "." + key + ": " + message);
+}
+
+const JsonValue* SpecReader::get_raw(const std::string& key) {
+  if (std::find(consumed_.begin(), consumed_.end(), key) == consumed_.end())
+    consumed_.push_back(key);
+  return object_.find(key);
+}
+
+std::string SpecReader::get_string(const std::string& key,
+                                   std::string fallback) {
+  const JsonValue* v = get_raw(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) fail(key, std::string("expected string, got ") + describe(*v));
+  return v->as_string();
+}
+
+bool SpecReader::get_bool(const std::string& key, bool fallback) {
+  const JsonValue* v = get_raw(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) fail(key, std::string("expected true/false, got ") + describe(*v));
+  return v->as_bool();
+}
+
+double SpecReader::get_number(const std::string& key, double fallback) {
+  const JsonValue* v = get_raw(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) fail(key, std::string("expected number, got ") + describe(*v));
+  return v->as_number();
+}
+
+std::uint64_t SpecReader::get_uint(const std::string& key,
+                                   std::uint64_t fallback) {
+  const JsonValue* v = get_raw(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) fail(key, std::string("expected number, got ") + describe(*v));
+  const double d = v->as_number();
+  if (d < 0 || d != std::floor(d))
+    fail(key, "expected a non-negative integer, got " +
+                  JsonValue::number_to_string(d));
+  return static_cast<std::uint64_t>(d);
+}
+
+std::vector<double> SpecReader::get_number_list(const std::string& key,
+                                                std::vector<double> fallback) {
+  const JsonValue* v = get_raw(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_array()) fail(key, std::string("expected array of numbers, got ") + describe(*v));
+  std::vector<double> out;
+  for (std::size_t i = 0; i < v->size(); ++i) {
+    const JsonValue& e = (*v)[i];
+    if (!e.is_number())
+      fail(key + "[" + std::to_string(i) + "]",
+           std::string("expected number, got ") + describe(e));
+    out.push_back(e.as_number());
+  }
+  if (out.empty()) fail(key, "list must not be empty");
+  return out;
+}
+
+std::vector<std::string> SpecReader::get_string_list(
+    const std::string& key, std::vector<std::string> fallback) {
+  const JsonValue* v = get_raw(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_array()) fail(key, std::string("expected array of strings, got ") + describe(*v));
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < v->size(); ++i) {
+    const JsonValue& e = (*v)[i];
+    if (!e.is_string())
+      fail(key + "[" + std::to_string(i) + "]",
+           std::string("expected string, got ") + describe(e));
+    out.push_back(e.as_string());
+  }
+  if (out.empty()) fail(key, "list must not be empty");
+  return out;
+}
+
+std::vector<std::uint64_t> SpecReader::get_uint_list(
+    const std::string& key, std::vector<std::uint64_t> fallback) {
+  const JsonValue* v = get_raw(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_array()) fail(key, std::string("expected array of integers, got ") + describe(*v));
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < v->size(); ++i) {
+    const JsonValue& e = (*v)[i];
+    const std::string elem_key = key + "[" + std::to_string(i) + "]";
+    if (!e.is_number())
+      fail(elem_key, std::string("expected number, got ") + describe(e));
+    const double d = e.as_number();
+    if (d < 0 || d != std::floor(d))
+      fail(elem_key, "expected a non-negative integer, got " +
+                         JsonValue::number_to_string(d));
+    out.push_back(static_cast<std::uint64_t>(d));
+  }
+  if (out.empty()) fail(key, "list must not be empty");
+  return out;
+}
+
+void SpecReader::finish() const {
+  for (const auto& [key, value] : object_.as_object()) {
+    if (std::find(consumed_.begin(), consumed_.end(), key) !=
+        consumed_.end())
+      continue;
+    std::ostringstream ss;
+    ss << "unknown field " << path_ << "." << key << " (accepted fields:";
+    for (std::size_t i = 0; i < consumed_.size(); ++i)
+      ss << (i ? ", " : " ") << consumed_[i];
+    ss << ")";
+    throw SpecError(ss.str());
+  }
+}
+
+ScenarioSpec ScenarioSpec::from_json(const JsonValue& json,
+                                     const std::string& origin) {
+  SpecReader r(json, origin + ": $");
+  ScenarioSpec spec;
+  spec.scenario = r.get_string("scenario", "");
+  if (spec.scenario.empty())
+    r.fail("scenario", "required: the registry name of the scenario to run "
+                       "(see `radsurf list`)");
+  spec.description = r.get_string("description", "");
+  spec.shots = r.get_uint("shots", 0);
+  spec.seed = r.get_uint("seed", spec.seed);
+  spec.smoke = r.get_bool("smoke", false);
+  if (const JsonValue* out = r.get_raw("output")) {
+    SpecReader ro(*out, origin + ": $.output");
+    spec.output.csv_path = ro.get_string("csv", "");
+    spec.output.json_path = ro.get_string("json", "");
+    spec.output.checkpoint_path = ro.get_string("checkpoint", "");
+    ro.finish();
+  }
+  if (const JsonValue* params = r.get_raw("params")) {
+    if (!params->is_object())
+      r.fail("params", std::string("expected object, got ") +
+                           params->kind_name());
+    spec.params = *params;
+  }
+  r.finish();
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from_file(const std::string& path) {
+  try {
+    return from_json(JsonValue::parse_file(path), path);
+  } catch (const JsonError& e) {
+    throw SpecError(e.what());
+  }
+}
+
+JsonValue ScenarioSpec::to_json() const {
+  JsonValue json = JsonValue::object();
+  json.set("scenario", scenario);
+  if (!description.empty()) json.set("description", description);
+  json.set("shots", shots);
+  json.set("seed", seed);
+  json.set("smoke", smoke);
+  if (!output.csv_path.empty() || !output.json_path.empty() ||
+      !output.checkpoint_path.empty()) {
+    JsonValue out = JsonValue::object();
+    if (!output.csv_path.empty()) out.set("csv", output.csv_path);
+    if (!output.json_path.empty()) out.set("json", output.json_path);
+    if (!output.checkpoint_path.empty())
+      out.set("checkpoint", output.checkpoint_path);
+    json.set("output", std::move(out));
+  }
+  if (params.is_object() && params.size() > 0) json.set("params", params);
+  return json;
+}
+
+bool ScenarioSpec::operator==(const ScenarioSpec& other) const {
+  return scenario == other.scenario && description == other.description &&
+         shots == other.shots && seed == other.seed &&
+         smoke == other.smoke && output == other.output &&
+         params == other.params;
+}
+
+std::uint64_t ScenarioSpec::fingerprint() const {
+  ScenarioSpec stripped = *this;
+  stripped.output = {};
+  stripped.description.clear();
+  return fnv1a64(stripped.to_json().dump());
+}
+
+}  // namespace radsurf

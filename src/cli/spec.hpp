@@ -1,0 +1,118 @@
+// Declarative scenario specs: the input format of the `radsurf` runner.
+//
+// A spec is a JSON object selecting one registered scenario and its
+// parameters (see docs/SCENARIOS.md for the full schema and cookbook):
+//
+//   {
+//     "scenario": "fig5",              // registry name (radsurf list)
+//     "description": "free text",      // optional, ignored by the runner
+//     "shots": 2000,                   // 0/absent = scenario default
+//     "seed": 20240715,
+//     "smoke": false,                  // tiny budgets, no perf JSON output
+//     "output": {"csv": "...", "json": "...", "checkpoint": "..."},
+//     "params": { ... }                // scenario-specific, see registry
+//   }
+//
+// Parsing is *strict*: unknown fields and type mismatches are rejected
+// with SpecError messages that name the JSON path, the offending value and
+// the accepted alternatives, so a typo in a 200-cell campaign spec fails
+// in milliseconds instead of after an hour of sampling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace radsurf {
+
+/// A scenario spec that is malformed or inconsistent.
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error(what) {}
+};
+
+/// Typed, path-tracking reader over a JSON object.  Every field a scenario
+/// accepts is declared by reading it (with a default); finish() then
+/// rejects any leftover key, listing the accepted ones — the mechanism
+/// behind the spec layer's unknown-field errors.
+class SpecReader {
+ public:
+  /// `object` must outlive the reader.  `path` is the JSON-path prefix used
+  /// in error messages (e.g. "$.params").
+  SpecReader(const JsonValue& object, std::string path);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, std::string fallback);
+  bool get_bool(const std::string& key, bool fallback);
+  double get_number(const std::string& key, double fallback);
+  /// Non-negative integral number (rejects fractions and negatives).
+  std::uint64_t get_uint(const std::string& key, std::uint64_t fallback);
+
+  std::vector<double> get_number_list(const std::string& key,
+                                      std::vector<double> fallback);
+  std::vector<std::string> get_string_list(const std::string& key,
+                                           std::vector<std::string> fallback);
+  std::vector<std::uint64_t> get_uint_list(const std::string& key,
+                                           std::vector<std::uint64_t> fallback);
+
+  /// The raw member (marked consumed), or nullptr when absent.
+  const JsonValue* get_raw(const std::string& key);
+
+  /// Throw SpecError at `key`'s path with `message`.
+  [[noreturn]] void fail(const std::string& key,
+                         const std::string& message) const;
+
+  /// Reject unconsumed keys: "unknown field $.params.xyz (accepted fields:
+  /// ...)".  Call exactly once, after reading every accepted field.
+  void finish() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  const JsonValue& object_;
+  std::string path_;
+  std::vector<std::string> consumed_;
+};
+
+/// Where a scenario writes machine-readable results, beyond stdout.
+struct OutputOptions {
+  std::string csv_path;         // final table as CSV ("" = don't write)
+  std::string json_path;        // final report as JSON ("" = don't write)
+  std::string checkpoint_path;  // per-cell JSONL checkpoint for campaigns
+
+  bool operator==(const OutputOptions&) const = default;
+};
+
+struct ScenarioSpec {
+  std::string scenario;
+  std::string description;
+  std::size_t shots = 0;  // 0 = scenario default
+  std::uint64_t seed = 20240715;
+  bool smoke = false;
+  OutputOptions output;
+  JsonValue params = JsonValue::object();
+
+  /// Strict parse; `origin` prefixes error messages (typically the file
+  /// name).  `params` contents are validated later by the scenario factory.
+  static ScenarioSpec from_json(const JsonValue& json,
+                                const std::string& origin = "spec");
+  static ScenarioSpec from_file(const std::string& path);
+
+  /// Inverse of from_json: defaulted fields are emitted explicitly so a
+  /// round-tripped spec is self-documenting.
+  JsonValue to_json() const;
+
+  bool operator==(const ScenarioSpec& other) const;
+
+  /// 64-bit FNV-1a over the canonical spec JSON *minus the output block*:
+  /// the resume layer's compatibility check.  Changing shots, seed, params
+  /// or the scenario invalidates checkpoints; changing output paths or the
+  /// description does not.
+  std::uint64_t fingerprint() const;
+};
+
+}  // namespace radsurf

@@ -1,0 +1,39 @@
+// Ablation and extension experiment drivers (beyond the paper's figures).
+//
+// Like core/experiments.hpp, one function per driver; every abl_*/ext_*
+// bench binary is a thin compatibility shim that routes through the
+// scenario registry (cli/registry.hpp), which in turn calls these.  The
+// report text matches what the pre-registry standalone binaries printed,
+// byte for byte, so downstream diffs of bench output stay clean.
+#pragma once
+
+#include "core/experiments.hpp"
+
+namespace radsurf {
+
+/// Decoder-kind ablation: MWPM vs union-find vs greedy on intrinsic,
+/// strike-time and late-event campaigns (paper fixes MWPM, Sec. II-D).
+ExperimentReport abl_decoders(const ExperimentOptions& options);
+
+/// Stabilisation-round-count ablation (paper uses 2 rounds, Figs 1-2).
+ExperimentReport abl_rounds(const ExperimentOptions& options);
+
+/// Readout (SPAM) error sensitivity sweep (paper Eq. 4 is gate-noise only).
+ExperimentReport abl_meas_error(const ExperimentOptions& options);
+
+/// Two-qubit channel ablation: the paper's E (x) E vs uniform 15-Pauli.
+ExperimentReport abl_noise_channel(const ExperimentOptions& options);
+
+/// Temporal step-function resolution ns sweep (paper selects ns = 10).
+ExperimentReport abl_time_sampling(const ExperimentOptions& options);
+
+/// Radiation-aware MWPM (paper RQ3): decoder rebuilt with the strike's
+/// reset field; the standard-vs-aware gap is the software-only headroom.
+ExperimentReport abl_aware_decoder(const ExperimentOptions& options);
+
+/// Post-QEC logical-layer fault injection (paper Sec. VI future work):
+/// physical XXZZ-(3,3) strike rates drive logical X faults on one patch of
+/// a 5-patch logical GHZ circuit.
+ExperimentReport ext_logical_layer(const ExperimentOptions& options);
+
+}  // namespace radsurf

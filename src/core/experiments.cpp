@@ -125,17 +125,20 @@ ExperimentReport fig4_spatial_decay(const RadiationModel& model, int extent) {
 // Fig. 5
 // ---------------------------------------------------------------------------
 
-ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options) {
+ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options,
+                                         const Fig5Options& fig5) {
   const std::size_t shots = options.resolve_shots(2000);
+  const std::uint32_t root = fig5.root;
   ExperimentReport rep;
   rep.title =
       "Fig. 5 — logical error landscape: intrinsic noise x radiation time "
-      "evolution (root qubit 2, spreading fault)";
+      "evolution (root qubit " +
+      std::to_string(root) + ", spreading fault)";
   Table t({"code", "p (intrinsic)", "t", "root prob", "logical error",
            "CI low", "CI high"});
 
-  const std::vector<double> ps = {1e-8, 1e-7, 1e-6, 1e-5,
-                                  1e-4, 1e-3, 1e-2, 1e-1};
+  const std::vector<double>& ps = fig5.error_rates;
+  RADSURF_CHECK_ARG(!ps.empty(), "fig5 error_rates must not be empty");
   struct Config {
     std::string label;
     std::unique_ptr<SurfaceCode> code;
@@ -166,7 +169,7 @@ ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options) {
       const auto values = engine.radiation().sample_values();
       for (std::size_t i = 0; i < values.size(); ++i) {
         const Proportion res = engine.run_radiation_at(
-            2, values[i], /*spread=*/true, shots,
+            root, values[i], /*spread=*/true, shots,
             options.seed + static_cast<std::uint64_t>(i) * 977 +
                 static_cast<std::uint64_t>(p * 1e9));
         t.add_row({cfg.label, Table::fmt(p, 8), Table::fmt(times[i], 2),
@@ -177,7 +180,7 @@ ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options) {
         if (i == 0) {
           summary.at_strike_sum += res.rate();
           ++summary.at_strike_count;
-          if (p == 1e-8) summary.lowp_at_strike = res.rate();
+          if (p == ps.front()) summary.lowp_at_strike = res.rate();
         }
       }
     }
@@ -185,7 +188,8 @@ ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options) {
         cfg.label + ": peak LER " + Table::pct(summary.peak) +
         ", mean LER at strike " +
         Table::pct(summary.at_strike_sum / summary.at_strike_count) +
-        ", LER at strike with p=1e-8 " + Table::pct(summary.lowp_at_strike));
+        ", LER at strike with p=" + Table::fmt(ps.front(), 8) + " " +
+        Table::pct(summary.lowp_at_strike));
   }
   rep.notes.push_back(
       "paper: peaks 48% (rep) / 54% (xxzz); strike means 27% / 50%; "

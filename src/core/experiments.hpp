@@ -45,9 +45,20 @@ ExperimentReport fig3_temporal_decay(const RadiationModel& model = {});
 ExperimentReport fig4_spatial_decay(const RadiationModel& model = {},
                                     int extent = 10);
 
+/// Spec-tunable knobs of the Fig. 5 landscape (defaults reproduce the
+/// paper's sweep).
+struct Fig5Options {
+  /// Intrinsic physical error rates of the landscape's noise axis.
+  std::vector<double> error_rates = {1e-8, 1e-7, 1e-6, 1e-5,
+                                     1e-4, 1e-3, 1e-2, 1e-1};
+  /// Physical qubit struck by the radiation fault.
+  std::uint32_t root = 2;
+};
+
 /// Fig. 5: logical-error landscape over (physical error rate, fault time)
 /// for repetition-(5,1) on a 5x2 mesh and XXZZ-(3,3) on a 5x4 mesh.
-ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options);
+ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options,
+                                         const Fig5Options& fig5 = {});
 
 /// Fig. 6: single non-spreading erasure at t=0 vs code distance.
 ExperimentReport fig6_code_distance(const ExperimentOptions& options);

@@ -3,8 +3,8 @@
 //   #include "core/radsurf.hpp"
 //
 // pulls in the circuit IR, simulators, codes, noise models, architecture
-// graphs, transpiler, decoders, the injection engine and the figure-level
-// experiment drivers.
+// graphs, transpiler, decoders, the injection engine, the figure-level
+// experiment drivers and the spec-driven scenario registry/runner.
 #pragma once
 
 #include "arch/graph.hpp"           // IWYU pragma: export
@@ -14,7 +14,11 @@
 #include "circuit/dag.hpp"          // IWYU pragma: export
 #include "codes/code.hpp"           // IWYU pragma: export
 #include "codes/repetition.hpp"     // IWYU pragma: export
+#include "cli/registry.hpp"         // IWYU pragma: export
+#include "cli/runner.hpp"           // IWYU pragma: export
+#include "cli/spec.hpp"             // IWYU pragma: export
 #include "codes/xxzz.hpp"           // IWYU pragma: export
+#include "core/ablations.hpp"       // IWYU pragma: export
 #include "core/experiments.hpp"     // IWYU pragma: export
 #include "decoder/decoder.hpp"      // IWYU pragma: export
 #include "decoder/mwpm.hpp"         // IWYU pragma: export
@@ -29,4 +33,5 @@
 #include "stab/frame_sim.hpp"       // IWYU pragma: export
 #include "stab/tableau_sim.hpp"     // IWYU pragma: export
 #include "transpile/transpiler.hpp" // IWYU pragma: export
+#include "util/json.hpp"            // IWYU pragma: export
 #include "util/stats.hpp"           // IWYU pragma: export

@@ -4,6 +4,23 @@
 // shot and predicts which logical observables the underlying physical
 // error flipped.  The campaign engine XORs the prediction with the actual
 // observable flip; disagreement on observable 0 is a logical error.
+//
+// Contracts:
+//  * Determinism — decode() is a pure function of the defect list and the
+//    matching graph: no backend consumes RNG, so campaign results depend
+//    only on the sampling seed, never on the decoder.
+//  * Thread-safety — decode() is non-const because backends may memoize
+//    (the sparse MWPM backend grows Dijkstra rows on demand with atomic
+//    publication, which IS safe to call concurrently; union-find and
+//    greedy keep per-call scratch and are also safe).  CachingDecoder
+//    (decode_cache.hpp) is the concurrent front every campaign actually
+//    decodes through.
+//  * Backend selection — EngineOptions::decoder picks the kind per
+//    engine; MWPM is the paper's choice (Sec. II-D) and the default.
+//    make_decoder builds the sparse lazy MWPM backend; the dense eager
+//    backend survives only as a test oracle (MwpmOptions::lazy = false).
+//    Timeline campaigns ignore this choice: run_timeline always decodes
+//    through SlidingWindowDecoder's per-window MWPM (sliding_window.hpp).
 #pragma once
 
 #include <cstdint>

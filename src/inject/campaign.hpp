@@ -8,8 +8,33 @@
 //   noiseless reference sample —
 // after which the run_* methods execute shot campaigns for the paper's
 // injection scenarios (intrinsic only, erasure sets, spreading strikes,
-// full spatio-temporal radiation events).  Shot loops are OpenMP-parallel
-// with per-chunk RNG streams, so results are a pure function of the seed.
+// full spatio-temporal radiation events).
+//
+// Contracts:
+//  * RNG determinism — every run_* campaign shards its shots through
+//    parallel_chunks (util/parallel.hpp): chunk c always draws from RNG
+//    stream c of the campaign seed, so results are a pure function of
+//    (engine configuration, seed), independent of OpenMP thread count and
+//    schedule.  Repeated calls with the same seed return identical
+//    Proportions.
+//  * Thread-safety — the engine is internally parallel; the run_* methods
+//    are const and safe to call from one thread at a time per engine.
+//    Concurrent run_* calls on the SAME engine are not supported (the
+//    syndrome cache and residual accounting are shared); build one engine
+//    per concurrent caller instead.  Campaign-level parallelism belongs to
+//    the cell layer (cli/grid.hpp), not to concurrent engines.
+//  * Engine selection — SamplingPath::AUTO runs the bit-parallel frame
+//    fast path and hands residual shots (heralded resets at
+//    reference-random sites) to a batched exact replay engine,
+//    conditioned on the herald signature; above
+//    residual_fraction_threshold every shot goes straight to replay.  The
+//    replay engine is CompactTableauSimulator for devices <= 32 qubits
+//    (stab/compact_tableau.hpp), the generic tableau beyond.
+//    SamplingPath::EXACT forces the paper's per-shot tableau baseline.
+//  * Decoder selection — EngineOptions::decoder picks the whole-history
+//    backend (decoder/decoder.hpp); run_timeline* always decodes through
+//    sliding-window MWPM and is the only campaign allowed when
+//    whole_history_decoder = false.
 #pragma once
 
 #include <atomic>

@@ -10,6 +10,20 @@
 // sources (1 - prod(1 - p)).  The schedule instruments an N-round memory
 // circuit via instrument_timeline_noise, which scopes each round's reset
 // field to the gates between consecutive TICK round markers.
+//
+// Contracts:
+//  * RNG determinism — sample() draws only from the Rng it is handed, so
+//    an event realization is a pure function of (options, rounds, roots,
+//    rng state); campaigns pass streams derived from the campaign seed.
+//    schedule() and instrument_timeline_noise are deterministic.
+//  * Thread-safety — RadiationTimeline is immutable after construction
+//    and safe to share across threads; sample() mutates only the caller's
+//    Rng.
+//  * Engine/decoder interaction — timeline-instrumented circuits run on
+//    either sampling engine (AUTO/EXACT, inject/campaign.hpp) and are
+//    decoded exclusively by sliding-window MWPM
+//    (decoder/sliding_window.hpp); window >= rounds reproduces
+//    whole-history MWPM bit for bit.
 #pragma once
 
 #include <cstdint>

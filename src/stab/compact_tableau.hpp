@@ -22,12 +22,20 @@
 //    commute with a stabilizer ±Z_q), so the dense reset trains of the
 //    radiation model cost O(1) after the first collapse.
 //
-// The engine consumes randomness in exactly the same order as the generic
-// TableauSimulator on the same tape, so the two produce bit-identical
-// records from equal RNG streams — the property the cross-engine test
-// suite pins down.  SamplingPath::EXACT deliberately keeps the generic
-// engine: it is the paper's baseline methodology and the oracle this
-// engine is validated against.
+// Contracts:
+//  * RNG determinism — the engine consumes randomness in exactly the same
+//    order as the generic TableauSimulator on the same tape, so the two
+//    produce bit-identical records from equal RNG streams — the property
+//    the cross-engine test suite pins down.
+//  * Thread-safety — a simulator instance is single-threaded mutable
+//    state; the campaign engine gives each parallel_chunks worker its own
+//    instance (one per chunk, reused across that chunk's shots).
+//  * Engine selection — InjectionEngine's batched residual replay uses
+//    this engine automatically whenever the transpiled device fits
+//    kMaxQubits (<= 32), falling back to the generic tableau beyond.
+//    SamplingPath::EXACT deliberately keeps the generic engine: it is the
+//    paper's baseline methodology and the oracle this engine is validated
+//    against.
 #pragma once
 
 #include <cstdint>

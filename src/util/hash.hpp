@@ -1,0 +1,31 @@
+// Non-cryptographic hashing helpers shared by the spec fingerprint
+// (cli/spec.cpp) and the grid campaign's per-cell seed derivation
+// (cli/grid.cpp) — one definition, so checkpoint compatibility and cell
+// seeding can never diverge by editing a single copy.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace radsurf {
+
+/// 64-bit FNV-1a over a byte string.
+constexpr std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: disperses structured inputs (hashes XORed with
+/// small seeds) into uniformly mixed bits.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace radsurf

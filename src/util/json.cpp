@@ -1,0 +1,467 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace radsurf {
+
+namespace {
+
+constexpr int kMaxDepth = 128;  // parser recursion guard
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+  const std::string& origin;
+
+  explicit Parser(std::string_view t, const std::string& o)
+      : text(t), origin(o) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream ss;
+    ss << origin << ":" << line << ":" << col << ": " << message;
+    throw JsonError(ss.str());
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  char take() {
+    const char c = text[pos++];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        take();
+      else
+        break;
+    }
+  }
+
+  void expect(char c, const char* what) {
+    skip_ws();
+    if (eof()) fail(std::string("unexpected end of input, expected ") + what);
+    if (peek() != c)
+      fail(std::string("expected ") + what + ", got '" + peek() + "'");
+    take();
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    for (std::size_t i = 0; i < lit.size(); ++i) take();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 128 levels");
+    skip_ws();
+    if (eof()) fail("unexpected end of input, expected a value");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal (did you mean \"true\"?)");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal (did you mean \"false\"?)");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("invalid literal (did you mean \"null\"?)");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos;
+    if (!eof() && peek() == '-') take();
+    if (eof() || peek() < '0' || peek() > '9')
+      fail("malformed number (expected a digit)");
+    if (peek() == '0') {
+      take();
+      if (!eof() && peek() >= '0' && peek() <= '9')
+        fail("malformed number (leading zero)");
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    if (!eof() && peek() == '.') {
+      take();
+      if (eof() || peek() < '0' || peek() > '9')
+        fail("malformed number (expected a digit after '.')");
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      take();
+      if (!eof() && (peek() == '+' || peek() == '-')) take();
+      if (eof() || peek() < '0' || peek() > '9')
+        fail("malformed number (expected an exponent digit)");
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    const std::string token(text.substr(start, pos - start));
+    return JsonValue(std::strtod(token.c_str(), nullptr));
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp <= 0x7f) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp <= 0x7ff) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp <= 0xffff) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("unterminated \\u escape");
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        fail("invalid hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape sequence");
+      const char e = take();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (eof() || take() != '\\' || eof() || take() != 'u')
+              fail("high surrogate not followed by \\u low surrogate");
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xdc00 || lo > 0xdfff)
+              fail("invalid low surrogate in \\u escape pair");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired low surrogate in \\u escape");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail(std::string("invalid escape sequence \\") + e);
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[', "'['");
+    JsonValue out = JsonValue::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array (expected ',' or ']')");
+      const char c = take();
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']' in array");
+      skip_ws();
+      if (!eof() && peek() == ']') fail("trailing comma in array");
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{', "'{'");
+    JsonValue out = JsonValue::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected a string object key");
+      std::string key = parse_string();
+      if (out.find(key) != nullptr) fail("duplicate object key \"" + key + "\"");
+      expect(':', "':'");
+      out.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object (expected ',' or '}')");
+      const char c = take();
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}' in object");
+      skip_ws();
+      if (!eof() && peek() == '}') fail("trailing comma in object");
+    }
+  }
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+const char* JsonValue::kind_name(Kind k) {
+  switch (k) {
+    case Kind::NUL: return "null";
+    case Kind::BOOLEAN: return "boolean";
+    case Kind::NUMBER: return "number";
+    case Kind::STRING: return "string";
+    case Kind::ARRAY: return "array";
+    case Kind::OBJECT: return "object";
+  }
+  return "unknown";
+}
+
+JsonValue JsonValue::parse(std::string_view text, const std::string& origin) {
+  Parser p(text, origin);
+  JsonValue v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.eof()) p.fail("trailing content after the JSON document");
+  return v;
+}
+
+JsonValue JsonValue::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError(path + ": cannot open file");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str(), path);
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::BOOLEAN)
+    throw JsonError(std::string("expected boolean, got ") + kind_name());
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::NUMBER)
+    throw JsonError(std::string("expected number, got ") + kind_name());
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::STRING)
+    throw JsonError(std::string("expected string, got ") + kind_name());
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::ARRAY)
+    throw JsonError(std::string("expected array, got ") + kind_name());
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::OBJECT)
+    throw JsonError(std::string("expected object, got ") + kind_name());
+  return object_;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ != Kind::ARRAY)
+    throw JsonError(std::string("push_back on ") + kind_name());
+  array_.push_back(std::move(v));
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::ARRAY) return array_.size();
+  if (kind_ == Kind::OBJECT) return object_.size();
+  throw JsonError(std::string("size() on ") + kind_name());
+}
+
+const JsonValue& JsonValue::operator[](std::size_t i) const {
+  const Array& a = as_array();
+  if (i >= a.size())
+    throw JsonError("array index " + std::to_string(i) + " out of range (" +
+                    std::to_string(a.size()) + " elements)");
+  return a[i];
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::OBJECT)
+    throw JsonError(std::string("find() on ") + kind_name());
+  for (const Member& m : object_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  if (kind_ != Kind::OBJECT)
+    throw JsonError(std::string("set() on ") + kind_name());
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string JsonValue::number_to_string(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) <= 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return buf;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::NUL: out += "null"; break;
+    case Kind::BOOLEAN: out += bool_ ? "true" : "false"; break;
+    case Kind::NUMBER: out += number_to_string(number_); break;
+    case Kind::STRING: append_escaped(out, string_); break;
+    case Kind::ARRAY: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::OBJECT: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::NUL: return true;
+    case Kind::BOOLEAN: return bool_ == other.bool_;
+    case Kind::NUMBER: return number_ == other.number_;
+    case Kind::STRING: return string_ == other.string_;
+    case Kind::ARRAY: return array_ == other.array_;
+    case Kind::OBJECT: {
+      if (object_.size() != other.object_.size()) return false;
+      for (const Member& m : object_) {
+        const JsonValue* theirs = other.find(m.first);
+        if (theirs == nullptr || !(m.second == *theirs)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace radsurf

@@ -1,0 +1,121 @@
+// Dependency-free JSON reader/writer shared by the spec-driven experiment
+// runner, the BENCH_perf.json perf-trajectory file and the campaign
+// checkpoint layer.
+//
+// JsonValue is an ordered document model: objects preserve insertion order
+// so parse -> edit -> dump round-trips stay diff-able.  The parser is
+// strict RFC-8259 JSON (no comments, no trailing commas) and reports
+// errors as JsonError with 1-based line:column positions.  Numbers are
+// stored as doubles: integral values up to 2^53 round-trip exactly, which
+// covers every shot count, seed and parameter the spec layer uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+/// Malformed JSON text or a type-mismatched access on a JsonValue.
+class JsonError : public Error {
+ public:
+  explicit JsonError(const std::string& what) : Error(what) {}
+};
+
+class JsonValue {
+ public:
+  enum class Kind { NUL, BOOLEAN, NUMBER, STRING, ARRAY, OBJECT };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::BOOLEAN), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::NUMBER), number_(d) {}
+  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(unsigned v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(long v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(unsigned long v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(long long v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(unsigned long long v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(const char* s) : kind_(Kind::STRING), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::STRING), string_(std::move(s)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::ARRAY;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::OBJECT;
+    return v;
+  }
+
+  /// Parse strict JSON; throws JsonError with "line:col: message" context
+  /// (prefixed by `origin`, typically the file name).
+  static JsonValue parse(std::string_view text,
+                         const std::string& origin = "json");
+  /// Parse the whole file at `path`; throws JsonError if unreadable.
+  static JsonValue parse_file(const std::string& path);
+
+  Kind kind() const { return kind_; }
+  const char* kind_name() const { return kind_name(kind_); }
+  static const char* kind_name(Kind k);
+
+  bool is_null() const { return kind_ == Kind::NUL; }
+  bool is_bool() const { return kind_ == Kind::BOOLEAN; }
+  bool is_number() const { return kind_ == Kind::NUMBER; }
+  bool is_string() const { return kind_ == Kind::STRING; }
+  bool is_array() const { return kind_ == Kind::ARRAY; }
+  bool is_object() const { return kind_ == Kind::OBJECT; }
+
+  // Checked accessors: throw JsonError naming the actual kind on mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  // --- array interface -----------------------------------------------------
+  void push_back(JsonValue v);
+  std::size_t size() const;  // array/object element count
+  const JsonValue& operator[](std::size_t i) const;
+
+  // --- object interface ----------------------------------------------------
+  /// Pointer to the member value, or nullptr when absent (object only).
+  const JsonValue* find(std::string_view key) const;
+  /// Insert or overwrite a member, preserving first-insertion order.
+  void set(std::string key, JsonValue value);
+
+  /// Serialize.  indent < 0 renders compactly on one line; indent >= 0
+  /// pretty-prints with that many spaces per nesting level.
+  std::string dump(int indent = -1) const;
+
+  /// Structural equality (object member *order* is ignored).
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+  /// Render a double the way dump() does: integral values up to 2^53 print
+  /// without decimal point or exponent, everything else as shortest %.17g
+  /// that still round-trips through strtod.
+  static std::string number_to_string(double v);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::NUL;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace radsurf

@@ -32,6 +32,11 @@ class Table {
 
   std::size_t num_rows() const { return rows_.size(); }
 
+  /// Structured access for machine-readable writers (CSV is lossy for
+  /// cells containing commas; the JSON report writer wants raw cells).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,121 @@
+// Unit tests of the shared JSON reader/writer (util/json.hpp): value
+// model, strict parsing with positioned errors, dump round-trips, and the
+// number formatting contract the spec and BENCH layers rely on.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace radsurf {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e-8").as_number(), 1e-8);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 3u);
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ((*a)[0].as_number(), 1.0);
+  EXPECT_TRUE((*a)[2].find("b")->as_bool());
+  EXPECT_TRUE(v.find("c")->find("d")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\n\t")").as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(JsonValue::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(JsonValue::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    JsonValue::parse("{\n  \"a\": 1,\n  \"b\": tru\n}", "test.json");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test.json:3:"), std::string::npos) << what;
+  }
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1, 2,]"), JsonError);      // trailing comma
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1,}"), JsonError);  // trailing comma
+  EXPECT_THROW(JsonValue::parse("01"), JsonError);           // leading zero
+  EXPECT_THROW(JsonValue::parse("1 2"), JsonError);          // trailing junk
+  EXPECT_THROW(JsonValue::parse("{'a': 1}"), JsonError);     // bad key quote
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1, \"a\": 2}"), JsonError);  // dup
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+}
+
+TEST(Json, TypeMismatchAccessesThrow) {
+  const JsonValue v = JsonValue::parse("[1]");
+  EXPECT_THROW((void)v.as_object(), JsonError);
+  EXPECT_THROW((void)v.as_string(), JsonError);
+  EXPECT_THROW((void)v[5], JsonError);  // out of range
+}
+
+TEST(Json, DumpRoundTripsStructurally) {
+  const std::string text =
+      R"({"name": "x", "list": [1, 2.5, true, null], "nested": {"k": "v"}})";
+  const JsonValue v = JsonValue::parse(text);
+  EXPECT_EQ(JsonValue::parse(v.dump()), v);
+  EXPECT_EQ(JsonValue::parse(v.dump(2)), v);
+}
+
+TEST(Json, NumberFormatting) {
+  // Integral values print without decimal point or exponent.
+  EXPECT_EQ(JsonValue(20240715).dump(), "20240715");
+  EXPECT_EQ(JsonValue(0).dump(), "0");
+  EXPECT_EQ(JsonValue(-3.0).dump(), "-3");
+  // Non-integral values round-trip exactly.
+  EXPECT_DOUBLE_EQ(JsonValue::parse(JsonValue(0.1).dump()).as_number(), 0.1);
+  EXPECT_DOUBLE_EQ(JsonValue::parse(JsonValue(1e-8).dump()).as_number(),
+                   1e-8);
+  const double pi = 3.141592653589793;
+  EXPECT_DOUBLE_EQ(JsonValue::parse(JsonValue(pi).dump()).as_number(), pi);
+}
+
+TEST(Json, ObjectOrderPreservedInDump) {
+  const JsonValue v = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  EXPECT_EQ(v.dump(), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(Json, EqualityIgnoresObjectOrder) {
+  EXPECT_EQ(JsonValue::parse(R"({"a": 1, "b": 2})"),
+            JsonValue::parse(R"({"b": 2, "a": 1})"));
+  EXPECT_NE(JsonValue::parse(R"({"a": 1})"), JsonValue::parse(R"({"a": 2})"));
+  EXPECT_NE(JsonValue::parse("[1, 2]"), JsonValue::parse("[2, 1]"));
+}
+
+TEST(Json, SetOverwritesAndPreservesOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("first", 1);
+  obj.set("second", 2);
+  obj.set("first", 10);
+  EXPECT_EQ(obj.dump(), R"({"first":10,"second":2})");
+}
+
+TEST(Json, DepthLimitGuardsRecursion) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(JsonValue::parse(deep), JsonError);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,104 @@
+// Registry tests: every registered scenario builds from its smoke spec and
+// runs a tiny-budget campaign end to end, and every shipped spec file in
+// specs/ validates against the parser and names its file correctly.
+#include "cli/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "cli/spec.hpp"
+
+namespace radsurf {
+namespace {
+
+TEST(Registry, HasTheExpectedScenarioFamilies) {
+  std::set<std::string> names;
+  for (const ScenarioInfo& info : scenario_registry()) {
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate scenario name " << info.name;
+  }
+  for (const char* required :
+       {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "abl_decoders",
+        "abl_rounds", "abl_meas_error", "abl_noise_channel",
+        "abl_time_sampling", "abl_aware_decoder", "ext_timeline",
+        "ext_logical_layer", "perf_simulator", "perf_decoder",
+        "perf_pipeline", "perf_timeline", "grid"})
+    EXPECT_TRUE(names.count(required)) << required;
+}
+
+TEST(Registry, FindScenarioResolvesAndRejects) {
+  ASSERT_NE(find_scenario("fig5"), nullptr);
+  EXPECT_EQ(find_scenario("fig5")->name, "fig5");
+  EXPECT_EQ(find_scenario("nope"), nullptr);
+}
+
+// The satellite contract: every registered scenario builds and runs a
+// 10-shot smoke campaign.  Smoke specs clamp shot budgets to the floor
+// (20 shots for figure drivers, 8 for grid cells, two-rep measurements for
+// the perf benches) and disable perf JSON writing, so the whole sweep
+// stays test-suite fast.
+TEST(Registry, EveryScenarioSmokeRuns) {
+  for (const ScenarioInfo& info : scenario_registry()) {
+    ScenarioSpec spec = smoke_spec(info.name);
+    spec.shots = 10;
+    std::unique_ptr<Scenario> scenario;
+    ASSERT_NO_THROW(scenario = make_scenario(spec)) << info.name;
+    ExperimentReport report;
+    ASSERT_NO_THROW(report = scenario->run(nullptr)) << info.name;
+    EXPECT_FALSE(report.title.empty()) << info.name;
+    EXPECT_GT(report.table.num_rows(), 0u) << info.name;
+  }
+}
+
+TEST(Registry, SmokeNeverWritesPerfTrajectory) {
+  // The perf factories must default bench_json off under smoke, or the
+  // smoke sweep would clobber the repo's BENCH_perf.json with noise.
+  const ScenarioSpec spec = smoke_spec("perf_simulator");
+  namespace fs = std::filesystem;
+  const fs::path cwd_file = fs::current_path() / "BENCH_perf.json";
+  const bool existed = fs::exists(cwd_file);
+  const auto before = existed ? fs::last_write_time(cwd_file)
+                              : fs::file_time_type::min();
+  (void)make_scenario(spec)->run(nullptr);
+  if (existed)
+    EXPECT_EQ(fs::last_write_time(cwd_file), before);
+  else
+    EXPECT_FALSE(fs::exists(cwd_file));
+}
+
+// Every shipped spec file parses, validates against its scenario factory,
+// and the fig/abl/ext/perf ones are named after their scenario.
+TEST(Registry, ShippedSpecsAllValidate) {
+  namespace fs = std::filesystem;
+  const fs::path specs_dir = fs::path(RADSURF_SOURCE_DIR) / "specs";
+  ASSERT_TRUE(fs::exists(specs_dir)) << specs_dir;
+  std::size_t count = 0;
+  std::size_t grid_count = 0;
+  for (const auto& entry : fs::directory_iterator(specs_dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++count;
+    ScenarioSpec spec;
+    ASSERT_NO_THROW(spec = ScenarioSpec::from_file(entry.path().string()))
+        << entry.path();
+    ASSERT_NO_THROW((void)make_scenario(spec)) << entry.path();
+    EXPECT_FALSE(spec.description.empty()) << entry.path();
+    if (spec.scenario == "grid")
+      ++grid_count;
+    else
+      EXPECT_EQ(entry.path().stem().string(), spec.scenario)
+          << entry.path() << " should be named after its scenario";
+  }
+  // One spec per registered scenario (the grid scenario ships as the
+  // cross-product campaigns instead of a bare default).
+  EXPECT_EQ(count - grid_count, scenario_registry().size() - 1);
+  // At least the two cross-product campaigns the legacy binaries could
+  // not express.
+  EXPECT_GE(grid_count, 2u);
+}
+
+}  // namespace
+}  // namespace radsurf

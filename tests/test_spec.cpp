@@ -1,0 +1,229 @@
+// Spec-layer tests: round-trip parse/serialize, strict unknown-field and
+// bad-type rejection with actionable (path-qualified) messages, and the
+// grid scenario's params validation.
+#include "cli/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "cli/registry.hpp"
+
+namespace radsurf {
+namespace {
+
+std::string error_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected SpecError";
+  return "";
+}
+
+TEST(Spec, ParsesFullDocument) {
+  const ScenarioSpec spec = ScenarioSpec::from_json(JsonValue::parse(R"({
+    "scenario": "fig5",
+    "description": "d",
+    "shots": 123,
+    "seed": 9,
+    "smoke": true,
+    "output": {"csv": "a.csv", "json": "b.json", "checkpoint": "c.jsonl"},
+    "params": {"root": 3}
+  })"));
+  EXPECT_EQ(spec.scenario, "fig5");
+  EXPECT_EQ(spec.description, "d");
+  EXPECT_EQ(spec.shots, 123u);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_TRUE(spec.smoke);
+  EXPECT_EQ(spec.output.csv_path, "a.csv");
+  EXPECT_EQ(spec.output.json_path, "b.json");
+  EXPECT_EQ(spec.output.checkpoint_path, "c.jsonl");
+  EXPECT_DOUBLE_EQ(spec.params.find("root")->as_number(), 3.0);
+}
+
+TEST(Spec, DefaultsApply) {
+  const ScenarioSpec spec =
+      ScenarioSpec::from_json(JsonValue::parse(R"({"scenario": "fig3"})"));
+  EXPECT_EQ(spec.shots, 0u);
+  EXPECT_EQ(spec.seed, 20240715u);
+  EXPECT_FALSE(spec.smoke);
+  EXPECT_TRUE(spec.output.csv_path.empty());
+}
+
+TEST(Spec, RoundTripsThroughJson) {
+  ScenarioSpec spec;
+  spec.scenario = "grid";
+  spec.description = "round trip";
+  spec.shots = 777;
+  spec.seed = 424242;
+  spec.smoke = true;
+  spec.output.csv_path = "out.csv";
+  spec.output.checkpoint_path = "out.ckpt.jsonl";
+  spec.params = JsonValue::parse(
+      R"({"codes": ["repetition:5"], "error_rates": [0.001, 0.01]})");
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+  // And the JSON itself is stable under a second round trip.
+  EXPECT_EQ(back.to_json(), spec.to_json());
+}
+
+TEST(Spec, MissingScenarioIsActionable) {
+  const std::string what = error_of(
+      [] { ScenarioSpec::from_json(JsonValue::parse("{}")); });
+  EXPECT_NE(what.find("$.scenario"), std::string::npos) << what;
+  EXPECT_NE(what.find("radsurf list"), std::string::npos) << what;
+}
+
+TEST(Spec, UnknownTopLevelFieldRejectedWithFieldList) {
+  const std::string what = error_of([] {
+    ScenarioSpec::from_json(
+        JsonValue::parse(R"({"scenario": "fig3", "shotz": 10})"));
+  });
+  EXPECT_NE(what.find("unknown field"), std::string::npos) << what;
+  EXPECT_NE(what.find("$.shotz"), std::string::npos) << what;
+  EXPECT_NE(what.find("shots"), std::string::npos) << what;  // suggestion list
+}
+
+TEST(Spec, BadTypeRejectedWithPath) {
+  const std::string what = error_of([] {
+    ScenarioSpec::from_json(
+        JsonValue::parse(R"({"scenario": "fig3", "shots": "many"})"));
+  });
+  EXPECT_NE(what.find("$.shots"), std::string::npos) << what;
+  EXPECT_NE(what.find("expected number"), std::string::npos) << what;
+  EXPECT_NE(what.find("\"many\""), std::string::npos) << what;
+}
+
+TEST(Spec, FractionalShotsRejected) {
+  const std::string what = error_of([] {
+    ScenarioSpec::from_json(
+        JsonValue::parse(R"({"scenario": "fig3", "shots": 1.5})"));
+  });
+  EXPECT_NE(what.find("non-negative integer"), std::string::npos) << what;
+}
+
+TEST(Spec, UnknownOutputFieldRejected) {
+  EXPECT_THROW(ScenarioSpec::from_json(JsonValue::parse(
+                   R"({"scenario": "fig3", "output": {"csvv": "x"}})")),
+               SpecError);
+}
+
+TEST(Spec, FingerprintTracksSamplingFieldsOnly) {
+  ScenarioSpec a;
+  a.scenario = "grid";
+  a.seed = 1;
+  ScenarioSpec b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // Output paths and description do not invalidate checkpoints...
+  b.output.csv_path = "elsewhere.csv";
+  b.description = "renamed";
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // ...but shots, seed, scenario and params do.
+  b = a;
+  b.shots = 999;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = a;
+  b.seed = 2;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = a;
+  b.params = JsonValue::parse(R"({"decoders": ["greedy"]})");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// --- scenario-factory params validation ------------------------------------
+
+ScenarioSpec spec_for(const std::string& scenario,
+                      const std::string& params_json) {
+  ScenarioSpec spec;
+  spec.scenario = scenario;
+  spec.params = JsonValue::parse(params_json);
+  return spec;
+}
+
+TEST(SpecParams, UnknownScenarioListsRegistry) {
+  const std::string what = error_of([] {
+    ScenarioSpec spec;
+    spec.scenario = "fig99";
+    make_scenario(spec);
+  });
+  EXPECT_NE(what.find("unknown scenario \"fig99\""), std::string::npos)
+      << what;
+  EXPECT_NE(what.find("fig5"), std::string::npos) << what;
+  EXPECT_NE(what.find("grid"), std::string::npos) << what;
+}
+
+TEST(SpecParams, OptionsOnlyScenariosRejectParams) {
+  const std::string what = error_of(
+      [] { make_scenario(spec_for("fig6", R"({"extent": 3})")); });
+  EXPECT_NE(what.find("unknown field $.params.extent"), std::string::npos)
+      << what;
+}
+
+TEST(SpecParams, Fig5ValidatesErrorRates) {
+  EXPECT_NO_THROW(
+      make_scenario(spec_for("fig5", R"({"error_rates": [0.01]})")));
+  const std::string what = error_of([] {
+    make_scenario(spec_for("fig5", R"({"error_rates": []})"));
+  });
+  EXPECT_NE(what.find("$.params.error_rates"), std::string::npos) << what;
+}
+
+TEST(SpecParams, GridRejectsUnknownDecoder) {
+  const std::string what = error_of([] {
+    make_scenario(spec_for("grid", R"({"decoders": ["uf"]})"));
+  });
+  EXPECT_NE(what.find("unknown decoder \"uf\""), std::string::npos) << what;
+  EXPECT_NE(what.find("union-find"), std::string::npos) << what;
+}
+
+TEST(SpecParams, GridRejectsUnknownCodeAndArch) {
+  EXPECT_THROW(make_scenario(spec_for("grid", R"({"codes": ["steane:7"]})")),
+               SpecError);
+  EXPECT_THROW(
+      make_scenario(spec_for("grid", R"({"codes": ["repetition"]})")),
+      SpecError);
+  EXPECT_THROW(
+      make_scenario(spec_for("grid", R"({"archs": ["dodecahedron"]})")),
+      SpecError);
+}
+
+TEST(SpecParams, GridRejectsConfigsPlusCodes) {
+  const std::string what = error_of([] {
+    make_scenario(spec_for(
+        "grid",
+        R"({"configs": [{"code": "repetition:5", "arch": "mesh:5x2"}],
+            "codes": ["repetition:5"]})"));
+  });
+  EXPECT_NE(what.find("not both"), std::string::npos) << what;
+}
+
+TEST(SpecParams, GridRejectsUnknownInjectionKind) {
+  const std::string what = error_of([] {
+    make_scenario(
+        spec_for("grid", R"({"injections": [{"kind": "meteor"}]})"));
+  });
+  EXPECT_NE(what.find("$.params.injections[0]"), std::string::npos) << what;
+  EXPECT_NE(what.find("meteor"), std::string::npos) << what;
+}
+
+TEST(SpecParams, GridRequiresErasureQubits) {
+  EXPECT_THROW(make_scenario(spec_for(
+                   "grid", R"({"injections": [{"kind": "erasure"}]})")),
+               SpecError);
+}
+
+TEST(SpecParams, GridRejectsUnknownInjectionField) {
+  const std::string what = error_of([] {
+    make_scenario(spec_for(
+        "grid",
+        R"({"injections": [{"kind": "radiation", "rot": 2}]})"));
+  });
+  EXPECT_NE(what.find("unknown field $.params.injections[0].rot"),
+            std::string::npos)
+      << what;
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,226 @@
+// Golden-equivalence tests of the spec runner: running the shipped
+// specs/fig*.json files through the scenario registry must reproduce the
+// same CSV rows as the legacy figure drivers (the core experiment
+// functions the pre-registry binaries called), on identical shots/seed.
+// Also pins the campaign executor's determinism and per-cell
+// checkpoint/resume semantics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "cli/checkpoint.hpp"
+#include "cli/grid.hpp"
+#include "cli/registry.hpp"
+#include "cli/spec.hpp"
+#include "core/experiments.hpp"
+
+namespace radsurf {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioSpec shipped_spec(const std::string& name) {
+  const fs::path path = fs::path(RADSURF_SOURCE_DIR) / "specs" /
+                        (name + ".json");
+  return ScenarioSpec::from_file(path.string());
+}
+
+// Tiny budget so the four figure campaigns stay test-suite fast; the
+// equivalence claim is independent of the budget because both sides run
+// the same shots/seed.
+ExperimentOptions tiny_options() {
+  unsetenv("RADSURF_SHOTS");
+  unsetenv("RADSURF_FAST");
+  ExperimentOptions opts;
+  opts.shots = 20;
+  opts.seed = 7;
+  return opts;
+}
+
+std::string run_shipped_spec(const std::string& name,
+                             const ExperimentOptions& opts) {
+  ScenarioSpec spec = shipped_spec(name);
+  spec.shots = opts.shots;
+  spec.seed = opts.seed;
+  return make_scenario(spec)->run(nullptr).table.to_csv();
+}
+
+TEST(SpecEquivalence, Fig5MatchesLegacyDriver) {
+  const ExperimentOptions opts = tiny_options();
+  EXPECT_EQ(run_shipped_spec("fig5", opts),
+            fig5_noise_vs_radiation(opts).table.to_csv());
+}
+
+TEST(SpecEquivalence, Fig6MatchesLegacyDriver) {
+  const ExperimentOptions opts = tiny_options();
+  EXPECT_EQ(run_shipped_spec("fig6", opts),
+            fig6_code_distance(opts).table.to_csv());
+}
+
+TEST(SpecEquivalence, Fig7MatchesLegacyDriver) {
+  const ExperimentOptions opts = tiny_options();
+  EXPECT_EQ(run_shipped_spec("fig7", opts),
+            fig7_fault_spread(opts).table.to_csv());
+}
+
+TEST(SpecEquivalence, Fig8MatchesLegacyDriver) {
+  const ExperimentOptions opts = tiny_options();
+  EXPECT_EQ(run_shipped_spec("fig8", opts),
+            fig8_architecture(opts).table.to_csv());
+}
+
+TEST(SpecEquivalence, Fig3And4MatchTheGoldenFixtureDrivers) {
+  // fig3/fig4 are deterministic; the spec path must hit the exact golden
+  // tables test_golden_figures.cpp pins for the core functions.
+  ScenarioSpec spec3;
+  spec3.scenario = "fig3";
+  EXPECT_EQ(make_scenario(spec3)->run(nullptr).table.to_csv(),
+            fig3_temporal_decay().table.to_csv());
+  ScenarioSpec spec4;
+  spec4.scenario = "fig4";
+  EXPECT_EQ(make_scenario(spec4)->run(nullptr).table.to_csv(),
+            fig4_spatial_decay().table.to_csv());
+}
+
+// --- campaign executor determinism and resume ------------------------------
+
+ScenarioSpec tiny_grid_spec() {
+  ScenarioSpec spec;
+  spec.scenario = "grid";
+  spec.shots = 24;
+  spec.seed = 99;
+  spec.params = JsonValue::parse(R"({
+    "configs": [{"code": "repetition:5", "arch": "mesh:5x2"}],
+    "decoders": ["mwpm", "greedy"],
+    "error_rates": [0.001, 0.01],
+    "injections": [
+      {"kind": "intrinsic"},
+      {"kind": "radiation", "root": 2, "intensity": 0.8},
+      {"kind": "erasure", "qubits": [1, 2]}
+    ]
+  })");
+  return spec;
+}
+
+TEST(GridCampaign, DeterministicAcrossRuns) {
+  const ScenarioSpec spec = tiny_grid_spec();
+  const std::string first = make_scenario(spec)->run(nullptr).table.to_csv();
+  const std::string second =
+      make_scenario(spec)->run(nullptr).table.to_csv();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("radiation(root=2"), std::string::npos);
+}
+
+TEST(GridCampaign, CellSeedIsPureFunctionOfKeyAndSeed) {
+  EXPECT_EQ(grid_cell_seed(1, "a"), grid_cell_seed(1, "a"));
+  EXPECT_NE(grid_cell_seed(1, "a"), grid_cell_seed(2, "a"));
+  EXPECT_NE(grid_cell_seed(1, "a"), grid_cell_seed(1, "b"));
+}
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& name)
+      : path((fs::temp_directory_path() / name).string()) {
+    std::remove(path.c_str());
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+TEST(GridCampaign, CheckpointResumeReplaysWithoutRecompute) {
+  const ScenarioSpec spec = tiny_grid_spec();
+  TempPath ckpt("radsurf_test_grid.ckpt.jsonl");
+
+  JsonlCheckpointSink first_sink(ckpt.path, spec.fingerprint());
+  const ExperimentReport first = make_scenario(spec)->run(&first_sink);
+  EXPECT_EQ(first_sink.loaded(), 0u);
+
+  // Second run resumes every cell: identical table, no recompute (the
+  // note records 0 engines built).
+  JsonlCheckpointSink second_sink(ckpt.path, spec.fingerprint());
+  EXPECT_EQ(second_sink.loaded(), first.table.num_rows());
+  const ExperimentReport second = make_scenario(spec)->run(&second_sink);
+  EXPECT_EQ(second.table.to_csv(), first.table.to_csv());
+  ASSERT_FALSE(second.notes.empty());
+  EXPECT_NE(second.notes[0].find("0 engines built"), std::string::npos)
+      << second.notes[0];
+  EXPECT_NE(second.notes[0].find("12 resumed"), std::string::npos)
+      << second.notes[0];
+}
+
+TEST(GridCampaign, ResumedCellsAreTakenFromTheFileVerbatim) {
+  // Poison one checkpointed row; the resumed run must replay the poisoned
+  // row (proof that lookup short-circuits the computation).
+  const ScenarioSpec spec = tiny_grid_spec();
+  TempPath ckpt("radsurf_test_grid_poison.ckpt.jsonl");
+  {
+    JsonlCheckpointSink sink(ckpt.path, spec.fingerprint());
+    (void)make_scenario(spec)->run(&sink);
+  }
+  std::ifstream in(ckpt.path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  const std::string shots_cell = "intrinsic\",\"24\"";
+  const auto cell = content.find(shots_cell);
+  ASSERT_NE(cell, std::string::npos);
+  content.replace(cell, shots_cell.size(), "intrinsic\",\"POISON\"");
+  std::ofstream(ckpt.path) << content;
+
+  JsonlCheckpointSink sink(ckpt.path, spec.fingerprint());
+  const ExperimentReport resumed = make_scenario(spec)->run(&sink);
+  EXPECT_NE(resumed.table.to_csv().find("POISON"), std::string::npos);
+}
+
+TEST(GridCampaign, CheckpointFromDifferentSpecIsRejected) {
+  const ScenarioSpec spec = tiny_grid_spec();
+  TempPath ckpt("radsurf_test_grid_mismatch.ckpt.jsonl");
+  {
+    JsonlCheckpointSink sink(ckpt.path, spec.fingerprint());
+    sink.emit("k", {"v"});
+  }
+  ScenarioSpec changed = spec;
+  changed.shots = 1000;  // different sampling plan
+  try {
+    JsonlCheckpointSink sink(ckpt.path, changed.fingerprint());
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("--fresh"), std::string::npos)
+        << e.what();
+  }
+  // fresh=true truncates and proceeds.
+  JsonlCheckpointSink sink(ckpt.path, changed.fingerprint(), /*fresh=*/true);
+  EXPECT_EQ(sink.loaded(), 0u);
+}
+
+TEST(GridCampaign, TornTrailingLineIsDropped) {
+  const ScenarioSpec spec = tiny_grid_spec();
+  TempPath ckpt("radsurf_test_grid_torn.ckpt.jsonl");
+  {
+    JsonlCheckpointSink sink(ckpt.path, spec.fingerprint());
+    sink.emit("cell-a", {"x", "y"});
+    sink.emit("cell-b", {"z", "w"});
+  }
+  std::ofstream(ckpt.path, std::ios::app) << "{\"cell\":\"cell-c\",\"ro";
+  {
+    JsonlCheckpointSink sink(ckpt.path, spec.fingerprint());
+    EXPECT_EQ(sink.loaded(), 2u);
+    std::vector<std::string> row;
+    EXPECT_TRUE(sink.lookup("cell-a", &row));
+    EXPECT_EQ(row, (std::vector<std::string>{"x", "y"}));
+    EXPECT_FALSE(sink.lookup("cell-c", nullptr));
+    // Recomputing the torn cell must not glue onto the partial line...
+    sink.emit("cell-c", {"q"});
+  }
+  // ...so a third open sees all three cells, not a corrupted tail.
+  JsonlCheckpointSink reopened(ckpt.path, spec.fingerprint());
+  EXPECT_EQ(reopened.loaded(), 3u);
+  std::vector<std::string> row;
+  EXPECT_TRUE(reopened.lookup("cell-c", &row));
+  EXPECT_EQ(row, (std::vector<std::string>{"q"}));
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans the given markdown files (or directories, recursively) for inline
+links/images `[text](target)` and fails if a relative target does not
+exist on disk.  External links (http/https/mailto) and pure in-page
+anchors (#...) are skipped; a `path#anchor` target is checked for the
+file part only.  Code spans and fenced code blocks are ignored so
+documentation can show link syntax without tripping the checker.
+
+Usage: tools/check_markdown_links.py README.md docs/ [more ...]
+Exit code 0 when every link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(args):
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, files in os.walk(arg):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield arg
+
+
+def check_file(path):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(CODE_SPAN_RE.sub("``", line)):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                file_part = target.split("#", 1)[0]
+                if not file_part:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), file_part))
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{path}:{lineno}: broken link '{target}' "
+                        f"(resolved to {resolved})")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = list(iter_markdown_files(argv[1:]))
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in files:
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not all_errors else f'{len(all_errors)} broken links'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
