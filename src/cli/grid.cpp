@@ -1,11 +1,14 @@
 #include "cli/grid.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "inject/campaign.hpp"
 #include "util/hash.hpp"
 #include "util/json.hpp"
+#include "util/parallel.hpp"
 
 namespace radsurf {
 
@@ -66,6 +70,7 @@ struct GridPlan {
   std::vector<InjectionAxis> injections;
   std::size_t shots = 0;
   std::uint64_t seed = 0;
+  std::size_t jobs = 1;
   bool smoke = false;
 };
 
@@ -222,6 +227,7 @@ GridPlan parse_plan(const ScenarioSpec& spec) {
   // An explicit budget always wins; smoke only shrinks the default.
   plan.shots = spec.shots != 0 ? spec.shots : (spec.smoke ? 8 : 256);
   plan.seed = spec.seed;
+  plan.jobs = spec.jobs == 0 ? 1 : spec.jobs;
   plan.smoke = spec.smoke;
 
   SpecReader r(spec.params, "$.params");
@@ -338,6 +344,20 @@ class GridScenario final : public Scenario {
  public:
   GridScenario(GridPlan plan) : plan_(std::move(plan)) {}
 
+  // One point of the cross product.  Cells sharing an engine combo (every
+  // axis but the innermost injection one) are consecutive in enumeration
+  // order and share the expensive static pipeline.
+  struct Cell {
+    const ConfigAxis* cfg;
+    DecoderKind decoder;
+    double p, pm;
+    std::size_t rounds;
+    SamplingPath path;
+    const InjectionAxis* inj;
+    std::string key;
+    std::size_t combo;  // engine-combo ordinal
+  };
+
   ExperimentReport run(CampaignSink* sink) override {
     ExperimentReport rep;
     rep.title = "Grid campaign — " + std::to_string(num_cells()) +
@@ -352,79 +372,159 @@ class GridScenario final : public Scenario {
           return inj.kind != InjectionKind::TIMELINE;
         });
 
-    std::size_t resumed = 0;
-    std::size_t engines_built = 0;
-    for (const ConfigAxis& cfg : plan_.configs) {
-      for (const DecoderKind decoder : plan_.decoders) {
-        for (const double p : plan_.error_rates) {
-          for (const double pm : plan_.meas_error_rates) {
-            for (const std::size_t rounds : plan_.rounds) {
+    // Materialize the cell list in deterministic row-major axis order:
+    // rows, checkpoint lookups and worker scheduling all key off it, and
+    // the final table is assembled by cell ordinal so the report is
+    // byte-identical for every worker count.
+    std::vector<Cell> cells;
+    cells.reserve(num_cells());
+    std::size_t num_combos = 0;
+    for (const ConfigAxis& cfg : plan_.configs)
+      for (const DecoderKind decoder : plan_.decoders)
+        for (const double p : plan_.error_rates)
+          for (const double pm : plan_.meas_error_rates)
+            for (const std::size_t rounds : plan_.rounds)
               for (const SamplingPath path : plan_.paths) {
-                // One engine (the expensive static pipeline) per engine
-                // combo, built lazily: an all-resumed combo costs nothing.
-                std::unique_ptr<InjectionEngine> engine;
                 for (const InjectionAxis& inj : plan_.injections) {
-                  const std::string key = cell_key(cfg, decoder, p, pm,
-                                                   rounds, path, inj);
-                  std::vector<std::string> row;
-                  if (sink != nullptr && sink->lookup(key, &row)) {
-                    ++resumed;
-                    t.add_row(std::move(row));
-                    continue;
-                  }
-                  if (!engine) {
-                    EngineOptions eopts;
-                    eopts.physical_error_rate = p;
-                    eopts.measurement_error_rate = pm;
-                    eopts.rounds = rounds;
-                    eopts.decoder = decoder;
-                    eopts.sampling_path = path;
-                    eopts.whole_history_decoder = needs_whole_history;
-                    try {
-                      engine = std::make_unique<InjectionEngine>(
-                          *cfg.code.make(), make_topology(cfg.arch), eopts);
-                    } catch (const Error& e) {
-                      throw SpecError("grid cell " + key +
-                                      ": engine construction failed: " +
-                                      e.what());
-                    }
-                    ++engines_built;
-                  }
-                  const std::uint64_t seed = grid_cell_seed(plan_.seed, key);
-                  CellResult cell;
-                  try {
-                    cell = run_cell(*engine, inj, plan_.shots, seed);
-                  } catch (const Error& e) {
-                    throw SpecError("grid cell " + key + ": " + e.what());
-                  }
-                  row = {cfg.code.label,
-                         cfg.arch,
-                         decoder_kind_name(decoder),
-                         format_double(p),
-                         format_double(pm),
-                         std::to_string(rounds),
-                         path == SamplingPath::AUTO ? "auto" : "exact",
-                         inj.label,
-                         std::to_string(cell.errors.trials),
-                         std::to_string(cell.errors.successes),
-                         Table::pct(cell.errors.rate()),
-                         Table::pct(cell.errors.wilson_low()),
-                         Table::pct(cell.errors.wilson_high()),
-                         cell.detail};
-                  if (sink != nullptr) sink->emit(key, row);
-                  t.add_row(std::move(row));
+                  Cell cell{&cfg,   decoder, p,    pm, rounds,
+                            path,   &inj,    cell_key(cfg, decoder, p, pm,
+                                                      rounds, path, inj),
+                            num_combos};
+                  cells.push_back(std::move(cell));
                 }
+                ++num_combos;
               }
-            }
-          }
+
+    // Resume pass (serial): replay checkpointed cells without building
+    // anything.
+    std::vector<std::vector<std::string>> rows(cells.size());
+    std::vector<char> done(cells.size(), 0);
+    std::size_t resumed = 0;
+    if (sink != nullptr) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (sink->lookup(cells[i].key, &rows[i])) {
+          done[i] = 1;
+          ++resumed;
         }
       }
     }
+
+    // Group the remaining work by engine combo: one engine (the expensive
+    // static pipeline) serves every injection cell of its combo, built
+    // lazily — an all-resumed combo costs nothing, and a combo is owned by
+    // exactly one worker so the engine's single-caller contract holds.
+    std::vector<std::vector<std::size_t>> combo_cells(num_combos);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (!done[i]) combo_cells[cells[i].combo].push_back(i);
+    std::vector<std::size_t> work;
+    for (std::size_t c = 0; c < num_combos; ++c)
+      if (!combo_cells[c].empty()) work.push_back(c);
+
+    std::atomic<std::size_t> engines_built{0};
+    std::mutex sink_mu;
+    const auto run_combo = [&](std::size_t combo) {
+      std::unique_ptr<InjectionEngine> engine;
+      for (const std::size_t i : combo_cells[combo]) {
+        const Cell& cell = cells[i];
+        if (!engine) {
+          EngineOptions eopts;
+          eopts.physical_error_rate = cell.p;
+          eopts.measurement_error_rate = cell.pm;
+          eopts.rounds = cell.rounds;
+          eopts.decoder = cell.decoder;
+          eopts.sampling_path = cell.path;
+          eopts.whole_history_decoder = needs_whole_history;
+          try {
+            engine = std::make_unique<InjectionEngine>(
+                *cell.cfg->code.make(), make_topology(cell.cfg->arch),
+                eopts);
+          } catch (const Error& e) {
+            throw SpecError("grid cell " + cell.key +
+                            ": engine construction failed: " + e.what());
+          }
+          engines_built.fetch_add(1, std::memory_order_relaxed);
+        }
+        const std::uint64_t seed = grid_cell_seed(plan_.seed, cell.key);
+        CellResult result;
+        try {
+          result = run_cell(*engine, *cell.inj, plan_.shots, seed);
+        } catch (const Error& e) {
+          throw SpecError("grid cell " + cell.key + ": " + e.what());
+        }
+        rows[i] = {cell.cfg->code.label,
+                   cell.cfg->arch,
+                   decoder_kind_name(cell.decoder),
+                   format_double(cell.p),
+                   format_double(cell.pm),
+                   std::to_string(cell.rounds),
+                   cell.path == SamplingPath::AUTO ? "auto" : "exact",
+                   cell.inj->label,
+                   std::to_string(result.errors.trials),
+                   std::to_string(result.errors.successes),
+                   Table::pct(result.errors.rate()),
+                   Table::pct(result.errors.wilson_low()),
+                   Table::pct(result.errors.wilson_high()),
+                   result.detail};
+        if (sink != nullptr) {
+          // Appends are mutex-guarded and land in completion order; the
+          // checkpoint is order-tolerant (lookup is by cell key), so
+          // resumability is independent of the worker count that wrote
+          // the file.
+          const std::lock_guard<std::mutex> lock(sink_mu);
+          sink->emit(cell.key, rows[i]);
+        }
+      }
+    };
+
+    const std::size_t jobs = std::min(plan_.jobs, work.size());
+    if (jobs <= 1) {
+      for (const std::size_t combo : work) run_combo(combo);
+    } else {
+      // Worker pool over combos.  Each worker installs a SerialChunksScope
+      // so the engines' OpenMP shot loops collapse to serial execution —
+      // cell-level threads already saturate the machine, and nested teams
+      // would oversubscribe it (results are unchanged either way: chunk
+      // RNG streams do not depend on scheduling).
+      std::atomic<std::size_t> next{0};
+      std::exception_ptr first_error;
+      std::mutex error_mu;
+      std::vector<std::thread> workers;
+      workers.reserve(jobs);
+      for (std::size_t w = 0; w < jobs; ++w) {
+        workers.emplace_back([&] {
+          const SerialChunksScope serial_engine_chunks;
+          while (true) {
+            {
+              // Fail fast: once any combo has thrown, stop pulling work
+              // instead of grinding through the remaining combos first.
+              const std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error) break;
+            }
+            const std::size_t k =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (k >= work.size()) break;
+            try {
+              run_combo(work[k]);
+            } catch (...) {
+              const std::lock_guard<std::mutex> lock(error_mu);
+              if (!first_error) first_error = std::current_exception();
+            }
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      if (first_error) std::rethrow_exception(first_error);
+    }
+
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      t.add_row(std::move(rows[i]));
     rep.table = std::move(t);
     std::ostringstream note;
-    note << num_cells() << " cells, " << engines_built
+    note << num_cells() << " cells, "
+         << engines_built.load(std::memory_order_relaxed)
          << " engines built, " << resumed
-         << " resumed from checkpoint; per-cell RNG stream = "
+         << " resumed from checkpoint, " << plan_.jobs
+         << " worker(s); per-cell RNG stream = "
             "splitmix64(fnv1a(cell key) xor seed "
          << plan_.seed << ")";
     rep.notes.push_back(note.str());

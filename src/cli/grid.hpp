@@ -15,9 +15,16 @@
 //    engine's run_* campaigns) from a seed that is a pure function of
 //    (spec seed, cell key) — results are independent of thread count,
 //    schedule, cell execution order and of which cells were resumed;
+//  * spec.jobs > 1 (radsurf run --jobs N) runs engine combos on a worker
+//    pool: whole combos are scheduled so each engine keeps a single
+//    caller, workers install a SerialChunksScope so cell threads and the
+//    engines' OpenMP shot teams never oversubscribe, and the final table
+//    is assembled in cell-enumeration order — result CSVs are
+//    byte-identical for every worker count;
 //  * every finished cell is streamed to the CampaignSink (see
-//    cli/checkpoint.hpp), making long sharded campaigns resumable per
-//    cell.
+//    cli/checkpoint.hpp) under a mutex, in completion order; resume is
+//    keyed by cell, so checkpoints written under any worker count resume
+//    under any other.
 #pragma once
 
 #include <memory>

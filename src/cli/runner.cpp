@@ -30,6 +30,9 @@ run options:
   --shots N         override the spec's shot budget
   --seed N          override the spec's base seed
   --smoke           tiny budgets (CI validation; perf JSON writing disabled)
+  --jobs N          campaign worker threads: grid cells run on N workers
+                    (results are identical for every N; other scenarios
+                    ignore the flag)
   --csv             print the result table as CSV instead of aligned text
   --out FILE        write the result table as CSV
   --json-out FILE   write the full report as JSON
@@ -66,6 +69,7 @@ struct RunArgs {
   std::string target;  // spec file or scenario name ("" = all, smoke only)
   std::optional<std::size_t> shots;
   std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> jobs;
   bool smoke = false;
   bool csv = false;
   bool fresh = false;
@@ -87,6 +91,11 @@ RunArgs parse_run_args(int argc, char** argv, int begin) {
       args.shots = parse_uint_flag("--shots", next_value("--shots"));
     } else if (arg == "--seed") {
       args.seed = parse_uint_flag("--seed", next_value("--seed"));
+    } else if (arg == "--jobs") {
+      const std::uint64_t n = parse_uint_flag("--jobs", next_value("--jobs"));
+      if (n == 0)
+        throw SpecError("--jobs: expected a positive worker count");
+      args.jobs = static_cast<std::size_t>(n);
     } else if (arg == "--smoke") {
       args.smoke = true;
     } else if (arg == "--csv") {
@@ -131,6 +140,7 @@ ScenarioSpec load_target(const RunArgs& args) {
   // Explicit CLI overrides beat both the spec file and the smoke floor.
   if (args.shots) spec.shots = *args.shots;
   if (args.seed) spec.seed = *args.seed;
+  if (args.jobs) spec.jobs = *args.jobs;
   if (!args.out_csv.empty()) spec.output.csv_path = args.out_csv;
   if (!args.out_json.empty()) spec.output.json_path = args.out_json;
   if (!args.checkpoint.empty()) spec.output.checkpoint_path = args.checkpoint;

@@ -154,6 +154,8 @@ ScenarioSpec ScenarioSpec::from_json(const JsonValue& json,
   spec.shots = r.get_uint("shots", 0);
   spec.seed = r.get_uint("seed", spec.seed);
   spec.smoke = r.get_bool("smoke", false);
+  spec.jobs = r.get_uint("jobs", 1);
+  if (spec.jobs == 0) r.fail("jobs", "must be >= 1 worker");
   if (const JsonValue* out = r.get_raw("output")) {
     SpecReader ro(*out, origin + ": $.output");
     spec.output.csv_path = ro.get_string("csv", "");
@@ -186,6 +188,7 @@ JsonValue ScenarioSpec::to_json() const {
   json.set("shots", shots);
   json.set("seed", seed);
   json.set("smoke", smoke);
+  if (jobs != 1) json.set("jobs", jobs);
   if (!output.csv_path.empty() || !output.json_path.empty() ||
       !output.checkpoint_path.empty()) {
     JsonValue out = JsonValue::object();
@@ -202,15 +205,26 @@ JsonValue ScenarioSpec::to_json() const {
 bool ScenarioSpec::operator==(const ScenarioSpec& other) const {
   return scenario == other.scenario && description == other.description &&
          shots == other.shots && seed == other.seed &&
-         smoke == other.smoke && output == other.output &&
-         params == other.params;
+         smoke == other.smoke && jobs == other.jobs &&
+         output == other.output && params == other.params;
 }
 
 std::uint64_t ScenarioSpec::fingerprint() const {
   ScenarioSpec stripped = *this;
   stripped.output = {};
   stripped.description.clear();
-  return fnv1a64(stripped.to_json().dump());
+  // Worker count never changes results (cell seeds are schedule-
+  // independent), so a checkpoint written under --jobs 4 resumes under
+  // --jobs 1 and vice versa.
+  stripped.jobs = 1;
+  // Sampling-schema salt: bump when an engine change alters the sampled
+  // values of an unchanged spec (e.g. the shots_per_chunk default, which
+  // sets the RNG stream decomposition).  Checkpoints written by a binary
+  // whose cells would sample differently then refuse to resume (with the
+  // --fresh hint) instead of silently mixing decompositions in one table.
+  constexpr std::uint64_t kSamplingSchemaVersion = 2;
+  return splitmix64_mix(fnv1a64(stripped.to_json().dump()) ^
+                        kSamplingSchemaVersion);
 }
 
 }  // namespace radsurf

@@ -9,6 +9,7 @@
 //     "shots": 2000,                   // 0/absent = scenario default
 //     "seed": 20240715,
 //     "smoke": false,                  // tiny budgets, no perf JSON output
+//     "jobs": 4,                       // campaign worker threads (grid)
 //     "output": {"csv": "...", "json": "...", "checkpoint": "..."},
 //     "params": { ... }                // scenario-specific, see registry
 //   }
@@ -93,6 +94,11 @@ struct ScenarioSpec {
   std::size_t shots = 0;  // 0 = scenario default
   std::uint64_t seed = 20240715;
   bool smoke = false;
+  /// Campaign worker threads (grid cells run on `jobs` workers; every
+  /// other scenario ignores it).  Results are independent of the value —
+  /// cell seeds are pure functions of (seed, cell key) — so, like output
+  /// paths, it does not enter the checkpoint fingerprint.
+  std::size_t jobs = 1;
   OutputOptions output;
   JsonValue params = JsonValue::object();
 
@@ -108,10 +114,12 @@ struct ScenarioSpec {
 
   bool operator==(const ScenarioSpec& other) const;
 
-  /// 64-bit FNV-1a over the canonical spec JSON *minus the output block*:
-  /// the resume layer's compatibility check.  Changing shots, seed, params
-  /// or the scenario invalidates checkpoints; changing output paths or the
-  /// description does not.
+  /// 64-bit hash over the canonical spec JSON *minus the output block*,
+  /// salted with a sampling-schema version: the resume layer's
+  /// compatibility check.  Changing shots, seed, params or the scenario
+  /// invalidates checkpoints — as does an engine release that changes the
+  /// sampled values of an unchanged spec (see the salt in spec.cpp);
+  /// changing output paths, the description or `jobs` does not.
   std::uint64_t fingerprint() const;
 };
 

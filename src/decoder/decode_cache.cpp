@@ -1,6 +1,7 @@
 #include "decoder/decode_cache.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace radsurf {
 
@@ -17,11 +18,38 @@ void delta_encode_into(const std::uint32_t* sorted, std::size_t size,
   }
 }
 
+// Per-thread direct-mapped L1 over the word-keyed front table: lock-free
+// repeat probes for syndromes of at most kL1MaxWords words.  One table per
+// thread, owned by whichever CachingDecoder probed last (identified by
+// instance id, never by address — a new decoder allocated where a dead one
+// lived must not inherit its entries).
+constexpr std::size_t kL1MaxWords = 4;
+// Direct-mapped, so sized well above the campaign working sets (~1k
+// distinct syndromes for small-distance radiation sweeps) to keep conflict
+// misses rare: 4096 slots × 48 B = 192 KiB per thread, L2-resident.
+constexpr std::size_t kL1Slots = 4096;  // power of two (indexing mask)
+
+struct L1Slot {
+  std::uint64_t key[kL1MaxWords];
+  std::uint64_t prediction;
+  std::uint32_t num_words = 0;  // 0 = empty
+};
+
+struct L1Cache {
+  std::uint64_t decoder_id = 0;  // 0 = unowned
+  std::array<L1Slot, kL1Slots> slots;
+};
+
+thread_local L1Cache t_l1;
+
+std::atomic<std::uint64_t> g_next_decoder_id{1};
+
 }  // namespace
 
 CachingDecoder::CachingDecoder(Decoder& inner, std::size_t max_entries)
     : inner_(inner),
       clusterable_(dynamic_cast<MwpmDecoder*>(&inner)),
+      instance_id_(g_next_decoder_id.fetch_add(1, std::memory_order_relaxed)),
       max_entries_per_shard_(max_entries / kNumShards + 1) {}
 
 std::string CachingDecoder::name() const {
@@ -38,11 +66,9 @@ std::uint64_t CachingDecoder::lookup(const std::vector<std::uint32_t>& key,
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
+    if (it != shard.map.end()) return it->second;
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t prediction = miss();
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
@@ -106,6 +132,77 @@ std::uint64_t CachingDecoder::decode(
     }
     return prediction;
   });
+}
+
+std::uint64_t CachingDecoder::decode_syndrome(const std::uint64_t* words,
+                                              std::size_t num_words) {
+  // Zero syndrome: same uncounted bypass as decode({}) — trivially 0 on
+  // every backend.
+  std::uint64_t any = 0;
+  for (std::size_t w = 0; w < num_words; ++w) any |= words[w];
+  if (!any) {
+    static const std::vector<std::uint32_t> kEmpty;
+    return inner_.decode(kEmpty);
+  }
+
+  const auto h = static_cast<std::size_t>(fnv1a64_mixed(words, num_words));
+
+  // L1: one array index, no lock.  A hit is a copy of a published word-map
+  // entry, so it books the same lookup+hit a word-map hit would.
+  L1Slot* slot = nullptr;
+  if (num_words <= kL1MaxWords) {
+    L1Cache& l1 = t_l1;
+    if (l1.decoder_id != instance_id_) {
+      for (L1Slot& s : l1.slots) s.num_words = 0;
+      l1.decoder_id = instance_id_;
+    }
+    // The shard selector consumes the top 6 bits and unordered_map the low
+    // ones; index the L1 with a middle run.
+    slot = &l1.slots[(h >> 32) & (kL1Slots - 1)];
+    if (slot->num_words == num_words &&
+        std::equal(words, words + num_words, slot->key)) {
+      lookups_.fetch_add(1, std::memory_order_relaxed);
+      return slot->prediction;
+    }
+  }
+  const auto publish_l1 = [&](std::uint64_t prediction) {
+    if (slot == nullptr) return;
+    for (std::size_t w = 0; w < num_words; ++w) slot->key[w] = words[w];
+    slot->num_words = static_cast<std::uint32_t>(num_words);
+    slot->prediction = prediction;
+  };
+
+  thread_local std::vector<std::uint64_t> word_key;
+  word_key.assign(words, words + num_words);
+  WordShard& shard = word_shards_[(h >> 58) % kNumShards];
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(word_key);
+    if (it != shard.map.end()) {
+      // A front hit implies the canonical whole-syndrome key is cached
+      // (it was populated on this key's front miss), so book the one
+      // lookup+hit the per-bit path would have booked.
+      lookups_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t prediction = it->second;
+      publish_l1(prediction);
+      return prediction;
+    }
+  }
+
+  // Front miss: materialize the (sorted) defect list and run the
+  // canonical keyed path — decode() counts and populates exactly as the
+  // per-bit path does for a first occurrence — then publish the word key.
+  thread_local std::vector<std::uint32_t> defects;
+  defects.clear();
+  append_syndrome_defects(words, num_words, defects);
+  const std::uint64_t prediction = decode(defects);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() < max_entries_per_shard_)
+      shard.map.emplace(word_key, prediction);
+  }
+  publish_l1(prediction);
+  return prediction;
 }
 
 std::size_t CachingDecoder::size() const {

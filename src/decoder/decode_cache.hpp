@@ -14,6 +14,28 @@
 // small, hash entropy spreads across shards, and permutations of the same
 // syndrome share one entry.
 //
+// The batch-major pipeline enters through decode_syndrome() instead: the
+// shot's raw syndrome words (one transposed BitTable row) are hashed
+// directly into a *word-keyed front table*, so a repeat syndrome is one
+// hash probe with no defect materialization and no delta encoding.  The
+// front table is a transparent accelerator over the canonical keyed cache:
+// its own probes are not counted, a front hit books the same one
+// lookup+hit the per-bit path's whole-syndrome probe would have booked,
+// and a front miss falls through to decode() (which counts and populates
+// the canonical cache exactly as the per-bit path does) before publishing
+// the word key.  Hit/lookup stats are therefore bit-identical between the
+// per-bit and batch-major paths as long as no shard saturates its
+// capacity bound (the equivalence tests pin this).
+//
+// In front of the sharded word map sits a per-thread, direct-mapped L1
+// (decode_cache.cpp): syndromes spanning at most 4 words resolve a repeat
+// probe with one array index and a word compare — no mutex at all, which
+// is what keeps the zero-contention campaign hot loop at memory speed.
+// L1 entries are copies of published word-map entries keyed by a unique
+// per-decoder id (never by address, so a decoder reallocated at a stale
+// address cannot alias), and an L1 hit books the same lookup+hit a word-
+// map hit would.
+//
 // When the inner decoder is an MwpmDecoder, memoization is *per locality
 // cluster* instead of per whole syndrome: the decoder's union-find
 // prefilter (see mwpm.hpp) splits the defects into independently-matched
@@ -39,6 +61,7 @@
 
 #include "decoder/decoder.hpp"
 #include "decoder/mwpm.hpp"
+#include "util/hash.hpp"
 
 namespace radsurf {
 
@@ -59,17 +82,39 @@ class CachingDecoder final : public Decoder {
  public:
   /// Wraps `inner` (not owned; must outlive this decoder).  `max_entries`
   /// bounds the total number of cached syndromes (cluster keys in cluster
-  /// mode).  Cluster-level memoization engages automatically when `inner`
-  /// is an MwpmDecoder.
+  /// mode).  The word-keyed front table of decode_syndrome is bounded by
+  /// the same per-shard cap but holds *duplicates* of canonical entries
+  /// under a second key, so worst-case memory is ~2× max_entries entries
+  /// (size() reports only the canonical map).  Cluster-level memoization
+  /// engages automatically when `inner` is an MwpmDecoder.
   explicit CachingDecoder(Decoder& inner,
                           std::size_t max_entries = std::size_t{1} << 20);
 
   std::string name() const override;
   std::uint64_t decode(const std::vector<std::uint32_t>& defects) override;
 
+  /// Word-keyed probe over the raw syndrome span (see the header comment).
+  /// `words` must be zero-padded past the last detector bit; the span is
+  /// the cache key, so callers must pass a fixed num_words per decoder.
+  std::uint64_t decode_syndrome(const std::uint64_t* words,
+                                std::size_t num_words) override;
+
+  /// Stats hook for callers that memoize decode *outcomes* above this
+  /// cache (the campaign engine's record-word memo): books the one
+  /// lookup+hit the skipped decode_syndrome call would have booked, so
+  /// hit/lookup stats stay identical to the unmemoized path.  Only valid
+  /// when the skipped syndrome was non-empty and previously decoded
+  /// through this decoder.
+  void book_repeat_hit() {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   DecodeCacheStats stats() const {
-    return {hits_.load(std::memory_order_relaxed),
-            lookups_.load(std::memory_order_relaxed)};
+    // Misses are counted (they are rare), hits derived: the hot hit path
+    // then pays one atomic increment, not two.
+    const std::uint64_t lookups = lookups_.load(std::memory_order_relaxed);
+    const std::uint64_t misses = misses_.load(std::memory_order_relaxed);
+    return {lookups - misses, lookups};
   }
   /// Number of cached syndromes / clusters (approximate under concurrency).
   std::size_t size() const;
@@ -79,18 +124,25 @@ class CachingDecoder final : public Decoder {
  private:
   struct VecHash {
     std::size_t operator()(const std::vector<std::uint32_t>& v) const {
-      // FNV-1a over the delta-encoded defect indices.
-      std::uint64_t h = 1469598103934665603ULL;
-      for (std::uint32_t d : v) {
-        h ^= d;
-        h *= 1099511628211ULL;
-      }
-      return static_cast<std::size_t>(h);
+      // Over the delta-encoded defect indices.
+      return static_cast<std::size_t>(fnv1a64_mixed(v.data(), v.size()));
     }
   };
   struct Shard {
     std::mutex mu;
     std::unordered_map<std::vector<std::uint32_t>, std::uint64_t, VecHash>
+        map;
+  };
+  struct WordVecHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& v) const {
+      // Over the raw syndrome words.
+      return static_cast<std::size_t>(fnv1a64_mixed(v.data(), v.size()));
+    }
+  };
+  struct WordShard {
+    std::mutex mu;
+    std::unordered_map<std::vector<std::uint64_t>, std::uint64_t,
+                       WordVecHash>
         map;
   };
   static constexpr std::size_t kNumShards = 16;
@@ -103,9 +155,12 @@ class CachingDecoder final : public Decoder {
 
   Decoder& inner_;
   MwpmDecoder* clusterable_;  // non-null => per-cluster memoization
+  const std::uint64_t instance_id_;  // L1 ownership tag (see the .cpp)
   std::size_t max_entries_per_shard_;
   std::array<Shard, kNumShards> shards_;
-  std::atomic<std::uint64_t> hits_{0};
+  // Word-keyed front table of decode_syndrome (uncounted accelerator).
+  std::array<WordShard, kNumShards> word_shards_;
+  std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> lookups_{0};
 };
 

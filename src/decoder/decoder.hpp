@@ -29,16 +29,45 @@
 #include <vector>
 
 #include "detector/matching_graph.hpp"
+#include "util/bitvec.hpp"
 
 namespace radsurf {
+
+/// Append the defect indices of a zero-padded syndrome word span (bit d =
+/// detector d fired) to `out` — the word-scan shared by every consumer of
+/// batch-major syndrome rows.
+inline void append_syndrome_defects(const std::uint64_t* words,
+                                    std::size_t num_words,
+                                    std::vector<std::uint32_t>& out) {
+  for_each_set_bit(words, num_words, [&out](std::size_t d) {
+    out.push_back(static_cast<std::uint32_t>(d));
+  });
+}
 
 class Decoder {
  public:
   virtual ~Decoder() = default;
   virtual std::string name() const = 0;
-  /// Predicted observable-flip mask for the given defects.
+  /// Predicted observable-flip mask for the given defects.  An empty
+  /// defect list decodes to 0 on every backend (no defects, no
+  /// correction) — the batch pipeline's zero-syndrome fast path relies on
+  /// it.
   virtual std::uint64_t decode(
       const std::vector<std::uint32_t>& defects) = 0;
+
+  /// Batch-major entry point: the shot's whole syndrome as a contiguous,
+  /// zero-padded word span (bit d = detector d fired), i.e. one row of the
+  /// shot-major BitTable the 64×64 transpose produces.  The default
+  /// implementation word-scans the span into a (sorted) defect list and
+  /// forwards to decode(); CachingDecoder overrides it to hash the raw
+  /// words first, so repeat syndromes never materialize a defect list.
+  virtual std::uint64_t decode_syndrome(const std::uint64_t* words,
+                                        std::size_t num_words) {
+    thread_local std::vector<std::uint32_t> defects;
+    defects.clear();
+    append_syndrome_defects(words, num_words, defects);
+    return decode(defects);
+  }
 };
 
 enum class DecoderKind { MWPM, UNION_FIND, GREEDY };

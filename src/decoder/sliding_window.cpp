@@ -6,25 +6,34 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace radsurf {
 
 namespace {
 
-// Structural signature of a window subgraph: two windows with identical
-// local edge structure share one MwpmDecoder.  Interior windows of a
-// periodic memory circuit are bit-identical (same intrinsic noise, same
-// local detector layout), so the number of distinct shapes stays O(1) as
-// rounds grow.
-std::string shape_signature(const MatchingGraph& g) {
+// Structural signature of a window: two windows with an identical local
+// edge structure AND identical relative round layout (local detector →
+// round offset from the window start, plus the relative commit cut)
+// share one MwpmDecoder and one decode memo.  Interior windows of a
+// periodic memory circuit are bit-identical in both respects, so the
+// number of distinct shapes stays O(1) as rounds grow.  The round layout
+// is part of the signature because decode_window's commit/defer split
+// depends on it: sharing a memo across two windows is only sound when a
+// local defect set decodes identically in both.
+std::string shape_signature(const MatchingGraph& g,
+                            const std::vector<std::uint32_t>& local_rounds,
+                            std::uint64_t relative_commit) {
   std::string sig;
-  sig.reserve(16 + g.edges().size() * 28);
+  sig.reserve(24 + g.edges().size() * 28 + local_rounds.size() * 8);
   auto put = [&sig](std::uint64_t v) {
     char buf[8];
     std::memcpy(buf, &v, 8);
     sig.append(buf, 8);
   };
   put(g.num_detectors());
+  put(relative_commit);
+  for (const std::uint32_t r : local_rounds) put(r);
   for (const MatchingEdge& e : g.edges()) {
     put((static_cast<std::uint64_t>(e.a) << 32) | e.b);
     std::uint64_t p_bits = 0;
@@ -76,12 +85,21 @@ SlidingWindowDecoder::SlidingWindowDecoder(
     w.view = time_window(full, ids);
     max_window_detectors_ = std::max(max_window_detectors_, ids.size());
 
-    const std::string sig = shape_signature(w.view.graph);
+    std::vector<std::uint32_t> local_rounds;
+    local_rounds.reserve(ids.size());
+    for (const std::uint32_t global : w.view.global_ids)
+      local_rounds.push_back(detector_rounds_[global] -
+                             static_cast<std::uint32_t>(w.begin_round));
+    const std::string sig = shape_signature(
+        w.view.graph, local_rounds,
+        static_cast<std::uint64_t>(w.commit_round - w.begin_round));
     const auto [it, inserted] =
         shape_index.try_emplace(sig, decoders_.size());
-    if (inserted)
+    if (inserted) {
       decoders_.push_back(
           std::make_unique<MwpmDecoder>(w.view.graph, /*track_paths=*/true));
+      memos_.push_back(std::make_unique<WindowMemo>());
+    }
     w.decoder_index = it->second;
 
     const std::size_t next = w.commit_round;
@@ -89,6 +107,11 @@ SlidingWindowDecoder::SlidingWindowDecoder(
     if (final_window) break;
     begin = next;
   }
+}
+
+std::size_t SlidingWindowDecoder::WindowMemo::KeyHash::operator()(
+    const std::vector<std::uint32_t>& v) const {
+  return static_cast<std::size_t>(fnv1a64_mixed(v.data(), v.size()));
 }
 
 std::string SlidingWindowDecoder::name() const {
@@ -99,30 +122,30 @@ std::string SlidingWindowDecoder::name() const {
 }
 
 std::uint64_t SlidingWindowDecoder::decode_window(
-    const Window& w, const std::vector<std::uint32_t>& defects,
-    std::vector<std::uint32_t>& carried) const {
+    const Window& w, const std::vector<std::uint32_t>& local_defects,
+    std::vector<std::uint32_t>& local_carried) const {
   const MwpmDecoder& decoder = *decoders_[w.decoder_index];
   const std::uint32_t local_boundary = w.view.graph.boundary_node();
   const std::size_t commit = w.commit_round;
 
-  auto toggle = [&carried](std::uint32_t global) {
-    const auto it = std::find(carried.begin(), carried.end(), global);
-    if (it == carried.end())
-      carried.push_back(global);
+  // Everything here is in window-local ids (the caller translates), so
+  // the result depends only on the window *shape* — the property that
+  // lets all same-shape windows share one decode memo.
+  auto toggle = [&local_carried](std::uint32_t local) {
+    const auto it =
+        std::find(local_carried.begin(), local_carried.end(), local);
+    if (it == local_carried.end())
+      local_carried.push_back(local);
     else
-      carried.erase(it);
+      local_carried.erase(it);
   };
   auto uncommitted = [&](std::uint32_t local) {
     return local != local_boundary &&
            detector_rounds_[w.view.global_ids[local]] >= commit;
   };
 
-  std::vector<std::uint32_t> local;
-  local.reserve(defects.size());
-  for (std::uint32_t g : defects) local.push_back(w.view.to_local(g));
-
   std::uint64_t prediction = 0;
-  for (const MwpmMatch& pair : decoder.match_defects(local)) {
+  for (const MwpmMatch& pair : decoder.match_defects(local_defects)) {
     const std::vector<std::uint32_t> path =
         decoder.path_nodes(pair.a, pair.b);
     // First / last uncommitted node on the correction path (if any).
@@ -143,9 +166,9 @@ std::uint64_t SlidingWindowDecoder::decode_window(
     // uncommitted, simply defer it.
     if (first > 0) {
       prediction ^= decoder.path_observables(pair.a, path[first]);
-      toggle(w.view.global_ids[path[first]]);
+      toggle(path[first]);
     } else {
-      toggle(w.view.global_ids[pair.a]);
+      toggle(pair.a);
     }
     // b-side: symmetric, except a boundary endpoint commits nothing (its
     // tail is simply re-decoded later).  When first == last the two sides
@@ -155,9 +178,9 @@ std::uint64_t SlidingWindowDecoder::decode_window(
     if (last + 1 < path.size()) {
       prediction ^= decoder.path_observables(pair.a, path[last]) ^
                     decoder.path_observables(pair.a, pair.b);
-      toggle(w.view.global_ids[path[last]]);
+      toggle(path[last]);
     } else {
-      toggle(w.view.global_ids[pair.b]);
+      toggle(pair.b);
     }
   }
   return prediction;
@@ -178,6 +201,8 @@ std::uint64_t SlidingWindowDecoder::decode(
   std::uint64_t prediction = 0;
   std::vector<std::uint32_t> carried;
   std::vector<std::uint32_t> active;
+  std::vector<std::uint32_t> local_active;
+  std::vector<std::uint32_t> local_carried;
   std::size_t next = 0;  // next unconsumed defect in by_round
   for (const Window& w : windows_) {
     active.assign(carried.begin(), carried.end());
@@ -187,7 +212,39 @@ std::uint64_t SlidingWindowDecoder::decode(
       active.push_back(by_round[next++]);
     if (active.empty()) continue;
     std::sort(active.begin(), active.end());
-    prediction ^= decode_window(w, active, carried);
+    local_active.clear();
+    for (const std::uint32_t g : active)
+      local_active.push_back(w.view.to_local(g));
+    std::sort(local_active.begin(), local_active.end());
+
+    // Shape-level memo: in local ids, (active) -> (prediction, carried)
+    // is a pure function of the window shape, so a defect pattern seen at
+    // round 50 resolves the identical pattern at round 150 — long
+    // timelines repeat small window-local sets across shots and rounds
+    // even though whole-history syndromes never repeat.
+    WindowMemo& memo = *memos_[w.decoder_index];
+    local_carried.clear();
+    bool memoized = false;
+    {
+      const std::lock_guard<std::mutex> lock(memo.mu);
+      const auto it = memo.map.find(local_active);
+      if (it != memo.map.end()) {
+        prediction ^= it->second.first;
+        local_carried = it->second.second;
+        memoized = true;
+      }
+    }
+    if (!memoized) {
+      const std::uint64_t window_prediction =
+          decode_window(w, local_active, local_carried);
+      prediction ^= window_prediction;
+      const std::lock_guard<std::mutex> lock(memo.mu);
+      if (memo.map.size() < (std::size_t{1} << 16))
+        memo.map.emplace(local_active,
+                         std::make_pair(window_prediction, local_carried));
+    }
+    for (const std::uint32_t local : local_carried)
+      carried.push_back(w.view.global_ids[local]);
   }
   RADSURF_ASSERT_MSG(carried.empty() && next == by_round.size(),
                      "sliding-window decode left defects unresolved");

@@ -26,10 +26,21 @@
 // structure (every interior window of a periodic memory experiment) share
 // one per-shape MwpmDecoder, so decoder memory is O(window^2) independent
 // of the number of rounds.
+//
+// Decoding is memoized *per window*: a window's (active defects) →
+// (prediction, carried defects) map is a pure function of its subgraph,
+// and although whole-history syndromes of a long timeline are almost
+// always distinct (whole-syndrome caching never hits at 200 rounds), the
+// small window-local defect sets repeat heavily across shots — the same
+// locality observation behind CachingDecoder's cluster keys, one level
+// up.  Memo hits skip matching and path reconstruction entirely.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "decoder/decoder.hpp"
@@ -82,6 +93,21 @@ class SlidingWindowDecoder final : public Decoder {
     std::size_t decoder_index = 0;  // into decoders_ (shapes deduplicated)
   };
 
+  // Concurrent memo of one window's decode results (decode() is called
+  // from many campaign chunks at once).  Values are immutable once
+  // inserted; racing duplicate computes are harmless (decode_window is
+  // deterministic).
+  struct WindowMemo {
+    struct KeyHash {
+      std::size_t operator()(const std::vector<std::uint32_t>& v) const;
+    };
+    std::mutex mu;
+    std::unordered_map<std::vector<std::uint32_t>,
+                       std::pair<std::uint64_t, std::vector<std::uint32_t>>,
+                       KeyHash>
+        map;
+  };
+
   std::uint64_t decode_window(const Window& w,
                               const std::vector<std::uint32_t>& defects,
                               std::vector<std::uint32_t>& carried) const;
@@ -89,6 +115,9 @@ class SlidingWindowDecoder final : public Decoder {
   SlidingWindowOptions options_;
   std::vector<std::uint32_t> detector_rounds_;
   std::vector<Window> windows_;
+  // One memo per distinct window shape (parallel to decoders_, indexed by
+  // Window::decoder_index) — same-shape windows share entries.
+  std::vector<std::unique_ptr<WindowMemo>> memos_;
   std::vector<std::unique_ptr<MwpmDecoder>> decoders_;
   std::size_t max_window_detectors_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "detector/detectors.hpp"
 
+#include <bit>
+
 #include "util/error.hpp"
 
 namespace radsurf {
@@ -33,6 +35,11 @@ DetectorSet DetectorSet::compile(const Circuit& circuit) {
   }
   RADSURF_CHECK_ARG(ds.num_observables() <= 64,
                     "at most 64 observables supported");
+  ds.record_detector_masks_.assign(ds.num_records_,
+                                   BitVec(ds.num_detectors()));
+  for (std::size_t r = 0; r < ds.num_records_; ++r)
+    for (std::uint32_t d : ds.record_to_detectors_[r])
+      ds.record_detector_masks_[r].flip(d);
   return ds;
 }
 
@@ -63,14 +70,26 @@ BitVec DetectorSet::detector_values(const BitVec& record,
   return out;
 }
 
+namespace {
+
+// Per-thread diff scratch of the record-major scans below: exact-replay
+// shot loops call them back to back on the hot path, and the campaign
+// engine decodes from many OpenMP workers at once.
+thread_local BitVec t_record_diff;
+
+}  // namespace
+
 std::uint64_t DetectorSet::observable_values(const BitVec& record,
                                              const BitVec& reference) const {
+  // Record-major word scan: XOR the observable membership of every
+  // *flipped* record (sparse at campaign noise levels) instead of probing
+  // each observable mask.
+  BitVec& diff = t_record_diff;
+  diff.assign_xor(record, reference);
   std::uint64_t out = 0;
-  for (std::size_t o = 0; o < observable_masks_.size(); ++o) {
-    const bool v = observable_masks_[o].and_parity(record) ^
-                   observable_masks_[o].and_parity(reference);
-    if (v) out |= std::uint64_t{1} << o;
-  }
+  for_each_set_bit(diff.words(), diff.num_words(), [&](std::size_t r) {
+    out ^= record_to_observables_[r];
+  });
   return out;
 }
 
@@ -83,36 +102,82 @@ std::vector<std::uint32_t> DetectorSet::defects(const BitVec& record,
 
 void DetectorSet::defects_into(const BitVec& record, const BitVec& reference,
                                std::vector<std::uint32_t>& out) const {
+  defects_and_observables_into(record, reference, out, nullptr);
+}
+
+void DetectorSet::defects_and_observables_into(
+    const BitVec& record, const BitVec& reference,
+    std::vector<std::uint32_t>& out, std::uint64_t* observables) const {
+  // Word-scan replacement of the per-detector parity probes: accumulate
+  // the detector membership (and observable mask) of each flipped record,
+  // then first_set-walk the nonzero words of the result.  Cost is
+  // O(flipped records × detector words), not O(detectors × record words).
   out.clear();
-  for (std::size_t d = 0; d < detector_masks_.size(); ++d) {
-    const bool v = detector_masks_[d].and_parity(record) ^
-                   detector_masks_[d].and_parity(reference);
-    if (v) out.push_back(static_cast<std::uint32_t>(d));
-  }
+  std::uint64_t obs = 0;
+  thread_local BitVec values;
+  BitVec& diff = t_record_diff;
+  diff.assign_xor(record, reference);
+  values.reset(num_detectors());
+  for_each_set_bit(diff.words(), diff.num_words(), [&](std::size_t r) {
+    values ^= record_detector_masks_[r];
+    obs ^= record_to_observables_[r];
+  });
+  values.append_set_bits(out);
+  if (observables != nullptr) *observables = obs;
 }
 
 std::vector<BitVec> DetectorSet::detector_flips(
     const MeasurementFlips& flips) const {
-  RADSURF_ASSERT(flips.size() == num_records_);
-  const std::size_t batch = flips.empty() ? 0 : flips[0].size();
-  std::vector<BitVec> out(num_detectors(), BitVec(batch));
-  for (std::size_t r = 0; r < num_records_; ++r) {
-    for (std::uint32_t d : record_to_detectors_[r]) out[d] ^= flips[r];
-  }
+  std::vector<BitVec> out;
+  detector_flips_into(flips, out);
   return out;
 }
 
 std::vector<BitVec> DetectorSet::observable_flips(
     const MeasurementFlips& flips) const {
+  std::vector<BitVec> out;
+  observable_flips_into(flips, out);
+  return out;
+}
+
+void DetectorSet::detector_flips_into(const MeasurementFlips& flips,
+                                      std::vector<BitVec>& out) const {
   RADSURF_ASSERT(flips.size() == num_records_);
   const std::size_t batch = flips.empty() ? 0 : flips[0].size();
-  std::vector<BitVec> out(num_observables(), BitVec(batch));
+  out.resize(num_detectors());
+  for (BitVec& row : out) row.reset(batch);
+  for (std::size_t r = 0; r < num_records_; ++r) {
+    for (std::uint32_t d : record_to_detectors_[r]) out[d] ^= flips[r];
+  }
+}
+
+void DetectorSet::observable_flips_into(const MeasurementFlips& flips,
+                                        std::vector<BitVec>& out) const {
+  RADSURF_ASSERT(flips.size() == num_records_);
+  const std::size_t batch = flips.empty() ? 0 : flips[0].size();
+  out.resize(num_observables());
+  for (BitVec& row : out) row.reset(batch);
   for (std::size_t r = 0; r < num_records_; ++r) {
     const std::uint64_t obs = record_to_observables_[r];
     for (std::size_t o = 0; o < num_observables(); ++o)
       if (obs & (std::uint64_t{1} << o)) out[o] ^= flips[r];
   }
-  return out;
+}
+
+void DetectorSet::transposed_flips(const MeasurementFlips& flips,
+                                   SyndromeScratch& scratch,
+                                   BitTable& syndromes,
+                                   BitTable& observables) const {
+  detector_flips_into(flips, scratch.det_rows);
+  observable_flips_into(flips, scratch.obs_rows);
+  const std::size_t batch = flips.empty() ? 0 : flips[0].size();
+  transpose_bits(scratch.det_rows, syndromes);
+  transpose_bits(scratch.obs_rows, observables);
+  // An experiment with no detectors (or observables) still has one
+  // (all-zero) syndrome row per shot, so batch loops can index rows
+  // unconditionally.
+  if (num_detectors() == 0) syndromes.reshape(batch, 0);
+  if (num_observables() == 0) observables.reshape(batch, 0);
 }
 
 }  // namespace radsurf

@@ -12,6 +12,7 @@
 
 #include "circuit/circuit.hpp"
 #include "stab/frame_sim.hpp"
+#include "util/bitmat.hpp"
 #include "util/bitvec.hpp"
 
 namespace radsurf {
@@ -54,11 +55,44 @@ class DetectorSet {
   /// Allocation-free variant for shot loops: `out` is cleared and refilled.
   void defects_into(const BitVec& record, const BitVec& reference,
                     std::vector<std::uint32_t>& out) const;
+  /// One-pass combination of defects_into and observable_values for
+  /// per-shot decode loops: the record diff is computed and word-scanned
+  /// once.  `observables`, if non-null, receives the observable-flip mask.
+  void defects_and_observables_into(const BitVec& record,
+                                    const BitVec& reference,
+                                    std::vector<std::uint32_t>& out,
+                                    std::uint64_t* observables) const;
 
   /// Batch conversion of frame-simulator record flips into detector flip
   /// rows (detector-major, one bit per shot).
   std::vector<BitVec> detector_flips(const MeasurementFlips& flips) const;
   std::vector<BitVec> observable_flips(const MeasurementFlips& flips) const;
+
+  /// Allocation-reusing variants: `out` is reshaped (rows resized and
+  /// zeroed in place) instead of reallocated, so chunk loops pay the
+  /// BitVec allocations once per thread, not once per batch.
+  void detector_flips_into(const MeasurementFlips& flips,
+                           std::vector<BitVec>& out) const;
+  void observable_flips_into(const MeasurementFlips& flips,
+                             std::vector<BitVec>& out) const;
+
+  /// Scratch buffers of transposed_flips, owned by the caller so repeated
+  /// batches reuse every allocation (one instance per chunk worker).
+  struct SyndromeScratch {
+    std::vector<BitVec> det_rows;
+    std::vector<BitVec> obs_rows;
+  };
+
+  /// The batch-major decode boundary: convert frame flips into a
+  /// *shot-major* syndrome matrix (syndromes.row(s) bit d = detector d
+  /// fired in shot s) and observable matrix (observables.row(s) word 0 =
+  /// the shot's observable-flip mask, observables <= 64), via the 64×64
+  /// block transpose.  Everything downstream of this call sees contiguous
+  /// per-shot words: a row_or() spots zero-syndrome shots and the word
+  /// span keys the decode cache directly.
+  void transposed_flips(const MeasurementFlips& flips,
+                        SyndromeScratch& scratch, BitTable& syndromes,
+                        BitTable& observables) const;
 
   /// Detectors containing record r (inverse index).
   const std::vector<std::uint32_t>& detectors_of_record(std::size_t r) const {
@@ -68,12 +102,27 @@ class DetectorSet {
     return record_to_observables_[r];
   }
 
+  /// Words per shot-major syndrome row (= BitTable::words_per_row of the
+  /// tables transposed_flips produces).
+  std::size_t syndrome_words() const {
+    return (num_detectors() + BitVec::kWordBits - 1) / BitVec::kWordBits;
+  }
+  /// Detector-membership mask of record r over detector indices (the
+  /// record-major inverse of detector_mask) — sized num_detectors().
+  const BitVec& record_detector_mask(std::size_t r) const {
+    return record_detector_masks_[r];
+  }
+
  private:
   std::size_t num_records_ = 0;
   std::vector<BitVec> detector_masks_;
   std::vector<BitVec> observable_masks_;
   std::vector<std::vector<std::uint32_t>> record_to_detectors_;
   std::vector<std::uint64_t> record_to_observables_;
+  // Detector-membership mask of record r over detector indices — the
+  // record-major inverse of detector_masks_, so defects_into can XOR one
+  // mask per *flipped record* (sparse) instead of probing every detector.
+  std::vector<BitVec> record_detector_masks_;
 };
 
 }  // namespace radsurf

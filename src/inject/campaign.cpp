@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <memory>
 
 #include "detector/error_model.hpp"
 #include "stab/compact_tableau.hpp"
 #include "stab/frame_sim.hpp"
 #include "stab/tableau_sim.hpp"
+#include "util/hash.hpp"
 #include "util/parallel.hpp"
 
 namespace radsurf {
@@ -195,14 +197,15 @@ Proportion InjectionEngine::run_circuit(
   std::atomic<std::size_t> errors{0};
   sampled_shots_.fetch_add(shots, std::memory_order_relaxed);
 
-  // Decode one exact record and count the logical error.
+  // Decode one exact record and count the logical error (defects and
+  // observables come from one pass over the record diff).
   const auto decode_record = [&](const BitVec& record,
                                  std::vector<std::uint32_t>& defects,
                                  std::size_t& local_errors) {
-    detectors_.defects_into(record, reference_, defects);
+    std::uint64_t actual = 0;
+    detectors_.defects_and_observables_into(record, reference_, defects,
+                                            &actual);
     const std::uint64_t predicted = decoder->decode(defects);
-    const std::uint64_t actual =
-        detectors_.observable_values(record, reference_);
     if ((predicted ^ actual) & 1u) ++local_errors;
   };
 
@@ -279,44 +282,190 @@ Proportion InjectionEngine::run_circuit(
     const std::size_t num_chunks =
         shots == 0 ? 0 : (shots + chunk_size - 1) / chunk_size;
     std::vector<std::vector<ResidualShot>> residual_by_chunk(num_chunks);
+    // The frame simulator is rebuilt only when (campaign invocation,
+    // batch size) changes: one simulator per worker thread survives the
+    // whole chunk sweep, so circuit walks reuse every frame/flip buffer.
+    // The invocation id (not the circuit address, which a temporary could
+    // reuse) keys the rebind; a stale simulator is never run again, only
+    // replaced.
+    static std::atomic<std::uint64_t> run_counter{0};
+    const std::uint64_t run_id =
+        run_counter.fetch_add(1, std::memory_order_relaxed) + 1;
     parallel_chunks(
         shots, chunk_size, Rng(seed),
         [&](const ChunkRange& range, Rng& rng) {
           std::size_t local_errors = 0;
           const std::size_t batch = range.end - range.begin;
-          FrameSimulator sim(circuit, batch,
-                             needs_trace ? &trace : nullptr);
-          BitVec residual(batch);
-          ResidualDetail detail;
-          const MeasurementFlips flips =
-              erase ? sim.run_with_erasure(rng, *erasure, &residual, &detail)
-                    : sim.run(rng, &residual, &detail);
-          const auto det_rows = detectors_.detector_flips(flips);
-          const auto obs_rows = detectors_.observable_flips(flips);
-          std::vector<std::uint32_t> defects;
+          thread_local std::unique_ptr<FrameSimulator> sim;
+          thread_local std::uint64_t sim_run_id = 0;
+          thread_local std::size_t sim_batch = 0;
+          if (!sim || sim_run_id != run_id || sim_batch != batch) {
+            sim = std::make_unique<FrameSimulator>(
+                circuit, batch, needs_trace ? &trace : nullptr);
+            sim_run_id = run_id;
+            sim_batch = batch;
+          }
+          thread_local BitVec residual;
+          residual.reset(batch);
+          thread_local ResidualDetail detail;
+          const MeasurementFlips& flips =
+              erase
+                  ? sim->run_with_erasure(rng, *erasure, &residual, &detail)
+                  : sim->run(rng, &residual, &detail);
           auto& chunk_residuals = residual_by_chunk[range.index];
-          for (std::size_t s = 0; s < batch; ++s) {
-            if (residual.get(s)) {
-              ResidualShot shot;
-              for (std::size_t i = 0; i < detail.random_sites.size(); ++i)
-                if (detail.heralds[i].get(s))
-                  shot.fired.push_back(detail.random_sites[i]);
-              if (erase && !detail.strike_ordinals.empty()) {
-                shot.strike = detail.strike_ordinals[s];
-                shot.has_strike = true;
-              }
-              chunk_residuals.push_back(std::move(shot));
-              continue;
+          const auto collect_residual = [&](std::size_t s) {
+            ResidualShot shot;
+            for (std::size_t i = 0; i < detail.random_sites.size(); ++i)
+              if (detail.heralds[i].get(s))
+                shot.fired.push_back(detail.random_sites[i]);
+            if (erase && !detail.strike_ordinals.empty()) {
+              shot.strike = detail.strike_ordinals[s];
+              shot.has_strike = true;
             }
-            defects.clear();
-            for (std::size_t d = 0; d < det_rows.size(); ++d)
-              if (det_rows[d].get(s))
-                defects.push_back(static_cast<std::uint32_t>(d));
-            std::uint64_t actual = 0;
-            for (std::size_t o = 0; o < obs_rows.size(); ++o)
-              if (obs_rows[o].get(s)) actual |= std::uint64_t{1} << o;
-            const std::uint64_t predicted = decoder->decode(defects);
-            if ((predicted ^ actual) & 1u) ++local_errors;
+            chunk_residuals.push_back(std::move(shot));
+          };
+          // Walk the batch splitting residual shots from decodable ones,
+          // loading the residual mask one word per 64 shots (residuals
+          // are rare; a zero word decodes the whole block unchecked).
+          const auto for_each_shot = [&](const auto& decode_shot) {
+            const BitVec::Word* res_words = residual.words();
+            for (std::size_t s = 0; s < batch;) {
+              const BitVec::Word res_word = res_words[s / 64];
+              const std::size_t block_end =
+                  std::min(batch, (s / 64 + 1) * 64);
+              if (res_word == 0) {
+                for (; s < block_end; ++s) decode_shot(s);
+              } else {
+                for (; s < block_end; ++s) {
+                  if ((res_word >> (s % 64)) & 1u)
+                    collect_residual(s);
+                  else
+                    decode_shot(s);
+                }
+              }
+            }
+          };
+          // Scratch lives per OpenMP worker, not per chunk: a worker
+          // processes many chunks back to back and every buffer below
+          // reshapes in place.
+          thread_local DetectorSet::SyndromeScratch scratch;
+          const std::size_t num_records = detectors_.num_records();
+          const bool record_major =
+              options_.batch_major_decode && num_records >= 1 &&
+              num_records <= 64 && detectors_.syndrome_words() <= 4;
+          if (record_major) {
+            // Single-word record fast path: when the whole measurement
+            // record fits one word (every small-distance memory circuit),
+            // transpose the raw record flips once and derive each shot's
+            // syndrome and observable words from its record word.  Shots
+            // with a zero record word — the bulk at campaign noise
+            // levels — are decided with one load: no flipped records
+            // means empty syndrome and unflipped observables.
+            thread_local BitTable record_table;
+            transpose_bits(flips, record_table);
+            const std::size_t num_words = detectors_.syndrome_words();
+            // The shot outcome is a pure function of the record word
+            // (syndrome, observables and the deterministic decoder all
+            // derive from it), so repeat words resolve from a per-thread
+            // memo without touching the decoder; the skipped cache probe
+            // is booked through book_repeat_hit() to keep stats exact.
+            // Keyed by campaign invocation: circuit, decoder and
+            // reference are fixed within one, any of them may change
+            // across two.
+            struct RecordMemo {
+              BitVec::Word rw;
+              std::uint8_t error;
+              std::uint8_t nonempty;
+              std::uint8_t used;
+            };
+            constexpr std::size_t kMemoSlots = 4096;
+            thread_local std::vector<RecordMemo> memo;
+            thread_local std::uint64_t memo_run_id = 0;
+            if (memo_run_id != run_id) {
+              memo.assign(kMemoSlots, RecordMemo{});
+              memo_run_id = run_id;
+            }
+            CachingDecoder* const stats_cache =
+                dynamic_cast<CachingDecoder*>(decoder);
+            const auto decode_shot = [&](std::size_t s) {
+              BitVec::Word rw = record_table.row(s)[0];
+              if (rw == 0) return;  // predicted == actual == 0
+              RecordMemo& entry =
+                  memo[splitmix64_mix(rw) & (kMemoSlots - 1)];
+              if (entry.used && entry.rw == rw) {
+                if (entry.nonempty && stats_cache != nullptr)
+                  stats_cache->book_repeat_hit();
+                local_errors += entry.error;
+                return;
+              }
+              BitVec::Word syn[4] = {0, 0, 0, 0};
+              std::uint64_t actual = 0;
+              for_each_set_bit(&rw, 1, [&](std::size_t r) {
+                const BitVec::Word* mask =
+                    detectors_.record_detector_mask(r).words();
+                for (std::size_t w = 0; w < num_words; ++w)
+                  syn[w] ^= mask[w];
+                actual ^= detectors_.observables_of_record(r);
+              });
+              BitVec::Word any = 0;
+              for (std::size_t w = 0; w < num_words; ++w) any |= syn[w];
+              const std::uint64_t predicted =
+                  any ? decoder->decode_syndrome(syn, num_words) : 0;
+              const auto error =
+                  static_cast<std::uint8_t>((predicted ^ actual) & 1u);
+              local_errors += error;
+              entry = RecordMemo{rw, error, any != 0, 1};
+            };
+            for_each_shot(decode_shot);
+          } else if (options_.batch_major_decode) {
+            // Batch-major decode: flip the detector-major rows into
+            // shot-major syndrome words once (64×64 block transpose),
+            // then walk contiguous rows — a whole-word OR skips
+            // zero-syndrome shots without touching the decoder, and
+            // non-empty shots hand their raw word span to
+            // decode_syndrome (word-keyed cache probe).
+            thread_local BitTable syndromes;
+            thread_local BitTable observables;
+            detectors_.transposed_flips(flips, scratch, syndromes,
+                                        observables);
+            const std::size_t num_words = syndromes.words_per_row();
+            const bool has_obs = observables.words_per_row() > 0;
+            const auto decode_shot = [&](std::size_t s) {
+              const BitVec::Word* row = syndromes.row(s);
+              BitVec::Word any = 0;
+              for (std::size_t w = 0; w < num_words; ++w) any |= row[w];
+              const std::uint64_t actual =
+                  has_obs ? observables.row(s)[0] : 0;
+              const std::uint64_t predicted =
+                  any ? decoder->decode_syndrome(row, num_words) : 0;
+              if ((predicted ^ actual) & 1u) ++local_errors;
+            };
+            for_each_shot(decode_shot);
+          } else {
+            // Per-bit oracle path: probe every detector row with a
+            // single-bit get(s) per shot, exactly as before the batch-
+            // major pipeline (the equivalence tests pin the two paths
+            // against each other, error counts and cache stats alike).
+            detectors_.detector_flips_into(flips, scratch.det_rows);
+            detectors_.observable_flips_into(flips, scratch.obs_rows);
+            const auto& det_rows = scratch.det_rows;
+            const auto& obs_rows = scratch.obs_rows;
+            std::vector<std::uint32_t> defects;
+            for (std::size_t s = 0; s < batch; ++s) {
+              if (residual.get(s)) {
+                collect_residual(s);
+                continue;
+              }
+              defects.clear();
+              for (std::size_t d = 0; d < det_rows.size(); ++d)
+                if (det_rows[d].get(s))
+                  defects.push_back(static_cast<std::uint32_t>(d));
+              std::uint64_t actual = 0;
+              for (std::size_t o = 0; o < obs_rows.size(); ++o)
+                if (obs_rows[o].get(s)) actual |= std::uint64_t{1} << o;
+              const std::uint64_t predicted = decoder->decode(defects);
+              if ((predicted ^ actual) & 1u) ++local_errors;
+            }
           }
           errors.fetch_add(local_errors, std::memory_order_relaxed);
         });

@@ -85,8 +85,12 @@ struct EngineOptions {
   double decoder_error_rate = 0.0;
   /// Radiation model parameters (gamma, n, ns).
   RadiationModel radiation = {};
-  /// Shots per parallel chunk (RNG stream granularity).
-  std::size_t shots_per_chunk = 256;
+  /// Shots per parallel chunk (RNG stream granularity).  1024 keeps the
+  /// bit-parallel kernels at 16 words per instruction, where per-
+  /// instruction dispatch overhead stops mattering; campaigns stay
+  /// deterministic per seed at any value, but changing it changes the
+  /// stream decomposition and therefore the sampled values.
+  std::size_t shots_per_chunk = 1024;
   /// Shot-sampling strategy (AUTO = frame fast path + exact residual).
   SamplingPath sampling_path = SamplingPath::AUTO;
   /// When the expected residual fraction of an AUTO campaign exceeds this
@@ -99,6 +103,14 @@ struct EngineOptions {
   double residual_fraction_threshold = 0.7;
   /// Memoize defect-set -> prediction across shots (see decode_cache.hpp).
   bool decode_cache = true;
+  /// Decode frame batches through the batch-major path: detector flip rows
+  /// are 64×64 block-transposed into shot-major syndrome words at the
+  /// decode boundary, zero-syndrome shots are skipped by a whole-word OR,
+  /// and non-empty shots probe the decode cache on the raw word span
+  /// (Decoder::decode_syndrome).  `false` keeps the legacy per-bit row
+  /// probing — bit-for-bit identical results and cache stats, kept as the
+  /// equivalence-test oracle.
+  bool batch_major_decode = true;
   /// Build the whole-history decoder at construction.  Its distance tables
   /// are O((rounds * ns)^2); long-timeline engines that only decode through
   /// run_timeline's sliding windows turn this off to keep decoder memory

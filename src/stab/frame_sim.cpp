@@ -1,5 +1,6 @@
 #include "stab/frame_sim.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -8,15 +9,14 @@ namespace radsurf {
 
 FrameSimulator::FrameSimulator(const Circuit& circuit, std::size_t batch_size,
                                const ReferenceTrace* trace)
-    : circuit_(circuit), batch_(batch_size) {
+    : circuit_(&circuit), batch_(batch_size) {
   RADSURF_CHECK_ARG(batch_size > 0, "batch size must be positive");
-  has_reset_noise_ = contains_reset_noise(circuit_);
+  has_reset_noise_ = contains_reset_noise(circuit);
   if (trace) {
-    trace_ = *trace;
-    has_trace_ = true;
+    trace_ = trace;
   } else if (has_reset_noise_) {
-    trace_ = TableauSimulator(circuit_).reference_trace();
-    has_trace_ = true;
+    owned_trace_ = TableauSimulator(circuit).reference_trace();
+    trace_ = &owned_trace_;
   }
 }
 
@@ -35,12 +35,25 @@ void FrameSimulator::fill_biased(BitVec& bits, double p, Rng& rng) {
   if (p <= 0.0) return;
   const std::size_t n = bits.size();
   if (p >= 1.0) {
-    for (std::size_t i = 0; i < n; ++i) bits.set(i, true);
+    auto* w = bits.words();
+    for (std::size_t i = 0; i < bits.num_words(); ++i) w[i] = ~BitVec::Word{0};
+    const std::size_t tail = n % BitVec::kWordBits;
+    if (tail != 0 && bits.num_words() > 0)
+      w[bits.num_words() - 1] &= (BitVec::Word{1} << tail) - 1;
     return;
   }
   if (p < 0.3) {
-    // Geometric skipping: expected work O(n*p).
-    const double log1mp = std::log1p(-p);
+    // Geometric skipping: expected work O(n*p).  log1p(-p) is memoized on
+    // p: a circuit walk calls this with the same handful of noise
+    // probabilities thousands of times per batch, and the log was costing
+    // as much as the skipping it enables.
+    thread_local double last_p = -1.0;
+    thread_local double last_log1mp = 0.0;
+    if (p != last_p) {
+      last_p = p;
+      last_log1mp = std::log1p(-p);
+    }
+    const double log1mp = last_log1mp;
     double cursor = -1.0;
     while (true) {
       const double u = rng.uniform();
@@ -55,33 +68,39 @@ void FrameSimulator::fill_biased(BitVec& bits, double p, Rng& rng) {
   }
 }
 
-MeasurementFlips FrameSimulator::run(Rng& rng, BitVec* residual,
-                                     ResidualDetail* detail) {
-  return run_impl(rng, nullptr, has_trace_ ? &trace_ : nullptr, residual,
-                  detail);
+const MeasurementFlips& FrameSimulator::run(Rng& rng, BitVec* residual,
+                                            ResidualDetail* detail) {
+  return run_impl(rng, nullptr, trace_, residual, detail);
 }
 
-MeasurementFlips FrameSimulator::run_with_erasure(
+const MeasurementFlips& FrameSimulator::run_with_erasure(
     Rng& rng, const std::vector<std::uint32_t>& corrupted, BitVec* residual,
     ResidualDetail* detail) {
   if (corrupted.empty())
-    return run_impl(rng, nullptr, has_trace_ ? &trace_ : nullptr, residual,
-                    detail);
-  if (has_trace_ && trace_.corrupted == corrupted)
-    return run_impl(rng, &corrupted, &trace_, residual, detail);
+    return run_impl(rng, nullptr, trace_, residual, detail);
+  if (trace_ != nullptr && trace_->corrupted == corrupted)
+    return run_impl(rng, &corrupted, trace_, residual, detail);
   // No erasure-aware trace supplied: compute one for this call.
   const ReferenceTrace local =
-      TableauSimulator(circuit_).reference_trace(&corrupted);
+      TableauSimulator(*circuit_).reference_trace(&corrupted);
   return run_impl(rng, &corrupted, &local, residual, detail);
 }
 
-MeasurementFlips FrameSimulator::run_impl(
+const MeasurementFlips& FrameSimulator::run_impl(
     Rng& rng, const std::vector<std::uint32_t>* corrupted,
     const ReferenceTrace* trace, BitVec* residual, ResidualDetail* detail) {
-  const std::size_t nq = circuit_.num_qubits();
-  std::vector<BitVec> xf(nq, BitVec(batch_));
-  std::vector<BitVec> zf(nq, BitVec(batch_));
-  MeasurementFlips flips(circuit_.num_measurements(), BitVec(batch_));
+  const Circuit& circuit = *circuit_;
+  const std::size_t nq = circuit.num_qubits();
+  // Reshape the persistent scratch in place: repeat runs (chunk loops) pay
+  // zero allocations once the shapes have stabilized.
+  xf_.resize(nq);
+  zf_.resize(nq);
+  for (BitVec& row : xf_) row.reset(batch_);
+  for (BitVec& row : zf_) row.reset(batch_);
+  flips_.resize(circuit.num_measurements());
+  std::vector<BitVec>& xf = xf_;
+  std::vector<BitVec>& zf = zf_;
+  MeasurementFlips& flips = flips_;
   std::size_t rec = 0;
 
   if (residual) {
@@ -107,14 +126,17 @@ MeasurementFlips FrameSimulator::run_impl(
   // Shared-instant erasure: draw each shot's strike ordinal (uniform over
   // the physical operations) and bucket shots by ordinal so the walk below
   // touches each striking shot exactly once.
-  std::vector<std::uint32_t> strike_shots;   // shot ids grouped by ordinal
-  std::vector<std::uint32_t> strike_begin;   // bucket offsets, size P+1
+  std::vector<std::uint32_t>& strike_shots = strike_shots_;
+  std::vector<std::uint32_t>& strike_begin = strike_begin_;
+  strike_shots.clear();
+  strike_begin.clear();
   const std::size_t num_corrupted = corrupted ? corrupted->size() : 0;
   if (corrupted) {
     RADSURF_ASSERT(trace && trace->corrupted == *corrupted);
     const std::size_t P = trace->num_physical_ops;
     if (P > 0) {
-      std::vector<std::uint32_t> strike_of(batch_);
+      std::vector<std::uint32_t>& strike_of = strike_of_;
+      strike_of.resize(batch_);
       std::vector<std::uint32_t> counts(P + 1, 0);
       for (std::size_t s = 0; s < batch_; ++s) {
         strike_of[s] = static_cast<std::uint32_t>(rng.below(P));
@@ -145,22 +167,29 @@ MeasurementFlips FrameSimulator::run_impl(
     zf[q].set(s, rng.next() & 1);
   };
 
-  BitVec mask(batch_);
+  mask_.reset(batch_);
+  BitVec& mask = mask_;
   std::size_t reset_site = 0;       // cursor into trace->reset_sites
   std::size_t physical_ordinal = 0; // cursor over physical operations
 
+  // Word-scan the mask's set bits in place (set_bits() would allocate a
+  // vector per noise instruction, the chunk loop's other hidden cost).
+  const auto for_each_set = [&mask](const auto& body) {
+    for_each_set_bit(mask.words(), mask.num_words(), body);
+  };
+
   auto depolarize1 = [&](std::uint32_t q, double p) {
     fill_biased(mask, p, rng);
-    for (std::size_t s : mask.set_bits()) {
+    for_each_set([&](std::size_t s) {
       switch (rng.below(3)) {
         case 0: xf[q].flip(s); break;                     // X
         case 1: xf[q].flip(s); zf[q].flip(s); break;      // Y
         default: zf[q].flip(s); break;                    // Z
       }
-    }
+    });
   };
 
-  for (const Instruction& ins : circuit_.instructions()) {
+  for (const Instruction& ins : circuit.instructions()) {
     const GateInfo& info = gate_info(ins.gate);
     if (info.is_annotation) continue;
     const auto& tg = ins.targets;
@@ -259,7 +288,7 @@ MeasurementFlips FrameSimulator::run_impl(
       case Gate::DEPOLARIZE2_UNIFORM:
         for (std::size_t i = 0; i + 1 < tg.size(); i += 2) {
           fill_biased(mask, ins.args[0], rng);
-          for (std::size_t s : mask.set_bits()) {
+          for_each_set([&](std::size_t s) {
             const auto k = rng.below(15) + 1;
             const auto pa = static_cast<int>(k % 4);
             const auto pb = static_cast<int>(k / 4);
@@ -267,7 +296,7 @@ MeasurementFlips FrameSimulator::run_impl(
             if (pa & 2) zf[tg[i]].flip(s);
             if (pb & 1) xf[tg[i + 1]].flip(s);
             if (pb & 2) zf[tg[i + 1]].flip(s);
-          }
+          });
         }
         break;
       case Gate::RESET_ERROR: {

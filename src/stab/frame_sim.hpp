@@ -50,31 +50,36 @@ struct ResidualDetail {
 
 class FrameSimulator {
  public:
+  /// `circuit` is borrowed, not copied, and must outlive the simulator —
+  /// chunked campaign loops construct one simulator per chunk, and copying
+  /// the instruction stream each time dominated small-device batches.
   /// `trace`, if supplied, must be the ReferenceTrace of `circuit` (and of
-  /// the erasure set later passed to run_with_erasure); it is copied.  When
-  /// omitted and the circuit contains RESET_ERROR, the constructor computes
-  /// one itself — pass a precomputed trace to share the walk across chunks.
+  /// the erasure set later passed to run_with_erasure); it is borrowed
+  /// too.  When omitted and the circuit contains RESET_ERROR, the
+  /// constructor computes (and owns) one itself — pass a precomputed
+  /// trace to share the walk across chunks.
   FrameSimulator(const Circuit& circuit, std::size_t batch_size,
                  const ReferenceTrace* trace = nullptr);
 
   std::size_t batch_size() const { return batch_; }
 
-  /// Simulate one batch; returns per-record flip rows.  `residual`, if
+  /// Simulate one batch; returns per-record flip rows (a reference to an
+  /// internal table that is overwritten by the next run_* call — repeat
+  /// runs on one simulator reuse every allocation).  `residual`, if
   /// non-null, must be sized batch_size() and receives the mask of shots
   /// that heralded a reset at a reference-random site: their flip rows are
   /// meaningless and the caller must re-run them through the exact engine.
   /// If `residual` is null and such a shot occurs, throws CircuitError.
   /// `detail`, if non-null, receives the conditioning signature of the
   /// batch (consumed by the campaign engine's conditioned replay).
-  MeasurementFlips run(Rng& rng, BitVec* residual = nullptr,
-                       ResidualDetail* detail = nullptr);
+  const MeasurementFlips& run(Rng& rng, BitVec* residual = nullptr,
+                              ResidualDetail* detail = nullptr);
 
   /// Batch with the shared-instant erasure (see
   /// TableauSimulator::sample_with_erasure for the fault model).
-  MeasurementFlips run_with_erasure(Rng& rng,
-                                    const std::vector<std::uint32_t>& corrupted,
-                                    BitVec* residual = nullptr,
-                                    ResidualDetail* detail = nullptr);
+  const MeasurementFlips& run_with_erasure(
+      Rng& rng, const std::vector<std::uint32_t>& corrupted,
+      BitVec* residual = nullptr, ResidualDetail* detail = nullptr);
 
   /// Fill `bits` with independent Bernoulli(p) draws (exposed for tests).
   static void fill_biased(BitVec& bits, double p, Rng& rng);
@@ -82,16 +87,22 @@ class FrameSimulator {
   static void fill_uniform(BitVec& bits, Rng& rng);
 
  private:
-  MeasurementFlips run_impl(Rng& rng,
-                            const std::vector<std::uint32_t>* corrupted,
-                            const ReferenceTrace* trace, BitVec* residual,
-                            ResidualDetail* detail);
+  const MeasurementFlips& run_impl(
+      Rng& rng, const std::vector<std::uint32_t>* corrupted,
+      const ReferenceTrace* trace, BitVec* residual, ResidualDetail* detail);
 
-  Circuit circuit_;  // owned copy
+  const Circuit* circuit_;  // borrowed; must outlive the simulator
   std::size_t batch_;
-  ReferenceTrace trace_;  // reset-site reference values (maybe erasure too)
-  bool has_trace_ = false;
+  const ReferenceTrace* trace_ = nullptr;  // borrowed, or &owned_trace_
+  ReferenceTrace owned_trace_;  // backing store when no trace was passed
   bool has_reset_noise_ = false;
+
+  // Per-run scratch, reused across run_* calls (and so across chunks when
+  // the caller keeps one simulator alive).
+  std::vector<BitVec> xf_, zf_;
+  MeasurementFlips flips_;
+  BitVec mask_;
+  std::vector<std::uint32_t> strike_of_, strike_shots_, strike_begin_;
 };
 
 }  // namespace radsurf

@@ -1,0 +1,99 @@
+#include "util/bitmat.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace radsurf {
+
+namespace {
+
+using Word = BitTable::Word;
+constexpr std::size_t kWordBits = BitTable::kWordBits;
+
+// Below this many set bits, scattering a 64×64 block bit by bit beats the
+// ~500 word ops of gather + masked-swap + scatter.  Syndrome batches are
+// sparse (percent-level detector fire rates), so campaign chunks almost
+// always take the sparse path; dense inputs (round-trip tests, worst-case
+// noise) still get the O(64 log 64) kernel.
+constexpr std::size_t kSparseBlockBits = 72;
+
+// Gather/scatter plumbing shared by the two transpose_bits overloads: the
+// source is abstracted as row-word loads so BitVec rows and BitTable rows
+// go through one kernel.
+template <typename LoadWordFn>
+void transpose_blocks(std::size_t in_rows, std::size_t in_cols,
+                      const LoadWordFn& load_word, BitTable& out) {
+  out.reshape(in_cols, in_rows);
+  const std::size_t row_blocks = (in_rows + kWordBits - 1) / kWordBits;
+  const std::size_t col_words = (in_cols + kWordBits - 1) / kWordBits;
+  Word block[kWordBits];
+  for (std::size_t rb = 0; rb < row_blocks; ++rb) {
+    const std::size_t r0 = rb * kWordBits;
+    const std::size_t gathered =
+        std::min(kWordBits, in_rows - r0);  // rows present in this block
+    for (std::size_t cw = 0; cw < col_words; ++cw) {
+      std::size_t pop = 0;
+      for (std::size_t i = 0; i < gathered; ++i) {
+        block[i] = load_word(r0 + i, cw);
+        pop += static_cast<std::size_t>(std::popcount(block[i]));
+      }
+      const std::size_t c0 = cw * kWordBits;
+      if (pop == 0) continue;  // out is pre-zeroed by reshape()
+      if (pop <= kSparseBlockBits) {
+        for (std::size_t i = 0; i < gathered; ++i) {
+          for_each_set_bit(&block[i], 1, [&](std::size_t j) {
+            out.row(c0 + j)[rb] |= Word{1} << i;
+          });
+        }
+        continue;
+      }
+      for (std::size_t i = gathered; i < kWordBits; ++i) block[i] = 0;
+      transpose64x64(block);
+      const std::size_t scattered = std::min(kWordBits, in_cols - c0);
+      for (std::size_t i = 0; i < scattered; ++i)
+        out.row(c0 + i)[rb] = block[i];
+    }
+  }
+}
+
+}  // namespace
+
+void transpose64x64(Word a[64]) {
+  // 6 masked swap rounds (LSB-first bit order: bit c of a[r] is element
+  // (r, c)): round j exchanges the high-j bits of low rows with the low-j
+  // bits of high rows, j = 32, 16, ..., 1.
+  Word m = 0x00000000FFFFFFFFULL;
+  for (std::size_t j = 32; j; j >>= 1, m ^= m << j) {
+    for (std::size_t k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      const Word t = ((a[k] >> j) ^ a[k | j]) & m;
+      a[k] ^= t << j;
+      a[k | j] ^= t;
+    }
+  }
+}
+
+void transpose_bits(const std::vector<BitVec>& in, BitTable& out) {
+  if (in.empty()) {
+    out.reshape(0, 0);
+    return;
+  }
+  const std::size_t in_cols = in[0].size();
+  for (const BitVec& row : in) {
+    RADSURF_ASSERT_MSG(row.size() == in_cols,
+                       "transpose_bits: ragged input rows (" << row.size()
+                                                             << " vs "
+                                                             << in_cols
+                                                             << " bits)");
+  }
+  transpose_blocks(
+      in.size(), in_cols,
+      [&in](std::size_t r, std::size_t w) { return in[r].word(w); }, out);
+}
+
+void transpose_bits(const BitTable& in, BitTable& out) {
+  transpose_blocks(
+      in.num_rows(), in.num_cols(),
+      [&in](std::size_t r, std::size_t w) { return in.row(r)[w]; }, out);
+}
+
+}  // namespace radsurf

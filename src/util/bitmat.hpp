@@ -1,0 +1,105 @@
+// Word-level bit-matrix transpose: the batch-major decode boundary.
+//
+// The frame simulator and the detector layer are *detector-major*: one
+// BitVec row per detector, one bit per shot.  The decode side wants the
+// opposite orientation — one contiguous syndrome row per shot, one bit per
+// detector — so that a shot's whole syndrome is a handful of adjacent
+// words (a single-word OR spots zero-syndrome shots, a word-span hash keys
+// the decode cache).  BitTable is that shot-major matrix: contiguous
+// storage, every row starting on a word boundary with its tail words
+// zero-padded.
+//
+// transpose_bits() flips orientation with the classic 64×64 block
+// transpose (Hacker's Delight §7-3, the kernel Stim uses at the same
+// boundary): rows are gathered 64 at a time into a word block, the block
+// is transposed in 6 masked swap rounds (O(64 log 64) word ops instead of
+// 64×64 bit probes), and the result is scattered into the destination
+// rows.  Ragged shapes need no edge cases — missing rows gather as zero
+// words and out-of-range destination rows are simply not written, so the
+// cost of an R×C transpose is ceil(R/64) * ceil(C/64) blocks regardless
+// of alignment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace radsurf {
+
+/// Dense bit matrix with word-aligned rows (shot-major syndrome storage).
+/// Unlike std::vector<BitVec>, all rows share one contiguous allocation,
+/// so reshaping between batches reuses capacity and row access is one
+/// pointer offset.
+class BitTable {
+ public:
+  using Word = BitVec::Word;
+  static constexpr std::size_t kWordBits = BitVec::kWordBits;
+
+  BitTable() = default;
+  BitTable(std::size_t num_rows, std::size_t num_cols) {
+    reshape(num_rows, num_cols);
+  }
+
+  /// Resize to num_rows × num_cols and zero every word, reusing the
+  /// allocation when capacity suffices.
+  void reshape(std::size_t num_rows, std::size_t num_cols) {
+    num_rows_ = num_rows;
+    num_cols_ = num_cols;
+    words_per_row_ = (num_cols + kWordBits - 1) / kWordBits;
+    words_.assign(num_rows_ * words_per_row_, 0);
+  }
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_cols() const { return num_cols_; }
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  Word* row(std::size_t r) { return words_.data() + r * words_per_row_; }
+  const Word* row(std::size_t r) const {
+    return words_.data() + r * words_per_row_;
+  }
+
+  bool get(std::size_t r, std::size_t c) const {
+    RADSURF_ASSERT(r < num_rows_ && c < num_cols_);
+    return (row(r)[c / kWordBits] >> (c % kWordBits)) & 1u;
+  }
+  void set(std::size_t r, std::size_t c, bool v) {
+    RADSURF_ASSERT(r < num_rows_ && c < num_cols_);
+    const Word mask = Word{1} << (c % kWordBits);
+    if (v)
+      row(r)[c / kWordBits] |= mask;
+    else
+      row(r)[c / kWordBits] &= ~mask;
+  }
+
+  /// OR of every word of row r — zero iff the row has no set bit.
+  Word row_or(std::size_t r) const {
+    const Word* w = row(r);
+    Word acc = 0;
+    for (std::size_t i = 0; i < words_per_row_; ++i) acc |= w[i];
+    return acc;
+  }
+
+  bool operator==(const BitTable& o) const = default;
+
+ private:
+  std::size_t num_rows_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<Word> words_;
+};
+
+/// Transpose one 64×64 bit block in place: block[i] bit j becomes
+/// block[j] bit i.  Exposed for the property tests.
+void transpose64x64(BitTable::Word block[64]);
+
+/// out(c, r) = in(r, c) for an R×C matrix given as R rows of C bits.
+/// `out` is reshaped to C×R.  Rows must all have in_cols bits.
+void transpose_bits(const std::vector<BitVec>& in, BitTable& out);
+
+/// Orientation-flipping copy of a BitTable (the round-trip building block:
+/// transpose(transpose(M)) == M).
+void transpose_bits(const BitTable& in, BitTable& out);
+
+}  // namespace radsurf

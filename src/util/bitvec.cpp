@@ -51,16 +51,24 @@ std::size_t BitVec::first_set() const {
   return num_bits_;
 }
 
+void BitVec::assign_xor(const BitVec& a, const BitVec& b) {
+  a.check_same_size(b);
+  num_bits_ = a.num_bits_;
+  words_.resize(a.words_.size());
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    words_[w] = a.words_[w] ^ b.words_[w];
+}
+
+void BitVec::append_set_bits(std::vector<std::uint32_t>& out) const {
+  for_each_set_bit(words_.data(), words_.size(), [&out](std::size_t i) {
+    out.push_back(static_cast<std::uint32_t>(i));
+  });
+}
+
 std::vector<std::size_t> BitVec::set_bits() const {
   std::vector<std::size_t> out;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    Word x = words_[w];
-    while (x) {
-      out.push_back(w * kWordBits +
-                    static_cast<std::size_t>(std::countr_zero(x)));
-      x &= x - 1;
-    }
-  }
+  for_each_set_bit(words_.data(), words_.size(),
+                   [&out](std::size_t i) { out.push_back(i); });
   return out;
 }
 

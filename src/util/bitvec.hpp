@@ -7,6 +7,7 @@
 // loops never need edge masking.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstddef>
 #include <string>
@@ -51,6 +52,19 @@ class BitVec {
   void clear() {
     for (auto& w : words_) w = 0;
   }
+
+  /// Resize to `num_bits` and zero everything, reusing capacity — the
+  /// buffer-recycling primitive of the batch pipeline's per-chunk scratch.
+  void reset(std::size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + kWordBits - 1) / kWordBits, 0);
+  }
+
+  /// this = a ^ b (resizing to match), without temporaries.
+  void assign_xor(const BitVec& a, const BitVec& b);
+
+  /// Append the indices of all set bits to `out` (word-scan, not per-bit).
+  void append_set_bits(std::vector<std::uint32_t>& out) const;
 
   /// XOR-accumulate another vector of identical length.
   BitVec& operator^=(const BitVec& o);
@@ -98,5 +112,22 @@ class BitVec {
   std::size_t num_bits_ = 0;
   std::vector<Word> words_;
 };
+
+/// Invoke `body(bit_index)` for every set bit of a zero-padded word span,
+/// lowest index first — the one scan idiom behind every sparse consumer
+/// of packed bits (defect extraction, noise-mask application, transpose
+/// scatter).
+template <typename Fn>
+inline void for_each_set_bit(const BitVec::Word* words,
+                             std::size_t num_words, const Fn& body) {
+  for (std::size_t w = 0; w < num_words; ++w) {
+    BitVec::Word x = words[w];
+    while (x) {
+      body(w * BitVec::kWordBits +
+           static_cast<std::size_t>(std::countr_zero(x)));
+      x &= x - 1;
+    }
+  }
+}
 
 }  // namespace radsurf

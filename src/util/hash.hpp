@@ -4,6 +4,7 @@
 // seeding can never diverge by editing a single copy.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -26,6 +27,21 @@ constexpr std::uint64_t splitmix64_mix(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+/// FNV-1a over a span of unsigned integers, splitmix-finalized.  One FNV
+/// round only avalanches upward, so short keys would leave the high
+/// (shard-selecting) and middle (table-indexing) bits nearly constant
+/// without the finalizer — the hash behind every decode-cache key (delta
+/// defect lists, raw syndrome words, window-memo defect sets).
+template <typename T>
+constexpr std::uint64_t fnv1a64_mixed(const T* data, std::size_t size) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return splitmix64_mix(h);
 }
 
 }  // namespace radsurf

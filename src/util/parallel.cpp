@@ -19,6 +19,15 @@ int hardware_threads() {
 #endif
 }
 
+namespace {
+thread_local int g_serial_chunks_depth = 0;
+}  // namespace
+
+SerialChunksScope::SerialChunksScope() { ++g_serial_chunks_depth; }
+SerialChunksScope::~SerialChunksScope() { --g_serial_chunks_depth; }
+
+bool serial_chunks_active() { return g_serial_chunks_depth > 0; }
+
 void parallel_chunks(std::size_t n, std::size_t chunk_size, const Rng& base,
                      const std::function<void(const ChunkRange&, Rng&)>& body) {
   RADSURF_CHECK_ARG(chunk_size > 0, "chunk_size must be positive");
@@ -45,8 +54,10 @@ void parallel_chunks(std::size_t n, std::size_t chunk_size, const Rng& base,
     cursor.jump();
   }
 
+  const bool go_parallel = !serial_chunks_active() && num_chunks > 1;
+  (void)go_parallel;
 #ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic)
+#pragma omp parallel for schedule(dynamic) if (go_parallel)
 #endif
   for (long long c = 0; c < static_cast<long long>(num_chunks); ++c) {
     try {

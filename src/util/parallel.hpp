@@ -30,4 +30,22 @@ struct ChunkRange {
 void parallel_chunks(std::size_t n, std::size_t chunk_size, const Rng& base,
                      const std::function<void(const ChunkRange&, Rng&)>& body);
 
+/// Nested-parallelism guard: while one is alive on a thread, every
+/// parallel_chunks call from that thread runs its chunks serially.  The
+/// chunk decomposition and per-chunk RNG streams are unchanged, so results
+/// stay bit-identical — only the scheduling collapses.  The grid
+/// executor's `--jobs` cell workers install one each, so cell-level
+/// threads and the engines' OpenMP shot teams never multiply into
+/// jobs × hardware_threads() runnable threads.  Scopes nest.
+class SerialChunksScope {
+ public:
+  SerialChunksScope();
+  ~SerialChunksScope();
+  SerialChunksScope(const SerialChunksScope&) = delete;
+  SerialChunksScope& operator=(const SerialChunksScope&) = delete;
+};
+
+/// True while a SerialChunksScope is alive on the calling thread.
+bool serial_chunks_active();
+
 }  // namespace radsurf

@@ -1,0 +1,224 @@
+// Pins the batch-major decode path (64×64 transpose boundary, record-word
+// fast path, word-keyed cache probes) bit-for-bit against the per-bit
+// oracle (EngineOptions::batch_major_decode = false): identical error
+// counts AND identical decode-cache hit/lookup statistics, per campaign
+// kind, code family and seed.  Also exercises the decode_syndrome API
+// directly against decode(defects).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "decoder/decode_cache.hpp"
+#include "decoder/mwpm.hpp"
+#include "detector/error_model.hpp"
+#include "inject/campaign.hpp"
+#include "noise/depolarizing.hpp"
+#include "noise/timeline.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+namespace {
+
+struct EngineConfig {
+  const SurfaceCode& code;
+  const Graph& arch;
+};
+
+// One campaign through two fresh engines that differ only in the decode
+// path; errors and cache stats must agree exactly.
+template <typename RunFn>
+void expect_paths_agree(const SurfaceCode& code, const Graph& arch,
+                        EngineOptions options, const RunFn& run,
+                        const std::string& what) {
+  options.batch_major_decode = true;
+  const InjectionEngine batch(code, arch, options);
+  options.batch_major_decode = false;
+  const InjectionEngine per_bit(code, arch, options);
+
+  const Proportion batch_result = run(batch);
+  const Proportion per_bit_result = run(per_bit);
+  EXPECT_EQ(batch_result.successes, per_bit_result.successes) << what;
+  EXPECT_EQ(batch_result.trials, per_bit_result.trials) << what;
+
+  const DecodeCacheStats batch_stats = batch.decode_cache_stats();
+  const DecodeCacheStats per_bit_stats = per_bit.decode_cache_stats();
+  EXPECT_EQ(batch_stats.lookups, per_bit_stats.lookups) << what;
+  EXPECT_EQ(batch_stats.hits, per_bit_stats.hits) << what;
+}
+
+TEST(BatchDecode, IntrinsicMatchesPerBitOracle) {
+  const RepetitionCode rep5(5, RepetitionFlavor::BIT_FLIP);
+  const XXZZCode xxzz33(3, 3);
+  const Graph mesh52 = make_mesh(5, 2);
+  const Graph mesh54 = make_mesh(5, 4);
+  for (const std::uint64_t seed : {1ull, 77ull, 20260730ull}) {
+    const auto run = [seed](const InjectionEngine& e) {
+      return e.run_intrinsic(3000, seed);
+    };
+    expect_paths_agree(rep5, mesh52, EngineOptions{}, run,
+                       "rep5 intrinsic seed " + std::to_string(seed));
+    expect_paths_agree(xxzz33, mesh54, EngineOptions{}, run,
+                       "xxzz33 intrinsic seed " + std::to_string(seed));
+  }
+}
+
+TEST(BatchDecode, RadiationMatchesPerBitOracle) {
+  const RepetitionCode rep5(5, RepetitionFlavor::BIT_FLIP);
+  const Graph mesh52 = make_mesh(5, 2);
+  for (const std::uint64_t seed : {3ull, 99ull}) {
+    const auto run = [seed](const InjectionEngine& e) {
+      return e.run_radiation_at(2, 0.8, true, 2000, seed);
+    };
+    expect_paths_agree(rep5, mesh52, EngineOptions{}, run,
+                       "rep5 radiation seed " + std::to_string(seed));
+  }
+}
+
+TEST(BatchDecode, ErasureMatchesPerBitOracle) {
+  const RepetitionCode rep5(5, RepetitionFlavor::BIT_FLIP);
+  const Graph mesh52 = make_mesh(5, 2);
+  for (const std::uint64_t seed : {5ull, 123ull}) {
+    const auto run = [seed](const InjectionEngine& e) {
+      return e.run_erasure({1, 2}, 2000, seed);
+    };
+    expect_paths_agree(rep5, mesh52, EngineOptions{}, run,
+                       "rep5 erasure seed " + std::to_string(seed));
+  }
+}
+
+TEST(BatchDecode, MeasurementErrorCampaignMatchesPerBitOracle) {
+  // Readout errors exercise multi-defect syndromes and the cluster cache.
+  const XXZZCode xxzz33(3, 3);
+  const Graph mesh54 = make_mesh(5, 4);
+  EngineOptions options;
+  options.measurement_error_rate = 2e-2;
+  const auto run = [](const InjectionEngine& e) {
+    return e.run_intrinsic(2000, 42);
+  };
+  expect_paths_agree(xxzz33, mesh54, options, run, "xxzz33 meas error");
+}
+
+TEST(BatchDecode, TimelineWindowDecodingMatchesPerBitOracle) {
+  // The timeline path feeds SlidingWindowDecoder through the same
+  // transposed boundary (via the engine's per-call CachingDecoder); the
+  // 40-round circuit also exceeds 64 records, covering the detector-major
+  // (non record-word) batch path.
+  const RepetitionCode rep5(5, RepetitionFlavor::BIT_FLIP);
+  const Graph mesh52 = make_mesh(5, 2);
+  EngineOptions options;
+  options.rounds = 40;
+  options.whole_history_decoder = false;
+
+  TimelineOptions topts;
+  topts.events_per_round = 0.05;
+  topts.duration_rounds = 5;
+
+  options.batch_major_decode = true;
+  const InjectionEngine batch(rep5, mesh52, options);
+  options.batch_major_decode = false;
+  const InjectionEngine per_bit(rep5, mesh52, options);
+
+  const RadiationTimeline timeline(batch.radiation(), topts);
+  Rng event_rng(7);
+  const auto events = timeline.sample(40, batch.active_qubits(), event_rng);
+  const SlidingWindowOptions window{8, 4};
+
+  const Proportion a = batch.run_timeline(timeline, events, 300, 9, window);
+  const Proportion b =
+      per_bit.run_timeline(timeline, events, 300, 9, window);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.trials, b.trials);
+  const DecodeCacheStats sa = batch.decode_cache_stats();
+  const DecodeCacheStats sb = per_bit.decode_cache_stats();
+  EXPECT_EQ(sa.lookups, sb.lookups);
+  EXPECT_EQ(sa.hits, sb.hits);
+}
+
+// --- decode_syndrome API ----------------------------------------------------
+
+MatchingGraph rep15_graph() {
+  const Circuit noisy = DepolarizingModel{1e-2}.apply(
+      RepetitionCode(15, RepetitionFlavor::BIT_FLIP).build());
+  return MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+}
+
+std::vector<std::uint64_t> syndrome_words(
+    const std::vector<std::uint32_t>& defects, std::size_t num_words) {
+  std::vector<std::uint64_t> words(num_words, 0);
+  for (const std::uint32_t d : defects)
+    words[d / 64] |= std::uint64_t{1} << (d % 64);
+  return words;
+}
+
+TEST(DecodeSyndrome, MatchesDefectListDecoding) {
+  const auto graph = rep15_graph();
+  MwpmDecoder oracle_inner(graph);
+  MwpmDecoder word_inner(graph);
+  CachingDecoder oracle(oracle_inner);
+  CachingDecoder word_path(word_inner);
+  const std::size_t num_words = (graph.num_detectors() + 63) / 64;
+
+  Rng rng(21);
+  for (int rep = 0; rep < 400; ++rep) {
+    std::vector<std::uint32_t> defects;
+    const std::size_t k = rng.below(7);
+    while (defects.size() < k) {
+      const auto d =
+          static_cast<std::uint32_t>(rng.below(graph.num_detectors()));
+      if (std::find(defects.begin(), defects.end(), d) == defects.end())
+        defects.push_back(d);
+    }
+    std::sort(defects.begin(), defects.end());
+    const auto words = syndrome_words(defects, num_words);
+    EXPECT_EQ(word_path.decode_syndrome(words.data(), words.size()),
+              oracle.decode(defects));
+  }
+  // Same syndrome stream, entry points differ: stats must agree exactly.
+  EXPECT_EQ(word_path.stats().lookups, oracle.stats().lookups);
+  EXPECT_EQ(word_path.stats().hits, oracle.stats().hits);
+}
+
+TEST(DecodeSyndrome, EmptySyndromeBypassesCounters) {
+  const auto graph = rep15_graph();
+  MwpmDecoder inner(graph);
+  CachingDecoder cached(inner);
+  const std::vector<std::uint64_t> zero(3, 0);
+  EXPECT_EQ(cached.decode_syndrome(zero.data(), zero.size()), 0u);
+  EXPECT_EQ(cached.stats().lookups, 0u);
+  EXPECT_EQ(cached.stats().hits, 0u);
+}
+
+TEST(DecodeSyndrome, WideSpansBypassTheL1AndStillMatch) {
+  // Spans over 4 words skip the per-thread L1 (capacity) but must decode
+  // and memoize identically.  Trailing zero-padding words are part of the
+  // span contract.
+  const auto graph = rep15_graph();
+  MwpmDecoder inner(graph);
+  CachingDecoder cached(inner);
+  MwpmDecoder oracle(graph);
+  const std::vector<std::uint32_t> defects{1, 5, 19};
+  const auto words = syndrome_words(defects, 6);  // > kL1MaxWords
+  const std::uint64_t expected = oracle.decode(defects);
+  EXPECT_EQ(cached.decode_syndrome(words.data(), words.size()), expected);
+  EXPECT_EQ(cached.decode_syndrome(words.data(), words.size()), expected);
+  EXPECT_EQ(cached.stats().lookups, 2u);
+  EXPECT_EQ(cached.stats().hits, 1u);
+}
+
+TEST(DecodeSyndrome, DefaultImplementationCoversPlainDecoders) {
+  // Non-caching decoders fall back to Decoder::decode_syndrome's
+  // word-scan → decode(defects) default.
+  const auto graph = rep15_graph();
+  MwpmDecoder plain(graph);
+  MwpmDecoder oracle(graph);
+  const std::vector<std::uint32_t> defects{2, 9};
+  const auto words = syndrome_words(defects, 1);
+  EXPECT_EQ(plain.decode_syndrome(words.data(), words.size()),
+            oracle.decode(defects));
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -96,6 +96,99 @@ TEST(DetectorSet, BatchFlipConversionMatchesScalar) {
   EXPECT_FALSE(obs_rows[0].get(1));
 }
 
+TEST(DetectorSet, WordScanDefectsMatchMaskParityOracle) {
+  // defects_into is a record-major word scan; pin it against the direct
+  // per-detector parity definition on random records.
+  const auto ds = DetectorSet::compile(small_annotated());
+  Rng rng(31);
+  BitVec ref(3), rec(3);
+  for (int rep = 0; rep < 200; ++rep) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      ref.set(i, rng.next() & 1);
+      rec.set(i, rng.next() & 1);
+    }
+    std::vector<std::uint32_t> expected;
+    for (std::size_t d = 0; d < ds.num_detectors(); ++d) {
+      if (ds.detector_mask(d).and_parity(rec) ^
+          ds.detector_mask(d).and_parity(ref))
+        expected.push_back(static_cast<std::uint32_t>(d));
+    }
+    std::vector<std::uint32_t> actual;
+    ds.defects_into(rec, ref, actual);
+    EXPECT_EQ(actual, expected);
+
+    std::uint64_t expected_obs = 0;
+    for (std::size_t o = 0; o < ds.num_observables(); ++o) {
+      if (ds.observable_mask(o).and_parity(rec) ^
+          ds.observable_mask(o).and_parity(ref))
+        expected_obs |= std::uint64_t{1} << o;
+    }
+    EXPECT_EQ(ds.observable_values(rec, ref), expected_obs);
+
+    // The one-pass combined scan agrees with both.
+    std::vector<std::uint32_t> combined;
+    std::uint64_t combined_obs = 0;
+    ds.defects_and_observables_into(rec, ref, combined, &combined_obs);
+    EXPECT_EQ(combined, expected);
+    EXPECT_EQ(combined_obs, expected_obs);
+  }
+}
+
+TEST(DetectorSet, RecordDetectorMasksInvertTheMembershipIndex) {
+  const auto ds = DetectorSet::compile(small_annotated());
+  ASSERT_EQ(ds.syndrome_words(), 1u);
+  for (std::size_t r = 0; r < ds.num_records(); ++r) {
+    const BitVec& mask = ds.record_detector_mask(r);
+    ASSERT_EQ(mask.size(), ds.num_detectors());
+    for (std::size_t d = 0; d < ds.num_detectors(); ++d)
+      EXPECT_EQ(mask.get(d), ds.detector_mask(d).get(r));
+  }
+}
+
+TEST(DetectorSet, TransposedFlipsMatchDetectorMajorRows) {
+  const auto ds = DetectorSet::compile(small_annotated());
+  Rng rng(33);
+  const std::size_t batch = 100;
+  MeasurementFlips flips(3, BitVec(batch));
+  for (auto& row : flips)
+    for (std::size_t s = 0; s < batch; ++s) row.set(s, rng.uniform() < 0.2);
+
+  DetectorSet::SyndromeScratch scratch;
+  BitTable syndromes, observables;
+  ds.transposed_flips(flips, scratch, syndromes, observables);
+  ASSERT_EQ(syndromes.num_rows(), batch);
+  ASSERT_EQ(syndromes.num_cols(), ds.num_detectors());
+  ASSERT_EQ(observables.num_rows(), batch);
+
+  const auto det_rows = ds.detector_flips(flips);
+  const auto obs_rows = ds.observable_flips(flips);
+  for (std::size_t s = 0; s < batch; ++s) {
+    for (std::size_t d = 0; d < ds.num_detectors(); ++d)
+      EXPECT_EQ(syndromes.get(s, d), det_rows[d].get(s));
+    for (std::size_t o = 0; o < ds.num_observables(); ++o)
+      EXPECT_EQ(observables.get(s, o), obs_rows[o].get(s));
+  }
+}
+
+TEST(DetectorSet, FlipsIntoVariantsReuseBuffers) {
+  const auto ds = DetectorSet::compile(small_annotated());
+  MeasurementFlips flips(3, BitVec(8));
+  flips[0].set(1, true);
+  std::vector<BitVec> rows;
+  ds.detector_flips_into(flips, rows);
+  const auto expected = ds.detector_flips(flips);
+  EXPECT_EQ(rows, expected);
+  // A second call with a different batch size reshapes in place and must
+  // not leak the previous batch's bits.
+  MeasurementFlips wider(3, BitVec(200));
+  ds.detector_flips_into(wider, rows);
+  ASSERT_EQ(rows.size(), ds.num_detectors());
+  for (const BitVec& row : rows) {
+    EXPECT_EQ(row.size(), 200u);
+    EXPECT_TRUE(row.none());
+  }
+}
+
 TEST(DetectorSet, EndToEndWithSimulatedNoise) {
   // X error before the measurements must show up as detector flips
   // relative to the noiseless reference.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <numeric>
@@ -70,6 +71,37 @@ TEST(Parallel, ExceptionsPropagate) {
                         if (r.index == 5) throw InvalidArgument("boom");
                       }),
       InvalidArgument);
+}
+
+TEST(Parallel, SerialChunksScopeForcesSerialWithIdenticalResults) {
+  EXPECT_FALSE(serial_chunks_active());
+  std::vector<std::uint64_t> parallel_draws;
+  {
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::uint64_t>> draws;
+    parallel_chunks(500, 64, Rng(9), [&](const ChunkRange& r, Rng& rng) {
+      const std::lock_guard<std::mutex> lock(m);
+      draws.push_back({r.index, rng.next()});
+    });
+    std::sort(draws.begin(), draws.end());
+    for (const auto& [index, value] : draws) parallel_draws.push_back(value);
+  }
+  {
+    const SerialChunksScope scope;
+    EXPECT_TRUE(serial_chunks_active());
+    {
+      // Scopes nest.
+      const SerialChunksScope inner;
+      EXPECT_TRUE(serial_chunks_active());
+    }
+    EXPECT_TRUE(serial_chunks_active());
+    std::vector<std::uint64_t> serial_draws;
+    parallel_chunks(500, 64, Rng(9), [&](const ChunkRange&, Rng& rng) {
+      serial_draws.push_back(rng.next());  // no lock: serial by contract
+    });
+    EXPECT_EQ(serial_draws, parallel_draws);
+  }
+  EXPECT_FALSE(serial_chunks_active());
 }
 
 TEST(Parallel, HardwareThreadsPositive) {

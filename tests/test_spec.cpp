@@ -110,15 +110,36 @@ TEST(Spec, UnknownOutputFieldRejected) {
                SpecError);
 }
 
+TEST(Spec, JobsParsesRoundTripsAndRejectsZero) {
+  const ScenarioSpec spec = ScenarioSpec::from_json(
+      JsonValue::parse(R"({"scenario": "grid", "jobs": 4})"));
+  EXPECT_EQ(spec.jobs, 4u);
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+  // Default is one worker, and to_json omits it for stability.
+  const ScenarioSpec plain =
+      ScenarioSpec::from_json(JsonValue::parse(R"({"scenario": "grid"})"));
+  EXPECT_EQ(plain.jobs, 1u);
+  EXPECT_EQ(plain.to_json().find("jobs"), nullptr);
+  const std::string what = error_of([] {
+    ScenarioSpec::from_json(
+        JsonValue::parse(R"({"scenario": "grid", "jobs": 0})"));
+  });
+  EXPECT_NE(what.find("$.jobs"), std::string::npos) << what;
+}
+
 TEST(Spec, FingerprintTracksSamplingFieldsOnly) {
   ScenarioSpec a;
   a.scenario = "grid";
   a.seed = 1;
   ScenarioSpec b = a;
   EXPECT_EQ(a.fingerprint(), b.fingerprint());
-  // Output paths and description do not invalidate checkpoints...
+  // Output paths, description and worker count do not invalidate
+  // checkpoints (a campaign checkpointed under --jobs 4 resumes under
+  // --jobs 1 and vice versa)...
   b.output.csv_path = "elsewhere.csv";
   b.description = "renamed";
+  b.jobs = 8;
   EXPECT_EQ(a.fingerprint(), b.fingerprint());
   // ...but shots, seed, scenario and params do.
   b = a;

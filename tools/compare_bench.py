@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Diff a fresh radsurf perf run against a committed BENCH_perf.json.
+
+Usage:
+    tools/compare_bench.py BASELINE.json FRESH.json [--min-speedup X]
+
+Prints a per-scenario speedup table (fresh shots/s over baseline shots/s)
+for every scenario present in both files, plus scenarios only one side
+measured.  Report-only by default: the exit code is 0 regardless of the
+numbers, so CI can surface regressions without blocking on shared-runner
+timing noise.  Pass --min-speedup to turn it into a gate (exit 1 when any
+common scenario falls below the threshold) for local perf work.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    records = {}
+    for record in data.get("records", []):
+        name = record.get("scenario")
+        rate = record.get("shots_per_second")
+        if isinstance(name, str) and isinstance(rate, (int, float)) and rate > 0:
+            records[name] = float(rate)
+    return records
+
+
+def fmt_rate(rate):
+    if rate >= 1e6:
+        return f"{rate / 1e6:.2f}M"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k"
+    return f"{rate:.1f}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_perf.json")
+    parser.add_argument("fresh", help="BENCH_perf.json from a fresh run")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit 1 if any common scenario's speedup falls below this",
+    )
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    fresh = load_records(args.fresh)
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        print("no common scenarios between the two files")
+        return 0
+
+    width = max(len(name) for name in common)
+    print(f"{'scenario':<{width}}  {'baseline':>10}  {'fresh':>10}  {'speedup':>8}")
+    worst = None
+    for name in common:
+        speedup = fresh[name] / baseline[name]
+        if worst is None or speedup < worst[1]:
+            worst = (name, speedup)
+        marker = "" if 0.9 <= speedup <= 1.1 else ("  ▲" if speedup > 1 else "  ▼")
+        print(
+            f"{name:<{width}}  {fmt_rate(baseline[name]):>10}  "
+            f"{fmt_rate(fresh[name]):>10}  {speedup:>7.2f}x{marker}"
+        )
+
+    for name in sorted(set(baseline) - set(fresh)):
+        print(f"{name:<{width}}  {fmt_rate(baseline[name]):>10}  {'—':>10}  (not re-run)")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:<{width}}  {'—':>10}  {fmt_rate(fresh[name]):>10}  (new scenario)")
+
+    print(
+        f"\n{len(common)} scenarios compared; worst speedup "
+        f"{worst[1]:.2f}x ({worst[0]})"
+    )
+    if args.min_speedup is not None and worst[1] < args.min_speedup:
+        print(f"FAIL: below --min-speedup {args.min_speedup}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
