@@ -60,9 +60,17 @@ struct InjectionAxis {
   SlidingWindowOptions window;
 };
 
+// One decoders-axis entry: the backend options plus the canonical label
+// cell keys and report rows use ("mwpm", "mwpm:dense", "union-find", ...).
+// Plain kinds keep their historic labels, so existing checkpoints resume.
+struct DecoderAxis {
+  DecoderOptions options;
+  std::string label;
+};
+
 struct GridPlan {
   std::vector<ConfigAxis> configs;
-  std::vector<DecoderKind> decoders;
+  std::vector<DecoderAxis> decoders;
   std::vector<double> error_rates;
   std::vector<double> meas_error_rates;
   std::vector<std::size_t> rounds;
@@ -142,14 +150,29 @@ std::string validate_arch(const std::string& name, const SpecReader& where,
   return name;
 }
 
-DecoderKind parse_decoder(const std::string& name, const SpecReader& where,
+DecoderAxis parse_decoder(const std::string& name, const SpecReader& where,
                           const std::string& key) {
-  if (name == "mwpm") return DecoderKind::MWPM;
-  if (name == "union-find" || name == "union_find")
-    return DecoderKind::UNION_FIND;
-  if (name == "greedy") return DecoderKind::GREEDY;
-  throw SpecError(where.path() + "." + key + ": unknown decoder \"" + name +
-                  "\" (expected one of mwpm, union-find, greedy)");
+  DecoderAxis axis;
+  if (name == "mwpm") {
+    axis.options = DecoderKind::MWPM;
+  } else if (name == "mwpm:dense") {
+    // Dense all-pairs blossom oracle instead of the sparse region-growing
+    // matcher for above-DP clusters — the before/after side of the
+    // matching cliff, sweepable next to "mwpm" in one grid.
+    axis.options = DecoderKind::MWPM;
+    axis.options.dense_matcher = true;
+  } else if (name == "union-find" || name == "union_find") {
+    axis.options = DecoderKind::UNION_FIND;
+  } else if (name == "greedy") {
+    axis.options = DecoderKind::GREEDY;
+  } else {
+    throw SpecError(where.path() + "." + key + ": unknown decoder \"" + name +
+                    "\" (expected one of mwpm, mwpm:dense, union-find, "
+                    "greedy)");
+  }
+  axis.label = decoder_kind_name(axis.options.kind) +
+               (axis.options.dense_matcher ? ":dense" : "");
+  return axis;
 }
 
 SamplingPath parse_path(const std::string& name, const SpecReader& where,
@@ -270,6 +293,17 @@ GridPlan parse_plan(const ScenarioSpec& spec) {
 
   for (const std::string& d : r.get_string_list("decoders", {"mwpm"}))
     plan.decoders.push_back(parse_decoder(d, r, "decoders"));
+  // Subset-DP cluster threshold for every MWPM axis entry: clusters up to
+  // this size match by exact subset DP, larger ones escalate to blossom.
+  const std::uint64_t dp_max =
+      r.get_uint("dp_max_cluster", DecoderOptions{}.dp_max_cluster);
+  if (dp_max > DecoderOptions::kDpClusterCap)
+    r.fail("dp_max_cluster",
+           "must be <= " + std::to_string(DecoderOptions::kDpClusterCap) +
+               " (the DP tables are 2^k entries), got " +
+               std::to_string(dp_max));
+  for (DecoderAxis& d : plan.decoders)
+    d.options.dp_max_cluster = static_cast<std::size_t>(dp_max);
   plan.error_rates = r.get_number_list("error_rates", {1e-2});
   plan.meas_error_rates =
       r.get_number_list("measurement_error_rates", {0.0});
@@ -349,7 +383,7 @@ class GridScenario final : public Scenario {
   // order and share the expensive static pipeline.
   struct Cell {
     const ConfigAxis* cfg;
-    DecoderKind decoder;
+    const DecoderAxis* decoder;
     double p, pm;
     std::size_t rounds;
     SamplingPath path;
@@ -380,15 +414,15 @@ class GridScenario final : public Scenario {
     cells.reserve(num_cells());
     std::size_t num_combos = 0;
     for (const ConfigAxis& cfg : plan_.configs)
-      for (const DecoderKind decoder : plan_.decoders)
+      for (const DecoderAxis& decoder : plan_.decoders)
         for (const double p : plan_.error_rates)
           for (const double pm : plan_.meas_error_rates)
             for (const std::size_t rounds : plan_.rounds)
               for (const SamplingPath path : plan_.paths) {
                 for (const InjectionAxis& inj : plan_.injections) {
-                  Cell cell{&cfg,   decoder, p,    pm, rounds,
-                            path,   &inj,    cell_key(cfg, decoder, p, pm,
-                                                      rounds, path, inj),
+                  Cell cell{&cfg,   &decoder, p,    pm, rounds,
+                            path,   &inj,     cell_key(cfg, decoder, p, pm,
+                                                       rounds, path, inj),
                             num_combos};
                   cells.push_back(std::move(cell));
                 }
@@ -431,7 +465,7 @@ class GridScenario final : public Scenario {
           eopts.physical_error_rate = cell.p;
           eopts.measurement_error_rate = cell.pm;
           eopts.rounds = cell.rounds;
-          eopts.decoder = cell.decoder;
+          eopts.decoder = cell.decoder->options;
           eopts.sampling_path = cell.path;
           eopts.whole_history_decoder = needs_whole_history;
           try {
@@ -453,7 +487,7 @@ class GridScenario final : public Scenario {
         }
         rows[i] = {cell.cfg->code.label,
                    cell.cfg->arch,
-                   decoder_kind_name(cell.decoder),
+                   cell.decoder->label,
                    format_double(cell.p),
                    format_double(cell.pm),
                    std::to_string(cell.rounds),
@@ -539,12 +573,12 @@ class GridScenario final : public Scenario {
            plan_.injections.size();
   }
 
-  std::string cell_key(const ConfigAxis& cfg, DecoderKind decoder, double p,
-                       double pm, std::size_t rounds, SamplingPath path,
-                       const InjectionAxis& inj) const {
+  std::string cell_key(const ConfigAxis& cfg, const DecoderAxis& decoder,
+                       double p, double pm, std::size_t rounds,
+                       SamplingPath path, const InjectionAxis& inj) const {
     std::ostringstream key;
     key << "code=" << cfg.code.label << "|arch=" << cfg.arch
-        << "|decoder=" << decoder_kind_name(decoder)
+        << "|decoder=" << decoder.label
         << "|p=" << format_double(p) << "|pm=" << format_double(pm)
         << "|rounds=" << rounds
         << "|path=" << (path == SamplingPath::AUTO ? "auto" : "exact")

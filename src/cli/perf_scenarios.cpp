@@ -41,6 +41,7 @@ JsonValue record_to_json(const PerfRecord& r) {
   obj.set("scenario", r.scenario);
   obj.set("shots_per_second", round6(r.shots_per_second));
   for (const auto& [key, value] : r.extra) obj.set(key, round6(value));
+  for (const auto& [key, value] : r.text) obj.set(key, value);
   return obj;
 }
 
@@ -55,6 +56,8 @@ ExperimentReport records_report(const std::string& title,
     for (std::size_t i = 0; i < r.extra.size(); ++i)
       metrics << (i ? " " : "") << r.extra[i].first << "="
               << json_number(r.extra[i].second);
+    for (const auto& [key, value] : r.text)
+      metrics << (metrics.tellp() > 0 ? " " : "") << key << "=" << value;
     t.add_row({r.scenario, json_number(r.shots_per_second), metrics.str()});
   }
   rep.table = std::move(t);
@@ -297,7 +300,19 @@ PerfRecord decode_sweep(const std::string& name, Decoder& dec,
         return reps;
       },
       smoke);
-  return {name, rate, {}};
+  return {name, rate, {}, {}};
+}
+
+// Attach the matcher backend name and its work counters to a record (the
+// counters are a snapshot delta covering just this record's measurement).
+void add_matcher_extras(PerfRecord& r, const std::string& backend,
+                        const MwpmMatcherStats& s) {
+  r.text.emplace_back("matcher_backend", backend);
+  r.extra.emplace_back("regions_grown",
+                       static_cast<double>(s.regions_grown));
+  r.extra.emplace_back("blossoms_formed",
+                       static_cast<double>(s.blossoms_formed));
+  r.extra.emplace_back("warm_reuses", static_cast<double>(s.warm_reuses));
 }
 
 }  // namespace
@@ -307,12 +322,39 @@ ExperimentReport run_perf_decoder(const PerfRunOptions& options) {
   std::vector<PerfRecord> records;
 
   {
+    // Defect-count sweep across the matching cliff: clusters up to
+    // dp_max_cluster resolve in the subset DP, larger ones escalate to the
+    // sparse blossom matcher; k32/k40 track the cliff's tail.  Each record
+    // carries the backend name and the matcher work its own measurement
+    // performed.
     const auto g = rep_graph(15);
     MwpmDecoder dec(g);
-    for (std::size_t k : {2u, 6u, 12u, 20u})
-      records.push_back(decode_sweep("decoder/mwpm/rep15/k" +
-                                         std::to_string(k),
-                                     dec, g.num_detectors(), k, smoke));
+    for (std::size_t k : {2u, 6u, 12u, 20u, 32u, 40u}) {
+      MwpmMatcherStats delta = dec.matcher_stats();
+      PerfRecord r =
+          decode_sweep("decoder/mwpm/rep15/k" + std::to_string(k), dec,
+                       g.num_detectors(), k, smoke);
+      MwpmMatcherStats after = dec.matcher_stats();
+      after -= delta;
+      add_matcher_extras(r, dec.matcher_backend(), after);
+      records.push_back(std::move(r));
+    }
+
+    // Before/after side of the cliff: the same escalation points through
+    // the dense all-pairs blossom oracle (the pre-sparse-matcher path).
+    MwpmOptions dense_opts;
+    dense_opts.dense_matcher = true;
+    MwpmDecoder dense(g, dense_opts);
+    for (std::size_t k : {20u, 40u}) {
+      MwpmMatcherStats delta = dense.matcher_stats();
+      PerfRecord r =
+          decode_sweep("decoder/mwpm_dense/rep15/k" + std::to_string(k),
+                       dense, g.num_detectors(), k, smoke);
+      MwpmMatcherStats after = dense.matcher_stats();
+      after -= delta;
+      add_matcher_extras(r, dense.matcher_backend(), after);
+      records.push_back(std::move(r));
+    }
   }
 
   {
@@ -621,9 +663,8 @@ ExperimentReport run_perf_timeline(const PerfRunOptions& options) {
 
   // --- sliding windows (W = 10, C = 5) -------------------------------------
   const SlidingWindowOptions window{10, 5};
-  const SlidingWindowDecoder probe(engine.matching_graph(),
-                                   engine.detector_rounds(), kRounds,
-                                   window);
+  SlidingWindowDecoder probe(engine.matching_graph(),
+                             engine.detector_rounds(), kRounds, window);
   {
     std::uint64_t seed = 1;
     const double rate = measure_rate_mode(
@@ -632,6 +673,11 @@ ExperimentReport run_perf_timeline(const PerfRunOptions& options) {
           return kShots;
         },
         smoke);
+    // One unmeasured pass through the caller-owned probe decoder attaches
+    // the matcher backend and work counters the measured runs performed
+    // internally (run_timeline builds a private decoder per call).
+    engine.run_timeline_with(timeline, events, kShots, 1, probe);
+    const MwpmMatcherStats ms = probe.matcher_stats();
     records.push_back(
         {"timeline/rep5_200r/window",
          rate,
@@ -641,7 +687,11 @@ ExperimentReport run_perf_timeline(const PerfRunOptions& options) {
           {"window_decoders", static_cast<double>(probe.num_decoders())},
           {"max_window_detectors",
            static_cast<double>(probe.max_window_detectors())},
-          {"cache_hit_rate", engine.decode_cache_stats().hit_rate()}}});
+          {"cache_hit_rate", engine.decode_cache_stats().hit_rate()},
+          {"regions_grown", static_cast<double>(ms.regions_grown)},
+          {"blossoms_formed", static_cast<double>(ms.blossoms_formed)},
+          {"warm_reuses", static_cast<double>(ms.warm_reuses)}},
+         {{"matcher_backend", probe.matcher_backend()}}});
   }
 
   // --- whole-history baseline (window >= rounds: one full-size MWPM) -------

@@ -32,6 +32,9 @@ struct PerfRecord {
   // Optional scenario-specific metrics (cache_hit_rate, speedup_vs_exact,
   // residual_fraction, ...).
   std::vector<std::pair<std::string, double>> extra;
+  // Optional string-valued context (matcher backend name, ...), emitted as
+  // JSON string fields alongside the numeric extras.
+  std::vector<std::pair<std::string, std::string>> text;
 };
 
 /// Best-of-reps throughput: `fn` performs one repetition and returns the

@@ -23,6 +23,7 @@
 //    through SlidingWindowDecoder's per-window MWPM (sliding_window.hpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -74,7 +75,28 @@ enum class DecoderKind { MWPM, UNION_FIND, GREEDY };
 
 std::string decoder_kind_name(DecoderKind kind);
 
-std::unique_ptr<Decoder> make_decoder(DecoderKind kind,
+/// Backend configuration for make_decoder.  Implicitly constructible from
+/// a bare DecoderKind so `options.decoder = DecoderKind::MWPM` keeps
+/// working everywhere; the extra knobs only affect the MWPM backend.
+struct DecoderOptions {
+  /// Hard cap on dp_max_cluster: the subset-DP tables are 2^k entries.
+  static constexpr std::size_t kDpClusterCap = 16;
+
+  DecoderKind kind = DecoderKind::MWPM;
+  /// Largest locality cluster the exact subset-DP matcher handles; larger
+  /// clusters escalate to the sparse region-growing blossom matcher.
+  /// 0 sends every multi-defect cluster straight to blossom.  Must be
+  /// <= kDpClusterCap.
+  std::size_t dp_max_cluster = 10;
+  /// Route post-DP clusters to the dense all-pairs blossom oracle instead
+  /// of the sparse matcher (bit-for-bit validation / A-B benchmarking).
+  bool dense_matcher = false;
+
+  DecoderOptions() = default;
+  DecoderOptions(DecoderKind k) : kind(k) {}  // NOLINT: implicit by design
+};
+
+std::unique_ptr<Decoder> make_decoder(const DecoderOptions& options,
                                       const MatchingGraph& graph);
 
 }  // namespace radsurf

@@ -8,6 +8,7 @@
 
 #include "decoder/blossom.hpp"
 #include "decoder/greedy.hpp"
+#include "decoder/sparse_blossom.hpp"
 #include "decoder/union_find.hpp"
 #include "util/error.hpp"
 
@@ -31,6 +32,10 @@ std::int64_t to_fixed(double w) {
 
 MwpmDecoder::MwpmDecoder(const MatchingGraph& graph, MwpmOptions options)
     : graph_(graph), options_(options), rows_(graph.num_nodes()) {
+  RADSURF_CHECK_ARG(options_.dp_max_cluster <= DecoderOptions::kDpClusterCap,
+                    "dp_max_cluster " << options_.dp_max_cluster
+                                      << " exceeds the cap "
+                                      << DecoderOptions::kDpClusterCap);
   for (auto& slot : rows_) slot.store(nullptr, std::memory_order_relaxed);
   if (!options_.lazy) {
     // Dense backend: the original eager all-pairs precompute.
@@ -74,6 +79,8 @@ void MwpmDecoder::compute_row(std::uint32_t src, Row& out) const {
       }
     }
   }
+  out.fx.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.fx[i] = to_fixed(out.dist[i]);
 }
 
 const MwpmDecoder::Row& MwpmDecoder::row(std::uint32_t src) const {
@@ -125,7 +132,7 @@ void MwpmDecoder::defect_clusters_into(
     parent = parent_heap.data();
   }
   for (std::size_t i = 0; i < k; ++i) {
-    to_boundary[i] = to_fixed(row(defects[i]).dist[B]);
+    to_boundary[i] = row(defects[i]).fx[B];
     parent[i] = static_cast<std::uint32_t>(i);
   }
 
@@ -141,12 +148,21 @@ void MwpmDecoder::defect_clusters_into(
     }
     return x;
   };
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto& di = row(defects[i]).dist;
+  // Once everything has merged into a single component no further union
+  // can change the answer, so the pair scan stops early — the common case
+  // for a dense radiation strike is one cluster after a few unions.
+  std::size_t components = k;
+  for (std::size_t i = 0; i + 1 < k && components > 1; ++i) {
+    const auto& di = row(defects[i]).fx;
     for (std::size_t j = i + 1; j < k; ++j) {
-      if (to_fixed(di[defects[j]]) <= to_boundary[i] + to_boundary[j])
-        parent[find(static_cast<std::uint32_t>(i))] =
-            find(static_cast<std::uint32_t>(j));
+      if (di[defects[j]] <= to_boundary[i] + to_boundary[j]) {
+        const std::uint32_t ri = find(static_cast<std::uint32_t>(i));
+        const std::uint32_t rj = find(static_cast<std::uint32_t>(j));
+        if (ri != rj) {
+          parent[ri] = rj;
+          if (--components == 1) break;
+        }
+      }
     }
   }
 
@@ -191,15 +207,19 @@ std::vector<std::vector<std::uint32_t>> MwpmDecoder::defect_clusters(
 }
 
 namespace {
-// Largest cluster handled by the exact subset-DP matcher; beyond this the
-// general blossom matcher takes over.  2^k * k work and an 8 KiB table at
-// the cap — far below blossom's constant for the small clusters the
-// locality prefilter produces.
-constexpr std::size_t kDpMaxCluster = 10;
-
 std::int64_t sat_add(std::int64_t a, std::int64_t b) {
   return (a >= kInfWeight || b >= kInfWeight) ? kInfWeight : a + b;
 }
+
+// Stand-in boundary distance for a defect that cannot reach the boundary
+// at all: large enough that leaving it unmatched never wins (it must pair
+// internally), small enough that labels in the savings matcher stay far
+// from overflow (~2^44 vs fixed-point path weights of ~2^30).  Because it
+// enters every savings term of that defect as the same additive constant,
+// the *choice* among its internal partners is unaffected, so the reduction
+// stays exact; a defect the matching still leaves unmatched genuinely has
+// no partner and no boundary, which is the existing DecodeError.
+constexpr std::int64_t kForcedBoundary = std::int64_t{1} << 44;
 }  // namespace
 
 void MwpmDecoder::match_cluster(const std::uint32_t* cluster,
@@ -215,24 +235,34 @@ void MwpmDecoder::match_cluster(const std::uint32_t* cluster,
     return;
   }
 
-  if (k <= kDpMaxCluster) {
+  if (k <= options_.dp_max_cluster) {
     // Exact minimum-weight matching by subset DP: M(S) is the cost of
     // resolving the defect subset S, peeling the lowest member i of S
     // either to the boundary or against a partner j.  Tie preference —
     // internal pair over boundary exit, lowest partner index first —
     // mirrors the blossom matcher's observed choices, which the
     // sparse-vs-dense property tests pin down.
-    std::int64_t w[kDpMaxCluster][kDpMaxCluster];
-    std::int64_t wb[kDpMaxCluster];
+    stat_clusters_dp_.fetch_add(1, std::memory_order_relaxed);
+    constexpr std::size_t kCap = DecoderOptions::kDpClusterCap;
+    std::int64_t w[kCap][kCap];
+    std::int64_t wb[kCap];
     for (std::size_t i = 0; i < k; ++i) {
-      const auto& di = row(cluster[i]).dist;
-      wb[i] = to_fixed(di[B]);
-      for (std::size_t j = i + 1; j < k; ++j)
-        w[i][j] = to_fixed(di[cluster[j]]);
+      const auto& di = row(cluster[i]).fx;
+      wb[i] = di[B];
+      for (std::size_t j = i + 1; j < k; ++j) w[i][j] = di[cluster[j]];
     }
     const std::uint32_t full = (1u << k) - 1;
-    std::int64_t cost[1u << kDpMaxCluster];
-    std::uint8_t partner[1u << kDpMaxCluster];  // k == boundary
+    // The tables are 2^k entries; beyond the historic cap of 10 they leave
+    // the stack (up to 576 KiB at the cap of 16), so thread-local scratch
+    // grown once per thread replaces the fixed arrays.
+    thread_local std::vector<std::int64_t> cost_scratch;
+    thread_local std::vector<std::uint8_t> partner_scratch;
+    if (cost_scratch.size() < full + 1u) {
+      cost_scratch.resize(full + 1u);
+      partner_scratch.resize(full + 1u);
+    }
+    std::int64_t* cost = cost_scratch.data();
+    std::uint8_t* partner = partner_scratch.data();  // k == boundary
     cost[0] = 0;
     for (std::uint32_t S = 1; S <= full; ++S) {
       const auto i = static_cast<std::uint32_t>(std::countr_zero(S));
@@ -268,42 +298,117 @@ void MwpmDecoder::match_cluster(const std::uint32_t* cluster,
     return;
   }
 
-  // Nodes 0..k-1: defects; k..2k-1: per-defect virtual boundary copies.
-  DenseMatcher matcher(2 * k);
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto& di = row(cluster[i]).dist;
-    for (std::size_t j = i + 1; j < k; ++j) {
-      const double d = di[cluster[j]];
-      if (std::isfinite(d)) matcher.add_edge(i, j, to_fixed(d));
+  if (options_.dense_matcher) {
+    // Dense oracle: nodes 0..k-1 are defects, k..2k-1 per-defect virtual
+    // boundary copies with a free clique, so the perfect matching encodes
+    // boundary exits.  Kept behind the flag for bit-for-bit validation of
+    // the sparse matcher and as the before side of the perf cliff.
+    stat_clusters_dense_.fetch_add(1, std::memory_order_relaxed);
+    DenseMatcher matcher(2 * k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& di = row(cluster[i]).dist;
+      for (std::size_t j = i + 1; j < k; ++j) {
+        const double d = di[cluster[j]];
+        if (std::isfinite(d)) matcher.add_edge(i, j, to_fixed(d));
+      }
+      const double db = di[B];
+      if (std::isfinite(db)) matcher.add_edge(i, k + i, to_fixed(db));
     }
-    const double db = di[B];
-    if (std::isfinite(db)) matcher.add_edge(i, k + i, to_fixed(db));
-  }
-  for (std::size_t i = 0; i < k; ++i)
-    for (std::size_t j = i + 1; j < k; ++j)
-      matcher.add_edge(k + i, k + j, 0);
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = i + 1; j < k; ++j)
+        matcher.add_edge(k + i, k + j, 0);
 
-  const std::vector<std::size_t> mate = matcher.solve();
+    const std::vector<std::size_t> mate = matcher.solve();
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t m = mate[i];
+      if (m < k) {
+        if (m > i) pairs.push_back({cluster[i], cluster[m]});
+      } else {
+        pairs.push_back({cluster[i], B});
+      }
+    }
+    return;
+  }
+
+  // Sparse region-growing blossom on the boundary-savings graph: matching
+  // i with j instead of sending both to the boundary saves
+  // s_ij = dB(i) + dB(j) - d(i, j), and some minimum-weight matching uses
+  // only s > 0 pairs (replacing an s <= 0 pair by two boundary exits never
+  // costs more), so the matcher maximises savings over the defects alone —
+  // half the nodes, no virtual boundary clique, no per-solve allocation.
+  stat_clusters_sparse_.fetch_add(1, std::memory_order_relaxed);
+  thread_local SparseBlossomMatcher matcher;
+  thread_local std::vector<SparseBlossomMatcher::Edge> edges;
+  thread_local std::vector<std::int64_t> wb;
+  thread_local std::vector<const Row*> rows;
+  edges.clear();
+  wb.resize(k);
+  rows.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t m = mate[i];
-    if (m < k) {
-      if (m > i) pairs.push_back({cluster[i], cluster[m]});
-    } else {
-      pairs.push_back({cluster[i], B});
+    rows[i] = &row(cluster[i]);
+    wb[i] = std::min(rows[i]->fx[B], kForcedBoundary);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& di = rows[i]->fx;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const std::int64_t d = di[cluster[j]];
+      if (d >= kInfWeight) continue;
+      const std::int64_t s = wb[i] + wb[j] - d;
+      if (s > 0)
+        edges.push_back({static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(j), s});
     }
   }
+  const std::vector<std::uint32_t>& mate = matcher.solve(k, edges);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t m = mate[i];
+    if (m == SparseBlossomMatcher::kBoundary) {
+      if (!std::isfinite(rows[i]->dist[B]))
+        throw DecodeError("defect cannot reach the boundary or a partner");
+      pairs.push_back({cluster[i], B});
+    } else if (m > i) {
+      pairs.push_back({cluster[i], cluster[m]});
+    }
+  }
+  const SparseBlossomStats& ms = matcher.stats();
+  stat_regions_grown_.fetch_add(ms.regions_grown, std::memory_order_relaxed);
+  stat_blossoms_formed_.fetch_add(ms.blossoms_formed,
+                                  std::memory_order_relaxed);
+  stat_blossoms_expanded_.fetch_add(ms.blossoms_expanded,
+                                    std::memory_order_relaxed);
+  stat_warm_reuses_.fetch_add(ms.warm_reuses, std::memory_order_relaxed);
+}
+
+MwpmMatcherStats MwpmDecoder::matcher_stats() const {
+  MwpmMatcherStats s;
+  s.clusters_dp = stat_clusters_dp_.load(std::memory_order_relaxed);
+  s.clusters_sparse = stat_clusters_sparse_.load(std::memory_order_relaxed);
+  s.clusters_dense = stat_clusters_dense_.load(std::memory_order_relaxed);
+  s.regions_grown = stat_regions_grown_.load(std::memory_order_relaxed);
+  s.blossoms_formed = stat_blossoms_formed_.load(std::memory_order_relaxed);
+  s.blossoms_expanded =
+      stat_blossoms_expanded_.load(std::memory_order_relaxed);
+  s.warm_reuses = stat_warm_reuses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void MwpmDecoder::match_defects_into(
+    const std::vector<std::uint32_t>& defects,
+    std::vector<MwpmMatch>& pairs) const {
+  pairs.clear();
+  if (defects.empty()) return;
+  pairs.reserve((defects.size() + 1) / 2);
+  thread_local std::vector<std::uint32_t> flat;
+  thread_local std::vector<std::uint32_t> begins;
+  defect_clusters_into(defects, flat, begins);
+  for (std::size_t c = 0; c + 1 < begins.size(); ++c)
+    match_cluster(flat.data() + begins[c], begins[c + 1] - begins[c], pairs);
 }
 
 std::vector<MwpmMatch> MwpmDecoder::match_defects(
     const std::vector<std::uint32_t>& defects) const {
   std::vector<MwpmMatch> pairs;
-  if (defects.empty()) return pairs;
-  pairs.reserve((defects.size() + 1) / 2);
-  std::vector<std::uint32_t> flat;
-  std::vector<std::uint32_t> begins;
-  defect_clusters_into(defects, flat, begins);
-  for (std::size_t c = 0; c + 1 < begins.size(); ++c)
-    match_cluster(flat.data() + begins[c], begins[c + 1] - begins[c], pairs);
+  match_defects_into(defects, pairs);
   return pairs;
 }
 
@@ -340,8 +445,10 @@ std::vector<std::uint32_t> MwpmDecoder::path_nodes(std::uint32_t a,
 }
 
 std::uint64_t MwpmDecoder::decode(const std::vector<std::uint32_t>& defects) {
+  thread_local std::vector<MwpmMatch> pairs;
+  match_defects_into(defects, pairs);
   std::uint64_t prediction = 0;
-  for (const MwpmMatch& pair : match_defects(defects))
+  for (const MwpmMatch& pair : pairs)
     prediction ^= row(pair.a).obs[pair.b];
   return prediction;
 }
@@ -355,11 +462,14 @@ std::string decoder_kind_name(DecoderKind kind) {
   return "?";
 }
 
-std::unique_ptr<Decoder> make_decoder(DecoderKind kind,
+std::unique_ptr<Decoder> make_decoder(const DecoderOptions& options,
                                       const MatchingGraph& graph) {
-  switch (kind) {
+  switch (options.kind) {
     case DecoderKind::MWPM:
-      return std::make_unique<MwpmDecoder>(graph);
+      return std::make_unique<MwpmDecoder>(
+          graph, MwpmOptions{/*track_paths=*/false, /*lazy=*/true,
+                             /*cluster=*/true, options.dp_max_cluster,
+                             options.dense_matcher});
     case DecoderKind::UNION_FIND:
       return std::make_unique<UnionFindDecoder>(graph);
     case DecoderKind::GREEDY:

@@ -49,6 +49,54 @@ struct MwpmOptions {
   /// Split defects into locality clusters before blossom.  Off reproduces
   /// the single whole-defect-set matching problem (validation oracle).
   bool cluster = true;
+  /// Largest cluster the exact subset-DP matcher handles; larger clusters
+  /// escalate to the sparse region-growing blossom matcher.  0 sends every
+  /// multi-defect cluster straight to blossom.  Capped at
+  /// DecoderOptions::kDpClusterCap (the DP tables are 2^k entries).
+  std::size_t dp_max_cluster = 10;
+  /// Route post-DP clusters to the dense all-pairs blossom oracle
+  /// (blossom.hpp) instead of the sparse matcher — the bit-for-bit
+  /// validation backend, and the before/after side of the perf cliff.
+  bool dense_matcher = false;
+};
+
+/// Cumulative matcher work counters (snapshot of thread-safe counters; see
+/// MwpmDecoder::matcher_stats).  Cluster counts say which backend resolved
+/// each multi-defect cluster; the region/blossom counts aggregate the
+/// sparse matcher's primal-dual work and land in the perf JSON records.
+struct MwpmMatcherStats {
+  std::uint64_t clusters_dp = 0;
+  std::uint64_t clusters_sparse = 0;
+  std::uint64_t clusters_dense = 0;
+  std::uint64_t regions_grown = 0;
+  std::uint64_t blossoms_formed = 0;
+  std::uint64_t blossoms_expanded = 0;
+  // Sparse-matcher solves answered by warm-start reuse (the presented
+  // cluster instance was already resident and solved in the arena).
+  std::uint64_t warm_reuses = 0;
+
+  MwpmMatcherStats& operator+=(const MwpmMatcherStats& o) {
+    clusters_dp += o.clusters_dp;
+    clusters_sparse += o.clusters_sparse;
+    clusters_dense += o.clusters_dense;
+    regions_grown += o.regions_grown;
+    blossoms_formed += o.blossoms_formed;
+    blossoms_expanded += o.blossoms_expanded;
+    warm_reuses += o.warm_reuses;
+    return *this;
+  }
+  /// Delta between two snapshots — attributes counter growth to one phase
+  /// of a run (counters are cumulative and only ever grow).
+  MwpmMatcherStats& operator-=(const MwpmMatcherStats& o) {
+    clusters_dp -= o.clusters_dp;
+    clusters_sparse -= o.clusters_sparse;
+    clusters_dense -= o.clusters_dense;
+    regions_grown -= o.regions_grown;
+    blossoms_formed -= o.blossoms_formed;
+    blossoms_expanded -= o.blossoms_expanded;
+    warm_reuses -= o.warm_reuses;
+    return *this;
+  }
 };
 
 class MwpmDecoder final : public Decoder {
@@ -113,15 +161,32 @@ class MwpmDecoder final : public Decoder {
     return rows_built_.load(std::memory_order_relaxed);
   }
 
+  /// Matcher backend decode() escalates to past the subset DP — what the
+  /// perf records report alongside the rates.
+  std::string matcher_backend() const {
+    return options_.dense_matcher ? "dense-blossom" : "sparse-blossom";
+  }
+  const MwpmOptions& options() const { return options_; }
+
+  /// Snapshot of the cumulative matcher work counters (thread-safe; the
+  /// counters accumulate across every decode on every thread).
+  MwpmMatcherStats matcher_stats() const;
+
  private:
   struct Row {
     std::vector<double> dist;
+    // dist in the matcher's fixed-point scale, converted once at Dijkstra
+    // time: the cluster prefilter and the savings-edge build read these on
+    // every decode, and per-pair llround calls dominated that hot path.
+    std::vector<std::int64_t> fx;
     std::vector<std::uint64_t> obs;
     std::vector<std::uint32_t> pred;  // empty unless track_paths
   };
 
   const Row& row(std::uint32_t src) const;
   void compute_row(std::uint32_t src, Row& out) const;
+  void match_defects_into(const std::vector<std::uint32_t>& defects,
+                          std::vector<MwpmMatch>& pairs) const;
   void match_cluster(const std::uint32_t* cluster, std::size_t size,
                      std::vector<MwpmMatch>& pairs) const;
 
@@ -132,6 +197,15 @@ class MwpmDecoder final : public Decoder {
   // after construction, so slot addresses stay stable.
   mutable std::vector<std::atomic<Row*>> rows_;
   mutable std::atomic<std::size_t> rows_built_{0};
+  // Matcher work counters (relaxed: decode() is called concurrently from
+  // campaign chunks; exact interleaving does not matter for telemetry).
+  mutable std::atomic<std::uint64_t> stat_clusters_dp_{0};
+  mutable std::atomic<std::uint64_t> stat_clusters_sparse_{0};
+  mutable std::atomic<std::uint64_t> stat_clusters_dense_{0};
+  mutable std::atomic<std::uint64_t> stat_regions_grown_{0};
+  mutable std::atomic<std::uint64_t> stat_blossoms_formed_{0};
+  mutable std::atomic<std::uint64_t> stat_blossoms_expanded_{0};
+  mutable std::atomic<std::uint64_t> stat_warm_reuses_{0};
 };
 
 }  // namespace radsurf

@@ -96,8 +96,10 @@ SlidingWindowDecoder::SlidingWindowDecoder(
     const auto [it, inserted] =
         shape_index.try_emplace(sig, decoders_.size());
     if (inserted) {
+      MwpmOptions mopts = options_.matcher;
+      mopts.track_paths = true;  // partial commits reconstruct paths
       decoders_.push_back(
-          std::make_unique<MwpmDecoder>(w.view.graph, /*track_paths=*/true));
+          std::make_unique<MwpmDecoder>(w.view.graph, mopts));
       memos_.push_back(std::make_unique<WindowMemo>());
     }
     w.decoder_index = it->second;

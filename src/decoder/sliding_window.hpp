@@ -55,6 +55,12 @@ struct SlidingWindowOptions {
   /// Rounds committed per step (C); 0 means ceil(window / 2).  Must be
   /// < window unless the window already covers the whole history.
   std::size_t commit = 0;
+  /// Matcher configuration for the per-shape window decoders.  track_paths
+  /// is forced on regardless (partial commits reconstruct paths); the
+  /// cluster threshold and backend knobs pass through, so timeline
+  /// campaigns exercise the same DP -> sparse -> dense escalation as
+  /// whole-history decoding.
+  MwpmOptions matcher{};
 
   std::size_t resolved_commit() const {
     return commit == 0 ? (window + 1) / 2 : commit;
@@ -83,6 +89,17 @@ class SlidingWindowDecoder final : public Decoder {
   /// Largest per-window detector count: the decoder's memory scale.
   std::size_t max_window_detectors() const { return max_window_detectors_; }
   const SlidingWindowOptions& options() const { return options_; }
+
+  /// Matcher backend the window decoders escalate to past the subset DP.
+  std::string matcher_backend() const {
+    return decoders_.empty() ? "none" : decoders_.front()->matcher_backend();
+  }
+  /// Matcher work counters aggregated over every window-shape decoder.
+  MwpmMatcherStats matcher_stats() const {
+    MwpmMatcherStats s;
+    for (const auto& d : decoders_) s += d->matcher_stats();
+    return s;
+  }
 
  private:
   struct Window {

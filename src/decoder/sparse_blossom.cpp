@@ -1,0 +1,528 @@
+#include "decoder/sparse_blossom.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+// The control flow mirrors the dense oracle's proven primal-dual blossom
+// (decoder/blossom.cpp) with three structural changes: the weight matrix is
+// a flat, grow-only arena whose base cells are initialised once per
+// capacity (a solve touches only the k x k corner it uses), the edge
+// objects are decomposed into (weight, representative endpoints) cell
+// triples so no E structs are copied, and the LCA visit stamp is a member
+// (no thread_local), so independent matcher instances never interfere.
+
+void SparseBlossomMatcher::ensure_capacity(std::size_t num_nodes) {
+  if (num_nodes <= cap_nodes_) return;
+  const std::size_t cap = std::max({num_nodes, cap_nodes_ * 2,
+                                    static_cast<std::size_t>(8)});
+  const std::size_t N = 2 * cap + 1;
+  stride_ = N;
+  cap_nodes_ = cap;
+  w_.assign(N * N, 0);
+  eu_.assign(N * N, 0);
+  ev_.assign(N * N, 0);
+  lab_.assign(N, 0);
+  match_.assign(N, 0);
+  slack_.assign(N, 0);
+  st_.assign(N, 0);
+  pa_.assign(N, 0);
+  S_.assign(N, -1);
+  vis_.assign(N, 0);
+  vis_stamp_ = 0;
+  flower_.assign(N, {});
+  // flower_from_ rows span base nodes only (stride cap + 1).
+  flower_from_.assign(N * (cap + 1), 0);
+  // Fresh arena: everything is zero/identity-free, so the whole base range
+  // must be seeded by the next solve, and there are no stale edge cells —
+  // and no resident solved instance to warm-start from.
+  clean_corner_ = 0;
+  edge_cells_.clear();
+  adj_off_.assign(N + 1, 0);
+  warm_valid_ = false;
+}
+
+void SparseBlossomMatcher::update_slack(int u, int x) {
+  if (!slack_[x] || e_delta(u, x) < e_delta(slack_[x], x)) slack_[x] = u;
+}
+
+void SparseBlossomMatcher::set_slack(int x) {
+  slack_[x] = 0;
+  if (x <= n_) {
+    // Base node: only its real neighbours can hold an edge cell.
+    for (std::int32_t a = adj_off_[x]; a < adj_off_[x + 1]; ++a) {
+      const int u = nbr_[a];
+      if (st_[u] != x && S_[st_[u]] == 0) update_slack(u, x);
+    }
+    return;
+  }
+  for (int u = 1; u <= n_; ++u)
+    if (wc(u, x) > 0 && st_[u] != x && S_[st_[u]] == 0) update_slack(u, x);
+}
+
+void SparseBlossomMatcher::q_push(int x) {
+  if (x <= n_) {
+    q_.push_back(x);
+  } else {
+    for (int i : flower_[x]) q_push(i);
+  }
+}
+
+void SparseBlossomMatcher::set_st(int x, int b) {
+  st_[x] = b;
+  if (x > n_)
+    for (int i : flower_[x]) set_st(i, b);
+}
+
+int SparseBlossomMatcher::get_pr(int b, int xr) {
+  auto& f = flower_[b];
+  const int pr = static_cast<int>(std::find(f.begin(), f.end(), xr) -
+                                  f.begin());
+  if (pr % 2 == 1) {
+    std::reverse(f.begin() + 1, f.end());
+    return static_cast<int>(f.size()) - pr;
+  }
+  return pr;
+}
+
+void SparseBlossomMatcher::set_match(int u, int v) {
+  match_[u] = ev(u, v);
+  if (u > n_) {
+    const int xr = flower_from_[u * (cap_nodes_ + 1) + eu(u, v)];
+    const int pr = get_pr(u, xr);
+    for (int i = 0; i < pr; ++i)
+      set_match(flower_[u][i], flower_[u][i ^ 1]);
+    set_match(xr, v);
+    std::rotate(flower_[u].begin(), flower_[u].begin() + pr,
+                flower_[u].end());
+  }
+}
+
+// Mirror of set_match with no partner: rearrange x's internal matching so
+// that base vertex `target` becomes the exposed base of x.
+void SparseBlossomMatcher::set_expose(int x, int target) {
+  match_[x] = 0;
+  if (x > n_) {
+    const int xr = flower_from_[x * (cap_nodes_ + 1) + target];
+    const int pr = get_pr(x, xr);
+    for (int i = 0; i < pr; ++i)
+      set_match(flower_[x][i], flower_[x][i ^ 1]);
+    set_expose(xr, target);
+    std::rotate(flower_[x].begin(), flower_[x].begin() + pr,
+                flower_[x].end());
+  }
+}
+
+void SparseBlossomMatcher::augment(int u, int v) {
+  for (;;) {
+    const int xnv = st_[match_[u]];
+    set_match(u, v);
+    if (!xnv) return;
+    set_match(xnv, st_[pa_[xnv]]);
+    u = st_[pa_[xnv]];
+    v = xnv;
+  }
+}
+
+// Dual of augment for an outer base vertex whose dual just reached zero:
+// flip the even alternating path from u's tree root down to u, so the root
+// becomes matched and u becomes exposed.  All path edges are tight, so the
+// flip changes total weight by +dual(root) >= 0, and an exposed vertex with
+// zero dual is optimally unmatched — this is the non-perfect-matching
+// termination step (per-vertex, since greedy duals are not uniform).
+void SparseBlossomMatcher::release(int u) {
+  const int t = st_[u];
+  int xnv = st_[match_[t]];  // null iff t is its tree's root
+  set_expose(t, u);
+  while (xnv) {
+    set_match(xnv, st_[pa_[xnv]]);
+    const int up = st_[pa_[xnv]];
+    const int next = st_[match_[up]];
+    set_match(up, xnv);
+    xnv = next;
+  }
+}
+
+int SparseBlossomMatcher::get_lca(int u, int v) {
+  for (++vis_stamp_; u || v; std::swap(u, v)) {
+    if (u == 0) continue;
+    if (vis_[u] == vis_stamp_) return u;
+    vis_[u] = vis_stamp_;
+    u = st_[match_[u]];
+    if (u) u = st_[pa_[u]];
+  }
+  return 0;
+}
+
+void SparseBlossomMatcher::add_blossom(int u, int lca, int v) {
+  int b = n_ + 1;
+  while (b <= n_x_ && st_[b]) ++b;
+  if (b > n_x_) ++n_x_;
+  lab_[b] = 0;
+  S_[b] = 0;
+  match_[b] = match_[lca];
+  flower_[b].clear();
+  flower_[b].push_back(lca);
+  for (int x = u, y; x != lca; x = st_[pa_[y]]) {
+    flower_[b].push_back(x);
+    flower_[b].push_back(y = st_[match_[x]]);
+    q_push(y);
+  }
+  std::reverse(flower_[b].begin() + 1, flower_[b].end());
+  for (int x = v, y; x != lca; x = st_[pa_[y]]) {
+    flower_[b].push_back(x);
+    flower_[b].push_back(y = st_[match_[x]]);
+    q_push(y);
+  }
+  set_st(b, b);
+  for (int x = 1; x <= n_x_; ++x) wc(b, x) = wc(x, b) = 0;
+  for (int x = 1; x <= n_; ++x)
+    flower_from_[b * (cap_nodes_ + 1) + x] = 0;
+  for (const int xs : flower_[b]) {
+    for (int x = 1; x <= n_x_; ++x) {
+      // Only real member edges are candidates (a cleared member cell keeps
+      // stale endpoints whose e_delta would be meaningless).
+      if (wc(xs, x) > 0 &&
+          (wc(b, x) == 0 || e_delta(xs, x) < e_delta(b, x))) {
+        wc(b, x) = wc(xs, x);
+        eu(b, x) = eu(xs, x);
+        ev(b, x) = ev(xs, x);
+        wc(x, b) = wc(x, xs);
+        eu(x, b) = eu(x, xs);
+        ev(x, b) = ev(x, xs);
+      }
+    }
+    for (int x = 1; x <= n_; ++x)
+      if (flower_from_[xs * (cap_nodes_ + 1) + x])
+        flower_from_[b * (cap_nodes_ + 1) + x] = xs;
+  }
+  set_slack(b);
+  ++stats_.blossoms_formed;
+}
+
+void SparseBlossomMatcher::expand_blossom(int b) {
+  for (const int member : flower_[b]) set_st(member, member);
+  const int xr = flower_from_[b * (cap_nodes_ + 1) + eu(b, pa_[b])];
+  const int pr = get_pr(b, xr);
+  for (int i = 0; i < pr; i += 2) {
+    const int xs = flower_[b][i];
+    const int xns = flower_[b][i + 1];
+    pa_[xs] = eu(xns, xs);
+    S_[xs] = 1;
+    S_[xns] = 0;
+    slack_[xs] = 0;
+    set_slack(xns);
+    q_push(xns);
+  }
+  S_[xr] = 1;
+  pa_[xr] = pa_[b];
+  for (std::size_t i = static_cast<std::size_t>(pr) + 1;
+       i < flower_[b].size(); ++i) {
+    const int xs = flower_[b][i];
+    S_[xs] = -1;
+    set_slack(xs);
+  }
+  st_[b] = 0;
+  ++stats_.blossoms_expanded;
+}
+
+bool SparseBlossomMatcher::on_found_cell(int a, int c) {
+  const int u0 = eu(a, c);
+  const int v0 = ev(a, c);
+  const int u = st_[u0];
+  const int v = st_[v0];
+  if (S_[v] == -1) {
+    if (!match_[v]) {
+      // v is exposed but not a root (its dual is zero — a released or
+      // zero-label vertex): the tight edge completes an augmenting path
+      // ending at v, worth +dual(root) to the matching.
+      augment(u, v);
+      augment(v, u);
+      return true;
+    }
+    pa_[v] = u0;
+    S_[v] = 1;
+    const int nu = st_[match_[v]];
+    slack_[v] = slack_[nu] = 0;
+    S_[nu] = 0;
+    q_push(nu);
+  } else if (S_[v] == 0) {
+    const int lca = get_lca(u, v);
+    if (!lca) {
+      augment(u, v);
+      augment(v, u);
+      return true;
+    }
+    add_blossom(u, lca, v);
+  }
+  return false;
+}
+
+int SparseBlossomMatcher::base_vertex(int x) const {
+  while (x > n_) x = flower_[x][0];
+  return x;
+}
+
+bool SparseBlossomMatcher::matching() {
+  std::fill(S_.begin(), S_.begin() + n_x_ + 1, static_cast<std::int8_t>(-1));
+  std::fill(slack_.begin(), slack_.begin() + n_x_ + 1, 0);
+  q_.clear();
+  q_head_ = 0;
+  // Roots: exposed surface nodes whose exposed base vertex still has a
+  // positive dual.  A zero-dual exposed vertex is optimally unmatched and
+  // never roots a tree again (though another tree may still reach it and
+  // rematch it through on_found_cell).
+  for (int x = 1; x <= n_x_; ++x)
+    if (st_[x] == x && !match_[x] && lab_[base_vertex(x)] > 0) {
+      pa_[x] = 0;
+      S_[x] = 0;
+      q_push(x);
+      ++stats_.regions_grown;
+    }
+  if (q_head_ == q_.size()) return false;
+  for (;;) {
+    while (q_head_ < q_.size()) {
+      const int u = q_[q_head_++];
+      if (S_[st_[u]] == 1) continue;
+      // The queue holds base vertices only, and base-base cells always keep
+      // identity endpoints (contractions rewrite only blossom rows), so the
+      // tightness test inlines to lab_[u] + lab_[v] == 2 wc(u, v) over u's
+      // real neighbours.  lab_[u] is stable within the scan; st_[u] is not
+      // (a contraction may absorb u), so it is re-read per edge.
+      const std::int64_t lu = lab_[u];
+      const std::int64_t* row = w_.data() + u * stride_;
+      for (std::int32_t a = adj_off_[u]; a < adj_off_[u + 1]; ++a) {
+        const int v = nbr_[a];
+        if (st_[u] == st_[v]) continue;
+        if (lu + lab_[v] == 2 * row[v]) {
+          if (on_found_cell(u, v)) return true;
+        } else {
+          update_slack(u, st_[v]);
+        }
+      }
+    }
+    // Dual step: bounded by the smallest outer vertex dual (duals must stay
+    // non-negative), the inner blossom duals, and the slack edges.
+    std::int64_t d1 = std::numeric_limits<std::int64_t>::max();
+    int u_min = 0;
+    for (int u = 1; u <= n_; ++u)
+      if (S_[st_[u]] == 0 && lab_[u] < d1) {
+        d1 = lab_[u];
+        u_min = u;
+      }
+    std::int64_t d = d1;
+    for (int b = n_ + 1; b <= n_x_; ++b)
+      if (st_[b] == b && S_[b] == 1) d = std::min(d, lab_[b] / 2);
+    for (int x = 1; x <= n_x_; ++x) {
+      if (st_[x] == x && slack_[x]) {
+        if (S_[x] == -1)
+          d = std::min(d, e_delta(slack_[x], x));
+        else if (S_[x] == 0)
+          d = std::min(d, e_delta(slack_[x], x) / 2);
+      }
+    }
+    // No slack edge, no blossom to expand, no dual to exhaust: the forest
+    // cannot grow, so the matching is maximum for the remaining exposure.
+    if (d == std::numeric_limits<std::int64_t>::max()) return false;
+    ++stats_.dual_updates;
+    // Circuit breaker: a correct run needs far fewer dual adjustments
+    // than this (roughly O(n^2) across all phases); tripping it means an
+    // invariant broke, and an exception beats an infinite decode loop.
+    RADSURF_ASSERT_MSG(
+        stats_.dual_updates <
+            10000ull + 100ull * static_cast<unsigned long long>(n_) * n_,
+        "sparse blossom matcher stalled (dual updates exploded)");
+    for (int u = 1; u <= n_; ++u) {
+      if (S_[st_[u]] == 0) {
+        lab_[u] -= d;
+      } else if (S_[st_[u]] == 1) {
+        lab_[u] += d;
+      }
+    }
+    for (int b = n_ + 1; b <= n_x_; ++b) {
+      if (st_[b] == b) {
+        if (S_[b] == 0)
+          lab_[b] += d * 2;
+        else if (S_[b] == 1)
+          lab_[b] -= d * 2;
+      }
+    }
+    if (d == d1) {
+      // An outer vertex dual reached zero: flip its tree path so that
+      // vertex takes the exposure (weight +dual(root) >= 0) and restart.
+      release(u_min);
+      return true;
+    }
+    q_.clear();
+    q_head_ = 0;
+    for (int x = 1; x <= n_x_; ++x) {
+      if (st_[x] == x && slack_[x] && st_[slack_[x]] != x &&
+          e_delta(slack_[x], x) == 0) {
+        if (on_found_cell(slack_[x], x)) return true;
+      }
+    }
+    for (int b = n_ + 1; b <= n_x_; ++b)
+      if (st_[b] == b && S_[b] == 1 && lab_[b] == 0) expand_blossom(b);
+  }
+}
+
+// Jumpstart (the sparse-blossom analogue of Blossom V's greedy init):
+// feasible per-vertex starting duals plus a maximal greedy matching over
+// the edges those duals make tight.  Most defect pairs in a radiation
+// cluster are mutual nearest neighbours, so the primal-dual phases start
+// with only a handful of exposed vertices instead of all of them.
+void SparseBlossomMatcher::greedy_init() {
+  // On entry lab_u = max incident cell value (seeded by the edge fill):
+  // cells hold doubled savings and e_delta doubles them again, so
+  // lab_u + lab_v >= 2 wc(u, v) for every edge (feasible) with equality
+  // exactly on mutual-maximum edges.  All labels are even (cells are
+  // doubled), which keeps every halved dual step integral.
+  //
+  // Dual descent: lower each dual to its feasibility floor given the
+  // others.  A floor never exceeds the current label (each earlier
+  // descent respected its constraints against u), so labels only drop,
+  // and every vertex whose best partner is contested gains tight edges.
+  for (int u = 1; u <= n_; ++u) {
+    std::int64_t floor_u = 0;
+    const std::int64_t* row = w_.data() + u * stride_;
+    for (std::int32_t a = adj_off_[u]; a < adj_off_[u + 1]; ++a) {
+      const int v = nbr_[a];
+      floor_u = std::max(floor_u, 2 * row[v] - lab_[v]);
+    }
+    lab_[u] = floor_u;
+  }
+  // Maximal greedy matching over tight edges.
+  for (int u = 1; u <= n_; ++u) {
+    if (match_[u]) continue;
+    const std::int64_t* row = w_.data() + u * stride_;
+    for (std::int32_t a = adj_off_[u]; a < adj_off_[u + 1]; ++a) {
+      const int v = nbr_[a];
+      if (!match_[v] && lab_[u] + lab_[v] == 2 * row[v]) {
+        match_[u] = v;
+        match_[v] = u;
+        break;
+      }
+    }
+  }
+}
+
+const std::vector<std::uint32_t>& SparseBlossomMatcher::solve(
+    std::size_t num_nodes, const std::vector<Edge>& edges) {
+  // Warm-start reuse: when the arena still holds a solved instance and the
+  // caller presents the same one — same node count, every positive edge
+  // matching its resident doubled-savings cell, and no resident cell left
+  // unpresented — the stored matching is already optimal, so return it.
+  // The verification is exact (cell-by-cell, no hashing) and costs O(E).
+  // Campaign shots and sliding-window timelines re-decode the same
+  // above-DP cluster instance many times in a row, which makes this the
+  // hot path there; any mismatch falls through to a cold solve.
+  if (warm_valid_ && static_cast<std::size_t>(n_) == num_nodes) {
+    std::size_t positive = 0;
+    bool same = true;
+    for (const Edge& e : edges) {
+      if (e.savings <= 0) continue;
+      ++positive;
+      if (e.savings * 2 != wc(static_cast<int>(e.a) + 1,
+                              static_cast<int>(e.b) + 1)) {
+        same = false;
+        break;
+      }
+    }
+    if (same && positive == edge_cells_.size()) {
+      stats_ = {};
+      stats_.warm_reuses = 1;
+      return mate_;
+    }
+  }
+  warm_valid_ = false;
+  stats_ = {};
+  total_savings_ = 0;
+  mate_.assign(num_nodes, kBoundary);
+  if (num_nodes == 0) return mate_;
+  ensure_capacity(num_nodes);
+  n_ = static_cast<int>(num_nodes);
+  n_x_ = n_;
+  // Clear exactly the base weight cells the previous solve's edge fill
+  // made non-zero (both triangles) — O(E_prev) instead of wiping the
+  // whole n x n corner.
+  for (const auto& [pa, pb] : edge_cells_) {
+    w_[static_cast<std::size_t>(pa) * stride_ + pb] = 0;
+    w_[static_cast<std::size_t>(pb) * stride_ + pa] = 0;
+  }
+  edge_cells_.clear();
+  // Base-base cells are never rewritten during a solve (contractions touch
+  // only blossom-slot rows above that solve's n_), so rows up to
+  // clean_corner_ still hold identity endpoints; only the band this solve
+  // grows into needs re-seeding.  The stale band rows were a smaller
+  // solve's blossom slots.
+  if (clean_corner_ < static_cast<std::size_t>(n_)) {
+    const int c0 = static_cast<int>(clean_corner_);
+    for (int u = 1; u <= n_; ++u) {
+      const int v0 = (u <= c0) ? c0 + 1 : 1;
+      std::fill(w_.begin() + u * stride_ + v0,
+                w_.begin() + u * stride_ + n_ + 1, 0);
+      for (int v = v0; v <= n_; ++v) {
+        eu_[u * stride_ + v] = u;
+        ev_[u * stride_ + v] = v;
+        flower_from_[u * (cap_nodes_ + 1) + v] = 0;
+      }
+      flower_from_[u * (cap_nodes_ + 1) + u] = u;
+      if (u > c0) flower_[u].clear();
+    }
+    clean_corner_ = static_cast<std::size_t>(n_);
+  }
+  for (int u = 1; u <= n_; ++u) {
+    st_[u] = u;
+    match_[u] = 0;
+    lab_[u] = 0;
+  }
+  // Edge values are doubled so duals stay integral (half-integral in
+  // original units): greedy_init starts every label even, labels in trees
+  // then move together, so every e_delta the algorithm halves is even.
+  // The fill also seeds lab_u = max incident cell value (greedy_init's
+  // feasible start) and records each distinct cell for next solve's
+  // clearing — which doubles as the distinct-edge list the CSR adjacency
+  // is built from.
+  for (const Edge& e : edges) {
+    if (e.savings <= 0) continue;
+    const int a = static_cast<int>(e.a) + 1;
+    const int b = static_cast<int>(e.b) + 1;
+    const std::int64_t s2 = e.savings * 2;
+    std::int64_t& cell = wc(a, b);
+    if (cell == 0) edge_cells_.emplace_back(a, b);
+    if (s2 > cell) cell = wc(b, a) = s2;
+    lab_[a] = std::max(lab_[a], s2);
+    lab_[b] = std::max(lab_[b], s2);
+  }
+  std::fill(adj_off_.begin(), adj_off_.begin() + n_ + 2, 0);
+  for (const auto& [a, b] : edge_cells_) {
+    ++adj_off_[a + 1];
+    ++adj_off_[b + 1];
+  }
+  for (int u = 1; u <= n_ + 1; ++u) adj_off_[u] += adj_off_[u - 1];
+  nbr_.resize(2 * edge_cells_.size());
+  for (const auto& [a, b] : edge_cells_) {
+    nbr_[adj_off_[a]++] = b;
+    nbr_[adj_off_[b]++] = a;
+  }
+  for (int u = n_ + 1; u >= 1; --u) adj_off_[u] = adj_off_[u - 1];
+  adj_off_[0] = 0;
+  greedy_init();
+  while (matching()) {
+  }
+  for (int u = 1; u <= n_; ++u) {
+    if (!match_[u]) continue;
+    mate_[u - 1] = static_cast<std::uint32_t>(match_[u] - 1);
+    if (match_[u] > u) total_savings_ += wc(u, match_[u]);
+  }
+  total_savings_ /= 2;
+  // Contractions dirtied rows above n_; base rows keep their identity.
+  if (n_x_ > n_) clean_corner_ = static_cast<std::size_t>(n_);
+  warm_valid_ = true;
+  return mate_;
+}
+
+}  // namespace radsurf

@@ -581,6 +581,17 @@ Proportion InjectionEngine::run_radiation_at_aware(
   return run_circuit(sampling, shots, seed, nullptr, aware.get());
 }
 
+// Window options with the engine's matcher knobs folded in: timeline
+// windows decode with the same cluster threshold / backend selection as
+// the whole-history decoder.
+SlidingWindowOptions InjectionEngine::window_options(
+    const SlidingWindowOptions& window) const {
+  SlidingWindowOptions w = window;
+  w.matcher.dp_max_cluster = options_.decoder.dp_max_cluster;
+  w.matcher.dense_matcher = options_.decoder.dense_matcher;
+  return w;
+}
+
 Proportion InjectionEngine::run_timeline_with(
     const RadiationTimeline& timeline,
     const std::vector<RadiationEvent>& events, std::size_t shots,
@@ -596,7 +607,7 @@ Proportion InjectionEngine::run_timeline(
     const std::vector<RadiationEvent>& events, std::size_t shots,
     std::uint64_t seed, const SlidingWindowOptions& window) const {
   SlidingWindowDecoder decoder(matching_graph_, detector_rounds_,
-                               options_.rounds, window);
+                               options_.rounds, window_options(window));
   return run_timeline_with(timeline, events, shots, seed, decoder);
 }
 
@@ -610,7 +621,7 @@ TimelineSummary InjectionEngine::run_timeline_campaign(
   // One decoder serves every realization (decode() is thread-safe and the
   // window layout depends only on the engine and the window options).
   SlidingWindowDecoder decoder(matching_graph_, detector_rounds_,
-                               options_.rounds, window);
+                               options_.rounds, window_options(window));
   summary.num_windows = decoder.num_windows();
   summary.window_decoders = decoder.num_decoders();
   Rng event_rng(seed ^ 0x7261647375726621ULL);

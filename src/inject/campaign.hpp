@@ -77,7 +77,10 @@ struct EngineOptions {
   double measurement_error_rate = 0.0;
   /// Stabilisation rounds (paper: 2).
   std::size_t rounds = 2;
-  DecoderKind decoder = DecoderKind::MWPM;
+  /// Decoder backend and matcher knobs (implicitly constructible from a
+  /// bare DecoderKind).  Applies to the whole-history decoder AND to the
+  /// per-window matchers of run_timeline's sliding windows.
+  DecoderOptions decoder = DecoderKind::MWPM;
   LayoutStrategy layout = LayoutStrategy::AUTO;
   /// Error rate used to weight the decoder's matching graph; 0 means
   /// max(physical_error_rate, 1e-3) so the decoder stays defined when the
@@ -225,6 +228,15 @@ class InjectionEngine {
       std::size_t shots_per_timeline, std::uint64_t seed,
       const SlidingWindowOptions& window = {}) const;
 
+  /// run_timeline with a caller-owned decoder (run_timeline itself builds a
+  /// fresh one per call).  Lets callers keep window memos warm across runs
+  /// and read back decoder.matcher_stats() afterwards — the perf benches
+  /// use it to attach matcher work counters to timeline records.
+  Proportion run_timeline_with(const RadiationTimeline& timeline,
+                               const std::vector<RadiationEvent>& events,
+                               std::size_t shots, std::uint64_t seed,
+                               SlidingWindowDecoder& decoder) const;
+
   /// Stabilisation-round index of every detector of the transpiled circuit
   /// (final-readout detectors folded into the last round) — the sliding-
   /// window decoder's round map.
@@ -247,10 +259,7 @@ class InjectionEngine {
                          const std::vector<std::uint32_t>* erasure = nullptr,
                          Decoder* decoder_override = nullptr) const;
 
-  Proportion run_timeline_with(const RadiationTimeline& timeline,
-                               const std::vector<RadiationEvent>& events,
-                               std::size_t shots, std::uint64_t seed,
-                               SlidingWindowDecoder& decoder) const;
+  SlidingWindowOptions window_options(const SlidingWindowOptions& window) const;
 
   EngineOptions options_;
   Graph arch_;

@@ -1,0 +1,332 @@
+// Sparse region-growing blossom matcher vs the dense oracle.
+//
+// The sparse matcher resolves every cluster above the subset-DP threshold,
+// so its exactness IS the decoder's exactness in the high-defect regime the
+// radiation campaigns live in.  Three layers of pinning:
+//
+//  * matcher level: brute-force enumeration oracle over random sparse
+//    savings graphs, including degenerate all-equal-weight instances where
+//    many optima tie — the matcher must hit the optimal total savings and
+//    return a self-consistent matching;
+//  * decoder level: randomized defect sets (k = 2..40) over repetition and
+//    XXZZ circuit graphs, sparse-blossom total matching weight against the
+//    dense blossom oracle, and identical predictions whenever the two
+//    backends pick the same matching (ties may legitimately differ in
+//    pairs, never in weight);
+//  * warm start: re-solving the resident instance must reproduce the
+//    matching exactly and report itself in stats().warm_reuses.
+#include "decoder/sparse_blossom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "codes/repetition.hpp"
+#include "codes/xxzz.hpp"
+#include "decoder/mwpm.hpp"
+#include "detector/error_model.hpp"
+#include "noise/depolarizing.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+namespace {
+
+using Edge = SparseBlossomMatcher::Edge;
+
+MatchingGraph circuit_graph(const SurfaceCode& code, double p) {
+  const Circuit noisy = DepolarizingModel{p}.apply(code.build());
+  return MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+}
+
+std::vector<std::uint32_t> random_defects(std::size_t num_detectors,
+                                          std::size_t k, Rng& rng) {
+  std::vector<std::uint32_t> out;
+  while (out.size() < k && out.size() < num_detectors) {
+    const auto d = static_cast<std::uint32_t>(rng.below(num_detectors));
+    if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Exhaustive maximum-savings (non-perfect) matching: skip-or-take over the
+// edge list.  Exponential, so instances stay tiny — that is the point of an
+// oracle.
+std::int64_t brute_best(const std::vector<Edge>& edges, std::size_t i,
+                        std::uint32_t used) {
+  if (i == edges.size()) return 0;
+  std::int64_t best = brute_best(edges, i + 1, used);
+  const Edge& e = edges[i];
+  if (!((used >> e.a) & 1u) && !((used >> e.b) & 1u))
+    best = std::max(best, e.savings +
+                              brute_best(edges, i + 1,
+                                         used | (1u << e.a) | (1u << e.b)));
+  return best;
+}
+
+// The matching the matcher returned, validated for self-consistency and
+// summed against the edge list it was given.
+std::int64_t matching_savings(const std::vector<std::uint32_t>& mate,
+                              const std::vector<Edge>& edges) {
+  std::int64_t total = 0;
+  for (const Edge& e : edges) {
+    if (e.a != e.b && mate[e.a] == e.b) {
+      EXPECT_EQ(mate[e.b], e.a);
+      total += e.savings;
+    }
+  }
+  return total;
+}
+
+TEST(SparseBlossom, EmptyAndEdgelessInstances) {
+  SparseBlossomMatcher m;
+  EXPECT_TRUE(m.solve(0, {}).empty());
+  const auto& mate = m.solve(5, {});
+  ASSERT_EQ(mate.size(), 5u);
+  for (std::uint32_t x : mate) EXPECT_EQ(x, SparseBlossomMatcher::kBoundary);
+  EXPECT_EQ(m.total_savings(), 0);
+}
+
+TEST(SparseBlossom, MatchesBruteForceOnRandomSparseGraphs) {
+  SparseBlossomMatcher m;
+  Rng rng(20260808);
+  for (int rep = 0; rep < 400; ++rep) {
+    const std::size_t n = 2 + rng.below(7);  // 2..8 nodes
+    std::vector<Edge> edges;
+    for (std::uint32_t a = 0; a < n; ++a)
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        if (!rng.bernoulli(0.55)) continue;
+        edges.push_back({a, b, static_cast<std::int64_t>(1 + rng.below(50))});
+      }
+    const auto& mate = m.solve(n, edges);
+    const std::int64_t expect = brute_best(edges, 0, 0);
+    EXPECT_EQ(m.total_savings(), expect) << "rep " << rep;
+    EXPECT_EQ(matching_savings(mate, edges), expect) << "rep " << rep;
+  }
+}
+
+TEST(SparseBlossom, MatchesBruteForceOnDegenerateEqualWeights) {
+  // All savings drawn from {4, 8}: almost every instance has many tied
+  // optima, the regime where a wrong tie-break or a premature dual stop
+  // shows up as a savings shortfall.
+  SparseBlossomMatcher m;
+  Rng rng(77);
+  for (int rep = 0; rep < 400; ++rep) {
+    const std::size_t n = 3 + rng.below(6);  // 3..8 nodes
+    std::vector<Edge> edges;
+    for (std::uint32_t a = 0; a < n; ++a)
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        if (!rng.bernoulli(0.6)) continue;
+        edges.push_back({a, b, rng.bernoulli(0.5) ? 4 : 8});
+      }
+    const auto& mate = m.solve(n, edges);
+    const std::int64_t expect = brute_best(edges, 0, 0);
+    EXPECT_EQ(m.total_savings(), expect) << "rep " << rep;
+    EXPECT_EQ(matching_savings(mate, edges), expect) << "rep " << rep;
+  }
+}
+
+TEST(SparseBlossom, WarmStartReusesResidentInstance) {
+  SparseBlossomMatcher m;
+  Rng rng(5);
+  std::vector<Edge> edges;
+  for (std::uint32_t a = 0; a < 8; ++a)
+    for (std::uint32_t b = a + 1; b < 8; ++b)
+      if (rng.bernoulli(0.5))
+        edges.push_back({a, b, static_cast<std::int64_t>(1 + rng.below(9))});
+  ASSERT_FALSE(edges.empty());
+  const std::vector<std::uint32_t> cold = m.solve(8, edges);
+  const std::int64_t savings = m.total_savings();
+  EXPECT_EQ(m.stats().warm_reuses, 0u);
+
+  // Identical instance, shuffled edge order: answered from the arena.
+  std::vector<Edge> shuffled(edges);
+  std::reverse(shuffled.begin(), shuffled.end());
+  const std::vector<std::uint32_t> warm = m.solve(8, shuffled);
+  EXPECT_EQ(m.stats().warm_reuses, 1u);
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(m.total_savings(), savings);
+
+  // Any changed savings value forces a fresh (still exact) solve.
+  std::vector<Edge> changed(edges);
+  changed.front().savings += 1;
+  const auto& fresh = m.solve(8, changed);
+  EXPECT_EQ(m.stats().warm_reuses, 0u);
+  EXPECT_EQ(matching_savings(fresh, changed), m.total_savings());
+  EXPECT_EQ(m.total_savings(), brute_best(changed, 0, 0));
+}
+
+// --- decoder-level parity over circuit graphs ------------------------------
+
+double matching_weight(const MwpmDecoder& dec,
+                       const std::vector<MwpmMatch>& pairs) {
+  double w = 0.0;
+  for (const MwpmMatch& p : pairs) w += dec.distance(p.a, p.b);
+  return w;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> canonical_pairs(
+    const std::vector<MwpmMatch>& pairs) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (const MwpmMatch& p : pairs)
+    out.emplace_back(std::min(p.a, p.b), std::max(p.a, p.b));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Sparse-blossom (dp_max_cluster = 0 sends every multi-defect cluster to
+// the matcher under test) against the dense blossom oracle on randomized
+// defect sets spanning the cliff.  Equal total weight always; equal
+// prediction whenever the chosen matchings coincide (equal-weight ties may
+// pick different pair sets, which is correct decoder behaviour).
+void expect_weight_parity(const MatchingGraph& g, std::uint64_t seed,
+                          bool cluster) {
+  MwpmOptions sparse_opts;
+  sparse_opts.cluster = cluster;
+  sparse_opts.dp_max_cluster = 0;
+  MwpmOptions dense_opts = sparse_opts;
+  dense_opts.dense_matcher = true;
+  MwpmDecoder sparse(g, sparse_opts);
+  MwpmDecoder dense(g, dense_opts);
+  const std::size_t nd = g.num_detectors();
+
+  Rng rng(seed);
+  for (std::size_t k : {2u, 3u, 5u, 8u, 13u, 20u, 28u, 34u, 40u}) {
+    if (k > nd) continue;
+    const int reps = k <= 20 ? 30 : 12;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto defects = random_defects(nd, k, rng);
+      const auto sp = sparse.match_defects(defects);
+      const auto dp = dense.match_defects(defects);
+      ASSERT_NEAR(matching_weight(sparse, sp), matching_weight(dense, dp),
+                  1e-6)
+          << "k=" << k << " rep=" << rep;
+      if (canonical_pairs(sp) == canonical_pairs(dp)) {
+        EXPECT_EQ(sparse.decode(defects), dense.decode(defects))
+            << "k=" << k << " rep=" << rep;
+      }
+    }
+  }
+}
+
+TEST(SparseBlossom, WeightParityOnRepetition5) {
+  expect_weight_parity(
+      circuit_graph(RepetitionCode(5, RepetitionFlavor::BIT_FLIP), 1e-2), 11,
+      /*cluster=*/true);
+}
+
+TEST(SparseBlossom, WeightParityOnRepetition15) {
+  const auto g =
+      circuit_graph(RepetitionCode(15, RepetitionFlavor::BIT_FLIP), 2e-2);
+  expect_weight_parity(g, 12, /*cluster=*/true);
+  // cluster=false stresses the matcher with the whole defect set as one
+  // instance — single 40-node solves instead of prefiltered fragments.
+  expect_weight_parity(g, 13, /*cluster=*/false);
+}
+
+TEST(SparseBlossom, WeightParityOnXxzz33) {
+  const auto g = circuit_graph(XXZZCode(3, 3), 1e-2);
+  expect_weight_parity(g, 14, /*cluster=*/true);
+  expect_weight_parity(g, 15, /*cluster=*/false);
+}
+
+TEST(SparseBlossom, BoundaryHeavyDefectSetsStayBoundaryMatched) {
+  // The shortest internal route between far-separated defects on a
+  // repetition chain runs *through* the boundary, so pairing them ties
+  // two boundary exits exactly (savings == 0).  The reduction keeps only
+  // strictly positive savings, so the sparse backend must leave both
+  // boundary-matched — and at the same total weight as the dense oracle,
+  // whichever equal-weight optimum that one picks.
+  const auto g =
+      circuit_graph(RepetitionCode(15, RepetitionFlavor::BIT_FLIP), 1e-2);
+  MwpmOptions sparse_opts;
+  sparse_opts.dp_max_cluster = 0;
+  sparse_opts.cluster = false;  // one instance, no prefilter help
+  MwpmDecoder sparse(g, sparse_opts);
+  MwpmOptions dense_opts = sparse_opts;
+  dense_opts.dense_matcher = true;
+  MwpmDecoder dense(g, dense_opts);
+
+  const std::uint32_t B = g.boundary_node();
+  const auto nd = static_cast<std::uint32_t>(g.num_detectors());
+  std::vector<std::uint32_t> far;
+  for (std::uint32_t a = 0; a < nd && far.empty(); ++a)
+    for (std::uint32_t b = a + 1; b < nd; ++b) {
+      if (std::abs(dense.distance(a, B) + dense.distance(b, B) -
+                   dense.distance(a, b)) < 1e-9) {
+        far = {a, b};
+        break;
+      }
+    }
+  ASSERT_EQ(far.size(), 2u) << "graph has no boundary-tied pair";
+  const auto sp = sparse.match_defects(far);
+  ASSERT_EQ(sp.size(), 2u);
+  for (const MwpmMatch& p : sp) EXPECT_EQ(p.b, B);
+  EXPECT_NEAR(matching_weight(sparse, sp),
+              matching_weight(dense, dense.match_defects(far)), 1e-6);
+  EXPECT_EQ(sparse.decode(far), dense.decode(far));
+}
+
+TEST(SparseBlossom, DpThresholdValueDoesNotChangeWeights) {
+  // The escalation point is a performance knob, not a result knob: DP-only,
+  // mixed, and blossom-only configurations must agree on matching weight
+  // for every defect set.
+  const auto g =
+      circuit_graph(RepetitionCode(15, RepetitionFlavor::BIT_FLIP), 2e-2);
+  std::vector<std::unique_ptr<MwpmDecoder>> decoders;
+  for (std::size_t threshold : {0u, 4u, 10u, 16u}) {
+    MwpmOptions o;
+    o.dp_max_cluster = threshold;
+    decoders.push_back(std::make_unique<MwpmDecoder>(g, o));
+  }
+  Rng rng(99);
+  for (int rep = 0; rep < 40; ++rep) {
+    const auto defects = random_defects(g.num_detectors(), 14, rng);
+    const double w0 =
+        matching_weight(*decoders[0], decoders[0]->match_defects(defects));
+    for (std::size_t i = 1; i < decoders.size(); ++i)
+      EXPECT_NEAR(matching_weight(*decoders[i],
+                                  decoders[i]->match_defects(defects)),
+                  w0, 1e-6)
+          << "threshold index " << i << " rep " << rep;
+  }
+}
+
+TEST(SparseBlossom, DecoderStatsCountSparseWork) {
+  const auto g =
+      circuit_graph(RepetitionCode(15, RepetitionFlavor::BIT_FLIP), 2e-2);
+  MwpmOptions o;
+  o.dp_max_cluster = 0;
+  o.cluster = false;
+  MwpmDecoder dec(g, o);
+  Rng rng(3);
+  const auto defects = random_defects(g.num_detectors(), 20, rng);
+  (void)dec.decode(defects);
+  const MwpmMatcherStats first = dec.matcher_stats();
+  EXPECT_EQ(first.clusters_sparse, 1u);
+  EXPECT_EQ(first.clusters_dense, 0u);
+  EXPECT_EQ(first.clusters_dp, 0u);
+  EXPECT_EQ(first.warm_reuses, 0u);
+  // Re-decoding the identical syndrome is served by the warm start.
+  (void)dec.decode(defects);
+  const MwpmMatcherStats second = dec.matcher_stats();
+  EXPECT_EQ(second.clusters_sparse, 2u);
+  EXPECT_EQ(second.warm_reuses, 1u);
+
+  MwpmOptions od = o;
+  od.dense_matcher = true;
+  MwpmDecoder dense(g, od);
+  (void)dense.decode(defects);
+  EXPECT_EQ(dense.matcher_stats().clusters_dense, 1u);
+  EXPECT_EQ(dense.matcher_stats().clusters_sparse, 0u);
+  EXPECT_EQ(dense.matcher_backend(), "dense-blossom");
+  EXPECT_EQ(dec.matcher_backend(), "sparse-blossom");
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -199,6 +199,28 @@ TEST(SpecParams, GridRejectsUnknownDecoder) {
   EXPECT_NE(what.find("union-find"), std::string::npos) << what;
 }
 
+TEST(SpecParams, GridAcceptsDenseMatcherBackend) {
+  EXPECT_NO_THROW(make_scenario(
+      spec_for("grid", R"({"decoders": ["mwpm", "mwpm:dense"]})")));
+}
+
+TEST(SpecParams, GridValidatesDpMaxCluster) {
+  EXPECT_NO_THROW(
+      make_scenario(spec_for("grid", R"({"dp_max_cluster": 16})")));
+  EXPECT_NO_THROW(
+      make_scenario(spec_for("grid", R"({"dp_max_cluster": 0})")));
+  const std::string what = error_of([] {
+    make_scenario(spec_for("grid", R"({"dp_max_cluster": 17})"));
+  });
+  EXPECT_NE(what.find("$.params.dp_max_cluster"), std::string::npos) << what;
+  EXPECT_NE(what.find("16"), std::string::npos) << what;
+  // Strict schema: a misspelling is an unknown field, not a silent no-op.
+  const std::string typo = error_of([] {
+    make_scenario(spec_for("grid", R"({"dp_max_clusters": 8})"));
+  });
+  EXPECT_NE(typo.find("unknown field"), std::string::npos) << typo;
+}
+
 TEST(SpecParams, GridRejectsUnknownCodeAndArch) {
   EXPECT_THROW(make_scenario(spec_for("grid", R"({"codes": ["steane:7"]})")),
                SpecError);

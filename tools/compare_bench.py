@@ -6,15 +6,31 @@ Usage:
 
 Prints a per-scenario speedup table (fresh shots/s over baseline shots/s)
 for every scenario present in both files, plus scenarios only one side
-measured.  Report-only by default: the exit code is 0 regardless of the
-numbers, so CI can surface regressions without blocking on shared-runner
-timing noise.  Pass --min-speedup to turn it into a gate (exit 1 when any
+measured.  A watchlist of named hot-path scenarios (see WATCHED_SCENARIOS;
+extend with --watch) is additionally checked for regressions beyond
+--watch-threshold (default 20%) and flagged in a summary block.
+Report-only by default: the exit code is 0 regardless of the numbers,
+so CI can surface regressions without blocking on shared-runner timing
+noise.  Pass --min-speedup to turn it into a gate (exit 1 when any
 common scenario falls below the threshold) for local perf work.
 """
 
 import argparse
 import json
 import sys
+
+# Scenarios on the decode/campaign hot path, where a real regression is
+# a product problem rather than runner noise.  Flagged (never fatal
+# without --min-speedup) when they lose more than --watch-threshold.
+WATCHED_SCENARIOS = (
+    "decoder/mwpm/rep15/k20",
+    "decoder/mwpm/rep15/k32",
+    "decoder/mwpm/rep15/k40",
+    "decoder/mwpm_cached/rep15/pool32",
+    "pipeline/intrinsic/rep5",
+    "pipeline/radiation/rep5/frame",
+    "timeline/rep5_200r/window",
+)
 
 
 def load_records(path):
@@ -47,6 +63,20 @@ def main():
         default=None,
         help="exit 1 if any common scenario's speedup falls below this",
     )
+    parser.add_argument(
+        "--watch",
+        action="append",
+        default=[],
+        metavar="SCENARIO",
+        help="additional scenario name to put on the regression watchlist",
+    )
+    parser.add_argument(
+        "--watch-threshold",
+        type=float,
+        default=0.2,
+        help="flag watched scenarios that regress by more than this "
+        "fraction (default 0.2 = 20%%); report-only",
+    )
     args = parser.parse_args()
 
     baseline = load_records(args.baseline)
@@ -78,6 +108,23 @@ def main():
         f"\n{len(common)} scenarios compared; worst speedup "
         f"{worst[1]:.2f}x ({worst[0]})"
     )
+
+    watched = list(WATCHED_SCENARIOS) + args.watch
+    floor = 1.0 - args.watch_threshold
+    flagged = [
+        (name, fresh[name] / baseline[name])
+        for name in watched
+        if name in baseline and name in fresh
+        and fresh[name] / baseline[name] < floor
+    ]
+    if flagged:
+        print(
+            f"\nREGRESSION WATCH: {len(flagged)} watched scenario(s) lost "
+            f"more than {args.watch_threshold:.0%} (report-only):"
+        )
+        for name, speedup in flagged:
+            print(f"  {name}: {speedup:.2f}x of baseline")
+
     if args.min_speedup is not None and worst[1] < args.min_speedup:
         print(f"FAIL: below --min-speedup {args.min_speedup}")
         return 1
