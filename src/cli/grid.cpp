@@ -93,43 +93,51 @@ bool parse_full_int(const std::string& text, int* out) {
   return ec == std::errc() && ptr == text.data() + text.size();
 }
 
-CodeAxis parse_code(const std::string& text, const SpecReader& where,
-                    const std::string& key) {
-  const auto colon = text.find(':');
-  std::string family = text.substr(0, colon);
+CodeFamily parse_family_name(const std::string& family,
+                             const SpecReader& where,
+                             const std::string& key) {
+  if (family == "repetition" || family == "rep")
+    return CodeFamily::REPETITION;
+  if (family == "xxzz") return CodeFamily::XXZZ;
+  if (family == "rotated_memory_x" || family == "rotated_x")
+    return CodeFamily::ROTATED_MEMORY_X;
+  if (family == "rotated_memory_z" || family == "rotated_z" ||
+      family == "rotated")
+    return CodeFamily::ROTATED_MEMORY_Z;
+  throw SpecError(where.path() + "." + key + ": unknown code family \"" +
+                  family +
+                  "\" (expected repetition:<d>, xxzz:<dz>x<dx>, "
+                  "rotated_memory_x:<d>, or rotated_memory_z:<d>)");
+}
+
+bool is_rotated(CodeFamily family) {
+  return family == CodeFamily::ROTATED_MEMORY_X ||
+         family == CodeFamily::ROTATED_MEMORY_Z;
+}
+
+std::string family_label(CodeFamily family) {
+  switch (family) {
+    case CodeFamily::REPETITION: return "repetition";
+    case CodeFamily::XXZZ: return "xxzz";
+    case CodeFamily::ROTATED_MEMORY_X: return "rotated_memory_x";
+    case CodeFamily::ROTATED_MEMORY_Z: return "rotated_memory_z";
+  }
+  return "?";
+}
+
+/// CodeAxis with a validated (dz, dx) and the canonical label cell keys
+/// use: "family:dzxdx" for the historic families, "family:d" for the
+/// square rotated ones.
+CodeAxis make_code_axis(CodeFamily family, int dz, int dx,
+                        const SpecReader& where, const std::string& key) {
   CodeAxis axis;
-  if (family == "repetition" || family == "rep") {
-    axis.family = CodeFamily::REPETITION;
-  } else if (family == "xxzz") {
-    axis.family = CodeFamily::XXZZ;
-  } else {
-    throw SpecError(where.path() + "." + key + ": unknown code family \"" +
-                    family + "\" in \"" + text +
-                    "\" (expected repetition:<d> or xxzz:<dz>x<dx>)");
-  }
-  int dz = 0, dx = 1;
-  if (colon == std::string::npos) {
-    throw SpecError(where.path() + "." + key + ": code \"" + text +
-                    "\" is missing its distance (e.g. repetition:5, "
-                    "xxzz:3x3)");
-  }
-  const std::string dims = text.substr(colon + 1);
-  const auto x = dims.find('x');
-  bool ok;
-  if (x == std::string::npos) {
-    ok = parse_full_int(dims, &dz);
-    dx = axis.family == CodeFamily::XXZZ ? dz : 1;
-  } else {
-    ok = parse_full_int(dims.substr(0, x), &dz) &&
-         parse_full_int(dims.substr(x + 1), &dx);
-  }
-  if (!ok)
-    throw SpecError(where.path() + "." + key + ": malformed code distance "
-                    "in \"" + text + "\" (e.g. repetition:5, xxzz:3x3)");
+  axis.family = family;
   axis.dz = dz;
   axis.dx = dx;
-  axis.label = (axis.family == CodeFamily::REPETITION ? "repetition:" : "xxzz:") +
-               std::to_string(dz) + "x" + std::to_string(dx);
+  axis.label = is_rotated(family)
+                   ? family_label(family) + ":" + std::to_string(dz)
+                   : family_label(family) + ":" + std::to_string(dz) + "x" +
+                         std::to_string(dx);
   // Validate dimensions now (make_code throws InvalidArgument with the
   // family's rules).
   try {
@@ -140,8 +148,56 @@ CodeAxis parse_code(const std::string& text, const SpecReader& where,
   return axis;
 }
 
+/// The single-distance expansion of a bare family name under the
+/// `distances` axis: repetition d -> (d,1), every square family d -> (d,d).
+CodeAxis code_axis_at_distance(CodeFamily family, int d,
+                               const SpecReader& where,
+                               const std::string& key) {
+  const int dx = family == CodeFamily::REPETITION ? 1 : d;
+  return make_code_axis(family, d, dx, where, key);
+}
+
+CodeAxis parse_code(const std::string& text, const SpecReader& where,
+                    const std::string& key) {
+  const auto colon = text.find(':');
+  const CodeFamily family =
+      parse_family_name(text.substr(0, colon), where, key);
+  int dz = 0, dx = 1;
+  if (colon == std::string::npos) {
+    throw SpecError(where.path() + "." + key + ": code \"" + text +
+                    "\" is missing its distance (e.g. repetition:5, "
+                    "xxzz:3x3, rotated_memory_z:5) — bare family names are "
+                    "only valid together with a distances axis");
+  }
+  const std::string dims = text.substr(colon + 1);
+  const auto x = dims.find('x');
+  bool ok;
+  if (x == std::string::npos) {
+    ok = parse_full_int(dims, &dz);
+    dx = family == CodeFamily::REPETITION ? 1 : dz;
+  } else {
+    if (is_rotated(family))
+      throw SpecError(where.path() + "." + key + ": rotated codes take one "
+                      "square distance (e.g. rotated_memory_z:5), got \"" +
+                      text + "\"");
+    ok = parse_full_int(dims.substr(0, x), &dz) &&
+         parse_full_int(dims.substr(x + 1), &dx);
+  }
+  if (!ok)
+    throw SpecError(where.path() + "." + key + ": malformed code distance "
+                    "in \"" + text + "\" (e.g. repetition:5, xxzz:3x3, "
+                    "rotated_memory_z:5)");
+  return make_code_axis(family, dz, dx, where, key);
+}
+
+/// Architecture name "native" is the code's own connectivity graph (built
+/// per cell from the code instance); every other name must be a valid
+/// make_topology device.
+constexpr const char* kNativeArch = "native";
+
 std::string validate_arch(const std::string& name, const SpecReader& where,
                           const std::string& key) {
+  if (name == kNativeArch) return name;
   try {
     (void)make_topology(name);
   } catch (const Error& e) {
@@ -256,12 +312,19 @@ GridPlan parse_plan(const ScenarioSpec& spec) {
   SpecReader r(spec.params, "$.params");
 
   // (code, arch) pairs: either explicit "configs" or the codes x archs
-  // product.
+  // product, optionally crossed with a first-class `distances` axis
+  // (bare family names in `codes` expand over every distance).
   const JsonValue* configs = r.get_raw("configs");
   const bool has_codes = r.has("codes") || r.has("archs");
   if (configs != nullptr && has_codes)
     r.fail("configs", "give either configs (paired) or codes+archs "
                       "(full product), not both");
+  std::vector<int> distances;
+  for (const std::uint64_t d : r.get_uint_list("distances", {}))
+    distances.push_back(static_cast<int>(d));
+  if (configs != nullptr && !distances.empty())
+    r.fail("distances", "only valid with the codes+archs product form "
+                        "(configs pairs carry explicit distances)");
   if (configs != nullptr) {
     if (!configs->is_array())
       r.fail("configs", std::string("expected array of {code, arch} "
@@ -283,11 +346,23 @@ GridPlan parse_plan(const ScenarioSpec& spec) {
   } else {
     const auto codes = r.get_string_list("codes", {"repetition:5"});
     const auto archs = r.get_string_list("archs", {"mesh:5x2"});
+    std::vector<std::string> arch_names;
+    for (const std::string& arch : archs)
+      arch_names.push_back(validate_arch(arch, r, "archs"));
     for (const std::string& code : codes) {
-      const CodeAxis axis = parse_code(code, r, "codes");
-      for (const std::string& arch : archs)
-        plan.configs.push_back(
-            {axis, validate_arch(arch, r, "archs")});
+      // A bare family name sweeps the distances axis; an explicit
+      // "family:<d>" entry stays fixed (and may coexist with the sweep).
+      std::vector<CodeAxis> axes;
+      if (code.find(':') == std::string::npos && !distances.empty()) {
+        const CodeFamily family = parse_family_name(code, r, "codes");
+        for (const int d : distances)
+          axes.push_back(code_axis_at_distance(family, d, r, "codes"));
+      } else {
+        axes.push_back(parse_code(code, r, "codes"));
+      }
+      for (const CodeAxis& axis : axes)
+        for (const std::string& arch : arch_names)
+          plan.configs.push_back({axis, arch});
     }
   }
 
@@ -469,9 +544,19 @@ class GridScenario final : public Scenario {
           eopts.sampling_path = cell.path;
           eopts.whole_history_decoder = needs_whole_history;
           try {
-            engine = std::make_unique<InjectionEngine>(
-                *cell.cfg->code.make(), make_topology(cell.cfg->arch),
-                eopts);
+            const std::unique_ptr<SurfaceCode> code = cell.cfg->code.make();
+            Graph arch;
+            if (cell.cfg->arch == kNativeArch) {
+              // The code's own connectivity: the trivial layout is already
+              // perfect, so skip the O(n^3) layout search — the difference
+              // between seconds and hours at rotated d = 21 (881 qubits).
+              arch = native_graph_for(*code);
+              eopts.layout = LayoutStrategy::TRIVIAL;
+            } else {
+              arch = make_topology(cell.cfg->arch);
+            }
+            engine = std::make_unique<InjectionEngine>(*code, std::move(arch),
+                                                       eopts);
           } catch (const Error& e) {
             throw SpecError("grid cell " + cell.key +
                             ": engine construction failed: " + e.what());
@@ -485,6 +570,10 @@ class GridScenario final : public Scenario {
         } catch (const Error& e) {
           throw SpecError("grid cell " + cell.key + ": " + e.what());
         }
+        // Surface the exact replay engine on every row — the silent
+        // compact -> generic fallback used to be unobservable.
+        if (!result.detail.empty()) result.detail += " ";
+        result.detail += "engine=" + engine->replay_engine();
         rows[i] = {cell.cfg->code.label,
                    cell.cfg->arch,
                    cell.decoder->label,

@@ -9,7 +9,9 @@
 #include <sstream>
 
 #include "arch/topologies.hpp"
+#include "codes/code.hpp"
 #include "codes/repetition.hpp"
+#include "codes/rotated.hpp"
 #include "codes/xxzz.hpp"
 #include "decoder/decode_cache.hpp"
 #include "decoder/mwpm.hpp"
@@ -18,6 +20,7 @@
 #include "inject/campaign.hpp"
 #include "noise/depolarizing.hpp"
 #include "noise/radiation.hpp"
+#include "stab/compact_tableau.hpp"
 #include "stab/frame_sim.hpp"
 #include "stab/tableau_sim.hpp"
 #include "util/json.hpp"
@@ -158,11 +161,12 @@ Circuit noisy_rep_circuit(int d) {
 }
 
 PerfRecord tableau_shot(const std::string& name, const Circuit& c,
-                        bool smoke) {
+                        bool smoke, std::size_t full_shots = 2048,
+                        std::size_t tiny_shots = 64) {
   TableauSimulator sim(c);
   Rng rng(1);
   BitVec record(c.num_measurements());
-  const std::size_t shots = smoke_shots(smoke, 2048, 64);
+  const std::size_t shots = smoke_shots(smoke, full_shots, tiny_shots);
   const double rate = measure_rate_mode(
       [&] {
         for (std::size_t s = 0; s < shots; ++s) sim.sample_into(rng, record);
@@ -170,6 +174,29 @@ PerfRecord tableau_shot(const std::string& name, const Circuit& c,
       },
       smoke);
   return {name, rate, {}};
+}
+
+PerfRecord compact_shot(const std::string& name, const Circuit& c,
+                        bool smoke, std::size_t full_shots) {
+  CompactTableauSimulator sim(CircuitTape::compile(c));
+  Rng rng(1);
+  BitVec record(c.num_measurements());
+  const std::size_t shots = smoke_shots(smoke, full_shots, 8);
+  const double rate = measure_rate_mode(
+      [&] {
+        for (std::size_t s = 0; s < shots; ++s) sim.sample_into(rng, record);
+        return shots;
+      },
+      smoke);
+  PerfRecord r{name, rate, {}};
+  r.text.emplace_back("engine",
+                      CompactTableauSimulator::engine_name(c.num_qubits()));
+  return r;
+}
+
+Circuit noisy_rotated_circuit(int d) {
+  return DepolarizingModel{1e-2}.apply(
+      RotatedCode(d, RotatedMemory::Z).build());
 }
 
 PerfRecord frame_batch(const std::string& name, const Circuit& c,
@@ -243,6 +270,22 @@ ExperimentReport run_perf_simulator(const PerfRunOptions& options) {
     const double rate = measure_rate_mode(
         [&] { return (void)sim.reference_sample(), std::size_t{1}; }, smoke);
     records.push_back({"simulator/reference_sample/xxzz33", rate, {}});
+  }
+
+  // --- exact engine at rotated distances (word-sliced columns) -------------
+  // d = 3 is the last single-word size (17 qubits); d = 11/17/21 exercise
+  // W = 8/19/28 column words.  The generic tableau records at the same
+  // distances are the "before" reference for the replay-path speedup.
+  records.push_back(compact_shot("simulator/compact/rotated_memz_d3",
+                                 noisy_rotated_circuit(3), smoke, 2048));
+  for (const int d : {11, 17, 21}) {
+    const Circuit noisy = noisy_rotated_circuit(d);
+    records.push_back(
+        compact_shot("simulator/compact/rotated_memz_d" + std::to_string(d),
+                     noisy, smoke, 64));
+    records.push_back(
+        tableau_shot("simulator/tableau/rotated_memz_d" + std::to_string(d),
+                     noisy, smoke, 64, 8));
   }
 
   return records_report("perf_simulator (shots/s)", records, options);
@@ -365,6 +408,29 @@ ExperimentReport run_perf_decoder(const PerfRunOptions& options) {
       records.push_back(decode_sweep(
           "decoder/" + decoder_kind_name(kind) + "/xxzz33/k6", *dec,
           g.num_detectors(), 6, smoke));
+    }
+  }
+
+  {
+    // Rotated distance sweep: matching graphs of the 2-round memory-Z
+    // experiments at real distances (d = 21 is 880 detectors).
+    for (const int d : {11, 17, 21}) {
+      const Circuit noisy = DepolarizingModel{1e-2}.apply(
+          RotatedCode(d, RotatedMemory::Z).build());
+      const auto g =
+          MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+      MwpmDecoder dec(g);
+      for (std::size_t k : {6u, 20u}) {
+        MwpmMatcherStats delta = dec.matcher_stats();
+        PerfRecord r = decode_sweep("decoder/mwpm/rotated_memz_d" +
+                                        std::to_string(d) + "/k" +
+                                        std::to_string(k),
+                                    dec, g.num_detectors(), k, smoke);
+        MwpmMatcherStats after = dec.matcher_stats();
+        after -= delta;
+        add_matcher_extras(r, dec.matcher_backend(), after);
+        records.push_back(std::move(r));
+      }
     }
   }
 
@@ -618,6 +684,32 @@ ExperimentReport run_perf_pipeline(const PerfRunOptions& options) {
                        exact.shots_per_second,
                        {{"cache_hit_rate", exact.cache_hit_rate},
                         {"residual_fraction", exact.residual_fraction}}});
+  }
+
+  // --- rotated distance sweep on the native coupling graph -----------------
+  // Real-distance memory-Z campaigns: frame fast path with word-sliced
+  // compact replay for the residual shots.  Each record names the exact
+  // engine the replay path selected for the device size.
+  for (const int d : {11, 17, 21}) {
+    const RotatedCode code(d, RotatedMemory::Z);
+    EngineOptions eopts;
+    eopts.layout = LayoutStrategy::TRIVIAL;  // native graph: identity wins
+    const InjectionEngine engine(code, native_graph_for(code), eopts);
+    const std::uint32_t root = engine.active_qubits()[0];
+    const std::size_t shots = smoke_shots(smoke, 256, 8);
+    std::uint64_t seed = 1;
+    const double rate = measure_rate_mode(
+        [&] {
+          engine.run_radiation_at(root, 1.0, true, shots, seed++);
+          return shots;
+        },
+        smoke);
+    records.push_back(
+        {"pipeline/radiation/rotated_memz_d" + std::to_string(d),
+         rate,
+         {{"cache_hit_rate", engine.decode_cache_stats().hit_rate()},
+          {"residual_fraction", engine.residual_fraction()}},
+         {{"engine", engine.replay_engine()}}});
   }
 
   // --- static pipeline construction ---------------------------------------

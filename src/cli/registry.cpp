@@ -75,6 +75,23 @@ std::unique_ptr<Scenario> make_fig5(const ScenarioSpec& spec) {
   });
 }
 
+std::unique_ptr<Scenario> make_fig6(const ScenarioSpec& spec) {
+  SpecReader params(spec.params, "$.params");
+  Fig6Options fig6;
+  std::vector<std::uint64_t> dists;
+  for (const int d : fig6.rotated_distances)
+    dists.push_back(static_cast<std::uint64_t>(d));
+  dists = params.get_uint_list("rotated_distances", dists);
+  fig6.rotated_distances.clear();
+  for (const std::uint64_t d : dists)
+    fig6.rotated_distances.push_back(static_cast<int>(d));
+  params.finish();
+  const ExperimentOptions opts = experiment_options(spec);
+  return std::make_unique<FunctionScenario>([opts, fig6](CampaignSink*) {
+    return fig6_code_distance(opts, fig6);
+  });
+}
+
 std::unique_ptr<Scenario> make_perf(
     const ScenarioSpec& spec,
     ExperimentReport (*fn)(const PerfRunOptions&)) {
@@ -100,7 +117,7 @@ std::vector<ScenarioInfo> build_registry() {
                "LER landscape: intrinsic noise x radiation time evolution",
                make_fig5});
   r.push_back({"fig6", "single non-spreading erasure at t=0 vs code distance",
-               options_only(fig6_code_distance)});
+               make_fig6});
   r.push_back({"fig7",
                "k simultaneous erasures vs one spreading radiation fault",
                options_only(fig7_fault_spread)});

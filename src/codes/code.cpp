@@ -1,6 +1,8 @@
 #include "codes/code.hpp"
 
+#include "circuit/gate.hpp"
 #include "codes/repetition.hpp"
+#include "codes/rotated.hpp"
 #include "codes/xxzz.hpp"
 #include "util/error.hpp"
 
@@ -38,8 +40,28 @@ std::unique_ptr<SurfaceCode> make_code(CodeFamily family, int dz, int dx) {
     }
     case CodeFamily::XXZZ:
       return std::make_unique<XXZZCode>(dz, dx);
+    case CodeFamily::ROTATED_MEMORY_X:
+    case CodeFamily::ROTATED_MEMORY_Z: {
+      RADSURF_CHECK_ARG(dz == dx, "rotated code needs a square distance, got ("
+                                      << dz << "," << dx << ")");
+      const auto memory = family == CodeFamily::ROTATED_MEMORY_X
+                              ? RotatedMemory::X
+                              : RotatedMemory::Z;
+      return std::make_unique<RotatedCode>(dz, memory);
+    }
   }
   throw InvalidArgument("unknown code family");
+}
+
+Graph native_graph_for(const SurfaceCode& code) {
+  Graph g(code.num_qubits());
+  const Circuit circuit = code.build(2);
+  for (const Instruction& instr : circuit.instructions()) {
+    if (gate_info(instr.gate).targets_per_op != 2) continue;
+    for (std::size_t i = 0; i + 1 < instr.targets.size(); i += 2)
+      g.add_edge(instr.targets[i], instr.targets[i + 1]);
+  }
+  return g;
 }
 
 }  // namespace radsurf

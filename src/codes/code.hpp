@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/graph.hpp"
 #include "circuit/circuit.hpp"
 
 namespace radsurf {
@@ -47,10 +48,23 @@ class SurfaceCode {
   std::vector<std::uint32_t> qubits_with_role(QubitRole role) const;
 };
 
-enum class CodeFamily { REPETITION, XXZZ };
+enum class CodeFamily {
+  REPETITION,
+  XXZZ,
+  ROTATED_MEMORY_X,
+  ROTATED_MEMORY_Z,
+};
 
 /// Factory: REPETITION requires one of (d,1)/(1,d); XXZZ accepts odd
-/// (dZ, dX) with dZ*dX > 1.
+/// (dZ, dX) with dZ*dX > 1; the ROTATED families require dz == dx (one
+/// odd distance d >= 3).
 std::unique_ptr<SurfaceCode> make_code(CodeFamily family, int dz, int dx);
+
+/// The code's own connectivity: one node per physical qubit and an edge
+/// for every two-qubit gate the memory circuit applies — the "native"
+/// architecture, on which the trivial layout is already perfect (zero
+/// swaps).  This is what lets rotated codes at d = 11..21 skip the
+/// O(n^3) layout search of the named devices.
+Graph native_graph_for(const SurfaceCode& code);
 
 }  // namespace radsurf

@@ -1,0 +1,169 @@
+#include "codes/rotated.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+
+RotatedCode::RotatedCode(int d, RotatedMemory memory)
+    : d_(d), memory_(memory) {
+  RADSURF_CHECK_ARG(d >= 3 && d % 2 == 1,
+                    "rotated code distance must be odd and >= 3, got " << d);
+
+  // Enumerate faces (r, c) with top-left data corner (r, c), including the
+  // boundary rows/columns r = -1 and c = -1.  A face is X-type iff (r + c)
+  // is even; boundary faces keep only the in-grid corners and are included
+  // only at weight 2 with the type matching the boundary rule (X on
+  // top/bottom, Z on left/right).
+  std::vector<Plaquette> z_faces;
+  std::vector<Plaquette> x_faces;
+  for (int r = -1; r < d_; ++r) {
+    for (int c = -1; c < d_; ++c) {
+      Plaquette p;
+      p.x_type = ((r + c) % 2 + 2) % 2 == 0;
+      for (const auto& [rr, cc] : {std::pair{r, c}, {r, c + 1}, {r + 1, c},
+                                   {r + 1, c + 1}}) {
+        if (rr >= 0 && rr < d_ && cc >= 0 && cc < d_)
+          p.data.push_back(data_qubit(rr, cc));
+      }
+      const bool interior = r >= 0 && r + 1 < d_ && c >= 0 && c + 1 < d_;
+      if (interior) {
+        RADSURF_ASSERT(p.data.size() == 4);
+      } else {
+        if (p.data.size() != 2) continue;
+        const bool top_bottom = (r == -1 || r == d_ - 1);
+        if (p.x_type != top_bottom) continue;
+      }
+      (p.x_type ? x_faces : z_faces).push_back(std::move(p));
+    }
+  }
+
+  nz_ = z_faces.size();
+  nx_ = x_faces.size();
+  const std::size_t n = static_cast<std::size_t>(d_) *
+                        static_cast<std::size_t>(d_);
+  RADSURF_ASSERT_MSG(nz_ == (n - 1) / 2 && nx_ == (n - 1) / 2,
+                     "rotated d=" << d << " produced " << nz_ << "+" << nx_
+                                  << " plaquettes, expected (n-1)/2 each");
+
+  // Qubit numbering: data 0..n-1, then Z syndromes, then X syndromes.
+  plaquettes_ = std::move(z_faces);
+  for (auto& p : x_faces) plaquettes_.push_back(std::move(p));
+  std::uint32_t next = static_cast<std::uint32_t>(n);
+  for (auto& p : plaquettes_) p.syndrome = next++;
+
+  roles_.assign(num_qubits(), QubitRole::DATA);
+  for (const auto& p : plaquettes_) roles_[p.syndrome] = QubitRole::STABILIZER;
+}
+
+std::string RotatedCode::name() const {
+  return std::string("rotated-mem") +
+         (memory_ == RotatedMemory::X ? "x" : "z") + "-" + std::to_string(d_);
+}
+
+std::vector<std::uint32_t> RotatedCode::logical_op_support() const {
+  std::vector<std::uint32_t> out;
+  if (memory_ == RotatedMemory::Z) {
+    // Logical X: column 0 (a vertical X string crosses every horizontal
+    // Z boundary face in 0 or 2 qubits, so it commutes with the group).
+    for (int r = 0; r < d_; ++r) out.push_back(data_qubit(r, 0));
+  } else {
+    // Logical Z: row 0 (the dual string).
+    for (int c = 0; c < d_; ++c) out.push_back(data_qubit(0, c));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> RotatedCode::observable_support() const {
+  std::vector<std::uint32_t> out;
+  if (memory_ == RotatedMemory::Z) {
+    for (int c = 0; c < d_; ++c) out.push_back(data_qubit(0, c));  // Z row
+  } else {
+    for (int r = 0; r < d_; ++r) out.push_back(data_qubit(r, 0));  // X col
+  }
+  return out;
+}
+
+void RotatedCode::stabilisation_round(Circuit& c) const {
+  for (const auto& p : plaquettes_) {
+    if (p.x_type) {
+      c.h(p.syndrome);
+      for (std::uint32_t dq : p.data) c.cx(p.syndrome, dq);
+      c.h(p.syndrome);
+    } else {
+      for (std::uint32_t dq : p.data) c.cx(dq, p.syndrome);
+    }
+  }
+  for (const auto& p : plaquettes_) c.mr(p.syndrome);
+}
+
+Circuit RotatedCode::build(std::size_t rounds) const {
+  RADSURF_CHECK_ARG(rounds >= 2, "need at least two stabilisation rounds");
+  Circuit c(num_qubits());
+  const auto ns = static_cast<std::uint32_t>(plaquettes_.size());
+  const auto n = static_cast<std::uint32_t>(
+      static_cast<std::size_t>(d_) * static_cast<std::size_t>(d_));
+  const auto nz = static_cast<std::uint32_t>(nz_);
+  const bool mem_x = memory_ == RotatedMemory::X;
+
+  for (std::uint32_t q = 0; q < num_qubits(); ++q) c.r(q);
+  // Memory-X prepares the data in |+>^n so the X-plaquettes stabilise the
+  // initial state (and round-1 Z outcomes are random projections).
+  if (mem_x)
+    for (std::uint32_t q = 0; q < n; ++q) c.h(q);
+
+  // Round 1: only the plaquette type matching the memory basis is
+  // deterministic.  Plaquettes are measured Z-type first, so Z-plaquette
+  // pi has lookback ns - pi and X-plaquette pi has the same formula.
+  // Every stabilisation round ends with a TICK — the round marker the
+  // timeline noise schedule and the sliding-window decoder key on.
+  stabilisation_round(c);
+  if (mem_x) {
+    for (std::uint32_t pi = nz; pi < ns; ++pi) c.detector({ns - pi});
+  } else {
+    for (std::uint32_t pi = 0; pi < nz; ++pi) c.detector({ns - pi});
+  }
+  c.tick();
+
+  // Transversal logical operator flipping the memory: X string for
+  // memory-Z, Z string for memory-X.
+  for (std::uint32_t q : logical_op_support()) {
+    if (mem_x) c.z(q);
+    else c.x(q);
+  }
+
+  // Rounds 2..R: paired detectors for every plaquette.
+  for (std::size_t round = 1; round < rounds; ++round) {
+    stabilisation_round(c);
+    for (std::uint32_t i = 0; i < ns; ++i)
+      c.detector({ns - i, 2 * ns - i});
+    c.tick();
+  }
+
+  // Final transversal data measurement in the memory basis (H first for
+  // memory-X), with same-type plaquette reconstruction: the parity of a
+  // plaquette's data corners in this basis must match its last syndrome
+  // measurement.  The other type is unreconstructable in this basis.
+  if (mem_x)
+    for (std::uint32_t q = 0; q < n; ++q) c.h(q);
+  for (std::uint32_t q = 0; q < n; ++q) c.m(q);
+  const std::uint32_t lo = mem_x ? nz : 0;
+  const std::uint32_t hi = mem_x ? ns : nz;
+  for (std::uint32_t pi = lo; pi < hi; ++pi) {
+    std::vector<std::uint32_t> lookbacks;
+    for (std::uint32_t dq : plaquettes_[pi].data)
+      lookbacks.push_back(n - dq);
+    lookbacks.push_back(n + (ns - pi));
+    c.detector(std::move(lookbacks));
+  }
+
+  // OBSERVABLE 0: the memory-basis logical representative, reconstructed
+  // from the data readout (no separate ancilla in this builder).
+  std::vector<std::uint32_t> obs;
+  for (std::uint32_t q : observable_support()) obs.push_back(n - q);
+  c.observable_include(0, std::move(obs));
+  return c;
+}
+
+}  // namespace radsurf

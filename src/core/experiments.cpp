@@ -202,7 +202,8 @@ ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options,
 // Fig. 6
 // ---------------------------------------------------------------------------
 
-ExperimentReport fig6_code_distance(const ExperimentOptions& options) {
+ExperimentReport fig6_code_distance(const ExperimentOptions& options,
+                                    const Fig6Options& fig6) {
   const std::size_t shots = options.resolve_shots(1500);
   ExperimentReport rep;
   rep.title =
@@ -246,6 +247,30 @@ ExperimentReport fig6_code_distance(const ExperimentOptions& options) {
       rep31_bitflip = med;
     if (e.family == CodeFamily::XXZZ && e.dz == 1 && e.dx == 3)
       xxzz13_phaseflip = med;
+  }
+  for (const int d : fig6.rotated_distances) {
+    for (const CodeFamily family :
+         {CodeFamily::ROTATED_MEMORY_Z, CodeFamily::ROTATED_MEMORY_X}) {
+      const auto code = make_code(family, d, d);
+      // Rotated codes carry their own syndrome-coupling graph; the identity
+      // layout is optimal there, so skip the mesh + layout search entirely.
+      EngineOptions eopts;
+      eopts.layout = LayoutStrategy::TRIVIAL;
+      InjectionEngine engine(*code, native_graph_for(*code), eopts);
+      std::vector<double> rates;
+      std::uint64_t salt = 0;
+      for (std::uint32_t root : engine.active_qubits())
+        rates.push_back(
+            engine.run_erasure({root}, shots, options.seed + 131 * ++salt)
+                .rate());
+      t.add_row({family == CodeFamily::ROTATED_MEMORY_Z ? "rotated_memz"
+                                                        : "rotated_memx",
+                 "(" + std::to_string(d) + "," + std::to_string(d) + ")",
+                 std::to_string(code->num_qubits()),
+                 Table::pct(median(rates)),
+                 Table::pct(*std::min_element(rates.begin(), rates.end())),
+                 Table::pct(*std::max_element(rates.begin(), rates.end()))});
+    }
   }
   if (rep31_bitflip >= 0 && xxzz13_phaseflip >= 0) {
     rep.notes.push_back(

@@ -60,8 +60,16 @@ struct Fig5Options {
 ExperimentReport fig5_noise_vs_radiation(const ExperimentOptions& options,
                                          const Fig5Options& fig5 = {});
 
+struct Fig6Options {
+  /// Rotated surface code distances appended to the paper's repetition/XXZZ
+  /// sweep. Rotated entries run both memory bases on their native coupling
+  /// graph (trivial layout) rather than the scaled 5xN mesh.
+  std::vector<int> rotated_distances = {3, 5};
+};
+
 /// Fig. 6: single non-spreading erasure at t=0 vs code distance.
-ExperimentReport fig6_code_distance(const ExperimentOptions& options);
+ExperimentReport fig6_code_distance(const ExperimentOptions& options,
+                                    const Fig6Options& fig6 = {});
 
 /// Fig. 7: k simultaneous erasures (connected subgraphs) vs one spreading
 /// radiation fault, for repetition-(15,1) and XXZZ-(3,3).

@@ -166,6 +166,13 @@ QubitRole InjectionEngine::role_of_physical(std::uint32_t phys) const {
   return physical_roles_[phys];
 }
 
+std::string InjectionEngine::replay_engine() const {
+  // The replay circuits all run on the transpiled device, so the engine
+  // choice is a pure function of its qubit count (same rule ReplayEngine
+  // applies per instance).
+  return CompactTableauSimulator::engine_name(noisy_base_.num_qubits());
+}
+
 Proportion InjectionEngine::run_circuit(
     const Circuit& circuit, std::size_t shots, std::uint64_t seed,
     const std::vector<std::uint32_t>* erasure,

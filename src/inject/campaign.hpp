@@ -28,8 +28,11 @@
 //    reference-random sites) to a batched exact replay engine,
 //    conditioned on the herald signature; above
 //    residual_fraction_threshold every shot goes straight to replay.  The
-//    replay engine is CompactTableauSimulator for devices <= 32 qubits
-//    (stab/compact_tableau.hpp), the generic tableau beyond.
+//    replay engine follows the n <= 31 / word-sliced rule of
+//    stab/compact_tableau.hpp: the single-word CompactTableau up to 31
+//    qubits, the word-sliced WideTableau up to kMaxSupportedQubits, the
+//    generic tableau beyond — never silently: the choice is surfaced as
+//    replay_engine() and recorded in BENCH extras.
 //    SamplingPath::EXACT forces the paper's per-shot tableau baseline.
 //  * Decoder selection — EngineOptions::decoder picks the whole-history
 //    backend (decoder/decoder.hpp); run_timeline* always decodes through
@@ -161,6 +164,13 @@ class InjectionEngine {
   /// Cumulative syndrome-cache statistics over every campaign this engine
   /// has run (own decoder and per-call override decoders combined).
   DecodeCacheStats decode_cache_stats() const;
+
+  /// Name of the exact engine the batched residual replay path uses for
+  /// this device: "compact" (single-word tableau, n <= 31), "compact:w<W>"
+  /// (word-sliced, W column words), or "tableau" (generic fallback past
+  /// the compact cap).  Surfaced so perf at new code distances is
+  /// attributable to the engine actually running (BENCH extras).
+  std::string replay_engine() const;
 
   /// Fraction of sampled shots that took an exact engine rather than the
   /// bit-parallel frame path, cumulative over every campaign this engine

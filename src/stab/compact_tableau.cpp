@@ -1,5 +1,6 @@
 #include "stab/compact_tableau.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/error.hpp"
@@ -26,14 +27,20 @@ inline bool fires(const std::uint64_t threshold, Rng& rng) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// CompactTableau — single word per column, n <= 31
+// ---------------------------------------------------------------------------
+
 CompactTableau::CompactTableau(std::size_t num_qubits)
     : n_(static_cast<std::uint32_t>(num_qubits)) {
   RADSURF_CHECK_ARG(num_qubits > 0 && num_qubits <= kMaxQubits,
                     "CompactTableau supports 1.." << kMaxQubits
                                                   << " qubits, got "
                                                   << num_qubits);
-  stab_mask_ = ((n_ == kMaxQubits ? 0 : (std::uint64_t{1} << (2 * n_))) -
-                (std::uint64_t{1} << n_));
+  // 2n + 1 <= 63 < 64: every row index, including a scratch row at bit 2n,
+  // stays strictly inside one word (devices past 31 qubits take the
+  // word-sliced WideTableau instead).
+  stab_mask_ = (std::uint64_t{1} << (2 * n_)) - (std::uint64_t{1} << n_);
   reset_all();
 }
 
@@ -43,7 +50,7 @@ void CompactTableau::reset_all() {
     zcol_[q] = std::uint64_t{1} << (n_ + q);  // stabilizer q = Z_q
   }
   signs_ = 0;
-  known_ = n_ == 32 ? 0xffffffffu : ((1u << n_) - 1);
+  known_ = (1u << n_) - 1;
   value_ = 0;
 }
 
@@ -217,30 +224,341 @@ void CompactTableau::reset(std::uint32_t q, Rng& rng) {
   if (measure(q, rng)) apply_x(q);
 }
 
+// ---------------------------------------------------------------------------
+// WideTableau — W = ceil(2n / 64) words per column
+// ---------------------------------------------------------------------------
+
+WideTableau::WideTableau(std::size_t num_qubits)
+    : n_(static_cast<std::uint32_t>(num_qubits)),
+      words_(static_cast<std::uint32_t>((2 * num_qubits + 63) / 64)),
+      kwords_(static_cast<std::uint32_t>((num_qubits + 63) / 64)) {
+  RADSURF_CHECK_ARG(num_qubits > 0 &&
+                        num_qubits <= CompactTableauSimulator::kMaxSupportedQubits,
+                    "WideTableau supports 1.."
+                        << CompactTableauSimulator::kMaxSupportedQubits
+                        << " qubits, got " << num_qubits);
+  xcols_.assign(static_cast<std::size_t>(n_) * words_, 0);
+  zcols_.assign(static_cast<std::size_t>(n_) * words_, 0);
+  signs_.assign(words_, 0);
+  stab_mask_.assign(words_, 0);
+  for (std::uint32_t r = n_; r < 2 * n_; ++r)
+    stab_mask_[r >> 6] |= std::uint64_t{1} << (r & 63);
+  known_.assign(kwords_, 0);
+  value_.assign(kwords_, 0);
+  m_.assign(words_, 0);
+  lo_.assign(words_, 0);
+  hi_.assign(words_, 0);
+  sel_.assign(words_, 0);
+  reset_all();
+}
+
+void WideTableau::reset_all() {
+  std::fill(xcols_.begin(), xcols_.end(), 0);
+  std::fill(zcols_.begin(), zcols_.end(), 0);
+  std::fill(signs_.begin(), signs_.end(), 0);
+  for (std::uint32_t q = 0; q < n_; ++q) {
+    xcol(q)[q >> 6] = std::uint64_t{1} << (q & 63);               // X_q
+    zcol(q)[(n_ + q) >> 6] |= std::uint64_t{1} << ((n_ + q) & 63);  // Z_q
+  }
+  std::fill(known_.begin(), known_.end(), 0);
+  for (std::uint32_t q = 0; q < n_; ++q)
+    known_[q >> 6] |= std::uint64_t{1} << (q & 63);
+  std::fill(value_.begin(), value_.end(), 0);
+}
+
+void WideTableau::apply_h(std::uint32_t q) {
+  std::uint64_t* x = xcol(q);
+  std::uint64_t* z = zcol(q);
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    signs_[w] ^= x[w] & z[w];
+    std::swap(x[w], z[w]);
+  }
+  clear_known(q);
+}
+
+void WideTableau::apply_s(std::uint32_t q) {
+  std::uint64_t* x = xcol(q);
+  std::uint64_t* z = zcol(q);
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    signs_[w] ^= x[w] & z[w];
+    z[w] ^= x[w];
+  }
+}
+
+void WideTableau::apply_s_dag(std::uint32_t q) {
+  apply_s(q);
+  apply_z(q);
+}
+
+void WideTableau::apply_x(std::uint32_t q) {
+  const std::uint64_t* z = zcol(q);
+  for (std::uint32_t w = 0; w < words_; ++w) signs_[w] ^= z[w];
+  flip_value(q);
+}
+
+void WideTableau::apply_z(std::uint32_t q) {
+  const std::uint64_t* x = xcol(q);
+  for (std::uint32_t w = 0; w < words_; ++w) signs_[w] ^= x[w];
+}
+
+void WideTableau::apply_y(std::uint32_t q) {
+  const std::uint64_t* x = xcol(q);
+  const std::uint64_t* z = zcol(q);
+  for (std::uint32_t w = 0; w < words_; ++w) signs_[w] ^= x[w] ^ z[w];
+  flip_value(q);
+}
+
+void WideTableau::apply_cx(std::uint32_t c, std::uint32_t t) {
+  std::uint64_t* xc = xcol(c);
+  std::uint64_t* zc = zcol(c);
+  std::uint64_t* xt = xcol(t);
+  std::uint64_t* zt = zcol(t);
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    signs_[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
+    xt[w] ^= xc[w];
+    zc[w] ^= zt[w];
+  }
+  if (known_bit(c)) {
+    if (value_bit(c)) flip_value(t);
+  } else {
+    clear_known(t);
+  }
+}
+
+void WideTableau::apply_cz(std::uint32_t a, std::uint32_t b) {
+  std::uint64_t* xa = xcol(a);
+  std::uint64_t* za = zcol(a);
+  std::uint64_t* xb = xcol(b);
+  std::uint64_t* zb = zcol(b);
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    signs_[w] ^= xa[w] & xb[w] & (za[w] ^ zb[w]);
+    za[w] ^= xb[w];
+    zb[w] ^= xa[w];
+  }
+}
+
+void WideTableau::apply_swap(std::uint32_t a, std::uint32_t b) {
+  std::uint64_t* xa = xcol(a);
+  std::uint64_t* za = zcol(a);
+  std::uint64_t* xb = xcol(b);
+  std::uint64_t* zb = zcol(b);
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    std::swap(xa[w], xb[w]);
+    std::swap(za[w], zb[w]);
+  }
+  const bool ka = known_bit(a), kb = known_bit(b);
+  const bool va = value_bit(a), vb = value_bit(b);
+  clear_known(a);
+  clear_known(b);
+  if (kb) set_known(a, vb);
+  if (ka) set_known(b, va);
+}
+
+bool WideTableau::deterministic_outcome(std::uint32_t q) {
+  // sel = the destabilizer X bits of column q, shifted up by n rows: the
+  // stabilizer rows whose product fixes Z_q.
+  const std::uint64_t* x = xcol(q);
+  const std::uint32_t shift_words = n_ >> 6;
+  const std::uint32_t shift_bits = n_ & 63;
+  std::fill(sel_.begin(), sel_.end(), 0);
+  int selected = 0;
+  for (std::uint32_t w = 0; w <= (n_ - 1) >> 6; ++w) {
+    std::uint64_t v = x[w];
+    // Mask off any stabilizer-region bits sharing the word with row n-1.
+    const std::uint32_t base = w << 6;
+    if (base + 64 > n_)
+      v &= (std::uint64_t{1} << (n_ - base)) - 1;
+    if (v == 0) continue;
+    selected += std::popcount(v);
+    sel_[w + shift_words] |= v << shift_bits;
+    if (shift_bits != 0 && w + shift_words + 1 < words_)
+      sel_[w + shift_words + 1] |= v >> (64 - shift_bits);
+  }
+  // Products of zero or one stabilizer rows carry no g-phase.
+  if (selected == 0) return false;
+  int phase = 0;
+  for (std::uint32_t w = 0; w < words_; ++w)
+    phase += std::popcount(signs_[w] & sel_[w]);
+  if (selected == 1) return phase != 0;
+  phase *= 2;
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    const std::uint64_t* xk = xcol(k);
+    const std::uint64_t* zk = zcol(k);
+    // Exclusive prefix parities carried across word boundaries stand in
+    // for the accumulated scratch Pauli at each row.
+    std::uint64_t carry_x = 0, carry_z = 0;  // 0 or ~0: parity of lower words
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      const std::uint64_t x1 = xk[w] & sel_[w];
+      const std::uint64_t z1 = zk[w] & sel_[w];
+      if (!(x1 | z1) && !(carry_x | carry_z)) continue;
+      const std::uint64_t x2 = prefix_xor_exclusive(x1) ^ carry_x;
+      const std::uint64_t z2 = prefix_xor_exclusive(z1) ^ carry_z;
+      const std::uint64_t plus = (x1 & ~z1 & x2 & z2) |
+                                 (x1 & z1 & ~x2 & z2) |
+                                 (~x1 & z1 & x2 & ~z2);
+      const std::uint64_t minus = (x1 & ~z1 & ~x2 & z2) |
+                                  (x1 & z1 & x2 & ~z2) |
+                                  (~x1 & z1 & x2 & z2);
+      phase += std::popcount(plus) - std::popcount(minus);
+      if (std::popcount(x1) & 1) carry_x = ~carry_x;
+      if (std::popcount(z1) & 1) carry_z = ~carry_z;
+    }
+  }
+  phase &= 3;
+  RADSURF_ASSERT_MSG((phase & 1) == 0,
+                     "deterministic measurement with imaginary phase");
+  return phase == 2;
+}
+
+bool WideTableau::measure(std::uint32_t q, Rng& rng) {
+  if (known_bit(q)) return value_bit(q);
+
+  std::uint64_t* x = xcol(q);
+  std::uint32_t pivot = 2 * n_;  // sentinel: no stabilizer X component
+  for (std::uint32_t w = n_ >> 6; w < words_; ++w) {
+    const std::uint64_t t = x[w] & stab_mask_[w];
+    if (t != 0) {
+      pivot = (w << 6) +
+              static_cast<std::uint32_t>(std::countr_zero(t));
+      break;
+    }
+  }
+  if (pivot == 2 * n_) {
+    const bool outcome = deterministic_outcome(q);
+    set_known(q, outcome);
+    return outcome;
+  }
+
+  // Random outcome: batched pivot elimination on word slices.
+  const std::uint32_t pw = pivot >> 6, pb = pivot & 63;
+  const std::uint64_t pivot_bit = std::uint64_t{1} << pb;
+  bool any_m = false;
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    m_[w] = x[w];
+    if (w == pw) m_[w] &= ~pivot_bit;
+    any_m |= m_[w] != 0;
+  }
+  if (any_m) {
+    const std::uint64_t pivot_sign =
+        (signs_[pw] & pivot_bit) ? ~std::uint64_t{0} : 0;
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      lo_[w] = 0;
+      hi_[w] = (signs_[w] ^ pivot_sign) & m_[w];
+    }
+    for (std::uint32_t k = 0; k < n_; ++k) {
+      std::uint64_t* xk = xcol(k);
+      std::uint64_t* zk = zcol(k);
+      const bool xp = (xk[pw] & pivot_bit) != 0;
+      const bool zp = (zk[pw] & pivot_bit) != 0;
+      if (!xp && !zp) continue;
+      for (std::uint32_t w = 0; w < words_; ++w) {
+        const std::uint64_t x2 = xk[w];
+        const std::uint64_t z2 = zk[w];
+        std::uint64_t plus, minus;
+        if (xp && zp) {        // pivot Y: +1 on Z rows, -1 on X rows
+          plus = z2 & ~x2;
+          minus = x2 & ~z2;
+        } else if (xp) {       // pivot X: +1 on Y rows, -1 on Z rows
+          plus = x2 & z2;
+          minus = z2 & ~x2;
+        } else {               // pivot Z: +1 on X rows, -1 on Y rows
+          plus = x2 & ~z2;
+          minus = x2 & z2;
+        }
+        plus &= m_[w];
+        minus &= m_[w];
+        const std::uint64_t carry = lo_[w] & plus;
+        lo_[w] ^= plus;
+        hi_[w] ^= carry;
+        const std::uint64_t borrow = ~lo_[w] & minus;
+        lo_[w] ^= minus;
+        hi_[w] ^= borrow;
+        if (xp) xk[w] ^= m_[w];
+        if (zp) zk[w] ^= m_[w];
+      }
+    }
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      RADSURF_ASSERT_MSG((lo_[w] & stab_mask_[w] & m_[w]) == 0,
+                         "stabilizer rowsum produced imaginary phase");
+      signs_[w] = (signs_[w] & ~m_[w]) | (hi_[w] & m_[w]);
+    }
+  }
+
+  // Destabilizer paired with pivot := old pivot row, and pivot row := +/-
+  // Z_q with the measured sign.
+  const std::uint32_t d = pivot - n_;
+  const std::uint32_t dw = d >> 6, db = d & 63;
+  const std::uint64_t d_bit = std::uint64_t{1} << db;
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    std::uint64_t* xk = xcol(k);
+    std::uint64_t* zk = zcol(k);
+    const std::uint64_t xb = (xk[pw] >> pb) & 1u;
+    const std::uint64_t zb = (zk[pw] >> pb) & 1u;
+    xk[pw] &= ~pivot_bit;
+    zk[pw] &= ~pivot_bit;
+    xk[dw] = (xk[dw] & ~d_bit) | (xb << db);
+    zk[dw] = (zk[dw] & ~d_bit) | (zb << db);
+  }
+  const bool outcome = rng.next() & 1;
+  const std::uint64_t sb = (signs_[pw] >> pb) & 1u;
+  signs_[pw] &= ~pivot_bit;
+  signs_[dw] = (signs_[dw] & ~d_bit) | (sb << db);
+  signs_[pw] |= outcome ? pivot_bit : 0;
+  zcol(q)[pw] |= pivot_bit;
+
+  set_known(q, outcome);
+  return outcome;
+}
+
+void WideTableau::reset(std::uint32_t q, Rng& rng) {
+  if (measure(q, rng)) apply_x(q);
+}
+
+// ---------------------------------------------------------------------------
+// CompactTableauSimulator — tape walker shared by both engines
+// ---------------------------------------------------------------------------
+
+std::string CompactTableauSimulator::engine_name(std::size_t num_qubits) {
+  if (!supports(num_qubits)) return "tableau";
+  if (num_qubits <= CompactTableau::kMaxQubits) return "compact";
+  return "compact:w" + std::to_string((2 * num_qubits + 63) / 64);
+}
+
 CompactTableauSimulator::CompactTableauSimulator(
     std::shared_ptr<const CircuitTape> tape)
-    : tape_(std::move(tape)), tableau_(tape_->num_qubits) {}
+    : tape_(std::move(tape)) {
+  RADSURF_CHECK_ARG(supports(tape_->num_qubits),
+                    "CompactTableauSimulator supports 1.."
+                        << kMaxSupportedQubits << " qubits, got "
+                        << tape_->num_qubits);
+  if (tape_->num_qubits <= CompactTableau::kMaxQubits)
+    narrow_ = std::make_unique<CompactTableau>(tape_->num_qubits);
+  else
+    wide_ = std::make_unique<WideTableau>(tape_->num_qubits);
+}
 
 void CompactTableauSimulator::sample_into(Rng& rng, BitVec& record) {
-  run(rng, nullptr, record, nullptr);
+  if (narrow_) run_with(*narrow_, rng, nullptr, record, nullptr);
+  else run_with(*wide_, rng, nullptr, record, nullptr);
 }
 
 void CompactTableauSimulator::sample_with_erasure_into(
     Rng& rng, const std::vector<std::uint32_t>& corrupted, BitVec& record) {
-  run(rng, &corrupted, record, nullptr);
+  if (narrow_) run_with(*narrow_, rng, &corrupted, record, nullptr);
+  else run_with(*wide_, rng, &corrupted, record, nullptr);
 }
 
 void CompactTableauSimulator::sample_replay_into(
     Rng& rng, const std::vector<std::uint32_t>* corrupted,
     const ReplayConstraint& constraint, BitVec& record) {
-  run(rng, corrupted, record, &constraint);
+  if (narrow_) run_with(*narrow_, rng, corrupted, record, &constraint);
+  else run_with(*wide_, rng, corrupted, record, &constraint);
 }
 
-void CompactTableauSimulator::run(Rng& rng,
-                                  const std::vector<std::uint32_t>* corrupted,
-                                  BitVec& record,
-                                  const ReplayConstraint* constraint) {
-  CompactTableau& t = tableau_;
+template <class TableauT>
+void CompactTableauSimulator::run_with(
+    TableauT& t, Rng& rng, const std::vector<std::uint32_t>* corrupted,
+    BitVec& record, const ReplayConstraint* constraint) {
   t.reset_all();
   RADSURF_ASSERT(record.size() == tape_->num_measurements);
   record.clear();

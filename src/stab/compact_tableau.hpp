@@ -1,21 +1,39 @@
-// Single-word stabilizer engine for small devices (n <= 32 qubits).
+// Flat-column stabilizer engines for the campaign replay path.
 //
 // The campaign engine's residual shots — heralded resets at reference-
 // random sites, which no Pauli-frame update can express — need an exact
-// per-shot tableau walk.  For the paper's device sizes the whole
-// Aaronson–Gottesman tableau fits in one 64-bit word per qubit column
-// (2n + 1 rows <= 64 with n <= 32), which turns every gate into a couple
-// of register operations and every measurement into a short word-parallel
-// loop:
+// per-shot tableau walk.  Two engines share one tape walker here, selected
+// by device size (the "n <= 31 / word-sliced" rule):
+//
+//  * CompactTableau (n <= 31): the whole Aaronson–Gottesman tableau fits
+//    in ONE 64-bit word per qubit column.  The bound is 31, not 32: a
+//    single word holds 2n + 1 rows only up to n = 31, and keeping that
+//    margin means every row index — including a hypothetical scratch row
+//    at bit 2n — stays in-word with no edge cases.  (Measured, not
+//    assumed: the word-boundary regression suite pins n = 31/32/33
+//    against the generic tableau, and n = 32 is exact too because no
+//    scratch row is ever materialized — see below — but 32 routes to the
+//    word-sliced engine so the single-word kernels keep their slack.)
+//    Every gate is a couple of register operations and every measurement
+//    a short word-parallel loop.
+//  * WideTableau (n >= 32): the same layout sliced over
+//    W = ceil(2n / 64) words per column (multi-word xcol/zcol, per-word
+//    stabilizer masks, 2-bit phase counters and prefix-XOR scans carried
+//    across word boundaries).  Gate kernels are O(W); measurements are
+//    O(n * W) like the generic tableau's, but on flat contiguous arrays
+//    and with the known-Z fast path below — this is what carries rotated
+//    surface codes at d = 11–21 (241..881 qubits) through exact replay.
+//
+// Shared tricks (both engines):
 //
 //  * random outcomes run the batched pivot elimination of stab/tableau.cpp
-//    collapsed to single words (2-bit packed phase counters in two
-//    registers);
+//    collapsed to word slices (2-bit packed phase counters in registers);
 //  * deterministic outcomes evaluate the sign of the selected stabilizer
-//    product with a prefix-XOR scan per qubit column instead of the
-//    bit-serial scratch accumulation — the per-row Aaronson–Gottesman g
-//    phase needs the parity of the already-accumulated rows, which is
-//    exactly an exclusive prefix-xor over the selected row bits;
+//    product with a prefix-XOR scan per qubit column instead of a
+//    bit-serial scratch-row accumulation — the per-row Aaronson–Gottesman
+//    g phase needs the parity of the already-accumulated rows, which is
+//    exactly an exclusive prefix-xor over the selected row bits.  This is
+//    why neither engine stores a scratch row at all;
 //  * a known-Z fast path skips collapse work entirely: once Z_q is
 //    measured or reset its value stays deterministic under Z-diagonal
 //    gates, CX controls, and collapses of *other* qubits (projectors
@@ -23,23 +41,27 @@
 //    radiation model cost O(1) after the first collapse.
 //
 // Contracts:
-//  * RNG determinism — the engine consumes randomness in exactly the same
-//    order as the generic TableauSimulator on the same tape, so the two
-//    produce bit-identical records from equal RNG streams — the property
-//    the cross-engine test suite pins down.
+//  * RNG determinism — both engines consume randomness in exactly the
+//    same order as the generic TableauSimulator on the same tape, so all
+//    three produce bit-identical records from equal RNG streams — the
+//    property the cross-engine and word-boundary test suites pin down.
 //  * Thread-safety — a simulator instance is single-threaded mutable
 //    state; the campaign engine gives each parallel_chunks worker its own
 //    instance (one per chunk, reused across that chunk's shots).
 //  * Engine selection — InjectionEngine's batched residual replay uses
-//    this engine automatically whenever the transpiled device fits
-//    kMaxQubits (<= 32), falling back to the generic tableau beyond.
-//    SamplingPath::EXACT deliberately keeps the generic engine: it is the
-//    paper's baseline methodology and the oracle this engine is validated
-//    against.
+//    this simulator whenever the transpiled device fits
+//    kMaxSupportedQubits, picking the single-word tableau for n <= 31 and
+//    the word-sliced one beyond; the generic tableau is the fallback past
+//    the cap.  The chosen engine is surfaced as
+//    InjectionEngine::replay_engine() (and in BENCH extras), so perf
+//    regressions at new distances are attributable.  SamplingPath::EXACT
+//    deliberately keeps the generic engine: it is the paper's baseline
+//    methodology and the oracle these engines are validated against.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "stab/tableau_sim.hpp"
@@ -48,9 +70,10 @@
 
 namespace radsurf {
 
+/// Single-word tableau: one 64-bit word per qubit column (n <= 31).
 class CompactTableau {
  public:
-  static constexpr std::size_t kMaxQubits = 32;
+  static constexpr std::size_t kMaxQubits = 31;
 
   explicit CompactTableau(std::size_t num_qubits);
 
@@ -88,13 +111,84 @@ class CompactTableau {
   std::uint32_t value_ = 0;
 };
 
+/// Word-sliced tableau: W = ceil(2n / 64) words per qubit column, same
+/// algorithms and RNG order as CompactTableau with the per-word kernels
+/// carrying phase counters and prefix parities across word boundaries.
+class WideTableau {
+ public:
+  explicit WideTableau(std::size_t num_qubits);
+
+  void reset_all();
+
+  void apply_h(std::uint32_t q);
+  void apply_s(std::uint32_t q);
+  void apply_s_dag(std::uint32_t q);
+  void apply_x(std::uint32_t q);
+  void apply_y(std::uint32_t q);
+  void apply_z(std::uint32_t q);
+  void apply_cx(std::uint32_t c, std::uint32_t t);
+  void apply_cz(std::uint32_t a, std::uint32_t b);
+  void apply_swap(std::uint32_t a, std::uint32_t b);
+
+  bool measure(std::uint32_t q, Rng& rng);
+  void reset(std::uint32_t q, Rng& rng);
+
+  std::size_t num_words() const { return words_; }
+
+ private:
+  bool deterministic_outcome(std::uint32_t q);
+
+  std::uint64_t* xcol(std::uint32_t q) { return xcols_.data() + q * words_; }
+  std::uint64_t* zcol(std::uint32_t q) { return zcols_.data() + q * words_; }
+
+  bool known_bit(std::uint32_t q) const {
+    return (known_[q >> 6] >> (q & 63)) & 1u;
+  }
+  bool value_bit(std::uint32_t q) const {
+    return (value_[q >> 6] >> (q & 63)) & 1u;
+  }
+  void set_known(std::uint32_t q, bool value) {
+    known_[q >> 6] |= std::uint64_t{1} << (q & 63);
+    value_[q >> 6] = (value_[q >> 6] & ~(std::uint64_t{1} << (q & 63))) |
+                     (std::uint64_t{value} << (q & 63));
+  }
+  void clear_known(std::uint32_t q) {
+    known_[q >> 6] &= ~(std::uint64_t{1} << (q & 63));
+  }
+  void flip_value(std::uint32_t q) {
+    value_[q >> 6] ^= std::uint64_t{1} << (q & 63);
+  }
+
+  std::uint32_t n_;
+  std::uint32_t words_;   // ceil(2n / 64): words per column
+  std::uint32_t kwords_;  // ceil(n / 64): words of the known/value masks
+  std::vector<std::uint64_t> xcols_;  // [q * words_ + w]
+  std::vector<std::uint64_t> zcols_;
+  std::vector<std::uint64_t> signs_;      // words_
+  std::vector<std::uint64_t> stab_mask_;  // bits n..2n-1, per word
+  std::vector<std::uint64_t> known_;      // kwords_
+  std::vector<std::uint64_t> value_;
+  // Measurement scratch (member-owned: measure stays allocation-free).
+  std::vector<std::uint64_t> m_, lo_, hi_, sel_;
+};
+
 /// Drop-in exact sampler over a shared precompiled CircuitTape; see the
-/// file comment for the contract with TableauSimulator.
+/// file comment for the engine-selection rule and the contract with
+/// TableauSimulator.
 class CompactTableauSimulator {
  public:
+  /// Upper bound of the word-sliced engine (rotated d = 21 needs 881; the
+  /// generic tableau takes over beyond this).
+  static constexpr std::size_t kMaxSupportedQubits = 1024;
+
   static bool supports(std::size_t num_qubits) {
-    return num_qubits > 0 && num_qubits <= CompactTableau::kMaxQubits;
+    return num_qubits > 0 && num_qubits <= kMaxSupportedQubits;
   }
+
+  /// Canonical name of the engine the replay path picks for a device of
+  /// `num_qubits`: "compact" (single word, n <= 31), "compact:w<W>"
+  /// (word-sliced), or "tableau" (generic fallback past the cap).
+  static std::string engine_name(std::size_t num_qubits);
 
   explicit CompactTableauSimulator(std::shared_ptr<const CircuitTape> tape);
 
@@ -108,11 +202,14 @@ class CompactTableauSimulator {
                           const ReplayConstraint& constraint, BitVec& record);
 
  private:
-  void run(Rng& rng, const std::vector<std::uint32_t>* corrupted,
-           BitVec& record, const ReplayConstraint* constraint);
+  template <class TableauT>
+  void run_with(TableauT& t, Rng& rng,
+                const std::vector<std::uint32_t>* corrupted, BitVec& record,
+                const ReplayConstraint* constraint);
 
   std::shared_ptr<const CircuitTape> tape_;
-  CompactTableau tableau_;
+  std::unique_ptr<CompactTableau> narrow_;  // n <= CompactTableau::kMaxQubits
+  std::unique_ptr<WideTableau> wide_;       // otherwise
 };
 
 }  // namespace radsurf

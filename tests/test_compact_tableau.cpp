@@ -147,5 +147,120 @@ TEST(CompactTableau, PinnedStrikeOrdinalReplaysErasure) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Word-boundary regression suite (the n=32 boundary bug).
+//
+// The single-word engine's header once claimed support for "2n + 1 rows
+// <= 64 with n <= 32" — false arithmetic at n = 32 (65 rows).  The fix
+// bounds the single-word tableau at n = 31 and routes n >= 32 through the
+// word-sliced WideTableau.  These tests pin every engine transition
+// (31 -> 32 single->multi word, 63 -> 64 -> 65 column words, known-mask
+// words) bit-for-bit against the generic tableau over full measure/reset
+// cycles, so neither boundary can silently regress again.
+// ---------------------------------------------------------------------------
+
+// Dense random Clifford + measure/reset/noise circuit exercising every
+// gate the tape walker handles.
+Circuit random_clifford_cycle(std::size_t n, std::uint64_t seed,
+                              int layers) {
+  Rng gen(seed);
+  Circuit c(n);
+  auto q = [&] { return static_cast<std::uint32_t>(gen.below(n)); };
+  for (int l = 0; l < layers; ++l) {
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (gen.below(8)) {
+        case 0: c.h(q()); break;
+        case 1: c.s(q()); break;
+        case 2: c.s_dag(q()); break;
+        case 3: {
+          const auto a = q(), b = q();
+          if (a != b) c.cx(a, b);
+          break;
+        }
+        case 4: {
+          const auto a = q(), b = q();
+          if (a != b) c.cz(a, b);
+          break;
+        }
+        case 5: {
+          const auto a = q(), b = q();
+          if (a != b) c.swap_gate(a, b);
+          break;
+        }
+        case 6: c.x(q()); break;
+        default: c.y(q()); break;
+      }
+    }
+    // Full measure/reset cycle on a random third of the register.
+    for (std::size_t i = 0; i < n / 3 + 1; ++i) {
+      const auto t = q();
+      switch (gen.below(3)) {
+        case 0: c.m(t); break;
+        case 1: c.r(t); break;
+        default: c.mr(t); break;
+      }
+    }
+    c.append(Gate::DEPOLARIZE1, {q()}, {0.3});
+    c.append(Gate::X_ERROR, {q()}, {0.2});
+  }
+  for (std::uint32_t i = 0; i < n; ++i) c.m(i);
+  return c;
+}
+
+// n = 31: the last size served by the single-word engine; n = 32/33: the
+// first word-sliced sizes (regression for the old false n <= 32 claim).
+TEST(CompactTableauWordBoundary, MatchesGenericAtN31N32N33) {
+  for (std::size_t n : {31u, 32u, 33u}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    for (std::uint64_t cs = 1; cs <= 4; ++cs)
+      expect_equivalent(random_clifford_cycle(n, cs * 977, 6), nullptr, 60,
+                        n * 31 + cs);
+  }
+}
+
+// n = 63/64/65: the known/value-mask word boundary and the 2- to 3-word
+// column transition of the word-sliced engine.
+TEST(CompactTableauWordBoundary, MatchesGenericAtColumnWordBoundaries) {
+  for (std::size_t n : {63u, 64u, 65u}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    for (std::uint64_t cs = 1; cs <= 3; ++cs)
+      expect_equivalent(random_clifford_cycle(n, cs * 1409, 5), nullptr, 40,
+                        n * 37 + cs);
+  }
+}
+
+// Erasure strikes and replay constraints through the word-sliced engine.
+TEST(CompactTableauWordBoundary, WideEngineMatchesGenericUnderErasure) {
+  const std::vector<std::uint32_t> corrupted{0, 17, 31, 32, 40};
+  expect_equivalent(random_clifford_cycle(41, 4242, 5), &corrupted, 60, 71);
+}
+
+TEST(CompactTableauWordBoundary, WideEngineMatchesGenericOnRotatedStyle) {
+  // An actual stabilizer-code shape above the single-word limit: XXZZ
+  // (3,3) is 18 data + 8 ancilla + readout = 27 logical qubits, but the
+  // transpiled mesh device has 35 — the word-sliced engine's bread and
+  // butter in the campaign replay path.
+  const XXZZCode code(3, 3);
+  const Graph arch = make_mesh(5, 7);
+  const Circuit noisy = transpiled_noisy(code, arch, 1e-2);
+  ASSERT_GT(noisy.num_qubits(), CompactTableau::kMaxQubits);
+  const RadiationModel model;
+  const auto probs = model.qubit_probabilities(arch, 2, 0.8, true);
+  expect_equivalent(instrument_reset_noise(noisy, probs), nullptr, 200, 29);
+}
+
+// The engine-selection rule surfaced to campaign stats and BENCH extras.
+TEST(CompactTableauWordBoundary, EngineNameFollowsSelectionRule) {
+  EXPECT_EQ(CompactTableauSimulator::engine_name(1), "compact");
+  EXPECT_EQ(CompactTableauSimulator::engine_name(31), "compact");
+  EXPECT_EQ(CompactTableauSimulator::engine_name(32), "compact:w1");
+  EXPECT_EQ(CompactTableauSimulator::engine_name(33), "compact:w2");
+  EXPECT_EQ(CompactTableauSimulator::engine_name(241), "compact:w8");
+  EXPECT_EQ(CompactTableauSimulator::engine_name(881), "compact:w28");
+  EXPECT_EQ(CompactTableauSimulator::engine_name(1024), "compact:w32");
+  EXPECT_EQ(CompactTableauSimulator::engine_name(1025), "tableau");
+  EXPECT_EQ(CompactTableauSimulator::engine_name(0), "tableau");
+}
+
 }  // namespace radsurf
 }  // namespace

@@ -76,8 +76,13 @@ TEST(Fig5, SmokeRunProducesLandscape) {
 }
 
 TEST(Fig6, SmokeRunCoversAllDistances) {
+  // 7 repetition + 5 xxzz + 2 memory bases x default rotated_distances {3,5}.
   const auto report = fig6_code_distance(tiny());
-  EXPECT_EQ(report.table.num_rows(), 12u);  // 7 repetition + 5 xxzz
+  EXPECT_EQ(report.table.num_rows(), 16u);
+
+  Fig6Options no_rotated;
+  no_rotated.rotated_distances.clear();
+  EXPECT_EQ(fig6_code_distance(tiny(), no_rotated).table.num_rows(), 12u);
 }
 
 TEST(Fig7, SmokeRunHasSubgraphSweep) {

@@ -1,0 +1,244 @@
+// Rotated surface code structure and behaviour.
+//
+// Structure: for odd d the lattice must have d^2 data qubits,
+// (d^2 - 1)/2 plaquettes of each type, exactly 2(d - 1) weight-2 boundary
+// faces obeying the boundary rule (X on top/bottom, Z on left/right), and
+// a mutually commuting stabilizer group that commutes with both logical
+// representatives (which anticommute with each other).
+//
+// Behaviour: both memory bases decode cleanly at zero noise, and a small
+// memory experiment reproduces golden logical-error-rate fixtures through
+// the full injection pipeline on the native architecture.
+#include "codes/rotated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codes/code.hpp"
+#include "detector/detectors.hpp"
+#include "inject/campaign.hpp"
+#include "stab/pauli.hpp"
+#include "stab/tableau_sim.hpp"
+
+namespace radsurf {
+namespace {
+
+PauliString plaquette_pauli(const RotatedCode::Plaquette& p, std::size_t n) {
+  PauliString s(n);
+  for (std::uint32_t q : p.data) s.set_pauli(q, p.x_type ? 1 : 2);
+  return s;
+}
+
+class RotatedStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(RotatedStructure, QubitBudget) {
+  const int d = GetParam();
+  const auto n = static_cast<std::size_t>(d) * static_cast<std::size_t>(d);
+  for (const RotatedMemory mem : {RotatedMemory::X, RotatedMemory::Z}) {
+    const RotatedCode code(d, mem);
+    EXPECT_EQ(code.num_qubits(), 2 * n - 1);
+    EXPECT_EQ(code.num_z_plaquettes(), (n - 1) / 2);
+    EXPECT_EQ(code.num_x_plaquettes(), (n - 1) / 2);
+    EXPECT_EQ(code.qubits_with_role(QubitRole::DATA).size(), n);
+    EXPECT_EQ(code.qubits_with_role(QubitRole::STABILIZER).size(), n - 1);
+    // Pure memory experiment: no readout ancilla.
+    EXPECT_EQ(code.qubits_with_role(QubitRole::ANCILLA).size(), 0u);
+  }
+}
+
+TEST_P(RotatedStructure, BoundaryPlaquettesHaveWeightTwo) {
+  const int d = GetParam();
+  const RotatedCode code(d, RotatedMemory::Z);
+  std::size_t weight2_x = 0, weight2_z = 0, weight4 = 0;
+  for (const auto& p : code.plaquettes()) {
+    if (p.data.size() == 4) {
+      ++weight4;
+    } else {
+      ASSERT_EQ(p.data.size(), 2u);
+      (p.x_type ? weight2_x : weight2_z) += 1;
+      // Boundary rule: weight-2 X faces pair horizontally adjacent data
+      // on the top/bottom rows; weight-2 Z faces pair vertically adjacent
+      // data on the left/right columns.
+      const int a = static_cast<int>(p.data[0]);
+      const int b = static_cast<int>(p.data[1]);
+      if (p.x_type) {
+        EXPECT_EQ(b - a, 1) << "X boundary face must be horizontal";
+        const int row = a / d;
+        EXPECT_TRUE(row == 0 || row == d - 1);
+      } else {
+        EXPECT_EQ(b - a, d) << "Z boundary face must be vertical";
+        const int col = a % d;
+        EXPECT_TRUE(col == 0 || col == d - 1);
+      }
+    }
+  }
+  EXPECT_EQ(weight2_x, static_cast<std::size_t>(d - 1));
+  EXPECT_EQ(weight2_z, static_cast<std::size_t>(d - 1));
+  EXPECT_EQ(weight4,
+            static_cast<std::size_t>(d) * static_cast<std::size_t>(d) - 1 -
+                2 * static_cast<std::size_t>(d - 1));
+}
+
+TEST_P(RotatedStructure, StabilizerGroupCommutes) {
+  const int d = GetParam();
+  const RotatedCode code(d, RotatedMemory::Z);
+  const auto n = static_cast<std::size_t>(d) * static_cast<std::size_t>(d);
+  std::vector<PauliString> group;
+  for (const auto& p : code.plaquettes())
+    group.push_back(plaquette_pauli(p, n));
+  for (std::size_t i = 0; i < group.size(); ++i)
+    for (std::size_t j = i + 1; j < group.size(); ++j)
+      ASSERT_TRUE(group[i].commutes_with(group[j]))
+          << "plaquettes " << i << " and " << j;
+}
+
+TEST_P(RotatedStructure, LogicalsCommuteWithGroupAnticommuteWithEachOther) {
+  const int d = GetParam();
+  const RotatedCode mem_z(d, RotatedMemory::Z);
+  const RotatedCode mem_x(d, RotatedMemory::X);
+  const auto n = static_cast<std::size_t>(d) * static_cast<std::size_t>(d);
+
+  PauliString logical_x(n);  // applied operator of the memory-Z experiment
+  for (std::uint32_t q : mem_z.logical_op_support())
+    logical_x.set_pauli(q, 1);
+  PauliString logical_z(n);  // applied operator of the memory-X experiment
+  for (std::uint32_t q : mem_x.logical_op_support())
+    logical_z.set_pauli(q, 2);
+  EXPECT_EQ(mem_z.logical_op_support().size(), static_cast<std::size_t>(d));
+  EXPECT_EQ(mem_x.logical_op_support().size(), static_cast<std::size_t>(d));
+  EXPECT_FALSE(logical_x.commutes_with(logical_z));
+
+  for (const auto& p : mem_z.plaquettes()) {
+    const PauliString sp = plaquette_pauli(p, n);
+    EXPECT_TRUE(sp.commutes_with(logical_x)) << "plaquette vs X_L";
+    EXPECT_TRUE(sp.commutes_with(logical_z)) << "plaquette vs Z_L";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, RotatedStructure,
+                         ::testing::Values(3, 5, 7, 11));
+
+TEST(RotatedCodeTest, RejectsBadDistances) {
+  EXPECT_THROW(RotatedCode(2, RotatedMemory::Z), InvalidArgument);
+  EXPECT_THROW(RotatedCode(1, RotatedMemory::Z), InvalidArgument);
+  EXPECT_THROW(RotatedCode(4, RotatedMemory::X), InvalidArgument);
+  EXPECT_THROW(make_code(CodeFamily::ROTATED_MEMORY_Z, 3, 5),
+               InvalidArgument);
+}
+
+TEST(RotatedCodeTest, FactoryAndNames) {
+  const auto mx = make_code(CodeFamily::ROTATED_MEMORY_X, 5, 5);
+  const auto mz = make_code(CodeFamily::ROTATED_MEMORY_Z, 5, 5);
+  EXPECT_EQ(mx->name(), "rotated-memx-5");
+  EXPECT_EQ(mz->name(), "rotated-memz-5");
+  EXPECT_EQ(mx->distance(), (std::pair{5, 5}));
+  EXPECT_EQ(mx->num_qubits(), 49u);
+}
+
+// Every code circuit must be "clean" at zero noise: all detectors zero
+// and the observable reading |1> (the applied logical flip).
+void expect_noiseless_clean(const SurfaceCode& code, std::size_t rounds) {
+  const Circuit c = code.build(rounds);
+  const DetectorSet ds = DetectorSet::compile(c);
+  TableauSimulator sim(c);
+  const BitVec ref = sim.reference_sample();
+
+  bool obs = false;
+  for (std::size_t r : ds.observable_mask(0).set_bits()) obs ^= ref.get(r);
+  EXPECT_TRUE(obs) << code.name() << ": noiseless readout must be |1>";
+
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BitVec sample = sim.sample(rng);
+    EXPECT_TRUE(ds.detector_values(sample, ref).none())
+        << code.name() << " trial " << trial;
+    EXPECT_EQ(ds.observable_values(sample, ref), 0u);
+  }
+}
+
+TEST(RotatedCodeTest, NoiselessCleanBothMemories) {
+  for (const int d : {3, 5}) {
+    expect_noiseless_clean(RotatedCode(d, RotatedMemory::Z), 2);
+    expect_noiseless_clean(RotatedCode(d, RotatedMemory::X), 2);
+  }
+  expect_noiseless_clean(RotatedCode(3, RotatedMemory::Z), 4);
+  expect_noiseless_clean(RotatedCode(3, RotatedMemory::X), 4);
+}
+
+TEST(RotatedCodeTest, DetectorCount) {
+  const RotatedCode code(3, RotatedMemory::Z);
+  // Round 1: the 4 Z-plaquettes; round 2: all 8; final: 4 Z-plaquette
+  // reconstructions (no ancilla-consistency detector — no ancilla).
+  EXPECT_EQ(code.build(2).num_detectors(), 4u + 8u + 4u);
+  EXPECT_EQ(code.build(3).num_detectors(), 4u + 8u + 8u + 4u);
+  EXPECT_EQ(code.build(2).num_observables(), 1u);
+  const RotatedCode mem_x(3, RotatedMemory::X);
+  EXPECT_EQ(mem_x.build(2).num_detectors(), 4u + 8u + 4u);
+}
+
+TEST(RotatedCodeTest, NativeGraphMatchesPlaquetteAdjacency) {
+  const RotatedCode code(5, RotatedMemory::Z);
+  const Graph g = native_graph_for(code);
+  EXPECT_EQ(g.num_nodes(), code.num_qubits());
+  EXPECT_TRUE(g.is_connected());
+  // Exactly the syndrome-data couplings: one edge per (plaquette, corner).
+  std::size_t expected = 0;
+  for (const auto& p : code.plaquettes()) {
+    expected += p.data.size();
+    for (std::uint32_t dq : p.data) EXPECT_TRUE(g.has_edge(p.syndrome, dq));
+  }
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Golden logical-error-rate fixtures (full pipeline, native architecture).
+// The counts are a pure function of (configuration, seed) by the engine's
+// determinism contract; a change here means sampled physics changed and
+// must be understood, not re-pinned blindly.
+// ---------------------------------------------------------------------------
+
+EngineOptions golden_options() {
+  EngineOptions opts;
+  opts.shots_per_chunk = 256;
+  opts.layout = LayoutStrategy::TRIVIAL;  // native arch: identity is perfect
+  return opts;
+}
+
+TEST(RotatedGolden, IntrinsicMemoryZ) {
+  const RotatedCode code(3, RotatedMemory::Z);
+  InjectionEngine engine(code, native_graph_for(code), golden_options());
+  // 9 data + 8 syndromes = 17 qubits: single-word compact engine.
+  EXPECT_EQ(engine.replay_engine(), "compact");
+  const Proportion res = engine.run_intrinsic(2000, 7);
+  EXPECT_EQ(res.trials, 2000u);
+  EXPECT_EQ(res.successes, 57u);
+}
+
+TEST(RotatedGolden, IntrinsicMemoryX) {
+  const RotatedCode code(3, RotatedMemory::X);
+  InjectionEngine engine(code, native_graph_for(code), golden_options());
+  const Proportion res = engine.run_intrinsic(2000, 7);
+  // Higher than memory-Z: the basis-change H layers add noise locations
+  // at the most exposed instants (just after init, just before readout).
+  EXPECT_EQ(res.successes, 131u);
+}
+
+TEST(RotatedGolden, RadiationStrikeMemoryZ) {
+  const RotatedCode code(3, RotatedMemory::Z);
+  InjectionEngine engine(code, native_graph_for(code), golden_options());
+  const Proportion res = engine.run_radiation_at(4, 1.0, true, 1000, 11);
+  EXPECT_EQ(res.trials, 1000u);
+  EXPECT_EQ(res.successes, 437u);
+  // A direct strike must hurt much more than intrinsic noise alone.
+  EXPECT_GT(res.rate(), 0.02);
+}
+
+TEST(RotatedGolden, WideEngineAtD5) {
+  // d = 5 is 49 qubits: the first rotated size carried by the word-sliced
+  // engine (W = ceil(98/64) = 2 column words).
+  const RotatedCode code(5, RotatedMemory::Z);
+  InjectionEngine engine(code, native_graph_for(code), golden_options());
+  EXPECT_EQ(engine.replay_engine(), "compact:w2");
+}
+
+}  // namespace
+}  // namespace radsurf

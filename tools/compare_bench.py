@@ -53,7 +53,7 @@ def fmt_rate(rate):
     return f"{rate:.1f}"
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_perf.json")
     parser.add_argument("fresh", help="BENCH_perf.json from a fresh run")
@@ -77,16 +77,20 @@ def main():
         help="flag watched scenarios that regress by more than this "
         "fraction (default 0.2 = 20%%); report-only",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     baseline = load_records(args.baseline)
     fresh = load_records(args.fresh)
     common = sorted(set(baseline) & set(fresh))
-    if not common:
-        print("no common scenarios between the two files")
+    removed = sorted(set(baseline) - set(fresh))
+    added = sorted(set(fresh) - set(baseline))
+    if not common and not removed and not added:
+        print("no scenarios in either file")
         return 0
 
-    width = max(len(name) for name in common)
+    # One-sided scenarios are part of the diff, not noise: a rename or a
+    # dropped bench must show up even when the two files share nothing.
+    width = max(len(name) for name in common + removed + added)
     print(f"{'scenario':<{width}}  {'baseline':>10}  {'fresh':>10}  {'speedup':>8}")
     worst = None
     for name in common:
@@ -99,15 +103,17 @@ def main():
             f"{fmt_rate(fresh[name]):>10}  {speedup:>7.2f}x{marker}"
         )
 
-    for name in sorted(set(baseline) - set(fresh)):
+    for name in removed:
         print(f"{name:<{width}}  {fmt_rate(baseline[name]):>10}  {'—':>10}  (not re-run)")
-    for name in sorted(set(fresh) - set(baseline)):
+    for name in added:
         print(f"{name:<{width}}  {'—':>10}  {fmt_rate(fresh[name]):>10}  (new scenario)")
 
-    print(
-        f"\n{len(common)} scenarios compared; worst speedup "
-        f"{worst[1]:.2f}x ({worst[0]})"
-    )
+    summary = f"\n{len(common)} scenarios compared"
+    if worst is not None:
+        summary += f"; worst speedup {worst[1]:.2f}x ({worst[0]})"
+    if removed or added:
+        summary += f"; {len(removed)} removed, {len(added)} added"
+    print(summary)
 
     watched = list(WATCHED_SCENARIOS) + args.watch
     floor = 1.0 - args.watch_threshold
@@ -125,7 +131,7 @@ def main():
         for name, speedup in flagged:
             print(f"  {name}: {speedup:.2f}x of baseline")
 
-    if args.min_speedup is not None and worst[1] < args.min_speedup:
+    if args.min_speedup is not None and worst is not None and worst[1] < args.min_speedup:
         print(f"FAIL: below --min-speedup {args.min_speedup}")
         return 1
     return 0

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Unit checks for tools/compare_bench.py (stdlib only, run by CI).
+
+The regression these pin down: one-sided scenarios must be reported as
+additions/removals even when the two files have no scenario in common
+(the old script early-returned and silently dropped them).
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare_bench
+
+
+def bench_file(tmpdir, name, rates):
+    path = os.path.join(tmpdir, name)
+    records = [
+        {"scenario": scenario, "shots_per_second": rate}
+        for scenario, rate in rates.items()
+    ]
+    with open(path, "w") as f:
+        json.dump({"bench": "radsurf-perf", "records": records}, f)
+    return path
+
+
+def run_compare(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = compare_bench.main(argv)
+    return code, out.getvalue()
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tmpdir = self._tmp.name
+        self.addCleanup(self._tmp.cleanup)
+
+    def test_common_scenarios_get_speedups(self):
+        base = bench_file(self.tmpdir, "base.json", {"a": 100.0, "b": 200.0})
+        fresh = bench_file(self.tmpdir, "fresh.json", {"a": 150.0, "b": 100.0})
+        code, out = run_compare([base, fresh])
+        self.assertEqual(code, 0)
+        self.assertIn("1.50x", out)
+        self.assertIn("0.50x", out)
+        self.assertIn("2 scenarios compared", out)
+
+    def test_disjoint_files_report_additions_and_removals(self):
+        base = bench_file(self.tmpdir, "base.json", {"old/bench": 100.0})
+        fresh = bench_file(self.tmpdir, "fresh.json", {"new/bench": 50.0})
+        code, out = run_compare([base, fresh])
+        self.assertEqual(code, 0)
+        self.assertIn("old/bench", out)
+        self.assertIn("(not re-run)", out)
+        self.assertIn("new/bench", out)
+        self.assertIn("(new scenario)", out)
+        self.assertIn("0 scenarios compared; 1 removed, 1 added", out)
+
+    def test_partial_overlap_lists_all_three_kinds(self):
+        base = bench_file(self.tmpdir, "base.json", {"a": 100.0, "gone": 1.0})
+        fresh = bench_file(self.tmpdir, "fresh.json", {"a": 100.0, "new": 2.0})
+        code, out = run_compare([base, fresh])
+        self.assertEqual(code, 0)
+        self.assertIn("1.00x", out)
+        self.assertIn("(not re-run)", out)
+        self.assertIn("(new scenario)", out)
+        self.assertIn("1 removed, 1 added", out)
+
+    def test_empty_files_are_not_an_error(self):
+        base = bench_file(self.tmpdir, "base.json", {})
+        fresh = bench_file(self.tmpdir, "fresh.json", {})
+        code, out = run_compare([base, fresh])
+        self.assertEqual(code, 0)
+        self.assertIn("no scenarios in either file", out)
+
+    def test_min_speedup_gates_only_on_common_scenarios(self):
+        base = bench_file(self.tmpdir, "base.json", {"a": 100.0})
+        fresh = bench_file(self.tmpdir, "fresh.json", {"a": 50.0})
+        code, _ = run_compare([base, fresh, "--min-speedup", "0.8"])
+        self.assertEqual(code, 1)
+        # Disjoint files have no common scenario to gate on: report-only.
+        disjoint = bench_file(self.tmpdir, "disjoint.json", {"b": 10.0})
+        code, _ = run_compare([base, disjoint, "--min-speedup", "0.8"])
+        self.assertEqual(code, 0)
+
+    def test_nonpositive_and_malformed_records_are_skipped(self):
+        path = os.path.join(self.tmpdir, "odd.json")
+        with open(path, "w") as f:
+            json.dump(
+                {
+                    "records": [
+                        {"scenario": "ok", "shots_per_second": 5.0},
+                        {"scenario": "zero", "shots_per_second": 0},
+                        {"scenario": "textual", "shots_per_second": "fast"},
+                        {"shots_per_second": 9.0},
+                    ]
+                },
+                f,
+            )
+        self.assertEqual(compare_bench.load_records(path), {"ok": 5.0})
+
+
+if __name__ == "__main__":
+    unittest.main()
