@@ -4,6 +4,7 @@
 #include <atomic>
 #include <charconv>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -16,6 +17,7 @@
 #include "cli/checkpoint.hpp"
 #include "codes/code.hpp"
 #include "inject/campaign.hpp"
+#include "transpile/transpiler.hpp"
 #include "util/hash.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -80,6 +82,10 @@ struct GridPlan {
   std::uint64_t seed = 0;
   std::size_t jobs = 1;
   bool smoke = false;
+  // Engine sampling knobs applied to every cell (see EngineOptions).
+  bool herald_promotion = true;
+  std::size_t promotion_min_group = 2;
+  bool cache_auto_bypass = true;
 };
 
 // --- axis parsing -----------------------------------------------------------
@@ -387,6 +393,12 @@ GridPlan parse_plan(const ScenarioSpec& spec) {
   for (const std::string& p : r.get_string_list("sampling_paths", {"auto"}))
     plan.paths.push_back(parse_path(p, r, "sampling_paths"));
 
+  // Engine sampling knobs (uniform across cells; they do not add axes).
+  plan.herald_promotion = r.get_bool("herald_promotion", true);
+  plan.promotion_min_group =
+      static_cast<std::size_t>(r.get_uint("promotion_min_group", 2));
+  plan.cache_auto_bypass = r.get_bool("cache_auto_bypass", true);
+
   if (const JsonValue* injs = r.get_raw("injections")) {
     if (!injs->is_array())
       r.fail("injections", std::string("expected array of injection "
@@ -531,6 +543,13 @@ class GridScenario final : public Scenario {
 
     std::atomic<std::size_t> engines_built{0};
     std::mutex sink_mu;
+    // Transpile memo: combos sharing (code, architecture, rounds) differ
+    // only in noise / decoder / path knobs, none of which enter the
+    // routing search — the most expensive static-pipeline stage.  Each
+    // engine gets a copy of the shared result; the layout strategy is a
+    // function of the architecture axis, so it needs no key component.
+    std::mutex transpile_mu;
+    std::map<std::string, std::shared_ptr<const TranspileResult>> transpiles;
     const auto run_combo = [&](std::size_t combo) {
       std::unique_ptr<InjectionEngine> engine;
       for (const std::size_t i : combo_cells[combo]) {
@@ -543,6 +562,9 @@ class GridScenario final : public Scenario {
           eopts.decoder = cell.decoder->options;
           eopts.sampling_path = cell.path;
           eopts.whole_history_decoder = needs_whole_history;
+          eopts.herald_promotion = plan_.herald_promotion;
+          eopts.promotion_min_group = plan_.promotion_min_group;
+          eopts.cache_auto_bypass = plan_.cache_auto_bypass;
           try {
             const std::unique_ptr<SurfaceCode> code = cell.cfg->code.make();
             Graph arch;
@@ -555,8 +577,26 @@ class GridScenario final : public Scenario {
             } else {
               arch = make_topology(cell.cfg->arch);
             }
-            engine = std::make_unique<InjectionEngine>(*code, std::move(arch),
-                                                       eopts);
+            const std::string tkey = cell.cfg->code.label + "|" +
+                                     cell.cfg->arch + "|" +
+                                     std::to_string(cell.rounds);
+            std::shared_ptr<const TranspileResult> shared;
+            {
+              const std::lock_guard<std::mutex> lock(transpile_mu);
+              const auto it = transpiles.find(tkey);
+              if (it != transpiles.end()) shared = it->second;
+            }
+            if (!shared) {
+              // Raced duplicates are harmless (transpile is deterministic);
+              // the routing search runs outside the lock.
+              shared = std::make_shared<const TranspileResult>(
+                  transpile(code->build(cell.rounds), arch,
+                            TranspileOptions{eopts.layout}));
+              const std::lock_guard<std::mutex> lock(transpile_mu);
+              transpiles.emplace(tkey, shared);
+            }
+            engine = std::make_unique<InjectionEngine>(
+                *code, std::move(arch), eopts, TranspileResult(*shared));
           } catch (const Error& e) {
             throw SpecError("grid cell " + cell.key +
                             ": engine construction failed: " + e.what());

@@ -582,6 +582,8 @@ struct CampaignMeasurement {
   double shots_per_second = 0.0;
   double cache_hit_rate = 0.0;
   double residual_fraction = 0.0;
+  PromotionStats promotion;
+  bool cache_bypassed = false;
 };
 
 template <typename RunFn>
@@ -600,6 +602,8 @@ CampaignMeasurement measure_campaign(const SurfaceCode& code,
       smoke);
   out.cache_hit_rate = engine.decode_cache_stats().hit_rate();
   out.residual_fraction = engine.residual_fraction();
+  out.promotion = engine.promotion_stats();
+  out.cache_bypassed = engine.cache_bypassed();
   return out;
 }
 
@@ -644,11 +648,17 @@ ExperimentReport run_perf_pipeline(const PerfRunOptions& options) {
         exact.shots_per_second > 0
             ? frame.shots_per_second / exact.shots_per_second
             : 0.0;
-    records.push_back({name + "/frame",
-                       frame.shots_per_second,
-                       {{"cache_hit_rate", frame.cache_hit_rate},
-                        {"residual_fraction", frame.residual_fraction},
-                        {"speedup_vs_exact", speedup}}});
+    records.push_back(
+        {name + "/frame",
+         frame.shots_per_second,
+         {{"cache_hit_rate", frame.cache_hit_rate},
+          {"residual_fraction", frame.residual_fraction},
+          {"promo_groups", static_cast<double>(frame.promotion.groups)},
+          {"promoted_shots",
+           static_cast<double>(frame.promotion.promoted_shots)},
+          {"exact_replays",
+           static_cast<double>(frame.promotion.exact_replays)},
+          {"speedup_vs_exact", speedup}}});
     records.push_back({name + "/exact",
                        exact.shots_per_second,
                        {{"cache_hit_rate", exact.cache_hit_rate},
@@ -704,12 +714,56 @@ ExperimentReport run_perf_pipeline(const PerfRunOptions& options) {
           return shots;
         },
         smoke);
+    const PromotionStats promo = engine.promotion_stats();
     records.push_back(
         {"pipeline/radiation/rotated_memz_d" + std::to_string(d),
          rate,
          {{"cache_hit_rate", engine.decode_cache_stats().hit_rate()},
-          {"residual_fraction", engine.residual_fraction()}},
+          {"residual_fraction", engine.residual_fraction()},
+          {"promo_groups", static_cast<double>(promo.groups)},
+          {"promoted_shots", static_cast<double>(promo.promoted_shots)},
+          {"exact_replays", static_cast<double>(promo.exact_replays)},
+          {"cache_bypassed", engine.cache_bypassed() ? 1.0 : 0.0}},
          {{"engine", engine.replay_engine()}}});
+  }
+
+  // --- herald-group promotion (low-entropy residual workloads) -------------
+  // A localized full-intensity strike yields one herald signature per
+  // strike ordinal, so the whole residual mass promotes into a handful of
+  // groups: one conditioned tableau walk per group plus bit-parallel frame
+  // replays, instead of a per-shot exact walk.  The off/on pair prices the
+  // promotion itself.
+  {
+    const RotatedCode code(11, RotatedMemory::Z);
+    const Graph arch = native_graph_for(code);
+    const std::size_t shots = smoke_shots(smoke, 1024, 8);
+    const auto measure_local = [&](bool promotion) {
+      EngineOptions eopts;
+      eopts.layout = LayoutStrategy::TRIVIAL;
+      eopts.herald_promotion = promotion;
+      const InjectionEngine engine(code, arch, eopts);
+      const std::uint32_t root = engine.active_qubits()[0];
+      std::uint64_t seed = 1;
+      const double rate = measure_rate_mode(
+          [&] {
+            engine.run_radiation_at(root, 1.0, false, shots, seed++);
+            return shots;
+          },
+          smoke);
+      return std::make_pair(rate, engine.promotion_stats());
+    };
+    const auto [off_rate, off_stats] = measure_local(false);
+    const auto [on_rate, on_stats] = measure_local(true);
+    records.push_back(
+        {"pipeline/promotion/rotated_memz_d11_local/off", off_rate,
+         {{"exact_replays", static_cast<double>(off_stats.exact_replays)}}});
+    records.push_back(
+        {"pipeline/promotion/rotated_memz_d11_local/on",
+         on_rate,
+         {{"promo_groups", static_cast<double>(on_stats.groups)},
+          {"promoted_shots", static_cast<double>(on_stats.promoted_shots)},
+          {"exact_replays", static_cast<double>(on_stats.exact_replays)},
+          {"speedup_vs_off", off_rate > 0 ? on_rate / off_rate : 0.0}}});
   }
 
   // --- static pipeline construction ---------------------------------------

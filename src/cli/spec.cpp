@@ -222,7 +222,9 @@ std::uint64_t ScenarioSpec::fingerprint() const {
   // sets the RNG stream decomposition).  Checkpoints written by a binary
   // whose cells would sample differently then refuse to resume (with the
   // --fresh hint) instead of silently mixing decompositions in one table.
-  constexpr std::uint64_t kSamplingSchemaVersion = 2;
+  // v3: herald-group frame promotion re-salted the residual replay
+  // streams (singles/groups draw from seed ^ kReplaySalt / kPromoteSalt).
+  constexpr std::uint64_t kSamplingSchemaVersion = 3;
   return splitmix64_mix(fnv1a64(stripped.to_json().dump()) ^
                         kSamplingSchemaVersion);
 }

@@ -78,9 +78,23 @@ std::uint64_t CachingDecoder::lookup(const std::vector<std::uint32_t>& key,
   return prediction;
 }
 
+bool CachingDecoder::check_bypass() {
+  if (!auto_bypass_) return false;
+  if (bypassed_.load(std::memory_order_relaxed)) return true;
+  const std::uint64_t lookups = lookups_.load(std::memory_order_relaxed);
+  if (lookups < kBypassProbeWindow) return false;
+  const std::uint64_t misses = misses_.load(std::memory_order_relaxed);
+  if (static_cast<double>(lookups - misses) >=
+      kBypassFloor * static_cast<double>(lookups))
+    return false;
+  bypassed_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
 std::uint64_t CachingDecoder::decode(
     const std::vector<std::uint32_t>& defects) {
   if (defects.empty()) return inner_.decode(defects);
+  if (check_bypass()) return inner_.decode(defects);
 
   // Canonicalize once per shot; scratch buffers are thread-local so the
   // shared engine cache stays allocation-free on the campaign hot path.
@@ -143,6 +157,14 @@ std::uint64_t CachingDecoder::decode_syndrome(const std::uint64_t* words,
   if (!any) {
     static const std::vector<std::uint32_t> kEmpty;
     return inner_.decode(kEmpty);
+  }
+  if (check_bypass()) {
+    // Forward without hashing: materialize the defect list (the cost the
+    // inner decoder needs anyway) and skip every cache layer.
+    thread_local std::vector<std::uint32_t> bypass_defects;
+    bypass_defects.clear();
+    append_syndrome_defects(words, num_words, bypass_defects);
+    return inner_.decode(bypass_defects);
   }
 
   const auto h = static_cast<std::size_t>(fnv1a64_mixed(words, num_words));

@@ -99,6 +99,21 @@ class CachingDecoder final : public Decoder {
   std::uint64_t decode_syndrome(const std::uint64_t* words,
                                 std::size_t num_words) override;
 
+  /// Observed-hit-rate auto-bypass (off unless enabled): once at least
+  /// kBypassProbeWindow counted lookups have accumulated with a hit rate
+  /// still below kBypassFloor, decode() / decode_syndrome() stop hashing
+  /// and probing entirely and forward straight to the inner decoder —
+  /// high-entropy syndrome mixes (large-distance strike campaigns) pay
+  /// real per-shot hashing cost for a cache they essentially never hit.
+  /// The trip is sticky for the decoder's lifetime and freezes the
+  /// hit/lookup counters at their pre-bypass values, so a recorded hit
+  /// rate below the floor plus bypassed() == true is self-describing.
+  void enable_auto_bypass() { auto_bypass_ = true; }
+  /// True once the auto-bypass has tripped.
+  bool bypassed() const { return bypassed_.load(std::memory_order_relaxed); }
+  static constexpr std::uint64_t kBypassProbeWindow = 4096;
+  static constexpr double kBypassFloor = 0.02;
+
   /// Stats hook for callers that memoize decode *outcomes* above this
   /// cache (the campaign engine's record-word memo): books the one
   /// lookup+hit the skipped decode_syndrome call would have booked, so
@@ -153,8 +168,13 @@ class CachingDecoder final : public Decoder {
   std::uint64_t lookup(const std::vector<std::uint32_t>& key,
                        const ComputeFn& miss);
 
+  /// True when probing should be skipped (evaluates and latches the trip).
+  bool check_bypass();
+
   Decoder& inner_;
   MwpmDecoder* clusterable_;  // non-null => per-cluster memoization
+  bool auto_bypass_ = false;
+  std::atomic<bool> bypassed_{false};
   const std::uint64_t instance_id_;  // L1 ownership tag (see the .cpp)
   std::size_t max_entries_per_shard_;
   std::array<Shard, kNumShards> shards_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <iterator>
 #include <memory>
 
 #include "detector/error_model.hpp"
@@ -114,13 +115,34 @@ class ReplayEngine {
 
 // Salt separating the replay phase's RNG streams from the frame phase's.
 constexpr std::uint64_t kReplaySalt = 0x7265706c61797221ULL;
+// Salt of the group-promotion streams (one stream per group chunk).
+constexpr std::uint64_t kPromoteSalt = 0x70726f6d6f746521ULL;
+// Salt of the pre-drawn signature stream (high-residual promotion).
+constexpr std::uint64_t kSignatureSalt = 0x7369676e61747572ULL;
+
+// Groups replayed per parallel chunk: amortizes the conditioned-walk
+// simulator across a chunk while keeping the grain fine enough to spread
+// unequal group sizes over workers.  Like shots_per_chunk, changing it
+// changes the stream decomposition and therefore the sampled values.
+constexpr std::size_t kGroupsPerChunk = 16;
 }  // namespace
 
 InjectionEngine::InjectionEngine(const SurfaceCode& code, Graph arch,
                                  EngineOptions options)
+    : InjectionEngine(code, arch,
+                      options,
+                      transpile(code.build(options.rounds), arch,
+                                TranspileOptions{options.layout})) {}
+
+InjectionEngine::InjectionEngine(const SurfaceCode& code, Graph arch,
+                                 EngineOptions options,
+                                 TranspileResult transpiled)
     : options_(options), arch_(std::move(arch)) {
   logical_ = code.build(options_.rounds);
-  transpiled_ = transpile(logical_, arch_, TranspileOptions{options_.layout});
+  transpiled_ = std::move(transpiled);
+  RADSURF_CHECK_ARG(
+      transpiled_.circuit.num_measurements() == logical_.num_measurements(),
+      "precomputed transpile does not match code.build(options.rounds)");
 
   DepolarizingModel sampling_noise{options_.physical_error_rate,
                                    options_.uniform_two_qubit,
@@ -149,8 +171,10 @@ InjectionEngine::InjectionEngine(const SurfaceCode& code, Graph arch,
   TableauSimulator ref_sim(transpiled_.circuit);
   reference_ = ref_sim.reference_sample();
 
-  if (options_.decode_cache && decoder_)
+  if (options_.decode_cache && decoder_) {
     cached_decoder_ = std::make_unique<CachingDecoder>(*decoder_);
+    if (options_.cache_auto_bypass) cached_decoder_->enable_auto_bypass();
+  }
 
   active_qubits_ = transpiled_.touched_physical_qubits();
 
@@ -188,6 +212,7 @@ Proportion InjectionEngine::run_circuit(
   if (options_.decode_cache) {
     if (decoder_override) {
       local_cache = std::make_unique<CachingDecoder>(*decoder_override);
+      if (options_.cache_auto_bypass) local_cache->enable_auto_bypass();
       decoder = local_cache.get();
     } else {
       decoder = cached_decoder_.get();
@@ -238,6 +263,149 @@ Proportion InjectionEngine::run_circuit(
     expected_residual = expected_residual_fraction(circuit, trace, erase);
   }
 
+  // Conditioned replay of a sorted residual list, shared by the frame
+  // path's phase 3 and the high-residual pre-drawn path.  Runs of shots
+  // with one signature become herald groups: ONE conditioned reference
+  // walk (exact cost, per distinct signature) plus a bit-parallel frame
+  // replay of the whole group; a member that heralds at a *conditioned*-
+  // random site falls through to a per-shot exact replay under the merged
+  // constraint.  Signatures too rare to group replay per shot as before.
+  const auto replay_residuals = [&](const std::vector<ResidualShot>&
+                                        residuals,
+                                    const ReferenceTrace& trace) {
+    if (residuals.empty()) return;
+    const auto forced_sites = reference_random_sites(circuit, trace);
+    const auto tape = CircuitTape::compile(circuit);
+    const auto constraint_of = [&](const ResidualShot& shot) {
+      ReplayConstraint c;
+      c.forced_sites = &forced_sites;
+      c.fired = shot.fired.data();
+      c.num_fired = shot.fired.size();
+      c.strike_ordinal = shot.strike;
+      c.has_strike = shot.has_strike;
+      return c;
+    };
+
+    // Partition the sorted list into promoted groups and per-shot singles.
+    struct Group {
+      std::size_t begin, end;
+    };
+    std::vector<Group> groups;
+    std::vector<std::size_t> singles;
+    const std::size_t min_group =
+        std::max<std::size_t>(2, options_.promotion_min_group);
+    for (std::size_t i = 0; i < residuals.size();) {
+      std::size_t j = i + 1;
+      while (j < residuals.size() &&
+             residuals[j].fired == residuals[i].fired &&
+             residuals[j].strike == residuals[i].strike)
+        ++j;
+      if (options_.herald_promotion && j - i >= min_group)
+        groups.push_back({i, j});
+      else
+        for (std::size_t k = i; k < j; ++k) singles.push_back(k);
+      i = j;
+    }
+
+    if (!singles.empty()) {
+      residual_shots_.fetch_add(singles.size(), std::memory_order_relaxed);
+      parallel_chunks(
+          singles.size(), options_.shots_per_chunk, Rng(seed ^ kReplaySalt),
+          [&](const ChunkRange& range, Rng& rng) {
+            std::size_t local_errors = 0;
+            ReplayEngine sim(tape, circuit);
+            BitVec record(detectors_.num_records());
+            std::vector<std::uint32_t> defects;
+            for (std::size_t s = range.begin; s < range.end; ++s) {
+              const ResidualShot& shot = residuals[singles[s]];
+              sim.sample_replay_into(rng, erase ? erasure : nullptr,
+                                     constraint_of(shot), record);
+              decode_record(record, defects, local_errors);
+            }
+            errors.fetch_add(local_errors, std::memory_order_relaxed);
+          });
+    }
+
+    if (!groups.empty()) {
+      promo_groups_.fetch_add(groups.size(), std::memory_order_relaxed);
+      std::atomic<std::uint64_t> promoted{0}, seconded{0};
+      parallel_chunks(
+          groups.size(), kGroupsPerChunk, Rng(seed ^ kPromoteSalt),
+          [&](const ChunkRange& range, Rng& rng) {
+            std::size_t local_errors = 0;
+            std::uint64_t local_promoted = 0, local_seconded = 0;
+            TableauSimulator cond_sim(circuit, tape);
+            std::unique_ptr<ReplayEngine> sec_sim;  // lazy: secondaries rare
+            BitVec record(detectors_.num_records());
+            std::vector<std::uint32_t> defects;
+            std::vector<std::uint32_t> merged_forced, sec_fired, merged_fired;
+            for (std::size_t g = range.begin; g < range.end; ++g) {
+              const ResidualShot& rep = residuals[groups[g].begin];
+              const std::size_t gsize = groups[g].end - groups[g].begin;
+              const ReplayConstraint constraint = constraint_of(rep);
+              const ConditionedReference cond = cond_sim.conditioned_reference(
+                  erase ? erasure : nullptr, constraint);
+              FrameSimulator fsim(circuit, gsize, &cond.trace);
+              BitVec secondary(gsize);
+              ResidualDetail detail;
+              const MeasurementFlips& flips =
+                  fsim.run_group(rng, constraint, cond,
+                                 erase ? erasure : nullptr, &secondary,
+                                 &detail);
+              const bool any_secondary = secondary.any();
+              if (any_secondary) {
+                // Merged pinning for the double-residual members: the
+                // group signature plus the member's heralds at every
+                // conditioned-random site — fired AND unfired, since the
+                // fall-through selection depends on all of them.
+                merged_forced.clear();
+                std::merge(forced_sites.begin(), forced_sites.end(),
+                           detail.random_sites.begin(),
+                           detail.random_sites.end(),
+                           std::back_inserter(merged_forced));
+                if (!sec_sim)
+                  sec_sim = std::make_unique<ReplayEngine>(tape, circuit);
+              }
+              for (std::size_t m = 0; m < gsize; ++m) {
+                if (any_secondary && secondary.get(m)) {
+                  sec_fired.clear();
+                  for (std::size_t i = 0; i < detail.random_sites.size(); ++i)
+                    if (detail.heralds[i].get(m))
+                      sec_fired.push_back(detail.random_sites[i]);
+                  merged_fired.clear();
+                  std::merge(rep.fired.begin(), rep.fired.end(),
+                             sec_fired.begin(), sec_fired.end(),
+                             std::back_inserter(merged_fired));
+                  ReplayConstraint mc;
+                  mc.forced_sites = &merged_forced;
+                  mc.fired = merged_fired.data();
+                  mc.num_fired = merged_fired.size();
+                  mc.strike_ordinal = rep.strike;
+                  mc.has_strike = rep.has_strike;
+                  sec_sim->sample_replay_into(rng, erase ? erasure : nullptr,
+                                              mc, record);
+                  decode_record(record, defects, local_errors);
+                  ++local_seconded;
+                  continue;
+                }
+                // Absolute record of a promoted member: the conditioned
+                // reference record XOR the member's flip column.
+                record = cond.record;
+                for (std::size_t r = 0; r < flips.size(); ++r)
+                  if (flips[r].get(m)) record.flip(r);
+                decode_record(record, defects, local_errors);
+                ++local_promoted;
+              }
+            }
+            errors.fetch_add(local_errors, std::memory_order_relaxed);
+            promoted.fetch_add(local_promoted, std::memory_order_relaxed);
+            seconded.fetch_add(local_seconded, std::memory_order_relaxed);
+          });
+      promo_shots_.fetch_add(promoted.load(), std::memory_order_relaxed);
+      residual_shots_.fetch_add(seconded.load(), std::memory_order_relaxed);
+    }
+  };
+
   if (options_.sampling_path == SamplingPath::EXACT) {
     // The paper's baseline methodology (and the cross-validation oracle):
     // one generic tableau walk per shot, nothing shared, nothing batched.
@@ -259,7 +427,8 @@ Proportion InjectionEngine::run_circuit(
           errors.fetch_add(local_errors, std::memory_order_relaxed);
         });
   } else if (needs_trace &&
-             expected_residual > options_.residual_fraction_threshold) {
+             expected_residual > options_.residual_fraction_threshold &&
+             !options_.herald_promotion) {
     // (Almost) every shot would be residual: the frame batch is pure
     // overhead, so every shot goes straight to the batched replay engine —
     // still exact, still seed-deterministic, but with the tape compiled
@@ -282,6 +451,51 @@ Proportion InjectionEngine::run_circuit(
           }
           errors.fetch_add(local_errors, std::memory_order_relaxed);
         });
+  } else if (needs_trace &&
+             expected_residual > options_.residual_fraction_threshold) {
+    // High-residual promotion: the frame batch would be pure overhead, but
+    // instead of walking every shot exactly, pre-draw each shot's full
+    // conditioning signature (heralds at the forced sites, strike ordinal)
+    // from a dedicated stream — they are independent of the circuit state,
+    // so sampling them first and replaying conditioned on them is the same
+    // chain-rule factorization the frame path uses — and hand the whole
+    // campaign to the grouped replay.  Signatures with any mass collapse
+    // into herald groups; the rest replays per shot, pinned to its drawn
+    // signature (it was selected into the singles by that signature, so it
+    // must not be resampled).
+    std::vector<ResidualShot> residuals(shots);
+    Rng sig_rng(seed ^ kSignatureSalt);
+    if (erase && trace.num_physical_ops > 0) {
+      for (auto& r : residuals) {
+        r.strike =
+            static_cast<std::uint32_t>(sig_rng.below(trace.num_physical_ops));
+        r.has_strike = true;
+      }
+    }
+    const auto forced_sites = reference_random_sites(circuit, trace);
+    if (!forced_sites.empty() && shots > 0) {
+      std::vector<double> site_prob(forced_sites.size(), 0.0);
+      std::size_t site = 0, fi = 0;
+      for (const Instruction& ins : circuit.instructions()) {
+        if (ins.gate != Gate::RESET_ERROR) continue;
+        for (std::size_t i = 0; i < ins.targets.size(); ++i, ++site)
+          if (fi < forced_sites.size() && forced_sites[fi] == site)
+            site_prob[fi++] = ins.args[0];
+      }
+      BitVec col(shots);
+      for (std::size_t i = 0; i < forced_sites.size(); ++i) {
+        FrameSimulator::fill_biased(col, site_prob[i], sig_rng);
+        for_each_set_bit(col.words(), col.num_words(), [&](std::size_t s) {
+          residuals[s].fired.push_back(forced_sites[i]);
+        });
+      }
+    }
+    std::stable_sort(residuals.begin(), residuals.end(),
+                     [](const ResidualShot& a, const ResidualShot& b) {
+                       if (a.fired != b.fired) return a.fired < b.fired;
+                       return a.strike < b.strike;
+                     });
+    replay_residuals(residuals, trace);
   } else {
     // Phase 1 — frame batches: decode every expressible shot, collect the
     // conditioning signature of every residual one.
@@ -488,35 +702,11 @@ Proportion InjectionEngine::run_circuit(
                        if (a.fired != b.fired) return a.fired < b.fired;
                        return a.strike < b.strike;
                      });
-    residual_shots_.fetch_add(residuals.size(), std::memory_order_relaxed);
 
-    // Phase 3 — conditioned exact replay of the residual shots, batched
-    // through parallel chunks with their own deterministic RNG streams.
-    if (!residuals.empty()) {
-      const auto forced_sites = reference_random_sites(circuit, trace);
-      const auto tape = CircuitTape::compile(circuit);
-      parallel_chunks(
-          residuals.size(), chunk_size, Rng(seed ^ kReplaySalt),
-          [&](const ChunkRange& range, Rng& rng) {
-            std::size_t local_errors = 0;
-            ReplayEngine sim(tape, circuit);
-            BitVec record(detectors_.num_records());
-            std::vector<std::uint32_t> defects;
-            for (std::size_t s = range.begin; s < range.end; ++s) {
-              const ResidualShot& shot = residuals[s];
-              ReplayConstraint constraint;
-              constraint.forced_sites = &forced_sites;
-              constraint.fired = shot.fired.data();
-              constraint.num_fired = shot.fired.size();
-              constraint.strike_ordinal = shot.strike;
-              constraint.has_strike = shot.has_strike;
-              sim.sample_replay_into(rng, erase ? erasure : nullptr,
-                                     constraint, record);
-              decode_record(record, defects, local_errors);
-            }
-            errors.fetch_add(local_errors, std::memory_order_relaxed);
-          });
-    }
+    // Phase 3 — conditioned replay of the residual shots: herald groups
+    // through one conditioned walk + a frame replay each, the rest per
+    // shot, all on deterministic per-chunk RNG streams.
+    replay_residuals(residuals, trace);
   }
 
   if (local_cache) {
@@ -525,6 +715,10 @@ Proportion InjectionEngine::run_circuit(
     override_cache_lookups_.fetch_add(s.lookups, std::memory_order_relaxed);
   }
   return Proportion{errors.load(), shots};
+}
+
+bool InjectionEngine::cache_bypassed() const {
+  return cached_decoder_ != nullptr && cached_decoder_->bypassed();
 }
 
 DecodeCacheStats InjectionEngine::decode_cache_stats() const {

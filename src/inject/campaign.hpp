@@ -109,6 +109,28 @@ struct EngineOptions {
   double residual_fraction_threshold = 0.7;
   /// Memoize defect-set -> prediction across shots (see decode_cache.hpp).
   bool decode_cache = true;
+  /// Let the decode cache switch itself off mid-campaign: once its
+  /// observed hit rate stays under a floor after an initial probe window
+  /// (CachingDecoder::kBypass* in decode_cache.hpp), every further decode
+  /// skips the hashing and shard probing entirely — high-entropy syndrome
+  /// mixes (large-distance strikes) otherwise pay for a cache they never
+  /// hit.  Surfaced as cache_bypassed() and in BENCH extras.
+  bool cache_auto_bypass = true;
+  /// Herald-group frame promotion: group the residual shots of a campaign
+  /// by their full conditioning signature (fired forced sites + strike
+  /// ordinal) and run each group of at least `promotion_min_group` shots
+  /// as ONE conditioned reference walk (exact, per distinct signature)
+  /// plus a bit-parallel frame replay of the whole group against it —
+  /// per-signature exact cost instead of per-shot.  Groups below the
+  /// minimum (including the all-signatures-distinct worst case, e.g.
+  /// full-intensity spread strikes) replay per shot exactly as before.
+  /// Also applies above residual_fraction_threshold, where signatures are
+  /// pre-drawn so the whole campaign can be grouped without a frame batch.
+  bool herald_promotion = true;
+  /// Smallest signature group worth promoting (minimum 2: the conditioned
+  /// walk costs about one exact shot, so a group of k replays in ~1 walk
+  /// + k frame shots instead of k exact walks).
+  std::size_t promotion_min_group = 2;
   /// Decode frame batches through the batch-major path: detector flip rows
   /// are 64×64 block-transposed into shot-major syndrome words at the
   /// decode boundary, zero-syndrome shots are skipped by a whole-word OR,
@@ -122,6 +144,20 @@ struct EngineOptions {
   /// run_timeline's sliding windows turn this off to keep decoder memory
   /// O(window) — every other run_* campaign requires it.
   bool whole_history_decoder = true;
+};
+
+/// Herald-group promotion counters, cumulative over every campaign an
+/// engine has run (see EngineOptions::herald_promotion): `groups` counts
+/// conditioned reference walks (one per promoted signature), `promoted_shots`
+/// the shots served by a group frame replay instead of a per-shot exact
+/// walk, and `exact_replays` the shots that did take a per-shot exact walk
+/// (singletons and sub-minimum groups, secondary residuals of promoted
+/// groups, and every shot of EXACT or non-promoted frame-skipped
+/// campaigns).  Recorded per scenario in BENCH_perf.json.
+struct PromotionStats {
+  std::uint64_t groups = 0;
+  std::uint64_t promoted_shots = 0;
+  std::uint64_t exact_replays = 0;
 };
 
 /// Aggregate of a multi-realization timeline campaign.
@@ -142,6 +178,12 @@ struct TimelineSummary {
 class InjectionEngine {
  public:
   InjectionEngine(const SurfaceCode& code, Graph arch, EngineOptions options);
+  /// Same pipeline, but reusing a precomputed transpile of
+  /// `code.build(options.rounds)` onto `arch` — the grid layer memoizes
+  /// transpiles across cells that share (code, architecture, rounds), so
+  /// sweeps over noise levels or decoders pay the routing search once.
+  InjectionEngine(const SurfaceCode& code, Graph arch, EngineOptions options,
+                  TranspileResult transpiled);
 
   // --- static pipeline introspection --------------------------------------
   const Graph& architecture() const { return arch_; }
@@ -172,11 +214,24 @@ class InjectionEngine {
   /// attributable to the engine actually running (BENCH extras).
   std::string replay_engine() const;
 
-  /// Fraction of sampled shots that took an exact engine rather than the
-  /// bit-parallel frame path, cumulative over every campaign this engine
-  /// has run: AUTO counts its residual (or frame-skipped) shots, EXACT
-  /// counts everything.  The observable cost driver behind
-  /// `speedup_vs_exact` — recorded per scenario in BENCH_perf.json.
+  /// Herald-group promotion counters (see PromotionStats), cumulative over
+  /// every campaign this engine has run.
+  PromotionStats promotion_stats() const {
+    return {promo_groups_.load(std::memory_order_relaxed),
+            promo_shots_.load(std::memory_order_relaxed),
+            residual_shots_.load(std::memory_order_relaxed)};
+  }
+
+  /// True once the decode cache has switched itself off (see
+  /// EngineOptions::cache_auto_bypass); false when caching is disabled.
+  bool cache_bypassed() const;
+
+  /// Fraction of sampled shots that took a *per-shot* exact engine walk
+  /// rather than a bit-parallel frame path (plain batch or group-promoted
+  /// replay), cumulative over every campaign this engine has run: AUTO
+  /// counts its per-shot exact replays, EXACT counts everything.  The
+  /// observable cost driver behind `speedup_vs_exact` — recorded per
+  /// scenario in BENCH_perf.json.
   double residual_fraction() const {
     const std::uint64_t total =
         sampled_shots_.load(std::memory_order_relaxed);
@@ -285,9 +340,13 @@ class InjectionEngine {
   // Stats of the transient caches wrapped around override decoders.
   mutable std::atomic<std::uint64_t> override_cache_hits_{0};
   mutable std::atomic<std::uint64_t> override_cache_lookups_{0};
-  // Residual accounting across campaigns (see residual_fraction()).
+  // Residual accounting across campaigns (see residual_fraction()):
+  // residual_shots_ counts per-shot exact walks only — group-promoted
+  // shots count in promo_shots_ instead.
   mutable std::atomic<std::uint64_t> sampled_shots_{0};
   mutable std::atomic<std::uint64_t> residual_shots_{0};
+  mutable std::atomic<std::uint64_t> promo_groups_{0};
+  mutable std::atomic<std::uint64_t> promo_shots_{0};
   BitVec reference_;
   std::vector<std::uint32_t> active_qubits_;
   std::vector<QubitRole> physical_roles_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "stab/simd.hpp"
 #include "util/error.hpp"
 
 namespace radsurf {
@@ -23,6 +24,15 @@ inline std::uint64_t prefix_xor_exclusive(std::uint64_t v) {
 
 inline bool fires(const std::uint64_t threshold, Rng& rng) {
   return rng.next() <= threshold;
+}
+
+// Ascending set-bit iteration over a word mask.
+template <class Fn>
+inline void for_each_bit(std::uint64_t mask, Fn&& fn) {
+  while (mask != 0) {
+    fn(static_cast<std::uint32_t>(std::countr_zero(mask)));
+    mask &= mask - 1;
+  }
 }
 
 }  // namespace
@@ -231,7 +241,8 @@ void CompactTableau::reset(std::uint32_t q, Rng& rng) {
 WideTableau::WideTableau(std::size_t num_qubits)
     : n_(static_cast<std::uint32_t>(num_qubits)),
       words_(static_cast<std::uint32_t>((2 * num_qubits + 63) / 64)),
-      kwords_(static_cast<std::uint32_t>((num_qubits + 63) / 64)) {
+      kwords_(static_cast<std::uint32_t>((num_qubits + 63) / 64)),
+      cwords_(static_cast<std::uint32_t>((num_qubits + 63) / 64)) {
   RADSURF_CHECK_ARG(num_qubits > 0 &&
                         num_qubits <= CompactTableauSimulator::kMaxSupportedQubits,
                     "WideTableau supports 1.."
@@ -245,10 +256,15 @@ WideTableau::WideTableau(std::size_t num_qubits)
     stab_mask_[r >> 6] |= std::uint64_t{1} << (r & 63);
   known_.assign(kwords_, 0);
   value_.assign(kwords_, 0);
+  xmask_.assign(n_, 0);
+  zmask_.assign(n_, 0);
+  occ_x_.assign(static_cast<std::size_t>(words_) * cwords_, 0);
+  occ_z_.assign(static_cast<std::size_t>(words_) * cwords_, 0);
   m_.assign(words_, 0);
   lo_.assign(words_, 0);
   hi_.assign(words_, 0);
   sel_.assign(words_, 0);
+  cand_.assign(cwords_, 0);
   reset_all();
 }
 
@@ -256,9 +272,15 @@ void WideTableau::reset_all() {
   std::fill(xcols_.begin(), xcols_.end(), 0);
   std::fill(zcols_.begin(), zcols_.end(), 0);
   std::fill(signs_.begin(), signs_.end(), 0);
+  std::fill(xmask_.begin(), xmask_.end(), 0);
+  std::fill(zmask_.begin(), zmask_.end(), 0);
+  std::fill(occ_x_.begin(), occ_x_.end(), 0);
+  std::fill(occ_z_.begin(), occ_z_.end(), 0);
   for (std::uint32_t q = 0; q < n_; ++q) {
     xcol(q)[q >> 6] = std::uint64_t{1} << (q & 63);               // X_q
     zcol(q)[(n_ + q) >> 6] |= std::uint64_t{1} << ((n_ + q) & 63);  // Z_q
+    sync_x(q, q >> 6);
+    sync_z(q, (n_ + q) >> 6);
   }
   std::fill(known_.begin(), known_.end(), 0);
   for (std::uint32_t q = 0; q < n_; ++q)
@@ -269,20 +291,23 @@ void WideTableau::reset_all() {
 void WideTableau::apply_h(std::uint32_t q) {
   std::uint64_t* x = xcol(q);
   std::uint64_t* z = zcol(q);
-  for (std::uint32_t w = 0; w < words_; ++w) {
+  for_each_bit(xmask_[q] | zmask_[q], [&](std::uint32_t w) {
     signs_[w] ^= x[w] & z[w];
     std::swap(x[w], z[w]);
-  }
+    sync_x(q, w);
+    sync_z(q, w);
+  });
   clear_known(q);
 }
 
 void WideTableau::apply_s(std::uint32_t q) {
   std::uint64_t* x = xcol(q);
   std::uint64_t* z = zcol(q);
-  for (std::uint32_t w = 0; w < words_; ++w) {
+  for_each_bit(xmask_[q], [&](std::uint32_t w) {
     signs_[w] ^= x[w] & z[w];
     z[w] ^= x[w];
-  }
+    sync_z(q, w);
+  });
 }
 
 void WideTableau::apply_s_dag(std::uint32_t q) {
@@ -292,19 +317,20 @@ void WideTableau::apply_s_dag(std::uint32_t q) {
 
 void WideTableau::apply_x(std::uint32_t q) {
   const std::uint64_t* z = zcol(q);
-  for (std::uint32_t w = 0; w < words_; ++w) signs_[w] ^= z[w];
+  for_each_bit(zmask_[q], [&](std::uint32_t w) { signs_[w] ^= z[w]; });
   flip_value(q);
 }
 
 void WideTableau::apply_z(std::uint32_t q) {
   const std::uint64_t* x = xcol(q);
-  for (std::uint32_t w = 0; w < words_; ++w) signs_[w] ^= x[w];
+  for_each_bit(xmask_[q], [&](std::uint32_t w) { signs_[w] ^= x[w]; });
 }
 
 void WideTableau::apply_y(std::uint32_t q) {
   const std::uint64_t* x = xcol(q);
   const std::uint64_t* z = zcol(q);
-  for (std::uint32_t w = 0; w < words_; ++w) signs_[w] ^= x[w] ^ z[w];
+  for_each_bit(xmask_[q] | zmask_[q],
+               [&](std::uint32_t w) { signs_[w] ^= x[w] ^ z[w]; });
   flip_value(q);
 }
 
@@ -313,11 +339,15 @@ void WideTableau::apply_cx(std::uint32_t c, std::uint32_t t) {
   std::uint64_t* zc = zcol(c);
   std::uint64_t* xt = xcol(t);
   std::uint64_t* zt = zcol(t);
-  for (std::uint32_t w = 0; w < words_; ++w) {
+  // Only words where the control has X or the target has Z support can
+  // change anything (the sign term needs both, the column updates one each).
+  for_each_bit(xmask_[c] | zmask_[t], [&](std::uint32_t w) {
     signs_[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
     xt[w] ^= xc[w];
     zc[w] ^= zt[w];
-  }
+    sync_x(t, w);
+    sync_z(c, w);
+  });
   if (known_bit(c)) {
     if (value_bit(c)) flip_value(t);
   } else {
@@ -330,11 +360,13 @@ void WideTableau::apply_cz(std::uint32_t a, std::uint32_t b) {
   std::uint64_t* za = zcol(a);
   std::uint64_t* xb = xcol(b);
   std::uint64_t* zb = zcol(b);
-  for (std::uint32_t w = 0; w < words_; ++w) {
+  for_each_bit(xmask_[a] | xmask_[b], [&](std::uint32_t w) {
     signs_[w] ^= xa[w] & xb[w] & (za[w] ^ zb[w]);
     za[w] ^= xb[w];
     zb[w] ^= xa[w];
-  }
+    sync_z(a, w);
+    sync_z(b, w);
+  });
 }
 
 void WideTableau::apply_swap(std::uint32_t a, std::uint32_t b) {
@@ -342,10 +374,15 @@ void WideTableau::apply_swap(std::uint32_t a, std::uint32_t b) {
   std::uint64_t* za = zcol(a);
   std::uint64_t* xb = xcol(b);
   std::uint64_t* zb = zcol(b);
-  for (std::uint32_t w = 0; w < words_; ++w) {
-    std::swap(xa[w], xb[w]);
-    std::swap(za[w], zb[w]);
-  }
+  for_each_bit(xmask_[a] | xmask_[b] | zmask_[a] | zmask_[b],
+               [&](std::uint32_t w) {
+                 std::swap(xa[w], xb[w]);
+                 std::swap(za[w], zb[w]);
+                 sync_x(a, w);
+                 sync_x(b, w);
+                 sync_z(a, w);
+                 sync_z(b, w);
+               });
   const bool ka = known_bit(a), kb = known_bit(b);
   const bool va = value_bit(a), vb = value_bit(b);
   clear_known(a);
@@ -362,47 +399,71 @@ bool WideTableau::deterministic_outcome(std::uint32_t q) {
   const std::uint32_t shift_bits = n_ & 63;
   std::fill(sel_.begin(), sel_.end(), 0);
   int selected = 0;
-  for (std::uint32_t w = 0; w <= (n_ - 1) >> 6; ++w) {
-    std::uint64_t v = x[w];
-    // Mask off any stabilizer-region bits sharing the word with row n-1.
-    const std::uint32_t base = w << 6;
-    if (base + 64 > n_)
-      v &= (std::uint64_t{1} << (n_ - base)) - 1;
-    if (v == 0) continue;
-    selected += std::popcount(v);
-    sel_[w + shift_words] |= v << shift_bits;
-    if (shift_bits != 0 && w + shift_words + 1 < words_)
-      sel_[w + shift_words + 1] |= v >> (64 - shift_bits);
-  }
+  const std::uint32_t last_low = (n_ - 1) >> 6;
+  for_each_bit(xmask_[q] & ((std::uint64_t{2} << last_low) - 1),
+               [&](std::uint32_t w) {
+                 std::uint64_t v = x[w];
+                 // Mask off any stabilizer-region bits sharing the word
+                 // with row n-1.
+                 const std::uint32_t base = w << 6;
+                 if (base + 64 > n_)
+                   v &= (std::uint64_t{1} << (n_ - base)) - 1;
+                 if (v == 0) return;
+                 selected += std::popcount(v);
+                 sel_[w + shift_words] |= v << shift_bits;
+                 if (shift_bits != 0 && w + shift_words + 1 < words_)
+                   sel_[w + shift_words + 1] |= v >> (64 - shift_bits);
+               });
   // Products of zero or one stabilizer rows carry no g-phase.
   if (selected == 0) return false;
-  int phase = 0;
+  std::uint64_t selmask = 0;
   for (std::uint32_t w = 0; w < words_; ++w)
+    if (sel_[w] != 0) selmask |= std::uint64_t{1} << w;
+  int phase = 0;
+  for_each_bit(selmask, [&](std::uint32_t w) {
     phase += std::popcount(signs_[w] & sel_[w]);
+  });
   if (selected == 1) return phase != 0;
   phase *= 2;
-  for (std::uint32_t k = 0; k < n_; ++k) {
-    const std::uint64_t* xk = xcol(k);
-    const std::uint64_t* zk = zcol(k);
-    // Exclusive prefix parities carried across word boundaries stand in
-    // for the accumulated scratch Pauli at each row.
-    std::uint64_t carry_x = 0, carry_z = 0;  // 0 or ~0: parity of lower words
-    for (std::uint32_t w = 0; w < words_; ++w) {
-      const std::uint64_t x1 = xk[w] & sel_[w];
-      const std::uint64_t z1 = zk[w] & sel_[w];
-      if (!(x1 | z1) && !(carry_x | carry_z)) continue;
-      const std::uint64_t x2 = prefix_xor_exclusive(x1) ^ carry_x;
-      const std::uint64_t z2 = prefix_xor_exclusive(z1) ^ carry_z;
-      const std::uint64_t plus = (x1 & ~z1 & x2 & z2) |
-                                 (x1 & z1 & ~x2 & z2) |
-                                 (~x1 & z1 & x2 & ~z2);
-      const std::uint64_t minus = (x1 & ~z1 & ~x2 & z2) |
-                                  (x1 & z1 & x2 & ~z2) |
-                                  (~x1 & z1 & x2 & z2);
-      phase += std::popcount(plus) - std::popcount(minus);
-      if (std::popcount(x1) & 1) carry_x = ~carry_x;
-      if (std::popcount(z1) & 1) carry_z = ~carry_z;
-    }
+  // Candidate columns: any with support in a selected-row word.  Columns
+  // outside the union contribute nothing (x1 = z1 = 0 in every word).
+  std::fill(cand_.begin(), cand_.end(), 0);
+  for_each_bit(selmask, [&](std::uint32_t w) {
+    const std::uint64_t* ox = occ_x_.data() +
+                              static_cast<std::size_t>(w) * cwords_;
+    const std::uint64_t* oz = occ_z_.data() +
+                              static_cast<std::size_t>(w) * cwords_;
+    for (std::uint32_t cw = 0; cw < cwords_; ++cw)
+      cand_[cw] |= ox[cw] | oz[cw];
+  });
+  for (std::uint32_t cw = 0; cw < cwords_; ++cw) {
+    for_each_bit(cand_[cw], [&](std::uint32_t cb) {
+      const std::uint32_t k = (cw << 6) + cb;
+      const std::uint64_t* xk = xcol(k);
+      const std::uint64_t* zk = zcol(k);
+      // Exclusive prefix parities carried across word boundaries stand in
+      // for the accumulated scratch Pauli at each row.  Words with no
+      // selected bits in this column leave both the phase and the carries
+      // untouched, so the walk visits only the column's selected words,
+      // ascending.
+      std::uint64_t carry_x = 0, carry_z = 0;  // 0 or ~0: lower-word parity
+      for_each_bit((xmask_[k] | zmask_[k]) & selmask, [&](std::uint32_t w) {
+        const std::uint64_t x1 = xk[w] & sel_[w];
+        const std::uint64_t z1 = zk[w] & sel_[w];
+        if (!(x1 | z1)) return;
+        const std::uint64_t x2 = prefix_xor_exclusive(x1) ^ carry_x;
+        const std::uint64_t z2 = prefix_xor_exclusive(z1) ^ carry_z;
+        const std::uint64_t plus = (x1 & ~z1 & x2 & z2) |
+                                   (x1 & z1 & ~x2 & z2) |
+                                   (~x1 & z1 & x2 & ~z2);
+        const std::uint64_t minus = (x1 & ~z1 & ~x2 & z2) |
+                                    (x1 & z1 & x2 & ~z2) |
+                                    (~x1 & z1 & x2 & z2);
+        phase += std::popcount(plus) - std::popcount(minus);
+        if (std::popcount(x1) & 1) carry_x = ~carry_x;
+        if (std::popcount(z1) & 1) carry_z = ~carry_z;
+      });
+    });
   }
   phase &= 3;
   RADSURF_ASSERT_MSG((phase & 1) == 0,
@@ -415,12 +476,17 @@ bool WideTableau::measure(std::uint32_t q, Rng& rng) {
 
   std::uint64_t* x = xcol(q);
   std::uint32_t pivot = 2 * n_;  // sentinel: no stabilizer X component
-  for (std::uint32_t w = n_ >> 6; w < words_; ++w) {
-    const std::uint64_t t = x[w] & stab_mask_[w];
-    if (t != 0) {
-      pivot = (w << 6) +
-              static_cast<std::uint32_t>(std::countr_zero(t));
-      break;
+  {
+    const std::uint32_t w0 = n_ >> 6;
+    std::uint64_t hm = xmask_[q] & ~((std::uint64_t{1} << w0) - 1);
+    while (hm != 0) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(hm));
+      const std::uint64_t t = x[w] & stab_mask_[w];
+      if (t != 0) {
+        pivot = (w << 6) + static_cast<std::uint32_t>(std::countr_zero(t));
+        break;
+      }
+      hm &= hm - 1;
     }
   }
   if (pivot == 2 * n_) {
@@ -429,75 +495,119 @@ bool WideTableau::measure(std::uint32_t q, Rng& rng) {
     return outcome;
   }
 
-  // Random outcome: batched pivot elimination on word slices.
+  // Random outcome: batched pivot elimination on word slices, visiting
+  // only the columns occupying the pivot word (occ rows) and only the
+  // words of the measured column's support (m words).
   const std::uint32_t pw = pivot >> 6, pb = pivot & 63;
   const std::uint64_t pivot_bit = std::uint64_t{1} << pb;
-  bool any_m = false;
-  for (std::uint32_t w = 0; w < words_; ++w) {
-    m_[w] = x[w];
-    if (w == pw) m_[w] &= ~pivot_bit;
-    any_m |= m_[w] != 0;
-  }
-  if (any_m) {
-    const std::uint64_t pivot_sign =
-        (signs_[pw] & pivot_bit) ? ~std::uint64_t{0} : 0;
-    for (std::uint32_t w = 0; w < words_; ++w) {
-      lo_[w] = 0;
-      hi_[w] = (signs_[w] ^ pivot_sign) & m_[w];
+  std::fill(m_.begin(), m_.end(), 0);
+  std::uint64_t mmask = 0;
+  for_each_bit(xmask_[q], [&](std::uint32_t w) {
+    std::uint64_t v = x[w];
+    if (w == pw) v &= ~pivot_bit;
+    m_[w] = v;
+    if (v != 0) mmask |= std::uint64_t{1} << w;
+  });
+  // Scan the pivot-word occupancy window once: it covers every column the
+  // pivot row touches (support(pivot row) by definition occupies word pw).
+  // The scan both runs the elimination kernel on anticommuting columns and
+  // records the support list, which the row move below reuses — elimination
+  // never flips pivot-row bits (m excludes the pivot bit), so the list
+  // stays exact.
+  hitk_.clear();
+  {
+    const bool eliminate = mmask != 0;
+    std::uint32_t w_lo = 0, w_hi = 0;
+    if (eliminate) {
+      const std::uint64_t pivot_sign =
+          (signs_[pw] & pivot_bit) ? ~std::uint64_t{0} : 0;
+      for_each_bit(mmask, [&](std::uint32_t w) {
+        lo_[w] = 0;
+        hi_[w] = (signs_[w] ^ pivot_sign) & m_[w];
+      });
+      // Contiguous hull of the m support: interior gap words have m = 0 and
+      // are no-ops, which lets the kernel run branch-free (and vectorized).
+      w_lo = static_cast<std::uint32_t>(std::countr_zero(mmask));
+      w_hi = static_cast<std::uint32_t>(64 - std::countl_zero(mmask));
     }
-    for (std::uint32_t k = 0; k < n_; ++k) {
-      std::uint64_t* xk = xcol(k);
-      std::uint64_t* zk = zcol(k);
-      const bool xp = (xk[pw] & pivot_bit) != 0;
-      const bool zp = (zk[pw] & pivot_bit) != 0;
-      if (!xp && !zp) continue;
-      for (std::uint32_t w = 0; w < words_; ++w) {
-        const std::uint64_t x2 = xk[w];
-        const std::uint64_t z2 = zk[w];
-        std::uint64_t plus, minus;
-        if (xp && zp) {        // pivot Y: +1 on Z rows, -1 on X rows
-          plus = z2 & ~x2;
-          minus = x2 & ~z2;
-        } else if (xp) {       // pivot X: +1 on Y rows, -1 on Z rows
-          plus = x2 & z2;
-          minus = z2 & ~x2;
-        } else {               // pivot Z: +1 on X rows, -1 on Y rows
-          plus = x2 & ~z2;
-          minus = x2 & z2;
-        }
-        plus &= m_[w];
-        minus &= m_[w];
-        const std::uint64_t carry = lo_[w] & plus;
-        lo_[w] ^= plus;
-        hi_[w] ^= carry;
-        const std::uint64_t borrow = ~lo_[w] & minus;
-        lo_[w] ^= minus;
-        hi_[w] ^= borrow;
-        if (xp) xk[w] ^= m_[w];
-        if (zp) zk[w] ^= m_[w];
-      }
+    const std::uint64_t* ox =
+        occ_x_.data() + static_cast<std::size_t>(pw) * cwords_;
+    const std::uint64_t* oz =
+        occ_z_.data() + static_cast<std::size_t>(pw) * cwords_;
+    for (std::uint32_t cw = 0; cw < cwords_; ++cw) {
+      for_each_bit(ox[cw] | oz[cw], [&](std::uint32_t cb) {
+        const std::uint32_t k = (cw << 6) + cb;
+        std::uint64_t* xk = xcol(k);
+        std::uint64_t* zk = zcol(k);
+        const bool xp = (xk[pw] & pivot_bit) != 0;
+        const bool zp = (zk[pw] & pivot_bit) != 0;
+        if (!xp && !zp) return;
+        hitk_.push_back(k);
+        if (!eliminate) return;
+        simd::pivot_eliminate(xk, zk, m_.data(), lo_.data(), hi_.data(),
+                              w_lo, w_hi, xp, zp);
+        for_each_bit(mmask, [&](std::uint32_t w) {
+          if (xp) sync_x(k, w);
+          if (zp) sync_z(k, w);
+        });
+      });
     }
-    for (std::uint32_t w = 0; w < words_; ++w) {
-      RADSURF_ASSERT_MSG((lo_[w] & stab_mask_[w] & m_[w]) == 0,
-                         "stabilizer rowsum produced imaginary phase");
-      signs_[w] = (signs_[w] & ~m_[w]) | (hi_[w] & m_[w]);
+    if (eliminate) {
+      for_each_bit(mmask, [&](std::uint32_t w) {
+        RADSURF_ASSERT_MSG((lo_[w] & stab_mask_[w] & m_[w]) == 0,
+                           "stabilizer rowsum produced imaginary phase");
+        signs_[w] = (signs_[w] & ~m_[w]) | (hi_[w] & m_[w]);
+      });
     }
   }
 
   // Destabilizer paired with pivot := old pivot row, and pivot row := +/-
-  // Z_q with the measured sign.
+  // Z_q with the measured sign.  The full bit move only matters on
+  // support(pivot row) — the hit list above — plus columns still holding a
+  // destabilizer-row bit, which merely need that bit cleared.  The latter
+  // are found with a single-bit test over the destabilizer-word occupancy
+  // window (cheap: most window columns fail the test in a few ops).
   const std::uint32_t d = pivot - n_;
   const std::uint32_t dw = d >> 6, db = d & 63;
   const std::uint64_t d_bit = std::uint64_t{1} << db;
-  for (std::uint32_t k = 0; k < n_; ++k) {
-    std::uint64_t* xk = xcol(k);
-    std::uint64_t* zk = zcol(k);
-    const std::uint64_t xb = (xk[pw] >> pb) & 1u;
-    const std::uint64_t zb = (zk[pw] >> pb) & 1u;
-    xk[pw] &= ~pivot_bit;
-    zk[pw] &= ~pivot_bit;
-    xk[dw] = (xk[dw] & ~d_bit) | (xb << db);
-    zk[dw] = (zk[dw] & ~d_bit) | (zb << db);
+  {
+    const std::uint64_t* oxd =
+        occ_x_.data() + static_cast<std::size_t>(dw) * cwords_;
+    const std::uint64_t* ozd =
+        occ_z_.data() + static_cast<std::size_t>(dw) * cwords_;
+    for (std::uint32_t cw = 0; cw < cwords_; ++cw) {
+      for_each_bit(oxd[cw] | ozd[cw], [&](std::uint32_t cb) {
+        const std::uint32_t k = (cw << 6) + cb;
+        std::uint64_t* xk = xcol(k);
+        std::uint64_t* zk = zcol(k);
+        const std::uint64_t xd = xk[dw] & d_bit;
+        const std::uint64_t zd = zk[dw] & d_bit;
+        if (!(xd | zd)) return;
+        if ((xk[pw] | zk[pw]) & pivot_bit) return;  // full move below
+        if (xd) {
+          xk[dw] &= ~d_bit;
+          sync_x(k, dw);
+        }
+        if (zd) {
+          zk[dw] &= ~d_bit;
+          sync_z(k, dw);
+        }
+      });
+    }
+    for (const std::uint32_t k : hitk_) {
+      std::uint64_t* xk = xcol(k);
+      std::uint64_t* zk = zcol(k);
+      const std::uint64_t xb = (xk[pw] >> pb) & 1u;
+      const std::uint64_t zb = (zk[pw] >> pb) & 1u;
+      xk[pw] &= ~pivot_bit;
+      zk[pw] &= ~pivot_bit;
+      xk[dw] = (xk[dw] & ~d_bit) | (xb << db);
+      zk[dw] = (zk[dw] & ~d_bit) | (zb << db);
+      sync_x(k, pw);
+      sync_z(k, pw);
+      sync_x(k, dw);
+      sync_z(k, dw);
+    }
   }
   const bool outcome = rng.next() & 1;
   const std::uint64_t sb = (signs_[pw] >> pb) & 1u;
@@ -505,6 +615,7 @@ bool WideTableau::measure(std::uint32_t q, Rng& rng) {
   signs_[dw] = (signs_[dw] & ~d_bit) | (sb << db);
   signs_[pw] |= outcome ? pivot_bit : 0;
   zcol(q)[pw] |= pivot_bit;
+  sync_z(q, pw);
 
   set_known(q, outcome);
   return outcome;

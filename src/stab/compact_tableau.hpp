@@ -159,17 +159,59 @@ class WideTableau {
     value_[q >> 6] ^= std::uint64_t{1} << (q & 63);
   }
 
+  // Sparsity index.  Surface-code columns stay sparse (stabilizer and
+  // destabilizer rows are spatially local), so every measurement loop runs
+  // over nonzero words and occupied columns instead of all n * W slots:
+  //  * xmask_[q] / zmask_[q]: bit w set iff the column's word w is nonzero
+  //    (words_ <= 32, so one 64-bit mask always suffices);
+  //  * occ_x_ / occ_z_ [w * cwords_ + (q >> 6)]: the reverse map — bit q
+  //    set iff column q's word w is nonzero — giving the candidate columns
+  //    of a needle word (pivot row, destabilizer row, selected-row window)
+  //    as a few word ORs instead of an O(n) column scan.
+  // Every column mutation re-syncs the touched (q, w) slots, keeping the
+  // index exact rather than conservative.
+  void sync_x(std::uint32_t q, std::uint32_t w) {
+    const std::uint64_t wb = std::uint64_t{1} << w;
+    const std::uint64_t qb = std::uint64_t{1} << (q & 63);
+    std::uint64_t& occ =
+        occ_x_[static_cast<std::size_t>(w) * cwords_ + (q >> 6)];
+    if (xcol(q)[w] != 0) {
+      xmask_[q] |= wb;
+      occ |= qb;
+    } else {
+      xmask_[q] &= ~wb;
+      occ &= ~qb;
+    }
+  }
+  void sync_z(std::uint32_t q, std::uint32_t w) {
+    const std::uint64_t wb = std::uint64_t{1} << w;
+    const std::uint64_t qb = std::uint64_t{1} << (q & 63);
+    std::uint64_t& occ =
+        occ_z_[static_cast<std::size_t>(w) * cwords_ + (q >> 6)];
+    if (zcol(q)[w] != 0) {
+      zmask_[q] |= wb;
+      occ |= qb;
+    } else {
+      zmask_[q] &= ~wb;
+      occ &= ~qb;
+    }
+  }
+
   std::uint32_t n_;
   std::uint32_t words_;   // ceil(2n / 64): words per column
   std::uint32_t kwords_;  // ceil(n / 64): words of the known/value masks
+  std::uint32_t cwords_;  // ceil(n / 64): words of a column-index bitset
   std::vector<std::uint64_t> xcols_;  // [q * words_ + w]
   std::vector<std::uint64_t> zcols_;
   std::vector<std::uint64_t> signs_;      // words_
   std::vector<std::uint64_t> stab_mask_;  // bits n..2n-1, per word
   std::vector<std::uint64_t> known_;      // kwords_
   std::vector<std::uint64_t> value_;
+  std::vector<std::uint64_t> xmask_, zmask_;  // [q]: nonzero-word masks
+  std::vector<std::uint64_t> occ_x_, occ_z_;  // [w * cwords_ + cw]
   // Measurement scratch (member-owned: measure stays allocation-free).
-  std::vector<std::uint64_t> m_, lo_, hi_, sel_;
+  std::vector<std::uint64_t> m_, lo_, hi_, sel_, cand_;
+  std::vector<std::uint32_t> hitk_;  // support(pivot row) of this measure
 };
 
 /// Drop-in exact sampler over a shared precompiled CircuitTape; see the

@@ -86,6 +86,246 @@ const MeasurementFlips& FrameSimulator::run_with_erasure(
   return run_impl(rng, &corrupted, &local, residual, detail);
 }
 
+const MeasurementFlips& FrameSimulator::run_group(
+    Rng& rng, const ReplayConstraint& constraint,
+    const ConditionedReference& reference,
+    const std::vector<std::uint32_t>* corrupted, BitVec* secondary,
+    ResidualDetail* detail) {
+  const Circuit& circuit = *circuit_;
+  const std::size_t nq = circuit.num_qubits();
+  RADSURF_CHECK_ARG(secondary && secondary->size() == batch_,
+                    "run_group needs a secondary mask sized to the batch");
+  RADSURF_CHECK_ARG(detail != nullptr,
+                    "run_group needs a ResidualDetail for secondary shots");
+  secondary->clear();
+  detail->random_sites.clear();
+  detail->heralds.clear();
+  detail->strike_ordinals.clear();
+
+  xf_.resize(nq);
+  zf_.resize(nq);
+  for (BitVec& row : xf_) row.reset(batch_);
+  for (BitVec& row : zf_) row.reset(batch_);
+  flips_.resize(circuit.num_measurements());
+  std::vector<BitVec>& xf = xf_;
+  std::vector<BitVec>& zf = zf_;
+  MeasurementFlips& flips = flips_;
+  std::size_t rec = 0;
+
+  ReplayConstraintCursor cursor{&constraint, 0, 0};
+  const ReferenceTrace& trace = reference.trace;
+  const std::vector<CollapseEvent>& events = reference.events;
+  const bool strike = corrupted && !corrupted->empty() &&
+                      trace.num_physical_ops > 0 && constraint.has_strike;
+  RADSURF_CHECK_ARG(!(corrupted && !corrupted->empty()) || constraint.has_strike,
+                    "run_group with an erasure set requires a pinned strike");
+
+  // Collapse-opportunity counter, advanced in lockstep with the group's
+  // conditioned walk (the counting rule lives on CollapseEvent).  Events
+  // are sorted by construction; each one is consumed exactly once.
+  std::uint64_t opportunity = 0;
+  std::size_t next_event = 0;
+  const auto take_event = [&]() -> const CollapseEvent* {
+    const CollapseEvent* ev = nullptr;
+    if (next_event < events.size() &&
+        events[next_event].opportunity == opportunity)
+      ev = &events[next_event++];
+    ++opportunity;
+    return ev;
+  };
+  // Random collapse: the conditioned reference pinned the outcome to 0;
+  // each member draws a fresh coin and the coin-1 shots differ from the
+  // pinned branch by exactly the collapse destabilizer — inject it.
+  coin_.reset(batch_);
+  BitVec& coin = coin_;
+  const auto apply_event = [&](const CollapseEvent* ev) {
+    if (!ev) return;
+    fill_uniform(coin, rng);
+    for (std::uint32_t q : ev->dx) xf[q] ^= coin;
+    for (std::uint32_t q : ev->dz) zf[q] ^= coin;
+  };
+  // Collapse-then-reset (pinned fired resets, strike resets): after the
+  // event injection both member and conditioned reference hold |0> on q,
+  // so the q-frame pins to 0 with an unobservable (fresh-uniform) Z part.
+  const auto group_reset = [&](std::uint32_t q) {
+    apply_event(take_event());
+    xf[q].clear();
+    fill_uniform(zf[q], rng);
+  };
+
+  mask_.reset(batch_);
+  BitVec& mask = mask_;
+  std::size_t reset_site = 0;
+  std::size_t physical_ordinal = 0;
+
+  const auto for_each_set = [&mask](const auto& body) {
+    for_each_set_bit(mask.words(), mask.num_words(), body);
+  };
+  auto depolarize1 = [&](std::uint32_t q, double p) {
+    fill_biased(mask, p, rng);
+    for_each_set([&](std::size_t s) {
+      switch (rng.below(3)) {
+        case 0: xf[q].flip(s); break;
+        case 1: xf[q].flip(s); zf[q].flip(s); break;
+        default: zf[q].flip(s); break;
+      }
+    });
+  };
+
+  for (const Instruction& ins : circuit.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) continue;
+    const auto& tg = ins.targets;
+
+    if (!info.is_noise) {
+      // Physical op: the group's pinned strike lands immediately before it,
+      // on every shot at once.
+      if (strike && physical_ordinal == constraint.strike_ordinal)
+        for (std::uint32_t q : *corrupted) group_reset(q);
+      ++physical_ordinal;
+    }
+
+    switch (ins.gate) {
+      case Gate::I:
+      case Gate::X:
+      case Gate::Y:
+      case Gate::Z:
+        break;
+      case Gate::H:
+        for (auto q : tg) xf[q].swap(zf[q]);
+        break;
+      case Gate::S:
+      case Gate::S_DAG:
+        for (auto q : tg) zf[q] ^= xf[q];
+        break;
+      case Gate::CX:
+        for (std::size_t i = 0; i + 1 < tg.size(); i += 2) {
+          xf[tg[i + 1]] ^= xf[tg[i]];
+          zf[tg[i]] ^= zf[tg[i + 1]];
+        }
+        break;
+      case Gate::CZ:
+        for (std::size_t i = 0; i + 1 < tg.size(); i += 2) {
+          zf[tg[i + 1]] ^= xf[tg[i]];
+          zf[tg[i]] ^= xf[tg[i + 1]];
+        }
+        break;
+      case Gate::SWAP:
+        for (std::size_t i = 0; i + 1 < tg.size(); i += 2) {
+          xf[tg[i]].swap(xf[tg[i + 1]]);
+          zf[tg[i]].swap(zf[tg[i + 1]]);
+        }
+        break;
+      case Gate::M:
+        for (auto q : tg) {
+          // A random collapse's coin lands in the X frame through the
+          // destabilizer (D always has X on the measured qubit), so the
+          // flip row captures it; injection must precede the capture.
+          apply_event(take_event());
+          flips[rec++] = xf[q];
+          fill_uniform(mask, rng);
+          zf[q] ^= mask;
+        }
+        break;
+      case Gate::R:
+        for (auto q : tg) group_reset(q);
+        break;
+      case Gate::MR:
+        for (auto q : tg) {
+          apply_event(take_event());
+          flips[rec++] = xf[q];
+          xf[q].clear();
+          fill_uniform(zf[q], rng);
+        }
+        break;
+      case Gate::X_ERROR:
+        for (auto q : tg) {
+          fill_biased(mask, ins.args[0], rng);
+          xf[q] ^= mask;
+        }
+        break;
+      case Gate::Y_ERROR:
+        for (auto q : tg) {
+          fill_biased(mask, ins.args[0], rng);
+          xf[q] ^= mask;
+          zf[q] ^= mask;
+        }
+        break;
+      case Gate::Z_ERROR:
+        for (auto q : tg) {
+          fill_biased(mask, ins.args[0], rng);
+          zf[q] ^= mask;
+        }
+        break;
+      case Gate::DEPOLARIZE1:
+      case Gate::DEPOLARIZE2:
+        for (auto q : tg) depolarize1(q, ins.args[0]);
+        break;
+      case Gate::DEPOLARIZE2_UNIFORM:
+        for (std::size_t i = 0; i + 1 < tg.size(); i += 2) {
+          fill_biased(mask, ins.args[0], rng);
+          for_each_set([&](std::size_t s) {
+            const auto k = rng.below(15) + 1;
+            const auto pa = static_cast<int>(k % 4);
+            const auto pb = static_cast<int>(k / 4);
+            if (pa & 1) xf[tg[i]].flip(s);
+            if (pa & 2) zf[tg[i]].flip(s);
+            if (pb & 1) xf[tg[i + 1]].flip(s);
+            if (pb & 2) zf[tg[i + 1]].flip(s);
+          });
+        }
+        break;
+      case Gate::RESET_ERROR: {
+        for (auto q : tg) {
+          RADSURF_ASSERT(reset_site < trace.reset_sites.size());
+          const auto site = static_cast<std::uint32_t>(reset_site);
+          const std::int8_t v = trace.reset_sites[reset_site++];
+          bool pinned_fired = false;
+          if (cursor.pinned(site, pinned_fired)) {
+            // Group-pinned site: fired replays the reset on every shot
+            // (it is part of the signature); unfired is a no-op and —
+            // like the exact replay — consumes no randomness.
+            if (pinned_fired) group_reset(q);
+            continue;
+          }
+          // Unpinned site: member-sampled herald, framed against the
+          // *conditioned* reference value.
+          fill_biased(mask, ins.args[0], rng);
+          if (v == 0 && detail && ins.args[0] > 0.0) {
+            detail->random_sites.push_back(site);
+            detail->heralds.push_back(mask);
+          }
+          if (mask.none()) continue;
+          if (v == 0) {
+            // Conditioned-random site heralded: the shot leaves the group
+            // formalism and re-runs exactly under the merged constraint.
+            *secondary |= mask;
+            continue;
+          }
+          BitVec::Word* xw = xf[q].words();
+          BitVec::Word* zw = zf[q].words();
+          const BitVec::Word* mw = mask.words();
+          const std::size_t W = mask.num_words();
+          for (std::size_t w = 0; w < W; ++w) {
+            const BitVec::Word m = mw[w];
+            if (!m) continue;
+            xw[w] = v < 0 ? (xw[w] | m) : (xw[w] & ~m);
+            zw[w] = (zw[w] & ~m) | (rng.next() & m);
+          }
+        }
+        break;
+      }
+      default:
+        RADSURF_ASSERT_MSG(false, "unhandled instruction in group replay");
+    }
+  }
+  RADSURF_ASSERT(rec == flips.size());
+  RADSURF_ASSERT_MSG(next_event == events.size(),
+                     "group replay and conditioned walk disagree on "
+                     "collapse opportunities");
+  return flips;
+}
+
 const MeasurementFlips& FrameSimulator::run_impl(
     Rng& rng, const std::vector<std::uint32_t>* corrupted,
     const ReferenceTrace* trace, BitVec* residual, ResidualDetail* detail) {

@@ -81,6 +81,29 @@ class FrameSimulator {
       Rng& rng, const std::vector<std::uint32_t>& corrupted,
       BitVec* residual = nullptr, ResidualDetail* detail = nullptr);
 
+  /// Herald-group frame replay: every shot of the batch shares one residual
+  /// signature (`constraint`: pinned heralds at the forced sites, pinned
+  /// strike over `corrupted`), and `reference` is the group's conditioned
+  /// reference walk for that same signature.  Pinned fired resets and the
+  /// strike replay as frame resets; each random collapse of the conditioned
+  /// walk draws one fresh coin row and injects its destabilizer into the
+  /// frames of the shots whose coin came up 1 (see CollapseEvent) — which
+  /// is what makes the group replay exact even though the pinned events
+  /// break detector determinism.  Flip rows are relative to
+  /// `reference.record`, NOT to the campaign's primary reference.
+  /// Heralds at unpinned sites sample per shot against the *conditioned*
+  /// trace; shots that herald at a conditioned-random site land in the
+  /// `secondary` mask (sized batch_size(), required) for a per-shot exact
+  /// replay under the merged constraint, with their conditioning signature
+  /// in `detail` (required; strike_ordinals stays empty — the strike is
+  /// group-pinned).  Construct the simulator with `&reference.trace` to
+  /// skip the constructor's primary-trace walk.
+  const MeasurementFlips& run_group(Rng& rng,
+                                    const ReplayConstraint& constraint,
+                                    const ConditionedReference& reference,
+                                    const std::vector<std::uint32_t>* corrupted,
+                                    BitVec* secondary, ResidualDetail* detail);
+
   /// Fill `bits` with independent Bernoulli(p) draws (exposed for tests).
   static void fill_biased(BitVec& bits, double p, Rng& rng);
   /// Fill `bits` with uniform random draws.
@@ -102,6 +125,7 @@ class FrameSimulator {
   std::vector<BitVec> xf_, zf_;
   MeasurementFlips flips_;
   BitVec mask_;
+  BitVec coin_;  // run_group: one fresh coin row per collapse event
   std::vector<std::uint32_t> strike_of_, strike_shots_, strike_begin_;
 };
 

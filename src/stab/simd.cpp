@@ -1,0 +1,142 @@
+#include "stab/simd.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define RADSURF_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace radsurf {
+namespace simd {
+
+namespace {
+
+// One word of the elimination: given the column's X/Z words and the pivot
+// Pauli type, derive the +i^2 / -i^2 row masks (pauli_mul_phase collapsed
+// to the three pivot cases) and fold them into the 2-bit carry-save
+// counters.  Shared verbatim by both backends so they cannot drift.
+template <bool XP, bool ZP>
+inline void eliminate_word(std::uint64_t& xw, std::uint64_t& zw,
+                           std::uint64_t mw, std::uint64_t& low,
+                           std::uint64_t& high) {
+  const std::uint64_t x2 = xw;
+  const std::uint64_t z2 = zw;
+  std::uint64_t plus, minus;
+  if constexpr (XP && ZP) {  // pivot Y: +1 on Z rows, -1 on X rows
+    plus = z2 & ~x2;
+    minus = x2 & ~z2;
+  } else if constexpr (XP) {  // pivot X: +1 on Y rows, -1 on Z rows
+    plus = x2 & z2;
+    minus = z2 & ~x2;
+  } else {  // pivot Z: +1 on X rows, -1 on Y rows
+    plus = x2 & ~z2;
+    minus = x2 & z2;
+  }
+  plus &= mw;
+  minus &= mw;
+  const std::uint64_t carry = low & plus;
+  low ^= plus;
+  high ^= carry;
+  const std::uint64_t borrow = ~low & minus;
+  low ^= minus;
+  high ^= borrow;
+  if constexpr (XP) xw ^= mw;
+  if constexpr (ZP) zw ^= mw;
+}
+
+template <bool XP, bool ZP>
+void eliminate_span_portable(std::uint64_t* xk, std::uint64_t* zk,
+                             const std::uint64_t* m, std::uint64_t* lo,
+                             std::uint64_t* hi, std::uint32_t w0,
+                             std::uint32_t w1) {
+  for (std::uint32_t w = w0; w < w1; ++w)
+    eliminate_word<XP, ZP>(xk[w], zk[w], m[w], lo[w], hi[w]);
+}
+
+void pivot_eliminate_portable(std::uint64_t* xk, std::uint64_t* zk,
+                              const std::uint64_t* m, std::uint64_t* lo,
+                              std::uint64_t* hi, std::uint32_t w0,
+                              std::uint32_t w1, bool xp, bool zp) {
+  if (xp && zp) eliminate_span_portable<true, true>(xk, zk, m, lo, hi, w0, w1);
+  else if (xp) eliminate_span_portable<true, false>(xk, zk, m, lo, hi, w0, w1);
+  else eliminate_span_portable<false, true>(xk, zk, m, lo, hi, w0, w1);
+}
+
+#ifdef RADSURF_HAVE_AVX2_KERNELS
+
+template <bool XP, bool ZP>
+__attribute__((target("avx2"))) void eliminate_span_avx2(
+    std::uint64_t* xk, std::uint64_t* zk, const std::uint64_t* m,
+    std::uint64_t* lo, std::uint64_t* hi, std::uint32_t w0,
+    std::uint32_t w1) {
+  std::uint32_t w = w0;
+  for (; w + 4 <= w1; w += 4) {
+    const __m256i x2 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(xk + w));
+    const __m256i z2 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(zk + w));
+    const __m256i mw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + w));
+    __m256i low = _mm256_loadu_si256(reinterpret_cast<__m256i*>(lo + w));
+    __m256i high = _mm256_loadu_si256(reinterpret_cast<__m256i*>(hi + w));
+    __m256i plus, minus;
+    if constexpr (XP && ZP) {
+      plus = _mm256_andnot_si256(x2, z2);
+      minus = _mm256_andnot_si256(z2, x2);
+    } else if constexpr (XP) {
+      plus = _mm256_and_si256(x2, z2);
+      minus = _mm256_andnot_si256(x2, z2);
+    } else {
+      plus = _mm256_andnot_si256(z2, x2);
+      minus = _mm256_and_si256(x2, z2);
+    }
+    plus = _mm256_and_si256(plus, mw);
+    minus = _mm256_and_si256(minus, mw);
+    const __m256i carry = _mm256_and_si256(low, plus);
+    low = _mm256_xor_si256(low, plus);
+    high = _mm256_xor_si256(high, carry);
+    const __m256i borrow = _mm256_andnot_si256(low, minus);
+    low = _mm256_xor_si256(low, minus);
+    high = _mm256_xor_si256(high, borrow);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + w), low);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi + w), high);
+    if constexpr (XP)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(xk + w),
+                          _mm256_xor_si256(x2, mw));
+    if constexpr (ZP)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(zk + w),
+                          _mm256_xor_si256(z2, mw));
+  }
+  for (; w < w1; ++w) eliminate_word<XP, ZP>(xk[w], zk[w], m[w], lo[w], hi[w]);
+}
+
+__attribute__((target("avx2"))) void pivot_eliminate_avx2(
+    std::uint64_t* xk, std::uint64_t* zk, const std::uint64_t* m,
+    std::uint64_t* lo, std::uint64_t* hi, std::uint32_t w0, std::uint32_t w1,
+    bool xp, bool zp) {
+  if (xp && zp) eliminate_span_avx2<true, true>(xk, zk, m, lo, hi, w0, w1);
+  else if (xp) eliminate_span_avx2<true, false>(xk, zk, m, lo, hi, w0, w1);
+  else eliminate_span_avx2<false, true>(xk, zk, m, lo, hi, w0, w1);
+}
+
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2"); }
+
+#endif  // RADSURF_HAVE_AVX2_KERNELS
+
+PivotEliminateFn select_pivot_eliminate() {
+#ifdef RADSURF_HAVE_AVX2_KERNELS
+  if (cpu_has_avx2()) return &pivot_eliminate_avx2;
+#endif
+  return &pivot_eliminate_portable;
+}
+
+}  // namespace
+
+const PivotEliminateFn pivot_eliminate = select_pivot_eliminate();
+
+const char* backend() {
+#ifdef RADSURF_HAVE_AVX2_KERNELS
+  if (pivot_eliminate == &pivot_eliminate_avx2) return "avx2";
+#endif
+  return "portable";
+}
+
+}  // namespace simd
+}  // namespace radsurf

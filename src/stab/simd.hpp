@@ -1,0 +1,41 @@
+// Vectorized word kernels for the wide (word-sliced) tableau engine.
+//
+// The hot loop of a random-outcome measurement multiplies the pivot row
+// into every anticommuting row: per column, a pure bitwise update of the
+// X/Z words plus a packed 2-bit phase accumulation (lo/hi carry-save
+// counters).  That kernel is branch-free per word and therefore maps
+// directly onto 256-bit lanes; everything else in the tableau is either
+// O(W) already or dominated by sparse word-mask iteration.
+//
+// Dispatch contract: `pivot_eliminate` is a function pointer bound once at
+// static-init time — the AVX2 body when the build targets x86-64 AND the
+// running CPU reports AVX2 (checked with __builtin_cpu_supports), the
+// portable word loop otherwise.  Both bodies are compiled whenever the
+// target allows it, so the portable path stays exercised on AVX2 hosts via
+// the word-seam property tests, and non-x86 builds degrade cleanly.
+// The two implementations are bit-identical by construction (the kernel is
+// bitwise, with no reassociation of anything order-sensitive).
+#pragma once
+
+#include <cstdint>
+
+namespace radsurf {
+namespace simd {
+
+/// Name of the elimination backend selected at startup ("avx2" or
+/// "portable") — surfaced so perf records stay attributable.
+const char* backend();
+
+/// Multiply the pivot Pauli (xp, zp) into the rows selected by `m` over
+/// words [w0, w1): update the column words xk/zk and accumulate the
+/// per-row phase (in units of i^2) into the packed 2-bit counters lo/hi.
+/// Words inside the span with m[w] == 0 are no-ops, so callers may pass a
+/// contiguous hull of the sparse support.
+using PivotEliminateFn = void (*)(std::uint64_t* xk, std::uint64_t* zk,
+                                  const std::uint64_t* m, std::uint64_t* lo,
+                                  std::uint64_t* hi, std::uint32_t w0,
+                                  std::uint32_t w1, bool xp, bool zp);
+extern const PivotEliminateFn pivot_eliminate;
+
+}  // namespace simd
+}  // namespace radsurf

@@ -219,13 +219,14 @@ int Tableau::peek_z(std::uint32_t q) const {
 }
 
 bool Tableau::measure(std::uint32_t q, Rng& rng, bool force_zero_if_random,
-                      bool* was_random) {
+                      bool* was_random, std::size_t* pivot_out) {
   RADSURF_ASSERT(q < n_);
   const std::size_t pivot = find_pivot(q);
 
   if (pivot < 2 * n_) {
     // Random outcome.
     if (was_random) *was_random = true;
+    if (pivot_out) *pivot_out = pivot;
     batched_pivot_elimination(q, pivot);
     // Destabilizer paired with pivot := old pivot row.
     const std::size_t d = pivot - n_;

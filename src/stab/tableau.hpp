@@ -47,9 +47,14 @@ class Tableau {
 
   /// Z-basis measurement.  If the outcome is random, `rng` decides it
   /// unless `force_zero_if_random` is set (used by the reference sampler).
-  /// `was_random`, if non-null, reports which case occurred.
+  /// `was_random`, if non-null, reports which case occurred.  `pivot_out`,
+  /// if non-null, receives the pivot stabilizer row index of a random
+  /// outcome (untouched when deterministic): after the call, destabilizer
+  /// row (pivot - n) holds the pre-measurement pivot row — the Pauli that
+  /// maps the outcome-0 post-measurement state to the outcome-1 one, which
+  /// the herald-group promotion path exports as its collapse destabilizer.
   bool measure(std::uint32_t q, Rng& rng, bool force_zero_if_random = false,
-               bool* was_random = nullptr);
+               bool* was_random = nullptr, std::size_t* pivot_out = nullptr);
 
   /// Reset to |0>: measure, then flip if the outcome was 1.
   void reset(std::uint32_t q, Rng& rng);

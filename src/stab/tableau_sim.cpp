@@ -287,6 +287,138 @@ BitVec TableauSimulator::reference_sample() {
   return record;
 }
 
+ConditionedReference TableauSimulator::conditioned_reference(
+    const std::vector<std::uint32_t>* corrupted,
+    const ReplayConstraint& constraint) {
+  // Deterministic walk over the original instruction list (reset-site
+  // ordinals must align with every other circuit walk, elided sites
+  // included), with the group's pinned events applied.  Mirrors
+  // reference_trace, plus: pinned fired resets and the pinned strike are
+  // *executed*, every random collapse exports its destabilizer, and the
+  // collapse-opportunity counter advances exactly as in
+  // FrameSimulator::run_group (see CollapseEvent).
+  ConditionedReference out;
+  out.trace.num_physical_ops = tape_->num_physical_ops;
+  if (corrupted) {
+    out.trace.corrupted = *corrupted;
+    for (std::uint32_t q : *corrupted) {
+      RADSURF_CHECK_ARG(q < num_qubits_,
+                        "corrupted qubit " << q << " out of range");
+    }
+    RADSURF_CHECK_ARG(corrupted->empty() || constraint.has_strike,
+                      "conditioned reference with an erasure set requires a "
+                      "pinned strike ordinal");
+  }
+  out.record = BitVec(circuit_.num_measurements());
+
+  Tableau& t = tableau_;
+  t.reset_all();
+  Rng dummy(0);  // never consulted: every random outcome is pinned to zero
+  ReplayConstraintCursor cursor{&constraint, 0, 0};
+  const bool strike = corrupted && !corrupted->empty() &&
+                      tape_->num_physical_ops > 0 && constraint.has_strike;
+  std::size_t physical_ordinal = 0;
+  std::size_t rec = 0;
+  std::uint64_t opportunity = 0;
+  std::uint32_t raw_site = 0;
+
+  // Pinned-to-zero collapse of Z_q; a random outcome exports the
+  // destabilizer of the collapse at the current opportunity ordinal.
+  const auto collapse = [&](std::uint32_t q) -> bool {
+    bool was_random = false;
+    std::size_t pivot = 0;
+    const bool m = t.measure(q, dummy, /*force_zero_if_random=*/true,
+                             &was_random, &pivot);
+    if (was_random) {
+      CollapseEvent ev;
+      ev.opportunity = opportunity;
+      const PauliString d = t.row(pivot - num_qubits_);
+      for (std::uint32_t k = 0; k < num_qubits_; ++k) {
+        if (d.x(k)) ev.dx.push_back(k);
+        if (d.z(k)) ev.dz.push_back(k);
+      }
+      out.events.push_back(std::move(ev));
+    }
+    ++opportunity;
+    return m;
+  };
+  const auto collapse_reset = [&](std::uint32_t q) {
+    if (collapse(q)) t.apply_x(q);
+  };
+
+  for (const Instruction& ins : circuit_.instructions()) {
+    const GateInfo& info = gate_info(ins.gate);
+    if (info.is_annotation) continue;
+
+    if (ins.gate == Gate::RESET_ERROR) {
+      for (std::uint32_t q : ins.targets) {
+        out.trace.reset_sites.push_back(static_cast<std::int8_t>(t.peek_z(q)));
+        bool fired = false;
+        if (cursor.pinned(raw_site, fired) && fired) collapse_reset(q);
+        ++raw_site;
+      }
+      continue;
+    }
+    if (info.is_noise) continue;  // member-sampled; never hits the reference
+
+    // Physical op: the pinned strike lands immediately before it.
+    if (strike && physical_ordinal == constraint.strike_ordinal) {
+      for (std::uint32_t q : *corrupted) collapse_reset(q);
+    }
+    ++physical_ordinal;
+
+    if (info.is_unitary) {
+      const auto& tg = ins.targets;
+      switch (ins.gate) {
+        case Gate::I: break;
+        case Gate::X: for (auto q : tg) t.apply_x(q); break;
+        case Gate::Y: for (auto q : tg) t.apply_y(q); break;
+        case Gate::Z: for (auto q : tg) t.apply_z(q); break;
+        case Gate::H: for (auto q : tg) t.apply_h(q); break;
+        case Gate::S: for (auto q : tg) t.apply_s(q); break;
+        case Gate::S_DAG: for (auto q : tg) t.apply_s_dag(q); break;
+        case Gate::CX:
+          for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+            t.apply_cx(tg[i], tg[i + 1]);
+          break;
+        case Gate::CZ:
+          for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+            t.apply_cz(tg[i], tg[i + 1]);
+          break;
+        case Gate::SWAP:
+          for (std::size_t i = 0; i + 1 < tg.size(); i += 2)
+            t.apply_swap(tg[i], tg[i + 1]);
+          break;
+        default:
+          RADSURF_ASSERT_MSG(false,
+                             "unhandled unitary in conditioned reference");
+      }
+      continue;
+    }
+
+    switch (ins.gate) {
+      case Gate::M:
+        for (auto q : ins.targets) out.record.set(rec++, collapse(q));
+        break;
+      case Gate::R:
+        for (auto q : ins.targets) collapse_reset(q);
+        break;
+      case Gate::MR:
+        for (auto q : ins.targets) {
+          const bool m = collapse(q);
+          out.record.set(rec++, m);
+          if (m) t.apply_x(q);
+        }
+        break;
+      default:
+        RADSURF_ASSERT_MSG(false,
+                           "unhandled instruction in conditioned reference");
+    }
+  }
+  RADSURF_ASSERT(rec == out.record.size());
+  return out;
+}
+
 ReferenceTrace TableauSimulator::reference_trace(
     const std::vector<std::uint32_t>* corrupted) {
   // Deterministic noiseless walk over the *original* instruction list (so

@@ -94,6 +94,38 @@ struct ReplayConstraint {
   bool has_strike = false;
 };
 
+/// One random collapse of a conditioned reference walk (see
+/// TableauSimulator::conditioned_reference).  `opportunity` is the ordinal
+/// of the collapse opportunity the event belongs to; opportunities are
+/// counted identically by the walk and by FrameSimulator::run_group —
+/// every target of M / R / MR, every *fired pinned* RESET_ERROR target,
+/// and every corrupted-qubit reset at the pinned strike instant, in walk
+/// order.  (Unpinned RESET_ERROR sites are deliberately NOT opportunities:
+/// whether they fire varies per group member, which would desynchronize
+/// the two counters.)  `dx` / `dz` are the X / Z support of the collapse
+/// destabilizer D — the Pauli mapping the pinned outcome-0 post-collapse
+/// state to the outcome-1 one.  A member that draws collapse coin c
+/// injects D^c into its frame, which is what keeps the group replay exact
+/// even for detectors the pinned strike made nondeterministic.
+struct CollapseEvent {
+  std::uint64_t opportunity = 0;
+  std::vector<std::uint32_t> dx, dz;
+};
+
+/// Output of a conditioned reference walk: the deterministic skeleton of a
+/// herald group (shots sharing one ReplayConstraint signature).  `trace`
+/// gives the *conditioned* reference value of every RESET_ERROR site (the
+/// group members' unpinned heralds frame against these, not the primary
+/// trace); `record` is the conditioned reference record (all random
+/// collapses pinned to 0); `events` lists the random collapses with their
+/// destabilizers.  A member's absolute record is `record` XOR its frame
+/// flips, decodable against the campaign's primary reference.
+struct ConditionedReference {
+  ReferenceTrace trace;
+  BitVec record;
+  std::vector<CollapseEvent> events;
+};
+
 /// Two-pointer walk over a ReplayConstraint's forced-site list, shared by
 /// both exact engines so their site handling stays in lockstep (their
 /// bit-for-bit contract depends on it): pinned sites report the recorded
@@ -163,6 +195,18 @@ class TableauSimulator {
   /// one deterministic noiseless walk.  Consumed by FrameSimulator.
   ReferenceTrace reference_trace(
       const std::vector<std::uint32_t>* corrupted = nullptr);
+
+  /// Conditioned reference walk for herald-group frame promotion: a
+  /// noiseless deterministic walk that *applies* the constraint's pinned
+  /// fired resets (and the pinned strike over `corrupted`, when supplied),
+  /// pins every random collapse outcome to 0, and exports each collapse's
+  /// destabilizer as a CollapseEvent.  Consumes no randomness; the result
+  /// is a pure function of (circuit, constraint, corrupted) and is shared
+  /// by every member of the herald group.  The constraint must pin a
+  /// strike ordinal whenever `corrupted` is non-empty.
+  ConditionedReference conditioned_reference(
+      const std::vector<std::uint32_t>* corrupted,
+      const ReplayConstraint& constraint);
 
   const Circuit& circuit() const { return circuit_; }
   /// Number of non-annotation, non-noise instructions (erasure instants).

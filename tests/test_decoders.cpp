@@ -321,6 +321,83 @@ TEST(DecodeCache, PredictionsMatchInnerDecoderExactly) {
   EXPECT_EQ(stats.lookups - stats.hits, cached.size());
 }
 
+TEST(DecodeCache, AutoBypassTripsOnColdStream) {
+  // A long-enough stream of (essentially) never-repeating syndromes must
+  // trip the sticky bypass: probing stops, counters freeze, and
+  // predictions keep matching the inner decoder bit for bit.
+  const Circuit noisy = DepolarizingModel{2e-2}.apply(
+      RepetitionCode(25, RepetitionFlavor::BIT_FLIP).build());
+  const auto graph =
+      MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+  MwpmDecoder plain(graph);
+  MwpmDecoder inner(graph);
+  CachingDecoder cached(inner);
+  cached.enable_auto_bypass();
+  EXPECT_FALSE(cached.bypassed());
+  Rng rng(41);
+  const std::size_t nd = graph.num_detectors();
+  const auto draw = [&] {
+    std::vector<std::uint32_t> defects;
+    for (std::uint32_t d = 0; d < nd; ++d)
+      if (rng.bernoulli(0.3)) defects.push_back(d);
+    if (defects.size() % 2) defects.pop_back();
+    return defects;
+  };
+  for (std::uint64_t i = 0; i < CachingDecoder::kBypassProbeWindow + 64;
+       ++i) {
+    const auto defects = draw();
+    if (defects.empty()) continue;
+    EXPECT_EQ(cached.decode(defects), plain.decode(defects));
+  }
+  EXPECT_TRUE(cached.bypassed());
+  const DecodeCacheStats frozen = cached.stats();
+  EXPECT_LT(frozen.hit_rate(), CachingDecoder::kBypassFloor);
+  // Post-trip decodes neither probe nor count.
+  for (int i = 0; i < 32; ++i) {
+    const auto defects = draw();
+    if (defects.empty()) continue;
+    EXPECT_EQ(cached.decode(defects), plain.decode(defects));
+  }
+  EXPECT_EQ(cached.stats().lookups, frozen.lookups);
+}
+
+TEST(DecodeCache, AutoBypassStaysArmedOnHotStream) {
+  const Circuit noisy = DepolarizingModel{2e-2}.apply(
+      RepetitionCode(5, RepetitionFlavor::BIT_FLIP).build());
+  const auto graph =
+      MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+  MwpmDecoder inner(graph);
+  CachingDecoder cached(inner);
+  cached.enable_auto_bypass();
+  const std::vector<std::uint32_t> defects{0, 1};
+  const std::uint64_t expected = cached.decode(defects);
+  for (std::uint64_t i = 0; i < CachingDecoder::kBypassProbeWindow + 512;
+       ++i)
+    EXPECT_EQ(cached.decode(defects), expected);
+  EXPECT_FALSE(cached.bypassed());
+  EXPECT_GT(cached.stats().hit_rate(), 0.99);
+}
+
+TEST(DecodeCache, BypassRequiresOptIn) {
+  const Circuit noisy = DepolarizingModel{2e-2}.apply(
+      RepetitionCode(25, RepetitionFlavor::BIT_FLIP).build());
+  const auto graph =
+      MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
+  MwpmDecoder inner(graph);
+  CachingDecoder cached(inner);  // auto-bypass NOT enabled
+  Rng rng(43);
+  const std::size_t nd = graph.num_detectors();
+  for (std::uint64_t i = 0; i < CachingDecoder::kBypassProbeWindow + 64;
+       ++i) {
+    std::vector<std::uint32_t> defects;
+    for (std::uint32_t d = 0; d < nd; ++d)
+      if (rng.bernoulli(0.3)) defects.push_back(d);
+    if (defects.size() % 2) defects.pop_back();
+    if (!defects.empty()) cached.decode(defects);
+  }
+  EXPECT_FALSE(cached.bypassed());
+}
+
 TEST(DecodeCache, EmptySyndromeBypassesCounters) {
   const Circuit noisy = DepolarizingModel{1e-2}.apply(
       RepetitionCode(3, RepetitionFlavor::BIT_FLIP).build());

@@ -1,0 +1,230 @@
+// Herald-group frame promotion: correctness contracts.
+//
+// A promoted group replays one conditioned tableau walk per distinct
+// herald signature and frame-replays the members against it, injecting a
+// fresh-coined destabilizer per random collapse of the walk (see
+// FrameSimulator::run_group).  These tests pin the machinery at three
+// levels: bit-for-bit on deterministic conditioned walks, bit-level
+// correlation structure under destabilizer injection (marginals alone
+// would accept an injector that breaks measurement correlations), and
+// whole-campaign z-tests against the per-shot exact engine at real
+// rotated distances.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "codes/rotated.hpp"
+#include "codes/code.hpp"
+#include "inject/campaign.hpp"
+#include "stab/frame_sim.hpp"
+#include "stab/tableau_sim.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace radsurf {
+namespace {
+
+// Site 0 is reference-random (H puts q0 on the equator), so it is a
+// forced site of every residual signature; the second H undoes the
+// superposition, making the *unfired* signature's conditioned walk fully
+// deterministic while the *fired* one collapses twice.
+Circuit forced_site_circuit() {
+  Circuit c(2);
+  c.h(0);
+  c.append(Gate::RESET_ERROR, {0}, {0.3});
+  c.h(0);
+  c.cx(0, 1);
+  c.m(0);
+  c.m(1);
+  return c;
+}
+
+TEST(HeraldPromotion, DeterministicConditionedWalkPinsBitForBit) {
+  const Circuit c = forced_site_circuit();
+  const std::vector<std::uint32_t> forced{0};
+  ReplayConstraint constraint;
+  constraint.forced_sites = &forced;
+  constraint.fired = nullptr;
+  constraint.num_fired = 0;  // the unfired signature
+
+  TableauSimulator sim(c);
+  const ConditionedReference cond =
+      sim.conditioned_reference(nullptr, constraint);
+  // H..H cancel, so nothing collapses randomly: the walk is the group.
+  EXPECT_TRUE(cond.events.empty());
+  ASSERT_EQ(cond.record.size(), 2u);
+  EXPECT_FALSE(cond.record.get(0));
+  EXPECT_FALSE(cond.record.get(1));
+
+  // Every promoted member's flips must be zero: absolute record ==
+  // conditioned record, bit for bit.
+  constexpr std::size_t kBatch = 192;
+  FrameSimulator fsim(c, kBatch, &cond.trace);
+  Rng rng(12345);
+  BitVec secondary(kBatch);
+  ResidualDetail detail;
+  const MeasurementFlips& flips =
+      fsim.run_group(rng, constraint, cond, nullptr, &secondary, &detail);
+  EXPECT_FALSE(secondary.any());
+  for (std::size_t r = 0; r < flips.size(); ++r)
+    for (std::size_t s = 0; s < kBatch; ++s)
+      EXPECT_FALSE(flips[r].get(s)) << "record " << r << " shot " << s;
+
+  // The exact engine under the same pinned signature consumes no
+  // randomness either and must land on the identical record.
+  BitVec record(c.num_measurements());
+  for (std::uint64_t seed : {1u, 99u, 3000u}) {
+    Rng exact_rng(seed);
+    sim.sample_replay_into(exact_rng, nullptr, constraint, record);
+    EXPECT_EQ(record.get(0), cond.record.get(0));
+    EXPECT_EQ(record.get(1), cond.record.get(1));
+  }
+}
+
+TEST(HeraldPromotion, DestabilizerInjectionPreservesCorrelations) {
+  // The fired signature collapses q0 at the pinned reset and again at
+  // M(0), by then entangled as (|00> + |11>)/sqrt(2): the exact
+  // distribution is bit0 == bit1, uniform.  A promoted member gets the
+  // M(0) collapse as an injected X0 X1 destabilizer under one coin, so
+  // the equality must hold bit-for-bit in every member — per-bit
+  // marginals alone would accept independent uniform bits.
+  const Circuit c = forced_site_circuit();
+  const std::vector<std::uint32_t> forced{0};
+  const std::uint32_t fired_site = 0;
+  ReplayConstraint constraint;
+  constraint.forced_sites = &forced;
+  constraint.fired = &fired_site;
+  constraint.num_fired = 1;
+
+  TableauSimulator sim(c);
+  const ConditionedReference cond =
+      sim.conditioned_reference(nullptr, constraint);
+  EXPECT_FALSE(cond.events.empty());
+
+  constexpr std::size_t kBatch = 2048;
+  FrameSimulator fsim(c, kBatch, &cond.trace);
+  Rng rng(777);
+  BitVec secondary(kBatch);
+  ResidualDetail detail;
+  const MeasurementFlips& flips =
+      fsim.run_group(rng, constraint, cond, nullptr, &secondary, &detail);
+  EXPECT_FALSE(secondary.any());
+  Proportion ones;
+  for (std::size_t s = 0; s < kBatch; ++s) {
+    const bool b0 = flips[0].get(s) ^ cond.record.get(0);
+    const bool b1 = flips[1].get(s) ^ cond.record.get(1);
+    EXPECT_EQ(b0, b1) << "shot " << s;
+    ones.trials++;
+    ones.successes += b0 ? 1 : 0;
+  }
+  // ... and the shared bit stays a fair coin (exact replay agreement).
+  Proportion exact;
+  BitVec record(c.num_measurements());
+  Rng exact_rng(778);
+  for (std::size_t s = 0; s < kBatch; ++s) {
+    sim.sample_replay_into(exact_rng, nullptr, constraint, record);
+    ASSERT_EQ(record.get(0), record.get(1));
+    exact.trials++;
+    exact.successes += record.get(0) ? 1 : 0;
+  }
+  EXPECT_LT(std::abs(two_proportion_z(ones, exact)), 4.0)
+      << "group " << ones.rate() << " vs exact " << exact.rate();
+}
+
+// Localized full-intensity strikes share one herald signature per strike
+// ordinal, so the whole residual mass promotes into a handful of groups —
+// the AUTO and EXACT campaign rates must stay statistically identical.
+void expect_promoted_strike_matches_exact(int distance, std::size_t shots,
+                                          std::uint64_t seed) {
+  const RotatedCode code(distance, RotatedMemory::Z);
+  const Graph arch = native_graph_for(code);
+  EngineOptions auto_opts;
+  auto_opts.layout = LayoutStrategy::TRIVIAL;
+  EngineOptions exact_opts = auto_opts;
+  exact_opts.sampling_path = SamplingPath::EXACT;
+  InjectionEngine auto_engine(code, arch, auto_opts);
+  InjectionEngine exact_engine(code, arch, exact_opts);
+  const std::uint32_t root = auto_engine.active_qubits()[0];
+  const Proportion pa =
+      auto_engine.run_radiation_at(root, 1.0, false, shots, seed);
+  const Proportion pe =
+      exact_engine.run_radiation_at(root, 1.0, false, shots, seed + 1);
+  EXPECT_LT(std::abs(two_proportion_z(pa, pe)), 4.0)
+      << "d=" << distance << " AUTO " << pa.rate() << " vs EXACT "
+      << pe.rate();
+  const PromotionStats ps = auto_engine.promotion_stats();
+  EXPECT_GT(ps.groups, 0u);
+  EXPECT_GT(ps.promoted_shots, 0u);
+  // Strike-ordinal signatures are few: promotion must carry nearly all of
+  // the residual mass (singletons, if any, are rare ordinals).
+  EXPECT_GT(ps.promoted_shots, ps.exact_replays);
+}
+
+TEST(HeraldPromotion, PromotedStrikeMatchesExactAtD3) {
+  expect_promoted_strike_matches_exact(3, 4000, 211);
+}
+
+TEST(HeraldPromotion, PromotedStrikeMatchesExactAtD5) {
+  expect_promoted_strike_matches_exact(5, 3000, 223);
+}
+
+TEST(HeraldPromotion, AutoMatchesExactAtD11SpreadStrike) {
+  // Full-intensity spread strike at a real distance: herald signatures
+  // are essentially all distinct, so promotion degrades gracefully to the
+  // per-shot singles path — the z-test pins that path (and the word-
+  // sliced kernels under it) against the exact engine where the high-
+  // distance sampling cliff used to live.
+  const RotatedCode code(11, RotatedMemory::Z);
+  const Graph arch = native_graph_for(code);
+  EngineOptions auto_opts;
+  auto_opts.layout = LayoutStrategy::TRIVIAL;
+  EngineOptions exact_opts = auto_opts;
+  exact_opts.sampling_path = SamplingPath::EXACT;
+  InjectionEngine auto_engine(code, arch, auto_opts);
+  InjectionEngine exact_engine(code, arch, exact_opts);
+  const std::uint32_t root = auto_engine.active_qubits()[0];
+  const std::size_t shots = 1500;
+  const Proportion pa =
+      auto_engine.run_radiation_at(root, 1.0, true, shots, 401);
+  const Proportion pe =
+      exact_engine.run_radiation_at(root, 1.0, true, shots, 402);
+  EXPECT_LT(std::abs(two_proportion_z(pa, pe)), 4.0)
+      << "AUTO " << pa.rate() << " vs EXACT " << pe.rate();
+}
+
+TEST(HeraldPromotion, PromotionOnAndOffSampleTheSameDistribution) {
+  const RotatedCode code(3, RotatedMemory::Z);
+  const Graph arch = native_graph_for(code);
+  EngineOptions on;
+  on.layout = LayoutStrategy::TRIVIAL;
+  EngineOptions off = on;
+  off.herald_promotion = false;
+  InjectionEngine engine_on(code, arch, on);
+  InjectionEngine engine_off(code, arch, off);
+  const std::uint32_t root = engine_on.active_qubits()[0];
+  const Proportion po = engine_on.run_radiation_at(root, 1.0, false, 6000, 7);
+  const Proportion pf =
+      engine_off.run_radiation_at(root, 1.0, false, 6000, 8);
+  EXPECT_LT(std::abs(two_proportion_z(po, pf)), 4.0)
+      << "on " << po.rate() << " vs off " << pf.rate();
+  EXPECT_GT(engine_on.promotion_stats().promoted_shots, 0u);
+  EXPECT_EQ(engine_off.promotion_stats().promoted_shots, 0u);
+}
+
+TEST(HeraldPromotion, PromotedCampaignsAreDeterministic) {
+  const RotatedCode code(3, RotatedMemory::Z);
+  const Graph arch = native_graph_for(code);
+  EngineOptions opts;
+  opts.layout = LayoutStrategy::TRIVIAL;
+  InjectionEngine engine(code, arch, opts);
+  const std::uint32_t root = engine.active_qubits()[0];
+  const Proportion a = engine.run_radiation_at(root, 1.0, false, 2000, 19);
+  const Proportion b = engine.run_radiation_at(root, 1.0, false, 2000, 19);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.trials, b.trials);
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -227,7 +227,8 @@ TEST(RotatedGolden, RadiationStrikeMemoryZ) {
   InjectionEngine engine(code, native_graph_for(code), golden_options());
   const Proportion res = engine.run_radiation_at(4, 1.0, true, 1000, 11);
   EXPECT_EQ(res.trials, 1000u);
-  EXPECT_EQ(res.successes, 437u);
+  // Golden under sampling schema v3 (salted residual replay streams).
+  EXPECT_EQ(res.successes, 439u);
   // A direct strike must hurt much more than intrinsic noise alone.
   EXPECT_GT(res.rate(), 0.02);
 }

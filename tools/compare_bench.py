@@ -29,6 +29,12 @@ WATCHED_SCENARIOS = (
     "decoder/mwpm_cached/rep15/pool32",
     "pipeline/intrinsic/rep5",
     "pipeline/radiation/rep5/frame",
+    "pipeline/radiation/rotated_memz_d11",
+    "pipeline/radiation/rotated_memz_d17",
+    "pipeline/radiation/rotated_memz_d21",
+    "simulator/compact/rotated_memz_d11",
+    "simulator/compact/rotated_memz_d17",
+    "simulator/compact/rotated_memz_d21",
     "timeline/rep5_200r/window",
 )
 
