@@ -223,17 +223,25 @@ DecoderAxis parse_decoder(const std::string& name, const SpecReader& where,
     // matching cliff, sweepable next to "mwpm" in one grid.
     axis.options = DecoderKind::MWPM;
     axis.options.dense_matcher = true;
+  } else if (name == "mwpm:aware") {
+    // Herald-conditioned reweighting: timeline cells decode heralded
+    // realizations on a strike-reweighted matching graph (see
+    // DecoderOptions::herald_aware).  Sweepable next to "mwpm" in one
+    // grid, so an ablation spec carries the on/off pair.
+    axis.options = DecoderKind::MWPM;
+    axis.options.herald_aware = true;
   } else if (name == "union-find" || name == "union_find") {
     axis.options = DecoderKind::UNION_FIND;
   } else if (name == "greedy") {
     axis.options = DecoderKind::GREEDY;
   } else {
     throw SpecError(where.path() + "." + key + ": unknown decoder \"" + name +
-                    "\" (expected one of mwpm, mwpm:dense, union-find, "
-                    "greedy)");
+                    "\" (expected one of mwpm, mwpm:dense, mwpm:aware, "
+                    "union-find, greedy)");
   }
   axis.label = decoder_kind_name(axis.options.kind) +
-               (axis.options.dense_matcher ? ":dense" : "");
+               (axis.options.dense_matcher ? ":dense" : "") +
+               (axis.options.herald_aware ? ":aware" : "");
   return axis;
 }
 
@@ -287,6 +295,10 @@ InjectionAxis parse_injection(const JsonValue& json, const std::string& path,
         static_cast<std::size_t>(r.get_uint("duration_rounds", 10));
     inj.timeline.intensity = r.get_number("intensity", 1.0);
     inj.timeline.spread = r.get_bool("spread", true);
+    inj.timeline.chip_burst = r.get_bool("chip_burst", false);
+    inj.timeline.qp_lambda = r.get_number("qp_lambda", 3.0);
+    if (inj.timeline.qp_lambda <= 0.0)
+      r.fail("qp_lambda", "quasiparticle diffusion length must be > 0");
     inj.num_timelines =
         static_cast<std::size_t>(r.get_uint("num_timelines", 4));
     if (smoke) inj.num_timelines = std::min<std::size_t>(inj.num_timelines, 1);
@@ -294,8 +306,17 @@ InjectionAxis parse_injection(const JsonValue& json, const std::string& path,
     inj.window.commit = static_cast<std::size_t>(r.get_uint("commit", 0));
     label << "timeline(rate=" << format_double(inj.timeline.events_per_round)
           << ",duration=" << inj.timeline.duration_rounds
-          << ",burst=" << inj.timeline.burst_multiplicity
-          << ",timelines=" << inj.num_timelines << ",window="
+          << ",burst=" << inj.timeline.burst_multiplicity;
+    // Non-default-only label parts: they keep existing timeline cell keys
+    // (and their checkpoints) untouched while making cells that differ in
+    // these fields distinct — two timeline injections differing only in
+    // intensity used to collide into one cell key.
+    if (inj.timeline.intensity != 1.0)
+      label << ",intensity=" << format_double(inj.timeline.intensity);
+    if (!inj.timeline.spread) label << ",spread=false";
+    if (inj.timeline.chip_burst)
+      label << ",chip_burst=lambda" << format_double(inj.timeline.qp_lambda);
+    label << ",timelines=" << inj.num_timelines << ",window="
           << inj.window.window << "/" << inj.window.resolved_commit() << ")";
   } else {
     r.fail("kind", "unknown injection kind \"" + kind +
@@ -454,6 +475,8 @@ CellResult run_cell(const InjectionEngine& engine, const InjectionAxis& inj,
       std::ostringstream detail;
       detail << "mean_events=" << Table::fmt(summary.mean_events(), 2)
              << " window_decoders=" << summary.window_decoders;
+      if (engine.options().decoder.herald_aware)
+        detail << " aware_rebuilds=" << summary.aware_rebuilds;
       out.detail = detail.str();
       break;
     }
@@ -475,8 +498,9 @@ class GridScenario final : public Scenario {
     std::size_t rounds;
     SamplingPath path;
     const InjectionAxis* inj;
-    std::string key;
-    std::size_t combo;  // engine-combo ordinal
+    std::string key;         // checkpoint/report identity (decoder included)
+    std::string sample_key;  // RNG identity (decoder stripped — see below)
+    std::size_t combo;       // engine-combo ordinal
   };
 
   ExperimentReport run(CampaignSink* sink) override {
@@ -507,9 +531,22 @@ class GridScenario final : public Scenario {
             for (const std::size_t rounds : plan_.rounds)
               for (const SamplingPath path : plan_.paths) {
                 for (const InjectionAxis& inj : plan_.injections) {
-                  Cell cell{&cfg,   &decoder, p,    pm, rounds,
-                            path,   &inj,     cell_key(cfg, decoder, p, pm,
-                                                       rounds, path, inj),
+                  // The sampling seed strips the decoder axis: decoding is
+                  // post-hoc and never consumes sampling RNG, so cells that
+                  // differ only in decoder draw identical timeline event
+                  // realizations and shot streams.  Decoder ablations (e.g.
+                  // mwpm vs mwpm:aware) are therefore *paired* — the pooled
+                  // two-proportion z over their rows is conservative.
+                  Cell cell{&cfg,
+                            &decoder,
+                            p,
+                            pm,
+                            rounds,
+                            path,
+                            &inj,
+                            cell_key(cfg, decoder.label, p, pm, rounds, path,
+                                     inj),
+                            cell_key(cfg, "*", p, pm, rounds, path, inj),
                             num_combos};
                   cells.push_back(std::move(cell));
                 }
@@ -603,7 +640,7 @@ class GridScenario final : public Scenario {
           }
           engines_built.fetch_add(1, std::memory_order_relaxed);
         }
-        const std::uint64_t seed = grid_cell_seed(plan_.seed, cell.key);
+        const std::uint64_t seed = grid_cell_seed(plan_.seed, cell.sample_key);
         CellResult result;
         try {
           result = run_cell(*engine, *cell.inj, plan_.shots, seed);
@@ -688,7 +725,7 @@ class GridScenario final : public Scenario {
          << " engines built, " << resumed
          << " resumed from checkpoint, " << plan_.jobs
          << " worker(s); per-cell RNG stream = "
-            "splitmix64(fnv1a(cell key) xor seed "
+            "splitmix64(fnv1a(decoder-stripped cell key) xor seed "
          << plan_.seed << ")";
     rep.notes.push_back(note.str());
     return rep;
@@ -702,12 +739,14 @@ class GridScenario final : public Scenario {
            plan_.injections.size();
   }
 
-  std::string cell_key(const ConfigAxis& cfg, const DecoderAxis& decoder,
+  // decoder_label is "*" for the sampling key: decoder axes share RNG
+  // streams (paired ablations), and "*" cannot collide with a real label.
+  std::string cell_key(const ConfigAxis& cfg, const std::string& decoder_label,
                        double p, double pm, std::size_t rounds,
                        SamplingPath path, const InjectionAxis& inj) const {
     std::ostringstream key;
     key << "code=" << cfg.code.label << "|arch=" << cfg.arch
-        << "|decoder=" << decoder.label
+        << "|decoder=" << decoder_label
         << "|p=" << format_double(p) << "|pm=" << format_double(pm)
         << "|rounds=" << rounds
         << "|path=" << (path == SamplingPath::AUTO ? "auto" : "exact")

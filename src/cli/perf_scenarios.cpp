@@ -858,6 +858,54 @@ ExperimentReport run_perf_timeline(const PerfRunOptions& options) {
            static_cast<double>(engine.matching_graph().num_detectors())}}});
   }
 
+  // --- chip-burst herald-aware pair (decoder reweighting cost) -------------
+  // One localized chip-burst strike on a rotated d = 5 memory, decoded
+  // unaware (shared intrinsic-weighted decoder) vs herald-aware (every
+  // run_timeline call rebuilds a strike-reweighted sliding-window decoder
+  // from the instrumented circuit's DEM).  The pair prices the rebuild:
+  // cost_vs_unaware is the throughput ratio the aware mode gives up in
+  // exchange for its LER gain (see the abl_burst_aware spec).
+  {
+    const RotatedCode burst_code(5, RotatedMemory::Z);
+    const Graph burst_arch = native_graph_for(burst_code);
+    const std::size_t burst_shots = smoke_shots(smoke, 512, 16);
+    TimelineOptions burst_topts;
+    burst_topts.chip_burst = true;
+    burst_topts.qp_lambda = 1.5;
+    burst_topts.intensity = 0.5;
+    burst_topts.duration_rounds = 6;
+    const SlidingWindowOptions burst_window{4, 2};
+    const std::vector<RadiationEvent> strike = {
+        {2, static_cast<std::uint32_t>(burst_arch.num_nodes() / 2), 0.5}};
+    const auto measure_arm = [&](bool aware) {
+      EngineOptions eopts;
+      eopts.rounds = 8;
+      eopts.layout = LayoutStrategy::TRIVIAL;
+      eopts.whole_history_decoder = false;
+      eopts.physical_error_rate = 1e-3;
+      eopts.decoder.herald_aware = aware;
+      const InjectionEngine burst_engine(burst_code, burst_arch, eopts);
+      const RadiationTimeline burst_timeline(burst_engine.radiation(),
+                                             burst_topts);
+      std::uint64_t seed = 1;
+      return measure_rate_mode(
+          [&] {
+            burst_engine.run_timeline(burst_timeline, strike, burst_shots,
+                                      seed++, burst_window);
+            return burst_shots;
+          },
+          smoke);
+    };
+    const double unaware_rate = measure_arm(false);
+    const double aware_rate = measure_arm(true);
+    records.push_back({"timeline/burst_rotated_d5/unaware", unaware_rate, {}});
+    records.push_back(
+        {"timeline/burst_rotated_d5/aware",
+         aware_rate,
+         {{"cost_vs_unaware",
+           aware_rate > 0 ? unaware_rate / aware_rate : 0.0}}});
+  }
+
   ExperimentReport rep = records_report(
       "perf_timeline (200-round rep-(5,1) campaign shots/s)", records,
       options);

@@ -91,6 +91,15 @@ struct DecoderOptions {
   /// Route post-DP clusters to the dense all-pairs blossom oracle instead
   /// of the sparse matcher (bit-for-bit validation / A-B benchmarking).
   bool dense_matcher = false;
+  /// Timeline campaigns only (run_timeline*): when a realization's strike
+  /// herald fires — its sampled event list is non-empty — rebuild the
+  /// sliding windows' matching graph from the strike-instrumented circuit
+  /// with the reset field folded into the DEM (reweighting the edges of
+  /// the affected rounds and graph region), modelling a decoder wired to
+  /// an on-chip cosmic-ray detector.  Quiet realizations (and every
+  /// non-timeline campaign) decode on the intrinsic-only graph, so with
+  /// no strikes this mode is bit-for-bit the unaware decoder.
+  bool herald_aware = false;
 
   DecoderOptions() = default;
   DecoderOptions(DecoderKind k) : kind(k) {}  // NOLINT: implicit by design

@@ -793,13 +793,38 @@ SlidingWindowOptions InjectionEngine::window_options(
   return w;
 }
 
+Circuit InjectionEngine::timeline_circuit(
+    const RadiationTimeline& timeline,
+    const std::vector<RadiationEvent>& events) const {
+  return instrument_timeline_noise(
+      noisy_base_, timeline.schedule(arch_, events, options_.rounds));
+}
+
+std::unique_ptr<SlidingWindowDecoder> InjectionEngine::aware_window_decoder(
+    const Circuit& instrumented, const SlidingWindowOptions& window) const {
+  // Same reweighting as run_radiation_at_aware, per realization: the
+  // windows' matching graph is rebuilt from the circuit that carries the
+  // strike's reset field, folded into the DEM as X/Z mechanisms of half
+  // the reset probability — edges inside the footprint's rounds and
+  // region get cheaper, everything else keeps its intrinsic weight.  The
+  // detector set is a function of the noiseless structure, so the round
+  // map carries over unchanged.
+  DemOptions dem_options;
+  dem_options.include_reset_approximation = true;
+  const auto dem = DetectorErrorModel::from_circuit(instrumented, dem_options);
+  // The view layout copies the subgraphs it needs, so `graph` may die
+  // with this frame.
+  const MatchingGraph graph = MatchingGraph::from_dem(dem);
+  RADSURF_ASSERT(graph.num_detectors() == matching_graph_.num_detectors());
+  return std::make_unique<SlidingWindowDecoder>(
+      graph, detector_rounds_, options_.rounds, window);
+}
+
 Proportion InjectionEngine::run_timeline_with(
     const RadiationTimeline& timeline,
     const std::vector<RadiationEvent>& events, std::size_t shots,
     std::uint64_t seed, SlidingWindowDecoder& decoder) const {
-  const auto schedule =
-      timeline.schedule(arch_, events, options_.rounds);
-  const Circuit circuit = instrument_timeline_noise(noisy_base_, schedule);
+  const Circuit circuit = timeline_circuit(timeline, events);
   return run_circuit(circuit, shots, seed, nullptr, &decoder);
 }
 
@@ -807,6 +832,11 @@ Proportion InjectionEngine::run_timeline(
     const RadiationTimeline& timeline,
     const std::vector<RadiationEvent>& events, std::size_t shots,
     std::uint64_t seed, const SlidingWindowOptions& window) const {
+  if (options_.decoder.herald_aware && !events.empty()) {
+    const Circuit circuit = timeline_circuit(timeline, events);
+    const auto aware = aware_window_decoder(circuit, window_options(window));
+    return run_circuit(circuit, shots, seed, nullptr, aware.get());
+  }
   SlidingWindowDecoder decoder(matching_graph_, detector_rounds_,
                                options_.rounds, window_options(window));
   return run_timeline_with(timeline, events, shots, seed, decoder);
@@ -819,8 +849,10 @@ TimelineSummary InjectionEngine::run_timeline_campaign(
   TimelineSummary summary;
   summary.num_timelines = num_timelines;
   summary.rounds = options_.rounds;
-  // One decoder serves every realization (decode() is thread-safe and the
-  // window layout depends only on the engine and the window options).
+  // One decoder serves every quiet realization (decode() is thread-safe
+  // and the window layout depends only on the engine and the window
+  // options); herald-aware cells swap heralded realizations onto a
+  // per-realization strike-reweighted decoder instead.
   SlidingWindowDecoder decoder(matching_graph_, detector_rounds_,
                                options_.rounds, window_options(window));
   summary.num_windows = decoder.num_windows();
@@ -828,11 +860,22 @@ TimelineSummary InjectionEngine::run_timeline_campaign(
   Rng event_rng(seed ^ 0x7261647375726621ULL);
   for (std::size_t i = 0; i < num_timelines; ++i) {
     const auto events =
-        timeline.sample(options_.rounds, active_qubits_, event_rng);
+        timeline.sample(options_.rounds, active_qubits_, &arch_, event_rng);
     summary.total_events += events.size();
-    summary.errors +=
-        run_timeline_with(timeline, events, shots_per_timeline,
-                          seed + 0x9e37 * (i + 1), decoder);
+    const std::uint64_t shot_seed = seed + 0x9e37 * (i + 1);
+    if (options_.decoder.herald_aware && !events.empty()) {
+      const Circuit circuit = timeline_circuit(timeline, events);
+      const auto aware =
+          aware_window_decoder(circuit, window_options(window));
+      summary.errors +=
+          run_circuit(circuit, shots_per_timeline, shot_seed, nullptr,
+                      aware.get());
+      ++summary.aware_rebuilds;
+    } else {
+      summary.errors += run_timeline_with(timeline, events,
+                                          shots_per_timeline, shot_seed,
+                                          decoder);
+    }
   }
   return summary;
 }

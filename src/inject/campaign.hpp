@@ -122,8 +122,13 @@ struct EngineOptions {
   /// as ONE conditioned reference walk (exact, per distinct signature)
   /// plus a bit-parallel frame replay of the whole group against it —
   /// per-signature exact cost instead of per-shot.  Groups below the
-  /// minimum (including the all-signatures-distinct worst case, e.g.
-  /// full-intensity spread strikes) replay per shot exactly as before.
+  /// minimum replay per shot exactly as before — in the
+  /// all-signatures-distinct worst case (full-intensity spread strikes,
+  /// and chip-burst timelines whose component-wide footprints make nearly
+  /// every herald signature unique) promotion degrades gracefully to
+  /// per-shot conditioned walks: groups = promoted_shots = 0, every
+  /// residual counted in exact_replays, never silently grouping distinct
+  /// signatures.
   /// Also applies above residual_fraction_threshold, where signatures are
   /// pre-drawn so the whole campaign can be grouped without a frame batch.
   bool herald_promotion = true;
@@ -168,6 +173,10 @@ struct TimelineSummary {
   std::size_t rounds = 0;             // stabilisation rounds per shot
   std::size_t num_windows = 0;        // sliding windows per decode
   std::size_t window_decoders = 0;    // distinct window shapes built
+  // Herald-aware decoding (DecoderOptions::herald_aware): realizations
+  // whose strike herald fired and therefore decoded on a per-realization
+  // strike-reweighted matching graph instead of the shared intrinsic one.
+  std::size_t aware_rebuilds = 0;
   double mean_events() const {
     return num_timelines == 0
                ? 0.0
@@ -280,7 +289,11 @@ class InjectionEngine {
   /// event realization and decode every shot with sliding windows (memory
   /// O(window), not O(rounds); window >= rounds reproduces whole-history
   /// MWPM bit-for-bit).  Events come from timeline.sample() or are built
-  /// directly for deterministic scenarios.
+  /// directly for deterministic scenarios.  With
+  /// options.decoder.herald_aware set and a non-empty event list, the
+  /// windows decode on a strike-reweighted matching graph instead (see
+  /// DecoderOptions::herald_aware); an empty realization is bit-for-bit
+  /// the unaware path.
   Proportion run_timeline(const RadiationTimeline& timeline,
                           const std::vector<RadiationEvent>& events,
                           std::size_t shots, std::uint64_t seed,
@@ -325,6 +338,17 @@ class InjectionEngine {
                          Decoder* decoder_override = nullptr) const;
 
   SlidingWindowOptions window_options(const SlidingWindowOptions& window) const;
+
+  /// The timeline-instrumented sampling circuit of one event realization.
+  Circuit timeline_circuit(const RadiationTimeline& timeline,
+                           const std::vector<RadiationEvent>& events) const;
+
+  /// Herald-aware window decoder (DecoderOptions::herald_aware): sliding
+  /// windows over a matching graph rebuilt from the strike-instrumented
+  /// circuit with the reset field folded into the DEM — the timeline
+  /// analogue of run_radiation_at_aware's reweighting.
+  std::unique_ptr<SlidingWindowDecoder> aware_window_decoder(
+      const Circuit& instrumented, const SlidingWindowOptions& window) const;
 
   EngineOptions options_;
   Graph arch_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -19,6 +20,9 @@ RadiationTimeline::RadiationTimeline(RadiationModel model,
   RADSURF_CHECK_ARG(
       options_.intensity >= 0.0 && options_.intensity <= 1.0,
       "peak intensity out of [0,1]: " << options_.intensity);
+  RADSURF_CHECK_ARG(options_.qp_lambda > 0.0,
+                    "quasiparticle diffusion length must be > 0, got "
+                        << options_.qp_lambda);
 }
 
 std::size_t poisson_sample(double rate, Rng& rng) {
@@ -38,26 +42,96 @@ std::size_t poisson_sample(double rate, Rng& rng) {
 std::vector<RadiationEvent> RadiationTimeline::sample(
     std::size_t rounds, const std::vector<std::uint32_t>& roots,
     Rng& rng) const {
+  return sample(rounds, roots, nullptr, rng);
+}
+
+std::vector<RadiationEvent> RadiationTimeline::sample(
+    std::size_t rounds, const std::vector<std::uint32_t>& roots,
+    const Graph* arch, Rng& rng) const {
   RADSURF_CHECK_ARG(!roots.empty(), "need at least one candidate root");
+  RADSURF_CHECK_ARG(!options_.chip_burst || arch != nullptr,
+                    "chip-burst sampling draws epicenter-correlated burst "
+                    "roots and needs the device graph: pass one via "
+                    "sample(rounds, roots, &arch, rng)");
   const std::size_t burst =
       std::min(options_.burst_multiplicity, roots.size());
   std::vector<RadiationEvent> events;
   std::vector<std::uint32_t> pool;
+  std::vector<double> weights;
   for (std::size_t round = 0; round < rounds; ++round) {
     const std::size_t arrivals =
         poisson_sample(options_.events_per_round, rng);
     for (std::size_t e = 0; e < arrivals; ++e) {
-      // Partial Fisher-Yates: draw `burst` distinct roots for this shower.
-      pool = roots;
-      for (std::size_t j = 0; j < burst; ++j) {
-        const std::size_t pick =
-            j + static_cast<std::size_t>(rng.below(pool.size() - j));
-        std::swap(pool[j], pool[pick]);
-        events.push_back({round, pool[j], options_.intensity});
+      if (!options_.chip_burst) {
+        // Partial Fisher-Yates: draw `burst` distinct roots for this shower.
+        pool = roots;
+        for (std::size_t j = 0; j < burst; ++j) {
+          const std::size_t pick =
+              j + static_cast<std::size_t>(rng.below(pool.size() - j));
+          std::swap(pool[j], pool[pick]);
+          events.push_back({round, pool[j], options_.intensity});
+        }
+        continue;
+      }
+      // Chip burst: the epicenter is uniform; the remaining burst roots
+      // are drawn without replacement with weight exp(-hops / qp_lambda)
+      // around it.  Unreachable roots weigh 0, so the whole shower stays
+      // inside the epicenter's connected component (a shower that runs
+      // out of reachable roots simply strikes fewer of them).
+      const std::uint32_t epicenter =
+          roots[static_cast<std::size_t>(rng.below(roots.size()))];
+      events.push_back({round, epicenter, options_.intensity});
+      if (burst <= 1) continue;
+      const std::vector<std::size_t> hops = arch->bfs_distances(epicenter);
+      pool.clear();
+      weights.clear();
+      double total = 0.0;
+      for (const std::uint32_t r : roots) {
+        if (r == epicenter || r >= hops.size() ||
+            hops[r] == std::numeric_limits<std::size_t>::max())
+          continue;
+        pool.push_back(r);
+        weights.push_back(std::exp(-static_cast<double>(hops[r]) /
+                                   options_.qp_lambda));
+        total += weights.back();
+      }
+      for (std::size_t j = 1; j < burst && total > 0.0; ++j) {
+        double u = rng.uniform() * total;
+        // Prefix walk over the still-unstruck roots; accumulated float
+        // drift past the end lands on the last one.
+        std::size_t pick = pool.size();
+        for (std::size_t k = 0; k < pool.size(); ++k) {
+          if (weights[k] <= 0.0) continue;
+          pick = k;
+          if (u < weights[k]) break;
+          u -= weights[k];
+        }
+        if (pick == pool.size()) break;
+        events.push_back({round, pool[pick], options_.intensity});
+        total -= weights[pick];
+        weights[pick] = 0.0;
       }
     }
   }
   return events;
+}
+
+std::vector<double> RadiationTimeline::footprint(const Graph& arch,
+                                                 std::uint32_t root,
+                                                 double intensity) const {
+  if (!options_.chip_burst)
+    return model_.qubit_probabilities(arch, root, intensity, options_.spread);
+  RADSURF_CHECK_ARG(root < arch.num_nodes(),
+                    "epicenter " << root << " outside architecture of "
+                                 << arch.num_nodes() << " qubits");
+  const std::vector<std::size_t> hops = arch.bfs_distances(root);
+  std::vector<double> probs(arch.num_nodes(), 0.0);
+  for (std::size_t q = 0; q < probs.size(); ++q) {
+    if (hops[q] == std::numeric_limits<std::size_t>::max()) continue;
+    probs[q] = intensity * std::exp(-static_cast<double>(hops[q]) /
+                                    options_.qp_lambda);
+  }
+  return probs;
 }
 
 std::vector<std::vector<double>> RadiationTimeline::schedule(
@@ -70,8 +144,8 @@ std::vector<std::vector<double>> RadiationTimeline::schedule(
     RADSURF_CHECK_ARG(event.round < rounds,
                       "event round " << event.round << " outside timeline of "
                                      << rounds << " rounds");
-    const std::vector<double> peak = model_.qubit_probabilities(
-        arch, event.root, event.intensity, options_.spread);
+    const std::vector<double> peak =
+        footprint(arch, event.root, event.intensity);
     for (std::size_t dr = 0; dr < options_.duration_rounds; ++dr) {
       const std::size_t r = event.round + dr;
       if (r >= rounds) break;

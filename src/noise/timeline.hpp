@@ -11,6 +11,12 @@
 // circuit via instrument_timeline_noise, which scopes each round's reset
 // field to the gates between consecutive TICK round markers.
 //
+// TimelineOptions::chip_burst switches the per-event footprint from the
+// paper's S(d) site model to a chip-scale quasiparticle-spread model
+// (exp(-hops / qp_lambda) over the epicenter's connected component, with
+// epicenter-correlated burst roots) — the correlated cosmic-ray regime of
+// Harrington et al. (arXiv:2402.03208); see TimelineOptions below.
+//
 // Contracts:
 //  * RNG determinism — sample() draws only from the Rng it is handed, so
 //    an event realization is a pure function of (options, rounds, roots,
@@ -59,6 +65,18 @@ struct TimelineOptions {
   double intensity = 1.0;
   /// Spread over the architecture with S(d); false confines to the root.
   bool spread = true;
+  /// Chip-scale quasiparticle-spread events (beyond the paper's per-site
+  /// model): an impact's footprint decays exponentially in BFS hop
+  /// distance from the epicenter, intensity * exp(-d / qp_lambda), over
+  /// the epicenter's whole connected component — replacing S(d), which
+  /// dies off within ~2 hops — and burst-multiplicity secondary roots are
+  /// drawn correlated near the epicenter instead of uniformly (weight
+  /// exp(-d / qp_lambda), without replacement).  Chip-burst sampling needs
+  /// the device graph: use the sample() overload that takes one.
+  bool chip_burst = false;
+  /// Quasiparticle diffusion length of the chip-burst footprint, in BFS
+  /// hops.  Larger values flood more of the chip per event.
+  double qp_lambda = 3.0;
 };
 
 class RadiationTimeline {
@@ -71,9 +89,29 @@ class RadiationTimeline {
   /// Sample one event realization over `rounds` rounds: per round, a
   /// Poisson(events_per_round) number of events, each striking
   /// burst_multiplicity distinct roots drawn uniformly from `roots`.
+  /// Rejects chip_burst options (correlated root draws need the device
+  /// graph — use the overload below).
   std::vector<RadiationEvent> sample(
       std::size_t rounds, const std::vector<std::uint32_t>& roots,
       Rng& rng) const;
+
+  /// Graph-aware sampling: identical draws (bit-for-bit) to the overload
+  /// above unless chip_burst is set, in which case each shower's first
+  /// root (the epicenter) is uniform and the remaining burst roots are
+  /// drawn without replacement with weight exp(-d(epicenter, r) /
+  /// qp_lambda) — zero for roots outside the epicenter's connected
+  /// component, so a shower never jumps components.
+  std::vector<RadiationEvent> sample(
+      std::size_t rounds, const std::vector<std::uint32_t>& roots,
+      const Graph* arch, Rng& rng) const;
+
+  /// Per-qubit peak reset probabilities of a single event at `root`:
+  /// the chip-burst footprint intensity * exp(-d / qp_lambda) when
+  /// chip_burst is set (unreachable qubits get 0 — the footprint is
+  /// confined to the root's connected component), the paper's
+  /// S(d)-spread qubit_probabilities otherwise.
+  std::vector<double> footprint(const Graph& arch, std::uint32_t root,
+                                double intensity) const;
 
   /// Round-indexed per-qubit reset probabilities on `arch` composing
   /// `events` (independent-source combination).  Result has `rounds` rows

@@ -1,0 +1,142 @@
+// Golden fixtures for the shipped chip-burst ablation spec
+// (specs/abl_burst_aware.json).
+//
+// The spec's full-budget run (400 shots x 8 timelines = 3200/arm, seed
+// 20260808) is the PR's headline artifact.  Its twelve rows, recorded
+// 2026-08-08:
+//
+//   code                 decoder     injection  errors/3200   LER
+//   rotated_memory_z:5   mwpm        quiet            1       0.0%
+//   rotated_memory_z:5   mwpm        blob           285       8.9%
+//   rotated_memory_z:5   mwpm        wide          1152      36.0%
+//   rotated_memory_z:5   mwpm:aware  quiet            1       0.0%
+//   rotated_memory_z:5   mwpm:aware  blob           194       6.1%   z=-4.3
+//   rotated_memory_z:5   mwpm:aware  wide          1127      35.2%
+//   rotated_memory_z:11  mwpm        quiet           11       0.3%
+//   rotated_memory_z:11  mwpm        blob            60       1.9%
+//   rotated_memory_z:11  mwpm        wide           122       3.8%
+//   rotated_memory_z:11  mwpm:aware  quiet           11       0.3%
+//   rotated_memory_z:11  mwpm:aware  blob            57       1.8%
+//   rotated_memory_z:11  mwpm:aware  wide            74       2.3%   z=-3.5
+//
+// Grid cell RNG streams are per-cell (decoder-stripped cell key), so
+// restricting the distances axis to [5] reproduces the d = 5 rows of the
+// shipped table bit for bit while skipping the d = 11 half, whose
+// per-realization decoder rebuilds dominate the full run's ~2 minute
+// wall clock.  (The d = 11 statistical contract is covered separately by
+// AwareDecoding.AwareBeatsUnawareUnderBurstsD11.)  The replayed rows are
+// pinned exactly — cell seeds are deterministic — and the LER column is
+// additionally banded against the golden rates so a drift in one layer
+// (formatting vs sampled physics) is reported as two distinct failures.
+//
+// If a change to the spec or the sampling streams is *intentional*,
+// regenerate: `./radsurf run specs/abl_burst_aware.json`, update the
+// golden rows here AND in the table above, and say so in the commit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cli/registry.hpp"
+#include "cli/spec.hpp"
+#include "util/json.hpp"
+
+namespace radsurf {
+namespace {
+
+constexpr std::size_t kShotsPerCell = 3200;  // 400 shots x 8 timelines
+
+constexpr const char* kQuiet =
+    "timeline(rate=0,duration=6,burst=1,intensity=0.5,"
+    "chip_burst=lambda1.5,timelines=8,window=4/2)";
+constexpr const char* kBlob =
+    "timeline(rate=0.15,duration=6,burst=1,intensity=0.5,"
+    "chip_burst=lambda1.5,timelines=8,window=4/2)";
+constexpr const char* kWide =
+    "timeline(rate=0.15,duration=6,burst=1,intensity=0.6,"
+    "chip_burst=lambda3,timelines=8,window=4/2)";
+
+struct GoldenRow {
+  const char* decoder;
+  const char* injection;
+  std::size_t errors;  // of kShotsPerCell
+};
+
+// The d = 5 half, in the grid's deterministic axis order: decoder (mwpm,
+// mwpm:aware) x injection (quiet, blob, wide).  The blob pair is the
+// headline (aware 194 vs unaware 285, paired arms, z ~ -4.3); the wide
+// pair documents the flooded-chip regime where the lambda = 3 blob covers
+// the whole 49-qubit device and reweighting cannot help.
+constexpr GoldenRow kGoldenD5[] = {
+    {"mwpm", kQuiet, 1},        {"mwpm", kBlob, 285},
+    {"mwpm", kWide, 1152},      {"mwpm:aware", kQuiet, 1},
+    {"mwpm:aware", kBlob, 194}, {"mwpm:aware", kWide, 1127},
+};
+constexpr std::size_t kNumRows = sizeof(kGoldenD5) / sizeof(kGoldenD5[0]);
+
+// Column indices of the grid table.
+constexpr std::size_t kColCode = 0, kColDecoder = 2, kColP = 3, kColRounds = 5,
+                      kColInjection = 7, kColShots = 8, kColErrors = 9,
+                      kColLer = 10, kColDetail = 13;
+
+TEST(BurstAblationGolden, ShippedSpecD5RowsReplayExactly) {
+  ScenarioSpec spec = ScenarioSpec::from_file(
+      std::string(RADSURF_SOURCE_DIR) + "/specs/abl_burst_aware.json");
+  EXPECT_EQ(spec.scenario, "grid");
+  EXPECT_EQ(spec.shots, 400u);
+  EXPECT_EQ(spec.seed, 20260808u);
+  ASSERT_NE(spec.params.find("distances"), nullptr);
+  EXPECT_EQ(spec.params.find("distances")->size(), 2u);  // ships d = 5, 11
+
+  // Replay only the d = 5 half at the full shipped budget: cell RNG
+  // streams do not depend on the distances axis, so these rows must be
+  // bit-identical to the shipped table.
+  JsonValue d5 = JsonValue::array();
+  d5.push_back(JsonValue(5));
+  spec.params.set("distances", std::move(d5));
+
+  const ExperimentReport rep = make_scenario(spec)->run(nullptr);
+  const auto& rows = rep.table.rows();
+  ASSERT_EQ(rows.size(), kNumRows);
+
+  for (std::size_t i = 0; i < kNumRows; ++i) {
+    SCOPED_TRACE("row " + std::to_string(i) + " (" + kGoldenD5[i].decoder +
+                 " " + kGoldenD5[i].injection + ")");
+    const auto& row = rows[i];
+    EXPECT_EQ(row[kColCode], "rotated_memory_z:5");
+    EXPECT_EQ(row[kColDecoder], kGoldenD5[i].decoder);
+    EXPECT_EQ(row[kColInjection], kGoldenD5[i].injection);
+    EXPECT_EQ(row[kColP], "0.001");
+    EXPECT_EQ(row[kColRounds], "8");
+    EXPECT_EQ(row[kColShots], std::to_string(kShotsPerCell));
+    EXPECT_NE(row[kColDetail].find("engine=compact:w2"), std::string::npos);
+    // Exact golden pin: the per-cell seed is deterministic.
+    EXPECT_EQ(row[kColErrors], std::to_string(kGoldenD5[i].errors));
+    // Banded LER: a formatting refactor that breaks the LER column without
+    // touching the error counts fails here, not above.
+    const double golden =
+        static_cast<double>(kGoldenD5[i].errors) / kShotsPerCell;
+    const double sigma = std::sqrt(
+        std::max(golden * (1.0 - golden), 1.0 / kShotsPerCell) /
+        static_cast<double>(kShotsPerCell));
+    ASSERT_FALSE(row[kColLer].empty());
+    const double rate = std::stod(row[kColLer]) / 100.0;  // "8.9%"
+    EXPECT_NEAR(rate, golden, std::max(4.0 * sigma, 5e-4));
+  }
+
+  // The contracts, visible in the shipped artifact:
+  //  * quiet aware row bit-identical to its unaware partner, zero rebuilds
+  //    (herald-aware is a strict no-op without a herald);
+  EXPECT_EQ(rows[3][kColErrors], rows[0][kColErrors]);
+  EXPECT_NE(rows[3][kColDetail].find("aware_rebuilds=0"), std::string::npos);
+  //  * burst aware rows decode the same paired shots and lose fewer of
+  //    them — the blob pair z-significantly (z ~ -4.3 at these counts).
+  EXPECT_LT(kGoldenD5[4].errors, kGoldenD5[1].errors);
+  EXPECT_LT(kGoldenD5[5].errors, kGoldenD5[2].errors);
+  EXPECT_NE(rows[4][kColDetail].find("aware_rebuilds="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radsurf

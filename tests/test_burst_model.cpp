@@ -1,0 +1,324 @@
+// Chip-scale correlated burst model (TimelineOptions::chip_burst):
+// property tests pinning the quasiparticle-spread footprint —
+//
+//  * spatial decay: error probability is exactly intensity *
+//    exp(-hops / qp_lambda) and therefore monotone non-increasing in BFS
+//    hop distance from the epicenter;
+//  * temporal decay: every subsequent round scales the footprint by the
+//    configured T(t) envelope, exactly as the per-site model does;
+//  * confinement: the footprint (and every correlated secondary burst
+//    root) stays inside the epicenter's connected component;
+//  * determinism: identical seeds give identical event realizations, and
+//    grid campaigns over chip-burst cells are byte-identical across
+//    --jobs worker counts.
+#include "noise/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "arch/topologies.hpp"
+#include "cli/registry.hpp"
+#include "cli/spec.hpp"
+#include "codes/code.hpp"
+#include "codes/rotated.hpp"
+#include "inject/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+namespace {
+
+TimelineOptions burst_options(double qp_lambda, double intensity) {
+  TimelineOptions opts;
+  opts.chip_burst = true;
+  opts.qp_lambda = qp_lambda;
+  opts.intensity = intensity;
+  opts.duration_rounds = 4;
+  return opts;
+}
+
+TEST(BurstModel, FootprintMatchesExponentialHopDecay) {
+  const RotatedCode code(5, RotatedMemory::Z);
+  const Graph arch = native_graph_for(code);
+  const RadiationTimeline timeline({}, burst_options(2.5, 0.7));
+  const std::uint32_t epicenter = 12;
+  const auto probs = timeline.footprint(arch, epicenter, 0.7);
+  const auto hops = arch.bfs_distances(epicenter);
+  ASSERT_EQ(probs.size(), arch.num_nodes());
+  for (std::size_t q = 0; q < probs.size(); ++q) {
+    ASSERT_NE(hops[q], std::numeric_limits<std::size_t>::max());
+    EXPECT_DOUBLE_EQ(probs[q],
+                     0.7 * std::exp(-static_cast<double>(hops[q]) / 2.5))
+        << "qubit " << q;
+  }
+  EXPECT_DOUBLE_EQ(probs[epicenter], 0.7);
+}
+
+TEST(BurstModel, FootprintMonotoneNonIncreasingInHopDistance) {
+  const RotatedCode code(7, RotatedMemory::Z);
+  const Graph arch = native_graph_for(code);
+  const RadiationTimeline timeline({}, burst_options(3.0, 1.0));
+  for (const std::uint32_t epicenter : {0u, 17u, 40u}) {
+    const auto probs = timeline.footprint(arch, epicenter, 1.0);
+    const auto hops = arch.bfs_distances(epicenter);
+    // Sort qubits by hop distance; probabilities must never increase.
+    std::vector<std::size_t> order(probs.size());
+    for (std::size_t q = 0; q < order.size(); ++q) order[q] = q;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return hops[a] < hops[b]; });
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      EXPECT_GE(probs[order[i - 1]], probs[order[i]])
+          << "epicenter " << epicenter << ": hop " << hops[order[i - 1]]
+          << " -> " << hops[order[i]];
+    }
+  }
+}
+
+TEST(BurstModel, TemporalEnvelopeMatchesConfiguredDecay) {
+  // Round r of an event arriving at r0 scales the whole footprint by
+  // T((r - r0) / duration) — the same envelope as the per-site model,
+  // independent of the spatial profile swap.
+  const RadiationModel model{};  // gamma = 10
+  TimelineOptions opts = burst_options(2.0, 0.6);
+  opts.duration_rounds = 4;
+  const RadiationTimeline timeline(model, opts);
+  const Graph line = make_linear(6);
+  const std::vector<RadiationEvent> events = {{2, 1, 0.6}};
+  const auto probs = timeline.schedule(line, events, 10);
+  const auto peak = timeline.footprint(line, 1, 0.6);
+  ASSERT_EQ(probs.size(), 10u);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t q = 0; q < peak.size(); ++q) {
+      double expected = 0.0;
+      if (r >= 2 && r < 2 + opts.duration_rounds)
+        expected = peak[q] * model.temporal((r - 2) / 4.0);
+      EXPECT_NEAR(probs[r][q], expected, 1e-15)
+          << "round " << r << " qubit " << q;
+    }
+  }
+}
+
+TEST(BurstModel, FootprintConfinedToEpicentersComponent) {
+  // Two disconnected segments: 0-1-2 and 3-4.  A strike in one component
+  // must never leak probability (or secondary burst roots) into the other.
+  Graph arch(5);
+  arch.add_edge(0, 1);
+  arch.add_edge(1, 2);
+  arch.add_edge(3, 4);
+  TimelineOptions opts = burst_options(10.0, 1.0);  // huge lambda: no excuse
+  opts.burst_multiplicity = 4;
+  opts.events_per_round = 2.0;
+  const RadiationTimeline timeline({}, opts);
+
+  const auto probs = timeline.footprint(arch, 1, 1.0);
+  EXPECT_GT(probs[0], 0.0);
+  EXPECT_GT(probs[2], 0.0);
+  EXPECT_DOUBLE_EQ(probs[3], 0.0);
+  EXPECT_DOUBLE_EQ(probs[4], 0.0);
+
+  // Correlated burst roots: every shower stays inside its epicenter's
+  // component.  Showers are emitted epicenter-first and a multiplicity-4
+  // shower strikes exactly as many roots as its component holds (3 in
+  // {0,1,2}, 2 in {3,4}), so the event list parses deterministically.
+  const std::vector<std::uint32_t> roots = {0, 1, 2, 3, 4};
+  const auto component = [](std::uint32_t q) { return q <= 2 ? 0 : 1; };
+  Rng rng(29);
+  const auto events = timeline.sample(50, roots, &arch, rng);
+  ASSERT_FALSE(events.empty());
+  std::size_t showers_seen[2] = {0, 0};
+  for (std::size_t i = 0; i < events.size();) {
+    const int comp = component(events[i].root);
+    const std::size_t size = comp == 0 ? 3 : 2;
+    ASSERT_LE(i + size, events.size());
+    std::set<std::uint32_t> struck;
+    for (std::size_t j = 0; j < size; ++j) {
+      EXPECT_EQ(events[i + j].round, events[i].round);
+      EXPECT_EQ(component(events[i + j].root), comp)
+          << "shower at event " << i << " leaked across components";
+      struck.insert(events[i + j].root);
+    }
+    EXPECT_EQ(struck.size(), size) << "duplicate root within one shower";
+    ++showers_seen[comp];
+    i += size;
+  }
+  // Both components get struck over 50 rounds at rate 2.
+  EXPECT_GT(showers_seen[0], 0u);
+  EXPECT_GT(showers_seen[1], 0u);
+}
+
+TEST(BurstModel, SecondaryRootsClusterNearEpicenter) {
+  // With qp_lambda small, correlated secondaries must sit statistically
+  // closer to the epicenter than uniform draws would.
+  const RotatedCode code(9, RotatedMemory::Z);
+  const Graph arch = native_graph_for(code);
+  std::vector<std::uint32_t> roots(arch.num_nodes());
+  for (std::uint32_t q = 0; q < roots.size(); ++q) roots[q] = q;
+
+  TimelineOptions correlated = burst_options(1.5, 1.0);
+  correlated.burst_multiplicity = 3;
+  correlated.events_per_round = 1.0;
+  TimelineOptions uniform = correlated;
+  uniform.chip_burst = false;
+
+  const auto hop_stats = [&](const std::vector<RadiationEvent>& events,
+                             bool first_is_epicenter) {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i + 2 < events.size(); i += 3) {
+      const auto hops = arch.bfs_distances(events[i].root);
+      for (std::size_t j = 1; j < 3; ++j) {
+        total += static_cast<double>(hops[events[i + j].root]);
+        ++count;
+      }
+    }
+    (void)first_is_epicenter;
+    return count == 0 ? 0.0 : total / static_cast<double>(count);
+  };
+
+  Rng rng_c(101), rng_u(101);
+  const auto correlated_events =
+      RadiationTimeline({}, correlated).sample(300, roots, &arch, rng_c);
+  const auto uniform_events =
+      RadiationTimeline({}, uniform).sample(300, roots, &arch, rng_u);
+  ASSERT_GT(correlated_events.size(), 600u);
+  const double mean_correlated = hop_stats(correlated_events, true);
+  const double mean_uniform = hop_stats(uniform_events, false);
+  // lambda = 1.5 on a 161-qubit chip (diameter ~16): correlated showers
+  // average a few hops, uniform pairs average near half the diameter.
+  EXPECT_LT(mean_correlated, 0.6 * mean_uniform)
+      << "correlated " << mean_correlated << " vs uniform " << mean_uniform;
+
+  // Distinct roots within each shower.
+  for (std::size_t i = 0; i + 2 < correlated_events.size(); i += 3) {
+    EXPECT_NE(correlated_events[i].root, correlated_events[i + 1].root);
+    EXPECT_NE(correlated_events[i].root, correlated_events[i + 2].root);
+    EXPECT_NE(correlated_events[i + 1].root, correlated_events[i + 2].root);
+  }
+}
+
+TEST(BurstModel, ChipBurstOffIsBitForBitTheUniformSampler) {
+  // chip_burst = false must consume the RNG stream exactly as before the
+  // chip-burst model existed — existing timeline campaigns (and their
+  // checkpoints) depend on the draws not shifting.
+  const Graph arch = make_mesh(4, 4);
+  std::vector<std::uint32_t> roots = {0, 3, 5, 7, 9, 12, 15};
+  TimelineOptions opts;
+  opts.events_per_round = 0.3;
+  opts.burst_multiplicity = 2;
+  const RadiationTimeline timeline({}, opts);
+  Rng a(77), b(77), c(77);
+  const auto legacy = timeline.sample(100, roots, a);
+  const auto with_arch = timeline.sample(100, roots, &arch, b);
+  const auto with_null = timeline.sample(100, roots, nullptr, c);
+  EXPECT_EQ(legacy, with_arch);
+  EXPECT_EQ(legacy, with_null);
+}
+
+TEST(BurstModel, DeterministicUnderFixedSeed) {
+  const RotatedCode code(5, RotatedMemory::Z);
+  const Graph arch = native_graph_for(code);
+  std::vector<std::uint32_t> roots(arch.num_nodes());
+  for (std::uint32_t q = 0; q < roots.size(); ++q) roots[q] = q;
+  TimelineOptions opts = burst_options(2.0, 0.8);
+  opts.events_per_round = 0.5;
+  opts.burst_multiplicity = 3;
+  const RadiationTimeline timeline({}, opts);
+  Rng a(123), b(123);
+  EXPECT_EQ(timeline.sample(200, roots, &arch, a),
+            timeline.sample(200, roots, &arch, b));
+}
+
+TEST(BurstModel, ChipBurstSamplingWithoutGraphThrows) {
+  const RadiationTimeline timeline({}, burst_options(2.0, 0.8));
+  Rng rng(1);
+  std::vector<std::uint32_t> roots = {0, 1, 2};
+  EXPECT_THROW(timeline.sample(10, roots, rng), InvalidArgument);
+  EXPECT_THROW(timeline.sample(10, roots, nullptr, rng), InvalidArgument);
+}
+
+TEST(BurstModel, RejectsNonPositiveDiffusionLength) {
+  TimelineOptions opts;
+  opts.chip_burst = true;
+  opts.qp_lambda = 0.0;
+  EXPECT_THROW(RadiationTimeline({}, opts), InvalidArgument);
+  opts.qp_lambda = -1.0;
+  EXPECT_THROW(RadiationTimeline({}, opts), InvalidArgument);
+}
+
+TEST(BurstModel, GridCampaignByteIdenticalAcrossJobs) {
+  // A chip-burst ablation grid must stay byte-identical across worker
+  // counts — per-cell RNG streams are a function of the cell key alone.
+  const char* json = R"({
+    "scenario": "grid",
+    "shots": 24,
+    "seed": 2026,
+    "params": {
+      "codes": ["rotated_memory_z:3"],
+      "archs": ["native"],
+      "decoders": ["mwpm", "mwpm:aware"],
+      "rounds": [6],
+      "injections": [
+        {"kind": "timeline", "events_per_round": 0.2, "duration_rounds": 3,
+         "chip_burst": true, "qp_lambda": 2.0, "intensity": 0.5,
+         "num_timelines": 2, "window": 3}
+      ]
+    }
+  })";
+  const auto run_with_jobs = [&](std::size_t jobs) {
+    ScenarioSpec spec =
+        ScenarioSpec::from_json(JsonValue::parse(json), "test");
+    spec.jobs = jobs;
+    const auto scenario = make_scenario(spec);
+    return scenario->run(nullptr).table.to_csv();
+  };
+  const std::string serial = run_with_jobs(1);
+  const std::string parallel = run_with_jobs(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("chip_burst=lambda2"), std::string::npos);
+  EXPECT_NE(serial.find("mwpm:aware"), std::string::npos);
+}
+
+TEST(BurstPromotionFallback, UniqueSignaturesDegradeToPerShotWalks) {
+  // A chip-scale burst fires hundreds of heralded reset sites per shot
+  // with per-site Bernoulli draws, so herald signatures are unique for
+  // any realistic shot count and herald-group promotion has nothing to
+  // group.  The contract (EngineOptions::herald_promotion) is graceful
+  // degradation: zero groups, zero promoted shots, every residual shot
+  // a per-shot conditioned walk counted by exact_replays — never a
+  // silent grouping of distinct signatures.
+  const RotatedCode code(5, RotatedMemory::Z);
+  EngineOptions opts;
+  opts.layout = LayoutStrategy::TRIVIAL;
+  opts.rounds = 8;
+  opts.whole_history_decoder = false;
+  ASSERT_TRUE(opts.herald_promotion);  // promotion enabled, yet no groups
+  const InjectionEngine engine(code, native_graph_for(code), opts);
+
+  TimelineOptions topts = burst_options(3.0, 0.5);
+  topts.duration_rounds = 4;
+  const RadiationTimeline timeline(engine.radiation(), topts);
+  SlidingWindowOptions wopts;
+  wopts.window = 4;
+  const std::vector<RadiationEvent> events = {{1, 12, 0.5}};
+  const std::size_t shots = 600;
+  const Proportion p = engine.run_timeline(timeline, events, shots, 97, wopts);
+  EXPECT_EQ(p.trials, shots);
+
+  const PromotionStats ps = engine.promotion_stats();
+  EXPECT_EQ(ps.groups, 0u) << "distinct signatures must not group";
+  EXPECT_EQ(ps.promoted_shots, 0u);
+  EXPECT_GT(ps.exact_replays, 0u) << "burst shots must take the per-shot "
+                                     "conditioned-walk fallback";
+  // residual_fraction() counts exactly those per-shot walks.
+  EXPECT_GT(engine.residual_fraction(), 0.0);
+  EXPECT_LE(engine.residual_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(engine.residual_fraction(),
+                   static_cast<double>(ps.exact_replays) /
+                       static_cast<double>(shots));
+}
+
+}  // namespace
+}  // namespace radsurf

@@ -36,6 +36,8 @@ WATCHED_SCENARIOS = (
     "simulator/compact/rotated_memz_d17",
     "simulator/compact/rotated_memz_d21",
     "timeline/rep5_200r/window",
+    "timeline/burst_rotated_d5/unaware",
+    "timeline/burst_rotated_d5/aware",
 )
 
 
