@@ -1,0 +1,10 @@
+// Performance: streaming decode service — client-measured p50/p99
+// window-commit latency and shots/s at several concurrency levels.
+// Merges records into BENCH_perf.json.
+// Compatibility shim: routes through the scenario registry (scenario
+// "perf_serve"; see specs/perf_serve.json).
+#include "cli/runner.hpp"
+
+int main(int argc, char** argv) {
+  return radsurf::legacy_perf_main("perf_serve", argc, argv);
+}

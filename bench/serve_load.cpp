@@ -1,0 +1,124 @@
+// Load generator for a running `radsurf serve` instance.
+//
+// Reads the SAME spec file as the server (scenario "serve") so both sides
+// agree bit-for-bit on the experiment, connects over TCP or a unix-domain
+// socket, streams shots with pipelining, and pins every RESULT against an
+// offline sliding-window decode computed locally.  Exits nonzero on any
+// mismatch, protocol error, or if no shots completed — the CI serve-smoke
+// job is built on this contract.
+//
+// usage:
+//   serve_load <spec.json> (--port P | --unix PATH)
+//              [--streams N] [--shots M] [--seed S]
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cli/spec.hpp"
+#include "serve/config.hpp"
+#include "serve/loadgen.hpp"
+
+namespace {
+
+std::uint64_t parse_u64(const char* flag, const char* text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "error: %s expects an integer, got \"%s\"\n", flag,
+                 text);
+    std::exit(1);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace radsurf;
+  try {
+    std::string spec_path;
+    std::optional<std::uint16_t> port;
+    std::optional<std::string> unix_path;
+    std::optional<std::size_t> streams;
+    std::optional<std::size_t> shots;
+    std::optional<std::uint64_t> seed;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&](const char* what) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: %s needs a value\n", what);
+          std::exit(1);
+        }
+        return argv[++i];
+      };
+      if (arg == "--port") {
+        port = static_cast<std::uint16_t>(
+            parse_u64("--port", next("--port")));
+      } else if (arg == "--unix") {
+        unix_path = next("--unix");
+      } else if (arg == "--streams") {
+        streams = static_cast<std::size_t>(
+            parse_u64("--streams", next("--streams")));
+      } else if (arg == "--shots") {
+        shots = static_cast<std::size_t>(
+            parse_u64("--shots", next("--shots")));
+      } else if (arg == "--seed") {
+        seed = parse_u64("--seed", next("--seed"));
+      } else if (spec_path.empty() && (arg.empty() || arg[0] != '-')) {
+        spec_path = arg;
+      } else {
+        std::fprintf(stderr, "error: unknown argument %s\n", arg.c_str());
+        return 1;
+      }
+    }
+    if (spec_path.empty() || (!port && !unix_path)) {
+      std::fprintf(stderr,
+                   "usage: serve_load <spec.json> (--port P | --unix PATH) "
+                   "[--streams N] [--shots M] [--seed S]\n");
+      return 1;
+    }
+
+    const ScenarioSpec spec = ScenarioSpec::from_file(spec_path);
+    SpecReader params(spec.params, "$.params");
+    serve::ServeConfig cfg = serve::ServeConfig::from_params(params);
+    params.finish();
+    if (streams) cfg.streams = *streams;
+    if (shots) cfg.shots_per_stream = *shots;
+    const std::uint64_t base_seed = seed ? *seed : spec.seed;
+
+    const std::unique_ptr<InjectionEngine> engine = cfg.build_engine();
+    const RadiationTimeline timeline = cfg.build_timeline(*engine);
+    serve::LoadGenOptions lopts = cfg.loadgen_options(base_seed);
+    lopts.events = cfg.build_events(*engine, timeline, base_seed + 1);
+    if (unix_path)
+      lopts.unix_path = *unix_path;
+    else
+      lopts.port = *port;
+
+    const serve::LoadGenReport rep = run_load(*engine, timeline, lopts);
+    std::printf(
+        "serve_load: streams=%zu shots_sent=%zu results=%zu commits=%zu "
+        "sheds=%zu errors=%zu mismatches=%zu\n",
+        rep.streams, rep.shots_sent, rep.results, rep.commits, rep.sheds,
+        rep.errors, rep.mismatches);
+    std::printf(
+        "serve_load: elapsed=%.3fs shots/s=%.1f commit_p50=%.3fms "
+        "commit_p99=%.3fms\n",
+        rep.elapsed_seconds, rep.shots_per_second, rep.p50_ms, rep.p99_ms);
+    if (!rep.clean() || rep.results == 0) {
+      std::fprintf(stderr, "serve_load: FAILED (errors=%zu mismatches=%zu "
+                           "results=%zu)\n",
+                   rep.errors, rep.mismatches, rep.results);
+      return 1;
+    }
+    std::printf("serve_load: OK (all results parity-pinned against offline "
+                "decode)\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "arch/topologies.hpp"
+#include "cli/serve_scenario.hpp"
 #include "codes/code.hpp"
 #include "codes/repetition.hpp"
 #include "codes/rotated.hpp"
@@ -331,31 +332,51 @@ struct OpaqueDecoder final : Decoder {
   Decoder& inner_;
 };
 
+// Attach the matcher backend name and per-decode work counters:
+// regions_grown / blossoms_formed of ONE decode of the record's defect
+// set, and warm_reuses of ONE immediate repeat of it.
+void add_matcher_extras(PerfRecord& r, const std::string& backend,
+                        const MwpmMatcherStats& cold,
+                        const MwpmMatcherStats& warm) {
+  r.text.emplace_back("matcher_backend", backend);
+  r.extra.emplace_back("regions_grown",
+                       static_cast<double>(cold.regions_grown));
+  r.extra.emplace_back("blossoms_formed",
+                       static_cast<double>(cold.blossoms_formed));
+  r.extra.emplace_back("warm_reuses",
+                       static_cast<double>(warm.warm_reuses));
+}
+
 PerfRecord decode_sweep(const std::string& name, Decoder& dec,
-                        std::size_t num_detectors, std::size_t k,
-                        bool smoke) {
+                        std::size_t num_detectors, std::size_t k, bool smoke,
+                        MwpmDecoder* instrumented = nullptr) {
   Rng rng(1);
   const auto defects = random_defects(num_detectors, k, rng);
+  PerfRecord r{name, 0.0, {}, {}};
+  if (instrumented != nullptr) {
+    // Per-decode matcher work, measured OUTSIDE the timing loop: one
+    // decode for the cold counters and one immediate repeat for the
+    // warm-reuse counter.  (Earlier records wrapped the whole timing loop
+    // in the stats delta, so warm_reuses was reps * decodes - 1 = 3327
+    // for every k — a loop-count artifact, not matcher behaviour.)
+    MwpmMatcherStats before = instrumented->matcher_stats();
+    instrumented->decode(defects);
+    MwpmMatcherStats cold = instrumented->matcher_stats();
+    cold -= before;
+    before = instrumented->matcher_stats();
+    instrumented->decode(defects);
+    MwpmMatcherStats warm = instrumented->matcher_stats();
+    warm -= before;
+    add_matcher_extras(r, instrumented->matcher_backend(), cold, warm);
+  }
   const std::size_t reps = smoke ? 16 : 256;
-  const double rate = measure_rate_mode(
+  r.shots_per_second = measure_rate_mode(
       [&] {
         for (std::size_t i = 0; i < reps; ++i) dec.decode(defects);
         return reps;
       },
       smoke);
-  return {name, rate, {}, {}};
-}
-
-// Attach the matcher backend name and its work counters to a record (the
-// counters are a snapshot delta covering just this record's measurement).
-void add_matcher_extras(PerfRecord& r, const std::string& backend,
-                        const MwpmMatcherStats& s) {
-  r.text.emplace_back("matcher_backend", backend);
-  r.extra.emplace_back("regions_grown",
-                       static_cast<double>(s.regions_grown));
-  r.extra.emplace_back("blossoms_formed",
-                       static_cast<double>(s.blossoms_formed));
-  r.extra.emplace_back("warm_reuses", static_cast<double>(s.warm_reuses));
+  return r;
 }
 
 }  // namespace
@@ -373,14 +394,10 @@ ExperimentReport run_perf_decoder(const PerfRunOptions& options) {
     const auto g = rep_graph(15);
     MwpmDecoder dec(g);
     for (std::size_t k : {2u, 6u, 12u, 20u, 32u, 40u}) {
-      MwpmMatcherStats delta = dec.matcher_stats();
-      PerfRecord r =
-          decode_sweep("decoder/mwpm/rep15/k" + std::to_string(k), dec,
-                       g.num_detectors(), k, smoke);
-      MwpmMatcherStats after = dec.matcher_stats();
-      after -= delta;
-      add_matcher_extras(r, dec.matcher_backend(), after);
-      records.push_back(std::move(r));
+      records.push_back(decode_sweep("decoder/mwpm/rep15/k" +
+                                         std::to_string(k),
+                                     dec, g.num_detectors(), k, smoke,
+                                     &dec));
     }
 
     // Before/after side of the cliff: the same escalation points through
@@ -389,14 +406,10 @@ ExperimentReport run_perf_decoder(const PerfRunOptions& options) {
     dense_opts.dense_matcher = true;
     MwpmDecoder dense(g, dense_opts);
     for (std::size_t k : {20u, 40u}) {
-      MwpmMatcherStats delta = dense.matcher_stats();
-      PerfRecord r =
-          decode_sweep("decoder/mwpm_dense/rep15/k" + std::to_string(k),
-                       dense, g.num_detectors(), k, smoke);
-      MwpmMatcherStats after = dense.matcher_stats();
-      after -= delta;
-      add_matcher_extras(r, dense.matcher_backend(), after);
-      records.push_back(std::move(r));
+      records.push_back(decode_sweep("decoder/mwpm_dense/rep15/k" +
+                                         std::to_string(k),
+                                     dense, g.num_detectors(), k, smoke,
+                                     &dense));
     }
   }
 
@@ -421,15 +434,11 @@ ExperimentReport run_perf_decoder(const PerfRunOptions& options) {
           MatchingGraph::from_dem(DetectorErrorModel::from_circuit(noisy));
       MwpmDecoder dec(g);
       for (std::size_t k : {6u, 20u}) {
-        MwpmMatcherStats delta = dec.matcher_stats();
-        PerfRecord r = decode_sweep("decoder/mwpm/rotated_memz_d" +
-                                        std::to_string(d) + "/k" +
-                                        std::to_string(k),
-                                    dec, g.num_detectors(), k, smoke);
-        MwpmMatcherStats after = dec.matcher_stats();
-        after -= delta;
-        add_matcher_extras(r, dec.matcher_backend(), after);
-        records.push_back(std::move(r));
+        records.push_back(decode_sweep("decoder/mwpm/rotated_memz_d" +
+                                           std::to_string(d) + "/k" +
+                                           std::to_string(k),
+                                       dec, g.num_detectors(), k, smoke,
+                                       &dec));
       }
     }
   }
@@ -912,6 +921,78 @@ ExperimentReport run_perf_timeline(const PerfRunOptions& options) {
   rep.notes.insert(rep.notes.begin(),
                    "events in realization: " + std::to_string(events.size()));
   return rep;
+}
+
+ExperimentReport run_perf_serve(const PerfRunOptions& options) {
+  const bool smoke = options.smoke;
+  std::vector<PerfRecord> records;
+
+  // Shared workload shape: the perf_timeline experiment (rep-(5,1) on a
+  // 5x2 mesh, 200 rounds, W = 10 / C = 5) streamed 10 rounds per frame,
+  // up to 4 pipelined shots per stream.  One server per concurrency
+  // level; every RESULT is pinned against the offline decode inside
+  // run_load, and the structural contracts below hold in smoke mode too.
+  serve::ServeConfig cfg;
+  cfg.shots_per_stream = smoke ? 4 : 64;
+  cfg.rounds_per_frame = 10;
+  cfg.max_inflight = 4;
+  const std::unique_ptr<InjectionEngine> engine = cfg.build_engine();
+  const RadiationTimeline timeline = cfg.build_timeline(*engine);
+
+  const auto run_level = [&](const std::string& name, std::size_t streams,
+                             bool use_unix) {
+    cfg.streams = streams;
+    serve::ServeConfig level = cfg;
+    if (use_unix) {
+      level.server.listen_tcp = false;
+      level.server.unix_path = "/tmp/radsurf_perf_serve.sock";
+    }
+    const ServeRoundtrip rt =
+        run_serve_roundtrip(*engine, timeline, {}, level, 20240715);
+    const serve::LoadGenReport& lg = rt.report;
+    RADSURF_ASSERT_MSG(lg.mismatches == 0,
+                       name << ": " << lg.mismatches
+                            << " streamed predictions mismatch the offline "
+                               "decode");
+    RADSURF_ASSERT_MSG(lg.errors == 0 && rt.stats.protocol_errors == 0,
+                       name << ": protocol errors during the bench");
+    RADSURF_ASSERT_MSG(lg.results == streams * cfg.shots_per_stream,
+                       name << ": " << lg.results << " of "
+                            << streams * cfg.shots_per_stream
+                            << " shots decoded (unexpected shedding)");
+    const double hit_rate =
+        rt.stats.memo_lookups == 0
+            ? 0.0
+            : static_cast<double>(rt.stats.memo_hits) /
+                  static_cast<double>(rt.stats.memo_lookups);
+    records.push_back(
+        {name,
+         lg.shots_per_second,
+         {{"streams", static_cast<double>(streams)},
+          {"shots", static_cast<double>(lg.results)},
+          {"commit_p50_ms", lg.p50_ms},
+          {"commit_p99_ms", lg.p99_ms},
+          {"windows_committed",
+           static_cast<double>(rt.stats.windows_committed)},
+          {"shed_shots", static_cast<double>(rt.stats.shed_shots)},
+          {"mismatches", static_cast<double>(lg.mismatches)},
+          {"memo_hit_rate", hit_rate}},
+         {{"transport", use_unix ? "unix" : "tcp"}}});
+  };
+
+  for (const std::size_t streams :
+       smoke ? std::vector<std::size_t>{1, 2}
+             : std::vector<std::size_t>{1, 4, 8})
+    run_level("serve/rep5_200r_w10/c" + std::to_string(streams), streams,
+              false);
+  // Unix-domain transport at mid concurrency (the protocol is transport-
+  // agnostic; this prices the socket layer difference).
+  run_level("serve/rep5_200r_w10/unix_c4", smoke ? 2 : 4, true);
+
+  return records_report(
+      "perf_serve (streamed 200-round rep-(5,1) decode service, "
+      "client-measured commit latency)",
+      records, options);
 }
 
 }  // namespace radsurf

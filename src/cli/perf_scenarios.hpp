@@ -72,5 +72,9 @@ ExperimentReport run_perf_decoder(const PerfRunOptions& options);
 ExperimentReport run_perf_pipeline(const PerfRunOptions& options);
 /// Long-horizon timeline campaign: sliding windows vs whole history.
 ExperimentReport run_perf_timeline(const PerfRunOptions& options);
+/// Streaming decode service: client-measured p50/p99 window-commit latency
+/// and shots/s at several concurrency levels (asserts bit-for-bit parity
+/// with the offline decode and a clean protocol run).
+ExperimentReport run_perf_serve(const PerfRunOptions& options);
 
 }  // namespace radsurf

@@ -5,6 +5,7 @@
 
 #include "cli/grid.hpp"
 #include "cli/perf_scenarios.hpp"
+#include "cli/serve_scenario.hpp"
 #include "core/ablations.hpp"
 
 namespace radsurf {
@@ -166,6 +167,16 @@ std::vector<ScenarioInfo> build_registry() {
                [](const ScenarioSpec& s) {
                  return make_perf(s, run_perf_timeline);
                }});
+  r.push_back({"perf_serve",
+               "streaming decode service p50/p99 commit-latency benches "
+               "(BENCH_perf.json)",
+               [](const ScenarioSpec& s) {
+                 return make_perf(s, run_perf_serve);
+               }});
+  r.push_back({"serve",
+               "streaming decode round-trip (in-process server + load "
+               "generator, parity-pinned)",
+               make_serve_scenario});
   r.push_back({"grid",
                "generic cross-product campaign over engine and injection "
                "axes",

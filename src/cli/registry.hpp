@@ -16,7 +16,8 @@
 //   abl_noise_channel abl_time_sampling abl_aware_decoder
 //   ext_timeline ext_logical_layer           extensions (timelines, logical)
 //   perf_simulator perf_decoder              perf benches (BENCH_perf.json)
-//   perf_pipeline perf_timeline
+//   perf_pipeline perf_timeline perf_serve
+//   serve                                    streaming decode round-trip
 //   grid                                     generic cross-product campaign
 #pragma once
 

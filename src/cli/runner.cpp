@@ -1,16 +1,21 @@
 #include "cli/runner.hpp"
 
+#include <csignal>
 #include <charconv>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "cli/checkpoint.hpp"
 #include "cli/registry.hpp"
+#include "serve/config.hpp"
+#include "serve/server.hpp"
 #include "util/json.hpp"
 
 namespace radsurf {
@@ -22,6 +27,7 @@ constexpr const char* kUsage = R"(radsurf — spec-driven experiment runner
 usage:
   radsurf run <spec.json | scenario> [options]   run one scenario
   radsurf run --smoke                            smoke-run every registered scenario
+  radsurf serve <spec.json> [serve options]      streaming decode service (SIGINT stops)
   radsurf list                                   list registered scenarios
   radsurf validate <spec.json ...>               parse + validate specs without running
   radsurf help                                   this text
@@ -38,6 +44,11 @@ run options:
   --json-out FILE   write the full report as JSON
   --checkpoint FILE per-cell JSONL checkpoint (campaign scenarios resume from it)
   --fresh           discard an existing checkpoint instead of resuming
+
+serve options:
+  --port N          TCP loopback port override (0 = ephemeral)
+  --unix PATH       unix-domain socket path override
+  --no-tcp          do not listen on TCP (requires a unix socket)
 
 Scenario specs live in specs/ (one per paper figure, plus cross-product
 campaigns); docs/SCENARIOS.md documents the schema.
@@ -198,6 +209,92 @@ int cmd_validate(int argc, char** argv) {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// radsurf serve — long-lived streaming decode service.
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_signal_handler(int) { g_serve_stop = 1; }
+
+int cmd_serve(int argc, char** argv) {
+  std::string spec_path;
+  std::optional<std::uint16_t> port;
+  std::optional<std::string> unix_path;
+  bool no_tcp = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* what) -> std::string {
+      if (i + 1 >= argc)
+        throw SpecError(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(
+          parse_uint_flag("--port", next_value("--port")));
+    } else if (arg == "--unix") {
+      unix_path = next_value("--unix");
+    } else if (arg == "--no-tcp") {
+      no_tcp = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw SpecError("unknown option " + arg + " (see radsurf help)");
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      throw SpecError("unexpected argument " + arg +
+                      " (one spec per serve; see radsurf help)");
+    }
+  }
+  if (spec_path.empty())
+    throw SpecError("radsurf serve needs a spec file (scenario \"serve\")");
+
+  const ScenarioSpec spec = ScenarioSpec::from_file(spec_path);
+  if (spec.scenario != "serve")
+    throw SpecError("radsurf serve: spec scenario is \"" + spec.scenario +
+                    "\", expected \"serve\"");
+  SpecReader params(spec.params, "$.params");
+  serve::ServeConfig cfg = serve::ServeConfig::from_params(params);
+  params.finish();
+  if (port) cfg.server.tcp_port = *port;
+  if (unix_path) cfg.server.unix_path = *unix_path;
+  if (no_tcp) cfg.server.listen_tcp = false;
+  if (!cfg.server.listen_tcp && cfg.server.unix_path.empty())
+    throw SpecError("radsurf serve: --no-tcp without a unix socket leaves "
+                    "no endpoint");
+
+  const std::unique_ptr<InjectionEngine> engine = cfg.build_engine();
+  const RadiationTimeline timeline = cfg.build_timeline(*engine);
+  serve::ServeServer server(*engine, &timeline, cfg.server_options());
+  server.start();
+
+  std::cout << "serve: " << cfg.code << ":" << cfg.distance << " on "
+            << cfg.arch << ", " << cfg.rounds << " rounds, W="
+            << cfg.window.window << " C=" << cfg.window.commit << "\n";
+  if (cfg.server.listen_tcp)
+    std::cout << "serve: listening on tcp 127.0.0.1:" << server.tcp_port()
+              << "\n";
+  if (!server.unix_path().empty())
+    std::cout << "serve: listening on unix " << server.unix_path() << "\n";
+  std::cout.flush();
+
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (g_serve_stop == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::cout << "serve: shutting down (draining in-flight windows)\n";
+  server.shutdown();
+  const serve::ServeStatsSnapshot s = server.stats();
+  // One grep-able line; the CI smoke job pins windows_committed > 0 and
+  // protocol_errors == 0 off it.
+  std::cout << "serve: connections=" << s.connections
+            << " shots_completed=" << s.shots_completed
+            << " windows_committed=" << s.windows_committed
+            << " shed_shots=" << s.shed_shots
+            << " protocol_errors=" << s.protocol_errors
+            << " replies_dropped=" << s.replies_dropped
+            << " aware_rebuilds=" << s.aware_rebuilds << "\n";
+  return 0;
+}
+
 }  // namespace
 
 std::string report_to_json(const ExperimentReport& report) {
@@ -237,6 +334,7 @@ int radsurf_cli_main(int argc, char** argv) {
   try {
     const std::string command = argc > 1 ? argv[1] : "help";
     if (command == "run") return cmd_run(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
     if (command == "list") return cmd_list();
     if (command == "validate") return cmd_validate(argc, argv);
     if (command == "help" || command == "--help" || command == "-h") {
@@ -244,7 +342,7 @@ int radsurf_cli_main(int argc, char** argv) {
       return 0;
     }
     std::cerr << "error: unknown command \"" << command
-              << "\" (run | list | validate | help)\n";
+              << "\" (run | serve | list | validate | help)\n";
     return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,113 @@
+#include "cli/serve_scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+namespace radsurf {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+ServeRoundtrip run_serve_roundtrip(const InjectionEngine& engine,
+                                   const RadiationTimeline& timeline,
+                                   const std::vector<RadiationEvent>& events,
+                                   const serve::ServeConfig& cfg,
+                                   std::uint64_t seed) {
+  serve::ServeServer server(engine, &timeline, cfg.server_options());
+  server.start();
+
+  serve::LoadGenOptions lopts = cfg.loadgen_options(seed);
+  lopts.events = events;
+  if (!cfg.server.unix_path.empty() && !cfg.server.listen_tcp)
+    lopts.unix_path = cfg.server.unix_path;
+  else
+    lopts.port = server.tcp_port();
+
+  ServeRoundtrip rt;
+  rt.report = serve::run_load(engine, timeline, lopts);
+  server.shutdown();
+  rt.stats = server.stats();
+  return rt;
+}
+
+std::unique_ptr<Scenario> make_serve_scenario(const ScenarioSpec& spec) {
+  SpecReader params(spec.params, "$.params");
+  serve::ServeConfig cfg = serve::ServeConfig::from_params(params);
+  params.finish();
+
+  if (spec.smoke) {
+    cfg.streams = std::min<std::size_t>(cfg.streams, 2);
+    cfg.shots_per_stream = std::min<std::size_t>(cfg.shots_per_stream, 4);
+  }
+  // An explicit shot budget overrides the per-stream shot count.
+  if (spec.shots != 0) cfg.shots_per_stream = spec.shots;
+  const std::uint64_t seed = spec.seed;
+
+  return std::make_unique<FunctionScenario>([cfg,
+                                             seed](CampaignSink*)
+                                                -> ExperimentReport {
+    const std::unique_ptr<InjectionEngine> engine = cfg.build_engine();
+    const RadiationTimeline timeline = cfg.build_timeline(*engine);
+    const std::vector<RadiationEvent> events =
+        cfg.build_events(*engine, timeline, seed + 1);
+    const ServeRoundtrip rt =
+        run_serve_roundtrip(*engine, timeline, events, cfg, seed);
+    const serve::LoadGenReport& lg = rt.report;
+
+    // Contracts of a healthy round-trip — enforced in smoke mode too, so
+    // the registry sweep is an end-to-end protocol test.
+    if (lg.mismatches != 0)
+      throw Error("serve: " + std::to_string(lg.mismatches) +
+                  " streamed predictions mismatch the offline decode");
+    if (lg.errors != 0 || rt.stats.protocol_errors != 0)
+      throw Error("serve: round-trip saw " + std::to_string(lg.errors) +
+                  " client errors / " +
+                  std::to_string(rt.stats.protocol_errors) +
+                  " protocol errors");
+    if (lg.results == 0 || rt.stats.windows_committed == 0)
+      throw Error("serve: round-trip committed no windows");
+
+    ExperimentReport rep;
+    rep.title = "serve: streaming decode round-trip (" + cfg.code + ":" +
+                std::to_string(cfg.distance) + ", " +
+                std::to_string(cfg.rounds) + " rounds, W=" +
+                std::to_string(cfg.window.window) + ")";
+    Table t({"metric", "value"});
+    t.add_row({"streams", std::to_string(lg.streams)});
+    t.add_row({"shots_sent", std::to_string(lg.shots_sent)});
+    t.add_row({"results", std::to_string(lg.results)});
+    t.add_row({"windows_committed",
+               std::to_string(rt.stats.windows_committed)});
+    t.add_row({"shed_shots", std::to_string(rt.stats.shed_shots)});
+    t.add_row({"mismatches", std::to_string(lg.mismatches)});
+    t.add_row({"protocol_errors", std::to_string(rt.stats.protocol_errors)});
+    t.add_row({"commit_p50_ms", fmt(lg.p50_ms)});
+    t.add_row({"commit_p99_ms", fmt(lg.p99_ms)});
+    t.add_row({"shots_per_second", fmt(lg.shots_per_second)});
+    t.add_row({"memo_hit_rate",
+               fmt(rt.stats.memo_lookups == 0
+                       ? 0.0
+                       : static_cast<double>(rt.stats.memo_hits) /
+                             static_cast<double>(rt.stats.memo_lookups))});
+    rep.table = std::move(t);
+    std::ostringstream note;
+    note << "streamed predictions pinned bit-for-bit against offline "
+            "sliding-window decode ("
+         << lg.results << " shots, " << events.size() << " herald events)";
+    rep.notes.push_back(note.str());
+    return rep;
+  });
+}
+
+}  // namespace radsurf

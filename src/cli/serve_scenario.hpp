@@ -1,0 +1,41 @@
+// The "serve" registry scenario and the in-process serve round-trip the
+// perf bench and the smoke sweep share: start a ServeServer, drive it
+// with the load generator, shut down gracefully, and pin the streamed
+// results bit-for-bit against the offline decode (run_load's mismatch
+// counter).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cli/registry.hpp"
+#include "serve/config.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/session.hpp"
+
+namespace radsurf {
+
+struct ServeRoundtrip {
+  serve::LoadGenReport report;
+  serve::ServeStatsSnapshot stats;
+};
+
+/// Start an in-process server for `cfg` (ephemeral endpoint unless the
+/// config pins one), run the load generator at cfg.streams concurrency,
+/// and shut the server down gracefully.  Pure round-trip: no assertions —
+/// callers decide which counters are contractual.
+ServeRoundtrip run_serve_roundtrip(const InjectionEngine& engine,
+                                   const RadiationTimeline& timeline,
+                                   const std::vector<RadiationEvent>& events,
+                                   const serve::ServeConfig& cfg,
+                                   std::uint64_t seed);
+
+/// Factory of the "serve" registry scenario: a self-contained round-trip
+/// whose report carries throughput, commit-latency percentiles and the
+/// parity/shed/error counters.  Throws radsurf::Error when the round-trip
+/// is not clean (any mismatch or protocol error) — the smoke sweep is a
+/// real end-to-end protocol test, not just an execution check.
+std::unique_ptr<Scenario> make_serve_scenario(const ScenarioSpec& spec);
+
+}  // namespace radsurf

@@ -188,6 +188,55 @@ std::uint64_t SlidingWindowDecoder::decode_window(
   return prediction;
 }
 
+void SlidingWindowDecoder::step_window(
+    const Window& w, std::vector<std::uint32_t>& active,
+    std::vector<std::uint32_t>& carried, std::uint64_t& prediction,
+    std::vector<std::uint32_t>& local_active,
+    std::vector<std::uint32_t>& local_carried) const {
+  std::sort(active.begin(), active.end());
+  local_active.clear();
+  for (const std::uint32_t g : active)
+    local_active.push_back(w.view.to_local(g));
+  std::sort(local_active.begin(), local_active.end());
+
+  // Shape-level memo: in local ids, (active) -> (prediction, carried)
+  // is a pure function of the window shape, so a defect pattern seen at
+  // round 50 resolves the identical pattern at round 150 — long
+  // timelines repeat small window-local sets across shots and rounds
+  // even though whole-history syndromes never repeat.  Sharded by key
+  // hash: concurrent streams of a decode service share the cache without
+  // sharing a lock.
+  WindowMemo& memo = *memos_[w.decoder_index];
+  WindowMemo::Shard& shard =
+      memo.shards[WindowMemo::KeyHash{}(local_active) % WindowMemo::kShards];
+  local_carried.clear();
+  bool memoized = false;
+  memo_lookups_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(local_active);
+    if (it != shard.map.end()) {
+      prediction ^= it->second.first;
+      local_carried = it->second.second;
+      memoized = true;
+    }
+  }
+  if (memoized) {
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const std::uint64_t window_prediction =
+        decode_window(w, local_active, local_carried);
+    prediction ^= window_prediction;
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() < WindowMemo::kShardCap)
+      shard.map.emplace(local_active,
+                        std::make_pair(window_prediction, local_carried));
+  }
+  carried.clear();
+  for (const std::uint32_t local : local_carried)
+    carried.push_back(w.view.global_ids[local]);
+}
+
 std::uint64_t SlidingWindowDecoder::decode(
     const std::vector<std::uint32_t>& defects) {
   if (defects.empty()) return 0;
@@ -213,44 +262,93 @@ std::uint64_t SlidingWindowDecoder::decode(
            detector_rounds_[by_round[next]] < w.end_round)
       active.push_back(by_round[next++]);
     if (active.empty()) continue;
-    std::sort(active.begin(), active.end());
-    local_active.clear();
-    for (const std::uint32_t g : active)
-      local_active.push_back(w.view.to_local(g));
-    std::sort(local_active.begin(), local_active.end());
-
-    // Shape-level memo: in local ids, (active) -> (prediction, carried)
-    // is a pure function of the window shape, so a defect pattern seen at
-    // round 50 resolves the identical pattern at round 150 — long
-    // timelines repeat small window-local sets across shots and rounds
-    // even though whole-history syndromes never repeat.
-    WindowMemo& memo = *memos_[w.decoder_index];
-    local_carried.clear();
-    bool memoized = false;
-    {
-      const std::lock_guard<std::mutex> lock(memo.mu);
-      const auto it = memo.map.find(local_active);
-      if (it != memo.map.end()) {
-        prediction ^= it->second.first;
-        local_carried = it->second.second;
-        memoized = true;
-      }
-    }
-    if (!memoized) {
-      const std::uint64_t window_prediction =
-          decode_window(w, local_active, local_carried);
-      prediction ^= window_prediction;
-      const std::lock_guard<std::mutex> lock(memo.mu);
-      if (memo.map.size() < (std::size_t{1} << 16))
-        memo.map.emplace(local_active,
-                         std::make_pair(window_prediction, local_carried));
-    }
-    for (const std::uint32_t local : local_carried)
-      carried.push_back(w.view.global_ids[local]);
+    step_window(w, active, carried, prediction, local_active, local_carried);
   }
   RADSURF_ASSERT_MSG(carried.empty() && next == by_round.size(),
                      "sliding-window decode left defects unresolved");
   return prediction;
+}
+
+std::size_t SlidingWindowDecoder::ingest(StreamCursor& cursor,
+                                         const std::uint32_t* defects,
+                                         std::size_t count,
+                                         std::size_t rounds_complete) const {
+  RADSURF_CHECK_ARG(!cursor.finished, "stream cursor already finished");
+  RADSURF_CHECK_ARG(rounds_complete >= cursor.rounds_complete,
+                    "rounds_complete must be monotone: got "
+                        << rounds_complete << " after "
+                        << cursor.rounds_complete);
+  RADSURF_CHECK_ARG(rounds_complete <= num_rounds(),
+                    "rounds_complete " << rounds_complete << " > num_rounds "
+                                       << num_rounds());
+  // A window consumes every defect older than its end cut when it
+  // decodes, so a defect for rounds a committed window already consumed
+  // can never be folded in — reject it instead of silently mis-decoding.
+  const std::size_t consumed_horizon =
+      cursor.next_window == 0 ? 0
+                              : windows_[cursor.next_window - 1].end_round;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t d = defects[i];
+    RADSURF_CHECK_ARG(d < detector_rounds_.size(),
+                      "defect " << d << " out of range");
+    const std::uint32_t r = detector_rounds_[d];
+    RADSURF_CHECK_ARG(r < rounds_complete,
+                      "defect " << d << " lies in round " << r
+                                << ", which is not complete yet "
+                                   "(rounds_complete = "
+                                << rounds_complete << ")");
+    RADSURF_CHECK_ARG(r >= consumed_horizon,
+                      "defect " << d << " in round " << r
+                                << " arrived after its window committed "
+                                   "(decoded horizon is round "
+                                << consumed_horizon << ")");
+    cursor.pending.push_back(d);
+  }
+  cursor.rounds_complete = rounds_complete;
+
+  // Same walk as decode(): each ready window takes the prior carried set
+  // plus every pending defect before its end cut.  The sets are sorted
+  // inside step_window, so arrival order never matters — only that every
+  // defect reaches the decoder before its window's rounds complete, which
+  // the checks above enforce.
+  std::size_t committed = 0;
+  std::vector<std::uint32_t> active;
+  std::vector<std::uint32_t> local_active;
+  std::vector<std::uint32_t> local_carried;
+  while (cursor.next_window < windows_.size() &&
+         windows_[cursor.next_window].end_round <= rounds_complete) {
+    const Window& w = windows_[cursor.next_window];
+    active.assign(cursor.carried.begin(), cursor.carried.end());
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < cursor.pending.size(); ++i) {
+      const std::uint32_t d = cursor.pending[i];
+      if (detector_rounds_[d] < w.end_round)
+        active.push_back(d);
+      else
+        cursor.pending[kept++] = d;
+    }
+    cursor.pending.resize(kept);
+    if (active.empty())
+      cursor.carried.clear();
+    else
+      step_window(w, active, cursor.carried, cursor.prediction, local_active,
+                  local_carried);
+    ++cursor.next_window;
+    ++committed;
+  }
+  return committed;
+}
+
+std::uint64_t SlidingWindowDecoder::finish(StreamCursor& cursor) const {
+  RADSURF_CHECK_ARG(!cursor.finished, "stream cursor already finished");
+  RADSURF_CHECK_ARG(cursor.next_window == windows_.size(),
+                    "stream incomplete: " << cursor.rounds_complete << " of "
+                                          << num_rounds()
+                                          << " rounds ingested");
+  RADSURF_ASSERT_MSG(cursor.carried.empty() && cursor.pending.empty(),
+                     "sliding-window stream left defects unresolved");
+  cursor.finished = true;
+  return cursor.prediction;
 }
 
 }  // namespace radsurf

@@ -33,9 +33,24 @@
 // always distinct (whole-syndrome caching never hits at 200 rounds), the
 // small window-local defect sets repeat heavily across shots — the same
 // locality observation behind CachingDecoder's cluster keys, one level
-// up.  Memo hits skip matching and path reconstruction entirely.
+// up.  Memo hits skip matching and path reconstruction entirely.  The
+// memo is sharded by key hash so concurrent decoders of a decode service
+// (many streams sharing ONE SlidingWindowDecoder, see src/serve/) probe
+// it without serialising on a single mutex.
+//
+// Streaming: decode() needs the whole history up front; a decode *service*
+// sees rounds arrive one at a time and must commit windows under a latency
+// bound.  ingest() is the incremental entry point: a StreamCursor holds
+// the per-shot state (prediction accumulator, carried artificial defects,
+// defects of rounds no window has consumed yet), and each ingest() call
+// decodes every window whose rounds are now complete — committed windows
+// are never revisited, so the server buffers O(window) rounds per shot,
+// not whole histories.  Feeding the same defects round-by-round yields
+// bit-for-bit the decode() result (same window walk, same shared memos).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -82,6 +97,56 @@ class SlidingWindowDecoder final : public Decoder {
   /// Thread-safe: per-call state is local, shared tables are immutable.
   std::uint64_t decode(const std::vector<std::uint32_t>& defects) override;
 
+  /// Incremental decode state of one streamed shot.  Value-semantic and
+  /// cheap while idle: a server keeps one per in-flight shot.  All fields
+  /// are owned by the cursor; the decoder itself stays stateless per shot,
+  /// so any number of cursors may ingest concurrently against one shared
+  /// decoder (the memos are sharded and locked internally).
+  struct StreamCursor {
+    std::uint64_t prediction = 0;       // XOR of committed corrections
+    std::size_t next_window = 0;        // first window not yet decoded
+    std::size_t rounds_complete = 0;    // rounds fully delivered so far
+    bool finished = false;
+    std::vector<std::uint32_t> carried;  // artificial defects (global ids)
+    std::vector<std::uint32_t> pending;  // delivered, not yet windowed
+  };
+
+  /// Feed newly observed defects (global detector ids, any order) and
+  /// declare that all rounds < `rounds_complete` have now been fully
+  /// delivered; decodes every window whose rounds are complete and
+  /// returns how many windows this call committed.  Bit-for-bit contract:
+  /// once the stream completes, finish() equals decode() of the union of
+  /// all fed defects.  Preconditions (InvalidArgument): rounds_complete
+  /// is monotone and <= num_rounds(); every defect's round is already
+  /// complete but not older than the last committed window (late defects
+  /// for committed history are a protocol error, not a decode).
+  /// Thread-safe across cursors; a single cursor is not concurrent.
+  std::size_t ingest(StreamCursor& cursor, const std::uint32_t* defects,
+                     std::size_t count, std::size_t rounds_complete) const;
+
+  /// Final prediction of a completed stream (every window committed, i.e.
+  /// after ingest(..., num_rounds())).  Marks the cursor finished.
+  std::uint64_t finish(StreamCursor& cursor) const;
+
+  /// Total rounds the window layout covers (the constructor's num_rounds).
+  std::size_t num_rounds() const { return windows_.back().end_round; }
+  /// Exclusive end round of window `w` — the round count after which that
+  /// window commits.  Streaming clients use this to predict commit points.
+  std::size_t window_end_round(std::size_t w) const {
+    return windows_[w].end_round;
+  }
+
+  /// Shared window-memo (syndrome cache) counters, cumulative across every
+  /// decode()/ingest() on this decoder — all streams sharing the decoder
+  /// share the cache, so a hot defect pattern on one stream accelerates
+  /// every other.
+  std::uint64_t memo_lookups() const {
+    return memo_lookups_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+
   std::size_t num_windows() const { return windows_.size(); }
   /// Decoders actually built (distinct window shapes) — O(1) for periodic
   /// memory circuits regardless of rounds.
@@ -111,23 +176,41 @@ class SlidingWindowDecoder final : public Decoder {
   };
 
   // Concurrent memo of one window's decode results (decode() is called
-  // from many campaign chunks at once).  Values are immutable once
-  // inserted; racing duplicate computes are harmless (decode_window is
-  // deterministic).
+  // from many campaign chunks at once, ingest() from many server streams).
+  // Sharded by key hash so concurrent probes mostly hit distinct locks;
+  // values are immutable once inserted and racing duplicate computes are
+  // harmless (decode_window is deterministic).
   struct WindowMemo {
     struct KeyHash {
       std::size_t operator()(const std::vector<std::uint32_t>& v) const;
     };
-    std::mutex mu;
-    std::unordered_map<std::vector<std::uint32_t>,
-                       std::pair<std::uint64_t, std::vector<std::uint32_t>>,
-                       KeyHash>
-        map;
+    static constexpr std::size_t kShards = 16;
+    // Total capacity matches the pre-sharding 1<<16 cap.
+    static constexpr std::size_t kShardCap = (std::size_t{1} << 16) / kShards;
+    struct Shard {
+      std::mutex mu;
+      std::unordered_map<
+          std::vector<std::uint32_t>,
+          std::pair<std::uint64_t, std::vector<std::uint32_t>>, KeyHash>
+          map;
+    };
+    std::array<Shard, kShards> shards;
   };
 
   std::uint64_t decode_window(const Window& w,
                               const std::vector<std::uint32_t>& defects,
                               std::vector<std::uint32_t>& carried) const;
+
+  // Decode one window given its gathered global-id defect set (`active`,
+  // unsorted: prior carried + newly consumed), through the shared memo;
+  // XORs the window's contribution into `prediction` and rewrites
+  // `carried` with the global ids deferred into the next window.  The
+  // local_* vectors are caller-owned scratch.
+  void step_window(const Window& w, std::vector<std::uint32_t>& active,
+                   std::vector<std::uint32_t>& carried,
+                   std::uint64_t& prediction,
+                   std::vector<std::uint32_t>& local_active,
+                   std::vector<std::uint32_t>& local_carried) const;
 
   SlidingWindowOptions options_;
   std::vector<std::uint32_t> detector_rounds_;
@@ -137,6 +220,8 @@ class SlidingWindowDecoder final : public Decoder {
   std::vector<std::unique_ptr<WindowMemo>> memos_;
   std::vector<std::unique_ptr<MwpmDecoder>> decoders_;
   std::size_t max_window_detectors_ = 0;
+  mutable std::atomic<std::uint64_t> memo_lookups_{0};
+  mutable std::atomic<std::uint64_t> memo_hits_{0};
 };
 
 }  // namespace radsurf

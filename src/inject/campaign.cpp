@@ -820,6 +820,45 @@ std::unique_ptr<SlidingWindowDecoder> InjectionEngine::aware_window_decoder(
       graph, detector_rounds_, options_.rounds, window);
 }
 
+std::vector<RecordedShot> InjectionEngine::record_timeline_shots(
+    const RadiationTimeline& timeline,
+    const std::vector<RadiationEvent>& events, std::size_t shots,
+    std::uint64_t seed) const {
+  const Circuit circuit = timeline_circuit(timeline, events);
+  std::vector<RecordedShot> out(shots);
+  // Mirror of run_circuit's EXACT branch: same chunk decomposition, same
+  // per-chunk RNG streams, one generic tableau walk per shot — so the
+  // records equal the ones run_timeline(EXACT) decodes, shot for shot.
+  parallel_chunks(shots, options_.shots_per_chunk, Rng(seed),
+                  [&](const ChunkRange& range, Rng& rng) {
+                    TableauSimulator sim(circuit);
+                    BitVec record(detectors_.num_records());
+                    for (std::size_t s = range.begin; s < range.end; ++s) {
+                      sim.sample_into(rng, record);
+                      detectors_.defects_and_observables_into(
+                          record, reference_, out[s].defects,
+                          &out[s].observables);
+                    }
+                  });
+  return out;
+}
+
+std::unique_ptr<SlidingWindowDecoder> InjectionEngine::make_stream_decoder(
+    const RadiationTimeline* timeline,
+    const std::vector<RadiationEvent>& events,
+    const SlidingWindowOptions& window) const {
+  if (!events.empty()) {
+    RADSURF_CHECK_ARG(timeline != nullptr,
+                      "heralded stream decoder needs the timeline model "
+                      "that produced the events");
+    return aware_window_decoder(timeline_circuit(*timeline, events),
+                                window_options(window));
+  }
+  return std::make_unique<SlidingWindowDecoder>(
+      matching_graph_, detector_rounds_, options_.rounds,
+      window_options(window));
+}
+
 Proportion InjectionEngine::run_timeline_with(
     const RadiationTimeline& timeline,
     const std::vector<RadiationEvent>& events, std::size_t shots,

@@ -165,6 +165,14 @@ struct PromotionStats {
   std::uint64_t exact_replays = 0;
 };
 
+/// One recorded shot of a timeline realization: the fired detectors
+/// (global ids, ascending = circuit order) and the actual observable-flip
+/// word — the offline ground truth a streamed decode is pinned against.
+struct RecordedShot {
+  std::vector<std::uint32_t> defects;
+  std::uint64_t observables = 0;
+};
+
 /// Aggregate of a multi-realization timeline campaign.
 struct TimelineSummary {
   Proportion errors;                  // pooled over every realization
@@ -321,6 +329,30 @@ class InjectionEngine {
   const std::vector<std::uint32_t>& detector_rounds() const {
     return detector_rounds_;
   }
+
+  // --- streaming / serve support ------------------------------------------
+
+  /// Sample exact per-shot records of one timeline realization — the same
+  /// circuit, chunk decomposition and RNG streams as
+  /// run_timeline(..., SamplingPath::EXACT), so shot s here is bit-for-bit
+  /// the record that campaign decodes.  Stream replay and parity tests are
+  /// built on this; engine counters (residual accounting, caches) are
+  /// deliberately untouched.
+  std::vector<RecordedShot> record_timeline_shots(
+      const RadiationTimeline& timeline,
+      const std::vector<RadiationEvent>& events, std::size_t shots,
+      std::uint64_t seed) const;
+
+  /// Sliding-window decoder for streaming (serve) sessions: with an empty
+  /// event list, the shared intrinsic-weighted windows run_timeline
+  /// decodes quiet realizations with; with events (and their timeline
+  /// model), the strike-reweighted aware windows of run_timeline's
+  /// herald-aware path.  Bit-for-bit the decoder the offline campaign
+  /// would use, so streamed predictions pin against run_timeline exactly.
+  std::unique_ptr<SlidingWindowDecoder> make_stream_decoder(
+      const RadiationTimeline* timeline,
+      const std::vector<RadiationEvent>& events,
+      const SlidingWindowOptions& window = {}) const;
 
   /// Radiation-aware ablation (beyond the paper, answering its RQ3): the
   /// decoder's matching graph is rebuilt with the strike's reset field

@@ -1,0 +1,170 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace serve {
+
+ServeClient ServeClient::connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RADSURF_ASSERT_MSG(fd >= 0,
+                     "serve client: socket() failed: "
+                         << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    RADSURF_ASSERT_MSG(false, "serve client: connect(127.0.0.1:"
+                                  << port
+                                  << ") failed: " << std::strerror(err));
+  }
+  // Frames are small and latency-sensitive; Nagle would batch them against
+  // the server's delayed ACKs (~40ms floors on the commit latency bench).
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return ServeClient(fd);
+}
+
+ServeClient ServeClient::connect_unix(const std::string& path) {
+  RADSURF_CHECK_ARG(path.size() < sizeof(sockaddr_un{}.sun_path),
+                    "serve client: unix socket path too long: " << path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  RADSURF_ASSERT_MSG(fd >= 0,
+                     "serve client: socket(AF_UNIX) failed: "
+                         << std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    RADSURF_ASSERT_MSG(false, "serve client: connect(" << path << ") failed: "
+                                                       << std::strerror(err));
+  }
+  return ServeClient(fd);
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void ServeClient::set_read_timeout_ms(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+HelloAck ServeClient::handshake() {
+  HelloFrame hello;
+  RADSURF_ASSERT_MSG(write_frame(fd_, FrameType::kHello, encode_hello(hello)),
+                     "serve client: HELLO write failed");
+  Frame frame;
+  const RecvStatus s = read_frame(fd_, frame, nullptr, nullptr);
+  RADSURF_ASSERT_MSG(s == RecvStatus::kOk,
+                     "serve client: no HELLO_ACK (connection closed?)");
+  if (frame.type == FrameType::kError) {
+    const ErrorReply err = decode_error(frame.payload);
+    RADSURF_ASSERT_MSG(false, "serve client: handshake rejected: code "
+                                  << static_cast<std::uint32_t>(err.code)
+                                  << " (" << err.message << ")");
+  }
+  RADSURF_ASSERT_MSG(frame.type == FrameType::kHelloAck,
+                     "serve client: expected HELLO_ACK, got frame type "
+                         << static_cast<unsigned>(frame.type));
+  const HelloAck ack = decode_hello_ack(frame.payload);
+  RADSURF_ASSERT_MSG(ack.version == kProtocolVersion,
+                     "serve client: server protocol version "
+                         << ack.version << " != " << kProtocolVersion);
+  return ack;
+}
+
+bool ServeClient::send_rounds(const RoundsFrame& f) {
+  return write_frame(fd_, FrameType::kRounds, encode_rounds(f));
+}
+
+bool ServeClient::send_herald(const HeraldFrame& f) {
+  return write_frame(fd_, FrameType::kHerald, encode_herald(f));
+}
+
+bool ServeClient::send_bye() { return write_frame(fd_, FrameType::kBye, {}); }
+
+bool ServeClient::send_raw(FrameType type,
+                           const std::vector<std::uint8_t>& payload) {
+  return write_frame(fd_, type, payload);
+}
+
+ServeClient::ServerReply ServeClient::read_reply() {
+  Frame frame;
+  while (true) {
+    // nullptr keep_going: read_frame loops on EAGAIN forever, so detect
+    // the caller's SO_RCVTIMEO here via a one-shot keep_going.
+    static thread_local bool first_wait;
+    first_wait = true;
+    const RecvStatus s = read_frame(
+        fd_, frame,
+        [](void*) {
+          const bool again = first_wait;
+          first_wait = false;
+          return again;
+        },
+        nullptr);
+    if (s == RecvStatus::kAborted) {
+      ServerReply r;
+      r.kind = ServerReply::Kind::kTimeout;
+      return r;
+    }
+    if (s == RecvStatus::kEof) {
+      ServerReply r;
+      r.kind = ServerReply::Kind::kClosed;
+      return r;
+    }
+    RADSURF_ASSERT_MSG(s == RecvStatus::kOk,
+                       "serve client: socket error reading reply");
+    break;
+  }
+  ServerReply r;
+  switch (frame.type) {
+    case FrameType::kCommit:
+      r.kind = ServerReply::Kind::kCommit;
+      r.commit = decode_commit(frame.payload);
+      return r;
+    case FrameType::kResult:
+      r.kind = ServerReply::Kind::kResult;
+      r.result = decode_result(frame.payload);
+      return r;
+    case FrameType::kShed:
+      r.kind = ServerReply::Kind::kShed;
+      r.shed = decode_shed(frame.payload);
+      return r;
+    case FrameType::kError:
+      r.kind = ServerReply::Kind::kError;
+      r.error = decode_error(frame.payload);
+      return r;
+    case FrameType::kByeAck:
+      r.kind = ServerReply::Kind::kByeAck;
+      r.bye_ack = decode_bye_ack(frame.payload);
+      return r;
+    default:
+      RADSURF_ASSERT_MSG(false, "serve client: unexpected reply frame type "
+                                    << static_cast<unsigned>(frame.type));
+  }
+  return r;  // unreachable
+}
+
+}  // namespace serve
+}  // namespace radsurf

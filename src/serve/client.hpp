@@ -1,0 +1,78 @@
+// Minimal blocking client of the serve protocol — the building block of
+// the load generator (serve/loadgen.hpp), the CI smoke driver and the
+// overload tests.  One ServeClient is one stream (one connection); it is
+// not thread-safe, but the send_* and read_reply sides may be driven from
+// one thread each (the socket is full-duplex and the two directions never
+// share state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace radsurf {
+namespace serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { close(); }
+  ServeClient(ServeClient&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  ServeClient& operator=(ServeClient&&) = delete;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connect to 127.0.0.1:port.  Throws radsurf::Error on failure.
+  static ServeClient connect_tcp(std::uint16_t port);
+  static ServeClient connect_unix(const std::string& path);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// SO_RCVTIMEO of read_reply (0 = block forever).  The reply kTimeout
+  /// below reports an expired timeout instead of throwing.
+  void set_read_timeout_ms(int ms);
+
+  /// HELLO/HELLO_ACK handshake.  Throws radsurf::Error on protocol
+  /// mismatch or socket failure.
+  HelloAck handshake();
+
+  // --- sends (false = socket error / peer gone) -----------------------------
+  bool send_rounds(const RoundsFrame& f);
+  bool send_herald(const HeraldFrame& f);
+  bool send_bye();
+  /// Escape hatch for protocol-error tests: send an arbitrary frame.
+  bool send_raw(FrameType type, const std::vector<std::uint8_t>& payload);
+
+  // --- replies --------------------------------------------------------------
+  struct ServerReply {
+    enum class Kind {
+      kCommit,
+      kResult,
+      kShed,
+      kError,
+      kByeAck,
+      kClosed,   // orderly EOF
+      kTimeout,  // read timeout expired (see set_read_timeout_ms)
+    };
+    Kind kind = Kind::kClosed;
+    CommitReply commit;
+    ResultReply result;
+    ShedReply shed;
+    ErrorReply error;
+    ByeAck bye_ack;
+  };
+
+  /// Read the next server reply.  Throws radsurf::Error on malformed
+  /// frames or unexpected frame types.
+  ServerReply read_reply();
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace radsurf

@@ -1,0 +1,130 @@
+#include "serve/config.hpp"
+
+#include "arch/topologies.hpp"
+#include "codes/code.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+namespace serve {
+
+namespace {
+
+// Mirrors the grid layer's family vocabulary (cli/grid.cpp keeps its
+// parser private; the accepted names are part of the spec schema).
+CodeFamily parse_family(const std::string& name) {
+  if (name == "repetition" || name == "rep") return CodeFamily::REPETITION;
+  if (name == "xxzz") return CodeFamily::XXZZ;
+  if (name == "rotated_memory_x" || name == "rotated_x")
+    return CodeFamily::ROTATED_MEMORY_X;
+  if (name == "rotated_memory_z" || name == "rotated_z" ||
+      name == "rotated")
+    return CodeFamily::ROTATED_MEMORY_Z;
+  throw SpecError("$.params.code: unknown code family \"" + name +
+                  "\" (accepted: repetition, xxzz, rotated_memory_x, "
+                  "rotated_memory_z)");
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_params(SpecReader& params) {
+  ServeConfig cfg;
+  cfg.code = params.get_string("code", cfg.code);
+  (void)parse_family(cfg.code);  // validate early
+  cfg.distance =
+      static_cast<std::size_t>(params.get_uint("distance", cfg.distance));
+  cfg.arch = params.get_string("arch", cfg.arch);
+  cfg.rounds =
+      static_cast<std::size_t>(params.get_uint("rounds", cfg.rounds));
+  cfg.error_rate = params.get_number("error_rate", cfg.error_rate);
+  cfg.decoder_error_rate =
+      params.get_number("decoder_error_rate", cfg.decoder_error_rate);
+  cfg.window.window =
+      static_cast<std::size_t>(params.get_uint("window", cfg.window.window));
+  cfg.window.commit =
+      static_cast<std::size_t>(params.get_uint("commit", cfg.window.commit));
+  cfg.events_per_round =
+      params.get_number("events_per_round", cfg.events_per_round);
+  cfg.event_duration = static_cast<std::size_t>(
+      params.get_uint("event_duration", cfg.event_duration));
+  cfg.herald_events = static_cast<std::size_t>(
+      params.get_uint("herald_events", cfg.herald_events));
+
+  cfg.server.listen_tcp = params.get_bool("tcp", cfg.server.listen_tcp);
+  cfg.server.tcp_port = static_cast<std::uint16_t>(
+      params.get_uint("port", cfg.server.tcp_port));
+  cfg.server.unix_path =
+      params.get_string("unix_socket", cfg.server.unix_path);
+  cfg.server.queue_capacity = static_cast<std::size_t>(
+      params.get_uint("queue_capacity", cfg.server.queue_capacity));
+  cfg.server.herald_aware =
+      params.get_bool("herald_aware", cfg.server.herald_aware);
+
+  cfg.streams =
+      static_cast<std::size_t>(params.get_uint("streams", cfg.streams));
+  cfg.shots_per_stream = static_cast<std::size_t>(
+      params.get_uint("shots_per_stream", cfg.shots_per_stream));
+  cfg.rounds_per_frame = static_cast<std::size_t>(
+      params.get_uint("rounds_per_frame", cfg.rounds_per_frame));
+  cfg.max_inflight = static_cast<std::size_t>(
+      params.get_uint("max_inflight", cfg.max_inflight));
+
+  if (cfg.rounds < 2) params.fail("rounds", "needs at least 2 rounds");
+  if (!cfg.server.listen_tcp && cfg.server.unix_path.empty())
+    params.fail("tcp", "no endpoint: tcp disabled and no unix_socket");
+  return cfg;
+}
+
+std::unique_ptr<InjectionEngine> ServeConfig::build_engine() const {
+  const CodeFamily family = parse_family(code);
+  const int d = static_cast<int>(distance);
+  const std::unique_ptr<SurfaceCode> code_obj =
+      family == CodeFamily::REPETITION ? make_code(family, d, 1)
+                                       : make_code(family, d, d);
+  EngineOptions opts;
+  opts.physical_error_rate = error_rate;
+  opts.decoder_error_rate = decoder_error_rate;
+  opts.rounds = rounds;
+  // Serve decodes exclusively through sliding windows; whole-history
+  // decoder tables at long horizons would be O((rounds * ns)^2) for
+  // nothing.
+  opts.whole_history_decoder = false;
+  return std::make_unique<InjectionEngine>(*code_obj, make_topology(arch),
+                                           opts);
+}
+
+RadiationTimeline ServeConfig::build_timeline(
+    const InjectionEngine& engine) const {
+  TimelineOptions topts;
+  topts.events_per_round = events_per_round;
+  topts.duration_rounds = event_duration;
+  return RadiationTimeline(engine.radiation(), topts);
+}
+
+std::vector<RadiationEvent> ServeConfig::build_events(
+    const InjectionEngine& engine, const RadiationTimeline& timeline,
+    std::uint64_t seed) const {
+  std::vector<RadiationEvent> events;
+  if (herald_events == 0) return events;
+  Rng rng(seed);
+  // Keep drawing realizations until one carries at least herald_events
+  // strikes, then truncate — deterministic per seed and never empty.
+  for (int attempt = 0; attempt < 1000 && events.size() < herald_events;
+       ++attempt)
+    events = timeline.sample(rounds, engine.active_qubits(), rng);
+  if (events.size() > herald_events) events.resize(herald_events);
+  return events;
+}
+
+LoadGenOptions ServeConfig::loadgen_options(std::uint64_t seed) const {
+  LoadGenOptions opts;
+  opts.streams = streams;
+  opts.shots_per_stream = shots_per_stream;
+  opts.rounds_per_frame = rounds_per_frame;
+  opts.max_inflight = max_inflight;
+  opts.window = window;
+  opts.seed = seed;
+  return opts;
+}
+
+}  // namespace serve
+}  // namespace radsurf

@@ -1,0 +1,97 @@
+// Spec-driven configuration of `radsurf serve` and its load generator.
+//
+// The server and the load generator are separate processes that must
+// agree bit-for-bit on the experiment (code, architecture, rounds, noise,
+// window layout) — both sides therefore build their InjectionEngine from
+// the SAME spec params block, parsed here.  Accepted fields (all under
+// $.params, all optional):
+//
+//   "code": "repetition" | "rep" | "xxzz" | "rotated_memory_x" |
+//           "rotated_x" | "rotated_memory_z" | "rotated_z" | "rotated"
+//   "distance": 5            code distance (repetition maps to (d, 1))
+//   "arch": "mesh:5x2"       topology name (arch/topologies.hpp)
+//   "rounds": 200            stabilisation rounds per shot
+//   "error_rate": 1e-2       intrinsic physical error rate
+//   "decoder_error_rate": 0  matching-graph weighting override
+//   "window": 10, "commit": 5   sliding-window layout (commit 0 = W/2)
+//   "events_per_round": 0.02, "event_duration": 10  timeline model
+//   "herald_events": 0       strikes pre-sampled into the HERALD workload
+//   "herald_aware": true     honour HERALD frames with aware decoders
+//   "port": 0                TCP loopback port (0 = ephemeral)
+//   "tcp": true              listen on TCP at all
+//   "unix_socket": ""        unix-domain socket path ("" disables)
+//   "queue_capacity": 128    per-connection ingest queue bound
+//   "streams", "shots_per_stream", "rounds_per_frame", "max_inflight"
+//                            load-generator shape (client side only)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli/spec.hpp"
+#include "inject/campaign.hpp"
+#include "noise/timeline.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/session.hpp"
+
+namespace radsurf {
+namespace serve {
+
+struct ServeConfig {
+  // --- experiment (must match between server and clients) -----------------
+  std::string code = "repetition";
+  std::size_t distance = 5;
+  std::string arch = "mesh:5x2";
+  std::size_t rounds = 200;
+  double error_rate = 1e-2;
+  double decoder_error_rate = 0.0;
+  SlidingWindowOptions window{10, 5};
+  double events_per_round = 0.02;
+  std::size_t event_duration = 10;
+  /// Strikes sampled (deterministically from the spec seed) into the
+  /// HERALD realization the load generator announces; 0 = quiet streams.
+  std::size_t herald_events = 0;
+
+  // --- server side ---------------------------------------------------------
+  // NOTE: server.window is not authoritative — ServeServer construction
+  // must go through server_options(), which overwrites it with the
+  // experiment-level `window` above so the server and the load
+  // generator's offline expectations can never decode with different
+  // window layouts.
+  ServeOptions server;
+
+  // --- load-generator side -------------------------------------------------
+  std::size_t streams = 4;
+  std::size_t shots_per_stream = 32;
+  std::size_t rounds_per_frame = 10;
+  std::size_t max_inflight = 4;
+
+  /// Parse the accepted fields off `params` (caller owns finish()).
+  static ServeConfig from_params(SpecReader& params);
+
+  /// Server options with the experiment's sliding-window layout applied.
+  /// Always construct ServeServer from this, never from `server` directly:
+  /// a server decoding W/C different from the clients' offline decoders
+  /// silently breaks the bit-for-bit parity pin.
+  ServeOptions server_options() const {
+    ServeOptions opts = server;
+    opts.window = window;
+    return opts;
+  }
+
+  /// Build the (long-timeline, sliding-window-only) engine of this config.
+  std::unique_ptr<InjectionEngine> build_engine() const;
+  RadiationTimeline build_timeline(const InjectionEngine& engine) const;
+  /// The HERALD workload realization: `herald_events` strikes sampled from
+  /// the timeline model (empty when herald_events == 0).
+  std::vector<RadiationEvent> build_events(const InjectionEngine& engine,
+                                           const RadiationTimeline& timeline,
+                                           std::uint64_t seed) const;
+
+  LoadGenOptions loadgen_options(std::uint64_t seed) const;
+};
+
+}  // namespace serve
+}  // namespace radsurf

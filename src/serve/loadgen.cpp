@@ -1,0 +1,285 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "serve/client.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace radsurf {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// End rounds of every window, replicated from the server's HELLO_ACK
+/// geometry (the same layout loop as the SlidingWindowDecoder ctor).
+std::vector<std::size_t> window_end_rounds(const HelloAck& ack) {
+  std::vector<std::size_t> ends;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end =
+        std::min<std::size_t>(begin + ack.window, ack.num_rounds);
+    ends.push_back(end);
+    if (end == ack.num_rounds) break;
+    begin += ack.commit;
+  }
+  return ends;
+}
+
+struct StreamOutcome {
+  std::size_t shots_sent = 0;
+  std::size_t results = 0;
+  std::size_t commits = 0;
+  std::size_t sheds = 0;
+  std::size_t errors = 0;
+  std::size_t mismatches = 0;
+  std::vector<double> latencies_ms;
+};
+
+struct StreamState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t inflight = 0;
+  bool aborted = false;
+  // (shot, window) -> send time of the frame that completed the window.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, Clock::time_point> sent;
+};
+
+void run_stream(ServeClient client, const LoadGenOptions& opt,
+                const std::vector<std::vector<std::uint64_t>>& shot_words,
+                const std::vector<std::uint64_t>& expected,
+                std::size_t first_shot, std::size_t num_shots,
+                const std::vector<std::vector<std::uint64_t>>& round_masks,
+                StreamOutcome& out) {
+  const HelloAck ack = client.handshake();
+  // Backstop against a wedged server: replies normally arrive within
+  // milliseconds; a 10 s silence is a failed run, not a slow one.
+  client.set_read_timeout_ms(10000);
+  RADSURF_ASSERT_MSG(round_masks.size() == ack.num_rounds &&
+                         shot_words[0].size() == ack.syndrome_words,
+                     "loadgen: server geometry (" << ack.num_rounds
+                                                  << " rounds) disagrees "
+                                                     "with the workload");
+  // The offline expectations are only meaningful if the server decodes
+  // the same window layout — a W/C mismatch would surface as sporadic
+  // prediction mismatches, so fail loudly at handshake instead.
+  RADSURF_ASSERT_MSG(
+      ack.window == opt.window.window &&
+          ack.commit == opt.window.resolved_commit(),
+      "loadgen: server window layout W=" << ack.window << "/C=" << ack.commit
+                                         << " disagrees with the offline "
+                                            "expectations W="
+                                         << opt.window.window << "/C="
+                                         << opt.window.resolved_commit());
+  const std::vector<std::size_t> ends = window_end_rounds(ack);
+
+  if (!opt.events.empty()) {
+    HeraldFrame herald;
+    herald.events = opt.events;
+    RADSURF_ASSERT_MSG(client.send_herald(herald),
+                       "loadgen: HERALD send failed");
+  }
+
+  StreamState state;
+  std::thread reader([&] {
+    while (true) {
+      ServeClient::ServerReply reply = client.read_reply();
+      switch (reply.kind) {
+        case ServeClient::ServerReply::Kind::kCommit: {
+          const Clock::time_point now = Clock::now();
+          std::lock_guard<std::mutex> lock(state.mu);
+          ++out.commits;
+          const auto it = state.sent.find(
+              {reply.commit.shot_id, reply.commit.window_index});
+          if (it != state.sent.end()) {
+            out.latencies_ms.push_back(ms_between(it->second, now));
+            state.sent.erase(it);
+          }
+          break;
+        }
+        case ServeClient::ServerReply::Kind::kResult: {
+          std::lock_guard<std::mutex> lock(state.mu);
+          ++out.results;
+          if (reply.result.prediction != expected[reply.result.shot_id])
+            ++out.mismatches;
+          --state.inflight;
+          state.cv.notify_all();
+          break;
+        }
+        case ServeClient::ServerReply::Kind::kShed: {
+          std::lock_guard<std::mutex> lock(state.mu);
+          ++out.sheds;
+          --state.inflight;
+          state.cv.notify_all();
+          break;
+        }
+        case ServeClient::ServerReply::Kind::kError: {
+          std::lock_guard<std::mutex> lock(state.mu);
+          ++out.errors;
+          state.aborted = true;
+          state.cv.notify_all();
+          return;
+        }
+        case ServeClient::ServerReply::Kind::kByeAck:
+          return;
+        case ServeClient::ServerReply::Kind::kClosed:
+        case ServeClient::ServerReply::Kind::kTimeout: {
+          std::lock_guard<std::mutex> lock(state.mu);
+          if (state.inflight > 0) ++out.errors;
+          state.aborted = true;
+          state.cv.notify_all();
+          return;
+        }
+      }
+    }
+  });
+
+  const std::size_t num_rounds = ack.num_rounds;
+  const std::size_t words = ack.syndrome_words;
+  RoundsFrame frame;
+  frame.words.resize(words);
+  for (std::size_t s = 0; s < num_shots; ++s) {
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      state.cv.wait(lock, [&] {
+        return state.aborted || state.inflight < opt.max_inflight;
+      });
+      if (state.aborted) break;
+      ++state.inflight;
+    }
+    const std::uint64_t shot_id = first_shot + s;
+    const std::vector<std::uint64_t>& full = shot_words[shot_id];
+    bool sent_ok = true;
+    std::size_t prev_windows = 0;
+    for (std::size_t r = 0; r < num_rounds && sent_ok;
+         r += opt.rounds_per_frame) {
+      const std::size_t complete =
+          std::min(r + opt.rounds_per_frame, num_rounds);
+      frame.shot_id = shot_id;
+      frame.first_round = static_cast<std::uint32_t>(r);
+      frame.num_rounds = static_cast<std::uint32_t>(complete - r);
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t mask = 0;
+        for (std::size_t rr = r; rr < complete; ++rr)
+          mask |= round_masks[rr][w];
+        frame.words[w] = full[w] & mask;
+      }
+      // Windows this frame completes get the frame's send timestamp.
+      std::size_t window = prev_windows;
+      while (window < ends.size() && ends[window] <= complete) ++window;
+      const Clock::time_point before = Clock::now();
+      if (window > prev_windows) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        for (std::size_t w = prev_windows; w < window; ++w)
+          state.sent[{shot_id, static_cast<std::uint32_t>(w)}] = before;
+      }
+      prev_windows = window;
+      sent_ok = client.send_rounds(frame);
+    }
+    if (!sent_ok) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      ++out.errors;
+      state.aborted = true;
+      break;
+    }
+    ++out.shots_sent;
+  }
+
+  client.send_bye();
+  reader.join();
+  client.close();
+}
+
+}  // namespace
+
+LoadGenReport run_load(const InjectionEngine& engine,
+                       const RadiationTimeline& timeline,
+                       const LoadGenOptions& options) {
+  RADSURF_CHECK_ARG(options.streams > 0 && options.shots_per_stream > 0,
+                    "loadgen: streams and shots_per_stream must be > 0");
+  RADSURF_CHECK_ARG(options.rounds_per_frame > 0,
+                    "loadgen: rounds_per_frame must be > 0");
+  RADSURF_CHECK_ARG(options.max_inflight > 0,
+                    "loadgen: max_inflight must be > 0");
+
+  // --- offline workload: exact shot records + expected stream results.
+  const std::size_t total_shots = options.streams * options.shots_per_stream;
+  const std::vector<RecordedShot> shots = engine.record_timeline_shots(
+      timeline, options.events, total_shots, options.seed);
+  const std::unique_ptr<SlidingWindowDecoder> offline =
+      engine.make_stream_decoder(options.events.empty() ? nullptr : &timeline,
+                                 options.events, options.window);
+
+  const std::size_t words = (engine.detector_rounds().size() + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> shot_words(
+      total_shots, std::vector<std::uint64_t>(words, 0));
+  std::vector<std::uint64_t> expected(total_shots, 0);
+  for (std::size_t s = 0; s < total_shots; ++s) {
+    for (const std::uint32_t d : shots[s].defects)
+      shot_words[s][d / 64] |= std::uint64_t{1} << (d % 64);
+    expected[s] = offline->decode(shots[s].defects);
+  }
+
+  const std::vector<std::uint32_t>& detector_rounds =
+      engine.detector_rounds();
+  std::vector<std::vector<std::uint64_t>> round_masks(
+      offline->num_rounds(), std::vector<std::uint64_t>(words, 0));
+  for (std::size_t d = 0; d < detector_rounds.size(); ++d)
+    round_masks[detector_rounds[d]][d / 64] |= std::uint64_t{1} << (d % 64);
+
+  // --- streaming phase.
+  std::vector<StreamOutcome> outcomes(options.streams);
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options.streams);
+  for (std::size_t i = 0; i < options.streams; ++i) {
+    threads.emplace_back([&, i] {
+      ServeClient client = options.unix_path.empty()
+                               ? ServeClient::connect_tcp(options.port)
+                               : ServeClient::connect_unix(options.unix_path);
+      run_stream(std::move(client), options, shot_words, expected,
+                 i * options.shots_per_stream, options.shots_per_stream,
+                 round_masks, outcomes[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadGenReport report;
+  report.streams = options.streams;
+  report.elapsed_seconds = elapsed;
+  std::vector<double> latencies;
+  for (const StreamOutcome& o : outcomes) {
+    report.shots_sent += o.shots_sent;
+    report.results += o.results;
+    report.commits += o.commits;
+    report.sheds += o.sheds;
+    report.errors += o.errors;
+    report.mismatches += o.mismatches;
+    latencies.insert(latencies.end(), o.latencies_ms.begin(),
+                     o.latencies_ms.end());
+  }
+  if (!latencies.empty()) {
+    report.p50_ms = quantile(latencies, 0.50);
+    report.p99_ms = quantile(latencies, 0.99);
+  }
+  if (elapsed > 0.0)
+    report.shots_per_second = static_cast<double>(report.results) / elapsed;
+  return report;
+}
+
+}  // namespace serve
+}  // namespace radsurf

@@ -1,0 +1,71 @@
+// Load generator for `radsurf serve` — the client side of the p50/p99
+// commit-latency bench and the CI smoke driver.
+//
+// A run pre-samples an exact shot workload offline (the same RNG streams
+// as run_timeline's EXACT path, via InjectionEngine::record_timeline_shots)
+// and pre-decodes the expected prediction of every shot with the offline
+// stream decoder, then replays the shots over `streams` concurrent
+// connections, `rounds_per_frame` rounds per ROUNDS frame, with up to
+// `max_inflight` pipelined shots per stream.  Every RESULT is pinned
+// against the offline prediction (mismatches is the bit-for-bit parity
+// counter: it must be zero), and every COMMIT is timed from the send of
+// the frame that completed the window's rounds to the reply's arrival —
+// the service's bounded-latency claim, measured where it matters, at the
+// client.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decoder/sliding_window.hpp"
+#include "inject/campaign.hpp"
+#include "noise/timeline.hpp"
+
+namespace radsurf {
+namespace serve {
+
+struct LoadGenOptions {
+  std::size_t streams = 4;
+  std::size_t shots_per_stream = 32;
+  /// Rounds per ROUNDS frame (the stream's delivery granularity).
+  std::size_t rounds_per_frame = 1;
+  /// Pipelined (sent, unresolved) shots per stream; 1 = fully synchronous.
+  std::size_t max_inflight = 4;
+  /// Sliding-window layout — must match the server's.
+  SlidingWindowOptions window{};
+  /// Event realization of the workload.  Non-empty: each stream sends a
+  /// HERALD before its shots, and expectations come from the aware
+  /// decoder.
+  std::vector<RadiationEvent> events;
+  std::uint64_t seed = 20240715;
+  /// Endpoint: unix_path when non-empty, else TCP loopback `port`.
+  std::uint16_t port = 0;
+  std::string unix_path;
+};
+
+struct LoadGenReport {
+  std::size_t streams = 0;
+  std::size_t shots_sent = 0;
+  std::size_t results = 0;       // RESULT replies received
+  std::size_t commits = 0;       // COMMIT replies received
+  std::size_t sheds = 0;         // SHED replies received
+  std::size_t errors = 0;        // ERROR replies / dead connections
+  std::size_t mismatches = 0;    // streamed prediction != offline decode
+  double elapsed_seconds = 0.0;  // streaming phase only (excludes sampling)
+  double p50_ms = 0.0;           // commit latency percentiles
+  double p99_ms = 0.0;
+  double shots_per_second = 0.0;
+
+  bool clean() const { return errors == 0 && mismatches == 0; }
+};
+
+/// Run one load-generation campaign against a live server.  Throws
+/// radsurf::Error on connection/handshake failures.
+LoadGenReport run_load(const InjectionEngine& engine,
+                       const RadiationTimeline& timeline,
+                       const LoadGenOptions& options);
+
+}  // namespace serve
+}  // namespace radsurf

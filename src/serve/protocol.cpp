@@ -1,0 +1,342 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace serve {
+
+namespace {
+
+// Little-endian byte builder / reader.  Explicit byte assembly (not
+// memcpy-of-struct) keeps the wire format layout-independent.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& p) : p_(p) {}
+  std::uint8_t u8() {
+    need(1);
+    return p_[off_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p_[off_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(p_[off_++]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  std::size_t remaining() const { return p_.size() - off_; }
+  void done() const {
+    RADSURF_CHECK_ARG(off_ == p_.size(),
+                      "frame payload has " << p_.size() - off_
+                                           << " trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    RADSURF_CHECK_ARG(off_ + n <= p_.size(),
+                      "frame payload truncated: need " << n << " bytes at "
+                                                       << off_ << " of "
+                                                       << p_.size());
+  }
+  const std::vector<std::uint8_t>& p_;
+  std::size_t off_ = 0;
+};
+
+bool write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // includes EAGAIN from SO_SNDTIMEO: a write timeout
+    }
+    if (w == 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Reads exactly n bytes.  kEof only when the peer closed cleanly before
+// the first byte (mid-buffer EOF is kError: a truncated frame).
+RecvStatus read_exact(int fd, void* data, std::size_t n,
+                      bool (*keep_going)(void*), void* ctx) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (keep_going != nullptr && !keep_going(ctx))
+          return RecvStatus::kAborted;
+        continue;
+      }
+      return RecvStatus::kError;
+    }
+    if (r == 0) return got == 0 ? RecvStatus::kEof : RecvStatus::kError;
+    got += static_cast<std::size_t>(r);
+  }
+  return RecvStatus::kOk;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& f) {
+  Writer w;
+  w.u32(f.version);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_hello_ack(const HelloAck& f) {
+  Writer w;
+  w.u32(f.version);
+  w.u32(f.num_rounds);
+  w.u32(f.num_detectors);
+  w.u32(f.syndrome_words);
+  w.u32(f.window);
+  w.u32(f.commit);
+  w.u32(f.num_windows);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_rounds(const RoundsFrame& f) {
+  Writer w;
+  w.u64(f.shot_id);
+  w.u32(f.first_round);
+  w.u32(f.num_rounds);
+  w.u32(static_cast<std::uint32_t>(f.words.size()));
+  for (const std::uint64_t word : f.words) w.u64(word);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_herald(const HeraldFrame& f) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(f.events.size()));
+  for (const RadiationEvent& e : f.events) {
+    w.u32(static_cast<std::uint32_t>(e.round));
+    w.u32(e.root);
+    w.f64(e.intensity);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_commit(const CommitReply& f) {
+  Writer w;
+  w.u64(f.shot_id);
+  w.u32(f.window_index);
+  w.u32(f.end_round);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_result(const ResultReply& f) {
+  Writer w;
+  w.u64(f.shot_id);
+  w.u64(f.prediction);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_shed(const ShedReply& f) {
+  Writer w;
+  w.u64(f.shot_id);
+  w.u32(static_cast<std::uint32_t>(f.reason));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorReply& f) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(f.code));
+  w.u32(static_cast<std::uint32_t>(f.message.size()));
+  w.bytes(f.message.data(), f.message.size());
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_bye_ack(const ByeAck& f) {
+  Writer w;
+  w.u64(f.shots_completed);
+  w.u64(f.windows_committed);
+  w.u64(f.shed_shots);
+  return w.take();
+}
+
+HelloFrame decode_hello(const std::vector<std::uint8_t>& p) {
+  Reader r(p);
+  HelloFrame f;
+  f.version = r.u32();
+  r.done();
+  return f;
+}
+
+HelloAck decode_hello_ack(const std::vector<std::uint8_t>& p) {
+  Reader r(p);
+  HelloAck f;
+  f.version = r.u32();
+  f.num_rounds = r.u32();
+  f.num_detectors = r.u32();
+  f.syndrome_words = r.u32();
+  f.window = r.u32();
+  f.commit = r.u32();
+  f.num_windows = r.u32();
+  r.done();
+  return f;
+}
+
+RoundsFrame decode_rounds(const std::vector<std::uint8_t>& p) {
+  Reader r(p);
+  RoundsFrame f;
+  f.shot_id = r.u64();
+  f.first_round = r.u32();
+  f.num_rounds = r.u32();
+  const std::uint32_t words = r.u32();
+  RADSURF_CHECK_ARG(static_cast<std::size_t>(words) * 8 == r.remaining(),
+                    "ROUNDS word count " << words << " disagrees with "
+                                         << r.remaining()
+                                         << " payload bytes");
+  f.words.reserve(words);
+  for (std::uint32_t i = 0; i < words; ++i) f.words.push_back(r.u64());
+  r.done();
+  return f;
+}
+
+HeraldFrame decode_herald(const std::vector<std::uint8_t>& p) {
+  Reader r(p);
+  HeraldFrame f;
+  const std::uint32_t n = r.u32();
+  RADSURF_CHECK_ARG(static_cast<std::size_t>(n) * 16 == r.remaining(),
+                    "HERALD event count " << n << " disagrees with "
+                                          << r.remaining()
+                                          << " payload bytes");
+  f.events.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    RadiationEvent e;
+    e.round = r.u32();
+    e.root = r.u32();
+    e.intensity = r.f64();
+    f.events.push_back(e);
+  }
+  r.done();
+  return f;
+}
+
+CommitReply decode_commit(const std::vector<std::uint8_t>& p) {
+  Reader r(p);
+  CommitReply f;
+  f.shot_id = r.u64();
+  f.window_index = r.u32();
+  f.end_round = r.u32();
+  r.done();
+  return f;
+}
+
+ResultReply decode_result(const std::vector<std::uint8_t>& p) {
+  Reader r(p);
+  ResultReply f;
+  f.shot_id = r.u64();
+  f.prediction = r.u64();
+  r.done();
+  return f;
+}
+
+ShedReply decode_shed(const std::vector<std::uint8_t>& p) {
+  Reader r(p);
+  ShedReply f;
+  f.shot_id = r.u64();
+  f.reason = static_cast<ShedReason>(r.u32());
+  r.done();
+  return f;
+}
+
+ErrorReply decode_error(const std::vector<std::uint8_t>& p) {
+  Reader r(p);
+  ErrorReply f;
+  f.code = static_cast<ErrorCode>(r.u32());
+  const std::uint32_t len = r.u32();
+  RADSURF_CHECK_ARG(len == r.remaining(), "ERROR message length mismatch");
+  f.message.resize(len);
+  for (std::uint32_t i = 0; i < len; ++i)
+    f.message[i] = static_cast<char>(r.u8());
+  return f;
+}
+
+ByeAck decode_bye_ack(const std::vector<std::uint8_t>& p) {
+  Reader r(p);
+  ByeAck f;
+  f.shots_completed = r.u64();
+  f.windows_committed = r.u64();
+  f.shed_shots = r.u64();
+  r.done();
+  return f;
+}
+
+RecvStatus read_frame(int fd, Frame& out, bool (*keep_going)(void*),
+                      void* ctx) {
+  std::uint8_t header[8];
+  RecvStatus s = read_exact(fd, header, sizeof header, keep_going, ctx);
+  if (s != RecvStatus::kOk) return s;
+  out.type = static_cast<FrameType>(header[0]);
+  if (header[1] != 0 || header[2] != 0 || header[3] != 0)
+    return RecvStatus::kError;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+  if (len > kMaxPayload) return RecvStatus::kError;
+  out.payload.resize(len);
+  if (len == 0) return RecvStatus::kOk;
+  s = read_exact(fd, out.payload.data(), len, keep_going, ctx);
+  return s == RecvStatus::kEof ? RecvStatus::kError : s;
+}
+
+bool write_frame(int fd, FrameType type,
+                 const std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[8] = {static_cast<std::uint8_t>(type), 0, 0, 0, 0, 0,
+                            0, 0};
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[4 + i] = (len >> (8 * i)) & 0xff;
+  if (!write_all(fd, header, sizeof header)) return false;
+  return payload.empty() || write_all(fd, payload.data(), payload.size());
+}
+
+}  // namespace serve
+}  // namespace radsurf

@@ -1,0 +1,172 @@
+// Wire protocol of `radsurf serve` — streaming decode-as-a-service.
+//
+// One connection carries one syndrome stream.  Frames are length-prefixed
+// little-endian binary: a 1-byte type, 3 reserved bytes (zero), a u32
+// payload length, then the payload.  The client opens with HELLO and the
+// server answers HELLO_ACK carrying the experiment geometry (rounds,
+// detectors, window layout) so the client can detect config mismatches
+// and predict window-commit points.  Syndrome data travels in ROUNDS
+// frames in the *shot-major word format* the batch pipeline speaks
+// (DetectorSet::syndrome_words u64 words per shot, bit d = detector d
+// fired): each frame carries the full-width span with only the bits of
+// the rounds it declares complete — stray bits outside those rounds are a
+// protocol error, not noise.  The server commits sliding windows as soon
+// as their rounds are complete (COMMIT per window, RESULT when the final
+// window lands) and degrades under overload by shedding whole shots with
+// an explicit SHED reply (never silently, never mid-shot).
+//
+// Reply codes are part of the protocol contract and documented in
+// docs/SCENARIOS.md; tests pin them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noise/timeline.hpp"
+
+namespace radsurf {
+namespace serve {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Hard sanity cap on payload size (a corrupt length prefix must not
+/// allocate gigabytes).
+inline constexpr std::uint32_t kMaxPayload = 1u << 24;
+
+enum class FrameType : std::uint8_t {
+  // client -> server
+  kHello = 0x01,
+  kRounds = 0x02,
+  kHerald = 0x03,
+  kBye = 0x04,
+  // server -> client
+  kHelloAck = 0x81,
+  kCommit = 0x82,
+  kResult = 0x83,
+  kShed = 0x84,
+  kError = 0x85,
+  kByeAck = 0x86,
+};
+
+/// SHED reply reasons (documented protocol contract).
+enum class ShedReason : std::uint32_t {
+  kQueueFull = 1,     // the stream's bounded ingest queue is full
+  kShuttingDown = 2,  // server is draining; no new shots accepted
+};
+
+/// ERROR reply codes.  An ERROR reply is terminal: the server closes the
+/// connection after sending it.
+enum class ErrorCode : std::uint32_t {
+  kBadVersion = 1,   // HELLO version mismatch
+  kUnknownFrame = 2, // unrecognised frame type
+  kBadPayload = 3,   // malformed payload (length / field bounds)
+  kStrayBits = 4,    // ROUNDS words carry bits outside the declared rounds
+  kBadRounds = 5,    // round sequencing violated (non-monotone, late, ...)
+  kExpectedHello = 6 // first frame was not HELLO
+};
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> payload;
+};
+
+struct HelloFrame {
+  std::uint32_t version = kProtocolVersion;
+};
+
+struct HelloAck {
+  std::uint32_t version = kProtocolVersion;
+  std::uint32_t num_rounds = 0;
+  std::uint32_t num_detectors = 0;
+  std::uint32_t syndrome_words = 0;
+  std::uint32_t window = 0;  // resolved window W
+  std::uint32_t commit = 0;  // resolved commit stride C
+  std::uint32_t num_windows = 0;
+};
+
+struct RoundsFrame {
+  std::uint64_t shot_id = 0;
+  std::uint32_t first_round = 0;
+  std::uint32_t num_rounds = 0;  // rounds this frame completes
+  std::vector<std::uint64_t> words;  // full-width shot-major span
+};
+
+struct HeraldFrame {
+  std::vector<RadiationEvent> events;  // empty = back to the base decoder
+};
+
+struct CommitReply {
+  std::uint64_t shot_id = 0;
+  std::uint32_t window_index = 0;
+  std::uint32_t end_round = 0;  // rounds < end_round are now decoded
+};
+
+struct ResultReply {
+  std::uint64_t shot_id = 0;
+  std::uint64_t prediction = 0;
+};
+
+struct ShedReply {
+  std::uint64_t shot_id = 0;
+  ShedReason reason = ShedReason::kQueueFull;
+};
+
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kBadPayload;
+  std::string message;
+};
+
+struct ByeAck {
+  std::uint64_t shots_completed = 0;
+  std::uint64_t windows_committed = 0;
+  std::uint64_t shed_shots = 0;
+};
+
+// --- payload encode / decode ------------------------------------------------
+// Encoders return the payload bytes (the socket layer prepends the
+// header); decoders throw radsurf::InvalidArgument on malformed payloads
+// (the server maps that to ErrorCode::kBadPayload).
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& f);
+std::vector<std::uint8_t> encode_hello_ack(const HelloAck& f);
+std::vector<std::uint8_t> encode_rounds(const RoundsFrame& f);
+std::vector<std::uint8_t> encode_herald(const HeraldFrame& f);
+std::vector<std::uint8_t> encode_commit(const CommitReply& f);
+std::vector<std::uint8_t> encode_result(const ResultReply& f);
+std::vector<std::uint8_t> encode_shed(const ShedReply& f);
+std::vector<std::uint8_t> encode_error(const ErrorReply& f);
+std::vector<std::uint8_t> encode_bye_ack(const ByeAck& f);
+
+HelloFrame decode_hello(const std::vector<std::uint8_t>& p);
+HelloAck decode_hello_ack(const std::vector<std::uint8_t>& p);
+RoundsFrame decode_rounds(const std::vector<std::uint8_t>& p);
+HeraldFrame decode_herald(const std::vector<std::uint8_t>& p);
+CommitReply decode_commit(const std::vector<std::uint8_t>& p);
+ResultReply decode_result(const std::vector<std::uint8_t>& p);
+ShedReply decode_shed(const std::vector<std::uint8_t>& p);
+ErrorReply decode_error(const std::vector<std::uint8_t>& p);
+ByeAck decode_bye_ack(const std::vector<std::uint8_t>& p);
+
+// --- framed socket I/O ------------------------------------------------------
+
+enum class RecvStatus {
+  kOk,       // frame filled
+  kEof,      // orderly peer close between frames
+  kAborted,  // keep_going() said stop
+  kError,    // socket error or malformed header / truncated frame
+};
+
+/// Blocking frame read.  `keep_going` (may be null) is polled whenever the
+/// socket read times out (callers set SO_RCVTIMEO), so a server can abort
+/// a blocked reader during shutdown without closing the socket under it.
+RecvStatus read_frame(int fd, Frame& out, bool (*keep_going)(void*),
+                      void* ctx);
+
+/// Blocking whole-frame write (header + payload).  Returns false on any
+/// error or write timeout (callers set SO_SNDTIMEO); serialise calls per
+/// socket externally.
+bool write_frame(int fd, FrameType type,
+                 const std::vector<std::uint8_t>& payload);
+
+}  // namespace serve
+}  // namespace radsurf

@@ -1,0 +1,82 @@
+// Bounded MPSC work queue of the serve connection loop.
+//
+// Each connection owns one queue between its socket-reader thread and its
+// decode worker.  The bound is the backpressure/shedding boundary: frames
+// of shots already in flight block the reader when the queue is full (TCP
+// backpressure propagates to the client), while frames that would *open a
+// new shot* against a full queue are shed with an explicit SHED reply
+// instead — overload degrades by dropping whole shots, never by silently
+// stretching the latency of shots already admitted.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace radsurf {
+namespace serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while full.  Returns false (item dropped) once closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item or close.  False means closed *and* drained —
+  /// the worker processes everything enqueued before the close.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// No further pushes; pending items stay poppable.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Shed probe: true when an enqueue would block right now.  Racing a
+  /// concurrent pop only makes shedding conservative, never unsafe.
+  bool full() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size() >= capacity_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace radsurf

@@ -1,0 +1,314 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace serve {
+
+namespace {
+
+void set_timeout(int fd, int optname, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof tv);
+}
+
+bool reader_keep_going(void* ctx) {
+  return !static_cast<std::atomic<bool>*>(ctx)->load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ServeServer::ServeServer(const InjectionEngine& engine,
+                         const RadiationTimeline* timeline,
+                         ServeOptions options)
+    : shared_(engine, timeline, std::move(options)) {}
+
+ServeServer::~ServeServer() { shutdown(); }
+
+void ServeServer::configure_socket(int fd) const {
+  set_timeout(fd, SO_RCVTIMEO, shared_.options().io_timeout_ms);
+  set_timeout(fd, SO_SNDTIMEO, shared_.options().write_timeout_ms);
+  // COMMIT replies are tiny; Nagle batching against delayed ACKs would put
+  // a ~40ms floor under the commit latency the service exists to bound.
+  // (No-op with EOPNOTSUPP on unix-domain sockets.)
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void ServeServer::start() {
+  RADSURF_CHECK_ARG(!started_, "serve: start() called twice");
+  const ServeOptions& opt = shared_.options();
+  RADSURF_CHECK_ARG(opt.listen_tcp || !opt.unix_path.empty(),
+                    "serve: no listening endpoint configured");
+
+  if (opt.listen_tcp) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    RADSURF_ASSERT_MSG(tcp_listen_fd_ >= 0,
+                       "serve: socket() failed: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opt.tcp_port);
+    RADSURF_ASSERT_MSG(
+        ::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) == 0,
+        "serve: bind(127.0.0.1:" << opt.tcp_port
+                                 << ") failed: " << std::strerror(errno));
+    RADSURF_ASSERT_MSG(::listen(tcp_listen_fd_, 64) == 0,
+                       "serve: listen failed: " << std::strerror(errno));
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    tcp_port_ = ntohs(bound.sin_port);
+  }
+
+  if (!opt.unix_path.empty()) {
+    RADSURF_CHECK_ARG(opt.unix_path.size() < sizeof(sockaddr_un{}.sun_path),
+                      "serve: unix socket path too long: " << opt.unix_path);
+    unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    RADSURF_ASSERT_MSG(unix_listen_fd_ >= 0,
+                       "serve: socket(AF_UNIX) failed: "
+                           << std::strerror(errno));
+    ::unlink(opt.unix_path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opt.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    RADSURF_ASSERT_MSG(
+        ::bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) == 0,
+        "serve: bind(" << opt.unix_path
+                       << ") failed: " << std::strerror(errno));
+    RADSURF_ASSERT_MSG(::listen(unix_listen_fd_, 64) == 0,
+                       "serve: listen(unix) failed: "
+                           << std::strerror(errno));
+  }
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ServeServer::begin_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+}
+
+void ServeServer::shutdown() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  begin_drain();
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
+  if (unix_listen_fd_ >= 0) {
+    ::close(unix_listen_fd_);
+    ::unlink(shared_.options().unix_path.c_str());
+  }
+  tcp_listen_fd_ = unix_listen_fd_ = -1;
+
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& conn : conns_) {
+    // Reader aborts at its next SO_RCVTIMEO poll; the worker drains the
+    // queue fully (in-flight windows still commit) before pop() fails.
+    if (conn->reader.joinable()) conn->reader.join();
+    conn->queue.close();
+    if (conn->worker.joinable()) conn->worker.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void ServeServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    nfds_t n = 0;
+    if (tcp_listen_fd_ >= 0) fds[n++] = {tcp_listen_fd_, POLLIN, 0};
+    if (unix_listen_fd_ >= 0) fds[n++] = {unix_listen_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, n, shared_.options().io_timeout_ms);
+    if (ready <= 0) continue;
+    for (nfds_t i = 0; i < n; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      configure_socket(fd);
+      shared_.stats().connections.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::make_unique<Connection>(shared_, fd));
+      Connection& conn = *conns_.back();
+      conn.reader = std::thread([this, &conn] { reader_loop(conn); });
+      conn.worker = std::thread([this, &conn] { worker_loop(conn); });
+    }
+  }
+}
+
+bool ServeServer::write_reply(Connection& conn, FrameType type,
+                              const std::vector<std::uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (write_frame(conn.fd, type, payload)) return true;
+  shared_.stats().replies_dropped.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ServeServer::reader_loop(Connection& conn) {
+  ServeStats& stats = shared_.stats();
+  Frame frame;
+
+  // --- handshake: the first frame must be a version-matched HELLO.
+  RecvStatus s = read_frame(conn.fd, frame, &reader_keep_going, &stopping_);
+  if (s != RecvStatus::kOk) {
+    if (s == RecvStatus::kError)
+      stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    conn.queue.close();
+    return;
+  }
+  bool ok = frame.type == FrameType::kHello;
+  std::uint32_t version = 0;
+  if (ok) {
+    try {
+      version = decode_hello(frame.payload).version;
+    } catch (const InvalidArgument&) {
+      ok = false;
+    }
+  }
+  if (!ok || version != kProtocolVersion) {
+    stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    ErrorReply err;
+    err.code = ok ? ErrorCode::kBadVersion : ErrorCode::kExpectedHello;
+    err.message = ok ? "unsupported protocol version"
+                     : "first frame must be HELLO";
+    write_reply(conn, FrameType::kError, encode_error(err));
+    ::shutdown(conn.fd, SHUT_RDWR);
+    conn.queue.close();
+    return;
+  }
+  write_reply(conn, FrameType::kHelloAck, encode_hello_ack(shared_.hello_ack()));
+
+  // --- frame loop with shed-or-enqueue admission.
+  std::unordered_set<std::uint64_t> admitted;
+  std::unordered_set<std::uint64_t> shed;
+  bool bye = false;
+  while (!bye) {
+    s = read_frame(conn.fd, frame, &reader_keep_going, &stopping_);
+    if (s != RecvStatus::kOk) {
+      if (s == RecvStatus::kError) {
+        stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        ErrorReply err;
+        err.code = ErrorCode::kBadPayload;
+        err.message = "malformed frame header";
+        write_reply(conn, FrameType::kError, encode_error(err));
+        ::shutdown(conn.fd, SHUT_RDWR);
+      }
+      break;
+    }
+    WorkItem item;
+    try {
+      switch (frame.type) {
+        case FrameType::kRounds: {
+          item.kind = WorkItem::Kind::kRounds;
+          item.rounds = decode_rounds(frame.payload);
+          const std::uint64_t shot = item.rounds.shot_id;
+          if (shed.count(shot) != 0) continue;  // rest of a shed shot
+          if (admitted.count(shot) == 0) {
+            const bool refuse =
+                draining_.load(std::memory_order_relaxed) ||
+                conn.queue.full();
+            if (refuse) {
+              shed.insert(shot);
+              conn.session.note_shed();
+              stats.shed_shots.fetch_add(1, std::memory_order_relaxed);
+              ShedReply sr;
+              sr.shot_id = shot;
+              sr.reason = draining_.load(std::memory_order_relaxed)
+                              ? ShedReason::kShuttingDown
+                              : ShedReason::kQueueFull;
+              write_reply(conn, FrameType::kShed, encode_shed(sr));
+              continue;
+            }
+            admitted.insert(shot);
+          }
+          break;
+        }
+        case FrameType::kHerald:
+          item.kind = WorkItem::Kind::kHerald;
+          item.herald = decode_herald(frame.payload);
+          break;
+        case FrameType::kBye:
+          item.kind = WorkItem::Kind::kBye;
+          bye = true;
+          break;
+        default: {
+          stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          ErrorReply err;
+          err.code = ErrorCode::kUnknownFrame;
+          err.message = "unexpected frame type";
+          write_reply(conn, FrameType::kError, encode_error(err));
+          ::shutdown(conn.fd, SHUT_RDWR);
+          conn.queue.close();
+          return;
+        }
+      }
+    } catch (const InvalidArgument& e) {
+      stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      ErrorReply err;
+      err.code = ErrorCode::kBadPayload;
+      err.message = e.what();
+      write_reply(conn, FrameType::kError, encode_error(err));
+      ::shutdown(conn.fd, SHUT_RDWR);
+      conn.queue.close();
+      return;
+    }
+    // Admitted work blocks when the queue is full: backpressure, not loss.
+    conn.queue.push(std::move(item));
+    stats.bump_high_water(conn.queue.high_water());
+  }
+  conn.queue.close();
+}
+
+void ServeServer::worker_loop(Connection& conn) {
+  WorkItem item;
+  std::vector<Reply> replies;
+  while (conn.queue.pop(item)) {
+    replies.clear();
+    switch (item.kind) {
+      case WorkItem::Kind::kRounds:
+        conn.session.handle_rounds(item.rounds, replies);
+        break;
+      case WorkItem::Kind::kHerald:
+        conn.session.handle_herald(item.herald, replies);
+        break;
+      case WorkItem::Kind::kBye:
+        conn.session.handle_bye(replies);
+        break;
+    }
+    for (const Reply& r : replies) write_reply(conn, r.type, r.payload);
+    if (conn.session.failed()) {
+      // Terminal protocol error: stop reading, drop the rest of the queue.
+      ::shutdown(conn.fd, SHUT_RDWR);
+      conn.queue.close();
+      while (conn.queue.pop(item)) {
+      }
+      return;
+    }
+    if (item.kind == WorkItem::Kind::kBye) return;
+  }
+}
+
+}  // namespace serve
+}  // namespace radsurf

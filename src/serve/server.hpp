@@ -1,0 +1,116 @@
+// The `radsurf serve` server: a long-lived decode service over TCP
+// loopback and/or unix-domain sockets.
+//
+// Thread model — one accept thread plus two threads per connection:
+//
+//   reader  — owns the socket's receive side.  Parses frames, enforces
+//             the HELLO handshake, and makes the ADMISSION decision: a
+//             frame opening a new shot is shed (SHED reply, shot
+//             blacklisted) when the connection's bounded queue is full or
+//             the server is draining; frames of admitted shots use a
+//             blocking enqueue, so overload backpressures through TCP to
+//             the sender instead of growing memory.
+//   worker  — pops work items and drives the StreamSession (decode,
+//             window commits, replies).  Replies are written under a
+//             per-connection write mutex with SO_SNDTIMEO: a reply that
+//             cannot be written within the timeout is dropped and counted
+//             (replies_dropped) — a slow reply consumer costs itself, not
+//             the decode path of other connections.
+//
+// Shutdown is graceful by contract: shutdown() stops accepting, aborts
+// blocked readers (SO_RCVTIMEO poll of a stop flag), closes each queue,
+// and JOINS the workers — which drain every enqueued frame first, so all
+// in-flight windows are still decoded, committed and (best-effort)
+// replied before the sockets close.  begin_drain() alone sheds new shots
+// (SHED kShuttingDown) while letting in-flight shots finish.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/session.hpp"
+
+namespace radsurf {
+namespace serve {
+
+class ServeServer {
+ public:
+  ServeServer(const InjectionEngine& engine, const RadiationTimeline* timeline,
+              ServeOptions options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Bind, listen and start accepting.  Throws radsurf::Error on socket
+  /// failures.  Call once.
+  void start();
+
+  /// Stop admitting new shots (SHED kShuttingDown) while in-flight shots
+  /// keep committing.  Idempotent; shutdown() implies it.
+  void begin_drain();
+
+  /// Graceful stop: drain every connection's queued work (in-flight
+  /// windows still commit and reply), join all threads, close all
+  /// sockets.  Idempotent.
+  void shutdown();
+
+  /// Port actually bound (meaningful after start(); resolves port 0).
+  std::uint16_t tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return shared_.options().unix_path; }
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  ServeStatsSnapshot stats() const { return shared_.snapshot(); }
+  ServeShared& shared() { return shared_; }
+
+ private:
+  struct WorkItem {
+    enum class Kind { kRounds, kHerald, kBye } kind = Kind::kBye;
+    RoundsFrame rounds;
+    HeraldFrame herald;
+  };
+
+  struct Connection {
+    Connection(ServeShared& shared, int fd_in)
+        : fd(fd_in),
+          queue(shared.options().queue_capacity),
+          session(shared) {}
+    int fd;
+    BoundedQueue<WorkItem> queue;
+    std::mutex write_mu;
+    StreamSession session;
+    std::thread reader;
+    std::thread worker;
+  };
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void worker_loop(Connection& conn);
+  /// Serialised best-effort reply write; counts drops. False on failure.
+  bool write_reply(Connection& conn, FrameType type,
+                   const std::vector<std::uint8_t>& payload);
+  void configure_socket(int fd) const;
+
+  ServeShared shared_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  int tcp_listen_fd_ = -1;
+  int unix_listen_fd_ = -1;
+  std::uint16_t tcp_port_ = 0;
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace serve
+}  // namespace radsurf

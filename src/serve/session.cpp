@@ -1,0 +1,200 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace radsurf {
+namespace serve {
+
+namespace {
+
+bool event_less(const std::vector<RadiationEvent>& a,
+                const std::vector<RadiationEvent>& b) {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](const RadiationEvent& x, const RadiationEvent& y) {
+        if (x.round != y.round) return x.round < y.round;
+        if (x.root != y.root) return x.root < y.root;
+        return x.intensity < y.intensity;
+      });
+}
+
+}  // namespace
+
+ServeShared::ServeShared(const InjectionEngine& engine,
+                         const RadiationTimeline* timeline,
+                         ServeOptions options)
+    : engine_(engine),
+      timeline_(timeline),
+      options_(std::move(options)),
+      aware_cache_(&event_less) {
+  base_ = engine_.make_stream_decoder(nullptr, {}, options_.window);
+  const std::vector<std::uint32_t>& rounds = engine_.detector_rounds();
+  syndrome_words_ = (rounds.size() + 63) / 64;
+  round_masks_.assign(base_->num_rounds(),
+                      std::vector<std::uint64_t>(syndrome_words_, 0));
+  for (std::size_t d = 0; d < rounds.size(); ++d)
+    round_masks_[rounds[d]][d / 64] |= std::uint64_t{1} << (d % 64);
+}
+
+HelloAck ServeShared::hello_ack() const {
+  HelloAck ack;
+  ack.num_rounds = static_cast<std::uint32_t>(base_->num_rounds());
+  ack.num_detectors =
+      static_cast<std::uint32_t>(engine_.detector_rounds().size());
+  ack.syndrome_words = static_cast<std::uint32_t>(syndrome_words_);
+  ack.window = static_cast<std::uint32_t>(base_->options().window);
+  ack.commit = static_cast<std::uint32_t>(base_->options().resolved_commit());
+  ack.num_windows = static_cast<std::uint32_t>(base_->num_windows());
+  return ack;
+}
+
+std::shared_ptr<const SlidingWindowDecoder> ServeShared::decoder_for(
+    const std::vector<RadiationEvent>& events) {
+  if (events.empty() || !options_.herald_aware || timeline_ == nullptr)
+    return base_;
+  std::lock_guard<std::mutex> lock(aware_mu_);
+  auto it = aware_cache_.find(events);
+  if (it != aware_cache_.end()) return it->second;
+  std::shared_ptr<const SlidingWindowDecoder> built =
+      engine_.make_stream_decoder(timeline_, events, options_.window);
+  stats_.aware_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  aware_cache_.emplace(events, built);
+  return built;
+}
+
+ServeStatsSnapshot ServeShared::snapshot() const {
+  ServeStatsSnapshot s;
+  s.connections = stats_.connections.load(std::memory_order_relaxed);
+  s.shots_completed = stats_.shots_completed.load(std::memory_order_relaxed);
+  s.windows_committed =
+      stats_.windows_committed.load(std::memory_order_relaxed);
+  s.shed_shots = stats_.shed_shots.load(std::memory_order_relaxed);
+  s.protocol_errors = stats_.protocol_errors.load(std::memory_order_relaxed);
+  s.replies_dropped = stats_.replies_dropped.load(std::memory_order_relaxed);
+  s.aware_rebuilds = stats_.aware_rebuilds.load(std::memory_order_relaxed);
+  s.herald_switches = stats_.herald_switches.load(std::memory_order_relaxed);
+  s.queue_high_water =
+      stats_.queue_high_water.load(std::memory_order_relaxed);
+  s.memo_lookups = base_->memo_lookups();
+  s.memo_hits = base_->memo_hits();
+  return s;
+}
+
+void StreamSession::fail(ErrorCode code, std::string message,
+                         std::vector<Reply>& out) {
+  failed_ = true;
+  shared_.stats().protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  ErrorReply err;
+  err.code = code;
+  err.message = std::move(message);
+  out.push_back({FrameType::kError, encode_error(err)});
+}
+
+void StreamSession::handle_rounds(const RoundsFrame& f,
+                                  std::vector<Reply>& out) {
+  if (failed_) return;
+  if (f.words.size() != shared_.syndrome_words()) {
+    std::ostringstream msg;
+    msg << "ROUNDS carries " << f.words.size() << " words, expected "
+        << shared_.syndrome_words();
+    fail(ErrorCode::kBadPayload, msg.str(), out);
+    return;
+  }
+
+  auto it = shots_.find(f.shot_id);
+  if (it == shots_.end()) {
+    if (!current_) current_ = shared_.decoder_for({});
+    it = shots_.emplace(f.shot_id, ShotState{current_, {}}).first;
+  }
+  ShotState& shot = it->second;
+  const SlidingWindowDecoder& dec = *shot.decoder;
+
+  const std::size_t first = f.first_round;
+  const std::size_t complete = first + f.num_rounds;
+  if (f.num_rounds == 0 || first != shot.cursor.rounds_complete ||
+      complete > dec.num_rounds()) {
+    std::ostringstream msg;
+    msg << "ROUNDS for shot " << f.shot_id << " covers [" << first << ", "
+        << complete << ") but the stream is at round "
+        << shot.cursor.rounds_complete << " of " << dec.num_rounds();
+    fail(ErrorCode::kBadRounds, msg.str(), out);
+    return;
+  }
+
+  // Stray-bit check + defect extraction: only bits of the rounds this
+  // frame declares complete may be set.
+  scratch_defects_.clear();
+  for (std::size_t w = 0; w < f.words.size(); ++w) {
+    std::uint64_t allowed = 0;
+    for (std::size_t r = first; r < complete; ++r)
+      allowed |= shared_.round_mask(r)[w];
+    if ((f.words[w] & ~allowed) != 0) {
+      std::ostringstream msg;
+      msg << "ROUNDS word " << w << " of shot " << f.shot_id
+          << " carries bits outside rounds [" << first << ", " << complete
+          << ")";
+      fail(ErrorCode::kStrayBits, msg.str(), out);
+      return;
+    }
+    std::uint64_t bits = f.words[w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      scratch_defects_.push_back(static_cast<std::uint32_t>(w * 64 + b));
+    }
+  }
+
+  const std::size_t before = shot.cursor.next_window;
+  try {
+    dec.ingest(shot.cursor, scratch_defects_.data(), scratch_defects_.size(),
+               complete);
+  } catch (const InvalidArgument& e) {
+    fail(ErrorCode::kBadRounds, e.what(), out);
+    return;
+  }
+
+  for (std::size_t w = before; w < shot.cursor.next_window; ++w) {
+    CommitReply commit;
+    commit.shot_id = f.shot_id;
+    commit.window_index = static_cast<std::uint32_t>(w);
+    commit.end_round = static_cast<std::uint32_t>(dec.window_end_round(w));
+    out.push_back({FrameType::kCommit, encode_commit(commit)});
+    ++windows_committed_;
+    shared_.stats().windows_committed.fetch_add(1,
+                                                std::memory_order_relaxed);
+  }
+
+  if (shot.cursor.next_window == dec.num_windows()) {
+    ResultReply result;
+    result.shot_id = f.shot_id;
+    result.prediction = dec.finish(shot.cursor);
+    out.push_back({FrameType::kResult, encode_result(result)});
+    shots_.erase(it);
+    ++shots_completed_;
+    shared_.stats().shots_completed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void StreamSession::handle_herald(const HeraldFrame& f,
+                                  std::vector<Reply>& out) {
+  (void)out;
+  if (failed_) return;
+  shared_.stats().herald_switches.fetch_add(1, std::memory_order_relaxed);
+  current_ = shared_.decoder_for(f.events);
+}
+
+void StreamSession::handle_bye(std::vector<Reply>& out) {
+  if (failed_) return;
+  ByeAck ack;
+  ack.shots_completed = shots_completed_;
+  ack.windows_committed = windows_committed_;
+  ack.shed_shots = shed_shots_;
+  out.push_back({FrameType::kByeAck, encode_bye_ack(ack)});
+}
+
+}  // namespace serve
+}  // namespace radsurf

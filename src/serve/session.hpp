@@ -1,0 +1,201 @@
+// Per-stream decode sessions of `radsurf serve`.
+//
+// ServeShared is the state every connection of a server shares: ONE
+// SlidingWindowDecoder (so the word-keyed sharded window memo — the
+// syndrome cache — is shared across streams: a hot defect pattern on one
+// stream accelerates every other), the per-round detector bit masks the
+// stray-bit check needs, and a cache of herald-aware decoders keyed by
+// event realization so concurrent streams reporting the same strike share
+// one rebuild.
+//
+// StreamSession is the per-connection state machine.  It is driven by the
+// connection's single worker thread (no internal locking of its own) and
+// turns incoming frames into replies:
+//   ROUNDS  -> 0+ COMMIT (every window those rounds complete), RESULT when
+//              the final window lands, or a terminal ERROR;
+//   HERALD  -> switches the decoder for *subsequently opened* shots (shots
+//              already in flight finish on the decoder they started on —
+//              a realization change cannot retroactively re-decode
+//              committed windows);
+//   BYE     -> BYE_ACK with the stream's counters.
+// Admission (shed-or-enqueue) is the reader thread's job, not the
+// session's — see server.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "decoder/sliding_window.hpp"
+#include "inject/campaign.hpp"
+#include "noise/timeline.hpp"
+#include "serve/protocol.hpp"
+
+namespace radsurf {
+namespace serve {
+
+struct ServeOptions {
+  /// Listen on TCP loopback (port 0 = kernel-assigned ephemeral; the bound
+  /// port is surfaced by ServeServer::tcp_port()).
+  bool listen_tcp = true;
+  std::uint16_t tcp_port = 0;
+  /// Unix-domain listening socket path; empty disables.
+  std::string unix_path;
+  /// Bound of each connection's ingest queue (see serve/queue.hpp): frames
+  /// of admitted shots block (backpressure), frames opening a new shot
+  /// against a full queue are shed.
+  std::size_t queue_capacity = 128;
+  /// Sliding-window layout of the stream decoders (shared with the offline
+  /// campaigns, so streamed results pin bit-for-bit).
+  SlidingWindowOptions window{};
+  /// Honour HERALD frames by switching to strike-reweighted aware decoders
+  /// (engine option decoder.herald_aware semantics); false ignores HERALD
+  /// payloads and decodes everything on the base decoder.
+  bool herald_aware = true;
+  /// SO_RCVTIMEO of connection sockets — the poll granularity at which a
+  /// blocked reader notices server shutdown.
+  int io_timeout_ms = 200;
+  /// SO_SNDTIMEO of reply writes; a timed-out reply is dropped (counted in
+  /// replies_dropped) rather than stalling the decode path forever.
+  int write_timeout_ms = 2000;
+};
+
+/// Server-wide counters (atomics; snapshot() for reporting).
+struct ServeStats {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> shots_completed{0};
+  std::atomic<std::uint64_t> windows_committed{0};
+  std::atomic<std::uint64_t> shed_shots{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> replies_dropped{0};
+  std::atomic<std::uint64_t> aware_rebuilds{0};
+  std::atomic<std::uint64_t> herald_switches{0};
+  std::atomic<std::uint64_t> queue_high_water{0};
+
+  void bump_high_water(std::uint64_t seen) {
+    std::uint64_t cur = queue_high_water.load(std::memory_order_relaxed);
+    while (seen > cur &&
+           !queue_high_water.compare_exchange_weak(cur, seen)) {
+    }
+  }
+};
+
+struct ServeStatsSnapshot {
+  std::uint64_t connections = 0;
+  std::uint64_t shots_completed = 0;
+  std::uint64_t windows_committed = 0;
+  std::uint64_t shed_shots = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t replies_dropped = 0;
+  std::uint64_t aware_rebuilds = 0;
+  std::uint64_t herald_switches = 0;
+  std::uint64_t queue_high_water = 0;
+  std::uint64_t memo_lookups = 0;
+  std::uint64_t memo_hits = 0;
+};
+
+/// State shared by every connection of one ServeServer.
+class ServeShared {
+ public:
+  ServeShared(const InjectionEngine& engine, const RadiationTimeline* timeline,
+              ServeOptions options);
+
+  const ServeOptions& options() const { return options_; }
+  const InjectionEngine& engine() const { return engine_; }
+  const SlidingWindowDecoder& base_decoder() const { return *base_; }
+  std::size_t syndrome_words() const { return syndrome_words_; }
+
+  /// Full-width bit mask of the detectors belonging to round r.
+  const std::vector<std::uint64_t>& round_mask(std::size_t r) const {
+    return round_masks_[r];
+  }
+  std::size_t num_rounds() const { return round_masks_.size(); }
+
+  HelloAck hello_ack() const;
+
+  /// Decoder for a (possibly empty) event realization: the shared base
+  /// decoder when empty or herald_aware is off, otherwise a strike-aware
+  /// decoder from the realization-keyed cache (built once per distinct
+  /// realization, shared across streams).
+  std::shared_ptr<const SlidingWindowDecoder> decoder_for(
+      const std::vector<RadiationEvent>& events);
+
+  ServeStats& stats() { return stats_; }
+  ServeStatsSnapshot snapshot() const;
+
+ private:
+  const InjectionEngine& engine_;
+  const RadiationTimeline* timeline_;
+  ServeOptions options_;
+  std::shared_ptr<const SlidingWindowDecoder> base_;
+  std::size_t syndrome_words_ = 0;
+  std::vector<std::vector<std::uint64_t>> round_masks_;
+  std::mutex aware_mu_;
+  std::map<std::vector<RadiationEvent>,
+           std::shared_ptr<const SlidingWindowDecoder>,
+           bool (*)(const std::vector<RadiationEvent>&,
+                    const std::vector<RadiationEvent>&)>
+      aware_cache_;
+  ServeStats stats_;
+};
+
+/// One reply the session wants written to the client socket.
+struct Reply {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+class StreamSession {
+ public:
+  explicit StreamSession(ServeShared& shared) : shared_(shared) {}
+
+  /// True once the session hit a terminal protocol error (the connection
+  /// should close after flushing the ERROR reply).
+  bool failed() const { return failed_; }
+
+  std::uint64_t shots_completed() const { return shots_completed_; }
+  std::uint64_t windows_committed() const { return windows_committed_; }
+  std::uint64_t shed_shots() const {
+    return shed_shots_.load(std::memory_order_relaxed);
+  }
+
+  /// Record a shot shed by the admission layer (the reader thread, racing
+  /// the worker that owns the rest of the session — hence atomic) so
+  /// BYE_ACK counters stay truthful.
+  void note_shed() { shed_shots_.fetch_add(1, std::memory_order_relaxed); }
+
+  void handle_rounds(const RoundsFrame& f, std::vector<Reply>& out);
+  void handle_herald(const HeraldFrame& f, std::vector<Reply>& out);
+  void handle_bye(std::vector<Reply>& out);
+
+  /// In-flight (admitted, unfinished) shots — what a draining shutdown
+  /// still owes commits for.
+  std::size_t open_shots() const { return shots_.size(); }
+
+ private:
+  struct ShotState {
+    // Pinned at shot open: a HERALD mid-stream switches later shots only.
+    std::shared_ptr<const SlidingWindowDecoder> decoder;
+    SlidingWindowDecoder::StreamCursor cursor;
+  };
+
+  void fail(ErrorCode code, std::string message, std::vector<Reply>& out);
+
+  ServeShared& shared_;
+  std::shared_ptr<const SlidingWindowDecoder> current_;  // for new shots
+  std::unordered_map<std::uint64_t, ShotState> shots_;
+  std::uint64_t shots_completed_ = 0;
+  std::uint64_t windows_committed_ = 0;
+  std::atomic<std::uint64_t> shed_shots_{0};
+  bool failed_ = false;
+  std::vector<std::uint32_t> scratch_defects_;
+};
+
+}  // namespace serve
+}  // namespace radsurf

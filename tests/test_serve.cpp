@@ -1,0 +1,505 @@
+// End-to-end tests of the `radsurf serve` subsystem (src/serve/): protocol
+// round-trips over TCP and unix-domain sockets, bit-for-bit parity of
+// streamed results against the offline sliding-window decode, herald-aware
+// decoder switching mid-stream, overload shedding with the documented
+// reply codes, graceful drain/shutdown, and the shared cross-stream
+// syndrome cache.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/topologies.hpp"
+#include "cli/serve_scenario.hpp"
+#include "codes/repetition.hpp"
+#include "inject/campaign.hpp"
+#include "noise/timeline.hpp"
+#include "serve/client.hpp"
+#include "serve/config.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+namespace serve {
+namespace {
+
+constexpr std::size_t kRounds = 40;
+
+struct Fixture {
+  std::unique_ptr<InjectionEngine> engine;
+  std::unique_ptr<RadiationTimeline> timeline;
+
+  explicit Fixture(std::size_t rounds = kRounds) {
+    EngineOptions opts;
+    opts.rounds = rounds;
+    opts.whole_history_decoder = false;
+    RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+    engine = std::make_unique<InjectionEngine>(code, make_mesh(5, 2), opts);
+    TimelineOptions topts;
+    topts.events_per_round = 0.05;
+    topts.duration_rounds = 8;
+    timeline =
+        std::make_unique<RadiationTimeline>(engine->radiation(), topts);
+  }
+
+  ServeOptions server_options() const {
+    ServeOptions so;
+    so.window = SlidingWindowOptions{10, 5};
+    return so;
+  }
+};
+
+/// Full-width word span of `defects`, masked to rounds [first, first+num).
+std::vector<std::uint64_t> frame_words(const InjectionEngine& engine,
+                                       std::size_t syndrome_words,
+                                       const std::vector<std::uint32_t>& defects,
+                                       std::size_t first, std::size_t num) {
+  std::vector<std::uint64_t> words(syndrome_words, 0);
+  for (const std::uint32_t d : defects) {
+    const std::uint32_t r = engine.detector_rounds()[d];
+    if (r >= first && r < first + num)
+      words[d / 64] |= std::uint64_t{1} << (d % 64);
+  }
+  return words;
+}
+
+RoundsFrame make_frame(const InjectionEngine& engine, std::size_t words,
+                       const std::vector<std::uint32_t>& defects,
+                       std::uint64_t shot_id, std::size_t first,
+                       std::size_t num) {
+  RoundsFrame f;
+  f.shot_id = shot_id;
+  f.first_round = static_cast<std::uint32_t>(first);
+  f.num_rounds = static_cast<std::uint32_t>(num);
+  f.words = frame_words(engine, words, defects, first, num);
+  return f;
+}
+
+/// Read replies until a RESULT for `shot_id` arrives; returns its
+/// prediction and counts the COMMITs seen on the way.
+std::uint64_t await_result(ServeClient& client, std::uint64_t shot_id,
+                           std::size_t* commits = nullptr) {
+  for (int i = 0; i < 1000; ++i) {
+    const ServeClient::ServerReply r = client.read_reply();
+    if (r.kind == ServeClient::ServerReply::Kind::kCommit) {
+      if (commits != nullptr) ++*commits;
+      continue;
+    }
+    if (r.kind == ServeClient::ServerReply::Kind::kResult &&
+        r.result.shot_id == shot_id)
+      return r.result.prediction;
+    ADD_FAILURE() << "unexpected reply kind "
+                  << static_cast<int>(r.kind);
+    break;
+  }
+  return ~std::uint64_t{0};
+}
+
+TEST(Serve, TcpRoundTripPinsOfflineDecode) {
+  Fixture fx;
+  ServeServer server(*fx.engine, fx.timeline.get(), fx.server_options());
+  server.start();
+
+  const auto offline = fx.engine->make_stream_decoder(nullptr, {}, {10, 5});
+  const auto shots =
+      fx.engine->record_timeline_shots(*fx.timeline, {}, 6, 20260810);
+
+  ServeClient client = ServeClient::connect_tcp(server.tcp_port());
+  client.set_read_timeout_ms(2000);
+  const HelloAck ack = client.handshake();
+  EXPECT_EQ(ack.num_rounds, kRounds);
+  EXPECT_EQ(ack.window, 10u);
+  EXPECT_EQ(ack.commit, 5u);
+  EXPECT_EQ(ack.num_windows, offline->num_windows());
+
+  for (std::size_t s = 0; s < shots.size(); ++s) {
+    // Deliver in 7-round frames (deliberately not a divisor of anything).
+    for (std::size_t r = 0; r < kRounds; r += 7) {
+      const std::size_t num = std::min<std::size_t>(7, kRounds - r);
+      ASSERT_TRUE(client.send_rounds(make_frame(
+          *fx.engine, ack.syndrome_words, shots[s].defects, s, r, num)));
+    }
+    std::size_t commits = 0;
+    EXPECT_EQ(await_result(client, s, &commits),
+              offline->decode(shots[s].defects));
+    EXPECT_EQ(commits, offline->num_windows());
+  }
+
+  ASSERT_TRUE(client.send_bye());
+  const ServeClient::ServerReply bye = client.read_reply();
+  ASSERT_EQ(bye.kind, ServeClient::ServerReply::Kind::kByeAck);
+  EXPECT_EQ(bye.bye_ack.shots_completed, shots.size());
+  EXPECT_EQ(bye.bye_ack.shed_shots, 0u);
+  server.shutdown();
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(Serve, UnixRoundTripViaLoadGenerator) {
+  Fixture fx;
+  ServeConfig cfg;
+  cfg.rounds = kRounds;
+  cfg.streams = 2;
+  cfg.shots_per_stream = 6;
+  cfg.rounds_per_frame = 10;
+  cfg.window = SlidingWindowOptions{10, 5};
+  cfg.server.listen_tcp = false;
+  cfg.server.unix_path = "/tmp/radsurf_test_serve.sock";
+  const ServeRoundtrip rt =
+      run_serve_roundtrip(*fx.engine, *fx.timeline, {}, cfg, 20260811);
+  EXPECT_TRUE(rt.report.clean());
+  EXPECT_EQ(rt.report.results, 12u);
+  EXPECT_EQ(rt.report.mismatches, 0u);
+  EXPECT_EQ(rt.stats.protocol_errors, 0u);
+  EXPECT_GT(rt.stats.windows_committed, 0u);
+  std::remove("/tmp/radsurf_test_serve.sock");
+}
+
+// Regression: a default-constructed ServeConfig used to hand ServeServer
+// the ServeOptions default window (W=8/C=4) while the load generator's
+// offline expectations decoded the experiment window (W=10/C=5) — 4 of
+// 256 perf_serve shots decoded differently, and only past the first 64,
+// so smoke runs and single-stream levels never saw it.  ServeServer
+// construction now goes through server_options(), which overwrites the
+// server's window with the experiment's; the load generator additionally
+// refuses the handshake on a W/C disagreement.
+TEST(Serve, ServerOptionsAlwaysCarryTheExperimentWindow) {
+  ServeConfig cfg;
+  EXPECT_EQ(cfg.server_options().window.window, cfg.window.window);
+  EXPECT_EQ(cfg.server_options().window.commit, cfg.window.commit);
+  cfg.window = SlidingWindowOptions{12, 3};
+  cfg.server.window = SlidingWindowOptions{7, 2};  // stale copy is ignored
+  EXPECT_EQ(cfg.server_options().window.window, 12u);
+  EXPECT_EQ(cfg.server_options().window.commit, 3u);
+}
+
+TEST(Serve, HeraldRoundTripUsesAwareDecoder) {
+  Fixture fx;
+  Rng rng(20260812);
+  std::vector<RadiationEvent> events;
+  for (int attempt = 0; attempt < 1000 && events.empty(); ++attempt)
+    events = fx.timeline->sample(kRounds, fx.engine->active_qubits(), rng);
+  ASSERT_FALSE(events.empty());
+
+  ServeConfig cfg;
+  cfg.rounds = kRounds;
+  cfg.streams = 2;
+  cfg.shots_per_stream = 4;
+  cfg.rounds_per_frame = 5;
+  cfg.window = SlidingWindowOptions{10, 5};
+  cfg.server.window = cfg.window;
+  const ServeRoundtrip rt =
+      run_serve_roundtrip(*fx.engine, *fx.timeline, events, cfg, 20260813);
+  // run_load computes its expectations from the AWARE offline decoder when
+  // events are set — a clean report means the server honoured the HERALD.
+  EXPECT_TRUE(rt.report.clean());
+  EXPECT_EQ(rt.report.results, 8u);
+  EXPECT_GE(rt.stats.herald_switches, 2u);   // one per stream
+  EXPECT_EQ(rt.stats.aware_rebuilds, 1u);    // cached across streams
+}
+
+TEST(Serve, HeraldSwitchesSubsequentShotsOnlyMidStream) {
+  Fixture fx;
+  Rng rng(20260814);
+  std::vector<RadiationEvent> events;
+  for (int attempt = 0; attempt < 1000 && events.empty(); ++attempt)
+    events = fx.timeline->sample(kRounds, fx.engine->active_qubits(), rng);
+  ASSERT_FALSE(events.empty());
+
+  ServeServer server(*fx.engine, fx.timeline.get(), fx.server_options());
+  server.start();
+  const auto base = fx.engine->make_stream_decoder(nullptr, {}, {10, 5});
+  const auto aware =
+      fx.engine->make_stream_decoder(fx.timeline.get(), events, {10, 5});
+  const auto shots =
+      fx.engine->record_timeline_shots(*fx.timeline, events, 2, 20260815);
+
+  ServeClient client = ServeClient::connect_tcp(server.tcp_port());
+  client.set_read_timeout_ms(2000);
+  const HelloAck ack = client.handshake();
+
+  // Shot 0 opens on the base decoder (first 10 rounds delivered), then the
+  // HERALD lands mid-stream, then shot 1 opens: shot 0 must finish on the
+  // decoder it started on, shot 1 on the aware one.
+  ASSERT_TRUE(client.send_rounds(make_frame(
+      *fx.engine, ack.syndrome_words, shots[0].defects, 0, 0, 10)));
+  HeraldFrame herald;
+  herald.events = events;
+  ASSERT_TRUE(client.send_herald(herald));
+  ASSERT_TRUE(client.send_rounds(make_frame(
+      *fx.engine, ack.syndrome_words, shots[1].defects, 1, 0, kRounds)));
+  ASSERT_TRUE(client.send_rounds(make_frame(
+      *fx.engine, ack.syndrome_words, shots[0].defects, 0, 10,
+      kRounds - 10)));
+
+  std::uint64_t got0 = ~std::uint64_t{0};
+  std::uint64_t got1 = ~std::uint64_t{0};
+  for (int i = 0; i < 1000 && (got0 == ~std::uint64_t{0} ||
+                               got1 == ~std::uint64_t{0});
+       ++i) {
+    const ServeClient::ServerReply r = client.read_reply();
+    if (r.kind == ServeClient::ServerReply::Kind::kCommit) continue;
+    ASSERT_EQ(r.kind, ServeClient::ServerReply::Kind::kResult);
+    (r.result.shot_id == 0 ? got0 : got1) = r.result.prediction;
+  }
+  EXPECT_EQ(got0, base->decode(shots[0].defects));
+  EXPECT_EQ(got1, aware->decode(shots[1].defects));
+  server.shutdown();
+  EXPECT_EQ(server.stats().herald_switches, 1u);
+}
+
+TEST(Serve, SlowConsumerShedsNewShotsHealthyStreamUnaffected) {
+  Fixture fx;
+  ServeOptions so = fx.server_options();
+  so.queue_capacity = 1;    // admission control trips immediately
+  so.write_timeout_ms = 200;  // a slow reply consumer cannot stall decode
+  ServeServer server(*fx.engine, fx.timeline.get(), so);
+  server.start();
+
+  const auto offline = fx.engine->make_stream_decoder(nullptr, {}, {10, 5});
+  const auto shots =
+      fx.engine->record_timeline_shots(*fx.timeline, {}, 64, 20260816);
+
+  // Overloading stream: floods whole-shot frames without reading a single
+  // reply until everything is sent.  With a queue bound of 1 the reader
+  // must shed most of these shots — with the documented reason code —
+  // while every admitted shot still decodes to the exact offline result.
+  ServeClient flood = ServeClient::connect_tcp(server.tcp_port());
+  flood.set_read_timeout_ms(2000);
+  const HelloAck ack = flood.handshake();
+  for (std::size_t s = 0; s < shots.size(); ++s)
+    ASSERT_TRUE(flood.send_rounds(make_frame(
+        *fx.engine, ack.syndrome_words, shots[s].defects, s, 0, kRounds)));
+
+  // Healthy stream on its own connection: must complete every shot with
+  // zero sheds while the flood is in progress.
+  std::thread healthy([&] {
+    ServeClient client = ServeClient::connect_tcp(server.tcp_port());
+    client.set_read_timeout_ms(2000);
+    const HelloAck hack = client.handshake();
+    for (std::size_t s = 0; s < 8; ++s) {
+      ASSERT_TRUE(client.send_rounds(make_frame(*fx.engine,
+                                                hack.syndrome_words,
+                                                shots[s].defects, 100 + s, 0,
+                                                kRounds)));
+      EXPECT_EQ(await_result(client, 100 + s),
+                offline->decode(shots[s].defects));
+    }
+    ASSERT_TRUE(client.send_bye());
+    const ServeClient::ServerReply bye = client.read_reply();
+    ASSERT_EQ(bye.kind, ServeClient::ServerReply::Kind::kByeAck);
+    EXPECT_EQ(bye.bye_ack.shots_completed, 8u);
+    EXPECT_EQ(bye.bye_ack.shed_shots, 0u);
+  });
+
+  std::size_t results = 0;
+  std::size_t sheds = 0;
+  while (results + sheds < shots.size()) {
+    const ServeClient::ServerReply r = flood.read_reply();
+    if (r.kind == ServeClient::ServerReply::Kind::kCommit) continue;
+    if (r.kind == ServeClient::ServerReply::Kind::kShed) {
+      EXPECT_EQ(r.shed.reason, ShedReason::kQueueFull);
+      ++sheds;
+      continue;
+    }
+    if (r.kind == ServeClient::ServerReply::Kind::kTimeout) break;
+    ASSERT_EQ(r.kind, ServeClient::ServerReply::Kind::kResult);
+    EXPECT_EQ(r.result.prediction,
+              offline->decode(shots[r.result.shot_id].defects));
+    ++results;
+  }
+  healthy.join();
+  EXPECT_EQ(results + sheds, shots.size());
+  EXPECT_GT(sheds, 0u) << "flood never tripped admission control";
+  EXPECT_GT(results, 0u) << "admission shed everything";
+  server.shutdown();
+  EXPECT_EQ(server.stats().shed_shots, sheds);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(Serve, DrainShedsNewShotsAndFinishesInFlight) {
+  Fixture fx;
+  ServeServer server(*fx.engine, fx.timeline.get(), fx.server_options());
+  server.start();
+  const auto offline = fx.engine->make_stream_decoder(nullptr, {}, {10, 5});
+  const auto shots =
+      fx.engine->record_timeline_shots(*fx.timeline, {}, 2, 20260817);
+
+  ServeClient client = ServeClient::connect_tcp(server.tcp_port());
+  client.set_read_timeout_ms(2000);
+  const HelloAck ack = client.handshake();
+
+  // Open shot 0 (half delivered), then drain, then try to open shot 1.
+  ASSERT_TRUE(client.send_rounds(make_frame(
+      *fx.engine, ack.syndrome_words, shots[0].defects, 0, 0, kRounds / 2)));
+  // The commit of the first windows proves shot 0 was admitted before the
+  // drain (ingest is ordered through the queue).
+  const ServeClient::ServerReply first = client.read_reply();
+  ASSERT_EQ(first.kind, ServeClient::ServerReply::Kind::kCommit);
+  server.begin_drain();
+  ASSERT_TRUE(client.send_rounds(make_frame(
+      *fx.engine, ack.syndrome_words, shots[1].defects, 1, 0, kRounds)));
+  ASSERT_TRUE(client.send_rounds(make_frame(*fx.engine, ack.syndrome_words,
+                                            shots[0].defects, 0, kRounds / 2,
+                                            kRounds - kRounds / 2)));
+
+  bool shed1 = false;
+  std::uint64_t got0 = ~std::uint64_t{0};
+  for (int i = 0; i < 1000 && !(shed1 && got0 != ~std::uint64_t{0}); ++i) {
+    const ServeClient::ServerReply r = client.read_reply();
+    if (r.kind == ServeClient::ServerReply::Kind::kCommit) continue;
+    if (r.kind == ServeClient::ServerReply::Kind::kShed) {
+      EXPECT_EQ(r.shed.shot_id, 1u);
+      EXPECT_EQ(r.shed.reason, ShedReason::kShuttingDown);
+      shed1 = true;
+      continue;
+    }
+    ASSERT_EQ(r.kind, ServeClient::ServerReply::Kind::kResult);
+    EXPECT_EQ(r.result.shot_id, 0u);
+    got0 = r.result.prediction;
+  }
+  EXPECT_TRUE(shed1);
+  EXPECT_EQ(got0, offline->decode(shots[0].defects));
+  server.shutdown();
+  EXPECT_EQ(server.stats().shots_completed, 1u);
+  EXPECT_EQ(server.stats().shed_shots, 1u);
+}
+
+TEST(Serve, ShutdownDrainsEnqueuedWindows) {
+  Fixture fx;
+  ServeServer server(*fx.engine, fx.timeline.get(), fx.server_options());
+  server.start();
+  const auto offline = fx.engine->make_stream_decoder(nullptr, {}, {10, 5});
+  const auto shots =
+      fx.engine->record_timeline_shots(*fx.timeline, {}, 1, 20260818);
+
+  ServeClient client = ServeClient::connect_tcp(server.tcp_port());
+  client.set_read_timeout_ms(2000);
+  const HelloAck ack = client.handshake();
+  ASSERT_TRUE(client.send_rounds(make_frame(
+      *fx.engine, ack.syndrome_words, shots[0].defects, 0, 0, kRounds)));
+  // Give the reader a moment to enqueue, then shut down: the worker must
+  // still drain the queue, so the full commit ladder and the RESULT arrive
+  // before the socket closes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.shutdown();
+
+  std::size_t commits = 0;
+  EXPECT_EQ(await_result(client, 0, &commits),
+            offline->decode(shots[0].defects));
+  EXPECT_EQ(commits, offline->num_windows());
+  EXPECT_EQ(server.stats().shots_completed, 1u);
+}
+
+TEST(Serve, ProtocolErrorsGetDocumentedCodes) {
+  Fixture fx;
+  ServeServer server(*fx.engine, fx.timeline.get(), fx.server_options());
+  server.start();
+
+  const auto expect_error = [&](ErrorCode code,
+                                const std::function<void(ServeClient&)>& drive,
+                                bool handshake_first) {
+    ServeClient client = ServeClient::connect_tcp(server.tcp_port());
+    client.set_read_timeout_ms(2000);
+    if (handshake_first) client.handshake();
+    drive(client);
+    const ServeClient::ServerReply r = client.read_reply();
+    ASSERT_EQ(r.kind, ServeClient::ServerReply::Kind::kError);
+    EXPECT_EQ(r.error.code, code);
+    // ERROR is terminal: the server closes after sending it.
+    const ServeClient::ServerReply next = client.read_reply();
+    EXPECT_EQ(next.kind, ServeClient::ServerReply::Kind::kClosed);
+  };
+
+  // First frame not HELLO.
+  expect_error(ErrorCode::kExpectedHello,
+               [](ServeClient& c) { c.send_bye(); }, false);
+  // HELLO with the wrong version.
+  expect_error(ErrorCode::kBadVersion,
+               [](ServeClient& c) {
+                 HelloFrame hello;
+                 hello.version = 999;
+                 c.send_raw(FrameType::kHello, encode_hello(hello));
+               },
+               false);
+  // Unknown frame type.
+  expect_error(ErrorCode::kUnknownFrame,
+               [](ServeClient& c) { c.send_raw(FrameType::kHelloAck, {}); },
+               true);
+  // Truncated ROUNDS payload.
+  expect_error(ErrorCode::kBadPayload,
+               [](ServeClient& c) {
+                 c.send_raw(FrameType::kRounds, {1, 2, 3});
+               },
+               true);
+  // Stray bits outside the declared rounds.
+  expect_error(ErrorCode::kStrayBits,
+               [&](ServeClient& c) {
+                 // Find a detector of a late round and set its bit in a
+                 // frame that declares only rounds [0, 1).
+                 std::uint32_t late = 0;
+                 for (std::uint32_t d = 0;
+                      d < fx.engine->detector_rounds().size(); ++d)
+                   if (fx.engine->detector_rounds()[d] >= kRounds / 2)
+                     late = d;
+                 RoundsFrame f;
+                 f.shot_id = 0;
+                 f.first_round = 0;
+                 f.num_rounds = 1;
+                 f.words.assign(server.shared().syndrome_words(), 0);
+                 f.words[late / 64] |= std::uint64_t{1} << (late % 64);
+                 c.send_rounds(f);
+               },
+               true);
+  // Non-monotone round sequencing.
+  expect_error(ErrorCode::kBadRounds,
+               [&](ServeClient& c) {
+                 RoundsFrame f;
+                 f.shot_id = 0;
+                 f.first_round = 5;  // stream expects round 0 first
+                 f.num_rounds = 1;
+                 f.words.assign(server.shared().syndrome_words(), 0);
+                 c.send_rounds(f);
+               },
+               true);
+
+  server.shutdown();
+  EXPECT_EQ(server.stats().protocol_errors, 6u);
+  EXPECT_EQ(server.stats().shots_completed, 0u);
+}
+
+TEST(Serve, SyndromeCacheIsSharedAcrossStreams) {
+  Fixture fx;
+  ServeServer server(*fx.engine, fx.timeline.get(), fx.server_options());
+  server.start();
+  const auto shots =
+      fx.engine->record_timeline_shots(*fx.timeline, {}, 4, 20260819);
+
+  // Stream the same workload over two consecutive connections: the second
+  // replays window-defect sets the first already memoised in the shared
+  // word-keyed cache, so hits must appear.
+  for (int conn = 0; conn < 2; ++conn) {
+    ServeClient client = ServeClient::connect_tcp(server.tcp_port());
+    client.set_read_timeout_ms(2000);
+    const HelloAck ack = client.handshake();
+    for (std::size_t s = 0; s < shots.size(); ++s) {
+      ASSERT_TRUE(client.send_rounds(make_frame(
+          *fx.engine, ack.syndrome_words, shots[s].defects, s, 0, kRounds)));
+      await_result(client, s);
+    }
+  }
+  server.shutdown();
+  const ServeStatsSnapshot s = server.stats();
+  EXPECT_GT(s.memo_lookups, 0u);
+  EXPECT_GT(s.memo_hits, 0u);
+  EXPECT_EQ(s.connections, 2u);
+  EXPECT_EQ(s.shots_completed, 8u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace radsurf

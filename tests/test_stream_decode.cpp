@@ -1,0 +1,258 @@
+// Stream-vs-batch decode parity (decoder/sliding_window.hpp ingest/finish
+// and inject/campaign.hpp record_timeline_shots / make_stream_decoder).
+//
+// The serve subsystem's correctness rests on one contract: feeding a
+// shot's defects incrementally — any round granularity, any interleaving
+// of ingest calls — commits exactly the windows whose rounds are complete
+// and finishes bit-for-bit equal to decode() of the full defect set.  The
+// offline side of the pin (record_timeline_shots) must itself reproduce
+// run_timeline's EXACT sampling, including the herald-aware decoder path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/topologies.hpp"
+#include "codes/repetition.hpp"
+#include "decoder/sliding_window.hpp"
+#include "inject/campaign.hpp"
+#include "noise/timeline.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace radsurf {
+namespace {
+
+constexpr std::size_t kRounds = 40;
+
+EngineOptions timeline_options() {
+  EngineOptions opts;
+  opts.rounds = kRounds;
+  opts.whole_history_decoder = false;
+  return opts;
+}
+
+std::unique_ptr<InjectionEngine> make_engine() {
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  return std::make_unique<InjectionEngine>(code, make_mesh(5, 2),
+                                           timeline_options());
+}
+
+RadiationTimeline make_timeline(const InjectionEngine& engine) {
+  TimelineOptions topts;
+  topts.events_per_round = 0.05;
+  topts.duration_rounds = 8;
+  return RadiationTimeline(engine.radiation(), topts);
+}
+
+/// Group a shot's defects by stabilisation round.
+std::map<std::size_t, std::vector<std::uint32_t>> defects_by_round(
+    const InjectionEngine& engine, const std::vector<std::uint32_t>& defects) {
+  std::map<std::size_t, std::vector<std::uint32_t>> by_round;
+  for (const std::uint32_t d : defects)
+    by_round[engine.detector_rounds()[d]].push_back(d);
+  return by_round;
+}
+
+/// Stream `shot` into `dec` delivering `granularity` rounds per ingest and
+/// require bit-for-bit agreement with the batch decode.
+void expect_stream_parity(const InjectionEngine& engine,
+                          const SlidingWindowDecoder& dec,
+                          const std::vector<std::uint32_t>& defects,
+                          std::uint64_t expected,
+                          std::size_t granularity) {
+  const auto by_round = defects_by_round(engine, defects);
+  SlidingWindowDecoder::StreamCursor cursor;
+  std::size_t committed = 0;
+  for (std::size_t r = 0; r < dec.num_rounds(); r += granularity) {
+    const std::size_t complete = std::min(r + granularity, dec.num_rounds());
+    std::vector<std::uint32_t> chunk;
+    for (std::size_t q = r; q < complete; ++q) {
+      const auto it = by_round.find(q);
+      if (it != by_round.end())
+        chunk.insert(chunk.end(), it->second.begin(), it->second.end());
+    }
+    committed += dec.ingest(cursor, chunk.data(), chunk.size(), complete);
+  }
+  EXPECT_EQ(committed, dec.num_windows());
+  EXPECT_EQ(dec.finish(cursor), expected)
+      << "granularity " << granularity << " diverges from batch decode";
+  EXPECT_TRUE(cursor.finished);
+}
+
+TEST(StreamDecode, IngestMatchesBatchDecodeAtEveryGranularity) {
+  const auto engine = make_engine();
+  const RadiationTimeline timeline = make_timeline(*engine);
+  const auto dec = engine->make_stream_decoder(nullptr, {}, {10, 5});
+  const auto shots =
+      engine->record_timeline_shots(timeline, {}, 24, 20260801);
+  ASSERT_EQ(shots.size(), 24u);
+
+  bool saw_defects = false;
+  for (const RecordedShot& shot : shots) {
+    saw_defects = saw_defects || !shot.defects.empty();
+    const std::uint64_t batch = dec->decode(shot.defects);
+    for (const std::size_t granularity : {std::size_t{1}, std::size_t{3},
+                                          std::size_t{10}, kRounds})
+      expect_stream_parity(*engine, *dec, shot.defects, batch, granularity);
+  }
+  EXPECT_TRUE(saw_defects) << "workload degenerate: every shot was quiet";
+}
+
+TEST(StreamDecode, CommitScheduleFollowsWindowEndRounds) {
+  const auto engine = make_engine();
+  const auto dec = engine->make_stream_decoder(nullptr, {}, {10, 5});
+  // Quiet shot, one round per ingest: windows commit exactly when their
+  // end round completes — the bounded-latency schedule serve promises.
+  SlidingWindowDecoder::StreamCursor cursor;
+  std::size_t next = 0;
+  for (std::size_t r = 1; r <= dec->num_rounds(); ++r) {
+    const std::size_t n = dec->ingest(cursor, nullptr, 0, r);
+    for (std::size_t w = next; w < next + n; ++w)
+      EXPECT_EQ(dec->window_end_round(w), r);
+    next += n;
+  }
+  EXPECT_EQ(next, dec->num_windows());
+  EXPECT_EQ(dec->finish(cursor), 0u);
+}
+
+TEST(StreamDecode, RecordedShotsPinRunTimelineExact) {
+  // record_timeline_shots mirrors the EXACT sampling path's RNG streams,
+  // so the campaign must run EXACT too for a per-shot pin.
+  EngineOptions opts = timeline_options();
+  opts.sampling_path = SamplingPath::EXACT;
+  RepetitionCode code(5, RepetitionFlavor::BIT_FLIP);
+  const auto engine =
+      std::make_unique<InjectionEngine>(code, make_mesh(5, 2), opts);
+  const RadiationTimeline timeline = make_timeline(*engine);
+  Rng rng(20260802);
+  const std::vector<RadiationEvent> events =
+      timeline.sample(kRounds, engine->active_qubits(), rng);
+
+  // The recorded shots decoded offline must reproduce run_timeline's
+  // logical-error proportion on the same seed: same RNG streams, same
+  // decoder, same window layout.
+  const SlidingWindowOptions window{10, 5};
+  const std::size_t shots = 48;
+  const Proportion campaign =
+      engine->run_timeline(timeline, events, shots, 777, window);
+  const auto records =
+      engine->record_timeline_shots(timeline, events, shots, 777);
+  // The engine was built with the default (unaware) decoder options, so
+  // run_timeline decoded on the shared intrinsic-weighted windows — the
+  // nullptr/no-events stream decoder (the aware pin lives in the next
+  // test).
+  const auto dec = engine->make_stream_decoder(nullptr, {}, window);
+  std::size_t errors = 0;
+  for (const RecordedShot& shot : records)
+    if (dec->decode(shot.defects) != shot.observables) ++errors;
+  EXPECT_EQ(errors, campaign.successes);
+  EXPECT_EQ(records.size(), campaign.trials);
+}
+
+TEST(StreamDecode, HeraldAwareStreamMatchesOfflineAwareDecode) {
+  const auto engine = make_engine();
+  const RadiationTimeline timeline = make_timeline(*engine);
+  Rng rng(20260803);
+  std::vector<RadiationEvent> events;
+  for (int attempt = 0; attempt < 1000 && events.empty(); ++attempt)
+    events = timeline.sample(kRounds, engine->active_qubits(), rng);
+  ASSERT_FALSE(events.empty());
+
+  const auto aware = engine->make_stream_decoder(&timeline, events, {10, 5});
+  const auto unaware = engine->make_stream_decoder(nullptr, {}, {10, 5});
+  const auto shots =
+      engine->record_timeline_shots(timeline, events, 24, 20260804);
+
+  bool diverged = false;
+  for (const RecordedShot& shot : shots) {
+    const std::uint64_t offline = aware->decode(shot.defects);
+    diverged = diverged || offline != unaware->decode(shot.defects);
+    // Mid-stream granularity switch: deliver 3 rounds, then 7, then the
+    // rest in one call — the aware decoder streams like any other.
+    SlidingWindowDecoder::StreamCursor cursor;
+    const auto by_round = defects_by_round(*engine, shot.defects);
+    std::vector<std::uint32_t> chunk;
+    auto feed = [&](std::size_t from, std::size_t to) {
+      chunk.clear();
+      for (std::size_t q = from; q < to; ++q) {
+        const auto it = by_round.find(q);
+        if (it != by_round.end())
+          chunk.insert(chunk.end(), it->second.begin(), it->second.end());
+      }
+      aware->ingest(cursor, chunk.data(), chunk.size(), to);
+    };
+    feed(0, 3);
+    feed(3, 10);
+    feed(10, kRounds);
+    EXPECT_EQ(aware->finish(cursor), offline);
+  }
+  // The realization must actually exercise the aware path somewhere,
+  // otherwise this test pins nothing.
+  EXPECT_TRUE(diverged || events.empty());
+}
+
+TEST(StreamDecode, IngestRejectsProtocolViolations) {
+  const auto engine = make_engine();
+  const auto dec = engine->make_stream_decoder(nullptr, {}, {10, 5});
+
+  // Non-monotone rounds_complete.
+  {
+    SlidingWindowDecoder::StreamCursor cursor;
+    dec->ingest(cursor, nullptr, 0, 12);
+    EXPECT_THROW(dec->ingest(cursor, nullptr, 0, 5), InvalidArgument);
+  }
+  // rounds_complete past the experiment.
+  {
+    SlidingWindowDecoder::StreamCursor cursor;
+    EXPECT_THROW(dec->ingest(cursor, nullptr, 0, dec->num_rounds() + 1),
+                 InvalidArgument);
+  }
+  // A defect of a round not yet delivered.
+  {
+    SlidingWindowDecoder::StreamCursor cursor;
+    std::uint32_t late = 0;
+    for (std::uint32_t d = 0;
+         d < static_cast<std::uint32_t>(engine->detector_rounds().size());
+         ++d)
+      if (engine->detector_rounds()[d] >= 20) late = d;
+    EXPECT_THROW(dec->ingest(cursor, &late, 1, 2), InvalidArgument);
+  }
+  // A defect of already-committed history.
+  {
+    SlidingWindowDecoder::StreamCursor cursor;
+    dec->ingest(cursor, nullptr, 0, dec->num_rounds());
+    std::uint32_t early = 0;  // detector of round 0
+    for (std::uint32_t d = 0;
+         d < static_cast<std::uint32_t>(engine->detector_rounds().size());
+         ++d)
+      if (engine->detector_rounds()[d] == 0) early = d;
+    EXPECT_THROW(
+        dec->ingest(cursor, &early, 1, dec->num_rounds()), InvalidArgument);
+  }
+}
+
+TEST(StreamDecode, SharedMemoAcceleratesConcurrentCursors) {
+  const auto engine = make_engine();
+  const auto dec = engine->make_stream_decoder(nullptr, {}, {10, 5});
+  const RadiationTimeline timeline = make_timeline(*engine);
+  const auto shots =
+      engine->record_timeline_shots(timeline, {}, 8, 20260805);
+
+  // Stream the same workload twice, interleaved across two cursor "lanes":
+  // the second pass replays window-local defect sets the first pass
+  // memoised, so hits must strictly increase faster than lookups alone
+  // would suggest.
+  const std::uint64_t lookups_before = dec->memo_lookups();
+  for (int pass = 0; pass < 2; ++pass)
+    for (const RecordedShot& shot : shots)
+      expect_stream_parity(*engine, *dec, shot.defects,
+                           dec->decode(shot.defects), 10);
+  EXPECT_GT(dec->memo_lookups(), lookups_before);
+  EXPECT_GT(dec->memo_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace radsurf

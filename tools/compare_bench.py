@@ -9,6 +9,13 @@ for every scenario present in both files, plus scenarios only one side
 measured.  A watchlist of named hot-path scenarios (see WATCHED_SCENARIOS;
 extend with --watch) is additionally checked for regressions beyond
 --watch-threshold (default 20%) and flagged in a summary block.
+
+Records carrying commit-latency percentiles (commit_p50_ms/commit_p99_ms,
+the serve/ family) get a second table comparing p50/p99 directly — lower
+is better, so the regression direction is inverted: a watched latency
+scenario (LATENCY_WATCHED; extend with --watch-latency) is flagged when
+its fresh p99 exceeds baseline by more than --watch-threshold.
+
 Report-only by default: the exit code is 0 regardless of the numbers,
 so CI can surface regressions without blocking on shared-runner timing
 noise.  Pass --min-speedup to turn it into a gate (exit 1 when any
@@ -38,6 +45,18 @@ WATCHED_SCENARIOS = (
     "timeline/rep5_200r/window",
     "timeline/burst_rotated_d5/unaware",
     "timeline/burst_rotated_d5/aware",
+    "serve/rep5_200r_w10/c4",
+    "serve/rep5_200r_w10/c8",
+)
+
+# Latency records where the p99 commit latency IS the product claim
+# (bounded-latency window commits): flagged when fresh p99 grows beyond
+# the watch threshold.  Lower is better — opposite direction to speedups.
+LATENCY_WATCHED = (
+    "serve/rep5_200r_w10/c1",
+    "serve/rep5_200r_w10/c4",
+    "serve/rep5_200r_w10/c8",
+    "serve/rep5_200r_w10/unix_c4",
 )
 
 
@@ -51,6 +70,26 @@ def load_records(path):
         if isinstance(name, str) and isinstance(rate, (int, float)) and rate > 0:
             records[name] = float(rate)
     return records
+
+
+def load_latencies(path):
+    """scenario -> (p50_ms, p99_ms) for records carrying both percentiles."""
+    with open(path) as f:
+        data = json.load(f)
+    latencies = {}
+    for record in data.get("records", []):
+        name = record.get("scenario")
+        p50 = record.get("commit_p50_ms")
+        p99 = record.get("commit_p99_ms")
+        if (
+            isinstance(name, str)
+            and isinstance(p50, (int, float))
+            and isinstance(p99, (int, float))
+            and p50 > 0
+            and p99 > 0
+        ):
+            latencies[name] = (float(p50), float(p99))
+    return latencies
 
 
 def fmt_rate(rate):
@@ -84,6 +123,13 @@ def main(argv=None):
         default=0.2,
         help="flag watched scenarios that regress by more than this "
         "fraction (default 0.2 = 20%%); report-only",
+    )
+    parser.add_argument(
+        "--watch-latency",
+        action="append",
+        default=[],
+        metavar="SCENARIO",
+        help="additional scenario name to put on the p99 latency watchlist",
     )
     args = parser.parse_args(argv)
 
@@ -123,6 +169,26 @@ def main(argv=None):
         summary += f"; {len(removed)} removed, {len(added)} added"
     print(summary)
 
+    # --- commit-latency percentiles (lower is better) ----------------------
+    base_lat = load_latencies(args.baseline)
+    fresh_lat = load_latencies(args.fresh)
+    lat_common = sorted(set(base_lat) & set(fresh_lat))
+    if lat_common:
+        lat_width = max(len(name) for name in lat_common)
+        print(
+            f"\n{'latency (commit p50/p99 ms)':<{lat_width}}  "
+            f"{'baseline':>15}  {'fresh':>15}  {'p99 ratio':>9}"
+        )
+        for name in lat_common:
+            b50, b99 = base_lat[name]
+            f50, f99 = fresh_lat[name]
+            ratio = f99 / b99
+            marker = "" if 0.9 <= ratio <= 1.1 else ("  ▼" if ratio > 1 else "  ▲")
+            print(
+                f"{name:<{lat_width}}  {b50:>6.2f} /{b99:>7.2f}  "
+                f"{f50:>6.2f} /{f99:>7.2f}  {ratio:>8.2f}x{marker}"
+            )
+
     watched = list(WATCHED_SCENARIOS) + args.watch
     floor = 1.0 - args.watch_threshold
     flagged = [
@@ -138,6 +204,23 @@ def main(argv=None):
         )
         for name, speedup in flagged:
             print(f"  {name}: {speedup:.2f}x of baseline")
+
+    # Latency direction is inverted: flag growth beyond the threshold.
+    lat_watched = list(LATENCY_WATCHED) + args.watch_latency
+    ceiling = 1.0 + args.watch_threshold
+    lat_flagged = [
+        (name, fresh_lat[name][1] / base_lat[name][1])
+        for name in lat_watched
+        if name in base_lat and name in fresh_lat
+        and fresh_lat[name][1] / base_lat[name][1] > ceiling
+    ]
+    if lat_flagged:
+        print(
+            f"\nLATENCY WATCH: {len(lat_flagged)} watched scenario(s) grew "
+            f"p99 by more than {args.watch_threshold:.0%} (report-only):"
+        )
+        for name, ratio in lat_flagged:
+            print(f"  {name}: {ratio:.2f}x of baseline p99")
 
     if args.min_speedup is not None and worst is not None and worst[1] < args.min_speedup:
         print(f"FAIL: below --min-speedup {args.min_speedup}")

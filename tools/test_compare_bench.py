@@ -18,12 +18,21 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import compare_bench
 
 
-def bench_file(tmpdir, name, rates):
+def bench_file(tmpdir, name, rates, latencies=None):
     path = os.path.join(tmpdir, name)
     records = [
         {"scenario": scenario, "shots_per_second": rate}
         for scenario, rate in rates.items()
     ]
+    for scenario, (p50, p99) in (latencies or {}).items():
+        records.append(
+            {
+                "scenario": scenario,
+                "shots_per_second": 1.0,
+                "commit_p50_ms": p50,
+                "commit_p99_ms": p99,
+            }
+        )
     with open(path, "w") as f:
         json.dump({"bench": "radsurf-perf", "records": records}, f)
     return path
@@ -88,6 +97,73 @@ class CompareBenchTest(unittest.TestCase):
         disjoint = bench_file(self.tmpdir, "disjoint.json", {"b": 10.0})
         code, _ = run_compare([base, disjoint, "--min-speedup", "0.8"])
         self.assertEqual(code, 0)
+
+    def test_latency_records_get_a_percentile_table(self):
+        base = bench_file(
+            self.tmpdir, "base.json", {"a": 100.0},
+            latencies={"serve/x/c4": (1.0, 2.0)},
+        )
+        fresh = bench_file(
+            self.tmpdir, "fresh.json", {"a": 100.0},
+            latencies={"serve/x/c4": (1.5, 4.0)},
+        )
+        code, out = run_compare([base, fresh])
+        self.assertEqual(code, 0)
+        self.assertIn("latency (commit p50/p99 ms)", out)
+        self.assertIn("2.00x", out)  # p99 ratio 4.0 / 2.0
+
+    def test_latency_watchlist_flags_p99_growth_not_shrink(self):
+        watched = "serve/rep5_200r_w10/c4"
+        base = bench_file(
+            self.tmpdir, "base.json", {}, latencies={watched: (1.0, 2.0)}
+        )
+        worse = bench_file(
+            self.tmpdir, "worse.json", {}, latencies={watched: (1.0, 3.0)}
+        )
+        better = bench_file(
+            self.tmpdir, "better.json", {}, latencies={watched: (1.0, 1.0)}
+        )
+        code, out = run_compare([base, worse])
+        self.assertEqual(code, 0)  # report-only
+        self.assertIn("LATENCY WATCH", out)
+        self.assertIn(watched, out)
+        code, out = run_compare([base, better])
+        self.assertEqual(code, 0)
+        self.assertNotIn("LATENCY WATCH", out)
+
+    def test_custom_latency_watch_flag(self):
+        base = bench_file(
+            self.tmpdir, "base.json", {}, latencies={"my/serve": (1.0, 2.0)}
+        )
+        fresh = bench_file(
+            self.tmpdir, "fresh.json", {}, latencies={"my/serve": (1.0, 5.0)}
+        )
+        code, out = run_compare([base, fresh])
+        self.assertNotIn("LATENCY WATCH", out)  # not on the default list
+        code, out = run_compare([base, fresh, "--watch-latency", "my/serve"])
+        self.assertEqual(code, 0)
+        self.assertIn("LATENCY WATCH", out)
+
+    def test_load_latencies_skips_partial_records(self):
+        path = os.path.join(self.tmpdir, "odd.json")
+        with open(path, "w") as f:
+            json.dump(
+                {
+                    "records": [
+                        {"scenario": "ok", "commit_p50_ms": 1.0,
+                         "commit_p99_ms": 2.0},
+                        {"scenario": "no99", "commit_p50_ms": 1.0},
+                        {"scenario": "zero", "commit_p50_ms": 0,
+                         "commit_p99_ms": 0},
+                        {"scenario": "text", "commit_p50_ms": "fast",
+                         "commit_p99_ms": 1.0},
+                    ]
+                },
+                f,
+            )
+        self.assertEqual(
+            compare_bench.load_latencies(path), {"ok": (1.0, 2.0)}
+        )
 
     def test_nonpositive_and_malformed_records_are_skipped(self):
         path = os.path.join(self.tmpdir, "odd.json")
